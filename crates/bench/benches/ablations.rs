@@ -1,0 +1,166 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * spatial-grid matching vs the α/β operating point (X1),
+//! * detector threshold cost (X2),
+//! * scenario-generation cost split by stage,
+//! * MANET cost scaling with node count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geosocial_bench::{bench_scenario, BENCH_SEED};
+use geosocial_checkin::scenario::{Scenario, ScenarioConfig};
+use geosocial_core::detect::{score_detector, DetectorConfig};
+use geosocial_core::matching::sweep;
+use geosocial_manet::{SimConfig, Simulator};
+use geosocial_mobility::{
+    assign_prefs, generate_city, generate_itinerary, simulate_gps, CityConfig, GpsSimConfig,
+    MovementTrace, RandomWaypoint, RoutineConfig,
+};
+use geosocial_trace::{detect_visits, VisitConfig, MINUTE};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+fn bench_x1_alpha_beta(c: &mut Criterion) {
+    let sc = bench_scenario();
+    c.bench_function("x1_alpha_beta_sweep_20pts", |b| {
+        let alphas = [100.0, 250.0, 500.0, 750.0, 1_000.0];
+        let betas = [5 * MINUTE, 15 * MINUTE, 30 * MINUTE, 60 * MINUTE];
+        b.iter(|| black_box(sweep(black_box(&sc.primary), &alphas, &betas)))
+    });
+}
+
+fn bench_x2_detector(c: &mut Criterion) {
+    let sc = bench_scenario();
+    c.bench_function("x2_detector_score", |b| {
+        b.iter(|| black_box(score_detector(black_box(&sc.primary), &DetectorConfig::default())))
+    });
+}
+
+fn bench_generation_stages(c: &mut Criterion) {
+    let mut rng = ChaCha12Rng::seed_from_u64(BENCH_SEED);
+    let city_cfg = CityConfig { n_pois: 600, radius_m: 8_000.0, ..Default::default() };
+    c.bench_function("gen_city_600_pois", |b| {
+        b.iter(|| {
+            let mut r = ChaCha12Rng::seed_from_u64(BENCH_SEED);
+            black_box(generate_city(&city_cfg, &mut r))
+        })
+    });
+    let universe = generate_city(&city_cfg, &mut rng);
+    let prefs = assign_prefs(0, &universe, &mut rng);
+    c.bench_function("gen_itinerary_14d", |b| {
+        b.iter(|| {
+            let mut r = ChaCha12Rng::seed_from_u64(BENCH_SEED);
+            black_box(generate_itinerary(&prefs, &universe, 14, &RoutineConfig::default(), &mut r))
+        })
+    });
+    let itinerary = generate_itinerary(&prefs, &universe, 14, &RoutineConfig::default(), &mut rng);
+    c.bench_function("gen_gps_14d", |b| {
+        b.iter(|| {
+            let mut r = ChaCha12Rng::seed_from_u64(BENCH_SEED);
+            black_box(simulate_gps(&itinerary, &universe, &GpsSimConfig::default(), &mut r))
+        })
+    });
+    let gps = simulate_gps(&itinerary, &universe, &GpsSimConfig::default(), &mut rng);
+    c.bench_function("visit_detection_14d", |b| {
+        b.iter(|| black_box(detect_visits(&gps, &VisitConfig::default(), Some(&universe))))
+    });
+    let mut group = c.benchmark_group("scenario_end_to_end");
+    group.sample_size(10);
+    group.bench_function("6users_5days", |b| {
+        b.iter(|| black_box(Scenario::generate(&ScenarioConfig::small(6, 5), BENCH_SEED)))
+    });
+    group.finish();
+}
+
+fn bench_manet_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manet_node_scaling");
+    group.sample_size(10);
+    for nodes in [10usize, 20, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let mut rng = ChaCha12Rng::seed_from_u64(BENCH_SEED);
+                let rwp = RandomWaypoint::default();
+                let traces: Vec<MovementTrace> =
+                    (0..n).map(|_| rwp.generate(3_000.0, 60, &mut rng)).collect();
+                let cfg = SimConfig { duration_ms: 30_000, ..Default::default() };
+                black_box(Simulator::new(traces, vec![(0, n - 1)], cfg, BENCH_SEED).run())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_expanding_ring(c: &mut Criterion) {
+    // Ablation: expanding-ring search vs full flood on a mid-chain pair.
+    let chain = |n: usize| -> Vec<MovementTrace> {
+        (0..n)
+            .map(|i| {
+                MovementTrace::new(vec![
+                    (0, geosocial_geo::Point::new(i as f64 * 800.0, 0.0)),
+                    (60, geosocial_geo::Point::new(i as f64 * 800.0, 0.0)),
+                ])
+            })
+            .collect()
+    };
+    let mut group = c.benchmark_group("aodv_discovery");
+    group.sample_size(10);
+    for ring in [false, true] {
+        let label = if ring { "expanding_ring" } else { "full_flood" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    duration_ms: 30_000,
+                    expanding_ring: ring,
+                    ..Default::default()
+                };
+                black_box(Simulator::new(chain(15), vec![(7, 9)], cfg, BENCH_SEED).run())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_loss_sweep(c: &mut Criterion) {
+    // Ablation: radio loss probability vs simulation cost (retries and
+    // recovery inflate the event count as loss grows).
+    let chain: Vec<MovementTrace> = (0..6)
+        .map(|i| {
+            MovementTrace::new(vec![
+                (0, geosocial_geo::Point::new(i as f64 * 800.0, 0.0)),
+                (60, geosocial_geo::Point::new(i as f64 * 800.0, 0.0)),
+            ])
+        })
+        .collect();
+    let mut group = c.benchmark_group("radio_loss");
+    group.sample_size(10);
+    for loss in [0.0_f64, 0.1, 0.3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{loss:.1}")),
+            &loss,
+            |b, &loss| {
+                b.iter(|| {
+                    let cfg = SimConfig {
+                        duration_ms: 30_000,
+                        loss_prob: loss,
+                        ..Default::default()
+                    };
+                    black_box(
+                        Simulator::new(chain.clone(), vec![(0, 5)], cfg, BENCH_SEED).run(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_x1_alpha_beta,
+    bench_x2_detector,
+    bench_generation_stages,
+    bench_manet_scaling,
+    bench_expanding_ring,
+    bench_loss_sweep
+);
+criterion_main!(ablations);

@@ -1,0 +1,77 @@
+//! Benches for Figures 1–6: the matching algorithm and the measurement
+//! analyses built on it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geosocial_bench::{bench_analysis, bench_scenario};
+use geosocial_core::burstiness::burstiness;
+use geosocial_core::classify::ClassifyConfig;
+use geosocial_core::matching::{match_checkins, MatchConfig};
+use geosocial_core::missing::{missing_by_category, top_poi_missing_ratios};
+use geosocial_core::prevalence::{filter_tradeoff, user_compositions};
+use geosocial_core::validate::validate;
+use geosocial_experiments::figures;
+use std::hint::black_box;
+
+fn bench_fig1_matching(c: &mut Criterion) {
+    let sc = bench_scenario();
+    c.bench_function("fig1_match_checkins", |b| {
+        b.iter(|| black_box(match_checkins(black_box(&sc.primary), &MatchConfig::paper())))
+    });
+    // Ablation: α at 100 m vs the paper's 500 m (smaller candidate sets).
+    c.bench_function("fig1_match_alpha100", |b| {
+        let cfg = MatchConfig { alpha_m: 100.0, ..MatchConfig::paper() };
+        b.iter(|| black_box(match_checkins(black_box(&sc.primary), &cfg)))
+    });
+}
+
+fn bench_fig2_validation(c: &mut Criterion) {
+    let a = bench_analysis();
+    c.bench_function("fig2_validate_ks", |b| {
+        b.iter(|| black_box(validate(&a.scenario.primary, &a.scenario.baseline, &a.outcome)))
+    });
+    c.bench_function("fig2_render", |b| b.iter(|| black_box(figures::fig2(&a))));
+}
+
+fn bench_fig3_fig4_missing(c: &mut Criterion) {
+    let a = bench_analysis();
+    c.bench_function("fig3_top_poi_ratios", |b| {
+        b.iter(|| black_box(top_poi_missing_ratios(&a.scenario.primary, &a.outcome, 5)))
+    });
+    c.bench_function("fig4_category_breakdown", |b| {
+        b.iter(|| black_box(missing_by_category(&a.scenario.primary, &a.outcome)))
+    });
+}
+
+fn bench_fig5_fig6_extraneous(c: &mut Criterion) {
+    let a = bench_analysis();
+    c.bench_function("fig5_user_compositions", |b| {
+        b.iter(|| {
+            black_box(user_compositions(
+                &a.scenario.primary,
+                &a.outcome,
+                &ClassifyConfig::default(),
+            ))
+        })
+    });
+    c.bench_function("fig5_filter_tradeoff", |b| {
+        b.iter(|| black_box(filter_tradeoff(&a.compositions)))
+    });
+    c.bench_function("fig6_burstiness", |b| {
+        b.iter(|| {
+            black_box(burstiness(
+                &a.scenario.primary,
+                &a.outcome,
+                &ClassifyConfig::default(),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    figures_bench,
+    bench_fig1_matching,
+    bench_fig2_validation,
+    bench_fig3_fig4_missing,
+    bench_fig5_fig6_extraneous
+);
+criterion_main!(figures_bench);

@@ -1,0 +1,71 @@
+//! Benches for Figure 8: the AODV MANET simulation, per mobility model,
+//! at a reduced but structure-preserving scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geosocial_bench::{bench_analysis, BENCH_SEED};
+use geosocial_experiments::models::{fit_models, random_pairs, training_traces, FittedModels};
+use geosocial_manet::{SimConfig, Simulator};
+use geosocial_mobility::{LevyWalkModel, MovementTrace, RandomWaypoint};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+const NODES: usize = 25;
+const PAIRS: usize = 8;
+const AREA_M: f64 = 4_000.0;
+const DURATION_MS: i64 = 60_000;
+
+fn run_once(model: &LevyWalkModel, seed: u64) -> geosocial_manet::MetricsReport {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let traces: Vec<MovementTrace> = (0..NODES)
+        .map(|_| model.generate(AREA_M, DURATION_MS / 1_000 + 30, &mut rng))
+        .collect();
+    let pairs = random_pairs(NODES, PAIRS, &mut rng);
+    let cfg = SimConfig { duration_ms: DURATION_MS, ..Default::default() };
+    Simulator::new(traces, pairs, cfg, seed).run()
+}
+
+fn fitted() -> FittedModels {
+    let a = bench_analysis();
+    let traces = training_traces(&a.scenario.primary, &a.outcome);
+    fit_models(&traces).expect("bench cohort fits")
+}
+
+fn bench_fig8_per_model(c: &mut Criterion) {
+    let models = fitted();
+    let mut group = c.benchmark_group("fig8_manet");
+    group.sample_size(10);
+    for (label, model) in [
+        ("gps", &models.gps),
+        ("honest_checkin", &models.honest),
+        ("all_checkin", &models.all),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), model, |b, m| {
+            b.iter(|| black_box(run_once(m, BENCH_SEED)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig8_baseline_rwp(c: &mut Criterion) {
+    // Random Waypoint baseline: the model the paper positions geosocial
+    // traces against.
+    let mut group = c.benchmark_group("fig8_manet");
+    group.sample_size(10);
+    group.bench_function("random_waypoint_baseline", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha12Rng::seed_from_u64(BENCH_SEED);
+            let rwp = RandomWaypoint::default();
+            let traces: Vec<MovementTrace> = (0..NODES)
+                .map(|_| rwp.generate(AREA_M, DURATION_MS / 1_000 + 30, &mut rng))
+                .collect();
+            let pairs = random_pairs(NODES, PAIRS, &mut rng);
+            let cfg = SimConfig { duration_ms: DURATION_MS, ..Default::default() };
+            black_box(Simulator::new(traces, pairs, cfg, BENCH_SEED).run())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(manet_bench, bench_fig8_per_model, bench_fig8_baseline_rwp);
+criterion_main!(manet_bench);

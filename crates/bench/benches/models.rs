@@ -1,0 +1,49 @@
+//! Benches for Figure 7: mobility-model training (sample extraction,
+//! Pareto MLE, power-law fit) and Levy Walk generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geosocial_bench::{bench_analysis, BENCH_SEED};
+use geosocial_experiments::models::{fit_models, training_traces};
+use geosocial_stats::{fit_pareto, fit_power_law, Pareto};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+fn bench_fig7_training(c: &mut Criterion) {
+    let a = bench_analysis();
+    c.bench_function("fig7_extract_training_traces", |b| {
+        b.iter(|| black_box(training_traces(&a.scenario.primary, &a.outcome)))
+    });
+    let traces = training_traces(&a.scenario.primary, &a.outcome);
+    c.bench_function("fig7_fit_three_models", |b| {
+        b.iter(|| black_box(fit_models(black_box(&traces))))
+    });
+}
+
+fn bench_fig7_primitives(c: &mut Criterion) {
+    // Pareto MLE over a paper-scale flight sample (~30k flights).
+    let truth = Pareto::new(50.0, 1.4);
+    let sample: Vec<f64> = (0..30_000)
+        .map(|i| truth.inv_cdf((i as f64 + 0.5) / 30_000.0))
+        .collect();
+    c.bench_function("fig7_pareto_mle_30k", |b| {
+        b.iter(|| black_box(fit_pareto(black_box(&sample), 50.0)))
+    });
+    let times: Vec<f64> = sample.iter().map(|d| 2.0 * d.powf(0.6)).collect();
+    c.bench_function("fig7_power_law_fit_30k", |b| {
+        b.iter(|| black_box(fit_power_law(black_box(&sample), black_box(&times))))
+    });
+}
+
+fn bench_levy_generation(c: &mut Criterion) {
+    let a = bench_analysis();
+    let traces = training_traces(&a.scenario.primary, &a.outcome);
+    let models = fit_models(&traces).expect("bench cohort fits");
+    c.bench_function("fig8_generate_one_node_24h", |b| {
+        let mut rng = ChaCha12Rng::seed_from_u64(BENCH_SEED);
+        b.iter(|| black_box(models.gps.generate(10_000.0, 86_400, &mut rng)))
+    });
+}
+
+criterion_group!(models_bench, bench_fig7_training, bench_fig7_primitives, bench_levy_generation);
+criterion_main!(models_bench);

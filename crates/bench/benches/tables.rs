@@ -1,0 +1,40 @@
+//! Benches for Table 1 (dataset statistics) and Table 2 (incentive
+//! correlations): the cost of regenerating each table from a prepared
+//! analysis, and of the underlying primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geosocial_bench::bench_analysis;
+use geosocial_core::incentives::correlation_table;
+use geosocial_experiments::figures;
+use geosocial_stats::pearson;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let a = bench_analysis();
+    c.bench_function("table1_dataset_stats", |b| {
+        b.iter(|| {
+            let p = black_box(&a.scenario.primary).stats();
+            let q = black_box(&a.scenario.baseline).stats();
+            black_box((p, q))
+        })
+    });
+    c.bench_function("table1_render", |b| {
+        b.iter(|| black_box(figures::table1(black_box(&a))))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let a = bench_analysis();
+    c.bench_function("table2_correlations", |b| {
+        b.iter(|| black_box(correlation_table(&a.scenario.primary, &a.compositions)))
+    });
+    // The primitive: Pearson over a cohort-sized vector.
+    let x: Vec<f64> = (0..244).map(|i| (i as f64).sin()).collect();
+    let y: Vec<f64> = (0..244).map(|i| (i as f64).cos()).collect();
+    c.bench_function("table2_pearson_244", |b| {
+        b.iter(|| black_box(pearson(black_box(&x), black_box(&y))))
+    });
+}
+
+criterion_group!(tables, bench_table1, bench_table2);
+criterion_main!(tables);

@@ -1,0 +1,29 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Every bench regenerates a paper artifact (table or figure) at a reduced
+//! but structure-preserving scale, so `cargo bench` doubles as a smoke test
+//! that each experiment still runs end to end. Scales are chosen to keep a
+//! full `cargo bench --workspace` run in minutes.
+
+use geosocial_checkin::scenario::{Scenario, ScenarioConfig};
+use geosocial_experiments::Analysis;
+
+/// The cohort size shared by the table/figure benches.
+pub const BENCH_USERS: u32 = 12;
+
+/// Days per user in the bench cohort.
+pub const BENCH_DAYS: u32 = 7;
+
+/// Deterministic seed for all benches.
+pub const BENCH_SEED: u64 = 8_675_309;
+
+/// One shared analysis fixture (generation + matching + classification).
+pub fn bench_analysis() -> Analysis {
+    Analysis::run(&ScenarioConfig::small(BENCH_USERS, BENCH_DAYS), BENCH_SEED)
+}
+
+/// A raw scenario without the matching pipeline, for benches that measure
+/// the pipeline itself.
+pub fn bench_scenario() -> Scenario {
+    Scenario::generate(&ScenarioConfig::small(BENCH_USERS, BENCH_DAYS), BENCH_SEED)
+}

@@ -1,0 +1,225 @@
+//! User behaviour archetypes.
+//!
+//! §5.2's correlation analysis implies a population mixture: reward-driven
+//! users (badges → remote checkins; mayorships → superfluous checkins),
+//! commuters who check in on the move, and a reward-indifferent majority.
+//! Archetypes make that mixture explicit. The *Baseline* cohort (university
+//! volunteers, §3) is generated with [`Archetype::Volunteer`] only.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Behavioural archetype of a simulated user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Archetype {
+    /// Checks in occasionally when genuinely visiting; never games rewards.
+    /// The baseline cohort is 100% volunteers.
+    Volunteer,
+    /// Ordinary user: moderate honest checkins, occasional extras.
+    Casual,
+    /// Chases badges: many remote checkins at new venues, some superfluous.
+    BadgeHunter,
+    /// Chases mayorships: repeat and superfluous checkins at favorites,
+    /// remote repeats at the contested venue.
+    MayorChaser,
+    /// Checks in habitually while commuting (driveby-prone).
+    Commuter,
+}
+
+impl Archetype {
+    /// Population mixture of the primary cohort (ordinary Foursquare users
+    /// recruited via app stores). Calibrated so the extraneous mix lands
+    /// near the paper's 20/53/17 superfluous/remote/driveby split.
+    pub const PRIMARY_MIX: [(Archetype, f64); 5] = [
+        (Archetype::Volunteer, 0.10),
+        (Archetype::Casual, 0.35),
+        (Archetype::BadgeHunter, 0.25),
+        (Archetype::MayorChaser, 0.15),
+        (Archetype::Commuter, 0.15),
+    ];
+
+    /// Draw an archetype from the primary-cohort mixture.
+    pub fn sample_primary<R: Rng>(rng: &mut R) -> Archetype {
+        let total: f64 = Self::PRIMARY_MIX.iter().map(|(_, w)| w).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for &(a, w) in &Self::PRIMARY_MIX {
+            if x < w {
+                return a;
+            }
+            x -= w;
+        }
+        Archetype::Casual
+    }
+}
+
+/// Per-user behaviour parameters, drawn from the archetype with individual
+/// variation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct UserBehavior {
+    /// The archetype this user was drawn from.
+    pub archetype: Archetype,
+    /// Probability of checking in at a *non-routine* venue visit.
+    pub checkin_prob: f64,
+    /// Probability of checking in at a routine venue (home/office/errands).
+    pub routine_checkin_prob: f64,
+    /// Habituation: per-prior-visit multiplicative decay of checkin
+    /// probability at the same POI ("nobody checks in at their office the
+    /// 40th time").
+    pub habituation: f64,
+    /// Expected number of superfluous checkins fired alongside each honest
+    /// one (geometrically distributed).
+    pub superfluous_mean: f64,
+    /// Rate of remote checkins, events per day.
+    pub remote_rate_per_day: f64,
+    /// Probability of a driveby checkin on each driving trip leg.
+    pub driveby_prob: f64,
+    /// Sociability multiplier; drives the friend count in the profile.
+    pub sociability: f64,
+}
+
+/// Cohort-level knobs: which archetype mixture to draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BehaviorConfig {
+    /// The primary cohort's reward-sensitive mixture.
+    Primary,
+    /// The baseline cohort: volunteers only (§3 — "much less likely to be
+    /// influenced by Foursquare rewards").
+    Baseline,
+}
+
+impl BehaviorConfig {
+    /// Draw one user's behaviour.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> UserBehavior {
+        let archetype = match self {
+            BehaviorConfig::Primary => Archetype::sample_primary(rng),
+            BehaviorConfig::Baseline => Archetype::Volunteer,
+        };
+        UserBehavior::sample(archetype, rng)
+    }
+}
+
+impl UserBehavior {
+    /// Draw individual parameters for `archetype`.
+    pub fn sample<R: Rng>(archetype: Archetype, rng: &mut R) -> UserBehavior {
+        // Helper: uniform jitter around a center, floored at 0.
+        let mut j = |center: f64, spread: f64| -> f64 {
+            (center + rng.gen_range(-spread..=spread)).max(0.0)
+        };
+        match archetype {
+            Archetype::Volunteer => UserBehavior {
+                archetype,
+                checkin_prob: j(0.30, 0.10),
+                routine_checkin_prob: j(0.03, 0.02),
+                habituation: j(0.25, 0.10),
+                superfluous_mean: 0.0,
+                remote_rate_per_day: 0.0,
+                driveby_prob: j(0.01, 0.01),
+                sociability: j(0.6, 0.3),
+            },
+            Archetype::Casual => UserBehavior {
+                archetype,
+                checkin_prob: j(0.32, 0.12),
+                routine_checkin_prob: j(0.04, 0.03),
+                habituation: j(0.25, 0.10),
+                superfluous_mean: j(0.10, 0.06),
+                remote_rate_per_day: j(0.15, 0.12),
+                driveby_prob: j(0.06, 0.03),
+                sociability: j(1.0, 0.4),
+            },
+            Archetype::BadgeHunter => UserBehavior {
+                archetype,
+                checkin_prob: j(0.45, 0.12),
+                routine_checkin_prob: j(0.06, 0.04),
+                habituation: j(0.30, 0.10),
+                superfluous_mean: j(0.55, 0.25),
+                remote_rate_per_day: j(1.8, 0.9),
+                driveby_prob: j(0.05, 0.03),
+                sociability: j(1.4, 0.5),
+            },
+            Archetype::MayorChaser => UserBehavior {
+                archetype,
+                checkin_prob: j(0.50, 0.12),
+                routine_checkin_prob: j(0.10, 0.05),
+                habituation: j(0.05, 0.04),
+                superfluous_mean: j(0.95, 0.4),
+                remote_rate_per_day: j(0.8, 0.5),
+                driveby_prob: j(0.04, 0.02),
+                sociability: j(1.3, 0.5),
+            },
+            Archetype::Commuter => UserBehavior {
+                archetype,
+                checkin_prob: j(0.28, 0.10),
+                routine_checkin_prob: j(0.04, 0.03),
+                habituation: j(0.25, 0.10),
+                superfluous_mean: j(0.05, 0.04),
+                remote_rate_per_day: j(0.10, 0.08),
+                driveby_prob: j(0.60, 0.20),
+                sociability: j(0.9, 0.4),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn primary_mix_sums_to_one() {
+        let total: f64 = Archetype::PRIMARY_MIX.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn primary_sampling_matches_mixture() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(Archetype::sample_primary(&mut rng)).or_insert(0usize) += 1;
+        }
+        for &(a, w) in &Archetype::PRIMARY_MIX {
+            let frac = counts[&a] as f64 / 20_000.0;
+            assert!((frac - w).abs() < 0.02, "{a:?}: {frac} vs {w}");
+        }
+    }
+
+    #[test]
+    fn baseline_users_are_reward_indifferent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..100 {
+            let b = BehaviorConfig::Baseline.sample(&mut rng);
+            assert_eq!(b.archetype, Archetype::Volunteer);
+            assert_eq!(b.superfluous_mean, 0.0);
+            assert_eq!(b.remote_rate_per_day, 0.0);
+        }
+    }
+
+    #[test]
+    fn parameters_are_nonnegative_probabilities() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..500 {
+            let b = BehaviorConfig::Primary.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&b.checkin_prob));
+            assert!((0.0..=1.0).contains(&b.routine_checkin_prob));
+            assert!((0.0..=1.0).contains(&b.driveby_prob));
+            assert!(b.superfluous_mean >= 0.0);
+            assert!(b.remote_rate_per_day >= 0.0);
+            assert!(b.habituation >= 0.0);
+        }
+    }
+
+    #[test]
+    fn badge_hunters_are_remote_heavy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut bh = 0.0;
+        let mut vol = 0.0;
+        for _ in 0..200 {
+            bh += UserBehavior::sample(Archetype::BadgeHunter, &mut rng).remote_rate_per_day;
+            vol += UserBehavior::sample(Archetype::Volunteer, &mut rng).remote_rate_per_day;
+        }
+        assert!(bh / 200.0 > 1.0);
+        assert_eq!(vol, 0.0);
+    }
+}

@@ -1,0 +1,438 @@
+//! Rendering an itinerary into a labeled checkin stream.
+
+use crate::behavior::UserBehavior;
+use geosocial_geo::Point;
+use geosocial_mobility::{Itinerary, TrueStop};
+use geosocial_trace::{
+    Checkin, Poi, PoiId, PoiUniverse, Provenance, Timestamp, DAY, MINUTE,
+};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Speed above which a mid-trip checkin counts as driveby (4 mph, §5.1).
+const DRIVEBY_SPEED_MPS: f64 = 1.78816;
+
+/// Radius within which superfluous checkins pick their nearby victims.
+const SUPERFLUOUS_RADIUS_M: f64 = 400.0;
+
+/// Minimum distance of a remote checkin's POI from the user's true
+/// position. 600 m sits safely beyond the paper's 500 m remote threshold.
+const REMOTE_MIN_DIST_M: f64 = 600.0;
+
+/// Generate the checkin stream for one user.
+///
+/// Every checkin carries its ground-truth [`Provenance`]. The stream is
+/// returned chronologically sorted.
+pub fn simulate_checkins<R: Rng>(
+    itinerary: &Itinerary,
+    universe: &PoiUniverse,
+    behavior: &UserBehavior,
+    rng: &mut R,
+) -> Vec<Checkin> {
+    let Some((start, end)) = itinerary.span() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut visit_counts: HashMap<PoiId, u32> = HashMap::new();
+    let mut checked_pois: Vec<PoiId> = Vec::new();
+
+    // --- Honest + superfluous checkins, per stop -------------------------
+    for stop in &itinerary.stops {
+        let prior = *visit_counts.get(&stop.poi).unwrap_or(&0);
+        *visit_counts.entry(stop.poi).or_insert(0) += 1;
+        if stop.duration() < 4 * MINUTE {
+            continue;
+        }
+        let poi = universe.get(stop.poi);
+        let base = if poi.category.is_routine() {
+            behavior.routine_checkin_prob
+        } else {
+            behavior.checkin_prob
+        };
+        // Habituation: the n-th visit to the same venue is exponentially
+        // less checkin-worthy.
+        let p = base * (1.0 - behavior.habituation).powi(prior as i32);
+        if !rng.gen_bool(p.clamp(0.0, 1.0)) {
+            continue;
+        }
+        let window = stop.duration().min(15 * MINUTE);
+        let t = stop.arrival + rng.gen_range(0..=window);
+        out.push(mk_checkin(t, poi, Provenance::Honest));
+        checked_pois.push(poi.id);
+
+        // Superfluous burst from the same physical spot.
+        let mut t_burst = t;
+        let p_more = behavior.superfluous_mean / (1.0 + behavior.superfluous_mean);
+        let mut fired = 0;
+        while fired < 6 && rng.gen_bool(p_more.clamp(0.0, 0.95)) {
+            t_burst += rng.gen_range(15..70);
+            if t_burst > stop.departure {
+                break;
+            }
+            let nearby = universe.within(poi.location, SUPERFLUOUS_RADIUS_M);
+            // Prefer venues not yet hit this burst; fall back to re-checking
+            // the visited POI itself ("multiple checkins at one location").
+            let victim = nearby
+                .iter()
+                .find(|cand| cand.id != poi.id && !checked_pois.contains(&cand.id))
+                .copied()
+                .unwrap_or(poi);
+            out.push(mk_checkin(t_burst, victim, Provenance::Superfluous));
+            checked_pois.push(victim.id);
+            fired += 1;
+        }
+    }
+
+    // --- Remote checkin sessions -----------------------------------------
+    let days = ((end - start) as f64 / DAY as f64).max(0.1);
+    let n_sessions = poisson_knuth(behavior.remote_rate_per_day * days / 1.6, rng);
+    for _ in 0..n_sessions {
+        let t0 = start + (rng.gen_range(0.0..1.0) * (end - start) as f64) as i64;
+        let here = position_at(itinerary, universe, t0);
+        // Session burst: reward hunting happens in sittings.
+        let burst = 1 + sample_geometric(0.55, 5, rng);
+        let mut t = t0;
+        for _ in 0..burst {
+            let target = pick_remote_poi(universe, here, &checked_pois, behavior, rng);
+            let Some(target) = target else { break };
+            out.push(mk_checkin(t, target, Provenance::Remote));
+            checked_pois.push(target.id);
+            t += rng.gen_range(15..90);
+        }
+    }
+
+    // --- Driveby checkins, per driving leg --------------------------------
+    for legs in itinerary.stops.windows(2) {
+        let (a, b) = (&legs[0], &legs[1]);
+        let leg_t = b.arrival - a.departure;
+        if leg_t < 2 * MINUTE {
+            continue;
+        }
+        let from = universe.projection().to_local(universe.get(a.poi).location);
+        let to = universe.projection().to_local(universe.get(b.poi).location);
+        let speed = from.distance(to) / leg_t as f64;
+        if speed <= DRIVEBY_SPEED_MPS * 1.15 {
+            continue; // walking leg; a checkin here would look honest-ish
+        }
+        if !rng.gen_bool(behavior.driveby_prob.clamp(0.0, 1.0)) {
+            continue;
+        }
+        let frac = rng.gen_range(0.2..0.8);
+        let t = a.departure + (leg_t as f64 * frac) as i64;
+        let pos = from.lerp(to, frac);
+        let loc = universe.projection().to_latlon(pos);
+        if let Some(candidates) = non_empty(universe.within(loc, 450.0)) {
+            let victim = candidates[rng.gen_range(0..candidates.len())];
+            if victim.id != a.poi && victim.id != b.poi {
+                out.push(mk_checkin(t, victim, Provenance::Driveby));
+            }
+        }
+    }
+
+    out.sort_by_key(|c| c.t);
+    out
+}
+
+fn mk_checkin(t: Timestamp, poi: &Poi, provenance: Provenance) -> Checkin {
+    Checkin {
+        t,
+        poi: poi.id,
+        category: poi.category,
+        location: poi.location,
+        provenance: Some(provenance),
+    }
+}
+
+fn non_empty<T>(v: Vec<T>) -> Option<Vec<T>> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+/// The user's true position at time `t`: inside the containing stop, or
+/// interpolated along the travel leg.
+pub fn position_at(itinerary: &Itinerary, universe: &PoiUniverse, t: Timestamp) -> Point {
+    let proj = universe.projection();
+    let stops = &itinerary.stops;
+    debug_assert!(!stops.is_empty());
+    let poi_pos = |s: &TrueStop| proj.to_local(universe.get(s.poi).location);
+    if t <= stops[0].arrival {
+        return poi_pos(&stops[0]);
+    }
+    for w in stops.windows(2) {
+        if t <= w[0].departure {
+            return poi_pos(&w[0]);
+        }
+        if t < w[1].arrival {
+            let frac = (t - w[0].departure) as f64 / (w[1].arrival - w[0].departure) as f64;
+            return poi_pos(&w[0]).lerp(poi_pos(&w[1]), frac);
+        }
+    }
+    poi_pos(stops.last().unwrap())
+}
+
+/// Choose the venue for a remote checkin: far from the user's position;
+/// badge hunters prefer venues they have never checked into (new-venue
+/// badges), mayor chasers re-attack a venue they already frequent.
+fn pick_remote_poi<'u, R: Rng>(
+    universe: &'u PoiUniverse,
+    here: Point,
+    checked: &[PoiId],
+    behavior: &UserBehavior,
+    rng: &mut R,
+) -> Option<&'u Poi> {
+    use crate::behavior::Archetype;
+    // Mayor chasers mostly re-hit their most-checked venue if it is remote.
+    if behavior.archetype == Archetype::MayorChaser && !checked.is_empty() && rng.gen_bool(0.6) {
+        let mut counts: HashMap<PoiId, usize> = HashMap::new();
+        for &p in checked {
+            *counts.entry(p).or_insert(0) += 1;
+        }
+        // Deterministic tie-break: HashMap iteration order varies between
+        // instances, which would silently fork the RNG stream downstream.
+        let (&fav, _) = counts.iter().max_by_key(|(&poi, &c)| (c, std::cmp::Reverse(poi)))?;
+        let poi = universe.get(fav);
+        let d = universe.projection().to_local(poi.location).distance(here);
+        if d >= REMOTE_MIN_DIST_M {
+            return Some(poi);
+        }
+    }
+    // Otherwise: sample random venues until one is far enough (bounded).
+    for _ in 0..64 {
+        let poi = &universe.all()[rng.gen_range(0..universe.len())];
+        let d = universe.projection().to_local(poi.location).distance(here);
+        if d < REMOTE_MIN_DIST_M {
+            continue;
+        }
+        let is_new = !checked.contains(&poi.id);
+        // Badge hunters strongly prefer new venues.
+        if behavior.archetype == Archetype::BadgeHunter && !is_new && rng.gen_bool(0.8) {
+            continue;
+        }
+        return Some(poi);
+    }
+    None
+}
+
+/// Poisson sample via Knuth's product method (adequate for the small means
+/// here; falls back to a normal approximation above 30 to stay O(mean)).
+fn poisson_knuth<R: Rng>(mean: f64, rng: &mut R) -> u32 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        // Normal approximation with continuity correction.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        return (mean + z * mean.sqrt()).round().max(0.0) as u32;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Geometric sample: number of successes with probability `p` before the
+/// first failure, capped at `max`.
+fn sample_geometric<R: Rng>(p: f64, max: u32, rng: &mut R) -> u32 {
+    let mut n = 0;
+    while n < max && rng.gen_bool(p.clamp(0.0, 0.99)) {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{Archetype, BehaviorConfig};
+    use geosocial_mobility::{
+        assign_prefs, generate_city, generate_itinerary, CityConfig, RoutineConfig,
+    };
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(seed: u64, days: u32) -> (PoiUniverse, Itinerary, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let u = generate_city(&CityConfig { n_pois: 1_000, ..Default::default() }, &mut rng);
+        let prefs = assign_prefs(0, &u, &mut rng);
+        let it = generate_itinerary(&prefs, &u, days, &RoutineConfig::default(), &mut rng);
+        (u, it, rng)
+    }
+
+    #[test]
+    fn stream_is_sorted_and_labeled() {
+        let (u, it, mut rng) = setup(41, 14);
+        let b = BehaviorConfig::Primary.sample(&mut rng);
+        let cs = simulate_checkins(&it, &u, &b, &mut rng);
+        assert!(!cs.is_empty());
+        for w in cs.windows(2) {
+            assert!(w[0].t <= w[1].t);
+        }
+        for c in &cs {
+            assert!(c.provenance.is_some());
+            assert_eq!(u.get(c.poi).location, c.location);
+            assert_eq!(u.get(c.poi).category, c.category);
+        }
+    }
+
+    #[test]
+    fn honest_checkins_happen_during_their_stop() {
+        let (u, it, mut rng) = setup(42, 14);
+        let b = BehaviorConfig::Primary.sample(&mut rng);
+        let cs = simulate_checkins(&it, &u, &b, &mut rng);
+        for c in cs.iter().filter(|c| c.provenance == Some(Provenance::Honest)) {
+            let hit = it
+                .stops
+                .iter()
+                .any(|s| s.poi == c.poi && c.t >= s.arrival && c.t <= s.departure);
+            assert!(hit, "honest checkin outside its visit");
+        }
+    }
+
+    #[test]
+    fn remote_checkins_are_genuinely_remote() {
+        let (u, it, mut rng) = setup(43, 14);
+        let b = UserBehavior::sample(Archetype::BadgeHunter, &mut rng);
+        let cs = simulate_checkins(&it, &u, &b, &mut rng);
+        let remotes: Vec<_> = cs
+            .iter()
+            .filter(|c| c.provenance == Some(Provenance::Remote))
+            .collect();
+        assert!(!remotes.is_empty(), "badge hunter produced no remote checkins");
+        for c in remotes {
+            let here = position_at(&it, &u, c.t);
+            let there = u.projection().to_local(c.location);
+            assert!(
+                here.distance(there) >= REMOTE_MIN_DIST_M - 1.0,
+                "remote checkin only {:.0} m away",
+                here.distance(there)
+            );
+        }
+    }
+
+    #[test]
+    fn driveby_checkins_occur_midtrip_at_speed() {
+        let (u, it, mut rng) = setup(44, 20);
+        let b = UserBehavior {
+            driveby_prob: 0.9,
+            ..UserBehavior::sample(Archetype::Commuter, &mut rng)
+        };
+        let cs = simulate_checkins(&it, &u, &b, &mut rng);
+        let drivebys: Vec<_> = cs
+            .iter()
+            .filter(|c| c.provenance == Some(Provenance::Driveby))
+            .collect();
+        assert!(!drivebys.is_empty());
+        for c in drivebys {
+            // The checkin time falls strictly inside a travel leg.
+            let in_leg = it.stops.windows(2).any(|w| {
+                c.t > w[0].departure && c.t < w[1].arrival
+            });
+            assert!(in_leg, "driveby checkin not inside a travel leg");
+        }
+    }
+
+    #[test]
+    fn volunteers_produce_only_honest_and_rare_driveby() {
+        let (u, it, mut rng) = setup(45, 14);
+        let b = BehaviorConfig::Baseline.sample(&mut rng);
+        let cs = simulate_checkins(&it, &u, &b, &mut rng);
+        for c in &cs {
+            assert!(matches!(
+                c.provenance,
+                Some(Provenance::Honest) | Some(Provenance::Driveby)
+            ));
+        }
+    }
+
+    #[test]
+    fn rates_land_in_papers_ballpark() {
+        // Across a small cohort, checkins/user/day ≈ 4.1 in the paper
+        // (14297 / 244 / 14.2); accept a 2–7 band, and require the honest
+        // share to be a minority (paper: 25%).
+        let mut total = 0usize;
+        let mut honest = 0usize;
+        let mut rng = ChaCha8Rng::seed_from_u64(46);
+        let mut user_days = 0.0;
+        for seed in 0..12 {
+            let (u, it, _) = setup(100 + seed, 14);
+            let b = BehaviorConfig::Primary.sample(&mut rng);
+            let cs = simulate_checkins(&it, &u, &b, &mut rng);
+            total += cs.len();
+            honest += cs
+                .iter()
+                .filter(|c| c.provenance == Some(Provenance::Honest))
+                .count();
+            user_days += 14.0;
+        }
+        let per_day = total as f64 / user_days;
+        assert!((1.5..8.0).contains(&per_day), "checkins/user/day = {per_day:.2}");
+        let honest_frac = honest as f64 / total as f64;
+        assert!((0.1..0.5).contains(&honest_frac), "honest share = {honest_frac:.2}");
+    }
+
+    #[test]
+    fn habituation_suppresses_repeat_venues() {
+        let (u, it, mut rng) = setup(47, 28);
+        let b = UserBehavior {
+            habituation: 0.9,
+            checkin_prob: 0.9,
+            routine_checkin_prob: 0.9,
+            superfluous_mean: 0.0,
+            remote_rate_per_day: 0.0,
+            driveby_prob: 0.0,
+            ..BehaviorConfig::Baseline.sample(&mut rng)
+        };
+        let cs = simulate_checkins(&it, &u, &b, &mut rng);
+        // With brutal habituation, no venue collects many checkins even
+        // over 28 days of daily visits.
+        let mut per_poi: HashMap<PoiId, usize> = HashMap::new();
+        for c in &cs {
+            *per_poi.entry(c.poi).or_insert(0) += 1;
+        }
+        let max = per_poi.values().max().copied().unwrap_or(0);
+        assert!(max <= 4, "habituation failed: {max} checkins at one venue");
+    }
+
+    #[test]
+    fn position_at_interpolates_legs() {
+        let (u, it, _) = setup(48, 3);
+        // Mid-leg position lies between the two endpoint venues.
+        let w = it
+            .stops
+            .windows(2)
+            .find(|w| w[1].arrival - w[0].departure >= 4 * MINUTE)
+            .expect("some leg long enough");
+        let mid_t = (w[0].departure + w[1].arrival) / 2;
+        let pos = position_at(&it, &u, mid_t);
+        let a = u.projection().to_local(u.get(w[0].poi).location);
+        let b = u.projection().to_local(u.get(w[1].poi).location);
+        let d_total = a.distance(b);
+        assert!(pos.distance(a) <= d_total + 1.0);
+        assert!(pos.distance(b) <= d_total + 1.0);
+    }
+
+    #[test]
+    fn poisson_mean_is_right() {
+        let mut rng = ChaCha8Rng::seed_from_u64(49);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| poisson_knuth(3.5, &mut rng) as u64).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "got {mean}");
+        assert_eq!(poisson_knuth(0.0, &mut rng), 0);
+        // Large-mean branch.
+        let big: u64 = (0..2_000).map(|_| poisson_knuth(100.0, &mut rng) as u64).sum();
+        let big_mean = big as f64 / 2_000.0;
+        assert!((big_mean - 100.0).abs() < 2.0, "got {big_mean}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the checkin generator: invariants that must hold for
+//! any seed and any behaviour draw.
+
+use geosocial_checkin::{simulate_checkins, BehaviorConfig};
+use geosocial_mobility::{
+    assign_prefs, generate_city, generate_itinerary, CityConfig, RoutineConfig,
+};
+use geosocial_trace::Provenance;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_stream_invariants(seed in 0u64..10_000, days in 3u32..10) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let universe = generate_city(
+            &CityConfig { n_pois: 500, radius_m: 8_000.0, ..Default::default() },
+            &mut rng,
+        );
+        let prefs = assign_prefs(0, &universe, &mut rng);
+        let itinerary = generate_itinerary(&prefs, &universe, days, &RoutineConfig::default(), &mut rng);
+        let behavior = BehaviorConfig::Primary.sample(&mut rng);
+        let checkins = simulate_checkins(&itinerary, &universe, &behavior, &mut rng);
+
+        let (start, end) = itinerary.span().unwrap();
+        for w in checkins.windows(2) {
+            prop_assert!(w[0].t <= w[1].t, "stream not sorted");
+        }
+        for c in &checkins {
+            // Labeled, inside the observation window, at a real venue with
+            // consistent denormalized fields.
+            prop_assert!(c.provenance.is_some());
+            prop_assert!(c.t >= start && c.t <= end, "checkin outside window");
+            let poi = universe.get(c.poi);
+            prop_assert_eq!(poi.category, c.category);
+            prop_assert!(poi.location.haversine_m(c.location) < 0.01);
+        }
+        // Honest checkins always coincide with a stay at their venue.
+        for c in checkins.iter().filter(|c| c.provenance == Some(Provenance::Honest)) {
+            let inside = itinerary
+                .stops
+                .iter()
+                .any(|s| s.poi == c.poi && c.t >= s.arrival && c.t <= s.departure);
+            prop_assert!(inside, "honest checkin with no matching stay");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..10_000) {
+        let run = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let universe = generate_city(
+                &CityConfig { n_pois: 300, radius_m: 6_000.0, ..Default::default() },
+                &mut rng,
+            );
+            let prefs = assign_prefs(0, &universe, &mut rng);
+            let it = generate_itinerary(&prefs, &universe, 4, &RoutineConfig::default(), &mut rng);
+            let b = BehaviorConfig::Primary.sample(&mut rng);
+            simulate_checkins(&it, &universe, &b, &mut rng)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.t, y.t);
+            prop_assert_eq!(x.poi, y.poi);
+            prop_assert_eq!(x.provenance, y.provenance);
+        }
+    }
+
+    #[test]
+    fn baseline_behaviour_never_games_rewards(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let b = BehaviorConfig::Baseline.sample(&mut rng);
+        prop_assert_eq!(b.superfluous_mean, 0.0);
+        prop_assert_eq!(b.remote_rate_per_day, 0.0);
+        prop_assert!(b.driveby_prob <= 0.05);
+    }
+}

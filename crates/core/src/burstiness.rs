@@ -1,0 +1,174 @@
+//! Temporal burstiness of checkins by type (§5.3, Figure 6).
+//!
+//! The paper's key detection insight: honest checkins spread evenly through
+//! the day, while extraneous checkins cluster — 35% arrive within a minute
+//! of the preceding checkin. The inter-arrival time here is measured from
+//! each checkin of a given type to the **previous checkin of any type** by
+//! the same user, which is what makes bursts visible (a superfluous checkin
+//! fired seconds after its honest trigger).
+
+use crate::classify::{classify_extraneous, ClassifyConfig, ExtraneousKind};
+use crate::matching::MatchOutcome;
+use geosocial_trace::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Inter-arrival samples per checkin class, in seconds.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BurstinessSamples {
+    /// Gaps preceding honest checkins.
+    pub honest: Vec<f64>,
+    /// Gaps preceding superfluous checkins.
+    pub superfluous: Vec<f64>,
+    /// Gaps preceding remote checkins.
+    pub remote: Vec<f64>,
+    /// Gaps preceding driveby checkins.
+    pub driveby: Vec<f64>,
+}
+
+impl BurstinessSamples {
+    /// `(label, samples)` rows for the four curves of Figure 6.
+    pub fn rows(&self) -> [(&'static str, &[f64]); 4] {
+        [
+            ("Honest", self.honest.as_slice()),
+            ("Superfluous", self.superfluous.as_slice()),
+            ("Remote", self.remote.as_slice()),
+            ("Driveby", self.driveby.as_slice()),
+        ]
+    }
+
+    /// Fraction of a class's gaps at or below `threshold_s`.
+    pub fn fraction_within(samples: &[f64], threshold_s: f64) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples.iter().filter(|&&g| g <= threshold_s).count() as f64 / samples.len() as f64
+    }
+}
+
+/// Collect per-class inter-arrival samples across the cohort.
+pub fn burstiness(
+    dataset: &Dataset,
+    outcome: &MatchOutcome,
+    cfg: &ClassifyConfig,
+) -> BurstinessSamples {
+    let honest_set: HashMap<_, HashSet<usize>> = {
+        let mut m: HashMap<_, HashSet<usize>> = HashMap::new();
+        for p in &outcome.honest {
+            m.entry(p.checkin.user).or_default().insert(p.checkin.index);
+        }
+        m
+    };
+    let extraneous_set: HashMap<_, HashSet<usize>> = {
+        let mut m: HashMap<_, HashSet<usize>> = HashMap::new();
+        for c in &outcome.extraneous {
+            m.entry(c.user).or_default().insert(c.index);
+        }
+        m
+    };
+
+    let mut out = BurstinessSamples::default();
+    for user in &dataset.users {
+        let honest = honest_set.get(&user.id);
+        let extraneous = extraneous_set.get(&user.id);
+        for i in 1..user.checkins.len() {
+            let gap = (user.checkins[i].t - user.checkins[i - 1].t) as f64;
+            if honest.map(|s| s.contains(&i)).unwrap_or(false) {
+                out.honest.push(gap);
+            } else if extraneous.map(|s| s.contains(&i)).unwrap_or(false) {
+                match classify_extraneous(user, i, cfg) {
+                    ExtraneousKind::Superfluous => out.superfluous.push(gap),
+                    ExtraneousKind::Remote => out.remote.push(gap),
+                    ExtraneousKind::Driveby => out.driveby.push(gap),
+                    ExtraneousKind::Unclassified => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{CheckinRef, MatchedPair, VisitRef};
+    use geosocial_geo::{LatLon, LocalProjection, Point};
+    use geosocial_trace::{
+        Checkin, GpsPoint, GpsTrace, Poi, PoiCategory, PoiUniverse, UserData, UserProfile,
+    };
+
+    /// A user parked at the origin with four checkins: honest at t=600,
+    /// superfluous bursts at t=630 and t=660, remote at t=4000.
+    fn fixture() -> (Dataset, MatchOutcome) {
+        let proj = LocalProjection::new(LatLon::new(34.4, -119.8));
+        let at = |x: f64| proj.to_latlon(Point::new(x, 0.0));
+        let pois = PoiUniverse::new(
+            vec![Poi { id: 0, name: "A".into(), category: PoiCategory::Food, location: at(0.0) }],
+            proj,
+        );
+        let gps = GpsTrace::new(
+            (0..=100).map(|i| GpsPoint { t: i * 60, pos: at(0.0) }).collect(),
+        );
+        let ck = |t: i64, x: f64| Checkin {
+            t,
+            poi: 0,
+            category: PoiCategory::Food,
+            location: at(x),
+            provenance: None,
+        };
+        let user = UserData::new(
+            0,
+            gps,
+            vec![],
+            vec![ck(600, 0.0), ck(630, 100.0), ck(660, 200.0), ck(4_000, 9_000.0)],
+            UserProfile::default(),
+        );
+        let ds = Dataset { name: "F".into(), pois, users: vec![user] };
+        let outcome = MatchOutcome {
+            honest: vec![MatchedPair {
+                checkin: CheckinRef { user: 0, index: 0 },
+                visit: VisitRef { user: 0, index: 0 },
+                distance_m: 0.0,
+                dt_s: 0,
+            }],
+            extraneous: vec![
+                CheckinRef { user: 0, index: 1 },
+                CheckinRef { user: 0, index: 2 },
+                CheckinRef { user: 0, index: 3 },
+            ],
+            missing: vec![],
+            total_checkins: 4,
+            total_visits: 0,
+        };
+        (ds, outcome)
+    }
+
+    #[test]
+    fn per_class_gaps() {
+        let (ds, o) = fixture();
+        let b = burstiness(&ds, &o, &ClassifyConfig::default());
+        // Checkin 0 is honest but has no predecessor → no honest sample.
+        assert!(b.honest.is_empty());
+        assert_eq!(b.superfluous, vec![30.0, 30.0]);
+        assert_eq!(b.remote, vec![3_340.0]);
+        assert!(b.driveby.is_empty());
+    }
+
+    #[test]
+    fn fraction_within_threshold() {
+        let (ds, o) = fixture();
+        let b = burstiness(&ds, &o, &ClassifyConfig::default());
+        assert_eq!(BurstinessSamples::fraction_within(&b.superfluous, 60.0), 1.0);
+        assert_eq!(BurstinessSamples::fraction_within(&b.remote, 60.0), 0.0);
+        assert_eq!(BurstinessSamples::fraction_within(&[], 60.0), 0.0);
+    }
+
+    #[test]
+    fn rows_expose_all_four_classes() {
+        let (ds, o) = fixture();
+        let b = burstiness(&ds, &o, &ClassifyConfig::default());
+        let rows = b.rows();
+        assert_eq!(rows[0].0, "Honest");
+        assert_eq!(rows[1].1.len(), 2);
+    }
+}

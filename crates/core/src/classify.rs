@@ -1,0 +1,273 @@
+//! Typing extraneous checkins from co-temporal GPS evidence (§5.1).
+//!
+//! Given an extraneous checkin at time `t`:
+//!
+//! * the POI is **> 500 m** from the user's GPS position → **remote**
+//!   ("beyond any reasonable GPS or POI location error; the user is clearly
+//!   falsifying her location");
+//! * within 500 m but moving **> 4 mph** → **driveby**;
+//! * within 500 m and slow → **superfluous** (fired from a real physical
+//!   location, at a venue the user is not actually inside);
+//! * no usable GPS evidence at `t` → **unclassified** (the paper's residual
+//!   10%).
+
+use geosocial_geo::mph_to_mps;
+use geosocial_trace::{Provenance, UserData, MINUTE};
+use serde::{Deserialize, Serialize};
+
+/// The §5.1 taxonomy plus the unclassifiable residue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExtraneousKind {
+    /// Extra checkin fired from the user's true location at a venue she is
+    /// not inside (or a repeat at the same venue).
+    Superfluous,
+    /// Checkin at a venue > 500 m from the user's true position.
+    Remote,
+    /// Checkin made while moving above the speed threshold.
+    Driveby,
+    /// No GPS evidence near the checkin time.
+    Unclassified,
+}
+
+impl ExtraneousKind {
+    /// Display label used in result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExtraneousKind::Superfluous => "Superfluous",
+            ExtraneousKind::Remote => "Remote",
+            ExtraneousKind::Driveby => "Driveby",
+            ExtraneousKind::Unclassified => "Unclassified",
+        }
+    }
+
+    /// The generator-side provenance this kind corresponds to, if any.
+    pub fn provenance(self) -> Option<Provenance> {
+        match self {
+            ExtraneousKind::Superfluous => Some(Provenance::Superfluous),
+            ExtraneousKind::Remote => Some(Provenance::Remote),
+            ExtraneousKind::Driveby => Some(Provenance::Driveby),
+            ExtraneousKind::Unclassified => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExtraneousKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classification thresholds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClassifyConfig {
+    /// Distance beyond which a checkin is remote, meters (paper: 500).
+    pub remote_threshold_m: f64,
+    /// Speed above which a checkin is driveby, m/s (paper: 4 mph).
+    pub driveby_speed_mps: f64,
+    /// A GPS fix must exist within this many seconds of the checkin for
+    /// classification to proceed.
+    pub evidence_window_s: i64,
+    /// Maximum gap between the fixes used for the speed estimate.
+    pub speed_gap_s: i64,
+}
+
+impl Default for ClassifyConfig {
+    fn default() -> Self {
+        Self {
+            remote_threshold_m: 500.0,
+            driveby_speed_mps: mph_to_mps(4.0),
+            evidence_window_s: 5 * MINUTE,
+            speed_gap_s: 6 * MINUTE,
+        }
+    }
+}
+
+/// Classify one extraneous checkin of `user` (by index into their stream).
+///
+/// # Panics
+///
+/// Panics if `checkin_idx` is out of bounds — callers pass indices produced
+/// by the matcher over the same `UserData`.
+pub fn classify_extraneous(
+    user: &UserData,
+    checkin_idx: usize,
+    cfg: &ClassifyConfig,
+) -> ExtraneousKind {
+    let c = &user.checkins[checkin_idx];
+    // Usable evidence: a fix within the evidence window.
+    let has_evidence = user
+        .gps
+        .points()
+        .binary_search_by_key(&c.t, |p| p.t)
+        .map(|_| true)
+        .unwrap_or_else(|ins| {
+            let pts = user.gps.points();
+            let near_prev = ins > 0 && c.t - pts[ins - 1].t <= cfg.evidence_window_s;
+            let near_next = ins < pts.len() && pts[ins].t - c.t <= cfg.evidence_window_s;
+            near_prev || near_next
+        });
+    if !has_evidence {
+        return ExtraneousKind::Unclassified;
+    }
+    let Some(pos) = user.gps.position_at(c.t) else {
+        return ExtraneousKind::Unclassified;
+    };
+    let dist = pos.haversine_m(c.location);
+    if dist > cfg.remote_threshold_m {
+        return ExtraneousKind::Remote;
+    }
+    match user.gps.speed_at(c.t, cfg.speed_gap_s) {
+        Some(v) if v > cfg.driveby_speed_mps => ExtraneousKind::Driveby,
+        Some(_) => ExtraneousKind::Superfluous,
+        None => ExtraneousKind::Unclassified,
+    }
+}
+
+/// Counts of each extraneous kind — the §5.1 breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindCounts {
+    /// Superfluous checkins.
+    pub superfluous: usize,
+    /// Remote checkins.
+    pub remote: usize,
+    /// Driveby checkins.
+    pub driveby: usize,
+    /// Unclassified checkins.
+    pub unclassified: usize,
+}
+
+impl KindCounts {
+    /// Total extraneous checkins counted.
+    pub fn total(&self) -> usize {
+        self.superfluous + self.remote + self.driveby + self.unclassified
+    }
+
+    /// Tally one kind.
+    pub fn add(&mut self, kind: ExtraneousKind) {
+        match kind {
+            ExtraneousKind::Superfluous => self.superfluous += 1,
+            ExtraneousKind::Remote => self.remote += 1,
+            ExtraneousKind::Driveby => self.driveby += 1,
+            ExtraneousKind::Unclassified => self.unclassified += 1,
+        }
+    }
+
+    /// Fraction of the total for `kind`.
+    pub fn fraction(&self, kind: ExtraneousKind) -> f64 {
+        let n = match kind {
+            ExtraneousKind::Superfluous => self.superfluous,
+            ExtraneousKind::Remote => self.remote,
+            ExtraneousKind::Driveby => self.driveby,
+            ExtraneousKind::Unclassified => self.unclassified,
+        };
+        if self.total() == 0 {
+            0.0
+        } else {
+            n as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosocial_geo::{LatLon, LocalProjection, Point};
+    use geosocial_trace::{Checkin, GpsPoint, GpsTrace, PoiCategory, UserProfile};
+
+    fn proj() -> LocalProjection {
+        LocalProjection::new(LatLon::new(34.4, -119.8))
+    }
+
+    /// A user parked at x=0 from t=0..1200, then dashing east at 10 m/s.
+    fn user_with(checkins: Vec<Checkin>) -> UserData {
+        let p = proj();
+        let mut pts = Vec::new();
+        for i in 0..=20 {
+            pts.push(GpsPoint { t: i * 60, pos: p.to_latlon(Point::new(0.0, 0.0)) });
+        }
+        for i in 21..=30 {
+            let x = (i - 20) as f64 * 600.0; // 10 m/s
+            pts.push(GpsPoint { t: i * 60, pos: p.to_latlon(Point::new(x, 0.0)) });
+        }
+        UserData::new(0, GpsTrace::new(pts), vec![], checkins, UserProfile::default())
+    }
+
+    fn ck(t: i64, x: f64) -> Checkin {
+        Checkin {
+            t,
+            poi: 0,
+            category: PoiCategory::Food,
+            location: proj().to_latlon(Point::new(x, 0.0)),
+            provenance: None,
+        }
+    }
+
+    #[test]
+    fn nearby_stationary_is_superfluous() {
+        let u = user_with(vec![ck(600, 200.0)]);
+        assert_eq!(
+            classify_extraneous(&u, 0, &ClassifyConfig::default()),
+            ExtraneousKind::Superfluous
+        );
+    }
+
+    #[test]
+    fn far_checkin_is_remote() {
+        let u = user_with(vec![ck(600, 5_000.0)]);
+        assert_eq!(
+            classify_extraneous(&u, 0, &ClassifyConfig::default()),
+            ExtraneousKind::Remote
+        );
+    }
+
+    #[test]
+    fn fast_moving_nearby_is_driveby() {
+        // At t=1500 the user is mid-dash at 10 m/s, position x≈3000.
+        let u = user_with(vec![ck(1_500, 3_100.0)]);
+        assert_eq!(
+            classify_extraneous(&u, 0, &ClassifyConfig::default()),
+            ExtraneousKind::Driveby
+        );
+    }
+
+    #[test]
+    fn checkin_outside_gps_span_is_unclassified() {
+        let u = user_with(vec![ck(100_000, 0.0)]);
+        assert_eq!(
+            classify_extraneous(&u, 0, &ClassifyConfig::default()),
+            ExtraneousKind::Unclassified
+        );
+    }
+
+    #[test]
+    fn boundary_at_exactly_500m_is_not_remote() {
+        let cfg = ClassifyConfig::default();
+        let u = user_with(vec![ck(600, 499.0)]);
+        assert_eq!(classify_extraneous(&u, 0, &cfg), ExtraneousKind::Superfluous);
+        let u2 = user_with(vec![ck(600, 520.0)]);
+        assert_eq!(classify_extraneous(&u2, 0, &cfg), ExtraneousKind::Remote);
+    }
+
+    #[test]
+    fn kind_counts_tally_and_fractions() {
+        let mut k = KindCounts::default();
+        k.add(ExtraneousKind::Remote);
+        k.add(ExtraneousKind::Remote);
+        k.add(ExtraneousKind::Superfluous);
+        k.add(ExtraneousKind::Unclassified);
+        assert_eq!(k.total(), 4);
+        assert_eq!(k.fraction(ExtraneousKind::Remote), 0.5);
+        assert_eq!(k.fraction(ExtraneousKind::Driveby), 0.0);
+        assert_eq!(KindCounts::default().fraction(ExtraneousKind::Remote), 0.0);
+    }
+
+    #[test]
+    fn kind_provenance_mapping() {
+        assert_eq!(
+            ExtraneousKind::Remote.provenance(),
+            Some(Provenance::Remote)
+        );
+        assert_eq!(ExtraneousKind::Unclassified.provenance(), None);
+        assert_eq!(ExtraneousKind::Driveby.label(), "Driveby");
+    }
+}

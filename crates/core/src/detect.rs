@@ -1,0 +1,289 @@
+//! Extraneous-checkin detection (§7's first open problem).
+//!
+//! The paper identifies temporal burstiness as a candidate feature and
+//! leaves the detector as future work. We implement it: a checkin is
+//! flagged when either
+//!
+//! * it arrives within `burst_gap_s` of an adjacent checkin (burst
+//!   evidence — Figure 6's observation that 35% of extraneous checkins
+//!   arrive within a minute), or
+//! * reaching it from an adjacent checkin would require moving faster than
+//!   `implied_speed_mps` (physical impossibility — the signature of remote
+//!   checkins).
+//!
+//! Crucially, the detector sees only the **checkin trace** (no GPS), which
+//! is the realistic deployment setting for trace consumers. Ground-truth
+//! provenance labels from the generator score it.
+
+use geosocial_trace::{Dataset, Provenance, UserData};
+use serde::{Deserialize, Serialize};
+
+/// Detector thresholds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Gap (seconds) below which adjacent checkins count as a burst.
+    pub burst_gap_s: i64,
+    /// Implied travel speed (m/s) above which a checkin pair is physically
+    /// impossible. 45 m/s ≈ 100 mph tolerates highways but not cross-town
+    /// teleports.
+    pub implied_speed_mps: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self { burst_gap_s: 120, implied_speed_mps: 45.0 }
+    }
+}
+
+/// Flag each of `user`'s checkins as suspected-extraneous (`true`) or not.
+///
+/// Operates only on the checkin stream: timestamps and POI coordinates.
+pub fn detect_extraneous(user: &UserData, cfg: &DetectorConfig) -> Vec<bool> {
+    let cs = &user.checkins;
+    let mut flags = vec![false; cs.len()];
+    for i in 1..cs.len() {
+        let gap = cs[i].t - cs[i - 1].t;
+        let dist = cs[i - 1].location.haversine_m(cs[i].location);
+        // Burst evidence taints the *later* event: the first checkin of a
+        // burst is usually the honest trigger (§5.1's superfluous pattern).
+        if gap <= cfg.burst_gap_s {
+            flags[i] = true;
+        }
+        // Speed violations taint both ends — one of the two locations is a
+        // lie, and without GPS we cannot tell which.
+        if gap > 0 && dist / gap as f64 > cfg.implied_speed_mps {
+            flags[i] = true;
+            flags[i - 1] = true;
+        } else if gap == 0 && dist > 1.0 {
+            flags[i] = true;
+            flags[i - 1] = true;
+        }
+    }
+    flags
+}
+
+/// Confusion-matrix counts of a detector run against ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionScore {
+    /// Extraneous checkins correctly flagged.
+    pub true_positives: usize,
+    /// Honest checkins wrongly flagged.
+    pub false_positives: usize,
+    /// Extraneous checkins missed.
+    pub false_negatives: usize,
+    /// Honest checkins correctly passed.
+    pub true_negatives: usize,
+}
+
+impl DetectionScore {
+    /// Precision = TP / (TP + FP); 0 when nothing was flagged.
+    pub fn precision(&self) -> f64 {
+        div(self.true_positives, self.true_positives + self.false_positives)
+    }
+
+    /// Recall = TP / (TP + FN); 0 when there was nothing to find.
+    pub fn recall(&self) -> f64 {
+        div(self.true_positives, self.true_positives + self.false_negatives)
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Merge another score into this one.
+    pub fn merge(&mut self, other: &DetectionScore) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+        self.true_negatives += other.true_negatives;
+    }
+}
+
+fn div(n: usize, d: usize) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Score the detector over a cohort with ground-truth provenance labels.
+///
+/// Checkins without provenance are skipped (nothing to score against).
+pub fn score_detector(dataset: &Dataset, cfg: &DetectorConfig) -> DetectionScore {
+    let mut score = DetectionScore::default();
+    for user in &dataset.users {
+        let flags = detect_extraneous(user, cfg);
+        for (c, &flagged) in user.checkins.iter().zip(&flags) {
+            let Some(prov) = c.provenance else { continue };
+            let is_extraneous = prov != Provenance::Honest;
+            match (is_extraneous, flagged) {
+                (true, true) => score.true_positives += 1,
+                (true, false) => score.false_negatives += 1,
+                (false, true) => score.false_positives += 1,
+                (false, false) => score.true_negatives += 1,
+            }
+        }
+    }
+    score
+}
+
+/// Sweep the burst-gap threshold, returning `(gap, score)` per point —
+/// the precision/recall tradeoff curve of the X2 extension experiment.
+pub fn threshold_sweep(
+    dataset: &Dataset,
+    gaps_s: &[i64],
+    implied_speed_mps: f64,
+) -> Vec<(i64, DetectionScore)> {
+    gaps_s
+        .iter()
+        .map(|&g| {
+            (
+                g,
+                score_detector(dataset, &DetectorConfig { burst_gap_s: g, implied_speed_mps }),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosocial_geo::{LatLon, LocalProjection, Point};
+    use geosocial_trace::{Checkin, GpsTrace, PoiCategory, UserProfile};
+
+    fn proj() -> LocalProjection {
+        LocalProjection::new(LatLon::new(34.4, -119.8))
+    }
+
+    fn ck(t: i64, x: f64, prov: Provenance) -> Checkin {
+        Checkin {
+            t,
+            poi: 0,
+            category: PoiCategory::Food,
+            location: proj().to_latlon(Point::new(x, 0.0)),
+            provenance: Some(prov),
+        }
+    }
+
+    fn user(cks: Vec<Checkin>) -> UserData {
+        UserData::new(0, GpsTrace::default(), vec![], cks, UserProfile::default())
+    }
+
+    #[test]
+    fn bursts_flag_the_later_event() {
+        let u = user(vec![
+            ck(0, 0.0, Provenance::Honest),
+            ck(30, 100.0, Provenance::Superfluous),
+            ck(3_600, 0.0, Provenance::Honest),
+        ]);
+        let flags = detect_extraneous(&u, &DetectorConfig::default());
+        assert_eq!(flags, vec![false, true, false]);
+    }
+
+    #[test]
+    fn speed_violation_flags_both_ends() {
+        // 50 km apart, 10 minutes: 83 m/s.
+        let u = user(vec![
+            ck(0, 0.0, Provenance::Honest),
+            ck(600, 50_000.0, Provenance::Remote),
+        ]);
+        let flags = detect_extraneous(&u, &DetectorConfig::default());
+        assert_eq!(flags, vec![true, true]);
+    }
+
+    #[test]
+    fn plausible_travel_is_not_flagged() {
+        // 5 km in 30 minutes: 2.8 m/s — ordinary.
+        let u = user(vec![
+            ck(0, 0.0, Provenance::Honest),
+            ck(1_800, 5_000.0, Provenance::Honest),
+        ]);
+        let flags = detect_extraneous(&u, &DetectorConfig::default());
+        assert_eq!(flags, vec![false, false]);
+    }
+
+    #[test]
+    fn simultaneous_distant_checkins_flagged() {
+        let u = user(vec![
+            ck(100, 0.0, Provenance::Honest),
+            ck(100, 10_000.0, Provenance::Remote),
+        ]);
+        let flags = detect_extraneous(&u, &DetectorConfig::default());
+        assert_eq!(flags, vec![true, true]);
+    }
+
+    #[test]
+    fn score_counts_confusion_matrix() {
+        let ds = Dataset {
+            name: "T".into(),
+            pois: geosocial_trace::PoiUniverse::new(
+                vec![geosocial_trace::Poi {
+                    id: 0,
+                    name: "A".into(),
+                    category: PoiCategory::Food,
+                    location: LatLon::new(34.4, -119.8),
+                }],
+                proj(),
+            ),
+            users: vec![user(vec![
+                ck(0, 0.0, Provenance::Honest),          // TN
+                ck(30, 100.0, Provenance::Superfluous),  // TP (burst)
+                ck(7_200, 200.0, Provenance::Remote),    // FN (no burst, slow)
+                ck(7_230, 0.0, Provenance::Honest),      // FP (burst-tainted)
+            ])],
+        };
+        let s = score_detector(&ds, &DetectorConfig::default());
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_negatives, 1);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.true_negatives, 1);
+        assert!((s.precision() - 0.5).abs() < 1e-12);
+        assert!((s.recall() - 0.5).abs() < 1e-12);
+        assert!((s.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_scores() {
+        let s = DetectionScore::default();
+        assert_eq!(s.precision(), 0.0);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.f1(), 0.0);
+        let mut a = DetectionScore { true_positives: 1, ..Default::default() };
+        a.merge(&DetectionScore { false_positives: 2, ..Default::default() });
+        assert_eq!(a.true_positives, 1);
+        assert_eq!(a.false_positives, 2);
+    }
+
+    #[test]
+    fn sweep_recall_grows_with_gap() {
+        let ds = Dataset {
+            name: "T".into(),
+            pois: geosocial_trace::PoiUniverse::new(
+                vec![geosocial_trace::Poi {
+                    id: 0,
+                    name: "A".into(),
+                    category: PoiCategory::Food,
+                    location: LatLon::new(34.4, -119.8),
+                }],
+                proj(),
+            ),
+            users: vec![user(vec![
+                ck(0, 0.0, Provenance::Honest),
+                ck(60, 100.0, Provenance::Superfluous),
+                ck(400, 200.0, Provenance::Superfluous),
+                ck(9_000, 0.0, Provenance::Honest),
+            ])],
+        };
+        let sweep = threshold_sweep(&ds, &[30, 120, 600], 45.0);
+        let recalls: Vec<f64> = sweep.iter().map(|(_, s)| s.recall()).collect();
+        assert!(recalls[0] <= recalls[1] && recalls[1] <= recalls[2]);
+        assert_eq!(recalls[2], 1.0);
+    }
+}

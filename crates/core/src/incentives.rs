@@ -1,0 +1,346 @@
+//! Incentive analysis: Table 2's correlations (§5.2).
+//!
+//! For every user, the pipeline computes the ratio of each checkin type
+//! (superfluous, remote, driveby, honest) and correlates those ratios with
+//! the four profile features (friends, badges, mayorships, checkins/day)
+//! using Pearson's coefficient.
+
+use crate::classify::ExtraneousKind;
+use crate::prevalence::UserComposition;
+use geosocial_stats::pearson;
+use geosocial_trace::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Row labels of Table 2.
+pub const CHECKIN_TYPES: [&str; 4] = ["Superfluous", "Remote", "Driveby", "Honest"];
+
+/// Column labels of Table 2.
+pub const FEATURES: [&str; 4] = ["#Friends", "#Badges", "#Mayors", "#Checkins/Day"];
+
+/// Table 2: `values[row][col]` = Pearson correlation of checkin-type `row`'s
+/// per-user ratio against profile feature `col`. `None` where the
+/// correlation is undefined (zero variance).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorrelationTable {
+    /// The 4×4 Pearson correlation matrix (the paper's Table 2 statistic).
+    pub values: [[Option<f64>; 4]; 4],
+    /// Rank-correlation companion: robust to the heavy-tailed profile
+    /// features that can distort Pearson. Same layout as `values`.
+    pub spearman: [[Option<f64>; 4]; 4],
+    /// Number of users that entered the correlation.
+    pub n_users: usize,
+}
+
+impl CorrelationTable {
+    /// Formatted like the paper's Table 2.
+    pub fn render(&self) -> String {
+        Self::render_matrix(&self.values)
+    }
+
+    /// The Spearman companion, same layout.
+    pub fn render_spearman(&self) -> String {
+        Self::render_matrix(&self.spearman)
+    }
+
+    fn render_matrix(values: &[[Option<f64>; 4]; 4]) -> String {
+        let mut s = String::from("Checkin Type  #Friends  #Badges  #Mayors  #Ckin/Day\n");
+        for (r, row) in values.iter().enumerate() {
+            s.push_str(&format!("{:<13}", CHECKIN_TYPES[r]));
+            for v in row {
+                match v {
+                    Some(x) => s.push_str(&format!(" {x:>8.2}")),
+                    None => s.push_str("      n/a"),
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Compute Table 2 from user compositions and the cohort's profiles.
+///
+/// Users with no checkins are excluded (their type ratios are undefined).
+pub fn correlation_table(
+    dataset: &Dataset,
+    compositions: &[UserComposition],
+) -> CorrelationTable {
+    let mut ratios: [Vec<f64>; 4] = Default::default();
+    let mut features: [Vec<f64>; 4] = Default::default();
+    let mut n_users = 0usize;
+    for comp in compositions {
+        if comp.total == 0 {
+            continue;
+        }
+        let user = dataset
+            .users
+            .iter()
+            .find(|u| u.id == comp.user)
+            .expect("composition references cohort user");
+        n_users += 1;
+        ratios[0].push(comp.kind_ratio(ExtraneousKind::Superfluous));
+        ratios[1].push(comp.kind_ratio(ExtraneousKind::Remote));
+        ratios[2].push(comp.kind_ratio(ExtraneousKind::Driveby));
+        ratios[3].push(comp.honest_ratio());
+        features[0].push(user.profile.friends as f64);
+        features[1].push(user.profile.badges as f64);
+        features[2].push(user.profile.mayorships as f64);
+        features[3].push(user.profile.checkins_per_day);
+    }
+    let mut values = [[None; 4]; 4];
+    let mut spearman_values = [[None; 4]; 4];
+    for (r, ratio) in ratios.iter().enumerate() {
+        for (c, feature) in features.iter().enumerate() {
+            values[r][c] = pearson(ratio, feature);
+            spearman_values[r][c] = geosocial_stats::spearman(ratio, feature);
+        }
+    }
+    CorrelationTable { values, spearman: spearman_values, n_users }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosocial_geo::{LatLon, LocalProjection};
+    use geosocial_trace::{
+        GpsTrace, Poi, PoiCategory, PoiUniverse, UserData, UserProfile,
+    };
+
+    fn dataset_with_profiles(profiles: Vec<UserProfile>) -> Dataset {
+        let proj = LocalProjection::new(LatLon::new(0.0, 0.0));
+        let pois = PoiUniverse::new(
+            vec![Poi {
+                id: 0,
+                name: "A".into(),
+                category: PoiCategory::Food,
+                location: LatLon::new(0.0, 0.0),
+            }],
+            proj,
+        );
+        let users = profiles
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| UserData::new(i as u32, GpsTrace::default(), vec![], vec![], p))
+            .collect();
+        Dataset { name: "T".into(), pois, users }
+    }
+
+    fn comp(user: u32, honest: usize, remote: usize) -> UserComposition {
+        UserComposition {
+            user,
+            total: honest + remote,
+            honest,
+            remote,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn remote_ratio_correlates_with_badges() {
+        // Badges grow exactly with remote ratio → correlation 1.
+        let ds = dataset_with_profiles(vec![
+            UserProfile { badges: 0, ..Default::default() },
+            UserProfile { badges: 5, ..Default::default() },
+            UserProfile { badges: 10, ..Default::default() },
+        ]);
+        let comps = vec![comp(0, 10, 0), comp(1, 5, 5), comp(2, 0, 10)];
+        let t = correlation_table(&ds, &comps);
+        assert_eq!(t.n_users, 3);
+        let remote_badges = t.values[1][1].unwrap();
+        assert!((remote_badges - 1.0).abs() < 1e-9, "got {remote_badges}");
+        // Honest ratio is the exact complement → -1.
+        let honest_badges = t.values[3][1].unwrap();
+        assert!((honest_badges + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_feature_yields_none() {
+        // All users identical friends → zero variance → None.
+        let ds = dataset_with_profiles(vec![
+            UserProfile { friends: 7, ..Default::default() },
+            UserProfile { friends: 7, ..Default::default() },
+        ]);
+        let comps = vec![comp(0, 1, 1), comp(1, 2, 0)];
+        let t = correlation_table(&ds, &comps);
+        assert!(t.values[1][0].is_none());
+    }
+
+    #[test]
+    fn zero_checkin_users_excluded() {
+        let ds = dataset_with_profiles(vec![UserProfile::default(), UserProfile::default()]);
+        let comps = vec![comp(0, 0, 0), comp(1, 1, 1)];
+        let t = correlation_table(&ds, &comps);
+        assert_eq!(t.n_users, 1);
+    }
+
+    #[test]
+    fn render_produces_table() {
+        let ds = dataset_with_profiles(vec![
+            UserProfile { badges: 1, friends: 2, mayorships: 0, checkins_per_day: 1.0 },
+            UserProfile { badges: 3, friends: 1, mayorships: 2, checkins_per_day: 2.0 },
+        ]);
+        let comps = vec![comp(0, 2, 1), comp(1, 1, 2)];
+        let t = correlation_table(&ds, &comps);
+        let text = t.render();
+        assert!(text.contains("Superfluous"));
+        assert!(text.contains("#Badges"));
+        assert!(text.lines().count() == 5);
+    }
+}
+
+#[cfg(test)]
+mod spearman_tests {
+    use super::*;
+    use crate::prevalence::UserComposition;
+
+    #[test]
+    fn spearman_matrix_populated_and_monotone_consistent() {
+        use geosocial_geo::{LatLon, LocalProjection};
+        use geosocial_trace::{GpsTrace, Poi, PoiCategory, PoiUniverse, UserData, UserProfile};
+        let proj = LocalProjection::new(LatLon::new(0.0, 0.0));
+        let pois = PoiUniverse::new(
+            vec![Poi { id: 0, name: "A".into(), category: PoiCategory::Food, location: LatLon::new(0.0, 0.0) }],
+            proj,
+        );
+        // Badges grow monotonically (but nonlinearly) with remote ratio.
+        let users: Vec<UserData> = (0..5)
+            .map(|i| {
+                UserData::new(
+                    i,
+                    GpsTrace::default(),
+                    vec![],
+                    vec![],
+                    UserProfile { badges: (i * i) as u32, ..Default::default() },
+                )
+            })
+            .collect();
+        let ds = Dataset { name: "S".into(), pois, users };
+        let comps: Vec<UserComposition> = (0..5)
+            .map(|i| UserComposition {
+                user: i,
+                total: 10,
+                honest: 10 - i as usize * 2,
+                remote: i as usize * 2,
+                ..Default::default()
+            })
+            .collect();
+        let t = correlation_table(&ds, &comps);
+        // Monotone relation → Spearman exactly 1 even though Pearson < 1.
+        let sp = t.spearman[1][1].unwrap();
+        assert!((sp - 1.0).abs() < 1e-9, "spearman {sp}");
+        let pe = t.values[1][1].unwrap();
+        assert!(pe < 1.0, "pearson {pe} should be sub-perfect on x^2");
+        assert!(t.render_spearman().contains("Remote"));
+    }
+}
+
+/// Bootstrap a confidence interval for one Table 2 cell by resampling
+/// users with replacement.
+///
+/// `row` indexes [`CHECKIN_TYPES`], `col` indexes [`FEATURES`]. Returns
+/// `None` when the correlation is undefined in most resamples.
+pub fn correlation_ci(
+    dataset: &Dataset,
+    compositions: &[UserComposition],
+    row: usize,
+    col: usize,
+    reps: u32,
+    seed: u64,
+) -> Option<geosocial_stats::BootstrapCi> {
+    use rand::SeedableRng;
+    assert!(row < 4 && col < 4, "cell ({row},{col}) out of the 4x4 table");
+    // Materialize the per-user (ratio, feature) pairs once.
+    let mut pairs = Vec::new();
+    for comp in compositions {
+        if comp.total == 0 {
+            continue;
+        }
+        let user = dataset
+            .users
+            .iter()
+            .find(|u| u.id == comp.user)
+            .expect("composition references cohort user");
+        let ratio = match row {
+            0 => comp.kind_ratio(ExtraneousKind::Superfluous),
+            1 => comp.kind_ratio(ExtraneousKind::Remote),
+            2 => comp.kind_ratio(ExtraneousKind::Driveby),
+            _ => comp.honest_ratio(),
+        };
+        let feature = match col {
+            0 => user.profile.friends as f64,
+            1 => user.profile.badges as f64,
+            2 => user.profile.mayorships as f64,
+            _ => user.profile.checkins_per_day,
+        };
+        pairs.push((ratio, feature));
+    }
+    if pairs.len() < 3 {
+        return None;
+    }
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+    geosocial_stats::bootstrap_ci(pairs.len(), reps, 0.05, &mut rng, |idx| {
+        let xs: Vec<f64> = idx.iter().map(|&i| pairs[i].0).collect();
+        let ys: Vec<f64> = idx.iter().map(|&i| pairs[i].1).collect();
+        pearson(&xs, &ys)
+    })
+}
+
+#[cfg(test)]
+mod ci_tests {
+    use super::*;
+    use crate::prevalence::UserComposition;
+    use geosocial_geo::{LatLon, LocalProjection};
+    use geosocial_trace::{GpsTrace, Poi, PoiCategory, PoiUniverse, UserData, UserProfile};
+
+    fn cohort(n: u32, noise: bool) -> (Dataset, Vec<UserComposition>) {
+        let proj = LocalProjection::new(LatLon::new(0.0, 0.0));
+        let pois = PoiUniverse::new(
+            vec![Poi { id: 0, name: "A".into(), category: PoiCategory::Food, location: LatLon::new(0.0, 0.0) }],
+            proj,
+        );
+        let users: Vec<UserData> = (0..n)
+            .map(|i| {
+                let badges = if noise { (i * 7919 % 13) as u32 } else { i };
+                UserData::new(
+                    i,
+                    GpsTrace::default(),
+                    vec![],
+                    vec![],
+                    UserProfile { badges, ..Default::default() },
+                )
+            })
+            .collect();
+        let ds = Dataset { name: "C".into(), pois, users };
+        let comps = (0..n)
+            .map(|i| UserComposition {
+                user: i,
+                total: n as usize,
+                remote: i as usize,
+                honest: (n - i) as usize,
+                ..Default::default()
+            })
+            .collect();
+        (ds, comps)
+    }
+
+    #[test]
+    fn strong_correlation_excludes_zero() {
+        let (ds, comps) = cohort(40, false);
+        let ci = correlation_ci(&ds, &comps, 1, 1, 300, 7).unwrap();
+        assert!(ci.lo > 0.8, "{ci:?}");
+        assert!(ci.excludes_zero());
+    }
+
+    #[test]
+    fn noise_correlation_includes_zero() {
+        let (ds, comps) = cohort(40, true);
+        let ci = correlation_ci(&ds, &comps, 1, 1, 300, 7).unwrap();
+        assert!(!ci.excludes_zero() || ci.lo.abs() < 0.4, "{ci:?}");
+    }
+
+    #[test]
+    fn too_few_users_yield_none() {
+        let (ds, comps) = cohort(2, false);
+        assert!(correlation_ci(&ds, &comps, 1, 1, 100, 7).is_none());
+    }
+}

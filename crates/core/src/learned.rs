@@ -1,0 +1,254 @@
+//! A learned extraneous-checkin detector (§7's "perhaps applying machine
+//! learning techniques", implemented).
+//!
+//! Like the rule-based detector in [`crate::detect`], the learned detector
+//! sees **only the checkin trace** — timestamps, POI coordinates and
+//! categories — never the GPS ground truth. Ground-truth provenance labels
+//! (which only a study like the paper's, or a simulator like ours, can
+//! provide) are used solely for training and scoring.
+//!
+//! Features per checkin (all computable by any trace consumer):
+//!
+//! 1. log-gap to the previous checkin,
+//! 2. log-gap to the next checkin,
+//! 3. log-implied-speed from the previous checkin,
+//! 4. log-implied-speed to the next checkin,
+//! 5. hour of day (cyclic, encoded as sin/cos),
+//! 6. whether the venue category is "routine",
+//! 7. the user's overall checkin rate (events/day).
+
+use crate::detect::DetectionScore;
+use geosocial_stats::{fit_logistic, LogisticConfig, LogisticModel};
+use geosocial_trace::{Dataset, Provenance, UserData, DAY, HOUR};
+use serde::{Deserialize, Serialize};
+
+/// Number of features per checkin.
+pub const N_FEATURES: usize = 8;
+
+/// Cap for missing neighbors: one day, in seconds.
+const GAP_CAP_S: f64 = DAY as f64;
+
+/// Compute the feature vector of checkin `idx` in `user`'s stream.
+///
+/// # Panics
+///
+/// Panics if `idx` is out of bounds.
+pub fn checkin_features(user: &UserData, idx: usize) -> [f64; N_FEATURES] {
+    let cs = &user.checkins;
+    let c = &cs[idx];
+    let gap_prev = if idx > 0 {
+        (c.t - cs[idx - 1].t) as f64
+    } else {
+        GAP_CAP_S
+    };
+    let gap_next = if idx + 1 < cs.len() {
+        (cs[idx + 1].t - c.t) as f64
+    } else {
+        GAP_CAP_S
+    };
+    let speed_prev = if idx > 0 && gap_prev > 0.0 {
+        cs[idx - 1].location.haversine_m(c.location) / gap_prev
+    } else {
+        0.0
+    };
+    let speed_next = if idx + 1 < cs.len() && gap_next > 0.0 {
+        c.location.haversine_m(cs[idx + 1].location) / gap_next
+    } else {
+        0.0
+    };
+    let hour = ((c.t.rem_euclid(DAY)) as f64) / HOUR as f64;
+    let angle = hour / 24.0 * std::f64::consts::TAU;
+    let days = user.days().max(
+        ((cs.last().map(|l| l.t).unwrap_or(0) - cs.first().map(|f| f.t).unwrap_or(0)) as f64)
+            / DAY as f64,
+    );
+    let rate = cs.len() as f64 / days.max(0.5);
+    [
+        (gap_prev.min(GAP_CAP_S) + 1.0).ln(),
+        (gap_next.min(GAP_CAP_S) + 1.0).ln(),
+        (speed_prev + 1e-3).ln(),
+        (speed_next + 1e-3).ln(),
+        angle.sin(),
+        angle.cos(),
+        if c.category.is_routine() { 1.0 } else { 0.0 },
+        rate,
+    ]
+}
+
+/// A trained detector plus its decision threshold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LearnedDetector {
+    /// The underlying logistic model.
+    pub model: LogisticModel,
+    /// Probability threshold for flagging a checkin as extraneous.
+    pub threshold: f64,
+}
+
+impl LearnedDetector {
+    /// Train on every provenance-labeled checkin of the given users.
+    ///
+    /// Returns `None` when the labeled data is missing or single-class.
+    pub fn train(users: &[&UserData], cfg: &LogisticConfig, threshold: f64) -> Option<Self> {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for user in users {
+            for (i, c) in user.checkins.iter().enumerate() {
+                let Some(prov) = c.provenance else { continue };
+                xs.push(checkin_features(user, i).to_vec());
+                ys.push(prov != Provenance::Honest);
+            }
+        }
+        let model = fit_logistic(&xs, &ys, cfg)?;
+        Some(Self { model, threshold })
+    }
+
+    /// Flag each checkin of `user` as suspected-extraneous.
+    pub fn detect(&self, user: &UserData) -> Vec<bool> {
+        (0..user.checkins.len())
+            .map(|i| self.model.classify(&checkin_features(user, i), self.threshold))
+            .collect()
+    }
+
+    /// Score against ground truth over the given users (unlabeled checkins
+    /// are skipped).
+    pub fn score(&self, users: &[&UserData]) -> DetectionScore {
+        let mut s = DetectionScore::default();
+        for user in users {
+            let flags = self.detect(user);
+            for (c, &flagged) in user.checkins.iter().zip(&flags) {
+                let Some(prov) = c.provenance else { continue };
+                match (prov != Provenance::Honest, flagged) {
+                    (true, true) => s.true_positives += 1,
+                    (true, false) => s.false_negatives += 1,
+                    (false, true) => s.false_positives += 1,
+                    (false, false) => s.true_negatives += 1,
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Deterministic user-level train/test split: even-indexed users train,
+/// odd-indexed users test. User-level (not checkin-level) splitting avoids
+/// leaking a user's behavioural signature across the boundary.
+pub fn split_users(dataset: &Dataset) -> (Vec<&UserData>, Vec<&UserData>) {
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (i, u) in dataset.users.iter().enumerate() {
+        if i % 2 == 0 {
+            train.push(u);
+        } else {
+            test.push(u);
+        }
+    }
+    (train, test)
+}
+
+/// Train on half the cohort, evaluate on the other half.
+pub fn train_and_evaluate(
+    dataset: &Dataset,
+    cfg: &LogisticConfig,
+    threshold: f64,
+) -> Option<(LearnedDetector, DetectionScore)> {
+    let (train, test) = split_users(dataset);
+    let det = LearnedDetector::train(&train, cfg, threshold)?;
+    let score = det.score(&test);
+    Some((det, score))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosocial_geo::{LatLon, LocalProjection, Point};
+    use geosocial_trace::{Checkin, GpsTrace, PoiCategory, UserProfile};
+
+    fn proj() -> LocalProjection {
+        LocalProjection::new(LatLon::new(34.4, -119.8))
+    }
+
+    fn ck(t: i64, x: f64, prov: Provenance) -> Checkin {
+        Checkin {
+            t,
+            poi: 0,
+            category: PoiCategory::Food,
+            location: proj().to_latlon(Point::new(x, 0.0)),
+            provenance: Some(prov),
+        }
+    }
+
+    /// A user whose honest checkins are hourly and whose extraneous ones
+    /// arrive in 30 s bursts far away — trivially separable.
+    fn synthetic_user(id: u32, n_hours: i64) -> UserData {
+        let mut cks = Vec::new();
+        for h in 0..n_hours {
+            let t = h * 3_600;
+            cks.push(ck(t, 0.0, Provenance::Honest));
+            if h % 3 == 0 {
+                cks.push(ck(t + 30, 50_000.0, Provenance::Remote));
+                cks.push(ck(t + 60, 51_000.0, Provenance::Remote));
+            }
+        }
+        UserData::new(id, GpsTrace::default(), vec![], cks, UserProfile::default())
+    }
+
+    #[test]
+    fn features_have_fixed_dimension_and_are_finite() {
+        let u = synthetic_user(0, 10);
+        for i in 0..u.checkins.len() {
+            let f = checkin_features(&u, i);
+            assert_eq!(f.len(), N_FEATURES);
+            assert!(f.iter().all(|v| v.is_finite()), "non-finite feature at {i}");
+        }
+    }
+
+    #[test]
+    fn learns_the_burst_plus_distance_signature() {
+        let train: Vec<UserData> = (0..4).map(|i| synthetic_user(i, 48)).collect();
+        let test: Vec<UserData> = (10..12).map(|i| synthetic_user(i, 48)).collect();
+        let train_refs: Vec<&UserData> = train.iter().collect();
+        let test_refs: Vec<&UserData> = test.iter().collect();
+        let det = LearnedDetector::train(&train_refs, &LogisticConfig::default(), 0.5)
+            .expect("separable data trains");
+        let s = det.score(&test_refs);
+        assert!(s.recall() > 0.8, "recall {:.2}", s.recall());
+        assert!(s.precision() > 0.8, "precision {:.2}", s.precision());
+    }
+
+    #[test]
+    fn single_class_training_fails_gracefully() {
+        let honest_only = UserData::new(
+            0,
+            GpsTrace::default(),
+            vec![],
+            (0..10).map(|i| ck(i * 3_600, 0.0, Provenance::Honest)).collect(),
+            UserProfile::default(),
+        );
+        let refs = vec![&honest_only];
+        assert!(LearnedDetector::train(&refs, &LogisticConfig::default(), 0.5).is_none());
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let users: Vec<UserData> = (0..7).map(|i| synthetic_user(i, 4)).collect();
+        let ds = Dataset {
+            name: "S".into(),
+            pois: geosocial_trace::PoiUniverse::new(
+                vec![geosocial_trace::Poi {
+                    id: 0,
+                    name: "A".into(),
+                    category: PoiCategory::Food,
+                    location: LatLon::new(34.4, -119.8),
+                }],
+                proj(),
+            ),
+            users,
+        };
+        let (train, test) = split_users(&ds);
+        assert_eq!(train.len() + test.len(), 7);
+        assert_eq!(train.len(), 4);
+        for t in &train {
+            assert!(!test.iter().any(|u| u.id == t.id));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! The paper's contribution: quantifying how well geosocial checkin traces
+//! capture real human mobility.
+//!
+//! Pipeline, in the order the paper presents it:
+//!
+//! 1. [`matching`] — the checkin↔visit matching algorithm of §4.1
+//!    (α = 500 m, β = 30 min), partitioning events into **honest**,
+//!    **extraneous** and **missing** (Figure 1), plus parameter sweeps.
+//! 2. [`classify`] — typing extraneous checkins as **superfluous**,
+//!    **remote** or **driveby** from the co-temporal GPS evidence (§5.1).
+//! 3. [`missing`] — where the missing checkins are: top-n POI concentration
+//!    (Figure 3) and category breakdown (Figure 4) (§4.2).
+//! 4. [`prevalence`] — per-user extraneous ratios (Figure 5) and the
+//!    user-filtering tradeoff (§5.3).
+//! 5. [`burstiness`] — inter-arrival distributions per checkin type
+//!    (Figure 6) (§5.3).
+//! 6. [`incentives`] — Pearson correlations between checkin-type ratios and
+//!    profile features (Table 2) (§5.2).
+//! 7. [`validate`] — trace-level comparisons backing §4.1's claim that
+//!    matched honest checkins behave like the reward-indifferent baseline
+//!    cohort (Figure 2).
+//! 8. [`detect`] — the burstiness-based extraneous-checkin detector the
+//!    paper sketches as future work (§7), with precision/recall scoring
+//!    against ground-truth labels.
+//! 9. [`recover`] — missing-checkin recovery by key-location up-sampling
+//!    (§7's second open problem).
+
+pub mod burstiness;
+pub mod classify;
+pub mod detect;
+pub mod incentives;
+pub mod learned;
+pub mod matching;
+pub mod metrics;
+pub mod missing;
+pub mod prevalence;
+pub mod recover;
+pub mod validate;
+
+pub use classify::{classify_extraneous, ClassifyConfig, ExtraneousKind};
+pub use matching::{match_checkins, MatchConfig, MatchOutcome};

@@ -1,0 +1,385 @@
+//! The checkin↔visit matching algorithm (§4.1).
+//!
+//! For each checkin, find the visits within α meters; among them take the
+//! one with the smallest temporal distance (per the paper's footnote 2:
+//! zero if the checkin falls inside the visit, else distance to the nearer
+//! endpoint); accept if below β. If several checkins claim one visit, the
+//! geographically closest wins and the rest revert to extraneous — the
+//! paper's "at most one matching visit per checkin" rule.
+
+use geosocial_geo::SpatialGrid;
+use geosocial_trace::{Dataset, UserData, UserId, MINUTE};
+use serde::{Deserialize, Serialize};
+
+/// Matching thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchConfig {
+    /// Spatial threshold α, meters.
+    pub alpha_m: f64,
+    /// Temporal threshold β, seconds.
+    pub beta_s: i64,
+}
+
+impl MatchConfig {
+    /// The paper's chosen operating point: α = 500 m, β = 30 min —
+    /// deliberately loose, making match counts an upper bound.
+    pub fn paper() -> Self {
+        Self { alpha_m: 500.0, beta_s: 30 * MINUTE }
+    }
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Reference to one checkin of one user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CheckinRef {
+    /// The owning user.
+    pub user: UserId,
+    /// Index into that user's `checkins`.
+    pub index: usize,
+}
+
+/// Reference to one visit of one user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VisitRef {
+    /// The owning user.
+    pub user: UserId,
+    /// Index into that user's `visits`.
+    pub index: usize,
+}
+
+/// A matched (checkin, visit) pair — an honest checkin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchedPair {
+    /// The honest checkin.
+    pub checkin: CheckinRef,
+    /// The visit it certifies.
+    pub visit: VisitRef,
+    /// Spatial distance between checkin POI and visit centroid, meters.
+    pub distance_m: f64,
+    /// Temporal distance (footnote-2 semantics), seconds.
+    pub dt_s: i64,
+}
+
+/// The three-way partition of Figure 1.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MatchOutcome {
+    /// Checkins with a matching GPS visit.
+    pub honest: Vec<MatchedPair>,
+    /// Checkins with no matching visit.
+    pub extraneous: Vec<CheckinRef>,
+    /// Visits with no matching checkin ("missing checkins").
+    pub missing: Vec<VisitRef>,
+    /// Total checkins examined.
+    pub total_checkins: usize,
+    /// Total visits examined.
+    pub total_visits: usize,
+}
+
+impl MatchOutcome {
+    /// Extraneous share of all checkins (paper: ≈ 75%).
+    pub fn extraneous_ratio(&self) -> f64 {
+        if self.total_checkins == 0 {
+            0.0
+        } else {
+            self.extraneous.len() as f64 / self.total_checkins as f64
+        }
+    }
+
+    /// Missing share of all visits (paper: ≈ 89%).
+    pub fn missing_ratio(&self) -> f64 {
+        if self.total_visits == 0 {
+            0.0
+        } else {
+            self.missing.len() as f64 / self.total_visits as f64
+        }
+    }
+
+    /// Share of visits certified by a checkin (paper: ≈ 10%).
+    pub fn coverage_ratio(&self) -> f64 {
+        if self.total_visits == 0 {
+            0.0
+        } else {
+            self.honest.len() as f64 / self.total_visits as f64
+        }
+    }
+
+    /// Honest pairs belonging to `user`.
+    pub fn honest_of(&self, user: UserId) -> impl Iterator<Item = &MatchedPair> {
+        self.honest.iter().filter(move |p| p.checkin.user == user)
+    }
+
+    /// Extraneous checkins belonging to `user`.
+    pub fn extraneous_of(&self, user: UserId) -> impl Iterator<Item = &CheckinRef> {
+        self.extraneous.iter().filter(move |c| c.user == user)
+    }
+
+    /// Missing visits belonging to `user`.
+    pub fn missing_of(&self, user: UserId) -> impl Iterator<Item = &VisitRef> {
+        self.missing.iter().filter(move |v| v.user == user)
+    }
+}
+
+/// Run the matching algorithm over a whole cohort.
+pub fn match_checkins(dataset: &Dataset, config: &MatchConfig) -> MatchOutcome {
+    let mut out = MatchOutcome::default();
+    for user in &dataset.users {
+        match_user(user, dataset, config, &mut out);
+    }
+    out
+}
+
+fn match_user(user: &UserData, dataset: &Dataset, config: &MatchConfig, out: &mut MatchOutcome) {
+    let proj = dataset.pois.projection();
+    out.total_checkins += user.checkins.len();
+    out.total_visits += user.visits.len();
+
+    // Spatial index over this user's visit centroids.
+    let mut grid = SpatialGrid::new(config.alpha_m.max(1.0));
+    for (vi, v) in user.visits.iter().enumerate() {
+        grid.insert(proj.to_local(v.centroid), vi);
+    }
+
+    // Step 1+2: best visit candidate per checkin.
+    // candidate[ci] = (visit index, dt, distance)
+    let mut candidates: Vec<Option<(usize, i64, f64)>> = Vec::with_capacity(user.checkins.len());
+    for c in &user.checkins {
+        let cpos = proj.to_local(c.location);
+        let best = grid
+            .query_radius_with_pos(cpos, config.alpha_m)
+            .map(|(vpos, vi)| {
+                let dt = user.visits[vi].time_distance(c.t);
+                (vi, dt, vpos.distance(cpos))
+            })
+            // Closest in time; ties by distance, then lowest index, for
+            // determinism.
+            .min_by(|a, b| (a.1, a.2, a.0).partial_cmp(&(b.1, b.2, b.0)).expect("no NaN"))
+            .filter(|&(_, dt, _)| dt < config.beta_s);
+        candidates.push(best);
+    }
+
+    // Dedup: one checkin per visit, geographically closest wins.
+    let mut winner: Vec<Option<(usize, f64)>> = vec![None; user.visits.len()]; // visit -> (checkin, dist)
+    for (ci, cand) in candidates.iter().enumerate() {
+        if let Some((vi, _, d)) = cand {
+            match winner[*vi] {
+                Some((_, best_d)) if best_d <= *d => {}
+                _ => winner[*vi] = Some((ci, *d)),
+            }
+        }
+    }
+
+    let mut matched_checkin = vec![false; user.checkins.len()];
+    for (vi, w) in winner.iter().enumerate() {
+        if let Some((ci, d)) = w {
+            matched_checkin[*ci] = true;
+            out.honest.push(MatchedPair {
+                checkin: CheckinRef { user: user.id, index: *ci },
+                visit: VisitRef { user: user.id, index: vi },
+                distance_m: *d,
+                dt_s: user.visits[vi].time_distance(user.checkins[*ci].t),
+            });
+        }
+    }
+    for (ci, m) in matched_checkin.iter().enumerate() {
+        if !m {
+            out.extraneous.push(CheckinRef { user: user.id, index: ci });
+        }
+    }
+    for (vi, w) in winner.iter().enumerate() {
+        if w.is_none() {
+            out.missing.push(VisitRef { user: user.id, index: vi });
+        }
+    }
+}
+
+/// One cell of an α/β sensitivity sweep.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Spatial threshold used, meters.
+    pub alpha_m: f64,
+    /// Temporal threshold used, seconds.
+    pub beta_s: i64,
+    /// Honest checkin count at this operating point.
+    pub honest: usize,
+    /// Extraneous share of checkins.
+    pub extraneous_ratio: f64,
+    /// Missing share of visits.
+    pub missing_ratio: f64,
+}
+
+/// Sweep the matcher over a grid of thresholds (§4.1: "we have experimented
+/// with a range of α and β values").
+pub fn sweep(dataset: &Dataset, alphas_m: &[f64], betas_s: &[i64]) -> Vec<SweepPoint> {
+    let mut out = Vec::with_capacity(alphas_m.len() * betas_s.len());
+    for &alpha_m in alphas_m {
+        for &beta_s in betas_s {
+            let o = match_checkins(dataset, &MatchConfig { alpha_m, beta_s });
+            out.push(SweepPoint {
+                alpha_m,
+                beta_s,
+                honest: o.honest.len(),
+                extraneous_ratio: o.extraneous_ratio(),
+                missing_ratio: o.missing_ratio(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosocial_geo::{LatLon, LocalProjection, Point};
+    use geosocial_trace::{
+        Checkin, GpsTrace, Poi, PoiCategory, PoiUniverse, UserProfile, Visit,
+    };
+
+    /// Hand-built dataset: POIs on a line, visits and checkins placed to
+    /// exercise each rule.
+    fn fixture() -> Dataset {
+        let proj = LocalProjection::new(LatLon::new(34.4, -119.8));
+        let at = |x: f64| proj.to_latlon(Point::new(x, 0.0));
+        let pois = PoiUniverse::new(
+            vec![
+                Poi { id: 0, name: "A".into(), category: PoiCategory::Food, location: at(0.0) },
+                Poi { id: 1, name: "B".into(), category: PoiCategory::Shop, location: at(300.0) },
+                Poi { id: 2, name: "C".into(), category: PoiCategory::Arts, location: at(5_000.0) },
+            ],
+            proj,
+        );
+        let visit = |x: f64, start: i64, end: i64| Visit {
+            start,
+            end,
+            centroid: at(x),
+            poi: None,
+        };
+        let ck = |x: f64, t: i64, poi: u32| Checkin {
+            t,
+            poi,
+            category: PoiCategory::Food,
+            location: at(x),
+            provenance: None,
+        };
+        let users = vec![UserData::new(
+            0,
+            GpsTrace::default(),
+            vec![
+                visit(0.0, 1_000, 2_000),    // v0: matched by c0
+                visit(5_000.0, 10_000, 11_000), // v1: nobody close in time
+                visit(0.0, 50_000, 52_000),  // v2: contested by c2 and c3
+            ],
+            vec![
+                ck(10.0, 1_500, 0),    // c0: inside v0 → honest
+                ck(5_010.0, 20_000, 2), // c1: near v1 but 9000 s late → extraneous
+                ck(250.0, 50_500, 1),  // c2: 250 m from v2, inside window
+                ck(20.0, 50_600, 0),   // c3: 20 m from v2 → wins the dedup
+            ],
+            UserProfile::default(),
+        )];
+        Dataset { name: "Fixture".into(), pois, users }
+    }
+
+    #[test]
+    fn partition_is_complete_and_disjoint() {
+        let ds = fixture();
+        let o = match_checkins(&ds, &MatchConfig::paper());
+        assert_eq!(o.total_checkins, 4);
+        assert_eq!(o.total_visits, 3);
+        assert_eq!(o.honest.len() + o.extraneous.len(), o.total_checkins);
+        // Visits: matched + missing == total.
+        let matched_visits: std::collections::HashSet<_> =
+            o.honest.iter().map(|p| p.visit).collect();
+        assert_eq!(matched_visits.len() + o.missing.len(), o.total_visits);
+    }
+
+    #[test]
+    fn inside_visit_matches_with_zero_dt() {
+        let ds = fixture();
+        let o = match_checkins(&ds, &MatchConfig::paper());
+        let pair = o
+            .honest
+            .iter()
+            .find(|p| p.checkin.index == 0)
+            .expect("c0 honest");
+        assert_eq!(pair.visit.index, 0);
+        assert_eq!(pair.dt_s, 0);
+        assert!(pair.distance_m < 15.0);
+    }
+
+    #[test]
+    fn beta_rejects_late_checkins() {
+        let ds = fixture();
+        let o = match_checkins(&ds, &MatchConfig::paper());
+        // c1 is spatially perfect but 9_000 s after v1's end (> 1800 s).
+        assert!(o.extraneous.iter().any(|c| c.index == 1));
+        assert!(o.missing.iter().any(|v| v.index == 1));
+    }
+
+    #[test]
+    fn dedup_prefers_geographically_closest() {
+        let ds = fixture();
+        let o = match_checkins(&ds, &MatchConfig::paper());
+        let pair = o
+            .honest
+            .iter()
+            .find(|p| p.visit.index == 2)
+            .expect("v2 matched");
+        assert_eq!(pair.checkin.index, 3, "the 20 m checkin beats the 250 m one");
+        assert!(o.extraneous.iter().any(|c| c.index == 2));
+    }
+
+    #[test]
+    fn tight_alpha_rejects_distant_checkins() {
+        let ds = fixture();
+        let o = match_checkins(&ds, &MatchConfig { alpha_m: 100.0, beta_s: 30 * MINUTE });
+        // c2 (250 m away) can no longer be a candidate anywhere.
+        assert!(o.honest.iter().all(|p| p.distance_m <= 100.0));
+    }
+
+    #[test]
+    fn ratios_sum_consistently() {
+        let ds = fixture();
+        let o = match_checkins(&ds, &MatchConfig::paper());
+        let honest_ratio = o.honest.len() as f64 / o.total_checkins as f64;
+        assert!((honest_ratio + o.extraneous_ratio() - 1.0).abs() < 1e-12);
+        assert!((o.coverage_ratio() + o.missing_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_alpha() {
+        let ds = fixture();
+        let pts = sweep(&ds, &[50.0, 200.0, 500.0, 2_000.0], &[30 * MINUTE]);
+        for w in pts.windows(2) {
+            assert!(
+                w[0].honest <= w[1].honest,
+                "looser alpha can only add matches"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_beta() {
+        let ds = fixture();
+        let pts = sweep(&ds, &[500.0], &[5 * MINUTE, 30 * MINUTE, 120 * MINUTE]);
+        for w in pts.windows(2) {
+            assert!(w[0].honest <= w[1].honest, "looser beta can only add matches");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_outcome() {
+        let ds = Dataset { name: "E".into(), pois: fixture().pois, users: vec![] };
+        let o = match_checkins(&ds, &MatchConfig::paper());
+        assert_eq!(o.total_checkins, 0);
+        assert_eq!(o.extraneous_ratio(), 0.0);
+        assert_eq!(o.missing_ratio(), 0.0);
+        assert_eq!(o.coverage_ratio(), 0.0);
+    }
+
+    use geosocial_trace::UserData;
+}

@@ -1,0 +1,199 @@
+//! Where the missing checkins are (§4.2, Figures 3 and 4).
+
+use crate::matching::MatchOutcome;
+use geosocial_trace::{Dataset, PoiCategory, PoiId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-user ratio of missing checkins attributable to the user's top-n most
+/// visited POIs, for each n in `1..=n_max` (the Figure 3 family of CDFs).
+///
+/// Returns `ratios[n-1]` = one value per user (users with no missing
+/// checkins or no POI-snapped visits are skipped, since the ratio is
+/// undefined for them).
+pub fn top_poi_missing_ratios(
+    dataset: &Dataset,
+    outcome: &MatchOutcome,
+    n_max: usize,
+) -> Vec<Vec<f64>> {
+    assert!(n_max >= 1, "need at least top-1");
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); n_max];
+    for user in &dataset.users {
+        // Visit counts per POI (all visits, not only missing ones): the
+        // paper ranks by overall visit frequency.
+        let mut visit_counts: HashMap<PoiId, usize> = HashMap::new();
+        for v in &user.visits {
+            if let Some(poi) = v.poi {
+                *visit_counts.entry(poi).or_insert(0) += 1;
+            }
+        }
+        if visit_counts.is_empty() {
+            continue;
+        }
+        let mut ranked: Vec<(PoiId, usize)> = visit_counts.into_iter().collect();
+        ranked.sort_by_key(|&(poi, c)| (std::cmp::Reverse(c), poi));
+
+        // Missing visits per POI for this user.
+        let mut missing_at: HashMap<PoiId, usize> = HashMap::new();
+        let mut total_missing = 0usize;
+        for vref in outcome.missing_of(user.id) {
+            total_missing += 1;
+            if let Some(poi) = user.visits[vref.index].poi {
+                *missing_at.entry(poi).or_insert(0) += 1;
+            }
+        }
+        if total_missing == 0 {
+            continue;
+        }
+        let mut cum = 0usize;
+        for (n, &(poi, _)) in ranked.iter().take(n_max).enumerate() {
+            cum += missing_at.get(&poi).copied().unwrap_or(0);
+            ratios[n].push(cum as f64 / total_missing as f64);
+        }
+        // Users with fewer than n_max distinct POIs contribute their final
+        // cumulative ratio to the remaining n levels.
+        for n in ranked.len().min(n_max)..n_max {
+            ratios[n].push(cum as f64 / total_missing as f64);
+        }
+    }
+    ratios
+}
+
+/// The Figure 4 breakdown: fraction of missing checkins per POI category.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CategoryBreakdown {
+    /// Missing-checkin count per category, indexed by
+    /// [`PoiCategory::index`].
+    pub counts: [usize; 9],
+    /// Missing visits that snapped to no POI (excluded from fractions).
+    pub unsnapped: usize,
+}
+
+impl CategoryBreakdown {
+    /// Fraction of category-attributable missing checkins in `cat`.
+    pub fn fraction(&self, cat: PoiCategory) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[cat.index()] as f64 / total as f64
+        }
+    }
+
+    /// `(category, fraction)` rows in Figure 4's display order.
+    pub fn rows(&self) -> Vec<(PoiCategory, f64)> {
+        PoiCategory::ALL.iter().map(|&c| (c, self.fraction(c))).collect()
+    }
+}
+
+/// Group the missing visits by POI category.
+pub fn missing_by_category(dataset: &Dataset, outcome: &MatchOutcome) -> CategoryBreakdown {
+    let mut counts = [0usize; 9];
+    let mut unsnapped = 0usize;
+    for user in &dataset.users {
+        for vref in outcome.missing_of(user.id) {
+            match user.visits[vref.index].poi {
+                Some(poi) => counts[dataset.pois.get(poi).category.index()] += 1,
+                None => unsnapped += 1,
+            }
+        }
+    }
+    CategoryBreakdown { counts, unsnapped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{match_checkins, MatchConfig};
+    use geosocial_geo::{LatLon, LocalProjection, Point};
+    use geosocial_trace::{
+        Dataset, GpsTrace, Poi, PoiUniverse, UserData, UserProfile, Visit, MINUTE,
+    };
+
+    /// One user, visits only (no checkins): everything is missing.
+    fn fixture() -> Dataset {
+        let proj = LocalProjection::new(LatLon::new(34.4, -119.8));
+        let at = |x: f64| proj.to_latlon(Point::new(x, 0.0));
+        let pois = PoiUniverse::new(
+            vec![
+                Poi { id: 0, name: "Home".into(), category: PoiCategory::Residence, location: at(0.0) },
+                Poi { id: 1, name: "Work".into(), category: PoiCategory::Professional, location: at(2_000.0) },
+                Poi { id: 2, name: "Bar".into(), category: PoiCategory::Nightlife, location: at(4_000.0) },
+            ],
+            proj,
+        );
+        let visit = |poi: u32, x: f64, day: i64| Visit {
+            start: day * 86_400,
+            end: day * 86_400 + 10 * MINUTE,
+            centroid: at(x),
+            poi: Some(poi),
+        };
+        // Home 4 visits, work 2, bar 1.
+        let visits = vec![
+            visit(0, 0.0, 0),
+            visit(0, 0.0, 1),
+            visit(0, 0.0, 2),
+            visit(0, 0.0, 3),
+            visit(1, 2_000.0, 4),
+            visit(1, 2_000.0, 5),
+            visit(2, 4_000.0, 6),
+        ];
+        let users = vec![UserData::new(
+            0,
+            GpsTrace::default(),
+            visits,
+            vec![],
+            UserProfile::default(),
+        )];
+        Dataset { name: "F".into(), pois, users }
+    }
+
+    #[test]
+    fn top_poi_concentration_is_cumulative() {
+        let ds = fixture();
+        let o = match_checkins(&ds, &MatchConfig::paper());
+        assert_eq!(o.missing.len(), 7);
+        let ratios = top_poi_missing_ratios(&ds, &o, 3);
+        // Home holds 4/7, home+work 6/7, +bar 7/7.
+        assert!((ratios[0][0] - 4.0 / 7.0).abs() < 1e-12);
+        assert!((ratios[1][0] - 6.0 / 7.0).abs() < 1e-12);
+        assert!((ratios[2][0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_pois_than_n_extends_final_ratio() {
+        let ds = fixture();
+        let o = match_checkins(&ds, &MatchConfig::paper());
+        let ratios = top_poi_missing_ratios(&ds, &o, 5);
+        // Only 3 distinct POIs: top-4 and top-5 repeat the 100%.
+        assert_eq!(ratios[3], vec![1.0]);
+        assert_eq!(ratios[4], vec![1.0]);
+    }
+
+    #[test]
+    fn category_breakdown_counts() {
+        let ds = fixture();
+        let o = match_checkins(&ds, &MatchConfig::paper());
+        let b = missing_by_category(&ds, &o);
+        assert_eq!(b.counts[PoiCategory::Residence.index()], 4);
+        assert_eq!(b.counts[PoiCategory::Professional.index()], 2);
+        assert_eq!(b.counts[PoiCategory::Nightlife.index()], 1);
+        assert_eq!(b.unsnapped, 0);
+        assert!((b.fraction(PoiCategory::Residence) - 4.0 / 7.0).abs() < 1e-12);
+        let rows = b.rows();
+        assert_eq!(rows.len(), 9);
+        let sum: f64 = rows.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_outcome_produces_no_ratios() {
+        let ds = Dataset { name: "E".into(), pois: fixture().pois, users: vec![] };
+        let o = match_checkins(&ds, &MatchConfig::paper());
+        let ratios = top_poi_missing_ratios(&ds, &o, 5);
+        assert!(ratios.iter().all(Vec::is_empty));
+        let b = missing_by_category(&ds, &o);
+        assert_eq!(b.counts.iter().sum::<usize>(), 0);
+        assert_eq!(b.fraction(PoiCategory::Food), 0.0);
+    }
+}

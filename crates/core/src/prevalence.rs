@@ -1,0 +1,210 @@
+//! Per-user prevalence of extraneous checkins (§5.3, Figure 5) and the
+//! user-filtering tradeoff.
+
+use crate::classify::{classify_extraneous, ClassifyConfig, ExtraneousKind};
+use crate::matching::MatchOutcome;
+use geosocial_trace::{Dataset, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One user's checkin composition.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct UserComposition {
+    /// The user.
+    pub user: UserId,
+    /// Total checkins.
+    pub total: usize,
+    /// Honest (matched) checkins.
+    pub honest: usize,
+    /// Superfluous extraneous checkins.
+    pub superfluous: usize,
+    /// Remote extraneous checkins.
+    pub remote: usize,
+    /// Driveby extraneous checkins.
+    pub driveby: usize,
+    /// Unclassified extraneous checkins.
+    pub unclassified: usize,
+}
+
+impl UserComposition {
+    /// All extraneous checkins.
+    pub fn extraneous(&self) -> usize {
+        self.total - self.honest
+    }
+
+    /// Extraneous share of the user's checkins (0 when the user has none).
+    pub fn extraneous_ratio(&self) -> f64 {
+        ratio(self.extraneous(), self.total)
+    }
+
+    /// Share of a specific extraneous kind.
+    pub fn kind_ratio(&self, kind: ExtraneousKind) -> f64 {
+        let n = match kind {
+            ExtraneousKind::Superfluous => self.superfluous,
+            ExtraneousKind::Remote => self.remote,
+            ExtraneousKind::Driveby => self.driveby,
+            ExtraneousKind::Unclassified => self.unclassified,
+        };
+        ratio(n, self.total)
+    }
+
+    /// Honest share of the user's checkins.
+    pub fn honest_ratio(&self) -> f64 {
+        ratio(self.honest, self.total)
+    }
+}
+
+fn ratio(n: usize, d: usize) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Compute every user's checkin composition by classifying each extraneous
+/// checkin against the GPS evidence.
+pub fn user_compositions(
+    dataset: &Dataset,
+    outcome: &MatchOutcome,
+    cfg: &ClassifyConfig,
+) -> Vec<UserComposition> {
+    let mut by_user: HashMap<UserId, UserComposition> = dataset
+        .users
+        .iter()
+        .map(|u| {
+            (
+                u.id,
+                UserComposition { user: u.id, total: u.checkins.len(), ..Default::default() },
+            )
+        })
+        .collect();
+    for pair in &outcome.honest {
+        if let Some(c) = by_user.get_mut(&pair.checkin.user) {
+            c.honest += 1;
+        }
+    }
+    let user_by_id: HashMap<UserId, &geosocial_trace::UserData> =
+        dataset.users.iter().map(|u| (u.id, u)).collect();
+    for cref in &outcome.extraneous {
+        let user = user_by_id[&cref.user];
+        let kind = classify_extraneous(user, cref.index, cfg);
+        let comp = by_user.get_mut(&cref.user).expect("known user");
+        match kind {
+            ExtraneousKind::Superfluous => comp.superfluous += 1,
+            ExtraneousKind::Remote => comp.remote += 1,
+            ExtraneousKind::Driveby => comp.driveby += 1,
+            ExtraneousKind::Unclassified => comp.unclassified += 1,
+        }
+    }
+    let mut out: Vec<UserComposition> = by_user.into_values().collect();
+    out.sort_by_key(|c| c.user);
+    out
+}
+
+/// One point of the user-filtering tradeoff curve.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FilterPoint {
+    /// Users removed so far (those with the highest extraneous counts).
+    pub users_removed: usize,
+    /// Fraction of all extraneous checkins eliminated.
+    pub extraneous_removed: f64,
+    /// Fraction of all honest checkins lost as collateral.
+    pub honest_lost: f64,
+}
+
+/// The §5.3 tradeoff: remove users in descending order of extraneous-checkin
+/// count and track how much honest data goes with them. The paper's
+/// headline: eliminating the users behind 80% of extraneous checkins also
+/// discards 53% of honest checkins.
+pub fn filter_tradeoff(compositions: &[UserComposition]) -> Vec<FilterPoint> {
+    let total_extraneous: usize = compositions.iter().map(|c| c.extraneous()).sum();
+    let total_honest: usize = compositions.iter().map(|c| c.honest).sum();
+    let mut order: Vec<&UserComposition> = compositions.iter().collect();
+    order.sort_by_key(|c| std::cmp::Reverse(c.extraneous()));
+
+    let mut out = Vec::with_capacity(order.len() + 1);
+    let mut ext_cum = 0usize;
+    let mut hon_cum = 0usize;
+    out.push(FilterPoint { users_removed: 0, extraneous_removed: 0.0, honest_lost: 0.0 });
+    for (i, c) in order.iter().enumerate() {
+        ext_cum += c.extraneous();
+        hon_cum += c.honest;
+        out.push(FilterPoint {
+            users_removed: i + 1,
+            extraneous_removed: ratio(ext_cum, total_extraneous),
+            honest_lost: ratio(hon_cum, total_honest),
+        });
+    }
+    out
+}
+
+/// Honest loss at the point where `target` of extraneous checkins has been
+/// removed (linear scan of the tradeoff curve). Returns `None` if the
+/// target is never reached (no extraneous checkins at all).
+pub fn honest_loss_at(curve: &[FilterPoint], target: f64) -> Option<f64> {
+    curve
+        .iter()
+        .find(|p| p.extraneous_removed >= target)
+        .map(|p| p.honest_lost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp(user: UserId, honest: usize, remote: usize) -> UserComposition {
+        UserComposition {
+            user,
+            total: honest + remote,
+            honest,
+            remote,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ratios_are_consistent() {
+        let c = comp(0, 2, 6);
+        assert_eq!(c.extraneous(), 6);
+        assert!((c.extraneous_ratio() - 0.75).abs() < 1e-12);
+        assert!((c.honest_ratio() - 0.25).abs() < 1e-12);
+        assert!((c.kind_ratio(ExtraneousKind::Remote) - 0.75).abs() < 1e-12);
+        assert_eq!(c.kind_ratio(ExtraneousKind::Driveby), 0.0);
+        // Zero-checkin user.
+        let z = UserComposition::default();
+        assert_eq!(z.extraneous_ratio(), 0.0);
+        assert_eq!(z.honest_ratio(), 0.0);
+    }
+
+    #[test]
+    fn tradeoff_removes_worst_users_first() {
+        let comps = vec![comp(0, 10, 0), comp(1, 5, 20), comp(2, 1, 5)];
+        let curve = filter_tradeoff(&comps);
+        assert_eq!(curve.len(), 4);
+        assert_eq!(curve[0].users_removed, 0);
+        // First removed: user 1 (20 extraneous).
+        assert!((curve[1].extraneous_removed - 20.0 / 25.0).abs() < 1e-12);
+        assert!((curve[1].honest_lost - 5.0 / 16.0).abs() < 1e-12);
+        // Then user 2.
+        assert!((curve[2].extraneous_removed - 1.0).abs() < 1e-12);
+        // Monotone non-decreasing.
+        for w in curve.windows(2) {
+            assert!(w[0].extraneous_removed <= w[1].extraneous_removed + 1e-12);
+            assert!(w[0].honest_lost <= w[1].honest_lost + 1e-12);
+        }
+    }
+
+    #[test]
+    fn honest_loss_lookup() {
+        let comps = vec![comp(0, 10, 0), comp(1, 5, 20), comp(2, 1, 5)];
+        let curve = filter_tradeoff(&comps);
+        let loss = honest_loss_at(&curve, 0.8).unwrap();
+        assert!((loss - 5.0 / 16.0).abs() < 1e-12);
+        assert_eq!(honest_loss_at(&curve, 0.0), Some(0.0));
+        // Unreachable target on an all-honest cohort.
+        let clean = vec![comp(0, 3, 0)];
+        let c2 = filter_tradeoff(&clean);
+        assert_eq!(honest_loss_at(&c2, 0.5), None);
+    }
+}

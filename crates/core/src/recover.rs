@@ -1,0 +1,537 @@
+//! Missing-checkin recovery (§7's second open problem).
+//!
+//! The paper: *"even approximations of 1 or more key locations (home, work)
+//! will go a long way towards improving accuracy"*. This module implements
+//! the key-location up-sampling it proposes: estimate each user's home and
+//! work venues **from the checkin trace alone** (no GPS — the realistic
+//! input a trace consumer has), then inject synthetic nightly-home and
+//! daily-work events. The gain is measured by re-running the §4.1 matcher:
+//! what fraction of GPS visits does the augmented trace now cover?
+
+use crate::matching::{match_checkins, MatchConfig};
+use geosocial_trace::{
+    Checkin, Dataset, PoiCategory, PoiId, UserData, DAY, HOUR,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Recovery knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Hour of day for the synthetic home event (22:00 — people are home at
+    /// night even when they never say so).
+    pub home_hour: i64,
+    /// Hour of day for the synthetic work event (10:00).
+    pub work_hour: i64,
+    /// Only inject work events on weekdays.
+    pub work_weekdays_only: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self { home_hour: 22, work_hour: 10, work_weekdays_only: true }
+    }
+}
+
+/// Estimate a key venue of `category` for a user from their checkin trace:
+/// the venue of that category they check into most; falling back to the
+/// category venue nearest their checkin centroid (reward hunters rarely
+/// check in at home, but their activity still centers on it).
+pub fn estimate_key_location(
+    user: &UserData,
+    dataset: &Dataset,
+    category: PoiCategory,
+) -> Option<PoiId> {
+    // Preferred: the user's most-checked venue of the category.
+    let mut counts: HashMap<PoiId, usize> = HashMap::new();
+    for c in &user.checkins {
+        if c.category == category {
+            *counts.entry(c.poi).or_insert(0) += 1;
+        }
+    }
+    if let Some((&poi, _)) = counts.iter().max_by_key(|(&poi, &c)| (c, std::cmp::Reverse(poi))) {
+        return Some(poi);
+    }
+    // Fallback: the category venue nearest the centroid of all checkins.
+    if user.checkins.is_empty() {
+        return None;
+    }
+    let proj = dataset.pois.projection();
+    let n = user.checkins.len() as f64;
+    let centroid = user
+        .checkins
+        .iter()
+        .fold(geosocial_geo::Point::default(), |acc, c| acc + proj.to_local(c.location))
+        * (1.0 / n);
+    dataset
+        .pois
+        .all()
+        .iter()
+        .filter(|p| p.category == category)
+        .min_by(|a, b| {
+            proj.to_local(a.location)
+                .distance(centroid)
+                .total_cmp(&proj.to_local(b.location).distance(centroid))
+        })
+        .map(|p| p.id)
+}
+
+/// Produce a copy of the dataset with synthetic key-location events injected
+/// into every user's checkin stream.
+///
+/// Injected events carry `provenance: None` — they are estimates, not
+/// observations, and must not pollute ground-truth scoring.
+pub fn augment_with_key_locations(dataset: &Dataset, cfg: &RecoveryConfig) -> Dataset {
+    let mut out = dataset.clone();
+    for user in &mut out.users {
+        let Some((start, end)) = user.gps.span().or_else(|| {
+            let f = user.checkins.first()?.t;
+            let l = user.checkins.last()?.t;
+            Some((f, l))
+        }) else {
+            continue;
+        };
+        let home = estimate_key_location(user, dataset, PoiCategory::Residence);
+        let work = estimate_key_location(user, dataset, PoiCategory::Professional);
+        let mut synthetic = Vec::new();
+        let first_day = start / DAY;
+        let last_day = end / DAY;
+        for day in first_day..=last_day {
+            if let Some(home) = home {
+                let poi = dataset.pois.get(home);
+                synthetic.push(Checkin {
+                    t: day * DAY + cfg.home_hour * HOUR,
+                    poi: home,
+                    category: poi.category,
+                    location: poi.location,
+                    provenance: None,
+                });
+            }
+            let weekday = day.rem_euclid(7) < 5;
+            if let Some(work) = work {
+                if weekday || !cfg.work_weekdays_only {
+                    let poi = dataset.pois.get(work);
+                    synthetic.push(Checkin {
+                        t: day * DAY + cfg.work_hour * HOUR,
+                        poi: work,
+                        category: poi.category,
+                        location: poi.location,
+                        provenance: None,
+                    });
+                }
+            }
+        }
+        synthetic.retain(|c| c.t >= start && c.t <= end);
+        let mut all = user.checkins.clone();
+        all.extend(synthetic);
+        *user = UserData::new(user.id, user.gps.clone(), user.visits.clone(), all, user.profile);
+    }
+    out
+}
+
+/// Before/after coverage of the recovery experiment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Visit coverage of the original checkin trace.
+    pub coverage_before: f64,
+    /// Visit coverage after key-location injection.
+    pub coverage_after: f64,
+    /// Synthetic events added.
+    pub events_added: usize,
+}
+
+/// Run the recovery experiment: match, augment, re-match.
+pub fn recovery_gain(dataset: &Dataset, match_cfg: &MatchConfig, cfg: &RecoveryConfig) -> RecoveryReport {
+    let before = match_checkins(dataset, match_cfg);
+    let augmented = augment_with_key_locations(dataset, cfg);
+    let after = match_checkins(&augmented, match_cfg);
+    RecoveryReport {
+        coverage_before: before.coverage_ratio(),
+        coverage_after: after.coverage_ratio(),
+        events_added: after.total_checkins - before.total_checkins,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosocial_geo::{LatLon, LocalProjection, Point};
+    use geosocial_trace::{
+        GpsPoint, GpsTrace, Poi, PoiUniverse, Provenance, UserProfile, Visit, MINUTE,
+    };
+
+    /// A user who lives at POI 0 (never checks in there) and works at POI 1
+    /// (checked in once), with nightly home visits in the GPS record.
+    fn fixture() -> Dataset {
+        let proj = LocalProjection::new(LatLon::new(34.4, -119.8));
+        let at = |x: f64| proj.to_latlon(Point::new(x, 0.0));
+        let pois = PoiUniverse::new(
+            vec![
+                Poi { id: 0, name: "Home".into(), category: PoiCategory::Residence, location: at(0.0) },
+                Poi { id: 1, name: "Work".into(), category: PoiCategory::Professional, location: at(3_000.0) },
+                Poi { id: 2, name: "Cafe".into(), category: PoiCategory::Food, location: at(1_500.0) },
+            ],
+            proj,
+        );
+        // GPS covers 5 days.
+        let gps = GpsTrace::new(
+            (0..5 * 24).map(|h| GpsPoint { t: h * HOUR, pos: at(0.0) }).collect(),
+        );
+        // Visits: home every night 21:30–23:30, work every day 9–17.
+        let mut visits = Vec::new();
+        for d in 0..5i64 {
+            visits.push(Visit {
+                start: d * DAY + 21 * HOUR + 30 * MINUTE,
+                end: d * DAY + 23 * HOUR + 30 * MINUTE,
+                centroid: at(0.0),
+                poi: Some(0),
+            });
+            visits.push(Visit {
+                start: d * DAY + 9 * HOUR,
+                end: d * DAY + 17 * HOUR,
+                centroid: at(3_000.0),
+                poi: Some(1),
+            });
+        }
+        visits.sort_by_key(|v| v.start);
+        // One lone work checkin on day 0.
+        let checkins = vec![Checkin {
+            t: 10 * HOUR,
+            poi: 1,
+            category: PoiCategory::Professional,
+            location: at(3_000.0),
+            provenance: Some(Provenance::Honest),
+        }];
+        Dataset {
+            name: "R".into(),
+            pois,
+            users: vec![UserData::new(0, gps, visits, checkins, UserProfile::default())],
+        }
+    }
+
+    #[test]
+    fn estimates_work_from_checkins_and_home_from_centroid() {
+        let ds = fixture();
+        let u = &ds.users[0];
+        assert_eq!(
+            estimate_key_location(u, &ds, PoiCategory::Professional),
+            Some(1)
+        );
+        // No residence checkins → nearest-to-centroid fallback picks Home.
+        assert_eq!(estimate_key_location(u, &ds, PoiCategory::Residence), Some(0));
+        // A user with no checkins at all has no estimate.
+        let empty = UserData::new(1, GpsTrace::default(), vec![], vec![], UserProfile::default());
+        assert_eq!(estimate_key_location(&empty, &ds, PoiCategory::Residence), None);
+    }
+
+    #[test]
+    fn augmentation_adds_provenance_free_events() {
+        let ds = fixture();
+        let aug = augment_with_key_locations(&ds, &RecoveryConfig::default());
+        let u = &aug.users[0];
+        assert!(u.checkins.len() > ds.users[0].checkins.len());
+        let synthetic: Vec<_> = u.checkins.iter().filter(|c| c.provenance.is_none()).collect();
+        assert!(!synthetic.is_empty());
+        for c in &synthetic {
+            assert!(c.poi == 0 || c.poi == 1);
+        }
+    }
+
+    #[test]
+    fn recovery_improves_coverage_substantially() {
+        let ds = fixture();
+        let report = recovery_gain(&ds, &MatchConfig::paper(), &RecoveryConfig::default());
+        // Before: 1 checkin certifies 1 of 10 visits.
+        assert!((report.coverage_before - 0.1).abs() < 1e-9);
+        // After: nightly home (22:00, inside 21:30–23:30) and daily work
+        // events certify most visits.
+        assert!(
+            report.coverage_after > 0.6,
+            "coverage only {:.2}",
+            report.coverage_after
+        );
+        assert!(report.events_added > 0);
+    }
+
+    #[test]
+    fn weekday_gating_limits_work_events() {
+        let ds = fixture();
+        let all_days = augment_with_key_locations(
+            &ds,
+            &RecoveryConfig { work_weekdays_only: false, ..Default::default() },
+        );
+        let weekdays = augment_with_key_locations(&ds, &RecoveryConfig::default());
+        let count = |d: &Dataset| {
+            d.users[0]
+                .checkins
+                .iter()
+                .filter(|c| c.provenance.is_none() && c.poi == 1)
+                .count()
+        };
+        assert!(count(&all_days) >= count(&weekdays));
+    }
+}
+
+/// Per-category checkin report rates: the fraction of true visits in each
+/// category that produce a checkin. Estimated from a calibration cohort
+/// that has GPS ground truth (the baseline cohort plays this role — its
+/// volunteers' checkins are essentially all honest).
+///
+/// This is the second §7 recovery idea: *"fill in locations based on
+/// models of user checkin rates for different POI categories"*.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CategoryRates {
+    /// Report rate per category, indexed by [`PoiCategory::index`].
+    /// `None` where the calibration cohort had no visits of the category.
+    pub rates: [Option<f64>; 9],
+}
+
+/// Estimate report rates from a cohort with both traces: honest checkins
+/// per category divided by visits per category.
+pub fn estimate_category_rates(
+    calibration: &Dataset,
+    outcome: &crate::matching::MatchOutcome,
+) -> CategoryRates {
+    let mut honest = [0usize; 9];
+    let mut visits = [0usize; 9];
+    for user in &calibration.users {
+        for v in &user.visits {
+            if let Some(poi) = v.poi {
+                visits[calibration.pois.get(poi).category.index()] += 1;
+            }
+        }
+    }
+    for pair in &outcome.honest {
+        let user = calibration
+            .users
+            .iter()
+            .find(|u| u.id == pair.checkin.user)
+            .expect("outcome references calibration user");
+        honest[user.checkins[pair.checkin.index].category.index()] += 1;
+    }
+    // Global rate anchors the smoothing and covers unsupported categories.
+    let total_honest: usize = honest.iter().sum();
+    let total_visits: usize = visits.iter().sum();
+    if total_visits == 0 {
+        return CategoryRates { rates: [None; 9] };
+    }
+    let global = (total_honest as f64 / total_visits as f64).clamp(1e-3, 1.0);
+    // Shrinkage toward the global rate with pseudo-count strength K: a
+    // category observed over few visits keeps mostly the global rate, a
+    // well-supported one converges to its empirical rate. Stabilizes
+    // small calibration cohorts (47 users in the paper's baseline).
+    const K: f64 = 25.0;
+    let mut rates = [None; 9];
+    for i in 0..9 {
+        if visits[i] > 0 {
+            let r = (honest[i] as f64 + K * global) / (visits[i] as f64 + K);
+            rates[i] = Some(r.clamp(1e-3, 1.0));
+        } else {
+            rates[i] = Some(global);
+        }
+    }
+    CategoryRates { rates }
+}
+
+/// Per-category visit-volume estimates for a cohort, comparing three
+/// estimators against the GPS ground truth.
+///
+/// Absolute rates do not transfer between cohorts with different checkin
+/// propensities (volunteers check in far less than reward hunters), so the
+/// comparison is over category **shares**: the composition bias is what the
+/// rate model can actually fix.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct VolumeReport {
+    /// True visit counts per category (from GPS).
+    pub actual: [f64; 9],
+    /// Naive estimator: raw checkin counts.
+    pub raw: [f64; 9],
+    /// Rate-corrected estimator: honest-filtered counts divided by the
+    /// calibration rates.
+    pub corrected: [f64; 9],
+}
+
+impl VolumeReport {
+    /// Mean absolute relative error of an estimate against the actual
+    /// volumes, over categories with non-zero truth.
+    pub fn mare(actual: &[f64; 9], estimate: &[f64; 9]) -> f64 {
+        let mut err = 0.0;
+        let mut n = 0usize;
+        for i in 0..9 {
+            if actual[i] > 0.0 {
+                err += (estimate[i] - actual[i]).abs() / actual[i];
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            err / n as f64
+        }
+    }
+
+    /// Normalize a volume vector into category shares (summing to 1).
+    pub fn shares(v: &[f64; 9]) -> [f64; 9] {
+        let total: f64 = v.iter().sum();
+        if total <= 0.0 {
+            return [0.0; 9];
+        }
+        let mut out = [0.0; 9];
+        for i in 0..9 {
+            out[i] = v[i] / total;
+        }
+        out
+    }
+
+    /// Total-variation distance between an estimate's category shares and
+    /// the actual shares: `0.5 · Σ |p_i − q_i|` ∈ [0, 1].
+    pub fn share_distance(actual: &[f64; 9], estimate: &[f64; 9]) -> f64 {
+        let p = Self::shares(actual);
+        let q = Self::shares(estimate);
+        0.5 * (0..9).map(|i| (p[i] - q[i]).abs()).sum::<f64>()
+    }
+}
+
+/// Estimate per-category visit volumes of `target` from its checkin trace
+/// alone, using rates calibrated elsewhere. The honest filter (burstiness
+/// detector) runs first so reward-gaming checkins do not inflate volumes.
+///
+/// `damping` ∈ [0, 1] tempers the correction in log space:
+/// `corrected = filtered / rate^damping`. Full correction (1.0) trusts the
+/// calibration rates absolutely — which over-corrects when they transfer
+/// imperfectly across cohorts; 0.0 reduces to the raw counts. The X7
+/// experiment sweeps this.
+pub fn estimate_visit_volumes(
+    target: &Dataset,
+    rates: &CategoryRates,
+    detector: &crate::detect::DetectorConfig,
+    damping: f64,
+) -> VolumeReport {
+    let mut actual = [0.0; 9];
+    let mut raw = [0.0; 9];
+    let mut filtered = [0.0; 9];
+    for user in &target.users {
+        for v in &user.visits {
+            if let Some(poi) = v.poi {
+                actual[target.pois.get(poi).category.index()] += 1.0;
+            }
+        }
+        let flags = crate::detect::detect_extraneous(user, detector);
+        for (c, &flagged) in user.checkins.iter().zip(&flags) {
+            raw[c.category.index()] += 1.0;
+            if !flagged {
+                filtered[c.category.index()] += 1.0;
+            }
+        }
+    }
+    let damping = damping.clamp(0.0, 1.0);
+    let mut corrected = [0.0; 9];
+    for i in 0..9 {
+        corrected[i] = match rates.rates[i] {
+            Some(r) => filtered[i] / r.powf(damping),
+            None => filtered[i],
+        };
+    }
+    VolumeReport { actual, raw, corrected }
+}
+
+#[cfg(test)]
+mod rate_tests {
+    use super::*;
+    use crate::detect::DetectorConfig;
+    use crate::matching::{match_checkins, MatchConfig};
+    use geosocial_geo::{LatLon, LocalProjection, Point};
+    use geosocial_trace::{
+        Checkin, GpsTrace, Poi, PoiUniverse, Provenance, UserProfile, Visit, MINUTE,
+    };
+
+    /// Calibration cohort: user visits Food 10 times, checks in twice
+    /// (rate 0.2); visits Shop 5 times, checks in once (rate 0.2).
+    fn calibration() -> Dataset {
+        let proj = LocalProjection::new(LatLon::new(34.4, -119.8));
+        let at = |x: f64| proj.to_latlon(Point::new(x, 0.0));
+        let pois = PoiUniverse::new(
+            vec![
+                Poi { id: 0, name: "F".into(), category: PoiCategory::Food, location: at(0.0) },
+                Poi { id: 1, name: "S".into(), category: PoiCategory::Shop, location: at(5_000.0) },
+            ],
+            proj,
+        );
+        let mut visits = Vec::new();
+        let mut checkins = Vec::new();
+        for i in 0..10i64 {
+            let t0 = i * 7_200;
+            visits.push(Visit { start: t0, end: t0 + 20 * MINUTE, centroid: at(0.0), poi: Some(0) });
+            if i < 2 {
+                checkins.push(Checkin {
+                    t: t0 + MINUTE,
+                    poi: 0,
+                    category: PoiCategory::Food,
+                    location: at(0.0),
+                    provenance: Some(Provenance::Honest),
+                });
+            }
+        }
+        for i in 0..5i64 {
+            let t0 = 100_000 + i * 7_200;
+            visits.push(Visit { start: t0, end: t0 + 20 * MINUTE, centroid: at(5_000.0), poi: Some(1) });
+            if i == 0 {
+                checkins.push(Checkin {
+                    t: t0 + MINUTE,
+                    poi: 1,
+                    category: PoiCategory::Shop,
+                    location: at(5_000.0),
+                    provenance: Some(Provenance::Honest),
+                });
+            }
+        }
+        visits.sort_by_key(|v| v.start);
+        Dataset {
+            name: "Cal".into(),
+            pois,
+            users: vec![geosocial_trace::UserData::new(
+                0,
+                GpsTrace::default(),
+                visits,
+                checkins,
+                UserProfile::default(),
+            )],
+        }
+    }
+
+    #[test]
+    fn rates_come_out_as_checkins_over_visits() {
+        let cal = calibration();
+        let outcome = match_checkins(&cal, &MatchConfig::paper());
+        let rates = estimate_category_rates(&cal, &outcome);
+        let food = rates.rates[PoiCategory::Food.index()].unwrap();
+        let shop = rates.rates[PoiCategory::Shop.index()].unwrap();
+        assert!((food - 0.2).abs() < 1e-9, "food rate {food}");
+        assert!((shop - 0.2).abs() < 1e-9, "shop rate {shop}");
+        // Unvisited categories inherit the global rate (also 0.2 here).
+        let arts = rates.rates[PoiCategory::Arts.index()].unwrap();
+        assert!((arts - 0.2).abs() < 1e-9, "arts fallback {arts}");
+    }
+
+    #[test]
+    fn corrected_volumes_beat_raw_counts() {
+        let cal = calibration();
+        let outcome = match_checkins(&cal, &MatchConfig::paper());
+        let rates = estimate_category_rates(&cal, &outcome);
+        // Target = same structure: raw counts underestimate 5x; corrected
+        // estimates divide by 0.2 and recover the truth.
+        let report = estimate_visit_volumes(&cal, &rates, &DetectorConfig::default(), 1.0);
+        let raw_err = VolumeReport::mare(&report.actual, &report.raw);
+        let cor_err = VolumeReport::mare(&report.actual, &report.corrected);
+        assert!(cor_err < raw_err, "corrected {cor_err:.2} vs raw {raw_err:.2}");
+        assert!(cor_err < 0.05, "corrected error {cor_err:.2}");
+        let fi = PoiCategory::Food.index();
+        assert!((report.corrected[fi] - report.actual[fi]).abs() < 1.0);
+    }
+
+    #[test]
+    fn mare_handles_zero_truth() {
+        let zero = [0.0; 9];
+        assert_eq!(VolumeReport::mare(&zero, &zero), 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Trace-level validation (§4.1, Figure 2).
+//!
+//! The paper validates its matching algorithm by showing that the *honest*
+//! subset of the primary cohort's checkins is statistically indistinguishable
+//! from the baseline cohort's checkins (volunteers with no reward
+//! incentive), while the primary cohort's *full* checkin stream is not.
+//! This module extracts the inter-arrival samples behind Figure 2's five
+//! curves and runs the two-sample KS tests that quantify "match up
+//! perfectly".
+
+use crate::matching::MatchOutcome;
+use geosocial_stats::{ks_two_sample, KsTest};
+use geosocial_trace::{inter_arrival_secs, Dataset};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Pooled inter-arrival gaps (seconds) between consecutive checkins, per
+/// user, across a cohort.
+pub fn checkin_inter_arrivals(dataset: &Dataset) -> Vec<f64> {
+    let mut out = Vec::new();
+    for u in &dataset.users {
+        let times: Vec<i64> = u.checkins.iter().map(|c| c.t).collect();
+        out.extend(inter_arrival_secs(&times));
+    }
+    out
+}
+
+/// Pooled inter-arrival gaps between consecutive *honest* checkins.
+pub fn honest_inter_arrivals(dataset: &Dataset, outcome: &MatchOutcome) -> Vec<f64> {
+    let mut honest_idx: HashSet<(u32, usize)> = HashSet::new();
+    for p in &outcome.honest {
+        honest_idx.insert((p.checkin.user, p.checkin.index));
+    }
+    let mut out = Vec::new();
+    for u in &dataset.users {
+        let times: Vec<i64> = u
+            .checkins
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| honest_idx.contains(&(u.id, *i)))
+            .map(|(_, c)| c.t)
+            .collect();
+        out.extend(inter_arrival_secs(&times));
+    }
+    out
+}
+
+/// Pooled inter-arrival gaps between consecutive GPS visits (arrival to
+/// arrival) — the "GPS" curves of Figure 2.
+pub fn visit_inter_arrivals(dataset: &Dataset) -> Vec<f64> {
+    let mut out = Vec::new();
+    for u in &dataset.users {
+        let times: Vec<i64> = u.visits.iter().map(|v| v.start).collect();
+        out.extend(inter_arrival_secs(&times));
+    }
+    out
+}
+
+/// The §4.1 validation verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// KS test: primary honest checkins vs baseline checkins. The paper's
+    /// claim is that these "match up perfectly" → expect small distance.
+    pub honest_vs_baseline: KsTestResult,
+    /// KS test: primary *all* checkins vs baseline checkins. The paper's
+    /// Figure 2 shows "significant differences" → expect large distance.
+    pub all_vs_baseline: KsTestResult,
+    /// KS test: primary GPS visits vs baseline GPS visits. Both cohorts
+    /// move the same way → expect small distance.
+    pub gps_vs_gps: KsTestResult,
+}
+
+/// Serializable KS-test outcome.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KsTestResult {
+    /// KS distance between the two samples.
+    pub statistic: f64,
+    /// Critical value at the 5% level.
+    pub critical_value: f64,
+    /// Whether the samples are consistent with one distribution.
+    pub same_distribution: bool,
+}
+
+impl From<KsTest> for KsTestResult {
+    fn from(t: KsTest) -> Self {
+        Self {
+            statistic: t.statistic,
+            critical_value: t.critical_value,
+            same_distribution: t.same_distribution,
+        }
+    }
+}
+
+/// Run the full validation: honest-vs-baseline, all-vs-baseline, GPS-vs-GPS.
+///
+/// Returns `None` if any sample is empty (degenerate cohorts).
+pub fn validate(
+    primary: &Dataset,
+    baseline: &Dataset,
+    outcome: &MatchOutcome,
+) -> Option<ValidationReport> {
+    let honest = honest_inter_arrivals(primary, outcome);
+    let all_primary = checkin_inter_arrivals(primary);
+    let base = checkin_inter_arrivals(baseline);
+    let gps_p = visit_inter_arrivals(primary);
+    let gps_b = visit_inter_arrivals(baseline);
+    Some(ValidationReport {
+        honest_vs_baseline: ks_two_sample(&honest, &base, 0.05)?.into(),
+        all_vs_baseline: ks_two_sample(&all_primary, &base, 0.05)?.into(),
+        gps_vs_gps: ks_two_sample(&gps_p, &gps_b, 0.05)?.into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{CheckinRef, MatchedPair, VisitRef};
+    use geosocial_geo::{LatLon, LocalProjection};
+    use geosocial_trace::{
+        Checkin, GpsTrace, Poi, PoiCategory, PoiUniverse, UserData, UserProfile, Visit,
+    };
+
+    fn pois() -> PoiUniverse {
+        let proj = LocalProjection::new(LatLon::new(0.0, 0.0));
+        PoiUniverse::new(
+            vec![Poi {
+                id: 0,
+                name: "A".into(),
+                category: PoiCategory::Food,
+                location: LatLon::new(0.0, 0.0),
+            }],
+            proj,
+        )
+    }
+
+    fn ds_with_checkin_times(times: &[i64]) -> Dataset {
+        let cks: Vec<Checkin> = times
+            .iter()
+            .map(|&t| Checkin {
+                t,
+                poi: 0,
+                category: PoiCategory::Food,
+                location: LatLon::new(0.0, 0.0),
+                provenance: None,
+            })
+            .collect();
+        let visits: Vec<Visit> = times
+            .iter()
+            .map(|&t| Visit {
+                start: t,
+                end: t + 300,
+                centroid: LatLon::new(0.0, 0.0),
+                poi: Some(0),
+            })
+            .collect();
+        Dataset {
+            name: "T".into(),
+            pois: pois(),
+            users: vec![UserData::new(
+                0,
+                GpsTrace::default(),
+                visits,
+                cks,
+                UserProfile::default(),
+            )],
+        }
+    }
+
+    #[test]
+    fn inter_arrival_extraction() {
+        let ds = ds_with_checkin_times(&[0, 60, 180]);
+        assert_eq!(checkin_inter_arrivals(&ds), vec![60.0, 120.0]);
+        assert_eq!(visit_inter_arrivals(&ds), vec![60.0, 120.0]);
+    }
+
+    #[test]
+    fn honest_gaps_skip_extraneous_events() {
+        let ds = ds_with_checkin_times(&[0, 60, 180, 240]);
+        // Only checkins 0 and 3 are honest → one gap of 240.
+        let outcome = MatchOutcome {
+            honest: vec![
+                MatchedPair {
+                    checkin: CheckinRef { user: 0, index: 0 },
+                    visit: VisitRef { user: 0, index: 0 },
+                    distance_m: 0.0,
+                    dt_s: 0,
+                },
+                MatchedPair {
+                    checkin: CheckinRef { user: 0, index: 3 },
+                    visit: VisitRef { user: 0, index: 3 },
+                    distance_m: 0.0,
+                    dt_s: 0,
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(honest_inter_arrivals(&ds, &outcome), vec![240.0]);
+    }
+
+    #[test]
+    fn validation_detects_same_and_different() {
+        // Primary: regular 600 s gaps plus a burst of 10 s gaps (extraneous).
+        let mut times = Vec::new();
+        let mut t = 0;
+        for i in 0..400 {
+            times.push(t);
+            t += if i % 2 == 0 { 600 } else { 10 };
+        }
+        let primary = ds_with_checkin_times(&times);
+        // Baseline: clean 610 s gaps — the spacing between consecutive
+        // honest (even-indexed) primary checkins is 600 + 10.
+        let base_times: Vec<i64> = (0..200).map(|i| i * 610).collect();
+        let baseline = ds_with_checkin_times(&base_times);
+        // Honest = the even-indexed (regular) checkins.
+        let honest: Vec<MatchedPair> = (0..400)
+            .step_by(2)
+            .map(|i| MatchedPair {
+                checkin: CheckinRef { user: 0, index: i },
+                visit: VisitRef { user: 0, index: i },
+                distance_m: 0.0,
+                dt_s: 0,
+            })
+            .collect();
+        let outcome = MatchOutcome { honest, ..Default::default() };
+        let report = validate(&primary, &baseline, &outcome).unwrap();
+        // All-checkin stream has the 10 s bursts: clearly different.
+        assert!(!report.all_vs_baseline.same_distribution);
+        assert!(
+            report.honest_vs_baseline.statistic < report.all_vs_baseline.statistic,
+            "honest subset must look more like the baseline"
+        );
+        // The fixture's visits mirror its checkin times, so gps-vs-gps is
+        // not meaningful here beyond being a valid statistic.
+        assert!((0.0..=1.0).contains(&report.gps_vs_gps.statistic));
+    }
+
+    #[test]
+    fn empty_samples_yield_none() {
+        let empty = Dataset { name: "E".into(), pois: pois(), users: vec![] };
+        let full = ds_with_checkin_times(&[0, 60]);
+        assert!(validate(&empty, &full, &MatchOutcome::default()).is_none());
+    }
+}

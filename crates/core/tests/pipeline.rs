@@ -1,0 +1,225 @@
+//! End-to-end pipeline tests: generate a synthetic cohort, run the full
+//! §4–§5 analysis, and check the headline shapes against the paper's bands.
+
+use geosocial_checkin::{Scenario, ScenarioConfig};
+use geosocial_core::burstiness::{burstiness, BurstinessSamples};
+use geosocial_core::classify::ClassifyConfig;
+use geosocial_core::detect::{score_detector, DetectorConfig};
+use geosocial_core::matching::{match_checkins, MatchConfig};
+use geosocial_core::missing::{missing_by_category, top_poi_missing_ratios};
+use geosocial_core::prevalence::{filter_tradeoff, honest_loss_at, user_compositions};
+use geosocial_core::validate::validate;
+use geosocial_trace::{PoiCategory, Provenance};
+
+fn scenario() -> Scenario {
+    // 40 users × ~12 days: big enough for stable ratios, small enough for CI.
+    Scenario::generate(&ScenarioConfig::small(40, 12), 20260707)
+}
+
+#[test]
+fn figure1_shape_honest_minority_missing_majority() {
+    let sc = scenario();
+    let o = match_checkins(sc.dataset(), &MatchConfig::paper());
+    assert!(o.total_checkins > 500, "need a real cohort, got {}", o.total_checkins);
+    // Paper: extraneous ≈ 75% of checkins, missing ≈ 89% of visits,
+    // coverage ≈ 10% of visits. Allow generous bands — the shape is what
+    // matters: extraneous majority, missing vast majority.
+    let ext = o.extraneous_ratio();
+    let miss = o.missing_ratio();
+    let cov = o.coverage_ratio();
+    assert!((0.5..0.92).contains(&ext), "extraneous ratio {ext:.2}");
+    assert!((0.75..0.99).contains(&miss), "missing ratio {miss:.2}");
+    assert!((0.01..0.25).contains(&cov), "coverage ratio {cov:.2}");
+}
+
+#[test]
+fn matcher_agrees_with_ground_truth_labels() {
+    // The matcher never sees provenance; its honest set should still be
+    // dominated by Provenance::Honest checkins and vice versa.
+    let sc = scenario();
+    let ds = sc.dataset();
+    let o = match_checkins(ds, &MatchConfig::paper());
+    let mut honest_right = 0usize;
+    for p in &o.honest {
+        let user = &ds.users[p.checkin.user as usize];
+        if user.checkins[p.checkin.index].provenance == Some(Provenance::Honest) {
+            honest_right += 1;
+        }
+    }
+    let precision = honest_right as f64 / o.honest.len() as f64;
+    assert!(precision > 0.75, "matcher honest-precision {precision:.2}");
+
+    let mut truly_extraneous = 0usize;
+    for c in &o.extraneous {
+        let user = &ds.users[c.user as usize];
+        if user.checkins[c.index]
+            .provenance
+            .map(|p| p.is_extraneous())
+            .unwrap_or(false)
+        {
+            truly_extraneous += 1;
+        }
+    }
+    let ext_precision = truly_extraneous as f64 / o.extraneous.len() as f64;
+    assert!(ext_precision > 0.75, "matcher extraneous-precision {ext_precision:.2}");
+}
+
+#[test]
+fn extraneous_classification_matches_generator_mix() {
+    let sc = scenario();
+    let ds = sc.dataset();
+    let o = match_checkins(ds, &MatchConfig::paper());
+    let comps = user_compositions(ds, &o, &ClassifyConfig::default());
+    let (mut s, mut r, mut d, mut u) = (0usize, 0usize, 0usize, 0usize);
+    for c in &comps {
+        s += c.superfluous;
+        r += c.remote;
+        d += c.driveby;
+        u += c.unclassified;
+    }
+    let total = (s + r + d + u) as f64;
+    assert!(total > 100.0);
+    // Paper: remote dominates (53% of extraneous), superfluous ≈ 20%,
+    // driveby ≈ 17%, unclassified ≈ 10%.
+    assert!(
+        r as f64 / total > s as f64 / total,
+        "remote ({r}) should dominate superfluous ({s})"
+    );
+    assert!(r as f64 / total > 0.3, "remote share {:.2}", r as f64 / total);
+    assert!(u as f64 / total < 0.35, "unclassified share {:.2}", u as f64 / total);
+}
+
+#[test]
+fn figure3_top_pois_concentrate_missing_checkins() {
+    let sc = scenario();
+    let ds = sc.dataset();
+    let o = match_checkins(ds, &MatchConfig::paper());
+    let ratios = top_poi_missing_ratios(ds, &o, 5);
+    // Median user: top-5 POIs should hold a large share of missing checkins
+    // (paper: >50% for 60% of users).
+    let mut top5 = ratios[4].clone();
+    top5.sort_by(f64::total_cmp);
+    let median = top5[top5.len() / 2];
+    assert!(median > 0.4, "median top-5 concentration {median:.2}");
+    // Monotonicity in n for each user.
+    for i in 0..ratios[0].len() {
+        for n in 1..5 {
+            assert!(ratios[n][i] + 1e-12 >= ratios[n - 1][i]);
+        }
+    }
+}
+
+#[test]
+fn figure4_routine_categories_dominate_missing() {
+    let sc = scenario();
+    let ds = sc.dataset();
+    let o = match_checkins(ds, &MatchConfig::paper());
+    let b = missing_by_category(ds, &o);
+    let routine: f64 = [PoiCategory::Professional, PoiCategory::Residence, PoiCategory::Shop]
+        .iter()
+        .map(|&c| b.fraction(c))
+        .sum();
+    assert!(
+        routine > 0.4,
+        "routine categories hold only {routine:.2} of missing checkins"
+    );
+}
+
+#[test]
+fn figure5_extraneous_checkins_are_widespread() {
+    let sc = scenario();
+    let ds = sc.dataset();
+    let o = match_checkins(ds, &MatchConfig::paper());
+    let comps = user_compositions(ds, &o, &ClassifyConfig::default());
+    let with_extraneous = comps
+        .iter()
+        .filter(|c| c.total > 0 && c.extraneous() > 0)
+        .count();
+    let with_checkins = comps.iter().filter(|c| c.total > 0).count();
+    // Paper: "nearly all users produced extraneous checkins".
+    assert!(
+        with_extraneous as f64 / with_checkins as f64 > 0.8,
+        "{with_extraneous}/{with_checkins} users have extraneous checkins"
+    );
+}
+
+#[test]
+fn filter_tradeoff_shows_honest_collateral() {
+    let sc = scenario();
+    let ds = sc.dataset();
+    let o = match_checkins(ds, &MatchConfig::paper());
+    let comps = user_compositions(ds, &o, &ClassifyConfig::default());
+    let curve = filter_tradeoff(&comps);
+    // Removing the users behind 80% of extraneous checkins must cost a
+    // substantial share of honest checkins (paper: 53%).
+    let loss = honest_loss_at(&curve, 0.8).expect("80% reachable");
+    assert!(loss > 0.2, "honest loss only {loss:.2}");
+    assert!(loss < 0.95, "honest loss implausibly total: {loss:.2}");
+}
+
+#[test]
+fn figure6_extraneous_checkins_are_burstier_than_honest() {
+    let sc = scenario();
+    let ds = sc.dataset();
+    let o = match_checkins(ds, &MatchConfig::paper());
+    let b = burstiness(ds, &o, &ClassifyConfig::default());
+    assert!(!b.honest.is_empty() && !b.superfluous.is_empty());
+    let minute = 60.0;
+    let sup_1m = BurstinessSamples::fraction_within(&b.superfluous, minute);
+    let hon_1m = BurstinessSamples::fraction_within(&b.honest, minute);
+    assert!(
+        sup_1m > hon_1m + 0.2,
+        "superfluous within-1-min {sup_1m:.2} vs honest {hon_1m:.2}"
+    );
+    // Paper: honest inter-arrival median > 10 min.
+    let mut hon = b.honest.clone();
+    hon.sort_by(f64::total_cmp);
+    let median = hon[hon.len() / 2];
+    assert!(median > 10.0 * minute, "honest median gap {median:.0} s");
+}
+
+#[test]
+fn figure2_honest_subset_closer_to_baseline_than_full_stream() {
+    let sc = scenario();
+    let o = match_checkins(&sc.primary, &MatchConfig::paper());
+    let report = validate(&sc.primary, &sc.baseline, &o).expect("non-degenerate cohorts");
+    assert!(
+        report.honest_vs_baseline.statistic < report.all_vs_baseline.statistic,
+        "honest KS {:.3} should beat all-checkin KS {:.3}",
+        report.honest_vs_baseline.statistic,
+        report.all_vs_baseline.statistic
+    );
+    // Both cohorts move the same way: GPS-vs-GPS is the closest pair.
+    assert!(report.gps_vs_gps.statistic < 0.2, "gps KS {:.3}", report.gps_vs_gps.statistic);
+}
+
+#[test]
+fn detector_beats_chance_on_labeled_cohort() {
+    let sc = scenario();
+    let score = score_detector(sc.dataset(), &DetectorConfig::default());
+    let total = score.true_positives + score.false_negatives;
+    assert!(total > 100, "need labeled extraneous checkins");
+    // Burstiness + speed violations alone should catch a meaningful share
+    // with decent precision.
+    assert!(score.recall() > 0.25, "recall {:.2}", score.recall());
+    assert!(score.precision() > 0.6, "precision {:.2}", score.precision());
+}
+
+#[test]
+fn five_metric_validation_mostly_favors_honest_subset() {
+    let sc = scenario();
+    let o = match_checkins(&sc.primary, &MatchConfig::paper());
+    let five = geosocial_core::metrics::five_metric_validation(&sc.primary, &sc.baseline, &o)
+        .expect("non-degenerate cohorts");
+    // The paper claims all metrics favor the honest subset; require at
+    // least 3 of 4 checkin-derived metrics to agree (KS at baseline-cohort
+    // sample sizes is noisy).
+    assert!(
+        five.honest_wins() >= 3,
+        "only {}/4 metrics favor the honest subset\n{}",
+        five.honest_wins(),
+        five.render()
+    );
+    // Both cohorts' GPS speed distributions come from the same generator.
+    assert!(five.gps_speed < 0.2, "gps speed KS {:.3}", five.gps_speed);
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the matching algorithm's invariants.
+
+use geosocial_core::matching::{match_checkins, MatchConfig};
+use geosocial_geo::{LatLon, LocalProjection, Point};
+use geosocial_trace::{
+    Checkin, Dataset, GpsTrace, Poi, PoiCategory, PoiUniverse, UserData, UserProfile, Visit,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Build a single-user dataset from arbitrary visit and checkin placements
+/// inside a 10 km frame over a 2-day window.
+fn dataset_from(
+    visits: Vec<(f64, f64, i64, i64)>,   // (x, y, start, duration)
+    checkins: Vec<(f64, f64, i64)>,       // (x, y, t)
+) -> Dataset {
+    let proj = LocalProjection::new(LatLon::new(34.4, -119.8));
+    let at = |x: f64, y: f64| proj.to_latlon(Point::new(x, y));
+    // One POI per checkin (ids must be sequential in the universe).
+    let pois: Vec<Poi> = checkins
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y, _))| Poi {
+            id: i as u32,
+            name: format!("P{i}"),
+            category: PoiCategory::Food,
+            location: at(x, y),
+        })
+        .collect();
+    let universe = PoiUniverse::new(pois, proj);
+    let mut vs: Vec<Visit> = visits
+        .into_iter()
+        .map(|(x, y, start, dur)| Visit {
+            start,
+            end: start + dur.max(1),
+            centroid: at(x, y),
+            poi: None,
+        })
+        .collect();
+    vs.sort_by_key(|v| v.start);
+    let cks: Vec<Checkin> = checkins
+        .into_iter()
+        .enumerate()
+        .map(|(i, (x, y, t))| Checkin {
+            t,
+            poi: i as u32,
+            category: PoiCategory::Food,
+            location: at(x, y),
+            provenance: None,
+        })
+        .collect();
+    Dataset {
+        name: "prop".into(),
+        pois: universe,
+        users: vec![UserData::new(0, GpsTrace::default(), vs, cks, UserProfile::default())],
+    }
+}
+
+fn visit_strategy() -> impl Strategy<Value = Vec<(f64, f64, i64, i64)>> {
+    prop::collection::vec(
+        (
+            -5_000.0..5_000.0f64,
+            -5_000.0..5_000.0f64,
+            0..172_800i64,
+            60..7_200i64,
+        ),
+        0..25,
+    )
+}
+
+fn checkin_strategy() -> impl Strategy<Value = Vec<(f64, f64, i64)>> {
+    prop::collection::vec(
+        (-5_000.0..5_000.0f64, -5_000.0..5_000.0f64, 0..172_800i64),
+        0..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The three-way partition is always complete and disjoint.
+    #[test]
+    fn partition_complete_and_disjoint(vs in visit_strategy(), cks in checkin_strategy()) {
+        let ds = dataset_from(vs, cks);
+        let o = match_checkins(&ds, &MatchConfig::paper());
+        prop_assert_eq!(o.honest.len() + o.extraneous.len(), o.total_checkins);
+        // No checkin appears in both sets.
+        let honest_c: HashSet<usize> = o.honest.iter().map(|p| p.checkin.index).collect();
+        let extran_c: HashSet<usize> = o.extraneous.iter().map(|c| c.index).collect();
+        prop_assert!(honest_c.is_disjoint(&extran_c));
+        // Each visit is matched at most once, and matched+missing = total.
+        let matched_v: Vec<usize> = o.honest.iter().map(|p| p.visit.index).collect();
+        let matched_set: HashSet<usize> = matched_v.iter().copied().collect();
+        prop_assert_eq!(matched_v.len(), matched_set.len(), "visit matched twice");
+        prop_assert_eq!(matched_set.len() + o.missing.len(), o.total_visits);
+    }
+
+    /// Every accepted match respects both thresholds.
+    #[test]
+    fn matches_respect_thresholds(vs in visit_strategy(), cks in checkin_strategy()) {
+        let ds = dataset_from(vs, cks);
+        let cfg = MatchConfig::paper();
+        let o = match_checkins(&ds, &cfg);
+        for pair in &o.honest {
+            prop_assert!(pair.distance_m <= cfg.alpha_m + 1.0,
+                "distance {} exceeds alpha", pair.distance_m);
+            prop_assert!(pair.dt_s < cfg.beta_s, "dt {} exceeds beta", pair.dt_s);
+        }
+    }
+
+    /// Loosening thresholds never loses matches (monotonicity).
+    #[test]
+    fn monotone_in_thresholds(vs in visit_strategy(), cks in checkin_strategy()) {
+        let ds = dataset_from(vs, cks);
+        let tight = match_checkins(&ds, &MatchConfig { alpha_m: 200.0, beta_s: 600 });
+        let loose = match_checkins(&ds, &MatchConfig { alpha_m: 1_000.0, beta_s: 3_600 });
+        prop_assert!(tight.honest.len() <= loose.honest.len());
+        prop_assert!(tight.missing.len() >= loose.missing.len());
+    }
+
+    /// Matching is invariant under checkin reordering (the stream is
+    /// sorted on construction, so permuting the input changes nothing).
+    #[test]
+    fn invariant_under_input_order(
+        vs in visit_strategy(),
+        cks in checkin_strategy(),
+        seed in 0u64..1_000
+    ) {
+        let ds1 = dataset_from(vs.clone(), cks.clone());
+        // Rotate the checkin list deterministically.
+        let mut rotated = cks;
+        if !rotated.is_empty() {
+            let k = (seed as usize) % rotated.len();
+            rotated.rotate_left(k);
+        }
+        // Note: POI ids follow input order, so compare only counts.
+        let ds2 = dataset_from(vs, rotated);
+        let o1 = match_checkins(&ds1, &MatchConfig::paper());
+        let o2 = match_checkins(&ds2, &MatchConfig::paper());
+        prop_assert_eq!(o1.honest.len(), o2.honest.len());
+        prop_assert_eq!(o1.missing.len(), o2.missing.len());
+    }
+}

@@ -1,0 +1,61 @@
+//! Shared analysis context: one generated scenario plus the matching and
+//! classification results every figure consumes.
+
+use geosocial_checkin::scenario::{Scenario, ScenarioConfig};
+use geosocial_core::classify::ClassifyConfig;
+use geosocial_core::matching::{match_checkins, MatchConfig, MatchOutcome};
+use geosocial_core::prevalence::{user_compositions, UserComposition};
+
+/// A scenario with its §4.1 matching outcome and §5.1 classifications,
+/// computed once and shared by all experiments.
+pub struct Analysis {
+    /// The generated study (both cohorts).
+    pub scenario: Scenario,
+    /// Matching outcome over the primary cohort, at the paper's (α, β).
+    pub outcome: MatchOutcome,
+    /// Per-user checkin compositions (classified extraneous types).
+    pub compositions: Vec<UserComposition>,
+    /// The matching configuration used.
+    pub match_config: MatchConfig,
+    /// The classification configuration used.
+    pub classify_config: ClassifyConfig,
+}
+
+impl Analysis {
+    /// Generate a scenario and run the full §4–§5 pipeline on it.
+    pub fn run(config: &ScenarioConfig, seed: u64) -> Analysis {
+        let scenario = Scenario::generate(config, seed);
+        let match_config = MatchConfig::paper();
+        let classify_config = ClassifyConfig::default();
+        let outcome = match_checkins(&scenario.primary, &match_config);
+        let compositions = user_compositions(&scenario.primary, &outcome, &classify_config);
+        Analysis { scenario, outcome, compositions, match_config, classify_config }
+    }
+
+    /// The paper-scale configuration: 244 primary users × ~14 days,
+    /// 47 baseline users × ~21 days (Table 1).
+    pub fn paper_config() -> ScenarioConfig {
+        ScenarioConfig::default()
+    }
+
+    /// A CI-scale configuration that keeps every experiment's shape while
+    /// running in seconds.
+    pub fn quick_config() -> ScenarioConfig {
+        ScenarioConfig::small(30, 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analysis_pipeline_is_coherent() {
+        let a = Analysis::run(&ScenarioConfig::small(6, 5), 3);
+        assert_eq!(a.compositions.len(), a.scenario.primary.users.len());
+        let total: usize = a.compositions.iter().map(|c| c.total).sum();
+        assert_eq!(total, a.outcome.total_checkins);
+        let honest: usize = a.compositions.iter().map(|c| c.honest).sum();
+        assert_eq!(honest, a.outcome.honest.len());
+    }
+}

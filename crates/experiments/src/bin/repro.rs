@@ -1,0 +1,165 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--exp all|table1|fig1..fig8|table2|sweep|detect|filter|recover|learned|fidelity|rates|visitdef|dsdv]
+//!       [--users N] [--days N] [--seed S] [--out DIR] [--quick] [--paper-area]
+//! ```
+//!
+//! Writes `DIR/<exp>.txt` and `DIR/<exp>*.csv` for every requested
+//! experiment and prints the text reports to stdout.
+
+use geosocial_experiments::figures::{self, ExperimentOutput};
+use geosocial_experiments::models::{self, Fig8Config};
+use geosocial_experiments::{extensions, Analysis};
+use std::path::PathBuf;
+
+struct Args {
+    exps: Vec<String>,
+    users: Option<u32>,
+    days: Option<u32>,
+    seed: u64,
+    out: PathBuf,
+    quick: bool,
+    paper_area: bool,
+}
+
+const ALL_EXPS: [&str; 19] = [
+    "table1", "fig1", "fig2", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "fig8",
+    "sweep", "detect", "filter", "recover", "learned", "fidelity", "rates", "visitdef", "dsdv",
+];
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        exps: vec!["all".into()],
+        users: None,
+        days: None,
+        seed: 20130101,
+        out: PathBuf::from("results"),
+        quick: false,
+        paper_area: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--exp" => {
+                args.exps = it
+                    .next()
+                    .expect("--exp needs a value")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--users" => args.users = Some(it.next().expect("--users needs a value").parse().expect("users")),
+            "--days" => args.days = Some(it.next().expect("--days needs a value").parse().expect("days")),
+            "--seed" => args.seed = it.next().expect("--seed needs a value").parse().expect("seed"),
+            "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
+            "--quick" => args.quick = true,
+            "--paper-area" => args.paper_area = true,
+            "--help" | "-h" => {
+                eprintln!("usage: repro [--exp LIST] [--users N] [--days N] [--seed S] [--out DIR] [--quick] [--paper-area]");
+                eprintln!("experiments: all, {}", ALL_EXPS.join(", "));
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.exps.iter().any(|e| e == "all") {
+        args.exps = ALL_EXPS.iter().map(|s| s.to_string()).collect();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+
+    let mut config = if args.quick {
+        Analysis::quick_config()
+    } else {
+        Analysis::paper_config()
+    };
+    if let Some(u) = args.users {
+        config.primary_users = u;
+        config.baseline_users = (u / 5).max(2);
+    }
+    if let Some(d) = args.days {
+        config.primary_days = d;
+        config.baseline_days = d + d / 2;
+    }
+
+    eprintln!(
+        "generating scenario: {} primary users x ~{} days, {} baseline users (seed {})...",
+        config.primary_users, config.primary_days, config.baseline_users, args.seed
+    );
+    let analysis = Analysis::run(&config, args.seed);
+    eprintln!(
+        "primary: {} | baseline: {}",
+        analysis.scenario.primary.stats(),
+        analysis.scenario.baseline.stats()
+    );
+
+    // Models are shared between fig7 and fig8; fit lazily.
+    let mut fitted = None;
+    let fit = |analysis: &Analysis| {
+        let traces = models::training_traces(&analysis.scenario.primary, &analysis.outcome);
+        models::fit_models(&traces).expect("model fitting needs a non-trivial cohort")
+    };
+
+    for exp in &args.exps {
+        eprintln!("running {exp}...");
+        let out: ExperimentOutput = match exp.as_str() {
+            "table1" => figures::table1(&analysis),
+            "fig1" => figures::fig1(&analysis),
+            "fig2" => figures::fig2(&analysis),
+            "fig3" => figures::fig3(&analysis),
+            "fig4" => figures::fig4(&analysis),
+            "table2" => figures::table2(&analysis),
+            "fig5" => figures::fig5(&analysis),
+            "fig6" => figures::fig6(&analysis),
+            "fig7" => models::fig7(&analysis),
+            "fig8" => {
+                if fitted.is_none() {
+                    fitted = Some(fit(&analysis));
+                }
+                let mut cfg = if args.quick { Fig8Config::quick() } else { Fig8Config::default() };
+                if args.paper_area {
+                    cfg.area_m = 100_000.0;
+                }
+                models::fig8(fitted.as_ref().unwrap(), &cfg, args.seed)
+            }
+            "dsdv" => {
+                if fitted.is_none() {
+                    fitted = Some(fit(&analysis));
+                }
+                let mut cfg = if args.quick { Fig8Config::quick() } else { Fig8Config::default() };
+                if args.paper_area {
+                    cfg.area_m = 100_000.0;
+                }
+                models::fig8_dsdv(fitted.as_ref().unwrap(), &cfg, args.seed)
+            }
+            "sweep" => extensions::alpha_beta_sweep(&analysis),
+            "detect" => extensions::detector_curve(&analysis),
+            "filter" => extensions::filter_curve(&analysis),
+            "recover" => extensions::recovery(&analysis),
+            "learned" => extensions::learned_detector(&analysis),
+            "fidelity" => extensions::model_fidelity(&analysis),
+            "rates" => extensions::category_rate_recovery(&analysis),
+            "visitdef" => extensions::visit_sensitivity(&analysis),
+            other => {
+                eprintln!("unknown experiment {other}, skipping");
+                continue;
+            }
+        };
+        println!("==== {} ====\n{}", out.id, out.text);
+        let txt_path = args.out.join(format!("{}.txt", out.id));
+        std::fs::write(&txt_path, &out.text).expect("write text report");
+        for (suffix, csv) in &out.csv {
+            let csv_path = args.out.join(format!("{}{}.csv", out.id, suffix));
+            std::fs::write(&csv_path, csv).expect("write csv");
+        }
+    }
+    eprintln!("done; outputs in {}", args.out.display());
+}

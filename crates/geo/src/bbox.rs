@@ -1,0 +1,116 @@
+//! Geographic bounding boxes.
+
+use crate::LatLon;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned geographic bounding box.
+///
+/// Does not handle antimeridian-spanning boxes; every scenario in this
+/// workspace generates traces inside a single metropolitan area, so the
+/// simple representation suffices (and [`BoundingBox::from_points`]
+/// debug-asserts that inputs stay within a hemisphere of longitude).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Southernmost latitude.
+    pub min_lat: f64,
+    /// Westernmost longitude.
+    pub min_lon: f64,
+    /// Northernmost latitude.
+    pub max_lat: f64,
+    /// Easternmost longitude.
+    pub max_lon: f64,
+}
+
+impl BoundingBox {
+    /// Create a box from corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if min exceeds max on either axis.
+    pub fn new(min_lat: f64, min_lon: f64, max_lat: f64, max_lon: f64) -> Self {
+        debug_assert!(min_lat <= max_lat, "min_lat > max_lat");
+        debug_assert!(min_lon <= max_lon, "min_lon > max_lon");
+        Self { min_lat, min_lon, max_lat, max_lon }
+    }
+
+    /// The smallest box containing every point in `points`, or `None` for an
+    /// empty iterator.
+    pub fn from_points<I: IntoIterator<Item = LatLon>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = BoundingBox::new(first.lat, first.lon, first.lat, first.lon);
+        for p in it {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// Grow the box (in place) to include `p`.
+    pub fn expand(&mut self, p: LatLon) {
+        self.min_lat = self.min_lat.min(p.lat);
+        self.max_lat = self.max_lat.max(p.lat);
+        self.min_lon = self.min_lon.min(p.lon);
+        self.max_lon = self.max_lon.max(p.lon);
+    }
+
+    /// Whether `p` lies inside the box (inclusive on all edges).
+    pub fn contains(&self, p: LatLon) -> bool {
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
+    }
+
+    /// Geographic center of the box.
+    pub fn center(&self) -> LatLon {
+        LatLon::new(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )
+    }
+
+    /// Approximate diagonal length of the box, in meters.
+    pub fn diagonal_m(&self) -> f64 {
+        LatLon::new(self.min_lat, self.min_lon)
+            .haversine_m(LatLon::new(self.max_lat, self.max_lon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_and_contains() {
+        let pts = [
+            LatLon::new(34.40, -119.90),
+            LatLon::new(34.45, -119.70),
+            LatLon::new(34.42, -119.80),
+        ];
+        let bb = BoundingBox::from_points(pts).unwrap();
+        assert_eq!(bb.min_lat, 34.40);
+        assert_eq!(bb.max_lat, 34.45);
+        assert_eq!(bb.min_lon, -119.90);
+        assert_eq!(bb.max_lon, -119.70);
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+        assert!(!bb.contains(LatLon::new(34.5, -119.8)));
+        assert!(!bb.contains(LatLon::new(34.42, -120.0)));
+    }
+
+    #[test]
+    fn empty_iterator_yields_none() {
+        assert!(BoundingBox::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn center_and_diagonal() {
+        let bb = BoundingBox::new(34.0, -120.0, 35.0, -119.0);
+        let c = bb.center();
+        assert!((c.lat - 34.5).abs() < 1e-12);
+        assert!((c.lon - -119.5).abs() < 1e-12);
+        // One degree of lat ~111 km; the diagonal must exceed that.
+        assert!(bb.diagonal_m() > 111_000.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Uniform hash-grid spatial index over local-frame points.
+
+use crate::Point;
+use std::collections::HashMap;
+
+/// A uniform grid index mapping cells to the items inside them.
+///
+/// Items are inserted with a [`Point`] position and an arbitrary payload
+/// identifier (typically an index into a caller-owned slice). Radius queries
+/// scan only the cells overlapping the query disk, so with a cell size close
+/// to the typical query radius the expected cost is O(matches).
+///
+/// Used by the checkin↔visit matcher (α = 500 m disks over a user's visits)
+/// and by the MANET simulator's neighbor discovery (1 km radio disks over
+/// 200 nodes).
+///
+/// # Example
+///
+/// ```
+/// use geosocial_geo::{Point, SpatialGrid};
+///
+/// let mut grid = SpatialGrid::new(500.0);
+/// grid.insert(Point::new(0.0, 0.0), 0usize);
+/// grid.insert(Point::new(300.0, 400.0), 1);
+/// grid.insert(Point::new(10_000.0, 0.0), 2);
+///
+/// let mut near: Vec<usize> = grid.query_radius(Point::new(0.0, 0.0), 600.0).collect();
+/// near.sort();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid<T> {
+    cell_size: f64,
+    cells: HashMap<(i64, i64), Vec<(Point, T)>>,
+    len: usize,
+}
+
+impl<T: Copy> SpatialGrid<T> {
+    /// Create an empty grid with the given cell edge length in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive, got {cell_size}"
+        );
+        Self { cell_size, cells: HashMap::new(), len: 0 }
+    }
+
+    /// Number of items stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the grid holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn cell_of(&self, p: Point) -> (i64, i64) {
+        (
+            (p.x / self.cell_size).floor() as i64,
+            (p.y / self.cell_size).floor() as i64,
+        )
+    }
+
+    /// Insert an item at `pos`.
+    pub fn insert(&mut self, pos: Point, item: T) {
+        self.cells.entry(self.cell_of(pos)).or_default().push((pos, item));
+        self.len += 1;
+    }
+
+    /// Remove every copy of `item` stored at exactly `pos`.
+    ///
+    /// Returns how many entries were removed. Positions are compared exactly,
+    /// so callers must pass the same coordinates used at insertion (the MANET
+    /// simulator re-inserts nodes whenever they move, using this method with
+    /// the previous position).
+    pub fn remove(&mut self, pos: Point, item: T) -> usize
+    where
+        T: PartialEq,
+    {
+        let key = self.cell_of(pos);
+        let mut removed = 0;
+        if let Some(v) = self.cells.get_mut(&key) {
+            let before = v.len();
+            v.retain(|(p, it)| !(*p == pos && *it == item));
+            removed = before - v.len();
+            if v.is_empty() {
+                self.cells.remove(&key);
+            }
+        }
+        self.len -= removed;
+        removed
+    }
+
+    /// All items within `radius` meters of `center` (inclusive boundary).
+    pub fn query_radius(&self, center: Point, radius: f64) -> impl Iterator<Item = T> + '_ {
+        self.query_radius_with_pos(center, radius).map(|(_, item)| item)
+    }
+
+    /// Like [`SpatialGrid::query_radius`] but also yields each item's position.
+    pub fn query_radius_with_pos(
+        &self,
+        center: Point,
+        radius: f64,
+    ) -> impl Iterator<Item = (Point, T)> + '_ {
+        let r = radius.max(0.0);
+        let (cx0, cy0) = self.cell_of(Point::new(center.x - r, center.y - r));
+        let (cx1, cy1) = self.cell_of(Point::new(center.x + r, center.y + r));
+        let r_sq = r * r;
+        (cx0..=cx1)
+            .flat_map(move |cx| (cy0..=cy1).map(move |cy| (cx, cy)))
+            .filter_map(move |key| self.cells.get(&key))
+            .flatten()
+            .filter(move |(p, _)| p.distance_sq(center) <= r_sq)
+            .map(|(p, item)| (*p, *item))
+    }
+
+    /// The nearest item to `center` within `max_radius`, if any, together
+    /// with its distance in meters. Ties broken by scan order.
+    pub fn nearest(&self, center: Point, max_radius: f64) -> Option<(T, f64)> {
+        self.query_radius_with_pos(center, max_radius)
+            .map(|(p, item)| (item, p.distance(center)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Remove all items.
+    pub fn clear(&mut self) {
+        self.cells.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_with(points: &[(f64, f64)]) -> SpatialGrid<usize> {
+        let mut g = SpatialGrid::new(100.0);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            g.insert(Point::new(x, y), i);
+        }
+        g
+    }
+
+    #[test]
+    fn radius_query_boundary_inclusive() {
+        let g = grid_with(&[(100.0, 0.0)]);
+        let hits: Vec<_> = g.query_radius(Point::new(0.0, 0.0), 100.0).collect();
+        assert_eq!(hits, vec![0]);
+        let misses: Vec<_> = g.query_radius(Point::new(0.0, 0.0), 99.999).collect();
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn query_spans_multiple_cells() {
+        let g = grid_with(&[(-150.0, 0.0), (150.0, 0.0), (0.0, 150.0), (0.0, -150.0), (500.0, 500.0)]);
+        let mut hits: Vec<_> = g.query_radius(Point::new(0.0, 0.0), 200.0).collect();
+        hits.sort();
+        assert_eq!(hits, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nearest_picks_closest() {
+        let g = grid_with(&[(50.0, 0.0), (30.0, 0.0), (200.0, 0.0)]);
+        let (item, d) = g.nearest(Point::new(0.0, 0.0), 1000.0).unwrap();
+        assert_eq!(item, 1);
+        assert!((d - 30.0).abs() < 1e-9);
+        assert!(g.nearest(Point::new(0.0, 0.0), 10.0).is_none());
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let mut g = grid_with(&[(0.0, 0.0), (10.0, 10.0)]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.remove(Point::new(10.0, 10.0), 1), 1);
+        assert_eq!(g.len(), 1);
+        // Removing again is a no-op.
+        assert_eq!(g.remove(Point::new(10.0, 10.0), 1), 0);
+        assert_eq!(g.len(), 1);
+        let hits: Vec<_> = g.query_radius(Point::new(0.0, 0.0), 1000.0).collect();
+        assert_eq!(hits, vec![0]);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let g = grid_with(&[(-1000.0, -1000.0), (-1050.0, -1000.0)]);
+        let mut hits: Vec<_> = g.query_radius(Point::new(-1000.0, -1000.0), 60.0).collect();
+        hits.sort();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size must be positive")]
+    fn zero_cell_size_panics() {
+        let _ = SpatialGrid::<usize>::new(0.0);
+    }
+}

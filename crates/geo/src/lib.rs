@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+
+//! Geodesy primitives for geosocial trace analysis.
+//!
+//! This crate provides the small set of geographic building blocks that the
+//! rest of the workspace is built on:
+//!
+//! * [`LatLon`] — a WGS-84 coordinate with great-circle (haversine) distance,
+//!   initial bearing and destination-point computations.
+//! * [`Point`] / [`LocalProjection`] — a local east-north (ENU) tangent-plane
+//!   projection used wherever metric geometry is needed (visit detection,
+//!   checkin matching, the MANET field).
+//! * [`BoundingBox`] — geographic extents.
+//! * [`SpatialGrid`] — a uniform hash-grid index over projected points,
+//!   answering radius queries in expected O(k) time. The checkin↔visit
+//!   matcher and the MANET neighbor discovery both sit on top of it.
+//!
+//! All distances are in **meters**, durations in **seconds**, speeds in
+//! **meters/second** unless a name says otherwise.
+//!
+//! # Example
+//!
+//! ```
+//! use geosocial_geo::{LatLon, LocalProjection};
+//!
+//! let isla_vista = LatLon::new(34.4133, -119.8610);
+//! let campus = LatLon::new(34.4140, -119.8489);
+//! let d = isla_vista.haversine_m(campus);
+//! assert!((d - 1113.0).abs() < 20.0, "about 1.1 km, got {d}");
+//!
+//! // Project into a local metric frame and back.
+//! let proj = LocalProjection::new(isla_vista);
+//! let p = proj.to_local(campus);
+//! let back = proj.to_latlon(p);
+//! assert!(campus.haversine_m(back) < 0.5);
+//! ```
+
+mod bbox;
+mod grid;
+mod latlon;
+mod project;
+
+pub use bbox::BoundingBox;
+pub use grid::SpatialGrid;
+pub use latlon::LatLon;
+pub use project::{LocalProjection, Point};
+
+/// Mean Earth radius in meters (IUGG mean radius R1).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Meters per statute mile; used for the paper's 4 mph driveby threshold.
+pub const METERS_PER_MILE: f64 = 1_609.344;
+
+/// Convert miles-per-hour into meters-per-second.
+///
+/// The paper classifies a checkin as *driveby* when the user's instantaneous
+/// speed exceeds 4 mph; all internal speeds are m/s.
+pub fn mph_to_mps(mph: f64) -> f64 {
+    mph * METERS_PER_MILE / 3600.0
+}
+
+/// Convert meters-per-second into miles-per-hour.
+pub fn mps_to_mph(mps: f64) -> f64 {
+    mps * 3600.0 / METERS_PER_MILE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mph_round_trip() {
+        let v = mph_to_mps(4.0);
+        assert!((mps_to_mph(v) - 4.0).abs() < 1e-12);
+        // 4 mph is roughly 1.79 m/s.
+        assert!((v - 1.78816).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the geodesy primitives.
+
+use geosocial_geo::{LatLon, LocalProjection, Point, SpatialGrid};
+use proptest::prelude::*;
+
+/// Latitudes away from the poles, where the equirectangular projection and
+/// bearing math are well-conditioned (all scenarios live at mid-latitudes).
+fn lat() -> impl Strategy<Value = f64> {
+    -80.0..80.0f64
+}
+
+fn lon() -> impl Strategy<Value = f64> {
+    -180.0..180.0f64
+}
+
+proptest! {
+    #[test]
+    fn haversine_is_symmetric_and_nonnegative(
+        la in lat(), lo in lon(), la2 in lat(), lo2 in lon()
+    ) {
+        let a = LatLon::new(la, lo);
+        let b = LatLon::new(la2, lo2);
+        let d_ab = a.haversine_m(b);
+        let d_ba = b.haversine_m(a);
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!((d_ab - d_ba).abs() < 1e-6);
+        // No two surface points are farther apart than half the circumference.
+        prop_assert!(d_ab <= std::f64::consts::PI * geosocial_geo::EARTH_RADIUS_M * 1.000001);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(
+        la in lat(), lo in lon(), la2 in lat(), lo2 in lon(), la3 in lat(), lo3 in lon()
+    ) {
+        let a = LatLon::new(la, lo);
+        let b = LatLon::new(la2, lo2);
+        let c = LatLon::new(la3, lo3);
+        prop_assert!(a.haversine_m(c) <= a.haversine_m(b) + b.haversine_m(c) + 1e-6);
+    }
+
+    #[test]
+    fn destination_then_distance_round_trips(
+        la in lat(), lo in lon(), bearing in 0.0..360.0f64, dist in 0.0..200_000.0f64
+    ) {
+        let origin = LatLon::new(la, lo);
+        let dest = origin.destination(bearing, dist);
+        let measured = origin.haversine_m(dest);
+        prop_assert!((measured - dist).abs() < dist * 1e-6 + 1e-3,
+            "dist {dist} measured {measured}");
+    }
+
+    #[test]
+    fn projection_round_trip_near_origin(
+        la in -70.0..70.0f64, lo in lon(),
+        dx in -50_000.0..50_000.0f64, dy in -50_000.0..50_000.0f64
+    ) {
+        let proj = LocalProjection::new(LatLon::new(la, lo));
+        let p = Point::new(dx, dy);
+        let back = proj.to_local(proj.to_latlon(p));
+        prop_assert!((back.x - p.x).abs() < 1e-6);
+        prop_assert!((back.y - p.y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn projection_distance_close_to_haversine(
+        la in -60.0..60.0f64, lo in lon(),
+        x1 in -20_000.0..20_000.0f64, y1 in -20_000.0..20_000.0f64,
+        x2 in -20_000.0..20_000.0f64, y2 in -20_000.0..20_000.0f64
+    ) {
+        let proj = LocalProjection::new(LatLon::new(la, lo));
+        let a = proj.to_latlon(Point::new(x1, y1));
+        let b = proj.to_latlon(Point::new(x2, y2));
+        let d_local = Point::new(x1, y1).distance(Point::new(x2, y2));
+        let d_hav = a.haversine_m(b);
+        // Within 0.5% + 1 m over a 40 km frame (paper thresholds are 500 m).
+        prop_assert!((d_local - d_hav).abs() <= d_hav * 5e-3 + 1.0,
+            "local {d_local} vs haversine {d_hav}");
+    }
+
+    #[test]
+    fn grid_query_matches_brute_force(
+        pts in prop::collection::vec((-5_000.0..5_000.0f64, -5_000.0..5_000.0f64), 0..60),
+        qx in -5_000.0..5_000.0f64, qy in -5_000.0..5_000.0f64,
+        radius in 0.0..3_000.0f64,
+        cell in 10.0..2_000.0f64,
+    ) {
+        let mut grid = SpatialGrid::new(cell);
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            grid.insert(Point::new(x, y), i);
+        }
+        let center = Point::new(qx, qy);
+        let mut got: Vec<usize> = grid.query_radius(center, radius).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = pts.iter().enumerate()
+            .filter(|(_, &(x, y))| Point::new(x, y).distance(center) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn grid_nearest_matches_brute_force(
+        pts in prop::collection::vec((-2_000.0..2_000.0f64, -2_000.0..2_000.0f64), 1..40),
+        qx in -2_000.0..2_000.0f64, qy in -2_000.0..2_000.0f64,
+    ) {
+        let mut grid = SpatialGrid::new(250.0);
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            grid.insert(Point::new(x, y), i);
+        }
+        let center = Point::new(qx, qy);
+        let got = grid.nearest(center, 10_000.0).map(|(_, d)| d);
+        let want = pts.iter()
+            .map(|&(x, y)| Point::new(x, y).distance(center))
+            .min_by(|a, b| a.total_cmp(b));
+        match (got, want) {
+            (Some(g), Some(w)) => prop_assert!((g - w).abs() < 1e-9),
+            (g, w) => prop_assert_eq!(g.is_some(), w.is_some()),
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The discrete-event core: a time-ordered queue with deterministic
+//! tie-breaking.
+
+use crate::packet::{NodeId, Packet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation time in milliseconds.
+pub type SimTime = i64;
+
+/// Everything that can happen in the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A node's periodic hello beacon fires.
+    Hello(NodeId),
+    /// A node checks its neighbor table for silent links.
+    LinkCheck(NodeId),
+    /// CBR source of pair `pair` emits its next data packet.
+    CbrSend {
+        /// Index into the simulator's pair list.
+        pair: usize,
+    },
+    /// A transmitted packet arrives at `to` (sent by `from`).
+    Deliver {
+        /// Receiving node.
+        to: NodeId,
+        /// Transmitting node.
+        from: NodeId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// Route discovery for `dst` at `node` timed out (attempt number given).
+    RreqTimeout {
+        /// The requesting node.
+        node: NodeId,
+        /// The destination being discovered.
+        dst: NodeId,
+        /// Which attempt this timeout guards.
+        attempt: u32,
+    },
+    /// Periodic metrics sampling tick.
+    Sample,
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled {
+    time: SimTime,
+    /// Monotone sequence number: equal-time events fire in scheduling
+    /// order, making runs bit-for-bit reproducible.
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// # Example
+///
+/// ```
+/// use geosocial_manet::{EventKind, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(20, EventKind::Sample);
+/// q.schedule(10, EventKind::Hello(0));
+/// q.schedule(10, EventKind::Hello(1)); // same time: FIFO order
+/// assert_eq!(q.pop(), Some((10, EventKind::Hello(0))));
+/// assert_eq!(q.pop(), Some((10, EventKind::Hello(1))));
+/// assert_eq!(q.pop(), Some((20, EventKind::Sample)));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl EventQueue {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `kind` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past — an event scheduled before `now`
+    /// is always a simulator bug.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        assert!(time >= self.now, "scheduling into the past: {time} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { time, seq, kind }));
+    }
+
+    /// Schedule `kind` `delay` ms from now.
+    pub fn schedule_in(&mut self, delay: SimTime, kind: EventKind) {
+        debug_assert!(delay >= 0, "negative delay {delay}");
+        self.schedule(self.now + delay.max(0), kind);
+    }
+
+    /// Pop the next event, advancing `now`. `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        let Reverse(ev) = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        Some((ev.time, ev.kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(5, EventKind::Sample);
+        q.schedule(1, EventKind::Hello(7));
+        q.schedule(5, EventKind::Hello(1));
+        q.schedule(3, EventKind::LinkCheck(2));
+        let order: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();
+        assert_eq!(order, vec![1, 3, 5, 5]);
+    }
+
+    #[test]
+    fn now_tracks_popped_events() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.schedule(10, EventKind::Sample);
+        q.pop();
+        assert_eq!(q.now(), 10);
+        q.schedule_in(5, EventKind::Sample);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(10, EventKind::Sample);
+        q.pop();
+        q.schedule(5, EventKind::Sample);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, EventKind::Sample);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

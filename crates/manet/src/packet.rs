@@ -1,0 +1,110 @@
+//! AODV packet formats (RFC 3561 subset).
+
+/// Index of a node in the simulator's node array.
+pub type NodeId = usize;
+
+/// Over-the-air message types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Route request, flooded toward the destination.
+    Rreq {
+        /// The node that wants a route.
+        origin: NodeId,
+        /// Originator-scoped request id (for duplicate suppression).
+        rreq_id: u32,
+        /// The destination sought.
+        dst: NodeId,
+        /// Originator's sequence number (for reverse-route freshness).
+        origin_seq: u32,
+        /// Last known destination sequence number (0 = unknown).
+        dst_seq: u32,
+        /// Hops traveled so far.
+        hop_count: u8,
+        /// Remaining time-to-live.
+        ttl: u8,
+    },
+    /// Route reply, unicast back along the reverse path.
+    Rrep {
+        /// The node the reply is heading to (the RREQ's originator).
+        origin: NodeId,
+        /// The destination the route leads to.
+        dst: NodeId,
+        /// Destination's sequence number at reply time.
+        dst_seq: u32,
+        /// Hops from the replying node to `dst` so far.
+        hop_count: u8,
+    },
+    /// Route error: the listed destinations became unreachable.
+    Rerr {
+        /// `(destination, its last known sequence number)` pairs.
+        unreachable: Vec<(NodeId, u32)>,
+        /// Bounded re-broadcast budget (substitute for precursor lists).
+        ttl: u8,
+    },
+    /// Link-sensing beacon.
+    Hello {
+        /// Sender's current sequence number.
+        seq: u32,
+    },
+    /// Application payload (one CBR packet).
+    Data {
+        /// Originating node.
+        src: NodeId,
+        /// Final destination.
+        dst: NodeId,
+        /// Per-pair packet sequence number.
+        seq: u64,
+        /// Remaining hop budget (guards against forwarding loops).
+        ttl: u8,
+    },
+}
+
+impl Packet {
+    /// Whether this packet counts as routing overhead (Figure 8c's
+    /// numerator). Hello beacons are constant background independent of
+    /// the mobility input, so — like most NS-2 AODV studies — they are
+    /// excluded.
+    pub fn is_routing(&self) -> bool {
+        matches!(self, Packet::Rreq { .. } | Packet::Rrep { .. } | Packet::Rerr { .. })
+    }
+
+    /// Short label for logs and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Packet::Rreq { .. } => "RREQ",
+            Packet::Rrep { .. } => "RREP",
+            Packet::Rerr { .. } => "RERR",
+            Packet::Hello { .. } => "HELLO",
+            Packet::Data { .. } => "DATA",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_classification() {
+        assert!(Packet::Rreq {
+            origin: 0,
+            rreq_id: 1,
+            dst: 2,
+            origin_seq: 1,
+            dst_seq: 0,
+            hop_count: 0,
+            ttl: 30
+        }
+        .is_routing());
+        assert!(Packet::Rrep { origin: 0, dst: 1, dst_seq: 2, hop_count: 0 }.is_routing());
+        assert!(Packet::Rerr { unreachable: vec![], ttl: 1 }.is_routing());
+        assert!(!Packet::Hello { seq: 1 }.is_routing());
+        assert!(!Packet::Data { src: 0, dst: 1, seq: 0, ttl: 32 }.is_routing());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Packet::Hello { seq: 0 }.label(), "HELLO");
+        assert_eq!(Packet::Data { src: 0, dst: 1, seq: 0, ttl: 1 }.label(), "DATA");
+    }
+}

@@ -1,0 +1,165 @@
+//! Protocol event tracing.
+//!
+//! An optional recorder the simulator can carry: every transmission,
+//! reception, route install/invalidation and buffer drop becomes a
+//! [`TraceEvent`]. Used for protocol-sequence assertions in tests (the
+//! RREQ→RREP handshake, RERR propagation) and for debugging — the
+//! NS-2 trace-file role, in typed form.
+
+use crate::event::SimTime;
+use crate::packet::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One recorded protocol event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A node transmitted a packet (broadcast or unicast).
+    Tx {
+        /// Simulation time, ms.
+        t: SimTime,
+        /// Transmitting node.
+        node: NodeId,
+        /// Packet label ("RREQ", "DATA", ...).
+        kind: &'static str,
+    },
+    /// A node received a packet.
+    Rx {
+        /// Simulation time, ms.
+        t: SimTime,
+        /// Receiving node.
+        node: NodeId,
+        /// Sending node.
+        from: NodeId,
+        /// Packet label.
+        kind: &'static str,
+    },
+    /// A routing-table entry was installed or replaced.
+    RouteInstalled {
+        /// Simulation time, ms.
+        t: SimTime,
+        /// Node whose table changed.
+        node: NodeId,
+        /// Destination of the route.
+        dst: NodeId,
+        /// Next hop installed.
+        next_hop: NodeId,
+    },
+    /// A route was invalidated (link break or RERR).
+    RouteInvalidated {
+        /// Simulation time, ms.
+        t: SimTime,
+        /// Node whose table changed.
+        node: NodeId,
+        /// Destination invalidated.
+        dst: NodeId,
+    },
+    /// A buffered packet was dropped (discovery failed).
+    BufferDropped {
+        /// Simulation time, ms.
+        t: SimTime,
+        /// Node that gave up.
+        node: NodeId,
+        /// Destination discovery failed for.
+        dst: NodeId,
+        /// Packets discarded.
+        count: usize,
+    },
+}
+
+impl TraceEvent {
+    /// Event timestamp, ms.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TraceEvent::Tx { t, .. }
+            | TraceEvent::Rx { t, .. }
+            | TraceEvent::RouteInstalled { t, .. }
+            | TraceEvent::RouteInvalidated { t, .. }
+            | TraceEvent::BufferDropped { t, .. } => *t,
+        }
+    }
+}
+
+/// A bounded in-memory event recorder.
+///
+/// Disabled by default (zero overhead beyond a branch); enable with a
+/// capacity. Recording stops silently at capacity — traces are for
+/// inspecting protocol behaviour near time zero, not for unbounded
+/// collection.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+}
+
+impl TraceLog {
+    /// A disabled log.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A log that records up to `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { events: Vec::new(), capacity }
+    }
+
+    /// Whether recording is active.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record an event (no-op when disabled or full).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events matching a predicate.
+    pub fn filter<'a, F: Fn(&TraceEvent) -> bool + 'a>(
+        &'a self,
+        pred: F,
+    ) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| pred(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        assert!(!log.enabled());
+        log.push(TraceEvent::Tx { t: 0, node: 0, kind: "RREQ" });
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_recording() {
+        let mut log = TraceLog::with_capacity(2);
+        assert!(log.enabled());
+        for i in 0..5 {
+            log.push(TraceEvent::Tx { t: i, node: 0, kind: "DATA" });
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events()[1].time(), 1);
+    }
+
+    #[test]
+    fn filter_selects_by_kind() {
+        let mut log = TraceLog::with_capacity(10);
+        log.push(TraceEvent::Tx { t: 0, node: 0, kind: "RREQ" });
+        log.push(TraceEvent::Rx { t: 5, node: 1, from: 0, kind: "RREQ" });
+        log.push(TraceEvent::Tx { t: 6, node: 1, kind: "RREP" });
+        let rreps: Vec<_> = log
+            .filter(|e| matches!(e, TraceEvent::Tx { kind: "RREP", .. }))
+            .collect();
+        assert_eq!(rreps.len(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the MANET simulator's invariants.
+
+use geosocial_geo::Point;
+use geosocial_manet::{SimConfig, Simulator};
+use geosocial_mobility::MovementTrace;
+use proptest::prelude::*;
+
+/// Random static topologies: nodes scattered in a field.
+fn topology() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0..5_000.0f64, 0.0..5_000.0f64), 2..15)
+}
+
+fn static_traces(positions: &[(f64, f64)], duration_s: i64) -> Vec<MovementTrace> {
+    positions
+        .iter()
+        .map(|&(x, y)| {
+            MovementTrace::new(vec![(0, Point::new(x, y)), (duration_s, Point::new(x, y))])
+        })
+        .collect()
+}
+
+/// Union-find connectivity at the radio range — the oracle for
+/// reachability in a static network.
+fn connected(positions: &[(f64, f64)], a: usize, b: usize, range: f64) -> bool {
+    let n = positions.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(p: &mut Vec<usize>, i: usize) -> usize {
+        if p[i] != i {
+            let r = find(p, p[i]);
+            p[i] = r;
+        }
+        p[i]
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = Point::new(positions[i].0, positions[i].1)
+                .distance(Point::new(positions[j].0, positions[j].1));
+            if d <= range {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                parent[ri] = rj;
+            }
+        }
+    }
+    find(&mut parent, a) == find(&mut parent, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// In a static network, data is delivered iff the pair is in the same
+    /// connected component (given enough time for discovery).
+    #[test]
+    fn delivery_matches_graph_connectivity(
+        positions in topology(),
+        seed in 0u64..1_000,
+    ) {
+        let n = positions.len();
+        let (src, dst) = (0, n - 1);
+        prop_assume!(src != dst);
+        let cfg = SimConfig { duration_ms: 60_000, ..Default::default() };
+        let traces = static_traces(&positions, 120);
+        let report = Simulator::new(traces, vec![(src, dst)], cfg.clone(), seed).run();
+        let reachable = connected(&positions, src, dst, cfg.radio_range_m);
+        let p = &report.pairs[0];
+        if reachable {
+            prop_assert!(
+                p.data_delivered > 0,
+                "connected pair delivered nothing ({} sent)", p.data_sent
+            );
+            // Once discovered, the route should stick in a static net.
+            prop_assert!(p.availability_ratio() > 0.5,
+                "availability {:.2} too low for a static connected pair",
+                p.availability_ratio());
+        } else {
+            prop_assert_eq!(p.data_delivered, 0, "partitioned pair delivered data");
+            prop_assert_eq!(p.samples_available, 0,
+                "partitioned pair claims route availability");
+        }
+    }
+
+    /// Conservation: deliveries never exceed sends; samples never exceed
+    /// the sampling schedule; availability ∈ [0, 1].
+    #[test]
+    fn metric_conservation_laws(
+        positions in topology(),
+        seed in 0u64..1_000,
+        duration_s in 10i64..120,
+    ) {
+        let n = positions.len();
+        let cfg = SimConfig { duration_ms: duration_s * 1_000, ..Default::default() };
+        let traces = static_traces(&positions, duration_s + 10);
+        let pairs: Vec<(usize, usize)> = (1..n).map(|d| (0, d)).collect();
+        let report = Simulator::new(traces, pairs, cfg, seed).run();
+        for p in &report.pairs {
+            prop_assert!(p.data_delivered <= p.data_sent);
+            prop_assert!(p.samples_available <= p.samples_total);
+            prop_assert!((0.0..=1.0).contains(&p.availability_ratio()));
+            prop_assert!(p.delivery_ratio() <= 1.0);
+        }
+        // Global data transmissions at least cover end-to-end deliveries.
+        let delivered: u64 = report.pairs.iter().map(|p| p.data_delivered).sum();
+        prop_assert!(report.total_data_tx >= delivered);
+    }
+
+    /// Determinism: identical seeds produce identical metric reports.
+    #[test]
+    fn determinism_under_seed(positions in topology(), seed in 0u64..100) {
+        let n = positions.len();
+        let cfg = SimConfig { duration_ms: 20_000, ..Default::default() };
+        let mk = || Simulator::new(
+            static_traces(&positions, 40),
+            vec![(0, n - 1)],
+            cfg.clone(),
+            seed,
+        ).run();
+        let (a, b) = (mk(), mk());
+        prop_assert_eq!(a.total_routing_tx, b.total_routing_tx);
+        prop_assert_eq!(a.total_data_tx, b.total_data_tx);
+        prop_assert_eq!(a.pairs[0].data_delivered, b.pairs[0].data_delivered);
+        prop_assert_eq!(a.pairs[0].route_changes, b.pairs[0].route_changes);
+    }
+}

@@ -1,0 +1,252 @@
+//! Synthetic city / POI-universe generation.
+//!
+//! The layout mimics a mid-size metropolitan area (the study cohort was
+//! worldwide, but the spatial structure that matters — clustered venues,
+//! residential spread, a campus — is generic):
+//!
+//! * **Downtown core** (Gaussian cluster, σ ≈ 15% of city radius): food,
+//!   nightlife, arts, professional venues.
+//! * **Residential belt** (annulus between 20% and 90% of the radius):
+//!   residences, scattered shops and food.
+//! * **Campus** (tight cluster at a random offset): college venues.
+//! * **Transit points** (edge-biased): travel venues.
+//! * **Outdoors** (uniform): parks and trails.
+
+use geosocial_geo::{LatLon, LocalProjection, Point};
+use geosocial_trace::{Poi, PoiCategory, PoiUniverse};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic city.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CityConfig {
+    /// Geographic center of the city (also the projection origin).
+    pub center: LatLon,
+    /// City radius in meters; POIs fall inside this disk.
+    pub radius_m: f64,
+    /// Total number of POIs to generate.
+    pub n_pois: usize,
+}
+
+impl Default for CityConfig {
+    fn default() -> Self {
+        Self {
+            // Goleta / Santa Barbara, where the study was run.
+            center: LatLon::new(34.42, -119.80),
+            radius_m: 10_000.0,
+            n_pois: 2_000,
+        }
+    }
+}
+
+/// Category mix of the generated universe, as (category, weight) pairs.
+///
+/// Weights approximate Foursquare's venue-type distribution circa 2013:
+/// food and retail dominate; colleges and travel hubs are rare.
+const CATEGORY_MIX: [(PoiCategory, f64); 9] = [
+    (PoiCategory::Food, 0.24),
+    (PoiCategory::Shop, 0.20),
+    (PoiCategory::Residence, 0.16),
+    (PoiCategory::Professional, 0.12),
+    (PoiCategory::College, 0.07),
+    (PoiCategory::Nightlife, 0.07),
+    (PoiCategory::Outdoors, 0.06),
+    (PoiCategory::Arts, 0.04),
+    (PoiCategory::Travel, 0.04),
+];
+
+/// Generate a synthetic POI universe.
+///
+/// Deterministic for a given RNG state; the experiment harness seeds a
+/// `ChaCha` RNG so every table and figure regenerates bit-for-bit.
+pub fn generate_city<R: Rng>(config: &CityConfig, rng: &mut R) -> PoiUniverse {
+    assert!(config.n_pois > 0, "city needs at least one POI");
+    assert!(config.radius_m > 100.0, "city radius unreasonably small");
+    let projection = LocalProjection::new(config.center);
+    // Campus anchor: one tight cluster somewhere in the middle ring.
+    let campus_angle = rng.gen_range(0.0..std::f64::consts::TAU);
+    let campus_r = config.radius_m * rng.gen_range(0.3..0.6);
+    let campus = Point::new(campus_r * campus_angle.cos(), campus_r * campus_angle.sin());
+
+    let mut pois = Vec::with_capacity(config.n_pois);
+    for id in 0..config.n_pois {
+        let category = pick_category(rng);
+        let pos = sample_position(category, config.radius_m, campus, rng);
+        pois.push(Poi {
+            id: id as u32,
+            name: format!("{} #{id}", category.label()),
+            category,
+            location: projection.to_latlon(pos),
+        });
+    }
+    PoiUniverse::new(pois, projection)
+}
+
+fn pick_category<R: Rng>(rng: &mut R) -> PoiCategory {
+    let total: f64 = CATEGORY_MIX.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for &(cat, w) in &CATEGORY_MIX {
+        if x < w {
+            return cat;
+        }
+        x -= w;
+    }
+    CATEGORY_MIX[0].0
+}
+
+/// Sample a venue position according to the category's spatial pattern.
+fn sample_position<R: Rng>(
+    category: PoiCategory,
+    radius: f64,
+    campus: Point,
+    rng: &mut R,
+) -> Point {
+    let p = match category {
+        // Downtown cluster.
+        PoiCategory::Nightlife | PoiCategory::Arts | PoiCategory::Professional => {
+            gaussian_2d(Point::new(0.0, 0.0), radius * 0.15, rng)
+        }
+        // Food splits between downtown and the residential belt.
+        PoiCategory::Food => {
+            if rng.gen_bool(0.5) {
+                gaussian_2d(Point::new(0.0, 0.0), radius * 0.18, rng)
+            } else {
+                annulus(radius * 0.2, radius * 0.9, rng)
+            }
+        }
+        // Shops line the middle ring (arterials).
+        PoiCategory::Shop => annulus(radius * 0.15, radius * 0.8, rng),
+        // Residences fill the belt.
+        PoiCategory::Residence => annulus(radius * 0.2, radius * 0.95, rng),
+        // Campus venues hug the campus anchor.
+        PoiCategory::College => gaussian_2d(campus, radius * 0.05, rng),
+        // Transit at the periphery.
+        PoiCategory::Travel => annulus(radius * 0.7, radius, rng),
+        // Parks anywhere.
+        PoiCategory::Outdoors => annulus(0.0, radius, rng),
+    };
+    clamp_to_disk(p, radius)
+}
+
+/// Sample from an isotropic 2-D Gaussian centered at `mu`.
+fn gaussian_2d<R: Rng>(mu: Point, sigma: f64, rng: &mut R) -> Point {
+    // Box-Muller transform.
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let mag = sigma * (-2.0 * u1.ln()).sqrt();
+    let ang = std::f64::consts::TAU * u2;
+    Point::new(mu.x + mag * ang.cos(), mu.y + mag * ang.sin())
+}
+
+/// Uniform sample from the annulus `r ∈ [r0, r1]` (area-uniform).
+fn annulus<R: Rng>(r0: f64, r1: f64, rng: &mut R) -> Point {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let r = (r0 * r0 + u * (r1 * r1 - r0 * r0)).sqrt();
+    let ang = rng.gen_range(0.0..std::f64::consts::TAU);
+    Point::new(r * ang.cos(), r * ang.sin())
+}
+
+fn clamp_to_disk(p: Point, radius: f64) -> Point {
+    let d = (p.x * p.x + p.y * p.y).sqrt();
+    if d <= radius {
+        p
+    } else {
+        p * (radius / d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn city(seed: u64, n: usize) -> PoiUniverse {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        generate_city(&CityConfig { n_pois: n, ..Default::default() }, &mut rng)
+    }
+
+    #[test]
+    fn generates_requested_count_with_sequential_ids() {
+        let u = city(1, 500);
+        assert_eq!(u.len(), 500);
+        for (i, p) in u.all().iter().enumerate() {
+            assert_eq!(p.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn all_pois_inside_city_disk() {
+        let cfg = CityConfig::default();
+        let u = city(2, 1_000);
+        for p in u.all() {
+            let d = cfg.center.haversine_m(p.location);
+            assert!(d <= cfg.radius_m * 1.01, "POI {} at {d} m", p.id);
+        }
+    }
+
+    #[test]
+    fn category_mix_roughly_matches_weights() {
+        let u = city(3, 4_000);
+        let mut counts = [0usize; 9];
+        for p in u.all() {
+            counts[p.category.index()] += 1;
+        }
+        for &(cat, w) in &CATEGORY_MIX {
+            let frac = counts[cat.index()] as f64 / u.len() as f64;
+            assert!(
+                (frac - w).abs() < 0.03,
+                "{cat}: got {frac:.3}, want ~{w:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = city(7, 200);
+        let b = city(7, 200);
+        for (pa, pb) in a.all().iter().zip(b.all()) {
+            assert_eq!(pa.category, pb.category);
+            assert_eq!(pa.location, pb.location);
+        }
+        // And different for different seeds.
+        let c = city(8, 200);
+        let same = a
+            .all()
+            .iter()
+            .zip(c.all())
+            .filter(|(x, y)| x.location == y.location)
+            .count();
+        assert!(same < 10, "seeds should decorrelate layouts, {same} identical");
+    }
+
+    #[test]
+    fn nightlife_clusters_downtown() {
+        let cfg = CityConfig::default();
+        let u = city(4, 4_000);
+        let mut night_r = Vec::new();
+        let mut res_r = Vec::new();
+        for p in u.all() {
+            let d = cfg.center.haversine_m(p.location);
+            match p.category {
+                PoiCategory::Nightlife => night_r.push(d),
+                PoiCategory::Residence => res_r.push(d),
+                _ => {}
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&night_r) < mean(&res_r) * 0.6,
+            "nightlife {:.0} m vs residence {:.0} m",
+            mean(&night_r),
+            mean(&res_r)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one POI")]
+    fn zero_pois_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        generate_city(&CityConfig { n_pois: 0, ..Default::default() }, &mut rng);
+    }
+}

@@ -1,0 +1,191 @@
+//! Rendering itineraries into per-minute GPS traces.
+//!
+//! Mirrors the paper's collection app (§3): one fix per minute, Gaussian
+//! position noise, and fix loss indoors (where the app fell back to WiFi +
+//! accelerometer — which we model as a sampling gap the visit detector
+//! bridges).
+
+use crate::routine::Itinerary;
+use geosocial_geo::{LatLon, Point};
+use geosocial_trace::{GpsPoint, GpsTrace, PoiUniverse, MINUTE};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the GPS renderer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpsSimConfig {
+    /// Sampling period in seconds (paper: one fix per minute).
+    pub sample_period: i64,
+    /// Standard deviation of GPS position noise, meters.
+    pub noise_sigma_m: f64,
+    /// Probability a fix is lost while the user is inside a venue.
+    /// Calibrated so total fix counts land near the paper's ~750/user/day.
+    pub indoor_loss_prob: f64,
+    /// Probability a fix is lost while traveling (urban canyons).
+    pub travel_loss_prob: f64,
+}
+
+impl Default for GpsSimConfig {
+    fn default() -> Self {
+        Self {
+            sample_period: MINUTE,
+            noise_sigma_m: 8.0,
+            indoor_loss_prob: 0.45,
+            travel_loss_prob: 0.05,
+        }
+    }
+}
+
+/// Render an itinerary into a GPS trace.
+///
+/// At each sampling tick the user is either inside a stop (position = the
+/// venue, plus noise, with indoor fix loss) or traveling between stops
+/// (position interpolated along the straight-line path, plus noise).
+pub fn simulate_gps<R: Rng>(
+    itinerary: &Itinerary,
+    universe: &PoiUniverse,
+    cfg: &GpsSimConfig,
+    rng: &mut R,
+) -> GpsTrace {
+    assert!(cfg.sample_period > 0, "sample period must be positive");
+    let Some((start, end)) = itinerary.span() else {
+        return GpsTrace::default();
+    };
+    let proj = universe.projection();
+    let mut points = Vec::with_capacity(((end - start) / cfg.sample_period) as usize);
+    let mut stop_idx = 0usize;
+    let stops = &itinerary.stops;
+
+    let mut t = start;
+    while t <= end {
+        // Advance to the stop whose window could contain t.
+        while stop_idx + 1 < stops.len() && stops[stop_idx + 1].arrival <= t {
+            stop_idx += 1;
+        }
+        let s = &stops[stop_idx];
+        let (true_pos, indoors) = if t >= s.arrival && t <= s.departure {
+            (proj.to_local(universe.get(s.poi).location), true)
+        } else {
+            // Traveling from s to the next stop.
+            let next = &stops[(stop_idx + 1).min(stops.len() - 1)];
+            let from = proj.to_local(universe.get(s.poi).location);
+            let to = proj.to_local(universe.get(next.poi).location);
+            let window = (next.arrival - s.departure).max(1) as f64;
+            let frac = ((t - s.departure) as f64 / window).clamp(0.0, 1.0);
+            (from.lerp(to, frac), false)
+        };
+
+        let loss = if indoors { cfg.indoor_loss_prob } else { cfg.travel_loss_prob };
+        if !rng.gen_bool(loss.clamp(0.0, 1.0)) {
+            points.push(GpsPoint { t, pos: noisy(proj.to_latlon(true_pos), cfg.noise_sigma_m, rng, proj) });
+        }
+        t += cfg.sample_period;
+    }
+    GpsTrace::new(points)
+}
+
+/// Add isotropic Gaussian noise to a coordinate.
+fn noisy<R: Rng>(
+    pos: LatLon,
+    sigma: f64,
+    rng: &mut R,
+    proj: &geosocial_geo::LocalProjection,
+) -> LatLon {
+    if sigma <= 0.0 {
+        return pos;
+    }
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let mag = sigma * (-2.0 * u1.ln()).sqrt();
+    let ang = std::f64::consts::TAU * u2;
+    let p = proj.to_local(pos);
+    proj.to_latlon(Point::new(p.x + mag * ang.cos(), p.y + mag * ang.sin()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{generate_city, CityConfig};
+    use crate::routine::{assign_prefs, generate_itinerary, RoutineConfig};
+    use geosocial_trace::{detect_visits, VisitConfig, DAY};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(seed: u64, days: u32) -> (PoiUniverse, Itinerary, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let u = generate_city(&CityConfig { n_pois: 800, ..Default::default() }, &mut rng);
+        let prefs = assign_prefs(0, &u, &mut rng);
+        let it = generate_itinerary(&prefs, &u, days, &RoutineConfig::default(), &mut rng);
+        (u, it, rng)
+    }
+
+    #[test]
+    fn fix_count_near_paper_density() {
+        let (u, it, mut rng) = setup(31, 7);
+        let trace = simulate_gps(&it, &u, &GpsSimConfig::default(), &mut rng);
+        let per_day = trace.len() as f64 / 7.0;
+        // Paper: ~2.6M fixes / 244 users / 14.2 days ≈ 750/user/day.
+        assert!((500.0..1100.0).contains(&per_day), "fixes/day = {per_day:.0}");
+    }
+
+    #[test]
+    fn fixes_are_near_the_itinerary() {
+        let (u, it, mut rng) = setup(32, 2);
+        let cfg = GpsSimConfig { noise_sigma_m: 5.0, ..Default::default() };
+        let trace = simulate_gps(&it, &u, &cfg, &mut rng);
+        // Every fix taken during a stay must be within noise of the venue.
+        for p in trace.points() {
+            let inside = it
+                .stops
+                .iter()
+                .find(|s| p.t >= s.arrival && p.t <= s.departure);
+            if let Some(s) = inside {
+                let d = p.pos.haversine_m(u.get(s.poi).location);
+                assert!(d < 60.0, "fix {d:.0} m from venue during stay");
+            }
+        }
+    }
+
+    #[test]
+    fn visit_detection_recovers_major_stays() {
+        let (u, it, mut rng) = setup(33, 7);
+        let trace = simulate_gps(&it, &u, &GpsSimConfig::default(), &mut rng);
+        let visits = detect_visits(&trace, &VisitConfig::default(), Some(&u));
+        // Long ground-truth stays (≥ 10 min) should mostly be recovered.
+        let long_stays = it.stops.iter().filter(|s| s.duration() >= 10 * MINUTE).count();
+        assert!(
+            visits.len() as f64 >= long_stays as f64 * 0.6,
+            "{} visits for {long_stays} long stays",
+            visits.len()
+        );
+        // And most visits should snap to a POI.
+        let snapped = visits.iter().filter(|v| v.poi.is_some()).count();
+        assert!(snapped as f64 / visits.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn empty_itinerary_empty_trace() {
+        let (u, _, mut rng) = setup(34, 1);
+        let trace = simulate_gps(&Itinerary::default(), &u, &GpsSimConfig::default(), &mut rng);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn zero_noise_pins_fixes_to_venues() {
+        let (u, it, mut rng) = setup(35, 1);
+        let cfg = GpsSimConfig {
+            noise_sigma_m: 0.0,
+            indoor_loss_prob: 0.0,
+            travel_loss_prob: 0.0,
+            ..Default::default()
+        };
+        let trace = simulate_gps(&it, &u, &cfg, &mut rng);
+        let s = &it.stops[0];
+        let first = trace.points().iter().find(|p| p.t >= s.arrival).unwrap();
+        assert!(first.pos.haversine_m(u.get(s.poi).location) < 0.01);
+        // Continuous coverage: one fix per minute for the whole span.
+        let expected = ((it.span().unwrap().1 - it.span().unwrap().0) / MINUTE + 1) as usize;
+        assert_eq!(trace.len(), expected);
+        assert!(it.span().unwrap().1 >= DAY);
+    }
+}

@@ -1,0 +1,379 @@
+//! The Levy Walk mobility model: fitting and generation.
+//!
+//! §6.1 of the paper: movement is a sequence of *flights* (straight trips)
+//! separated by *pauses*. Three ingredients define the model:
+//!
+//! 1. flight length ~ Pareto,
+//! 2. pause time ~ Pareto,
+//! 3. movement time coupled to distance as `t = k·d^(1−ρ)`.
+//!
+//! The paper trains this model on three traces — GPS visits, honest
+//! checkins, all checkins — and Figure 7 shows the fits. Checkin traces
+//! carry no pause information, so the paper "conservatively" borrows the
+//! GPS pause distribution; [`fit_levy`]'s `pause_fallback` mirrors that.
+
+use crate::movement::MovementTrace;
+use geosocial_geo::{LocalProjection, Point};
+use geosocial_stats::{fit_pareto, fit_power_law, Pareto, PowerLawFit};
+use geosocial_trace::{Checkin, Timestamp, Visit};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Flight/pause/coupling observations extracted from a trace, ready for
+/// fitting. Flights and movement times are paired (same index = same trip).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainingSample {
+    /// Trip displacement lengths, meters.
+    pub flights_m: Vec<f64>,
+    /// Trip durations, seconds (paired with `flights_m`).
+    pub times_s: Vec<f64>,
+    /// Stay durations, seconds. Empty for checkin-derived samples.
+    pub pauses_s: Vec<f64>,
+}
+
+impl TrainingSample {
+    /// Extract flights and pauses from a user's GPS visit sequence:
+    /// flight = distance between consecutive visit centroids, movement time
+    /// = gap between departure and next arrival, pause = visit duration.
+    pub fn from_visits(visits: &[Visit], proj: &LocalProjection) -> Self {
+        let mut s = Self::default();
+        for v in visits {
+            s.pauses_s.push(v.duration() as f64);
+        }
+        for w in visits.windows(2) {
+            let d = proj
+                .to_local(w[0].centroid)
+                .distance(proj.to_local(w[1].centroid));
+            let t = (w[1].start - w[0].end) as f64;
+            if t > 0.0 {
+                s.flights_m.push(d);
+                s.times_s.push(t);
+            }
+        }
+        s
+    }
+
+    /// Extract flights from a user's chronologically sorted checkin stream:
+    /// flight = distance between consecutive checkin coordinates, movement
+    /// time = inter-checkin interval. Checkins carry no stay boundaries, so
+    /// no pauses are produced (the fit borrows them; see [`fit_levy`]).
+    pub fn from_checkins(checkins: &[Checkin], proj: &LocalProjection) -> Self {
+        let mut s = Self::default();
+        for w in checkins.windows(2) {
+            let d = proj
+                .to_local(w[0].location)
+                .distance(proj.to_local(w[1].location));
+            let t = (w[1].t - w[0].t) as f64;
+            if t > 0.0 {
+                s.flights_m.push(d);
+                s.times_s.push(t);
+            }
+        }
+        s
+    }
+
+    /// Append another user's observations (cohort-level fitting pools all
+    /// users, as the paper does).
+    pub fn merge(&mut self, other: &TrainingSample) {
+        self.flights_m.extend_from_slice(&other.flights_m);
+        self.times_s.extend_from_slice(&other.times_s);
+        self.pauses_s.extend_from_slice(&other.pauses_s);
+    }
+
+    /// Number of flight observations.
+    pub fn n_flights(&self) -> usize {
+        self.flights_m.len()
+    }
+}
+
+/// Thresholds applied before fitting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevyFitConfig {
+    /// Pareto scale for flight lengths, meters. Displacements below this are
+    /// jitter (GPS noise, same-building moves), not flights.
+    pub flight_xmin_m: f64,
+    /// Pareto scale for pause times, seconds.
+    pub pause_xmin_s: f64,
+    /// Movement times above this are overnight gaps, not trips; excluded
+    /// from the coupling fit. Seconds.
+    pub max_move_time_s: f64,
+    /// Implied-speed window for coupling pairs, m/s. Checkin-derived
+    /// "movement times" are inter-event intervals that often contain whole
+    /// dwells; a pair whose implied speed falls below `min_speed_mps` is a
+    /// dwell, not a trip, and would otherwise flatten the power-law fit.
+    pub min_speed_mps: f64,
+    /// Upper speed bound for coupling pairs, m/s (aircraft exclusion).
+    pub max_speed_mps: f64,
+}
+
+impl Default for LevyFitConfig {
+    fn default() -> Self {
+        Self {
+            flight_xmin_m: 50.0,
+            pause_xmin_s: 60.0,
+            max_move_time_s: 6.0 * 3600.0,
+            min_speed_mps: 0.4,
+            max_speed_mps: 40.0,
+        }
+    }
+}
+
+/// A fitted Levy Walk model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevyWalkModel {
+    /// Flight-length distribution (meters).
+    pub flight: Pareto,
+    /// Pause-time distribution (seconds).
+    pub pause: Pareto,
+    /// Movement-time coupling `t = k·d^(1−ρ)` (d meters → t seconds).
+    pub coupling: PowerLawFit,
+}
+
+impl LevyWalkModel {
+    /// The Levy coupling exponent `ρ`, from `t = k·d^(1−ρ)`.
+    pub fn rho(&self) -> f64 {
+        1.0 - self.coupling.exponent
+    }
+
+    /// Trip duration for a flight of `d` meters, clamped to physical speeds
+    /// (0.3–35 m/s) so extrapolation cannot produce teleporting nodes.
+    pub fn move_time(&self, d: f64) -> f64 {
+        let t = self.coupling.eval(d);
+        t.clamp(d / 35.0, d / 0.3).max(1.0)
+    }
+
+    /// Generate a node movement trace inside a square field of side
+    /// `area_m`, lasting `duration_s`.
+    ///
+    /// Flights whose endpoint would leave the field re-draw their direction
+    /// (up to a bound, then clamp), matching the boundary behaviour of the
+    /// Levy-walk simulator of Rhee et al.
+    pub fn generate<R: Rng>(
+        &self,
+        area_m: f64,
+        duration_s: Timestamp,
+        rng: &mut R,
+    ) -> MovementTrace {
+        assert!(area_m > 0.0 && duration_s > 0, "degenerate generation window");
+        let mut pos = Point::new(rng.gen_range(0.0..area_m), rng.gen_range(0.0..area_m));
+        let mut t: Timestamp = 0;
+        let mut wps = vec![(t, pos)];
+        let max_flight = area_m * 0.9;
+        while t < duration_s {
+            // Pause at the current location.
+            let pause = self
+                .pause
+                .sample_truncated(rng.gen(), 8.0 * 3600.0_f64.max(self.pause.x_min))
+                .round()
+                .max(1.0) as i64;
+            t += pause;
+            wps.push((t, pos));
+            if t >= duration_s {
+                break;
+            }
+            // Flight.
+            let d = self.flight.sample_truncated(rng.gen(), max_flight.max(self.flight.x_min));
+            let mut target = None;
+            for _ in 0..32 {
+                let ang = rng.gen_range(0.0..std::f64::consts::TAU);
+                let cand = Point::new(pos.x + d * ang.cos(), pos.y + d * ang.sin());
+                if (0.0..=area_m).contains(&cand.x) && (0.0..=area_m).contains(&cand.y) {
+                    target = Some(cand);
+                    break;
+                }
+            }
+            let target = target.unwrap_or(Point::new(
+                (pos.x + d).clamp(0.0, area_m),
+                pos.y.clamp(0.0, area_m),
+            ));
+            // Ceil, not round: rounding down would let short flights beat
+            // the move_time speed clamp.
+            let move_t = self.move_time(pos.distance(target)).ceil().max(1.0) as i64;
+            t += move_t;
+            pos = target;
+            wps.push((t, pos));
+        }
+        MovementTrace::new(wps)
+    }
+}
+
+/// Fit a Levy Walk model from a training sample.
+///
+/// `pause_fallback` supplies the pause distribution when the sample has no
+/// pause observations (checkin-derived traces) — the paper's "conservative
+/// approach" of reusing the GPS pause fit. Returns `None` when any
+/// component cannot be fitted (too little data).
+pub fn fit_levy(
+    sample: &TrainingSample,
+    cfg: &LevyFitConfig,
+    pause_fallback: Option<&Pareto>,
+) -> Option<LevyWalkModel> {
+    let flight = fit_tail(&sample.flights_m, cfg.flight_xmin_m)?;
+
+    let pause = if sample.pauses_s.is_empty() {
+        *pause_fallback?
+    } else {
+        fit_tail(&sample.pauses_s, cfg.pause_xmin_s)?
+    };
+
+    // Coupling fit on trip-like pairs only.
+    let mut ds = Vec::new();
+    let mut ts = Vec::new();
+    for (&d, &t) in sample.flights_m.iter().zip(&sample.times_s) {
+        if d >= cfg.flight_xmin_m && t > 0.0 && t <= cfg.max_move_time_s {
+            let speed = d / t;
+            if speed >= cfg.min_speed_mps && speed <= cfg.max_speed_mps {
+                ds.push(d);
+                ts.push(t);
+            }
+        }
+    }
+    let coupling = fit_power_law(&ds, &ts)?;
+    Some(LevyWalkModel { flight, pause, coupling })
+}
+
+/// Fit a Pareto tail to the samples at or above `threshold`, using the
+/// smallest retained sample as the scale. Passing the threshold itself as
+/// the scale would bias `alpha` low whenever the true scale sits above it
+/// (MLE assumes density starts exactly at `x_min`).
+fn fit_tail(samples: &[f64], threshold: f64) -> Option<Pareto> {
+    let x_min = samples
+        .iter()
+        .copied()
+        .filter(|&x| x >= threshold)
+        .min_by(f64::total_cmp)?;
+    fit_pareto(samples, x_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosocial_geo::LatLon;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn proj() -> LocalProjection {
+        LocalProjection::new(LatLon::new(34.4, -119.8))
+    }
+
+    fn synthetic_sample(n: usize) -> TrainingSample {
+        // Flights Pareto(100 m, 1.6); times t = 2 d^0.6; pauses Pareto(120 s, 1.3).
+        let fl = Pareto::new(100.0, 1.6);
+        let pa = Pareto::new(120.0, 1.3);
+        let mut s = TrainingSample::default();
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            let d = fl.inv_cdf(u);
+            s.flights_m.push(d);
+            s.times_s.push(2.0 * d.powf(0.6));
+            s.pauses_s.push(pa.inv_cdf(u));
+        }
+        s
+    }
+
+    #[test]
+    fn fit_recovers_synthetic_parameters() {
+        let s = synthetic_sample(5_000);
+        let m = fit_levy(&s, &LevyFitConfig::default(), None).unwrap();
+        assert!((m.flight.alpha - 1.6).abs() < 0.1, "flight alpha {}", m.flight.alpha);
+        assert!((m.pause.alpha - 1.3).abs() < 0.1, "pause alpha {}", m.pause.alpha);
+        assert!((m.coupling.exponent - 0.6).abs() < 0.05, "exp {}", m.coupling.exponent);
+        assert!((m.coupling.k - 2.0).abs() < 0.3, "k {}", m.coupling.k);
+        assert!((m.rho() - 0.4).abs() < 0.05);
+    }
+
+    #[test]
+    fn checkin_sample_needs_pause_fallback() {
+        let mut s = synthetic_sample(1_000);
+        s.pauses_s.clear();
+        assert!(fit_levy(&s, &LevyFitConfig::default(), None).is_none());
+        let gps_pause = Pareto::new(300.0, 1.1);
+        let m = fit_levy(&s, &LevyFitConfig::default(), Some(&gps_pause)).unwrap();
+        assert_eq!(m.pause, gps_pause);
+    }
+
+    #[test]
+    fn from_visits_extracts_flights_times_pauses() {
+        let p = proj();
+        let mk = |x: f64, start: Timestamp, end: Timestamp| Visit {
+            start,
+            end,
+            centroid: p.to_latlon(Point::new(x, 0.0)),
+            poi: None,
+        };
+        let visits = vec![mk(0.0, 0, 600), mk(1_000.0, 900, 2_000), mk(1_000.0, 2_300, 3_000)];
+        let s = TrainingSample::from_visits(&visits, &p);
+        assert_eq!(s.pauses_s, vec![600.0, 1_100.0, 700.0]);
+        assert_eq!(s.times_s, vec![300.0, 300.0]);
+        assert!((s.flights_m[0] - 1_000.0).abs() < 1.0);
+        assert!(s.flights_m[1] < 1.0);
+    }
+
+    #[test]
+    fn from_checkins_has_no_pauses() {
+        let p = proj();
+        let mk = |x: f64, t: Timestamp| Checkin {
+            t,
+            poi: 0,
+            category: geosocial_trace::PoiCategory::Food,
+            location: p.to_latlon(Point::new(x, 0.0)),
+            provenance: None,
+        };
+        let cs = vec![mk(0.0, 0), mk(500.0, 1_800), mk(500.0, 1_800)];
+        let s = TrainingSample::from_checkins(&cs, &p);
+        assert!(s.pauses_s.is_empty());
+        // The zero-dt pair is dropped.
+        assert_eq!(s.n_flights(), 1);
+        assert!((s.flights_m[0] - 500.0).abs() < 1.0);
+        assert_eq!(s.times_s[0], 1_800.0);
+    }
+
+    #[test]
+    fn merge_pools_users() {
+        let mut a = synthetic_sample(10);
+        let b = synthetic_sample(5);
+        let na = a.n_flights();
+        a.merge(&b);
+        assert_eq!(a.n_flights(), na + 5);
+        assert_eq!(a.pauses_s.len(), 15);
+    }
+
+    #[test]
+    fn generation_stays_in_bounds_and_spans_duration() {
+        let m = fit_levy(&synthetic_sample(2_000), &LevyFitConfig::default(), None).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let area = 10_000.0;
+        let tr = m.generate(area, 24 * 3600, &mut rng);
+        assert!(tr.len() >= 3);
+        for &(_, p) in tr.waypoints() {
+            assert!((0.0..=area).contains(&p.x) && (0.0..=area).contains(&p.y));
+        }
+        let (a, b) = tr.span().unwrap();
+        assert_eq!(a, 0);
+        assert!(b >= 24 * 3600);
+    }
+
+    #[test]
+    fn generated_speeds_are_physical() {
+        let m = fit_levy(&synthetic_sample(2_000), &LevyFitConfig::default(), None).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let tr = m.generate(20_000.0, 12 * 3600, &mut rng);
+        for w in tr.waypoints().windows(2) {
+            let dt = (w[1].0 - w[0].0) as f64;
+            let v = w[0].1.distance(w[1].1) / dt;
+            assert!(v <= 36.0, "speed {v} m/s");
+        }
+    }
+
+    #[test]
+    fn move_time_clamps_to_physical_speeds() {
+        let m = LevyWalkModel {
+            flight: Pareto::new(100.0, 1.5),
+            pause: Pareto::new(60.0, 1.2),
+            // Absurd coupling: 1 second for any distance.
+            coupling: PowerLawFit { k: 1.0, exponent: 0.0, r_squared: 1.0 },
+        };
+        // 10 km in 1 s would be Mach 29; the clamp forces ≥ d/35.
+        assert!(m.move_time(10_000.0) >= 10_000.0 / 35.0);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Ground-truth human mobility generation and mobility models.
+//!
+//! This crate is the substrate that replaces the paper's proprietary user
+//! study (§3). It produces, for a synthetic city and cohort, the *true*
+//! movement history of every user — from which both observable traces
+//! derive: the per-minute GPS trace (here) and the checkin stream (in
+//! `geosocial-checkin`). Because both views come from one ground truth,
+//! the matching pipeline in `geosocial-core` faces exactly the structure
+//! the paper's real data had.
+//!
+//! Components:
+//!
+//! * [`city`] — synthetic POI universe: a downtown core, residential rings,
+//!   arterial shops, a campus; nine Foursquare categories.
+//! * [`routine`] — per-user daily-routine itineraries: home → work → lunch →
+//!   errands → evening activities, with weekday/weekend structure and
+//!   micro-stops. The output is a sequence of [`TrueStop`]s.
+//! * [`gps`] — renders an itinerary into a per-minute GPS trace with
+//!   GPS noise, indoor fix loss, and distance-dependent travel speeds.
+//! * [`levy`] — the Levy Walk mobility model (Rhee et al., the paper's
+//!   \[23\]): Pareto flight lengths and pause times, power-law
+//!   movement-time coupling `t = k·d^(1−ρ)`; fitting from traces
+//!   (Figure 7) and synthetic generation (Figure 8).
+//! * [`waypoint`] — Random Waypoint, the classic baseline model.
+//! * [`movement`] — [`MovementTrace`]: the piecewise-linear node movement
+//!   representation consumed by the MANET simulator.
+
+pub mod city;
+pub mod gps;
+pub mod levy;
+pub mod movement;
+pub mod replay;
+pub mod routine;
+pub mod waypoint;
+
+pub use city::{generate_city, CityConfig};
+pub use gps::{simulate_gps, GpsSimConfig};
+pub use levy::{LevyWalkModel, TrainingSample};
+pub use movement::{movement_stats, MovementTrace};
+pub use replay::{itinerary_to_movement, shift_to_field};
+pub use routine::{assign_prefs, generate_itinerary, Itinerary, RoutineConfig, TrueStop, UserPrefs};
+pub use waypoint::RandomWaypoint;

@@ -1,0 +1,190 @@
+//! Piecewise-linear node movement traces.
+
+use geosocial_geo::Point;
+use geosocial_trace::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// A node's movement as a sequence of timestamped waypoints with linear
+/// motion between them. This is the interface between the mobility models
+/// and the MANET simulator: Levy Walk, Random Waypoint and itinerary-derived
+/// traces all render to a `MovementTrace`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MovementTrace {
+    waypoints: Vec<(Timestamp, Point)>,
+}
+
+impl MovementTrace {
+    /// Build from waypoints; must be strictly increasing in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if timestamps are not strictly increasing.
+    pub fn new(waypoints: Vec<(Timestamp, Point)>) -> Self {
+        for w in waypoints.windows(2) {
+            assert!(w[0].0 < w[1].0, "waypoints not strictly increasing at t={}", w[1].0);
+        }
+        Self { waypoints }
+    }
+
+    /// The waypoint list.
+    pub fn waypoints(&self) -> &[(Timestamp, Point)] {
+        &self.waypoints
+    }
+
+    /// Number of waypoints.
+    pub fn len(&self) -> usize {
+        self.waypoints.len()
+    }
+
+    /// Whether there are no waypoints.
+    pub fn is_empty(&self) -> bool {
+        self.waypoints.is_empty()
+    }
+
+    /// Time span `(first, last)`, or `None` when empty.
+    pub fn span(&self) -> Option<(Timestamp, Timestamp)> {
+        Some((self.waypoints.first()?.0, self.waypoints.last()?.0))
+    }
+
+    /// Position at time `t`: linear interpolation between the bracketing
+    /// waypoints, clamped to the endpoints outside the span. `None` when
+    /// empty.
+    pub fn position_at(&self, t: Timestamp) -> Option<Point> {
+        let wps = &self.waypoints;
+        if wps.is_empty() {
+            return None;
+        }
+        if t <= wps[0].0 {
+            return Some(wps[0].1);
+        }
+        if t >= wps[wps.len() - 1].0 {
+            return Some(wps[wps.len() - 1].1);
+        }
+        // Index of the first waypoint strictly after t.
+        let hi = wps.partition_point(|&(wt, _)| wt <= t);
+        let (t0, p0) = wps[hi - 1];
+        let (t1, p1) = wps[hi];
+        let frac = (t - t0) as f64 / (t1 - t0) as f64;
+        Some(p0.lerp(p1, frac))
+    }
+
+    /// Mean speed over the segment containing `t`, in m/s; `None` outside
+    /// the span or when empty.
+    pub fn speed_at(&self, t: Timestamp) -> Option<f64> {
+        let wps = &self.waypoints;
+        if wps.len() < 2 || t < wps[0].0 || t > wps[wps.len() - 1].0 {
+            return None;
+        }
+        let hi = wps.partition_point(|&(wt, _)| wt <= t).min(wps.len() - 1).max(1);
+        let (t0, p0) = wps[hi - 1];
+        let (t1, p1) = wps[hi];
+        Some(p0.distance(p1) / (t1 - t0) as f64)
+    }
+
+    /// Total path length in meters.
+    pub fn path_length_m(&self) -> f64 {
+        self.waypoints.windows(2).map(|w| w[0].1.distance(w[1].1)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> MovementTrace {
+        MovementTrace::new(vec![
+            (0, Point::new(0.0, 0.0)),
+            (100, Point::new(100.0, 0.0)),
+            (200, Point::new(100.0, 0.0)), // pause
+            (300, Point::new(100.0, 100.0)),
+        ])
+    }
+
+    #[test]
+    fn interpolates_and_clamps() {
+        let tr = trace();
+        assert_eq!(tr.position_at(-50).unwrap(), Point::new(0.0, 0.0));
+        assert_eq!(tr.position_at(50).unwrap(), Point::new(50.0, 0.0));
+        assert_eq!(tr.position_at(150).unwrap(), Point::new(100.0, 0.0));
+        assert_eq!(tr.position_at(250).unwrap(), Point::new(100.0, 50.0));
+        assert_eq!(tr.position_at(999).unwrap(), Point::new(100.0, 100.0));
+    }
+
+    #[test]
+    fn speeds_per_segment() {
+        let tr = trace();
+        assert!((tr.speed_at(50).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(tr.speed_at(150).unwrap(), 0.0); // paused
+        assert!((tr.speed_at(250).unwrap() - 1.0).abs() < 1e-12);
+        assert!(tr.speed_at(-1).is_none());
+        assert!(tr.speed_at(301).is_none());
+    }
+
+    #[test]
+    fn path_length_sums_segments() {
+        assert!((trace().path_length_m() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let tr = MovementTrace::default();
+        assert!(tr.position_at(0).is_none());
+        assert!(tr.span().is_none());
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_waypoints_panic() {
+        MovementTrace::new(vec![(10, Point::new(0.0, 0.0)), (10, Point::new(1.0, 0.0))]);
+    }
+}
+
+/// Decompose a movement trace back into Levy-Walk observations: flights
+/// (displacement + duration between distinct positions) and pauses
+/// (duration at one position). The inverse view of what
+/// [`crate::levy::LevyWalkModel::generate`] produces, used to verify that
+/// a fitted model's output matches its training distribution (the X6
+/// model-fidelity experiment).
+pub fn movement_stats(trace: &MovementTrace) -> crate::levy::TrainingSample {
+    let mut s = crate::levy::TrainingSample::default();
+    for w in trace.waypoints().windows(2) {
+        let d = w[0].1.distance(w[1].1);
+        let dt = (w[1].0 - w[0].0) as f64;
+        if dt <= 0.0 {
+            continue;
+        }
+        if d < 1e-9 {
+            s.pauses_s.push(dt);
+        } else {
+            s.flights_m.push(d);
+            s.times_s.push(dt);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn decomposes_flights_and_pauses() {
+        let tr = MovementTrace::new(vec![
+            (0, Point::new(0.0, 0.0)),
+            (100, Point::new(0.0, 0.0)),   // 100 s pause
+            (300, Point::new(600.0, 0.0)), // 600 m flight in 200 s
+            (400, Point::new(600.0, 0.0)), // 100 s pause
+        ]);
+        let s = movement_stats(&tr);
+        assert_eq!(s.pauses_s, vec![100.0, 100.0]);
+        assert_eq!(s.flights_m, vec![600.0]);
+        assert_eq!(s.times_s, vec![200.0]);
+    }
+
+    #[test]
+    fn empty_trace_gives_empty_stats() {
+        let s = movement_stats(&MovementTrace::default());
+        assert!(s.flights_m.is_empty() && s.pauses_s.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Replaying ground-truth itineraries as node movement.
+//!
+//! The paper drives its MANET simulation from *fitted models*, never from
+//! the raw traces. The replay bridge makes the raw-trace experiment
+//! possible: convert each user's itinerary into a [`MovementTrace`] and
+//! feed it straight to the simulator — the reference point for measuring
+//! how much fidelity the Levy Walk abstraction loses (experiment X6).
+
+use crate::movement::MovementTrace;
+use crate::routine::Itinerary;
+use geosocial_geo::Point;
+use geosocial_trace::PoiUniverse;
+
+/// Convert an itinerary into a movement trace in the universe's local
+/// frame: stationary at each stop's venue, straight-line travel between
+/// consecutive stops.
+///
+/// Returns an empty trace for an empty itinerary.
+pub fn itinerary_to_movement(itinerary: &Itinerary, universe: &PoiUniverse) -> MovementTrace {
+    let proj = universe.projection();
+    let mut wps: Vec<(i64, Point)> = Vec::with_capacity(itinerary.stops.len() * 2);
+    for stop in &itinerary.stops {
+        let pos = proj.to_local(universe.get(stop.poi).location);
+        // Arrival waypoint (skip when it coincides with the previous one in
+        // time — zero-length travel or zero-duration bookend stops).
+        if wps.last().map(|&(t, _)| stop.arrival > t).unwrap_or(true) {
+            wps.push((stop.arrival, pos));
+        }
+        if stop.departure > stop.arrival {
+            wps.push((stop.departure, pos));
+        }
+    }
+    MovementTrace::new(wps)
+}
+
+/// Shift a local-frame movement trace into the MANET simulator's
+/// `[0, field] × [0, field]` coordinate convention, clamping outliers to
+/// the field boundary.
+pub fn shift_to_field(trace: &MovementTrace, field_m: f64) -> MovementTrace {
+    let half = field_m / 2.0;
+    MovementTrace::new(
+        trace
+            .waypoints()
+            .iter()
+            .map(|&(t, p)| {
+                (
+                    t,
+                    Point::new(
+                        (p.x + half).clamp(0.0, field_m),
+                        (p.y + half).clamp(0.0, field_m),
+                    ),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{generate_city, CityConfig};
+    use crate::routine::{assign_prefs, generate_itinerary, RoutineConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (PoiUniverse, Itinerary) {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let u = generate_city(&CityConfig { n_pois: 500, ..Default::default() }, &mut rng);
+        let prefs = assign_prefs(0, &u, &mut rng);
+        let it = generate_itinerary(&prefs, &u, 3, &RoutineConfig::default(), &mut rng);
+        (u, it)
+    }
+
+    #[test]
+    fn replay_matches_itinerary_positions() {
+        let (u, it) = setup();
+        let tr = itinerary_to_movement(&it, &u);
+        assert!(!tr.is_empty());
+        // During every stop, the replay sits at the stop's venue.
+        for stop in &it.stops {
+            if stop.departure <= stop.arrival {
+                continue;
+            }
+            let mid = (stop.arrival + stop.departure) / 2;
+            let pos = tr.position_at(mid).unwrap();
+            let venue = u.projection().to_local(u.get(stop.poi).location);
+            assert!(
+                pos.distance(venue) < 1.0,
+                "replay {:.0} m from venue during stop",
+                pos.distance(venue)
+            );
+        }
+    }
+
+    #[test]
+    fn replay_time_span_matches() {
+        let (u, it) = setup();
+        let tr = itinerary_to_movement(&it, &u);
+        let (i0, i1) = it.span().unwrap();
+        let (t0, t1) = tr.span().unwrap();
+        assert_eq!(t0, i0);
+        assert_eq!(t1, i1);
+    }
+
+    #[test]
+    fn empty_itinerary_empty_trace() {
+        let (u, _) = setup();
+        let tr = itinerary_to_movement(&Itinerary::default(), &u);
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn shift_centers_and_clamps() {
+        let tr = MovementTrace::new(vec![
+            (0, Point::new(-2_000.0, 0.0)),
+            (10, Point::new(99_999.0, -99_999.0)),
+        ]);
+        let shifted = shift_to_field(&tr, 8_000.0);
+        let (_, p0) = shifted.waypoints()[0];
+        assert_eq!(p0, Point::new(2_000.0, 4_000.0));
+        let (_, p1) = shifted.waypoints()[1];
+        assert_eq!(p1, Point::new(8_000.0, 0.0));
+    }
+}

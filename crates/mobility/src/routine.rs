@@ -1,0 +1,531 @@
+//! Per-user daily-routine itinerary generation.
+//!
+//! An [`Itinerary`] is the *ground truth* of a user's movement: the exact
+//! sequence of venue stays with arrival and departure times. Both
+//! observable traces derive from it — the GPS trace (with noise and fix
+//! loss) and the checkin stream (with missing and extraneous events).
+//!
+//! The generator models the routine structure the paper's missing-checkin
+//! analysis leans on (§4.2): home and work dominate a user's stop count,
+//! errands happen at a small set of favorite shops, and a minority of stops
+//! are one-off leisure venues. This concentration is what makes Figure 3's
+//! "top-5 POIs hold half the missing checkins" finding reproducible.
+
+use geosocial_trace::{PoiCategory, PoiId, PoiUniverse, Timestamp, UserId, DAY, HOUR, MINUTE};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One ground-truth stay at a POI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrueStop {
+    /// The venue.
+    pub poi: PoiId,
+    /// Arrival time.
+    pub arrival: Timestamp,
+    /// Departure time (strictly greater than arrival).
+    pub departure: Timestamp,
+}
+
+impl TrueStop {
+    /// Stay duration in seconds.
+    pub fn duration(&self) -> i64 {
+        self.departure - self.arrival
+    }
+}
+
+/// A user's complete ground-truth movement history.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Itinerary {
+    /// Stays in chronological order; consecutive stays are separated by
+    /// exactly the travel time between their venues.
+    pub stops: Vec<TrueStop>,
+}
+
+impl Itinerary {
+    /// Total time span covered.
+    pub fn span(&self) -> Option<(Timestamp, Timestamp)> {
+        Some((self.stops.first()?.arrival, self.stops.last()?.departure))
+    }
+
+    /// Number of stays.
+    pub fn len(&self) -> usize {
+        self.stops.len()
+    }
+
+    /// Whether there are no stays.
+    pub fn is_empty(&self) -> bool {
+        self.stops.is_empty()
+    }
+}
+
+/// A user's stable venue attachments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserPrefs {
+    /// The user (for bookkeeping in multi-user scenarios).
+    pub user: UserId,
+    /// Home residence.
+    pub home: PoiId,
+    /// Workplace (`None` for the ~5% with no fixed work venue).
+    pub work: Option<PoiId>,
+    /// Favorite venues per category, most-preferred first.
+    pub favorites: HashMap<PoiCategory, Vec<PoiId>>,
+    /// Multiplier (≈ 0.5–1.6) on discretionary activity volume.
+    pub activity: f64,
+}
+
+/// Knobs of the routine generator. Defaults are calibrated so that a
+/// 14-day itinerary yields roughly the paper's 8–9 stops per day.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutineConfig {
+    /// Walking speed, m/s.
+    pub walk_speed: f64,
+    /// Driving speed, m/s (effective, including lights).
+    pub drive_speed: f64,
+    /// Distance below which users walk rather than drive, meters.
+    pub walk_threshold_m: f64,
+    /// Fixed per-trip overhead (parking, elevators), seconds.
+    pub trip_overhead: i64,
+    /// Probability of inserting a micro-stop (coffee, gas) into a trip leg.
+    pub micro_stop_prob: f64,
+    /// Probability a weekday is spent entirely at home.
+    pub home_day_prob: f64,
+}
+
+impl Default for RoutineConfig {
+    fn default() -> Self {
+        Self {
+            walk_speed: 1.35,
+            drive_speed: 9.5,
+            walk_threshold_m: 700.0,
+            trip_overhead: 120,
+            micro_stop_prob: 0.45,
+            home_day_prob: 0.07,
+        }
+    }
+}
+
+impl RoutineConfig {
+    /// Travel time between two venues `dist_m` apart.
+    pub fn travel_time(&self, dist_m: f64) -> i64 {
+        let speed = if dist_m < self.walk_threshold_m { self.walk_speed } else { self.drive_speed };
+        self.trip_overhead + (dist_m / speed) as i64
+    }
+}
+
+/// Assign home, work and favorite venues to a user.
+///
+/// Homes are uniform over residences; workplaces are professional venues
+/// (75%), campus venues (20%) or absent (5%). Favorites per category are
+/// the venues nearest to home or work, with exploration noise.
+pub fn assign_prefs<R: Rng>(user: UserId, universe: &PoiUniverse, rng: &mut R) -> UserPrefs {
+    let by_cat = |cat: PoiCategory| -> Vec<PoiId> {
+        universe
+            .all()
+            .iter()
+            .filter(|p| p.category == cat)
+            .map(|p| p.id)
+            .collect()
+    };
+    let residences = by_cat(PoiCategory::Residence);
+    assert!(!residences.is_empty(), "universe has no residences");
+    let home = residences[rng.gen_range(0..residences.len())];
+
+    let work = {
+        let roll: f64 = rng.gen();
+        let pool = if roll < 0.75 {
+            by_cat(PoiCategory::Professional)
+        } else if roll < 0.95 {
+            by_cat(PoiCategory::College)
+        } else {
+            Vec::new()
+        };
+        if pool.is_empty() { None } else { Some(pool[rng.gen_range(0..pool.len())]) }
+    };
+
+    let home_loc = universe.get(home).location;
+    let anchor2 = work.map(|w| universe.get(w).location).unwrap_or(home_loc);
+
+    let mut favorites = HashMap::new();
+    for cat in PoiCategory::ALL {
+        let mut pool: Vec<(PoiId, f64)> = universe
+            .all()
+            .iter()
+            .filter(|p| p.category == cat)
+            .map(|p| {
+                let d = p
+                    .location
+                    .haversine_m(home_loc)
+                    .min(p.location.haversine_m(anchor2));
+                // Exploration noise: favorites are near-but-not-nearest.
+                (p.id, d * rng.gen_range(0.6..1.8))
+            })
+            .collect();
+        pool.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let k = 5.min(pool.len());
+        favorites.insert(cat, pool.into_iter().take(k).map(|(id, _)| id).collect());
+    }
+
+    UserPrefs {
+        user,
+        home,
+        work,
+        favorites,
+        activity: rng.gen_range(0.5..1.6),
+    }
+}
+
+/// Pick one of the user's favorites for `cat`, Zipf-weighted toward the
+/// top of the list; falls back to `home` if the category has no venues.
+fn pick_favorite<R: Rng>(prefs: &UserPrefs, cat: PoiCategory, rng: &mut R) -> PoiId {
+    let favs = match prefs.favorites.get(&cat) {
+        Some(f) if !f.is_empty() => f,
+        _ => return prefs.home,
+    };
+    // Zipf weights 1, 1/2, 1/3, ...
+    let total: f64 = (1..=favs.len()).map(|i| 1.0 / i as f64).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &poi) in favs.iter().enumerate() {
+        let w = 1.0 / (i + 1) as f64;
+        if x < w {
+            return poi;
+        }
+        x -= w;
+    }
+    favs[0]
+}
+
+/// Internal builder that appends stops while keeping travel-time gaps
+/// consistent.
+struct Builder<'a> {
+    universe: &'a PoiUniverse,
+    cfg: &'a RoutineConfig,
+    stops: Vec<TrueStop>,
+    /// Where the user currently is (last stop's POI).
+    at: PoiId,
+    /// When the user becomes free to depart (last stop's departure).
+    t: Timestamp,
+}
+
+impl<'a> Builder<'a> {
+    /// Travel from the current venue to `poi`, arriving no earlier than
+    /// travel allows, then stay until `leave` (extended if travel overruns).
+    fn go(&mut self, poi: PoiId, min_dwell: i64, leave: Timestamp) {
+        let dist = self
+            .universe
+            .get(self.at)
+            .location
+            .haversine_m(self.universe.get(poi).location);
+        let arrival = self.t + self.cfg.travel_time(dist);
+        let departure = leave.max(arrival + min_dwell);
+        self.stops.push(TrueStop { poi, arrival, departure });
+        self.at = poi;
+        self.t = departure;
+    }
+
+    /// Extend the current stay until at least `until`.
+    fn stay_until(&mut self, until: Timestamp) {
+        if let Some(last) = self.stops.last_mut() {
+            last.departure = last.departure.max(until);
+            self.t = last.departure;
+        }
+    }
+
+    fn maybe_micro_stop<R: Rng>(&mut self, prefs: &UserPrefs, rng: &mut R) {
+        if rng.gen_bool(self.cfg.micro_stop_prob.clamp(0.0, 1.0)) {
+            let cat = if rng.gen_bool(0.5) { PoiCategory::Food } else { PoiCategory::Shop };
+            let poi = pick_favorite(prefs, cat, rng);
+            if poi != self.at {
+                let dwell = rng.gen_range(6 * MINUTE..14 * MINUTE);
+                self.go(poi, dwell, 0);
+            }
+        }
+    }
+}
+
+/// Generate a `days`-long itinerary for one user.
+///
+/// The itinerary starts at home at `t = 0` and ends with the final night's
+/// home stay. Consecutive stops never overlap, and the gap between them is
+/// exactly the configured travel time.
+pub fn generate_itinerary<R: Rng>(
+    prefs: &UserPrefs,
+    universe: &PoiUniverse,
+    days: u32,
+    cfg: &RoutineConfig,
+    rng: &mut R,
+) -> Itinerary {
+    assert!(days > 0, "itinerary needs at least one day");
+    let mut b = Builder {
+        universe,
+        cfg,
+        stops: vec![TrueStop { poi: prefs.home, arrival: 0, departure: 0 }],
+        at: prefs.home,
+        t: 0,
+    };
+
+    for day in 0..days as i64 {
+        let day0 = day * DAY;
+        let weekend = day % 7 >= 5;
+        if !weekend && rng.gen_bool(cfg.home_day_prob) {
+            // Sick day / work-from-home: maybe one grocery run.
+            if rng.gen_bool(0.5) {
+                let leave = day0 + 14 * HOUR + rng.gen_range(0..2 * HOUR);
+                b.stay_until(leave);
+                let shop = pick_favorite(prefs, PoiCategory::Shop, rng);
+                b.go(shop, rng.gen_range(15 * MINUTE..40 * MINUTE), 0);
+                b.go(prefs.home, 0, 0);
+            }
+            continue;
+        }
+        if weekend {
+            weekend_day(&mut b, prefs, day0, rng);
+        } else {
+            weekday(&mut b, prefs, day0, rng);
+        }
+    }
+    // Close the final night at home.
+    let end = days as i64 * DAY;
+    if b.at != prefs.home {
+        b.go(prefs.home, 0, end);
+    } else {
+        b.stay_until(end);
+    }
+
+    let it = Itinerary { stops: b.stops };
+    debug_assert!(
+        it.stops.windows(2).all(|w| w[0].departure <= w[1].arrival),
+        "overlapping stops"
+    );
+    it
+}
+
+fn weekday<R: Rng>(b: &mut Builder, prefs: &UserPrefs, day0: Timestamp, rng: &mut R) {
+    // Morning at home until the leave time.
+    let leave = day0 + 7 * HOUR + 30 * MINUTE + rng.gen_range(0..90 * MINUTE);
+    b.stay_until(leave);
+
+    match prefs.work {
+        Some(work) => {
+            b.maybe_micro_stop(prefs, rng);
+            // Morning block at work.
+            let lunch_t = day0 + 11 * HOUR + 45 * MINUTE + rng.gen_range(0..HOUR);
+            b.go(work, 30 * MINUTE, lunch_t);
+            // Lunch out (sometimes skipped: eats at desk).
+            if rng.gen_bool(0.7) {
+                let lunch = pick_favorite(prefs, PoiCategory::Food, rng);
+                if lunch != work {
+                    b.go(lunch, rng.gen_range(25 * MINUTE..50 * MINUTE), 0);
+                }
+                // Afternoon block.
+                let out = day0 + 17 * HOUR + rng.gen_range(0..(3 * HOUR / 2));
+                b.go(work, 30 * MINUTE, out);
+            } else {
+                let out = day0 + 17 * HOUR + rng.gen_range(0..(3 * HOUR / 2));
+                b.stay_until(out);
+            }
+        }
+        None => {
+            // Non-workers run a longer errand circuit instead.
+            let mid = pick_favorite(prefs, PoiCategory::Outdoors, rng);
+            b.go(mid, rng.gen_range(30 * MINUTE..2 * HOUR), 0);
+        }
+    }
+
+    // Evening errands.
+    let n_errands = scaled_count(1.8 * prefs.activity, 4, rng);
+    for _ in 0..n_errands {
+        let cat = match rng.gen_range(0..10) {
+            0..=4 => PoiCategory::Shop,
+            5..=7 => PoiCategory::Food,
+            8 => PoiCategory::Travel,
+            _ => PoiCategory::Outdoors,
+        };
+        let poi = pick_favorite(prefs, cat, rng);
+        if poi != b.at {
+            b.go(poi, rng.gen_range(8 * MINUTE..45 * MINUTE), 0);
+        }
+    }
+
+    // Evening event.
+    if rng.gen_bool((0.30 * prefs.activity).clamp(0.0, 0.9)) {
+        let cat = if rng.gen_bool(0.6) { PoiCategory::Nightlife } else { PoiCategory::Arts };
+        let poi = pick_favorite(prefs, cat, rng);
+        if poi != b.at {
+            b.go(poi, rng.gen_range(90 * MINUTE..3 * HOUR), 0);
+        }
+    }
+
+    b.maybe_micro_stop(prefs, rng);
+    b.go(prefs.home, 0, 0);
+}
+
+fn weekend_day<R: Rng>(b: &mut Builder, prefs: &UserPrefs, day0: Timestamp, rng: &mut R) {
+    let leave = day0 + 9 * HOUR + 30 * MINUTE + rng.gen_range(0..2 * HOUR);
+    b.stay_until(leave);
+
+    let n_outings = scaled_count(2.6 * prefs.activity, 5, rng).max(1);
+    for _ in 0..n_outings {
+        let cat = match rng.gen_range(0..10) {
+            0..=2 => PoiCategory::Shop,
+            3..=5 => PoiCategory::Food,
+            6..=7 => PoiCategory::Outdoors,
+            8 => PoiCategory::Arts,
+            _ => PoiCategory::Travel,
+        };
+        let poi = pick_favorite(prefs, cat, rng);
+        if poi != b.at {
+            b.go(poi, rng.gen_range(20 * MINUTE..2 * HOUR), 0);
+        }
+        // Brief return home between outings, sometimes.
+        if rng.gen_bool(0.3) {
+            b.go(prefs.home, rng.gen_range(20 * MINUTE..HOUR), 0);
+        }
+    }
+
+    if rng.gen_bool((0.45 * prefs.activity).clamp(0.0, 0.9)) {
+        let poi = pick_favorite(prefs, PoiCategory::Nightlife, rng);
+        if poi != b.at {
+            b.go(poi, rng.gen_range(2 * HOUR..4 * HOUR), 0);
+        }
+    }
+    b.go(prefs.home, 0, 0);
+}
+
+/// Sample a small count with mean ≈ `mean`, capped at `max`.
+fn scaled_count<R: Rng>(mean: f64, max: u32, rng: &mut R) -> u32 {
+    // Geometric-ish: repeatedly succeed with p = mean/(mean+1).
+    let p = (mean / (mean + 1.0)).clamp(0.0, 0.95);
+    let mut n = 0;
+    while n < max && rng.gen_bool(p) {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{generate_city, CityConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(seed: u64) -> (PoiUniverse, UserPrefs, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let u = generate_city(&CityConfig { n_pois: 800, ..Default::default() }, &mut rng);
+        let prefs = assign_prefs(0, &u, &mut rng);
+        (u, prefs, rng)
+    }
+
+    #[test]
+    fn prefs_are_well_formed() {
+        let (u, prefs, _) = setup(11);
+        assert_eq!(u.get(prefs.home).category, PoiCategory::Residence);
+        if let Some(w) = prefs.work {
+            let c = u.get(w).category;
+            assert!(c == PoiCategory::Professional || c == PoiCategory::College);
+        }
+        for (cat, favs) in &prefs.favorites {
+            assert!(favs.len() <= 5);
+            for &f in favs {
+                assert_eq!(u.get(f).category, *cat);
+            }
+        }
+        assert!((0.5..1.6).contains(&prefs.activity));
+    }
+
+    #[test]
+    fn itinerary_is_chronological_and_gapped_by_travel() {
+        let (u, prefs, mut rng) = setup(12);
+        let cfg = RoutineConfig::default();
+        let it = generate_itinerary(&prefs, &u, 14, &cfg, &mut rng);
+        assert!(!it.is_empty());
+        for w in it.stops.windows(2) {
+            assert!(w[0].departure <= w[1].arrival, "stops overlap");
+            let d = u
+                .get(w[0].poi)
+                .location
+                .haversine_m(u.get(w[1].poi).location);
+            let gap = w[1].arrival - w[0].departure;
+            let want = cfg.travel_time(d);
+            assert_eq!(gap, want, "gap {gap} != travel {want} for {d:.0} m");
+        }
+    }
+
+    #[test]
+    fn itinerary_spans_requested_days() {
+        let (u, prefs, mut rng) = setup(13);
+        let it = generate_itinerary(&prefs, &u, 7, &RoutineConfig::default(), &mut rng);
+        let (start, end) = it.span().unwrap();
+        assert_eq!(start, 0);
+        assert!(end >= 7 * DAY, "ends at {end}");
+        // First and last stops are home.
+        assert_eq!(it.stops[0].poi, prefs.home);
+        assert_eq!(it.stops.last().unwrap().poi, prefs.home);
+    }
+
+    #[test]
+    fn stop_rate_in_papers_ballpark() {
+        // The paper saw ~8.9 visits/user/day; our ground truth should sit
+        // in a 4–14 band (visit detection will trim it slightly).
+        let mut total = 0usize;
+        for seed in 20..30 {
+            let (u, prefs, mut rng) = setup(seed);
+            let it = generate_itinerary(&prefs, &u, 14, &RoutineConfig::default(), &mut rng);
+            total += it.len();
+        }
+        let per_day = total as f64 / (10.0 * 14.0);
+        assert!((4.0..14.0).contains(&per_day), "stops/day = {per_day:.1}");
+    }
+
+    #[test]
+    fn home_is_most_visited_poi() {
+        let (u, prefs, mut rng) = setup(14);
+        let it = generate_itinerary(&prefs, &u, 14, &RoutineConfig::default(), &mut rng);
+        let mut counts: HashMap<PoiId, usize> = HashMap::new();
+        for s in &it.stops {
+            *counts.entry(s.poi).or_default() += 1;
+        }
+        // Home or work must top the stop counts (both are daily anchors;
+        // work can edge out home because the lunch break splits it in two).
+        let mut ranked: Vec<(PoiId, usize)> = counts.into_iter().collect();
+        ranked.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        let top2: Vec<PoiId> = ranked.iter().take(2).map(|&(p, _)| p).collect();
+        assert!(
+            top2.contains(&prefs.home),
+            "home {:?} should be a top-2 POI, got {top2:?}",
+            prefs.home
+        );
+    }
+
+    #[test]
+    fn durations_are_positive_except_bookends() {
+        let (u, prefs, mut rng) = setup(15);
+        let it = generate_itinerary(&prefs, &u, 3, &RoutineConfig::default(), &mut rng);
+        for s in &it.stops {
+            assert!(s.duration() >= 0, "negative stay at poi {}", s.poi);
+        }
+        // The vast majority of stays are ≥ 6 minutes (visit-detectable).
+        let visible = it.stops.iter().filter(|s| s.duration() >= 6 * MINUTE).count();
+        assert!(visible as f64 / it.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn travel_time_modes() {
+        let cfg = RoutineConfig::default();
+        // Walking 500 m at 1.35 m/s plus overhead.
+        assert_eq!(cfg.travel_time(500.0), 120 + (500.0 / 1.35) as i64);
+        // Driving 5 km.
+        assert_eq!(cfg.travel_time(5_000.0), 120 + (5_000.0 / 9.5) as i64);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (u, prefs, _) = setup(16);
+        let mut r1 = ChaCha8Rng::seed_from_u64(99);
+        let mut r2 = ChaCha8Rng::seed_from_u64(99);
+        let a = generate_itinerary(&prefs, &u, 5, &RoutineConfig::default(), &mut r1);
+        let b = generate_itinerary(&prefs, &u, 5, &RoutineConfig::default(), &mut r2);
+        assert_eq!(a.stops, b.stops);
+    }
+}

@@ -1,0 +1,134 @@
+//! The Random Waypoint baseline model.
+//!
+//! The classic synthetic mobility model (Johnson & Maltz, the paper's
+//! \[14\]): pick a uniform destination, travel at a uniform speed, pause,
+//! repeat. Included as the baseline the paper's introduction positions
+//! geosocial traces against, and as an ablation in the MANET benches.
+
+use crate::movement::MovementTrace;
+use geosocial_geo::Point;
+use geosocial_trace::Timestamp;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Random Waypoint parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RandomWaypoint {
+    /// Minimum trip speed, m/s. Must be > 0 (the classic v_min = 0 pitfall
+    /// makes average speed decay toward zero over long runs).
+    pub speed_min: f64,
+    /// Maximum trip speed, m/s.
+    pub speed_max: f64,
+    /// Minimum pause between trips, seconds.
+    pub pause_min: i64,
+    /// Maximum pause between trips, seconds.
+    pub pause_max: i64,
+}
+
+impl Default for RandomWaypoint {
+    fn default() -> Self {
+        Self { speed_min: 1.0, speed_max: 15.0, pause_min: 30, pause_max: 600 }
+    }
+}
+
+impl RandomWaypoint {
+    /// Generate a movement trace in a square field of side `area_m` lasting
+    /// `duration_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive area/duration or inverted speed/pause ranges.
+    pub fn generate<R: Rng>(
+        &self,
+        area_m: f64,
+        duration_s: Timestamp,
+        rng: &mut R,
+    ) -> MovementTrace {
+        assert!(area_m > 0.0 && duration_s > 0, "degenerate generation window");
+        assert!(
+            0.0 < self.speed_min && self.speed_min <= self.speed_max,
+            "bad speed range [{}, {}]",
+            self.speed_min,
+            self.speed_max
+        );
+        assert!(
+            0 <= self.pause_min && self.pause_min <= self.pause_max,
+            "bad pause range"
+        );
+        let mut pos = Point::new(rng.gen_range(0.0..area_m), rng.gen_range(0.0..area_m));
+        let mut t: Timestamp = 0;
+        let mut wps = vec![(t, pos)];
+        while t < duration_s {
+            let pause = if self.pause_max > self.pause_min {
+                rng.gen_range(self.pause_min..=self.pause_max)
+            } else {
+                self.pause_min
+            };
+            if pause > 0 {
+                t += pause;
+                wps.push((t, pos));
+                if t >= duration_s {
+                    break;
+                }
+            }
+            let dest = Point::new(rng.gen_range(0.0..area_m), rng.gen_range(0.0..area_m));
+            let speed = rng.gen_range(self.speed_min..=self.speed_max);
+            let move_t = (pos.distance(dest) / speed).round().max(1.0) as i64;
+            t += move_t;
+            pos = dest;
+            wps.push((t, pos));
+        }
+        MovementTrace::new(wps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn stays_in_bounds_and_covers_duration() {
+        let rwp = RandomWaypoint::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let tr = rwp.generate(5_000.0, 3_600, &mut rng);
+        for &(_, p) in tr.waypoints() {
+            assert!((0.0..=5_000.0).contains(&p.x));
+            assert!((0.0..=5_000.0).contains(&p.y));
+        }
+        assert!(tr.span().unwrap().1 >= 3_600);
+    }
+
+    #[test]
+    fn speeds_within_configured_range() {
+        let rwp = RandomWaypoint { speed_min: 2.0, speed_max: 4.0, pause_min: 0, pause_max: 0 };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let tr = rwp.generate(8_000.0, 7_200, &mut rng);
+        for w in tr.waypoints().windows(2) {
+            let dt = (w[1].0 - w[0].0) as f64;
+            let d = w[0].1.distance(w[1].1);
+            if d > 0.0 {
+                let v = d / dt;
+                // Rounding the trip time to whole seconds distorts speed
+                // slightly for short hops.
+                assert!(v <= 4.5, "speed {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let rwp = RandomWaypoint::default();
+        let a = rwp.generate(1_000.0, 600, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = rwp.generate(1_000.0, 600, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a.waypoints(), b.waypoints());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad speed range")]
+    fn zero_min_speed_panics() {
+        let rwp = RandomWaypoint { speed_min: 0.0, ..Default::default() };
+        rwp.generate(100.0, 10, &mut ChaCha8Rng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the mobility generators.
+
+use geosocial_geo::Point;
+use geosocial_mobility::levy::{fit_levy, LevyFitConfig};
+use geosocial_mobility::{
+    assign_prefs, generate_city, generate_itinerary, itinerary_to_movement, movement_stats,
+    CityConfig, RandomWaypoint, RoutineConfig, TrainingSample,
+};
+use geosocial_stats::Pareto;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn itineraries_are_well_formed_for_any_seed(seed in 0u64..10_000, days in 1u32..12) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let universe = generate_city(
+            &CityConfig { n_pois: 400, radius_m: 7_000.0, ..Default::default() },
+            &mut rng,
+        );
+        let cfg = RoutineConfig::default();
+        let prefs = assign_prefs(0, &universe, &mut rng);
+        let it = generate_itinerary(&prefs, &universe, days, &cfg, &mut rng);
+        prop_assert!(!it.is_empty());
+        prop_assert_eq!(it.stops[0].poi, prefs.home);
+        for w in it.stops.windows(2) {
+            prop_assert!(w[0].departure <= w[1].arrival, "overlap");
+            let d = universe
+                .get(w[0].poi)
+                .location
+                .haversine_m(universe.get(w[1].poi).location);
+            prop_assert_eq!(w[1].arrival - w[0].departure, cfg.travel_time(d));
+        }
+        // The itinerary always covers the requested horizon.
+        let (s, e) = it.span().unwrap();
+        prop_assert_eq!(s, 0);
+        prop_assert!(e >= days as i64 * 86_400);
+    }
+
+    #[test]
+    fn replay_preserves_stop_geometry(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let universe = generate_city(
+            &CityConfig { n_pois: 300, radius_m: 6_000.0, ..Default::default() },
+            &mut rng,
+        );
+        let prefs = assign_prefs(0, &universe, &mut rng);
+        let it = generate_itinerary(&prefs, &universe, 2, &RoutineConfig::default(), &mut rng);
+        let trace = itinerary_to_movement(&it, &universe);
+        // Path length equals the sum of inter-stop venue distances (within
+        // projection error).
+        let expected: f64 = it
+            .stops
+            .windows(2)
+            .map(|w| {
+                universe
+                    .get(w[0].poi)
+                    .location
+                    .haversine_m(universe.get(w[1].poi).location)
+            })
+            .sum();
+        let got = trace.path_length_m();
+        prop_assert!((got - expected).abs() <= expected * 5e-3 + 1.0,
+            "replay path {got:.0} vs itinerary {expected:.0}");
+        // movement_stats decomposition accounts for the full duration.
+        let stats = movement_stats(&trace);
+        let total: f64 = stats.pauses_s.iter().chain(&stats.times_s).sum();
+        let (s, e) = trace.span().unwrap();
+        prop_assert!((total - (e - s) as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn levy_generation_respects_bounds_for_any_params(
+        seed in 0u64..10_000,
+        flight_alpha in 0.5..3.0f64,
+        pause_alpha in 0.5..2.5f64,
+        k in 0.5..20.0f64,
+        exp in 0.2..0.9f64,
+    ) {
+        // Build a synthetic model directly and generate.
+        let sample = {
+            let fl = Pareto::new(80.0, flight_alpha);
+            let pa = Pareto::new(90.0, pause_alpha);
+            let mut s = TrainingSample::default();
+            for i in 0..2_000 {
+                let u = (i as f64 + 0.5) / 2_000.0;
+                let d = fl.inv_cdf(u);
+                s.flights_m.push(d);
+                s.times_s.push(k * d.powf(exp));
+                s.pauses_s.push(pa.inv_cdf(u));
+            }
+            s
+        };
+        let Some(model) = fit_levy(&sample, &LevyFitConfig::default(), None) else {
+            return Ok(()); // extreme corners may not fit; nothing to check
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let area = 5_000.0;
+        let trace = model.generate(area, 6 * 3_600, &mut rng);
+        for &(_, p) in trace.waypoints() {
+            prop_assert!((0.0..=area).contains(&p.x) && (0.0..=area).contains(&p.y));
+        }
+        for w in trace.waypoints().windows(2) {
+            prop_assert!(w[1].0 > w[0].0, "time must advance");
+            let v = w[0].1.distance(w[1].1) / (w[1].0 - w[0].0) as f64;
+            prop_assert!(v <= 36.0, "speed {v:.1} m/s");
+        }
+    }
+
+    #[test]
+    fn random_waypoint_average_speed_within_range(
+        seed in 0u64..10_000,
+        vmin in 0.5..3.0f64,
+        spread in 0.5..10.0f64,
+    ) {
+        let rwp = RandomWaypoint {
+            speed_min: vmin,
+            speed_max: vmin + spread,
+            pause_min: 0,
+            pause_max: 0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let trace = rwp.generate(6_000.0, 3_600, &mut rng);
+        let mut dist = 0.0;
+        let mut time = 0.0;
+        for w in trace.waypoints().windows(2) {
+            dist += w[0].1.distance(w[1].1);
+            time += (w[1].0 - w[0].0) as f64;
+        }
+        prop_assume!(time > 0.0);
+        let avg = dist / time;
+        // Whole-second rounding of trip times slightly distorts very short
+        // hops; allow a modest margin around the configured band.
+        prop_assert!(avg >= vmin * 0.7, "avg {avg:.2} below vmin {vmin}");
+        prop_assert!(avg <= (vmin + spread) * 1.1, "avg {avg:.2} above vmax");
+    }
+
+    #[test]
+    fn city_positions_always_inside_radius(seed in 0u64..10_000, n in 50usize..400) {
+        let cfg = CityConfig { n_pois: n, radius_m: 5_000.0, ..Default::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let u = generate_city(&cfg, &mut rng);
+        prop_assert_eq!(u.len(), n);
+        let origin = u.projection().origin();
+        for p in u.all() {
+            prop_assert!(origin.haversine_m(p.location) <= cfg.radius_m * 1.01);
+        }
+        // The projection origin maps to the local frame origin.
+        let o = u.projection().to_local(origin);
+        prop_assert!(o.distance(Point::new(0.0, 0.0)) < 1e-9);
+    }
+}

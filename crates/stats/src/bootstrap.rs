@@ -1,0 +1,131 @@
+//! Nonparametric (percentile) bootstrap.
+//!
+//! The paper reports Table 2's correlations as bare point estimates from a
+//! single 244-user sample. A bootstrap over users puts intervals on them —
+//! cheap rigor the workshop format skipped.
+
+use rand::Rng;
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Resamples that produced a defined statistic.
+    pub effective_reps: u32,
+}
+
+impl BootstrapCi {
+    /// Whether the interval excludes zero — the usual "is this correlation
+    /// real" read.
+    pub fn excludes_zero(&self) -> bool {
+        self.lo > 0.0 || self.hi < 0.0
+    }
+}
+
+/// Percentile bootstrap over row indices `0..n`.
+///
+/// `stat` receives a resampled index multiset (sampled with replacement)
+/// and returns the statistic, or `None` when undefined for that resample
+/// (e.g. zero variance); undefined resamples are skipped. Returns `None`
+/// when fewer than half the resamples produce a defined value.
+///
+/// `alpha` is the two-sided miss probability (0.05 → a 95% interval).
+pub fn bootstrap_ci<R: Rng, F: FnMut(&[usize]) -> Option<f64>>(
+    n: usize,
+    reps: u32,
+    alpha: f64,
+    rng: &mut R,
+    mut stat: F,
+) -> Option<BootstrapCi> {
+    assert!(n > 0, "cannot bootstrap an empty sample");
+    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha {alpha} out of (0,1)");
+    assert!(reps >= 10, "too few bootstrap reps: {reps}");
+    let mut values = Vec::with_capacity(reps as usize);
+    let mut idx = vec![0usize; n];
+    for _ in 0..reps {
+        for slot in idx.iter_mut() {
+            *slot = rng.gen_range(0..n);
+        }
+        if let Some(v) = stat(&idx) {
+            values.push(v);
+        }
+    }
+    if (values.len() as u32) < reps / 2 {
+        return None;
+    }
+    values.sort_by(f64::total_cmp);
+    let lo = crate::quantile_sorted(&values, alpha / 2.0);
+    let hi = crate::quantile_sorted(&values, 1.0 - alpha / 2.0);
+    Some(BootstrapCi { lo, hi, effective_reps: values.len() as u32 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ci_brackets_the_mean_of_a_tight_sample() {
+        // Sample mean of values near 5: the CI must hug 5.
+        let data: Vec<f64> = (0..200).map(|i| 5.0 + 0.01 * ((i % 7) as f64 - 3.0)).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ci = bootstrap_ci(data.len(), 500, 0.05, &mut rng, |idx| {
+            Some(idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64)
+        })
+        .unwrap();
+        assert!(ci.lo < 5.0 && ci.hi > 4.99 && ci.hi < 5.01, "{ci:?}");
+        assert!(ci.excludes_zero());
+    }
+
+    #[test]
+    fn wide_interval_for_noisy_small_sample() {
+        let data = [-10.0, 12.0, -8.0, 9.0, -11.0, 10.0];
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ci = bootstrap_ci(data.len(), 500, 0.05, &mut rng, |idx| {
+            Some(idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64)
+        })
+        .unwrap();
+        assert!(ci.hi - ci.lo > 5.0, "suspiciously tight: {ci:?}");
+        assert!(!ci.excludes_zero());
+    }
+
+    #[test]
+    fn undefined_resamples_are_skipped_and_can_void_the_ci() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // Statistic always undefined → None.
+        let none = bootstrap_ci(10, 100, 0.05, &mut rng, |_| None::<f64>);
+        assert!(none.is_none());
+        // Defined half the time (by a deterministic toggle) → Some.
+        let mut flip = false;
+        let some = bootstrap_ci(10, 100, 0.05, &mut rng, |_| {
+            flip = !flip;
+            flip.then_some(1.0)
+        });
+        assert!(some.is_some());
+        assert_eq!(some.unwrap().effective_reps, 50);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
+        let run = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            bootstrap_ci(data.len(), 200, 0.05, &mut rng, |idx| {
+                Some(idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64)
+            })
+            .unwrap()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = bootstrap_ci(0, 100, 0.05, &mut rng, |_| Some(0.0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Pearson and Spearman correlation coefficients.
+
+/// Pearson's product-moment correlation between two equal-length samples.
+///
+/// Returns `None` when the slices differ in length, hold fewer than two
+/// pairs, or either sample has zero variance (correlation undefined).
+///
+/// This is the statistic behind Table 2: the paper correlates each user's
+/// checkin-type ratio with her profile features (friends, badges, mayorships,
+/// checkins/day).
+///
+/// # Example
+///
+/// ```
+/// use geosocial_stats::pearson;
+///
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman's rank correlation: Pearson correlation of the mid-ranks.
+///
+/// Ties receive the average of the ranks they span (fractional ranking), so
+/// the coefficient stays in `[-1, 1]` under arbitrary tie structure. Returns
+/// `None` under the same conditions as [`pearson`].
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let rx = rank(x);
+    let ry = rank(y);
+    pearson(&rx, &ry)
+}
+
+/// Fractional (mid-rank) ranking of a sample, 1-based.
+fn rank(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // Find the run of tied values.
+        let mut j = i + 1;
+        while j < idx.len() && xs[idx[j]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Mid-rank for the run [i, j): ranks are 1-based.
+        let mid = (i + 1 + j) as f64 / 2.0;
+        for &k in &idx[i..j] {
+            ranks[k] = mid;
+        }
+        i = j;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let x = [1.0, 2.0, 3.0];
+        assert!((pearson(&x, &[10.0, 20.0, 30.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &[3.0, 2.0, 1.0]).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_for_orthogonal() {
+        // Symmetric parabola: cov(x, x^2) = 0 around a symmetric x sample.
+        let x = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_inputs() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        // Hand-computed example.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let r = pearson(&x, &y).unwrap();
+        assert!((r - 0.8).abs() < 1e-12, "got {r}");
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let y_dec: Vec<f64> = x.iter().map(|v: &f64| -v.exp()).collect();
+        assert!((spearman(&x, &y_dec).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 1.0, 2.0, 2.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let r = spearman(&x, &y).unwrap();
+        // Mid-ranks of x: [1.5, 1.5, 3.5, 3.5]; of y: [1,2,3,4].
+        // Pearson of those is 2/sqrt(5) ≈ 0.894.
+        assert!((r - 2.0 / 5.0f64.sqrt()).abs() < 1e-12, "got {r}");
+    }
+
+    #[test]
+    fn rank_fractional() {
+        assert_eq!(rank(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(rank(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+    }
+}

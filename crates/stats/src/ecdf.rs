@@ -1,0 +1,179 @@
+//! Empirical cumulative distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF built from a sample.
+///
+/// Stores the sorted sample; evaluation is a binary search. This is the
+/// structure behind every CDF figure in the paper (Figures 2, 3, 5, 6, 8).
+///
+/// # Example
+///
+/// ```
+/// use geosocial_stats::Ecdf;
+///
+/// let cdf = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+/// assert_eq!(cdf.eval(0.5), 0.0);
+/// assert_eq!(cdf.eval(2.0), 0.75);   // 3 of 4 samples ≤ 2
+/// assert_eq!(cdf.eval(10.0), 1.0);
+/// assert_eq!(cdf.quantile(0.5), 2.0); // median
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build an ECDF from a sample. Returns `None` for an empty sample or if
+    /// any value is NaN.
+    pub fn new(mut sample: Vec<f64>) -> Option<Self> {
+        if sample.is_empty() || sample.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        sample.sort_by(f64::total_cmp);
+        Some(Self { sorted: sample })
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false`: construction rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fraction of samples ≤ `x` (right-continuous step function).
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of samples <= x for a sorted vec.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) with linear interpolation between
+    /// order statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        crate::quantile_sorted(&self.sorted, q)
+    }
+
+    /// Minimum of the sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum of the sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The sorted sample the ECDF was built from.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluate at every x in `grid`, yielding `(x, F(x))` pairs — the series
+    /// a plotting frontend consumes.
+    pub fn curve(&self, grid: &[f64]) -> Vec<(f64, f64)> {
+        grid.iter().map(|&x| (x, self.eval(x))).collect()
+    }
+
+    /// `(x, F(x))` at each distinct sample value — the exact step points.
+    pub fn step_points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            // Emit only at the last occurrence of each distinct value so the
+            // curve is the true right-continuous step function.
+            if i + 1 == self.sorted.len() || self.sorted[i + 1] > x {
+                out.push((x, (i + 1) as f64 / n));
+            }
+        }
+        out
+    }
+
+    /// A logarithmically spaced evaluation grid spanning `[lo, hi]` with
+    /// `n` points, handy for the paper's log-x CDF plots (Figures 2 and 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `n ≥ 2`.
+    pub fn log_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+        assert!(lo > 0.0 && hi > lo && n >= 2, "bad log grid [{lo},{hi}]x{n}");
+        let (l0, l1) = (lo.ln(), hi.ln());
+        (0..n)
+            .map(|i| (l0 + (l1 - l0) * i as f64 / (n - 1) as f64).exp())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Ecdf::new(vec![]).is_none());
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn eval_step_semantics() {
+        let cdf = Ecdf::new(vec![3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(cdf.eval(0.9), 0.0);
+        assert!((cdf.eval(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cdf.eval(1.5) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cdf.eval(2.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf.eval(3.0), 1.0);
+        assert_eq!(cdf.eval(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let cdf = Ecdf::new(vec![10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(cdf.quantile(0.0), 10.0);
+        assert_eq!(cdf.quantile(1.0), 30.0);
+        assert_eq!(cdf.quantile(0.5), 20.0);
+        assert_eq!(cdf.min(), 10.0);
+        assert_eq!(cdf.max(), 30.0);
+        assert_eq!(cdf.mean(), 20.0);
+    }
+
+    #[test]
+    fn step_points_collapse_duplicates() {
+        let cdf = Ecdf::new(vec![1.0, 1.0, 2.0]).unwrap();
+        let pts = cdf.step_points();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pts[1], (2.0, 1.0));
+    }
+
+    #[test]
+    fn log_grid_spans_range() {
+        let g = Ecdf::log_grid(0.1, 1000.0, 5);
+        assert_eq!(g.len(), 5);
+        assert!((g[0] - 0.1).abs() < 1e-12);
+        assert!((g[4] - 1000.0).abs() < 1e-9);
+        // Log-spaced: constant ratio between consecutive points.
+        let r = g[1] / g[0];
+        for w in g.windows(2) {
+            assert!((w[1] / w[0] - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad log grid")]
+    fn log_grid_rejects_nonpositive() {
+        Ecdf::log_grid(0.0, 10.0, 3);
+    }
+}

@@ -1,0 +1,244 @@
+//! Linear- and log-binned histograms with PDF normalization.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-range histogram with equal-width bins.
+///
+/// Out-of-range samples are counted separately (`underflow`/`overflow`) so
+/// totals always reconcile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi` and `bins ≥ 1`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi && bins >= 1, "bad histogram [{lo},{hi})x{bins}");
+        Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64)
+                as usize;
+            // Guard against the floating-point edge where x is a hair below
+            // hi but the scaled index rounds to len().
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Add every sample in `xs`.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples below `lo` / at-or-above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Total samples including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Center x-coordinate of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Probability-density estimate: `(bin center, density)` per bin, where
+    /// densities integrate to the in-range fraction of the sample.
+    pub fn pdf(&self) -> Vec<(f64, f64)> {
+        let total = self.total() as f64;
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.bin_center(i), c as f64 / (total * w)))
+            .collect()
+    }
+}
+
+/// A histogram with logarithmically spaced bins over `[lo, hi)`.
+///
+/// The natural choice for heavy-tailed quantities plotted on log axes —
+/// movement distance and pause time in Figure 7, inter-arrival times in
+/// Figures 2 and 6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    log_lo: f64,
+    log_hi: f64,
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    out_of_range: u64,
+}
+
+impl LogHistogram {
+    /// Create a log-binned histogram over `[lo, hi)` with `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `bins ≥ 1`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo > 0.0 && lo < hi && bins >= 1, "bad log histogram [{lo},{hi})x{bins}");
+        let (log_lo, log_hi) = (lo.ln(), hi.ln());
+        let edges = (0..=bins)
+            .map(|i| (log_lo + (log_hi - log_lo) * i as f64 / bins as f64).exp())
+            .collect();
+        Self { log_lo, log_hi, edges, counts: vec![0; bins], out_of_range: 0 }
+    }
+
+    /// Add one sample; non-positive and out-of-range samples are tallied
+    /// separately.
+    pub fn add(&mut self, x: f64) {
+        if !(x > 0.0) {
+            self.out_of_range += 1;
+            return;
+        }
+        let lx = x.ln();
+        if lx < self.log_lo || lx >= self.log_hi {
+            self.out_of_range += 1;
+            return;
+        }
+        let bins = self.counts.len() as f64;
+        let idx = (((lx - self.log_lo) / (self.log_hi - self.log_lo)) * bins) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Add every sample in `xs`.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples that fell outside `[lo, hi)` or were non-positive.
+    pub fn dropped(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// Total samples seen, including dropped ones.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.out_of_range
+    }
+
+    /// Geometric center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        (self.edges[i] * self.edges[i + 1]).sqrt()
+    }
+
+    /// Density estimate: `(geometric bin center, density)` per non-empty bin,
+    /// normalized so that summing `density × bin_width` over bins gives the
+    /// in-range sample fraction. Matches the PDF-on-log-axes presentation of
+    /// Figure 7.
+    pub fn pdf(&self) -> Vec<(f64, f64)> {
+        let total = self.total() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let w = self.edges[i + 1] - self.edges[i];
+                (self.bin_center(i), c as f64 / (total * w))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning_and_ranges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend(&[0.0, 0.5, 5.0, 9.999, -1.0, 10.0, 42.0]);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.out_of_range(), (1, 2));
+        assert_eq!(h.total(), 7);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_pdf_integrates_to_in_range_fraction() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend(&[0.1, 0.3, 0.6, 0.9]);
+        let area: f64 = h.pdf().iter().map(|(_, d)| d * 0.25).sum();
+        assert!((area - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_binning() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 3); // decades
+        h.extend(&[1.0, 5.0, 50.0, 500.0, 999.0, 0.5, 0.0, -3.0, 1000.0]);
+        assert_eq!(h.counts(), &[2, 1, 2]);
+        assert_eq!(h.dropped(), 4);
+        assert_eq!(h.total(), 9);
+        // Geometric center of the first decade is sqrt(10).
+        assert!((h.bin_center(0) - 10f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_pdf_integrates_to_in_range_fraction() {
+        let mut h = LogHistogram::new(0.1, 100.0, 12);
+        let samples: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        h.extend(&samples);
+        let total_in = (h.total() - h.dropped()) as f64 / h.total() as f64;
+        // Reconstruct area: density * linear bin width.
+        let mut area = 0.0;
+        let mut bin = 0usize;
+        for (c, d) in h.pdf() {
+            // Find the bin whose geometric center matches.
+            while (h.bin_center(bin) - c).abs() > 1e-9 {
+                bin += 1;
+            }
+            let w = {
+                // Edge reconstruction from the center requires edges; use
+                // counts directly instead for robustness.
+                let ratio = (100.0f64 / 0.1).powf(1.0 / 12.0);
+                let lo = 0.1 * ratio.powi(bin as i32);
+                lo * (ratio - 1.0)
+            };
+            area += d * w;
+        }
+        assert!((area - total_in).abs() < 1e-9, "area {area} frac {total_in}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad histogram")]
+    fn inverted_range_panics() {
+        Histogram::new(5.0, 1.0, 4);
+    }
+}

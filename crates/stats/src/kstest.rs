@@ -1,0 +1,105 @@
+//! Two-sample Kolmogorov–Smirnov distance and test.
+
+use crate::Ecdf;
+
+/// The two-sample Kolmogorov–Smirnov statistic: the supremum of the absolute
+/// difference between the two empirical CDFs.
+///
+/// Used in §4.1's validation step — the paper argues that baseline-cohort
+/// checkins and primary-cohort *honest* checkins are draws from the same
+/// process by comparing their distributions; we quantify "match up
+/// perfectly" with the KS distance.
+///
+/// Returns `None` when either sample is empty or contains NaN.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> Option<f64> {
+    let ea = Ecdf::new(a.to_vec())?;
+    let eb = Ecdf::new(b.to_vec())?;
+    // The supremum is attained at a sample point of either distribution;
+    // check both one-sided gaps at each point (just below and at the step).
+    let mut d: f64 = 0.0;
+    for &x in ea.samples().iter().chain(eb.samples()) {
+        d = d.max((ea.eval(x) - eb.eval(x)).abs());
+    }
+    Some(d)
+}
+
+/// Result of a two-sample KS test at a given significance level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS distance between the two empirical CDFs.
+    pub statistic: f64,
+    /// The rejection threshold at the requested significance level.
+    pub critical_value: f64,
+    /// Whether the null hypothesis (same distribution) survives, i.e.
+    /// `statistic ≤ critical_value`.
+    pub same_distribution: bool,
+}
+
+/// Two-sample KS test using the asymptotic critical value
+/// `c(α)·sqrt((n+m)/(n·m))` with `c(α) = sqrt(-ln(α/2)/2)`.
+///
+/// `alpha` is the significance level (e.g. 0.05). Returns `None` under the
+/// same conditions as [`ks_statistic`].
+pub fn ks_two_sample(a: &[f64], b: &[f64], alpha: f64) -> Option<KsTest> {
+    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha {alpha} out of (0,1)");
+    let statistic = ks_statistic(a, b)?;
+    let (n, m) = (a.len() as f64, b.len() as f64);
+    let c_alpha = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    let critical_value = c_alpha * ((n + m) / (n * m)).sqrt();
+    Some(KsTest { statistic, critical_value, same_distribution: statistic <= critical_value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_zero_distance() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&a, &a), Some(0.0));
+    }
+
+    #[test]
+    fn disjoint_samples_distance_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        assert_eq!(ks_statistic(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn known_half_distance() {
+        // a = {1,2}, b = {2,3}: at x=1 gap is 0.5, at x=2 F_a=1, F_b=0.5.
+        let d = ks_statistic(&[1.0, 2.0], &[2.0, 3.0]).unwrap();
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert_eq!(ks_statistic(&[], &[1.0]), None);
+        assert_eq!(ks_statistic(&[1.0], &[]), None);
+    }
+
+    #[test]
+    fn test_accepts_same_distribution() {
+        // Two interleaved arithmetic sequences from the same uniform grid.
+        let a: Vec<f64> = (0..500).map(|i| i as f64 / 500.0).collect();
+        let b: Vec<f64> = (0..500).map(|i| (i as f64 + 0.5) / 500.0).collect();
+        let t = ks_two_sample(&a, &b, 0.05).unwrap();
+        assert!(t.same_distribution, "stat {} crit {}", t.statistic, t.critical_value);
+    }
+
+    #[test]
+    fn test_rejects_shifted_distribution() {
+        let a: Vec<f64> = (0..500).map(|i| i as f64 / 500.0).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 0.4).collect();
+        let t = ks_two_sample(&a, &b, 0.05).unwrap();
+        assert!(!t.same_distribution);
+        assert!(t.statistic > 0.35);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0,1)")]
+    fn invalid_alpha_panics() {
+        ks_two_sample(&[1.0], &[1.0], 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+#![warn(missing_docs)]
+
+//! Self-contained statistics toolkit for the geosocial-trace reproduction.
+//!
+//! Everything the paper's analysis needs, implemented from scratch:
+//!
+//! * [`Ecdf`] — empirical CDFs, the workhorse behind Figures 2, 3, 5, 6 and 8.
+//! * [`Histogram`] / [`LogHistogram`] — linear and log-spaced binning for the
+//!   PDF plots (Figures 4 and 7).
+//! * [`pearson`] / [`spearman`] — correlation coefficients for the incentive
+//!   analysis (Table 2).
+//! * [`Pareto`] / [`fit_pareto`] — the heavy-tailed distribution the paper
+//!   fits to Levy-Walk flight lengths and pause times (Figure 7), with
+//!   maximum-likelihood fitting and inverse-transform sampling.
+//! * [`LinearFit`] / [`fit_power_law`] — least squares in linear and log-log
+//!   space, used for the movement-time-vs-distance coupling
+//!   `t = k·d^(1-ρ)` of the Levy Walk model.
+//! * [`ks_statistic`] / [`ks_two_sample`] — two-sample Kolmogorov–Smirnov
+//!   distance, used to verify that synthetic traces match their targets and
+//!   that baseline checkins match primary honest checkins (§4.1).
+//! * [`Summary`] — streaming moments and order statistics.
+//!
+//! All functions are deterministic; sampling takes a caller-provided RNG.
+
+mod bootstrap;
+mod corr;
+mod ecdf;
+mod hist;
+mod kstest;
+mod logistic;
+mod pareto;
+mod regress;
+mod summary;
+
+pub use bootstrap::{bootstrap_ci, BootstrapCi};
+pub use corr::{pearson, spearman};
+pub use ecdf::Ecdf;
+pub use hist::{Histogram, LogHistogram};
+pub use kstest::{ks_statistic, ks_two_sample, KsTest};
+pub use logistic::{fit_logistic, LogisticConfig, LogisticModel};
+pub use pareto::{fit_pareto, fit_pareto_xmin, Pareto};
+pub use regress::{fit_linear, fit_power_law, LinearFit, PowerLawFit};
+pub use summary::{burstiness_coefficient, Summary};
+
+/// Arithmetic mean of a slice; `None` when empty.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Unbiased sample variance (n−1 denominator); `None` for fewer than two
+/// samples.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation; `None` for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]` of `xs`; `None` when empty or
+/// `q` out of range. Sorts a copy — use [`Ecdf`] for repeated queries.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    Some(quantile_sorted(&v, q))
+}
+
+/// Quantile of an already-sorted slice; panics on empty input.
+pub(crate) fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Median of `xs`; `None` when empty.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        let v = variance(&xs).unwrap();
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[1.0]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[3.0]), Some(3.0));
+        assert_eq!(quantile(&[1.0, 2.0], 1.5), None);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(quantile(&xs, 0.5), Some(2.5));
+        assert_eq!(median(&[5.0, 1.0, 3.0]), Some(3.0));
+    }
+}

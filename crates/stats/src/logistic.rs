@@ -1,0 +1,225 @@
+//! Binary logistic regression, fitted by full-batch gradient descent.
+//!
+//! Self-contained (no linear-algebra dependency) and deterministic: the
+//! same data and config produce the same model bit-for-bit. Used by the
+//! learned extraneous-checkin detector — the "perhaps applying machine
+//! learning techniques" the paper leaves as future work (§7).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted logistic model over standardized features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticModel {
+    /// Per-feature weights (in standardized feature space).
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+    /// Training-set feature means (for standardization at predict time).
+    pub means: Vec<f64>,
+    /// Training-set feature standard deviations (zero-variance features
+    /// are stored as 1.0 and contribute nothing).
+    pub stds: Vec<f64>,
+}
+
+impl LogisticModel {
+    /// P(y = 1 | x).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimensionality.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature dimensionality");
+        let mut z = self.bias;
+        for i in 0..x.len() {
+            z += self.weights[i] * (x[i] - self.means[i]) / self.stds[i];
+        }
+        sigmoid(z)
+    }
+
+    /// Hard classification at `threshold`.
+    pub fn classify(&self, x: &[f64], threshold: f64) -> bool {
+        self.predict(x) >= threshold
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LogisticConfig {
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Full-batch epochs.
+    pub epochs: u32,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        Self { learning_rate: 0.5, epochs: 300, l2: 1e-4 }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Fit a logistic model.
+///
+/// Features are standardized internally using training-set moments, so
+/// callers pass raw feature vectors. Returns `None` when the input is
+/// empty, dimensions are inconsistent, or labels are single-class.
+pub fn fit_logistic(
+    xs: &[Vec<f64>],
+    ys: &[bool],
+    cfg: &LogisticConfig,
+) -> Option<LogisticModel> {
+    if xs.is_empty() || xs.len() != ys.len() {
+        return None;
+    }
+    let dim = xs[0].len();
+    if dim == 0 || xs.iter().any(|x| x.len() != dim) {
+        return None;
+    }
+    let positives = ys.iter().filter(|&&y| y).count();
+    if positives == 0 || positives == ys.len() {
+        return None; // single-class data: nothing to separate
+    }
+    let n = xs.len() as f64;
+
+    // Standardize.
+    let mut means = vec![0.0; dim];
+    for x in xs {
+        for (m, &v) in means.iter_mut().zip(x) {
+            *m += v / n;
+        }
+    }
+    let mut stds = vec![0.0; dim];
+    for x in xs {
+        for i in 0..dim {
+            stds[i] += (x[i] - means[i]).powi(2) / n;
+        }
+    }
+    for s in &mut stds {
+        *s = s.sqrt();
+        if *s < 1e-12 {
+            *s = 1.0;
+        }
+    }
+    let std_x: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|x| (0..dim).map(|i| (x[i] - means[i]) / stds[i]).collect())
+        .collect();
+
+    // Full-batch gradient descent on the regularized log-loss.
+    let mut w = vec![0.0; dim];
+    let mut b = 0.0;
+    for _ in 0..cfg.epochs {
+        let mut gw = vec![0.0; dim];
+        let mut gb = 0.0;
+        for (x, &y) in std_x.iter().zip(ys) {
+            let z = b + w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>();
+            let err = sigmoid(z) - if y { 1.0 } else { 0.0 };
+            for i in 0..dim {
+                gw[i] += err * x[i] / n;
+            }
+            gb += err / n;
+        }
+        for i in 0..dim {
+            w[i] -= cfg.learning_rate * (gw[i] + cfg.l2 * w[i]);
+        }
+        b -= cfg.learning_rate * gb;
+    }
+    Some(LogisticModel { weights: w, bias: b, means, stds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable data: y = 1 iff x0 + x1 > 10.
+    fn separable(n: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let a = (i % 23) as f64;
+            let b = (i % 7) as f64;
+            xs.push(vec![a, b]);
+            ys.push(a + b > 10.0);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (xs, ys) = separable(500);
+        let m = fit_logistic(&xs, &ys, &LogisticConfig::default()).unwrap();
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| m.classify(x, 0.5) == y)
+            .count();
+        assert!(
+            correct as f64 / xs.len() as f64 > 0.95,
+            "accuracy {}/{}",
+            correct,
+            xs.len()
+        );
+    }
+
+    #[test]
+    fn probabilities_ordered_by_signal() {
+        let (xs, ys) = separable(500);
+        let m = fit_logistic(&xs, &ys, &LogisticConfig::default()).unwrap();
+        assert!(m.predict(&[22.0, 6.0]) > m.predict(&[0.0, 0.0]));
+        let p = m.predict(&[11.0, 6.0]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert!(fit_logistic(&[], &[], &LogisticConfig::default()).is_none());
+        // Single-class.
+        let xs = vec![vec![1.0], vec![2.0]];
+        assert!(fit_logistic(&xs, &[true, true], &LogisticConfig::default()).is_none());
+        // Dimension mismatch.
+        let bad = vec![vec![1.0], vec![2.0, 3.0]];
+        assert!(fit_logistic(&bad, &[true, false], &LogisticConfig::default()).is_none());
+        // Length mismatch.
+        assert!(fit_logistic(&xs, &[true], &LogisticConfig::default()).is_none());
+    }
+
+    #[test]
+    fn zero_variance_feature_is_ignored() {
+        // Second feature is constant; the first carries the signal.
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 7.0]).collect();
+        let ys: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        let m = fit_logistic(&xs, &ys, &LogisticConfig::default()).unwrap();
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| m.classify(x, 0.5) == y)
+            .count();
+        assert!(correct >= 95, "accuracy {correct}/100");
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let (xs, ys) = separable(200);
+        let a = fit_logistic(&xs, &ys, &LogisticConfig::default()).unwrap();
+        let b = fit_logistic(&xs, &ys, &LogisticConfig::default()).unwrap();
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.bias, b.bias);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(1_000.0) <= 1.0);
+        assert!(sigmoid(-1_000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+}

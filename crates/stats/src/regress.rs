@@ -1,0 +1,163 @@
+//! Ordinary least squares in linear and log-log space.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a simple linear regression `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` of the fit.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Evaluate the fitted line at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Ordinary least-squares fit of `y = a + b·x`.
+///
+/// Returns `None` when inputs differ in length, hold fewer than two points,
+/// or `x` has zero variance.
+pub fn fit_linear(x: &[f64], y: &[f64]) -> Option<LinearFit> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxx += (xi - mx) * (xi - mx);
+        sxy += (xi - mx) * (yi - my);
+        syy += (yi - my) * (yi - my);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    // R² = 1 - SS_res/SS_tot; for a constant y every fit is exact.
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(LinearFit { slope, intercept, r_squared })
+}
+
+/// A fitted power law `y = k·x^exponent`.
+///
+/// The Levy-Walk movement-time coupling the paper uses is
+/// `t = k·d^(1−ρ)`; fitting it is a [`fit_power_law`] of `(distance, time)`
+/// pairs, with `ρ = 1 − exponent`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawFit {
+    /// Multiplicative constant `k`.
+    pub k: f64,
+    /// Exponent of `x`.
+    pub exponent: f64,
+    /// `R²` of the underlying log-log linear fit.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Evaluate `k·x^exponent`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.k * x.powf(self.exponent)
+    }
+}
+
+/// Fit `y = k·x^b` by least squares on `(ln x, ln y)`.
+///
+/// Pairs with a non-positive coordinate are skipped (they have no
+/// log-representation). Returns `None` when fewer than two usable pairs
+/// remain or log-x is degenerate.
+pub fn fit_power_law(x: &[f64], y: &[f64]) -> Option<PowerLawFit> {
+    if x.len() != y.len() {
+        return None;
+    }
+    let mut lx = Vec::with_capacity(x.len());
+    let mut ly = Vec::with_capacity(y.len());
+    for (&xi, &yi) in x.iter().zip(y) {
+        if xi > 0.0 && yi > 0.0 {
+            lx.push(xi.ln());
+            ly.push(yi.ln());
+        }
+    }
+    let lin = fit_linear(&lx, &ly)?;
+    Some(PowerLawFit {
+        k: lin.intercept.exp(),
+        exponent: lin.slope,
+        r_squared: lin.r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_exact_fit() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let f = fit_linear(&x, &y).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.eval(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_noisy_fit_r_squared_below_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.1, 1.9, 3.2, 3.8, 5.1];
+        let f = fit_linear(&x, &y).unwrap();
+        assert!(f.r_squared > 0.98 && f.r_squared < 1.0);
+        assert!((f.slope - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn linear_degenerate() {
+        assert!(fit_linear(&[1.0], &[1.0]).is_none());
+        assert!(fit_linear(&[2.0, 2.0], &[1.0, 5.0]).is_none());
+        assert!(fit_linear(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn constant_y_gives_zero_slope_perfect_fit() {
+        let f = fit_linear(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 4.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    fn power_law_exact_recovery() {
+        // y = 3 x^0.7, the shape of the Levy-Walk time-distance coupling.
+        let x: Vec<f64> = (1..50).map(|i| i as f64 * 0.5).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 3.0 * v.powf(0.7)).collect();
+        let f = fit_power_law(&x, &y).unwrap();
+        assert!((f.k - 3.0).abs() < 1e-9, "k {}", f.k);
+        assert!((f.exponent - 0.7).abs() < 1e-9);
+        assert!((f.eval(4.0) - 3.0 * 4.0f64.powf(0.7)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_skips_nonpositive_pairs() {
+        let x = [0.0, -1.0, 1.0, 2.0, 4.0];
+        let y = [5.0, 5.0, 2.0, 4.0, 8.0];
+        let f = fit_power_law(&x, &y).unwrap();
+        assert!((f.exponent - 1.0).abs() < 1e-9);
+        assert!((f.k - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_too_few_points() {
+        assert!(fit_power_law(&[1.0], &[1.0]).is_none());
+        assert!(fit_power_law(&[0.0, -2.0], &[1.0, 1.0]).is_none());
+    }
+}

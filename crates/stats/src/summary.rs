@@ -1,0 +1,241 @@
+//! Streaming summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Single-pass summary statistics using Welford's online algorithm for the
+/// mean and variance, plus running min/max.
+///
+/// Used by the MANET simulator and experiment harness to aggregate per-run
+/// metrics without buffering whole sample vectors.
+///
+/// # Example
+///
+/// ```
+/// use geosocial_stats::Summary;
+///
+/// let s: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), Some(2.5));
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation. NaN observations are ignored (and counted
+    /// nowhere) so a single corrupt metric cannot poison a whole run.
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.sum += x;
+        // Welford update.
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merge another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance, or `None` with fewer than two observations.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Sample standard deviation, or `None` with fewer than two observations.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_batch_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: Summary = xs.into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), Some(5.0));
+        assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.sum(), 40.0);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut s = Summary::new();
+        s.add(1.0);
+        s.add(f64::NAN);
+        s.add(3.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq: Summary = xs.iter().copied().collect();
+        let mut a: Summary = xs[..37].iter().copied().collect();
+        let b: Summary = xs[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean().unwrap() - seq.mean().unwrap()).abs() < 1e-12);
+        assert!((a.variance().unwrap() - seq.variance().unwrap()).abs() < 1e-9);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: Summary = [1.0, 2.0].into_iter().collect();
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s.count(), before.count());
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.mean(), Some(1.5));
+    }
+}
+
+/// The Goh–Barabási burstiness coefficient of an inter-event time sample:
+/// `B = (σ − μ) / (σ + μ)`, in `[-1, 1]`.
+///
+/// `B → 1` for extremely bursty processes, `B = 0` for Poisson arrivals,
+/// `B → −1` for perfectly periodic ones. A scalar companion to Figure 6's
+/// CDFs: extraneous checkin classes should score visibly higher than the
+/// honest class. Returns `None` for fewer than two samples or a degenerate
+/// (all-zero) sample.
+pub fn burstiness_coefficient(inter_event_times: &[f64]) -> Option<f64> {
+    let s: Summary = inter_event_times.iter().copied().collect();
+    let mu = s.mean()?;
+    let sigma = s.std_dev()?;
+    if mu + sigma == 0.0 {
+        return None;
+    }
+    Some((sigma - mu) / (sigma + mu))
+}
+
+#[cfg(test)]
+mod burstiness_tests {
+    use super::burstiness_coefficient;
+
+    #[test]
+    fn periodic_process_is_negative_one() {
+        let b = burstiness_coefficient(&[10.0; 50]).unwrap();
+        assert!((b + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_process_is_positive() {
+        // Many tiny gaps plus rare huge ones: heavy-tailed.
+        let mut gaps = vec![1.0; 95];
+        gaps.extend([10_000.0; 5]);
+        let b = burstiness_coefficient(&gaps).unwrap();
+        assert!(b > 0.5, "got {b}");
+    }
+
+    #[test]
+    fn exponential_gaps_near_zero() {
+        // Deterministic inverse-CDF sample of Exp(1): sigma == mu == 1.
+        let gaps: Vec<f64> = (0..10_000)
+            .map(|i| -(1.0 - (i as f64 + 0.5) / 10_000.0_f64).ln())
+            .collect();
+        let b = burstiness_coefficient(&gaps).unwrap();
+        assert!(b.abs() < 0.02, "got {b}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(burstiness_coefficient(&[]).is_none());
+        assert!(burstiness_coefficient(&[1.0]).is_none());
+        assert!(burstiness_coefficient(&[0.0, 0.0]).is_none());
+    }
+}

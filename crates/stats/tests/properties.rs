@@ -1,0 +1,141 @@
+//! Property-based tests for the statistics toolkit.
+
+use geosocial_stats::*;
+use proptest::prelude::*;
+
+fn finite_vec(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, n)
+}
+
+proptest! {
+    #[test]
+    fn ecdf_is_monotone_and_bounded(xs in finite_vec(1..200), probes in finite_vec(2..20)) {
+        let cdf = Ecdf::new(xs).unwrap();
+        let mut probes = probes;
+        probes.sort_by(f64::total_cmp);
+        let mut prev = 0.0;
+        for &p in &probes {
+            let v = cdf.eval(p);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= prev - 1e-15, "ECDF not monotone");
+            prev = v;
+        }
+        prop_assert_eq!(cdf.eval(cdf.max()), 1.0);
+        prop_assert_eq!(cdf.eval(cdf.min() - 1.0), 0.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_inverts_eval(xs in finite_vec(1..100), q in 0.0..=1.0f64) {
+        let n = xs.len() as f64;
+        let cdf = Ecdf::new(xs).unwrap();
+        let x = cdf.quantile(q);
+        // With linear interpolation between order statistics the ECDF at the
+        // quantile can undershoot q by at most one sample's mass.
+        prop_assert!(cdf.eval(x) + 1.0 / n + 1e-12 >= q);
+        prop_assert!((cdf.min()..=cdf.max()).contains(&x));
+    }
+
+    #[test]
+    fn pearson_within_bounds_and_symmetric(
+        pairs in prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 2..100)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson(&x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            let r2 = pearson(&y, &x).unwrap();
+            prop_assert!((r - r2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pearson_invariant_under_affine_transform(
+        pairs in prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 3..50),
+        a in 0.1..10.0f64, b in -100.0..100.0f64
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let xt: Vec<f64> = x.iter().map(|v| a * v + b).collect();
+        if let (Some(r1), Some(r2)) = (pearson(&x, &y), pearson(&xt, &y)) {
+            prop_assert!((r1 - r2).abs() < 1e-6, "{r1} vs {r2}");
+        }
+    }
+
+    #[test]
+    fn spearman_within_bounds(
+        pairs in prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 2..100)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = spearman(&x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+
+    #[test]
+    fn pareto_sampling_matches_cdf(x_min in 0.1..100.0f64, alpha in 0.3..5.0f64, u in 0.0..1.0f64) {
+        let p = Pareto::new(x_min, alpha);
+        let x = p.sample_from_uniform(u);
+        prop_assert!(x >= x_min);
+        prop_assert!((p.cdf(x) - u).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pareto_mle_recovers_alpha(x_min in 0.5..10.0f64, alpha in 0.5..4.0f64) {
+        let truth = Pareto::new(x_min, alpha);
+        let samples: Vec<f64> = (0..4000)
+            .map(|i| truth.inv_cdf((i as f64 + 0.5) / 4000.0))
+            .collect();
+        let fit = fit_pareto(&samples, x_min).unwrap();
+        prop_assert!((fit.alpha - alpha).abs() / alpha < 0.05,
+            "alpha {} vs fit {}", alpha, fit.alpha);
+    }
+
+    #[test]
+    fn ks_distance_is_a_pseudometric(
+        a in finite_vec(1..60), b in finite_vec(1..60), c in finite_vec(1..60)
+    ) {
+        let d_ab = ks_statistic(&a, &b).unwrap();
+        let d_ba = ks_statistic(&b, &a).unwrap();
+        prop_assert!((d_ab - d_ba).abs() < 1e-12, "symmetry");
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert_eq!(ks_statistic(&a, &a).unwrap(), 0.0);
+        let d_ac = ks_statistic(&a, &c).unwrap();
+        let d_cb = ks_statistic(&c, &b).unwrap();
+        prop_assert!(d_ab <= d_ac + d_cb + 1e-12, "triangle inequality");
+    }
+
+    #[test]
+    fn linear_fit_residuals_orthogonal_to_x(
+        pairs in prop::collection::vec((-1e2..1e2f64, -1e2..1e2f64), 3..60)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(f) = fit_linear(&x, &y) {
+            // Normal equations: residuals sum to ~0 and are uncorrelated with x.
+            let res: Vec<f64> = x.iter().zip(&y).map(|(&xi, &yi)| yi - f.eval(xi)).collect();
+            let sum_res: f64 = res.iter().sum();
+            let dot: f64 = x.iter().zip(&res).map(|(&xi, &ri)| xi * ri).sum();
+            let scale = y.iter().map(|v| v.abs()).fold(1.0, f64::max) * x.len() as f64;
+            prop_assert!(sum_res.abs() < 1e-6 * scale, "sum {sum_res}");
+            prop_assert!(dot.abs() < 1e-4 * scale * 100.0, "dot {dot}");
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&f.r_squared));
+        }
+    }
+
+    #[test]
+    fn summary_streaming_matches_batch(xs in finite_vec(2..200)) {
+        let s: Summary = xs.iter().copied().collect();
+        prop_assert!((s.mean().unwrap() - mean(&xs).unwrap()).abs() < 1e-6);
+        prop_assert!((s.variance().unwrap() - variance(&xs).unwrap()).abs()
+            < 1e-6 * (1.0 + variance(&xs).unwrap()));
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(xs in finite_vec(1..100), q1 in 0.0..=1.0f64, q2 in 0.0..=1.0f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo).unwrap();
+        let b = quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Checkin events.
+
+use crate::{PoiCategory, PoiId, Timestamp};
+use geosocial_geo::LatLon;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth label describing how a synthetic checkin was produced.
+///
+/// Real Foursquare data has no such label — the paper had to *infer* the
+/// honest/extraneous split by matching against GPS. Our generator records
+/// the truth, which is what lets the test-suite check the matcher's
+/// accuracy and lets the experiments score detection precision/recall
+/// (the paper's §7 future work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Checked in while genuinely visiting the POI.
+    Honest,
+    /// An extra checkin at a *nearby* POI fired from the same physical spot
+    /// as an honest one (badge hunting without moving).
+    Superfluous,
+    /// A checkin at a POI far (> 500 m) from the user's true position.
+    Remote,
+    /// A checkin at a nearby POI while moving faster than ~4 mph.
+    Driveby,
+}
+
+impl Provenance {
+    /// Whether this label counts as extraneous in the paper's taxonomy.
+    pub fn is_extraneous(self) -> bool {
+        self != Provenance::Honest
+    }
+
+    /// Display label used in result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Provenance::Honest => "Honest",
+            Provenance::Superfluous => "Superfluous",
+            Provenance::Remote => "Remote",
+            Provenance::Driveby => "Driveby",
+        }
+    }
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One checkin event, as Foursquare's API reports it (§3): a timestamp,
+/// the POI's identity, its category and its coordinates.
+///
+/// Note the coordinates are the **POI's**, not the user's — this is exactly
+/// the property that makes remote checkins undetectable from the checkin
+/// trace alone, and the crux of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Checkin {
+    /// Event timestamp.
+    pub t: Timestamp,
+    /// The POI checked into.
+    pub poi: PoiId,
+    /// The POI's category (denormalized for analysis convenience).
+    pub category: PoiCategory,
+    /// The POI's coordinates.
+    pub location: LatLon,
+    /// Ground-truth provenance; `None` for data of unknown origin
+    /// (e.g. imported real traces).
+    pub provenance: Option<Provenance>,
+}
+
+/// Sort checkins chronologically in place (stable for equal timestamps).
+pub(crate) fn sort_checkins(checkins: &mut [Checkin]) {
+    checkins.sort_by_key(|c| c.t);
+}
+
+/// Inter-arrival times (seconds) between consecutive events of a
+/// chronologically sorted slice; `n-1` values for `n` events.
+///
+/// The paper plots these in minutes for Figures 2 and 6; divide by 60 at
+/// the presentation layer.
+pub fn inter_arrival_secs(sorted_times: &[Timestamp]) -> Vec<f64> {
+    sorted_times
+        .windows(2)
+        .map(|w| (w[1] - w[0]) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_taxonomy() {
+        assert!(!Provenance::Honest.is_extraneous());
+        for p in [Provenance::Superfluous, Provenance::Remote, Provenance::Driveby] {
+            assert!(p.is_extraneous());
+        }
+        assert_eq!(Provenance::Remote.to_string(), "Remote");
+    }
+
+    #[test]
+    fn inter_arrival_basic() {
+        assert_eq!(inter_arrival_secs(&[0, 60, 180]), vec![60.0, 120.0]);
+        assert!(inter_arrival_secs(&[42]).is_empty());
+        assert!(inter_arrival_secs(&[]).is_empty());
+    }
+
+    #[test]
+    fn sort_is_stable_by_time() {
+        let mk = |t| Checkin {
+            t,
+            poi: 0,
+            category: PoiCategory::Food,
+            location: LatLon::new(0.0, 0.0),
+            provenance: None,
+        };
+        let mut cs = vec![mk(30), mk(10), mk(20)];
+        sort_checkins(&mut cs);
+        let ts: Vec<_> = cs.iter().map(|c| c.t).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,421 @@
+//! CSV interchange for traces.
+//!
+//! The synthetic substrate stands in for the paper's proprietary dataset,
+//! but the analysis pipeline is data-agnostic: anyone holding a real
+//! GPS + checkin study can export it to these three flat formats and run
+//! the same experiments. Hand-rolled (no csv dependency) with strict,
+//! line-numbered errors.
+//!
+//! Formats (all with a header row):
+//!
+//! * GPS:      `t,lat,lon`
+//! * visits:   `start,end,lat,lon,poi` (`poi` empty when unsnapped)
+//! * checkins: `t,poi,category,lat,lon,provenance` (`provenance` empty
+//!   for real data)
+
+use crate::{Checkin, GpsPoint, GpsTrace, PoiCategory, Provenance, Visit};
+use geosocial_geo::LatLon;
+
+/// A CSV parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// Line the error occurred on (1 = header).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn err(line: usize, message: impl Into<String>) -> CsvError {
+    CsvError { line, message: message.into() }
+}
+
+fn fields(line: &str, n: usize, lineno: usize) -> Result<Vec<&str>, CsvError> {
+    let f: Vec<&str> = line.split(',').collect();
+    if f.len() != n {
+        return Err(err(lineno, format!("expected {n} fields, got {}", f.len())));
+    }
+    Ok(f)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str, lineno: usize) -> Result<T, CsvError> {
+    s.trim()
+        .parse()
+        .map_err(|_| err(lineno, format!("bad {what}: {s:?}")))
+}
+
+// --- GPS ------------------------------------------------------------------
+
+/// Serialize a GPS trace.
+pub fn gps_to_csv(trace: &GpsTrace) -> String {
+    let mut out = String::from("t,lat,lon\n");
+    for p in trace.points() {
+        out.push_str(&format!("{},{},{}\n", p.t, p.pos.lat, p.pos.lon));
+    }
+    out
+}
+
+/// Parse a GPS trace (points are re-sorted by time).
+pub fn gps_from_csv(s: &str) -> Result<GpsTrace, CsvError> {
+    let mut lines = s.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == "t,lat,lon" => {}
+        _ => return Err(err(1, "missing header 't,lat,lon'")),
+    }
+    let mut points = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let f = fields(line, 3, lineno)?;
+        let lat: f64 = parse(f[1], "lat", lineno)?;
+        if !(-90.0..=90.0).contains(&lat) {
+            return Err(err(lineno, format!("latitude {lat} out of range")));
+        }
+        points.push(GpsPoint {
+            t: parse(f[0], "timestamp", lineno)?,
+            pos: LatLon::new(lat, parse(f[2], "lon", lineno)?),
+        });
+    }
+    Ok(GpsTrace::new(points))
+}
+
+// --- visits -----------------------------------------------------------------
+
+/// Serialize visits.
+pub fn visits_to_csv(visits: &[Visit]) -> String {
+    let mut out = String::from("start,end,lat,lon,poi\n");
+    for v in visits {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            v.start,
+            v.end,
+            v.centroid.lat,
+            v.centroid.lon,
+            v.poi.map(|p| p.to_string()).unwrap_or_default()
+        ));
+    }
+    out
+}
+
+/// Parse visits.
+pub fn visits_from_csv(s: &str) -> Result<Vec<Visit>, CsvError> {
+    let mut lines = s.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == "start,end,lat,lon,poi" => {}
+        _ => return Err(err(1, "missing header 'start,end,lat,lon,poi'")),
+    }
+    let mut visits = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let f = fields(line, 5, lineno)?;
+        let start = parse(f[0], "start", lineno)?;
+        let end = parse(f[1], "end", lineno)?;
+        if end < start {
+            return Err(err(lineno, format!("visit ends ({end}) before it starts ({start})")));
+        }
+        let poi = if f[4].trim().is_empty() {
+            None
+        } else {
+            Some(parse(f[4], "poi id", lineno)?)
+        };
+        visits.push(Visit {
+            start,
+            end,
+            centroid: LatLon::new(
+                parse(f[2], "lat", lineno)?,
+                parse(f[3], "lon", lineno)?,
+            ),
+            poi,
+        });
+    }
+    Ok(visits)
+}
+
+// --- checkins ---------------------------------------------------------------
+
+fn category_name(c: PoiCategory) -> &'static str {
+    c.label()
+}
+
+fn category_from(s: &str, lineno: usize) -> Result<PoiCategory, CsvError> {
+    PoiCategory::ALL
+        .iter()
+        .find(|c| c.label().eq_ignore_ascii_case(s.trim()))
+        .copied()
+        .ok_or_else(|| err(lineno, format!("unknown category {s:?}")))
+}
+
+fn provenance_name(p: Provenance) -> &'static str {
+    p.label()
+}
+
+fn provenance_from(s: &str, lineno: usize) -> Result<Option<Provenance>, CsvError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(None);
+    }
+    [
+        Provenance::Honest,
+        Provenance::Superfluous,
+        Provenance::Remote,
+        Provenance::Driveby,
+    ]
+    .iter()
+    .find(|p| p.label().eq_ignore_ascii_case(s))
+    .copied()
+    .map(Some)
+    .ok_or_else(|| err(lineno, format!("unknown provenance {s:?}")))
+}
+
+/// Serialize checkins.
+pub fn checkins_to_csv(checkins: &[Checkin]) -> String {
+    let mut out = String::from("t,poi,category,lat,lon,provenance\n");
+    for c in checkins {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            c.t,
+            c.poi,
+            category_name(c.category),
+            c.location.lat,
+            c.location.lon,
+            c.provenance.map(provenance_name).unwrap_or_default()
+        ));
+    }
+    out
+}
+
+/// Parse checkins.
+pub fn checkins_from_csv(s: &str) -> Result<Vec<Checkin>, CsvError> {
+    let mut lines = s.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == "t,poi,category,lat,lon,provenance" => {}
+        _ => return Err(err(1, "missing header 't,poi,category,lat,lon,provenance'")),
+    }
+    let mut checkins = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let f = fields(line, 6, lineno)?;
+        checkins.push(Checkin {
+            t: parse(f[0], "timestamp", lineno)?,
+            poi: parse(f[1], "poi id", lineno)?,
+            category: category_from(f[2], lineno)?,
+            location: LatLon::new(
+                parse(f[3], "lat", lineno)?,
+                parse(f[4], "lon", lineno)?,
+            ),
+            provenance: provenance_from(f[5], lineno)?,
+        });
+    }
+    Ok(checkins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkins() -> Vec<Checkin> {
+        vec![
+            Checkin {
+                t: 120,
+                poi: 7,
+                category: PoiCategory::Food,
+                location: LatLon::new(34.4, -119.8),
+                provenance: Some(Provenance::Honest),
+            },
+            Checkin {
+                t: 300,
+                poi: 9,
+                category: PoiCategory::Nightlife,
+                location: LatLon::new(34.41, -119.81),
+                provenance: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn checkin_round_trip() {
+        let cks = sample_checkins();
+        let csv = checkins_to_csv(&cks);
+        let back = checkins_from_csv(&csv).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].t, 120);
+        assert_eq!(back[0].provenance, Some(Provenance::Honest));
+        assert_eq!(back[1].provenance, None);
+        assert_eq!(back[1].category, PoiCategory::Nightlife);
+        assert!((back[0].location.lat - 34.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gps_round_trip_and_sorting() {
+        let trace = GpsTrace::new(vec![
+            GpsPoint { t: 60, pos: LatLon::new(34.0, -119.0) },
+            GpsPoint { t: 0, pos: LatLon::new(34.1, -119.1) },
+        ]);
+        let back = gps_from_csv(&gps_to_csv(&trace)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.points()[0].t, 0);
+    }
+
+    #[test]
+    fn visit_round_trip_with_and_without_poi() {
+        let visits = vec![
+            Visit { start: 0, end: 600, centroid: LatLon::new(34.0, -119.0), poi: Some(3) },
+            Visit { start: 700, end: 1_400, centroid: LatLon::new(34.1, -119.1), poi: None },
+        ];
+        let back = visits_from_csv(&visits_to_csv(&visits)).unwrap();
+        assert_eq!(back, visits);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = checkins_from_csv("wrong header\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("header"));
+
+        let bad_fields = "t,poi,category,lat,lon,provenance\n1,2,Food,34.0\n";
+        let e = checkins_from_csv(bad_fields).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("expected 6 fields"));
+
+        let bad_cat = "t,poi,category,lat,lon,provenance\n1,2,Pub,34.0,-119.0,\n";
+        let e = checkins_from_csv(bad_cat).unwrap_err();
+        assert!(e.message.contains("unknown category"));
+
+        let bad_prov = "t,poi,category,lat,lon,provenance\n1,2,Food,34.0,-119.0,Fake\n";
+        let e = checkins_from_csv(bad_prov).unwrap_err();
+        assert!(e.message.contains("unknown provenance"));
+    }
+
+    #[test]
+    fn rejects_inverted_visits_and_bad_latitudes() {
+        let inverted = "start,end,lat,lon,poi\n100,50,34.0,-119.0,\n";
+        let e = visits_from_csv(inverted).unwrap_err();
+        assert!(e.message.contains("before it starts"));
+
+        let polar = "t,lat,lon\n0,95.0,-119.0\n";
+        let e = gps_from_csv(polar).unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn blank_lines_and_case_insensitive_enums() {
+        let csv = "t,poi,category,lat,lon,provenance\n\n1,2,food,34.0,-119.0,remote\n\n";
+        let back = checkins_from_csv(csv).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].category, PoiCategory::Food);
+        assert_eq!(back[0].provenance, Some(Provenance::Remote));
+    }
+}
+
+// --- POI universe -------------------------------------------------------------
+
+/// Serialize a POI universe: header `id,name,category,lat,lon` plus one
+/// line carrying the projection origin as a comment-free preamble row with
+/// id `origin`.
+pub fn pois_to_csv(universe: &crate::PoiUniverse) -> String {
+    let origin = universe.projection().origin();
+    let mut out = String::from("id,name,category,lat,lon\n");
+    out.push_str(&format!("origin,,,{},{}\n", origin.lat, origin.lon));
+    for p in universe.all() {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            p.id,
+            p.name.replace(',', ";"),
+            category_name(p.category),
+            p.location.lat,
+            p.location.lon
+        ));
+    }
+    out
+}
+
+/// Parse a POI universe written by [`pois_to_csv`].
+pub fn pois_from_csv(s: &str) -> Result<crate::PoiUniverse, CsvError> {
+    use geosocial_geo::LocalProjection;
+    let mut lines = s.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == "id,name,category,lat,lon" => {}
+        _ => return Err(err(1, "missing header 'id,name,category,lat,lon'")),
+    }
+    let (_, origin_line) = lines
+        .next()
+        .ok_or_else(|| err(2, "missing origin row"))?;
+    let of = fields(origin_line, 5, 2)?;
+    if of[0] != "origin" {
+        return Err(err(2, "second row must carry the projection origin"));
+    }
+    let origin = LatLon::new(parse(of[3], "lat", 2)?, parse(of[4], "lon", 2)?);
+    let mut pois = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let f = fields(line, 5, lineno)?;
+        let id: crate::PoiId = parse(f[0], "poi id", lineno)?;
+        if id as usize != pois.len() {
+            return Err(err(lineno, format!("POI ids must be sequential; got {id}")));
+        }
+        pois.push(crate::Poi {
+            id,
+            name: f[1].to_string(),
+            category: category_from(f[2], lineno)?,
+            location: LatLon::new(parse(f[3], "lat", lineno)?, parse(f[4], "lon", lineno)?),
+        });
+    }
+    Ok(crate::PoiUniverse::new(pois, LocalProjection::new(origin)))
+}
+
+#[cfg(test)]
+mod poi_csv_tests {
+    use super::*;
+    use crate::{Poi, PoiUniverse};
+    use geosocial_geo::LocalProjection;
+
+    #[test]
+    fn poi_round_trip() {
+        let proj = LocalProjection::new(LatLon::new(34.4, -119.8));
+        let u = PoiUniverse::new(
+            vec![
+                Poi { id: 0, name: "Joe's, Diner".into(), category: PoiCategory::Food, location: LatLon::new(34.4, -119.8) },
+                Poi { id: 1, name: "Office".into(), category: PoiCategory::Professional, location: LatLon::new(34.41, -119.79) },
+            ],
+            proj,
+        );
+        let back = pois_from_csv(&pois_to_csv(&u)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(1).category, PoiCategory::Professional);
+        // The comma in the name was sanitized, not lost.
+        assert!(back.get(0).name.contains("Joe's"));
+        let o = back.projection().origin();
+        assert!((o.lat - 34.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_sequential_ids_rejected() {
+        let csv = "id,name,category,lat,lon\norigin,,,34.0,-119.0\n5,X,Food,34.0,-119.0\n";
+        let e = pois_from_csv(csv).unwrap_err();
+        assert!(e.message.contains("sequential"));
+    }
+
+    #[test]
+    fn missing_origin_rejected() {
+        let csv = "id,name,category,lat,lon\n0,X,Food,34.0,-119.0\n";
+        assert!(pois_from_csv(csv).is_err());
+    }
+}

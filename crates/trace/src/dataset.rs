@@ -1,0 +1,229 @@
+//! Users, cohorts and dataset-level statistics.
+
+use crate::{
+    checkin::sort_checkins, Checkin, GpsTrace, PoiUniverse, UserId, Visit, DAY,
+};
+use serde::{Deserialize, Serialize};
+
+/// The four per-user profile features the paper correlates against checkin
+/// behaviour in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Number of Foursquare friends.
+    pub friends: u32,
+    /// Number of badges earned.
+    pub badges: u32,
+    /// Number of current mayorships held.
+    pub mayorships: u32,
+    /// Average checkins per day over the measurement window.
+    pub checkins_per_day: f64,
+}
+
+/// Everything collected for one study participant: the matched pair of
+/// traces (§3) plus the profile snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserData {
+    /// The user's identifier within the cohort.
+    pub id: UserId,
+    /// Per-minute GPS trace.
+    pub gps: GpsTrace,
+    /// Visits detected from the GPS trace (stay points ≥ 6 min).
+    pub visits: Vec<Visit>,
+    /// The user's checkin stream, chronologically sorted.
+    pub checkins: Vec<Checkin>,
+    /// Profile features for the incentive analysis.
+    pub profile: UserProfile,
+}
+
+impl UserData {
+    /// Construct, sorting checkins chronologically.
+    pub fn new(
+        id: UserId,
+        gps: GpsTrace,
+        visits: Vec<Visit>,
+        mut checkins: Vec<Checkin>,
+        profile: UserProfile,
+    ) -> Self {
+        sort_checkins(&mut checkins);
+        debug_assert!(
+            visits.windows(2).all(|w| w[0].start <= w[1].start),
+            "visits out of order for user {id}"
+        );
+        Self { id, gps, visits, checkins, profile }
+    }
+
+    /// Days covered by the user's GPS trace.
+    pub fn days(&self) -> f64 {
+        self.gps.duration_days()
+    }
+}
+
+/// A full cohort: the POI universe plus every participant's data.
+///
+/// Two instances reproduce the paper's Table 1: the *Primary* cohort
+/// (ordinary Foursquare users, reward-sensitive) and the *Baseline* cohort
+/// (study volunteers, reward-indifferent).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable cohort name ("Primary", "Baseline").
+    pub name: String,
+    /// The scenario's POI universe.
+    pub pois: PoiUniverse,
+    /// Per-user data, indexed by position (== `UserId` for generated data).
+    pub users: Vec<UserData>,
+}
+
+impl Dataset {
+    /// Compute the summary row of Table 1.
+    pub fn stats(&self) -> DatasetStats {
+        let n_users = self.users.len();
+        let total_days: f64 = self.users.iter().map(UserData::days).sum();
+        DatasetStats {
+            users: n_users,
+            avg_days_per_user: if n_users == 0 { 0.0 } else { total_days / n_users as f64 },
+            checkins: self.users.iter().map(|u| u.checkins.len()).sum(),
+            visits: self.users.iter().map(|u| u.visits.len()).sum(),
+            gps_points: self.users.iter().map(|u| u.gps.len()).sum(),
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serializes")
+    }
+
+    /// Deserialize from JSON produced by [`Dataset::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of participants.
+    pub users: usize,
+    /// Mean measurement-window length per user, in days.
+    pub avg_days_per_user: f64,
+    /// Total checkin events.
+    pub checkins: usize,
+    /// Total GPS visits.
+    pub visits: usize,
+    /// Total GPS fixes.
+    pub gps_points: usize,
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} users | {:.1} avg days | {} checkins | {} visits | {} GPS points",
+            self.users, self.avg_days_per_user, self.checkins, self.visits, self.gps_points
+        )
+    }
+}
+
+/// Convenience: mean daily checkin rate from event count and coverage.
+pub fn checkins_per_day(n_checkins: usize, duration_secs: i64) -> f64 {
+    if duration_secs <= 0 {
+        return 0.0;
+    }
+    n_checkins as f64 / (duration_secs as f64 / DAY as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GpsPoint, PoiCategory, MINUTE};
+    use geosocial_geo::{LatLon, LocalProjection};
+
+    fn tiny_dataset() -> Dataset {
+        let proj = LocalProjection::new(LatLon::new(34.4, -119.8));
+        let pois = PoiUniverse::new(
+            vec![crate::Poi {
+                id: 0,
+                name: "Cafe".into(),
+                category: PoiCategory::Food,
+                location: LatLon::new(34.4, -119.8),
+            }],
+            proj,
+        );
+        let gps = GpsTrace::new(
+            (0..=2 * 24 * 60)
+                .step_by(60)
+                .map(|m| GpsPoint { t: m as i64 * MINUTE / 60, pos: LatLon::new(34.4, -119.8) })
+                .collect(),
+        );
+        let visit = Visit {
+            start: 0,
+            end: 10 * MINUTE,
+            centroid: LatLon::new(34.4, -119.8),
+            poi: Some(0),
+        };
+        let checkin = Checkin {
+            t: 5 * MINUTE,
+            poi: 0,
+            category: PoiCategory::Food,
+            location: LatLon::new(34.4, -119.8),
+            provenance: Some(crate::Provenance::Honest),
+        };
+        let user = UserData::new(
+            0,
+            gps,
+            vec![visit],
+            vec![checkin],
+            UserProfile { friends: 3, badges: 1, mayorships: 0, checkins_per_day: 0.5 },
+        );
+        Dataset { name: "Test".into(), pois, users: vec![user] }
+    }
+
+    #[test]
+    fn stats_counts_everything() {
+        let ds = tiny_dataset();
+        let st = ds.stats();
+        assert_eq!(st.users, 1);
+        assert_eq!(st.checkins, 1);
+        assert_eq!(st.visits, 1);
+        assert!(st.gps_points > 0);
+        assert!(st.avg_days_per_user > 0.0);
+        let text = st.to_string();
+        assert!(text.contains("1 users"));
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let ds = Dataset {
+            name: "Empty".into(),
+            pois: tiny_dataset().pois,
+            users: vec![],
+        };
+        let st = ds.stats();
+        assert_eq!(st.users, 0);
+        assert_eq!(st.avg_days_per_user, 0.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ds = tiny_dataset();
+        let back = Dataset::from_json(&ds.to_json()).unwrap();
+        assert_eq!(back.users.len(), 1);
+        assert_eq!(back.users[0].checkins[0].poi, 0);
+        assert_eq!(back.stats(), ds.stats());
+    }
+
+    #[test]
+    fn checkins_per_day_helper() {
+        assert_eq!(checkins_per_day(10, 2 * DAY), 5.0);
+        assert_eq!(checkins_per_day(10, 0), 0.0);
+    }
+
+    #[test]
+    fn user_data_sorts_checkins() {
+        let ds = tiny_dataset();
+        let mut cs = ds.users[0].checkins.clone();
+        let extra = Checkin { t: 0, ..cs[0] };
+        cs.push(extra);
+        let u = UserData::new(1, ds.users[0].gps.clone(), vec![], cs, UserProfile::default());
+        assert!(u.checkins[0].t <= u.checkins[1].t);
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-minute GPS traces.
+
+use crate::Timestamp;
+use geosocial_geo::LatLon;
+use serde::{Deserialize, Serialize};
+
+/// One GPS fix: a timestamp and a coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsPoint {
+    /// Seconds since the scenario epoch.
+    pub t: Timestamp,
+    /// Position at time `t`.
+    pub pos: LatLon,
+}
+
+/// A single user's GPS trace: fixes sorted by timestamp.
+///
+/// The paper's collection app samples once per minute; gaps appear where the
+/// phone had no fix (indoors) — §3 notes the app falls back to WiFi and
+/// accelerometer to decide stationary-vs-moving, which the synthetic
+/// generator models as gaps bridged by the visit detector.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GpsTrace {
+    points: Vec<GpsPoint>,
+}
+
+impl GpsTrace {
+    /// Build a trace from fixes, sorting them by timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two fixes share a timestamp — a user cannot be in two
+    /// places at once, so duplicates indicate generator or parser bugs.
+    pub fn new(mut points: Vec<GpsPoint>) -> Self {
+        points.sort_by_key(|p| p.t);
+        for w in points.windows(2) {
+            assert!(w[0].t != w[1].t, "duplicate GPS timestamp {}", w[0].t);
+        }
+        Self { points }
+    }
+
+    /// The fixes, sorted by time.
+    pub fn points(&self) -> &[GpsPoint] {
+        &self.points
+    }
+
+    /// Number of fixes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trace has no fixes.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Time span `(first, last)` of the trace, or `None` when empty.
+    pub fn span(&self) -> Option<(Timestamp, Timestamp)> {
+        Some((self.points.first()?.t, self.points.last()?.t))
+    }
+
+    /// Trace duration in days (fractional), 0 for traces with < 2 fixes.
+    pub fn duration_days(&self) -> f64 {
+        match self.span() {
+            Some((a, b)) => (b - a) as f64 / crate::DAY as f64,
+            None => 0.0,
+        }
+    }
+
+    /// Index of the last fix at or before `t`, or `None` if `t` precedes
+    /// the trace.
+    fn index_at(&self, t: Timestamp) -> Option<usize> {
+        let n = self.points.partition_point(|p| p.t <= t);
+        n.checked_sub(1)
+    }
+
+    /// The user's interpolated position at time `t`.
+    ///
+    /// Linear interpolation between the surrounding fixes; clamps to the
+    /// first/last fix outside the trace span. `None` for an empty trace.
+    pub fn position_at(&self, t: Timestamp) -> Option<LatLon> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let i = match self.index_at(t) {
+            None => return Some(self.points[0].pos),
+            Some(i) => i,
+        };
+        if i + 1 >= self.points.len() || self.points[i].t == t {
+            return Some(self.points[i.min(self.points.len() - 1)].pos);
+        }
+        let (a, b) = (self.points[i], self.points[i + 1]);
+        let frac = (t - a.t) as f64 / (b.t - a.t) as f64;
+        let bearing = a.pos.bearing_deg(b.pos);
+        let dist = a.pos.haversine_m(b.pos);
+        Some(a.pos.destination(bearing, dist * frac))
+    }
+
+    /// Estimated speed in m/s at time `t`, from the fix pair straddling `t`.
+    ///
+    /// This is the quantity behind the paper's 4 mph driveby threshold:
+    /// "computing speed from our GPS trace". Returns `None` when the trace
+    /// cannot bracket `t` with two fixes, or when the bracketing fixes are
+    /// more than `max_gap` seconds apart (a sampling gap, not a movement
+    /// measurement).
+    pub fn speed_at(&self, t: Timestamp, max_gap: i64) -> Option<f64> {
+        let i = self.index_at(t)?;
+        let (a, b) = if i + 1 < self.points.len() {
+            (self.points[i], self.points[i + 1])
+        } else if i > 0 {
+            (self.points[i - 1], self.points[i])
+        } else {
+            return None;
+        };
+        let dt = b.t - a.t;
+        if dt <= 0 || dt > max_gap {
+            return None;
+        }
+        Some(a.pos.haversine_m(b.pos) / dt as f64)
+    }
+
+    /// Iterate over consecutive-fix segments as `(from, to)` pairs.
+    pub fn segments(&self) -> impl Iterator<Item = (GpsPoint, GpsPoint)> + '_ {
+        self.points.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Total path length in meters (sum of segment great-circle distances).
+    pub fn path_length_m(&self) -> f64 {
+        self.segments().map(|(a, b)| a.pos.haversine_m(b.pos)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(t: Timestamp, lat: f64, lon: f64) -> GpsPoint {
+        GpsPoint { t, pos: LatLon::new(lat, lon) }
+    }
+
+    #[test]
+    fn sorts_on_construction() {
+        let tr = GpsTrace::new(vec![pt(120, 34.0, -119.0), pt(0, 34.1, -119.0)]);
+        assert_eq!(tr.points()[0].t, 0);
+        assert_eq!(tr.span(), Some((0, 120)));
+        assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate GPS timestamp")]
+    fn duplicate_timestamps_panic() {
+        GpsTrace::new(vec![pt(60, 34.0, -119.0), pt(60, 34.1, -119.0)]);
+    }
+
+    #[test]
+    fn position_interpolates() {
+        let tr = GpsTrace::new(vec![pt(0, 34.0, -119.0), pt(100, 34.0, -118.9)]);
+        let mid = tr.position_at(50).unwrap();
+        // Great-circle interpolation bulges a hair poleward of the parallel.
+        assert!((mid.lat - 34.0).abs() < 5e-5);
+        assert!((mid.lon - -118.95).abs() < 1e-4);
+        // Clamping outside the span.
+        assert_eq!(tr.position_at(-10).unwrap(), tr.points()[0].pos);
+        assert_eq!(tr.position_at(1_000).unwrap(), tr.points()[1].pos);
+        // Exact hit.
+        assert_eq!(tr.position_at(0).unwrap(), tr.points()[0].pos);
+        assert!(GpsTrace::default().position_at(0).is_none());
+    }
+
+    #[test]
+    fn speed_estimation() {
+        // 0.001 deg lat in 60 s is ~111.2 m/min ≈ 1.853 m/s.
+        let tr = GpsTrace::new(vec![pt(0, 34.0, -119.0), pt(60, 34.001, -119.0)]);
+        let v = tr.speed_at(30, 300).unwrap();
+        assert!((v - 1.853).abs() < 0.01, "got {v}");
+        // Gap larger than max_gap yields None.
+        let tr2 = GpsTrace::new(vec![pt(0, 34.0, -119.0), pt(3_600, 34.001, -119.0)]);
+        assert!(tr2.speed_at(100, 300).is_none());
+        // Single point cannot produce a speed.
+        let tr3 = GpsTrace::new(vec![pt(0, 34.0, -119.0)]);
+        assert!(tr3.speed_at(0, 300).is_none());
+    }
+
+    #[test]
+    fn speed_after_last_fix_uses_trailing_pair() {
+        let tr = GpsTrace::new(vec![pt(0, 34.0, -119.0), pt(60, 34.001, -119.0)]);
+        let v = tr.speed_at(60, 300).unwrap();
+        assert!(v > 1.0);
+    }
+
+    #[test]
+    fn path_length_and_duration() {
+        let tr = GpsTrace::new(vec![
+            pt(0, 34.0, -119.0),
+            pt(60, 34.001, -119.0),
+            pt(120, 34.002, -119.0),
+        ]);
+        assert!((tr.path_length_m() - 222.4).abs() < 1.0);
+        assert!((tr.duration_days() - 120.0 / 86_400.0).abs() < 1e-12);
+        assert_eq!(GpsTrace::default().duration_days(), 0.0);
+    }
+}

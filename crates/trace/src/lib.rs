@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Data model for geosocial mobility traces.
+//!
+//! This crate defines the vocabulary types shared across the workspace —
+//! the same entities the paper's data collection produced (§3):
+//!
+//! * [`Poi`] / [`PoiCategory`] / [`PoiUniverse`] — points of interest with
+//!   the nine Foursquare top-level categories of Figure 4, plus a spatial
+//!   index for nearest/radius lookup.
+//! * [`GpsPoint`] / [`GpsTrace`] — a per-minute location stream per user,
+//!   with speed estimation and gap handling.
+//! * [`Visit`] / [`detect_visits`] — stay points: periods of ≥ 6 minutes in
+//!   one location, extracted from the GPS stream exactly as §3 describes.
+//! * [`Checkin`] — a geosocial checkin event: timestamp, POI, category and
+//!   coordinates. Synthetic checkins optionally carry a ground-truth
+//!   [`Provenance`] label, which real Foursquare data lacks — that label is
+//!   what lets us score the paper's proposed detectors.
+//! * [`UserProfile`] — the four profile features of Table 2.
+//! * [`UserData`] / [`Dataset`] — a full cohort, with Table-1 style
+//!   [`DatasetStats`].
+//!
+//! Timestamps are **seconds since the scenario epoch** (`i64`), durations in
+//! seconds; helper constants [`MINUTE`], [`HOUR`], [`DAY`] keep call sites
+//! readable.
+
+mod checkin;
+pub mod csv;
+mod dataset;
+mod gps;
+mod poi;
+mod visit;
+
+pub use checkin::{inter_arrival_secs, Checkin, Provenance};
+pub use dataset::{checkins_per_day, Dataset, DatasetStats, UserData, UserProfile};
+pub use gps::{GpsPoint, GpsTrace};
+pub use poi::{Poi, PoiCategory, PoiId, PoiUniverse};
+pub use visit::{detect_visits, Visit, VisitConfig};
+
+/// Seconds since the scenario epoch.
+pub type Timestamp = i64;
+
+/// A user identifier, unique within a [`Dataset`].
+pub type UserId = u32;
+
+/// One minute, in seconds.
+pub const MINUTE: i64 = 60;
+/// One hour, in seconds.
+pub const HOUR: i64 = 3600;
+/// One day, in seconds.
+pub const DAY: i64 = 86_400;

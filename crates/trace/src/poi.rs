@@ -1,0 +1,263 @@
+//! Points of interest and the POI universe.
+
+use geosocial_geo::{LatLon, LocalProjection, SpatialGrid};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a point of interest, unique within a [`PoiUniverse`].
+pub type PoiId = u32;
+
+/// The nine Foursquare top-level venue categories used in Figure 4's
+/// missing-checkin breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PoiCategory {
+    /// Offices and workplaces ("Professional & Other Places").
+    Professional,
+    /// Parks, trails, beaches.
+    Outdoors,
+    /// Bars and clubs ("Nightlife Spots").
+    Nightlife,
+    /// Museums, theaters ("Arts & Entertainment").
+    Arts,
+    /// Retail ("Shop & Service"), including gas stations and groceries.
+    Shop,
+    /// Airports, stations, hotels ("Travel & Transport").
+    Travel,
+    /// Homes and apartment buildings ("Residences").
+    Residence,
+    /// Restaurants, cafes, coffee shops ("Food").
+    Food,
+    /// Campus buildings ("College & University").
+    College,
+}
+
+impl PoiCategory {
+    /// All nine categories, in Figure 4's display order.
+    pub const ALL: [PoiCategory; 9] = [
+        PoiCategory::Professional,
+        PoiCategory::Outdoors,
+        PoiCategory::Nightlife,
+        PoiCategory::Arts,
+        PoiCategory::Shop,
+        PoiCategory::Travel,
+        PoiCategory::Residence,
+        PoiCategory::Food,
+        PoiCategory::College,
+    ];
+
+    /// Stable index into [`PoiCategory::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("category in ALL")
+    }
+
+    /// Human-readable label as it appears in Figure 4.
+    pub fn label(self) -> &'static str {
+        match self {
+            PoiCategory::Professional => "Professional",
+            PoiCategory::Outdoors => "Outdoors",
+            PoiCategory::Nightlife => "Nightlife",
+            PoiCategory::Arts => "Arts",
+            PoiCategory::Shop => "Shop",
+            PoiCategory::Travel => "Travel",
+            PoiCategory::Residence => "Residence",
+            PoiCategory::Food => "Food",
+            PoiCategory::College => "College",
+        }
+    }
+
+    /// Whether users perceive this category as "boring or private" —
+    /// the survey-backed intuition (§4.2, citing Cramer and Lindqvist) for
+    /// why home, office and errand stops go unreported. The checkin
+    /// behaviour model suppresses checkins at these categories hardest.
+    pub fn is_routine(self) -> bool {
+        matches!(
+            self,
+            PoiCategory::Professional | PoiCategory::Residence | PoiCategory::Shop
+        )
+    }
+}
+
+impl std::fmt::Display for PoiCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A point of interest: a named venue with a category and a location.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Identifier, equal to this POI's index in its universe.
+    pub id: PoiId,
+    /// Venue name (synthetic names look like "Food #42").
+    pub name: String,
+    /// Foursquare top-level category.
+    pub category: PoiCategory,
+    /// Venue coordinates.
+    pub location: LatLon,
+}
+
+/// The set of all POIs in a scenario, with a spatial index for the queries
+/// the pipeline needs: nearest POI to a visit centroid, and all POIs within
+/// a radius (superfluous-checkin candidates, matching).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoiUniverse {
+    pois: Vec<Poi>,
+    projection: LocalProjection,
+    #[serde(skip, default)]
+    index: std::cell::OnceCell<SpatialGrid<PoiId>>,
+}
+
+impl PoiUniverse {
+    /// Build a universe from a POI list. `projection` defines the local
+    /// metric frame shared by the whole scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any POI's `id` differs from its index, which would break
+    /// [`PoiUniverse::get`]'s O(1) lookup contract.
+    pub fn new(pois: Vec<Poi>, projection: LocalProjection) -> Self {
+        for (i, p) in pois.iter().enumerate() {
+            assert!(p.id as usize == i, "POI id {} at index {i}", p.id);
+        }
+        Self { pois, projection, index: std::cell::OnceCell::new() }
+    }
+
+    fn index(&self) -> &SpatialGrid<PoiId> {
+        self.index.get_or_init(|| {
+            // Cell size of 500 m matches the dominant query radius (α).
+            let mut grid = SpatialGrid::new(500.0);
+            for p in &self.pois {
+                grid.insert(self.projection.to_local(p.location), p.id);
+            }
+            grid
+        })
+    }
+
+    /// The shared local projection of this scenario.
+    pub fn projection(&self) -> &LocalProjection {
+        &self.projection
+    }
+
+    /// Number of POIs.
+    pub fn len(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pois.is_empty()
+    }
+
+    /// Look up a POI by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id — ids are produced by this universe, so an
+    /// unknown one is a logic error, not a recoverable condition.
+    pub fn get(&self, id: PoiId) -> &Poi {
+        &self.pois[id as usize]
+    }
+
+    /// All POIs.
+    pub fn all(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// The POI nearest to `location` within `max_radius_m`, if any.
+    pub fn nearest(&self, location: LatLon, max_radius_m: f64) -> Option<(&Poi, f64)> {
+        let p = self.projection.to_local(location);
+        self.index()
+            .nearest(p, max_radius_m)
+            .map(|(id, d)| (self.get(id), d))
+    }
+
+    /// All POIs within `radius_m` of `location`.
+    pub fn within(&self, location: LatLon, radius_m: f64) -> Vec<&Poi> {
+        let p = self.projection.to_local(location);
+        self.index()
+            .query_radius(p, radius_m)
+            .map(|id| self.get(id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> PoiUniverse {
+        let origin = LatLon::new(34.4, -119.8);
+        let proj = LocalProjection::new(origin);
+        let mk = |id: u32, cat, dx: f64, dy: f64| Poi {
+            id,
+            name: format!("{cat:?} #{id}"),
+            category: cat,
+            location: proj.to_latlon(geosocial_geo::Point::new(dx, dy)),
+        };
+        PoiUniverse::new(
+            vec![
+                mk(0, PoiCategory::Food, 0.0, 0.0),
+                mk(1, PoiCategory::Shop, 300.0, 0.0),
+                mk(2, PoiCategory::Residence, 0.0, 2_000.0),
+            ],
+            proj,
+        )
+    }
+
+    #[test]
+    fn categories_are_nine_and_indexed() {
+        assert_eq!(PoiCategory::ALL.len(), 9);
+        for (i, c) in PoiCategory::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(PoiCategory::Food.label(), "Food");
+        assert!(PoiCategory::Residence.is_routine());
+        assert!(!PoiCategory::Nightlife.is_routine());
+    }
+
+    #[test]
+    fn nearest_and_within() {
+        let u = universe();
+        let origin = u.projection().origin();
+        let (poi, d) = u.nearest(origin, 1_000.0).unwrap();
+        assert_eq!(poi.id, 0);
+        assert!(d < 1.0);
+        let near = u.within(origin, 500.0);
+        let mut ids: Vec<_> = near.iter().map(|p| p.id).collect();
+        ids.sort();
+        assert_eq!(ids, vec![0, 1]);
+        assert!(u.nearest(origin, 0.0).is_none() || d == 0.0);
+    }
+
+    #[test]
+    fn get_by_id() {
+        let u = universe();
+        assert_eq!(u.get(1).category, PoiCategory::Shop);
+        assert_eq!(u.len(), 3);
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "POI id")]
+    fn mismatched_ids_panic() {
+        let proj = LocalProjection::new(LatLon::new(0.0, 0.0));
+        PoiUniverse::new(
+            vec![Poi {
+                id: 5,
+                name: "x".into(),
+                category: PoiCategory::Food,
+                location: LatLon::new(0.0, 0.0),
+            }],
+            proj,
+        );
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_index() {
+        let u = universe();
+        let json = serde_json::to_string(&u).unwrap();
+        let back: PoiUniverse = serde_json::from_str(&json).unwrap();
+        let origin = back.projection().origin();
+        let (poi, _) = back.nearest(origin, 1_000.0).unwrap();
+        assert_eq!(poi.id, 0);
+    }
+}

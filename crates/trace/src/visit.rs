@@ -1,0 +1,245 @@
+//! Stay-point ("visit") detection from GPS traces.
+//!
+//! §3 of the paper: *"we define a visit as the user staying at one location
+//! for longer than some period of time, e.g. 6 minutes"*. The detector below
+//! is the standard stay-point algorithm (Zheng et al., WWW'09, the paper's
+//! reference [32]): grow a window of consecutive fixes while each stays
+//! within a roam radius of the window's anchor; emit a visit when the window
+//! spans the minimum duration.
+
+use crate::{GpsTrace, PoiId, PoiUniverse, Timestamp, MINUTE};
+use geosocial_geo::LatLon;
+use serde::{Deserialize, Serialize};
+
+/// A detected stay at one location.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Visit {
+    /// Arrival time (timestamp of the first fix in the stay).
+    pub start: Timestamp,
+    /// Departure time (timestamp of the last fix in the stay).
+    pub end: Timestamp,
+    /// Mean position of the fixes in the stay.
+    pub centroid: LatLon,
+    /// The POI this stay snaps to, if any lies within the snap radius.
+    /// Missing-checkin analyses (Figures 3–4) group visits by this id.
+    pub poi: Option<PoiId>,
+}
+
+impl Visit {
+    /// Stay duration in seconds.
+    pub fn duration(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Temporal distance from this visit to a timestamp, following the
+    /// paper's footnote 2: zero when `t` falls inside `[start, end]`,
+    /// otherwise the distance to the nearer endpoint.
+    pub fn time_distance(&self, t: Timestamp) -> i64 {
+        if t >= self.start && t <= self.end {
+            0
+        } else {
+            (t - self.start).abs().min((t - self.end).abs())
+        }
+    }
+}
+
+/// Parameters of the stay-point detector.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct VisitConfig {
+    /// Minimum stay duration in seconds (paper: 6 minutes).
+    pub min_duration: i64,
+    /// Maximum distance from the stay anchor for a fix to extend the stay,
+    /// in meters. 100 m tolerates GPS noise while separating adjacent venues.
+    pub roam_radius_m: f64,
+    /// Maximum sampling gap bridged inside one stay, in seconds. The
+    /// collection app loses GPS indoors (§3); fixes on either side of a gap
+    /// shorter than this, at the same place, belong to one visit.
+    pub max_gap: i64,
+    /// Radius for snapping a visit centroid to the nearest POI, in meters.
+    pub poi_snap_radius_m: f64,
+}
+
+impl Default for VisitConfig {
+    fn default() -> Self {
+        Self {
+            min_duration: 6 * MINUTE,
+            roam_radius_m: 100.0,
+            max_gap: 20 * MINUTE,
+            poi_snap_radius_m: 150.0,
+        }
+    }
+}
+
+/// Detect visits in a GPS trace.
+///
+/// Returns visits in chronological order. Each visit is snapped to the
+/// nearest POI within [`VisitConfig::poi_snap_radius_m`], when `pois` is
+/// provided.
+///
+/// # Example
+///
+/// ```
+/// use geosocial_trace::{detect_visits, GpsPoint, GpsTrace, VisitConfig, MINUTE};
+/// use geosocial_geo::LatLon;
+///
+/// // Ten minutes parked at one spot, then a jump away.
+/// let home = LatLon::new(34.4, -119.8);
+/// let mut pts: Vec<GpsPoint> = (0..=10)
+///     .map(|i| GpsPoint { t: i * MINUTE, pos: home })
+///     .collect();
+/// pts.push(GpsPoint { t: 11 * MINUTE, pos: LatLon::new(34.5, -119.8) });
+/// let visits = detect_visits(&GpsTrace::new(pts), &VisitConfig::default(), None);
+/// assert_eq!(visits.len(), 1);
+/// assert_eq!(visits[0].duration(), 10 * MINUTE);
+/// ```
+pub fn detect_visits(
+    trace: &GpsTrace,
+    config: &VisitConfig,
+    pois: Option<&PoiUniverse>,
+) -> Vec<Visit> {
+    let pts = trace.points();
+    let mut visits = Vec::new();
+    let mut start = 0usize;
+    while start < pts.len() {
+        let anchor = pts[start].pos;
+        // Extend the stay while fixes remain near the anchor and gaps stay
+        // bridgeable.
+        let mut end = start;
+        while end + 1 < pts.len() {
+            let next = pts[end + 1];
+            if next.t - pts[end].t > config.max_gap {
+                break;
+            }
+            if anchor.haversine_m(next.pos) > config.roam_radius_m {
+                break;
+            }
+            end += 1;
+        }
+        let duration = pts[end].t - pts[start].t;
+        if duration >= config.min_duration {
+            let centroid = centroid_of(&pts[start..=end]);
+            let poi = pois
+                .and_then(|u| u.nearest(centroid, config.poi_snap_radius_m))
+                .map(|(p, _)| p.id);
+            visits.push(Visit { start: pts[start].t, end: pts[end].t, centroid, poi });
+            start = end + 1;
+        } else {
+            // No stay anchored here; slide forward one fix.
+            start += 1;
+        }
+    }
+    visits
+}
+
+/// Arithmetic centroid of a fix window (valid for the sub-kilometer extents
+/// a single stay spans).
+fn centroid_of(pts: &[crate::GpsPoint]) -> LatLon {
+    let n = pts.len() as f64;
+    let lat = pts.iter().map(|p| p.pos.lat).sum::<f64>() / n;
+    let lon = pts.iter().map(|p| p.pos.lon).sum::<f64>() / n;
+    LatLon::new(lat, lon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GpsPoint;
+
+    fn fix(t_min: i64, lat: f64, lon: f64) -> GpsPoint {
+        GpsPoint { t: t_min * MINUTE, pos: LatLon::new(lat, lon) }
+    }
+
+    fn stay(from_min: i64, to_min: i64, lat: f64, lon: f64) -> Vec<GpsPoint> {
+        (from_min..=to_min).map(|m| fix(m, lat, lon)).collect()
+    }
+
+    #[test]
+    fn short_stop_is_not_a_visit() {
+        // 5 minutes < 6-minute threshold.
+        let mut pts = stay(0, 5, 34.0, -119.0);
+        pts.extend(stay(6, 7, 34.1, -119.0));
+        let visits = detect_visits(&GpsTrace::new(pts), &VisitConfig::default(), None);
+        assert!(visits.is_empty());
+    }
+
+    #[test]
+    fn exactly_six_minutes_is_a_visit() {
+        let pts = stay(0, 6, 34.0, -119.0);
+        let visits = detect_visits(&GpsTrace::new(pts), &VisitConfig::default(), None);
+        assert_eq!(visits.len(), 1);
+        assert_eq!(visits[0].start, 0);
+        assert_eq!(visits[0].end, 6 * MINUTE);
+    }
+
+    #[test]
+    fn two_stays_with_travel_between() {
+        let mut pts = stay(0, 10, 34.0, -119.0);
+        // Travel: widely spaced positions.
+        pts.push(fix(11, 34.02, -119.0));
+        pts.push(fix(12, 34.04, -119.0));
+        pts.extend(stay(13, 25, 34.06, -119.0));
+        let visits = detect_visits(&GpsTrace::new(pts), &VisitConfig::default(), None);
+        assert_eq!(visits.len(), 2);
+        assert!(visits[0].end <= visits[1].start);
+        assert_eq!(visits[1].duration(), 12 * MINUTE);
+    }
+
+    #[test]
+    fn gps_noise_within_roam_radius_stays_one_visit() {
+        // Jitter of ~20 m around the anchor.
+        let pts: Vec<GpsPoint> = (0..=15)
+            .map(|m| {
+                let jitter = if m % 2 == 0 { 0.0001 } else { -0.0001 };
+                fix(m, 34.0 + jitter, -119.0)
+            })
+            .collect();
+        let visits = detect_visits(&GpsTrace::new(pts), &VisitConfig::default(), None);
+        assert_eq!(visits.len(), 1);
+    }
+
+    #[test]
+    fn indoor_gap_is_bridged() {
+        // Fixes at minutes 0-2, a 15-minute indoor gap, then 17-20, same spot.
+        let mut pts = stay(0, 2, 34.0, -119.0);
+        pts.extend(stay(17, 20, 34.0, -119.0));
+        let visits = detect_visits(&GpsTrace::new(pts), &VisitConfig::default(), None);
+        assert_eq!(visits.len(), 1);
+        assert_eq!(visits[0].duration(), 20 * MINUTE);
+    }
+
+    #[test]
+    fn gap_beyond_max_is_not_bridged() {
+        let mut pts = stay(0, 7, 34.0, -119.0);
+        pts.extend(stay(40, 47, 34.0, -119.0)); // 33-minute gap > 20-minute max
+        let visits = detect_visits(&GpsTrace::new(pts), &VisitConfig::default(), None);
+        assert_eq!(visits.len(), 2);
+    }
+
+    #[test]
+    fn time_distance_footnote_semantics() {
+        let v = Visit {
+            start: 100,
+            end: 200,
+            centroid: LatLon::new(0.0, 0.0),
+            poi: None,
+        };
+        assert_eq!(v.time_distance(150), 0);
+        assert_eq!(v.time_distance(100), 0);
+        assert_eq!(v.time_distance(200), 0);
+        assert_eq!(v.time_distance(90), 10);
+        assert_eq!(v.time_distance(260), 60);
+    }
+
+    #[test]
+    fn empty_trace_no_visits() {
+        let visits = detect_visits(&GpsTrace::default(), &VisitConfig::default(), None);
+        assert!(visits.is_empty());
+    }
+
+    #[test]
+    fn centroid_averages_positions() {
+        let pts = vec![fix(0, 34.0, -119.0), fix(1, 34.0002, -119.0)];
+        let c = centroid_of(&pts);
+        assert!((c.lat - 34.0001).abs() < 1e-9);
+    }
+}

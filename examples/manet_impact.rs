@@ -1,0 +1,47 @@
+//! Application-level impact (§6): train Levy Walk models on the GPS,
+//! honest-checkin and all-checkin traces, drive the AODV MANET simulator
+//! with each, and compare the resulting network metrics — a scaled-down
+//! Figure 8.
+//!
+//! ```text
+//! cargo run --release --example manet_impact
+//! ```
+
+use geosocial::checkin::scenario::ScenarioConfig;
+use geosocial::experiments::models::{fig8, fit_models, training_traces, Fig8Config};
+use geosocial::experiments::Analysis;
+
+fn main() {
+    println!("generating cohort and training mobility models...");
+    let analysis = Analysis::run(&ScenarioConfig::small(30, 12), 99);
+    let traces = training_traces(&analysis.scenario.primary, &analysis.outcome);
+    println!(
+        "training flights: gps={} honest={} all={}",
+        traces.gps.n_flights(),
+        traces.honest.n_flights(),
+        traces.all.n_flights()
+    );
+    let models = fit_models(&traces).expect("cohort large enough to fit");
+    for (label, m) in [
+        ("GPS", &models.gps),
+        ("Honest-Checkin", &models.honest),
+        ("All-Checkin", &models.all),
+    ] {
+        println!(
+            "{label:<15} flight Pareto(xmin={:.0} m, alpha={:.2}); t = {:.2}·d^{:.2}",
+            m.flight.x_min, m.flight.alpha, m.coupling.k, m.coupling.exponent
+        );
+    }
+
+    println!("\nsimulating AODV over each model (50 nodes, 6×6 km, 25 pairs, 5 min)...");
+    let cfg = Fig8Config {
+        nodes: 50,
+        area_m: 6_000.0,
+        pairs: 25,
+        duration_ms: 300_000,
+        ..Default::default()
+    };
+    let out = fig8(&models, &cfg, 99);
+    println!("{}", out.text);
+    println!("(full-scale run: cargo run --release -p geosocial-experiments --bin repro -- --exp fig8)");
+}

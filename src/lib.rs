@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # geosocial — validity analysis of geosocial mobility traces
+//!
+//! Facade crate for the reproduction of *"On the Validity of Geosocial
+//! Mobility Traces"* (Zhang et al., HotNets 2013). It re-exports every
+//! sub-crate in the workspace under one roof so examples and downstream
+//! users can depend on a single crate:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`geo`] | `geosocial-geo` | coordinates, projections, spatial index |
+//! | [`stats`] | `geosocial-stats` | ECDF/PDF, correlation, Pareto fitting |
+//! | [`trace`] | `geosocial-trace` | users, POIs, GPS traces, visits, checkins |
+//! | [`mobility`] | `geosocial-mobility` | ground-truth generator, Levy Walk |
+//! | [`checkin`] | `geosocial-checkin` | checkin behaviour + incentive engine |
+//! | [`core`] | `geosocial-core` | matching, classification, detection |
+//! | [`manet`] | `geosocial-manet` | discrete-event MANET simulator + AODV |
+//! | [`experiments`] | `geosocial-experiments` | table/figure regeneration |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use geosocial::experiments::scenario::{Scenario, ScenarioConfig};
+//! use geosocial::core::matching::{MatchConfig, match_checkins};
+//!
+//! // Generate a small synthetic cohort (10 users, 7 days) and run the
+//! // paper's checkin-to-visit matching algorithm on it.
+//! let scenario = Scenario::generate(&ScenarioConfig::small(10, 7), 42);
+//! let dataset = scenario.dataset();
+//! let outcome = match_checkins(dataset, &MatchConfig::paper());
+//! println!(
+//!     "honest {} extraneous {} missing {}",
+//!     outcome.honest.len(),
+//!     outcome.extraneous.len(),
+//!     outcome.missing.len()
+//! );
+//! ```
+
+pub use geosocial_checkin as checkin;
+pub use geosocial_core as core;
+pub use geosocial_experiments as experiments;
+pub use geosocial_geo as geo;
+pub use geosocial_manet as manet;
+pub use geosocial_mobility as mobility;
+pub use geosocial_stats as stats;
+pub use geosocial_trace as trace;

@@ -1,0 +1,203 @@
+//! `geosocial` — command-line front end for the trace-validity toolkit.
+//!
+//! ```text
+//! geosocial generate --users 20 --days 7 --seed 42 --out study/
+//! geosocial analyze  --dir study/
+//! geosocial detect   --checkins study/user003_checkins.csv
+//! ```
+//!
+//! `generate` writes a synthetic study as flat CSVs (POIs + per-user GPS /
+//! visits / checkins); `analyze` runs the paper's §4–§5 pipeline over such
+//! a directory; `detect` flags suspicious checkins in a single checkin
+//! trace using only the trace itself (no GPS needed) — the tool a
+//! real-world trace consumer would reach for.
+
+use geosocial::checkin::scenario::{Scenario, ScenarioConfig};
+use geosocial::core::classify::ClassifyConfig;
+use geosocial::core::detect::{detect_extraneous, DetectorConfig};
+use geosocial::core::matching::{match_checkins, MatchConfig};
+use geosocial::core::prevalence::user_compositions;
+use geosocial::trace::csv::{
+    checkins_from_csv, checkins_to_csv, gps_from_csv, gps_to_csv, pois_from_csv, pois_to_csv,
+    visits_from_csv, visits_to_csv,
+};
+use geosocial::trace::{Dataset, UserData, UserProfile};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try --help")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "geosocial — validity analysis of geosocial mobility traces\n\
+         \n\
+         commands:\n\
+         \x20 generate --users N --days N --seed S --out DIR   write a synthetic study as CSVs\n\
+         \x20 analyze  --dir DIR                               run matching + classification over a study\n\
+         \x20 detect   --checkins FILE [--gap-s N]             flag suspicious checkins (trace-only)\n\
+         \n\
+         full table/figure regeneration lives in the repro binary:\n\
+         \x20 cargo run --release -p geosocial-experiments --bin repro -- --exp all"
+    );
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value for {name}: {v:?}")),
+    }
+}
+
+// --- generate ----------------------------------------------------------------
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let users: u32 = parse_flag(args, "--users", 20)?;
+    let days: u32 = parse_flag(args, "--days", 7)?;
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let out = PathBuf::from(flag_value(args, "--out").unwrap_or("study"));
+    std::fs::create_dir_all(&out).map_err(|e| format!("create {}: {e}", out.display()))?;
+
+    let scenario = Scenario::generate(&ScenarioConfig::small(users, days), seed);
+    let dataset = scenario.dataset();
+    eprintln!("generated {}", dataset.stats());
+
+    std::fs::write(out.join("pois.csv"), pois_to_csv(&dataset.pois))
+        .map_err(|e| e.to_string())?;
+    for user in &dataset.users {
+        let stem = format!("user{:03}", user.id);
+        std::fs::write(out.join(format!("{stem}_gps.csv")), gps_to_csv(&user.gps))
+            .map_err(|e| e.to_string())?;
+        std::fs::write(out.join(format!("{stem}_visits.csv")), visits_to_csv(&user.visits))
+            .map_err(|e| e.to_string())?;
+        std::fs::write(
+            out.join(format!("{stem}_checkins.csv")),
+            checkins_to_csv(&user.checkins),
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    eprintln!("wrote {} users to {}", dataset.users.len(), out.display());
+    Ok(())
+}
+
+// --- analyze -----------------------------------------------------------------
+
+fn load_study(dir: &Path) -> Result<Dataset, String> {
+    let pois_path = dir.join("pois.csv");
+    let pois_text = std::fs::read_to_string(&pois_path)
+        .map_err(|e| format!("read {}: {e}", pois_path.display()))?;
+    let pois = pois_from_csv(&pois_text).map_err(|e| format!("{}: {e}", pois_path.display()))?;
+
+    let mut users = Vec::new();
+    let mut id = 0u32;
+    loop {
+        let stem = format!("user{id:03}");
+        let gps_path = dir.join(format!("{stem}_gps.csv"));
+        if !gps_path.exists() {
+            break;
+        }
+        let read = |suffix: &str| -> Result<String, String> {
+            let p = dir.join(format!("{stem}_{suffix}.csv"));
+            std::fs::read_to_string(&p).map_err(|e| format!("read {}: {e}", p.display()))
+        };
+        let gps = gps_from_csv(&read("gps")?).map_err(|e| format!("{stem} gps: {e}"))?;
+        let visits =
+            visits_from_csv(&read("visits")?).map_err(|e| format!("{stem} visits: {e}"))?;
+        let checkins =
+            checkins_from_csv(&read("checkins")?).map_err(|e| format!("{stem} checkins: {e}"))?;
+        users.push(UserData::new(id, gps, visits, checkins, UserProfile::default()));
+        id += 1;
+    }
+    if users.is_empty() {
+        return Err(format!("no userNNN_gps.csv files found in {}", dir.display()));
+    }
+    Ok(Dataset { name: "Imported".into(), pois, users })
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let dir = PathBuf::from(flag_value(args, "--dir").unwrap_or("study"));
+    let dataset = load_study(&dir)?;
+    println!("loaded {}", dataset.stats());
+
+    let outcome = match_checkins(&dataset, &MatchConfig::paper());
+    println!(
+        "matching (alpha=500 m, beta=30 min):\n\
+         \x20 honest     {:6} ({:.1}% of checkins)\n\
+         \x20 extraneous {:6} ({:.1}% of checkins)\n\
+         \x20 missing    {:6} ({:.1}% of visits)",
+        outcome.honest.len(),
+        100.0 * (1.0 - outcome.extraneous_ratio()),
+        outcome.extraneous.len(),
+        100.0 * outcome.extraneous_ratio(),
+        outcome.missing.len(),
+        100.0 * outcome.missing_ratio(),
+    );
+
+    let comps = user_compositions(&dataset, &outcome, &ClassifyConfig::default());
+    let (mut sup, mut rem, mut dri, mut unc) = (0, 0, 0, 0);
+    for c in &comps {
+        sup += c.superfluous;
+        rem += c.remote;
+        dri += c.driveby;
+        unc += c.unclassified;
+    }
+    println!(
+        "extraneous types: superfluous {sup}, remote {rem}, driveby {dri}, unclassified {unc}"
+    );
+    Ok(())
+}
+
+// --- detect ------------------------------------------------------------------
+
+fn cmd_detect(args: &[String]) -> Result<(), String> {
+    let path = PathBuf::from(
+        flag_value(args, "--checkins").ok_or("detect needs --checkins FILE")?,
+    );
+    let gap: i64 = parse_flag(args, "--gap-s", 120)?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let checkins = checkins_from_csv(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let user = UserData::new(0, Default::default(), vec![], checkins, UserProfile::default());
+    let cfg = DetectorConfig { burst_gap_s: gap, ..Default::default() };
+    let flags = detect_extraneous(&user, &cfg);
+    let flagged = flags.iter().filter(|&&f| f).count();
+    println!(
+        "{} of {} checkins flagged as likely extraneous (burst gap {gap} s + implied speed)",
+        flagged,
+        flags.len()
+    );
+    for (c, &f) in user.checkins.iter().zip(&flags) {
+        if f {
+            println!(
+                "  t={} poi={} {} @ ({:.5}, {:.5})",
+                c.t, c.poi, c.category, c.location.lat, c.location.lon
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Integration tests for the `geosocial` command-line tool: the full
+//! generate → analyze → detect round trip through the binary interface.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_geosocial"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("geosocial_cli_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn generate_analyze_detect_round_trip() {
+    let dir = temp_dir("roundtrip");
+    // generate
+    let out = bin()
+        .args(["generate", "--users", "4", "--days", "3", "--seed", "11"])
+        .args(["--out", dir.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("pois.csv").exists());
+    assert!(dir.join("user000_checkins.csv").exists());
+    assert!(dir.join("user003_gps.csv").exists());
+
+    // analyze
+    let out = bin()
+        .args(["analyze", "--dir", dir.to_str().unwrap()])
+        .output()
+        .expect("run analyze");
+    assert!(out.status.success(), "analyze failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("honest"), "missing matching report: {stdout}");
+    assert!(stdout.contains("extraneous types"), "missing type report: {stdout}");
+
+    // detect
+    let out = bin()
+        .args(["detect", "--checkins"])
+        .arg(dir.join("user000_checkins.csv"))
+        .output()
+        .expect("run detect");
+    assert!(out.status.success(), "detect failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("flagged as likely extraneous"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deterministic_generation_across_invocations() {
+    let d1 = temp_dir("det1");
+    let d2 = temp_dir("det2");
+    for d in [&d1, &d2] {
+        let out = bin()
+            .args(["generate", "--users", "3", "--days", "2", "--seed", "77"])
+            .args(["--out", d.to_str().unwrap()])
+            .output()
+            .expect("run generate");
+        assert!(out.status.success());
+    }
+    let a = std::fs::read_to_string(d1.join("user001_checkins.csv")).unwrap();
+    let b = std::fs::read_to_string(d2.join("user001_checkins.csv")).unwrap();
+    assert_eq!(a, b, "same seed must produce identical CSVs");
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d2);
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Unknown command.
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Analyze over an empty directory.
+    let dir = temp_dir("empty");
+    std::fs::write(
+        dir.join("pois.csv"),
+        "id,name,category,lat,lon\norigin,,,34.0,-119.0\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["analyze", "--dir", dir.to_str().unwrap()])
+        .output()
+        .expect("run analyze");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no user"));
+
+    // Detect with a malformed file.
+    std::fs::write(dir.join("bad.csv"), "not,a,checkin,file\n").unwrap();
+    let out = bin()
+        .args(["detect", "--checkins"])
+        .arg(dir.join("bad.csv"))
+        .output()
+        .expect("run detect");
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,111 @@
+//! Workspace-level integration tests: the full study pipeline through the
+//! facade crate, from city generation to the MANET experiment.
+
+use geosocial::checkin::scenario::{Scenario, ScenarioConfig};
+use geosocial::core::matching::{match_checkins, sweep, MatchConfig};
+use geosocial::experiments::models::{fig8, fit_models, training_traces, Fig8Config};
+use geosocial::experiments::Analysis;
+use geosocial::manet::{SimConfig, Simulator};
+use geosocial::mobility::{MovementTrace, RandomWaypoint};
+use geosocial::trace::{Dataset, MINUTE};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+#[test]
+fn facade_quickstart_compiles_and_runs() {
+    let scenario = Scenario::generate(&ScenarioConfig::small(6, 5), 1);
+    let outcome = match_checkins(scenario.dataset(), &MatchConfig::paper());
+    assert!(outcome.total_checkins > 0);
+    assert!(outcome.total_visits > 0);
+    assert_eq!(
+        outcome.honest.len() + outcome.extraneous.len(),
+        outcome.total_checkins
+    );
+}
+
+#[test]
+fn dataset_survives_json_round_trip_with_identical_analysis() {
+    let scenario = Scenario::generate(&ScenarioConfig::small(5, 4), 2);
+    let ds = scenario.dataset();
+    let json = ds.to_json();
+    let back = Dataset::from_json(&json).expect("round trip");
+    let a = match_checkins(ds, &MatchConfig::paper());
+    let b = match_checkins(&back, &MatchConfig::paper());
+    assert_eq!(a.honest.len(), b.honest.len());
+    assert_eq!(a.extraneous.len(), b.extraneous.len());
+    assert_eq!(a.missing.len(), b.missing.len());
+}
+
+#[test]
+fn alpha_beta_sweep_brackets_the_paper_point() {
+    let scenario = Scenario::generate(&ScenarioConfig::small(8, 6), 3);
+    let pts = sweep(
+        scenario.dataset(),
+        &[100.0, 500.0, 2_000.0],
+        &[5 * MINUTE, 30 * MINUTE, 120 * MINUTE],
+    );
+    assert_eq!(pts.len(), 9);
+    // Matching counts grow monotonically along both axes.
+    let honest_at = |a: f64, b: i64| {
+        pts.iter()
+            .find(|p| p.alpha_m == a && p.beta_s == b)
+            .unwrap()
+            .honest
+    };
+    assert!(honest_at(100.0, 30 * MINUTE) <= honest_at(500.0, 30 * MINUTE));
+    assert!(honest_at(500.0, 5 * MINUTE) <= honest_at(500.0, 30 * MINUTE));
+    assert!(honest_at(500.0, 30 * MINUTE) <= honest_at(2_000.0, 120 * MINUTE));
+}
+
+#[test]
+fn full_figure8_pipeline_from_cohort_to_manet() {
+    // The complete §6 chain: cohort → matching → training traces → fitted
+    // models → AODV simulation → metric CDFs.
+    let analysis = Analysis::run(&ScenarioConfig::small(12, 8), 4);
+    let traces = training_traces(&analysis.scenario.primary, &analysis.outcome);
+    assert!(traces.gps.n_flights() > 50);
+    let models = fit_models(&traces).expect("cohort fits");
+    let cfg = Fig8Config {
+        nodes: 16,
+        area_m: 3_000.0,
+        pairs: 5,
+        duration_ms: 60_000,
+        ..Default::default()
+    };
+    let out = fig8(&models, &cfg, 4);
+    assert_eq!(out.csv.len(), 3, "route-change, availability, overhead CSVs");
+    for (suffix, csv) in &out.csv {
+        assert!(
+            csv.lines().count() > 2,
+            "fig8{suffix} csv should hold a grid of points"
+        );
+        // Three model columns + x.
+        assert_eq!(csv.lines().next().unwrap().split(',').count(), 4, "{suffix}");
+    }
+}
+
+#[test]
+fn manet_simulator_is_deterministic_through_the_facade() {
+    let mut rng = ChaCha12Rng::seed_from_u64(5);
+    let rwp = RandomWaypoint::default();
+    let traces: Vec<MovementTrace> = (0..12).map(|_| rwp.generate(2_500.0, 120, &mut rng)).collect();
+    let cfg = SimConfig { duration_ms: 60_000, ..Default::default() };
+    let r1 = Simulator::new(traces.clone(), vec![(0, 11), (3, 7)], cfg.clone(), 9).run();
+    let r2 = Simulator::new(traces, vec![(0, 11), (3, 7)], cfg, 9).run();
+    assert_eq!(r1.total_routing_tx, r2.total_routing_tx);
+    assert_eq!(r1.pairs[0].data_delivered, r2.pairs[0].data_delivered);
+    assert_eq!(r1.pairs[1].route_changes, r2.pairs[1].route_changes);
+}
+
+#[test]
+fn baseline_cohort_is_cleaner_than_primary() {
+    let scenario = Scenario::generate(&ScenarioConfig::small(15, 8), 6);
+    let p = match_checkins(&scenario.primary, &MatchConfig::paper());
+    let b = match_checkins(&scenario.baseline, &MatchConfig::paper());
+    assert!(
+        b.extraneous_ratio() < p.extraneous_ratio(),
+        "baseline {:.2} should be cleaner than primary {:.2}",
+        b.extraneous_ratio(),
+        p.extraneous_ratio()
+    );
+}
