@@ -93,9 +93,14 @@ pub struct Scenario {
 
 impl Scenario {
     /// Generate a full scenario deterministically from `seed`.
+    ///
+    /// Each user draws from a private RNG stream derived from
+    /// `(seed, cohort, uid)` (see [`substream_seed`]), so users generate
+    /// independently — in parallel across the `geosocial-par` pool — and
+    /// the output is **bit-identical for every thread count**.
     pub fn generate(config: &ScenarioConfig, seed: u64) -> Scenario {
-        let mut rng = ChaCha12Rng::seed_from_u64(seed);
-        let universe = generate_city(&config.city, &mut rng);
+        let mut city_rng = ChaCha12Rng::seed_from_u64(substream_seed(seed, 0, 0));
+        let universe = generate_city(&config.city, &mut city_rng);
         let primary = build_cohort(
             "Primary",
             &universe,
@@ -103,7 +108,8 @@ impl Scenario {
             BehaviorConfig::Primary,
             config.primary_users,
             config.primary_days,
-            &mut rng,
+            seed,
+            1,
         );
         let baseline = build_cohort(
             "Baseline",
@@ -112,7 +118,8 @@ impl Scenario {
             BehaviorConfig::Baseline,
             config.baseline_users,
             config.baseline_days,
-            &mut rng,
+            seed,
+            2,
         );
         Scenario { config: config.clone(), primary, baseline }
     }
@@ -123,41 +130,66 @@ impl Scenario {
     }
 }
 
-fn build_cohort<R: Rng>(
+/// Derive the seed of an independent per-entity RNG stream from the
+/// scenario seed, a cohort tag and a user id, splitmix-style: each input
+/// is spread by an odd multiplier, then the combination is driven through
+/// the splitmix64 finalizer so that consecutive uids land on unrelated
+/// streams. Stream identity depends only on these three values — never on
+/// generation order or thread count.
+fn substream_seed(seed: u64, cohort: u64, uid: u64) -> u64 {
+    let mut z = seed
+        ^ cohort.wrapping_mul(0xA24B_AED4_963E_E407)
+        ^ uid.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_cohort(
     name: &str,
     universe: &PoiUniverse,
     config: &ScenarioConfig,
     behavior_cfg: BehaviorConfig,
     n_users: u32,
     mean_days: u32,
-    rng: &mut R,
+    seed: u64,
+    cohort_tag: u64,
 ) -> Dataset {
     struct Draft {
         itinerary: Itinerary,
         checkins: Vec<Checkin>,
         sociability: f64,
         days: f64,
+        /// The user's private stream, carried across passes so pass 3
+        /// continues exactly where pass 1 left off.
+        rng: ChaCha12Rng,
     }
 
-    // Pass 1: generate movement and checkins for every user.
-    let mut drafts = Vec::with_capacity(n_users as usize);
-    for uid in 0..n_users {
-        let prefs = assign_prefs(uid, universe, rng);
+    let uids: Vec<u32> = (0..n_users).collect();
+
+    // Pass 1: generate movement and checkins, one private stream per user.
+    let drafts: Vec<Draft> = geosocial_par::par_map(&uids, |&uid| {
+        let mut rng = ChaCha12Rng::seed_from_u64(substream_seed(seed, cohort_tag, uid as u64));
+        let prefs = assign_prefs(uid, universe, &mut rng);
         // Coverage varies per user around the cohort mean, as in the study.
-        let days = (mean_days as i64 + rng.gen_range(-(mean_days as i64) / 3..=(mean_days as i64) / 3))
-            .max(3) as u32;
-        let itinerary = generate_itinerary(&prefs, universe, days, &config.routine, rng);
-        let behavior = behavior_cfg.sample(rng);
-        let checkins = simulate_checkins(&itinerary, universe, &behavior, rng);
-        drafts.push(Draft {
+        let days = (mean_days as i64
+            + rng.gen_range(-(mean_days as i64) / 3..=(mean_days as i64) / 3))
+        .max(3) as u32;
+        let itinerary = generate_itinerary(&prefs, universe, days, &config.routine, &mut rng);
+        let behavior = behavior_cfg.sample(&mut rng);
+        let checkins = simulate_checkins(&itinerary, universe, &behavior, &mut rng);
+        Draft {
             itinerary,
             checkins,
             sociability: behavior.sociability,
             days: days as f64,
-        });
-    }
+            rng,
+        }
+    });
 
-    // Pass 2: the mayorship contest needs the whole cohort's checkins.
+    // Pass 2: the mayorship contest needs the whole cohort's checkins —
+    // a global barrier between the per-user passes.
     let streams: Vec<(UserId, &[Checkin])> = drafts
         .iter()
         .enumerate()
@@ -170,11 +202,12 @@ fn build_cohort<R: Rng>(
         .unwrap_or(0);
     let board = MayorshipBoard::compute(&streams, now, &config.incentives);
 
-    // Pass 3: render GPS, detect visits, assemble profiles.
-    let mut users = Vec::with_capacity(drafts.len());
-    for (uid, draft) in drafts.into_iter().enumerate() {
+    // Pass 3: render GPS, detect visits, assemble profiles — again
+    // per-user, each continuing its own pass-1 stream.
+    let rendered = geosocial_par::par_map_indexed(&drafts, |uid, draft| {
         let uid = uid as UserId;
-        let gps = simulate_gps(&draft.itinerary, universe, &config.gps, rng);
+        let mut rng = draft.rng.clone();
+        let gps = simulate_gps(&draft.itinerary, universe, &config.gps, &mut rng);
         let visits = detect_visits(&gps, &config.visit, Some(universe));
         let profile = compute_profile(
             uid,
@@ -183,10 +216,19 @@ fn build_cohort<R: Rng>(
             draft.sociability,
             &board,
             &config.incentives,
-            rng,
+            &mut rng,
         );
-        users.push(UserData::new(uid, gps, visits, draft.checkins, profile));
-    }
+        (gps, visits, profile)
+    });
+
+    let users = drafts
+        .into_iter()
+        .zip(rendered)
+        .enumerate()
+        .map(|(uid, (draft, (gps, visits, profile)))| {
+            UserData::new(uid as UserId, gps, visits, draft.checkins, profile)
+        })
+        .collect();
 
     Dataset { name: name.into(), pois: universe.clone(), users }
 }

@@ -117,21 +117,33 @@ fn div(n: usize, d: usize) -> f64 {
 ///
 /// Checkins without provenance are skipped (nothing to score against).
 pub fn score_detector(dataset: &Dataset, cfg: &DetectorConfig) -> DetectionScore {
-    let mut score = DetectionScore::default();
-    for user in &dataset.users {
-        let flags = detect_extraneous(user, cfg);
-        for (c, &flagged) in user.checkins.iter().zip(&flags) {
-            let Some(prov) = c.provenance else { continue };
-            let is_extraneous = prov != Provenance::Honest;
-            match (is_extraneous, flagged) {
-                (true, true) => score.true_positives += 1,
-                (true, false) => score.false_negatives += 1,
-                (false, true) => score.false_positives += 1,
-                (false, false) => score.true_negatives += 1,
+    // Per-user confusion counts fold independently; integer merges are
+    // order-insensitive, so the parallel reduce is trivially deterministic.
+    geosocial_par::par_reduce(
+        &dataset.users,
+        DetectionScore::default,
+        |mut score, _, user| {
+            let flags = detect_extraneous(user, cfg);
+            for (c, &flagged) in user.checkins.iter().zip(&flags) {
+                let Some(prov) = c.provenance else { continue };
+                let is_extraneous = prov != Provenance::Honest;
+                match (is_extraneous, flagged) {
+                    (true, true) => score.true_positives += 1,
+                    (true, false) => score.false_negatives += 1,
+                    (false, true) => score.false_positives += 1,
+                    (false, false) => score.true_negatives += 1,
+                }
             }
-        }
-    }
-    score
+            score
+        },
+        |mut a, b| {
+            a.true_positives += b.true_positives;
+            a.false_negatives += b.false_negatives;
+            a.false_positives += b.false_positives;
+            a.true_negatives += b.true_negatives;
+            a
+        },
+    )
 }
 
 /// Sweep the burst-gap threshold, returning `(gap, score)` per point —

@@ -40,4 +40,4 @@ pub mod recover;
 pub mod validate;
 
 pub use classify::{classify_extraneous, ClassifyConfig, ExtraneousKind};
-pub use matching::{match_checkins, MatchConfig, MatchOutcome};
+pub use matching::{match_checkins, MatchConfig, MatchOutcome, PerUserOutcome};

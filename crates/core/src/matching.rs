@@ -10,6 +10,7 @@
 use geosocial_geo::SpatialGrid;
 use geosocial_trace::{Dataset, UserData, UserId, MINUTE};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Matching thresholds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -109,26 +110,109 @@ impl MatchOutcome {
     }
 
     /// Honest pairs belonging to `user`.
+    ///
+    /// Linear scan over the whole cohort — fine for a single lookup, but
+    /// callers iterating *all* users should build [`MatchOutcome::by_user`]
+    /// once instead of paying O(users × total).
     pub fn honest_of(&self, user: UserId) -> impl Iterator<Item = &MatchedPair> {
         self.honest.iter().filter(move |p| p.checkin.user == user)
     }
 
-    /// Extraneous checkins belonging to `user`.
+    /// Extraneous checkins belonging to `user` (see [`MatchOutcome::honest_of`]
+    /// on complexity).
     pub fn extraneous_of(&self, user: UserId) -> impl Iterator<Item = &CheckinRef> {
         self.extraneous.iter().filter(move |c| c.user == user)
     }
 
-    /// Missing visits belonging to `user`.
+    /// Missing visits belonging to `user` (see [`MatchOutcome::honest_of`]
+    /// on complexity).
     pub fn missing_of(&self, user: UserId) -> impl Iterator<Item = &VisitRef> {
         self.missing.iter().filter(move |v| v.user == user)
+    }
+
+    /// Build the per-user index once: every `*_of` lookup through the
+    /// returned view is O(items of that user), turning per-cohort passes
+    /// from O(users × total) into O(total).
+    pub fn by_user(&self) -> PerUserOutcome<'_> {
+        PerUserOutcome::new(self)
+    }
+}
+
+/// Per-user index over a [`MatchOutcome`], built in one pass by
+/// [`MatchOutcome::by_user`].
+#[derive(Debug)]
+pub struct PerUserOutcome<'a> {
+    outcome: &'a MatchOutcome,
+    honest: HashMap<UserId, Vec<u32>>,
+    extraneous: HashMap<UserId, Vec<u32>>,
+    missing: HashMap<UserId, Vec<u32>>,
+}
+
+impl<'a> PerUserOutcome<'a> {
+    fn new(outcome: &'a MatchOutcome) -> Self {
+        fn index<T>(items: &[T], user_of: impl Fn(&T) -> UserId) -> HashMap<UserId, Vec<u32>> {
+            let mut map: HashMap<UserId, Vec<u32>> = HashMap::new();
+            for (i, item) in items.iter().enumerate() {
+                map.entry(user_of(item)).or_default().push(i as u32);
+            }
+            map
+        }
+        Self {
+            outcome,
+            honest: index(&outcome.honest, |p| p.checkin.user),
+            extraneous: index(&outcome.extraneous, |c| c.user),
+            missing: index(&outcome.missing, |v| v.user),
+        }
+    }
+
+    /// Honest pairs belonging to `user`, in outcome order.
+    pub fn honest_of(&self, user: UserId) -> impl Iterator<Item = &'a MatchedPair> + '_ {
+        self.honest
+            .get(&user)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.outcome.honest[i as usize])
+    }
+
+    /// Extraneous checkins belonging to `user`, in outcome order.
+    pub fn extraneous_of(&self, user: UserId) -> impl Iterator<Item = &'a CheckinRef> + '_ {
+        self.extraneous
+            .get(&user)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.outcome.extraneous[i as usize])
+    }
+
+    /// Missing visits belonging to `user`, in outcome order.
+    pub fn missing_of(&self, user: UserId) -> impl Iterator<Item = &'a VisitRef> + '_ {
+        self.missing
+            .get(&user)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.outcome.missing[i as usize])
     }
 }
 
 /// Run the matching algorithm over a whole cohort.
+///
+/// Users are matched independently (in parallel across the
+/// `geosocial-par` pool) and their partial outcomes merged in user-index
+/// order, so the result — including the order of the `honest` /
+/// `extraneous` / `missing` vectors — is identical to the serial loop for
+/// every thread count.
 pub fn match_checkins(dataset: &Dataset, config: &MatchConfig) -> MatchOutcome {
+    let partials = geosocial_par::par_map(&dataset.users, |user| {
+        let mut partial = MatchOutcome::default();
+        match_user(user, dataset, config, &mut partial);
+        partial
+    });
     let mut out = MatchOutcome::default();
-    for user in &dataset.users {
-        match_user(user, dataset, config, &mut out);
+    for p in partials {
+        out.honest.extend(p.honest);
+        out.extraneous.extend(p.extraneous);
+        out.missing.extend(p.missing);
+        out.total_checkins += p.total_checkins;
+        out.total_visits += p.total_visits;
     }
     out
 }

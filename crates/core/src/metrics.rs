@@ -8,7 +8,7 @@
 //! space limits)". This module implements all five, so the omitted results
 //! exist here.
 
-use crate::matching::MatchOutcome;
+use crate::matching::{MatchOutcome, PerUserOutcome};
 use geosocial_trace::{Dataset, PoiId, UserData, DAY};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -25,10 +25,14 @@ pub enum EventSource {
 }
 
 /// Extract the (time, poi, location) event stream of one user for a source.
+///
+/// Takes the per-user [`PerUserOutcome`] index rather than the flat
+/// [`MatchOutcome`]: callers looping over every user build the index once,
+/// instead of re-scanning the whole outcome per user.
 fn events_of(
     user: &UserData,
     source: EventSource,
-    outcome: Option<&MatchOutcome>,
+    outcome: Option<&PerUserOutcome<'_>>,
 ) -> Vec<(i64, Option<PoiId>, geosocial_geo::LatLon)> {
     match source {
         EventSource::Checkins => user
@@ -62,9 +66,10 @@ pub fn movement_distances(
     source: EventSource,
     outcome: Option<&MatchOutcome>,
 ) -> Vec<f64> {
+    let index = outcome.map(|o| o.by_user());
     let mut out = Vec::new();
     for user in &dataset.users {
-        let evs = events_of(user, source, outcome);
+        let evs = events_of(user, source, index.as_ref());
         for w in evs.windows(2) {
             out.push(w[0].2.haversine_m(w[1].2));
         }
@@ -79,13 +84,14 @@ pub fn event_frequencies(
     source: EventSource,
     outcome: Option<&MatchOutcome>,
 ) -> Vec<f64> {
+    let index = outcome.map(|o| o.by_user());
     let mut out = Vec::new();
     for user in &dataset.users {
         let days = user.days();
         if days <= 0.0 {
             continue;
         }
-        let n = events_of(user, source, outcome).len();
+        let n = events_of(user, source, index.as_ref()).len();
         out.push(n as f64 / days);
     }
     out
@@ -115,10 +121,11 @@ pub fn poi_entropies(
     source: EventSource,
     outcome: Option<&MatchOutcome>,
 ) -> Vec<f64> {
+    let index = outcome.map(|o| o.by_user());
     let mut out = Vec::new();
     for user in &dataset.users {
         let mut counts: HashMap<PoiId, usize> = HashMap::new();
-        for (_, poi, _) in events_of(user, source, outcome) {
+        for (_, poi, _) in events_of(user, source, index.as_ref()) {
             if let Some(poi) = poi {
                 *counts.entry(poi).or_insert(0) += 1;
             }

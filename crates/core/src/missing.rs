@@ -17,6 +17,7 @@ pub fn top_poi_missing_ratios(
     n_max: usize,
 ) -> Vec<Vec<f64>> {
     assert!(n_max >= 1, "need at least top-1");
+    let index = outcome.by_user();
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); n_max];
     for user in &dataset.users {
         // Visit counts per POI (all visits, not only missing ones): the
@@ -36,7 +37,7 @@ pub fn top_poi_missing_ratios(
         // Missing visits per POI for this user.
         let mut missing_at: HashMap<PoiId, usize> = HashMap::new();
         let mut total_missing = 0usize;
-        for vref in outcome.missing_of(user.id) {
+        for vref in index.missing_of(user.id) {
             total_missing += 1;
             if let Some(poi) = user.visits[vref.index].poi {
                 *missing_at.entry(poi).or_insert(0) += 1;
@@ -88,10 +89,11 @@ impl CategoryBreakdown {
 
 /// Group the missing visits by POI category.
 pub fn missing_by_category(dataset: &Dataset, outcome: &MatchOutcome) -> CategoryBreakdown {
+    let index = outcome.by_user();
     let mut counts = [0usize; 9];
     let mut unsnapped = 0usize;
     for user in &dataset.users {
-        for vref in outcome.missing_of(user.id) {
+        for vref in index.missing_of(user.id) {
             match user.visits[vref.index].poi {
                 Some(poi) => counts[dataset.pois.get(poi).category.index()] += 1,
                 None => unsnapped += 1,

@@ -5,7 +5,6 @@ use crate::classify::{classify_extraneous, ClassifyConfig, ExtraneousKind};
 use crate::matching::MatchOutcome;
 use geosocial_trace::{Dataset, UserId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// One user's checkin composition.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -64,40 +63,30 @@ fn ratio(n: usize, d: usize) -> f64 {
 
 /// Compute every user's checkin composition by classifying each extraneous
 /// checkin against the GPS evidence.
+///
+/// Classification is independent per user, so the work fans out across the
+/// `geosocial-par` pool using the precomputed [`MatchOutcome::by_user`]
+/// index; output order (ascending user id) matches the old serial scan.
 pub fn user_compositions(
     dataset: &Dataset,
     outcome: &MatchOutcome,
     cfg: &ClassifyConfig,
 ) -> Vec<UserComposition> {
-    let mut by_user: HashMap<UserId, UserComposition> = dataset
-        .users
-        .iter()
-        .map(|u| {
-            (
-                u.id,
-                UserComposition { user: u.id, total: u.checkins.len(), ..Default::default() },
-            )
-        })
-        .collect();
-    for pair in &outcome.honest {
-        if let Some(c) = by_user.get_mut(&pair.checkin.user) {
-            c.honest += 1;
+    let index = outcome.by_user();
+    let mut out = geosocial_par::par_map(&dataset.users, |user| {
+        let mut comp =
+            UserComposition { user: user.id, total: user.checkins.len(), ..Default::default() };
+        comp.honest = index.honest_of(user.id).count();
+        for cref in index.extraneous_of(user.id) {
+            match classify_extraneous(user, cref.index, cfg) {
+                ExtraneousKind::Superfluous => comp.superfluous += 1,
+                ExtraneousKind::Remote => comp.remote += 1,
+                ExtraneousKind::Driveby => comp.driveby += 1,
+                ExtraneousKind::Unclassified => comp.unclassified += 1,
+            }
         }
-    }
-    let user_by_id: HashMap<UserId, &geosocial_trace::UserData> =
-        dataset.users.iter().map(|u| (u.id, u)).collect();
-    for cref in &outcome.extraneous {
-        let user = user_by_id[&cref.user];
-        let kind = classify_extraneous(user, cref.index, cfg);
-        let comp = by_user.get_mut(&cref.user).expect("known user");
-        match kind {
-            ExtraneousKind::Superfluous => comp.superfluous += 1,
-            ExtraneousKind::Remote => comp.remote += 1,
-            ExtraneousKind::Driveby => comp.driveby += 1,
-            ExtraneousKind::Unclassified => comp.unclassified += 1,
-        }
-    }
-    let mut out: Vec<UserComposition> = by_user.into_values().collect();
+        comp
+    });
     out.sort_by_key(|c| c.user);
     out
 }

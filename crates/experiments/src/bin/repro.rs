@@ -2,16 +2,20 @@
 //!
 //! ```text
 //! repro [--exp all|table1|fig1..fig8|table2|sweep|detect|filter|recover|learned|fidelity|rates|visitdef|dsdv]
-//!       [--users N] [--days N] [--seed S] [--out DIR] [--quick] [--paper-area]
+//!       [--users N] [--days N] [--seed S] [--out DIR] [--threads N] [--quick] [--paper-area] [--bench]
 //! ```
 //!
 //! Writes `DIR/<exp>.txt` and `DIR/<exp>*.csv` for every requested
-//! experiment and prints the text reports to stdout.
+//! experiment and prints the text reports to stdout. Every experiment is
+//! wall-clock timed (`exp ... took X.XXs` on stderr) and the timings land
+//! in `DIR/timings.csv`. All output is bit-identical for any `--threads`
+//! value — parallelism only changes how fast it appears.
 
 use geosocial_experiments::figures::{self, ExperimentOutput};
 use geosocial_experiments::models::{self, Fig8Config};
 use geosocial_experiments::{extensions, Analysis};
 use std::path::PathBuf;
+use std::time::Instant;
 
 struct Args {
     exps: Vec<String>,
@@ -19,8 +23,10 @@ struct Args {
     days: Option<u32>,
     seed: u64,
     out: PathBuf,
+    threads: Option<usize>,
     quick: bool,
     paper_area: bool,
+    bench: bool,
 }
 
 const ALL_EXPS: [&str; 19] = [
@@ -35,8 +41,10 @@ fn parse_args() -> Args {
         days: None,
         seed: 20130101,
         out: PathBuf::from("results"),
+        threads: None,
         quick: false,
         paper_area: false,
+        bench: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -53,11 +61,26 @@ fn parse_args() -> Args {
             "--days" => args.days = Some(it.next().expect("--days needs a value").parse().expect("days")),
             "--seed" => args.seed = it.next().expect("--seed needs a value").parse().expect("seed"),
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
+            "--threads" => {
+                args.threads =
+                    Some(it.next().expect("--threads needs a value").parse().expect("threads"))
+            }
             "--quick" => args.quick = true,
             "--paper-area" => args.paper_area = true,
+            "--bench" => args.bench = true,
             "--help" | "-h" => {
-                eprintln!("usage: repro [--exp LIST] [--users N] [--days N] [--seed S] [--out DIR] [--quick] [--paper-area]");
+                eprintln!(
+                    "usage: repro [--exp LIST] [--users N] [--days N] [--seed S] [--out DIR]\n\
+                     \x20            [--threads N] [--quick] [--paper-area] [--bench]"
+                );
                 eprintln!("experiments: all, {}", ALL_EXPS.join(", "));
+                eprintln!(
+                    "  --threads N   worker threads for the parallel pipeline stages\n\
+                     \x20               (default: one per core, via available_parallelism;\n\
+                     \x20               output is bit-identical for every value)\n\
+                     \x20 --bench      additionally time Analysis::run at 1 thread vs the\n\
+                     \x20               selected width and write BENCH_pipeline.json"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -72,8 +95,22 @@ fn parse_args() -> Args {
     args
 }
 
+/// Time `Analysis::run` end-to-end at a given pool width.
+fn time_analysis(config: &geosocial_checkin::scenario::ScenarioConfig, seed: u64, threads: usize) -> f64 {
+    geosocial_par::set_max_threads(threads);
+    let t0 = Instant::now();
+    let a = Analysis::run(config, seed);
+    let secs = t0.elapsed().as_secs_f64();
+    // Keep the result alive through the timer so nothing is optimized away.
+    assert!(a.outcome.total_checkins > 0 || a.scenario.primary.users.is_empty());
+    secs
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(n) = args.threads {
+        geosocial_par::set_max_threads(n);
+    }
     std::fs::create_dir_all(&args.out).expect("create output dir");
 
     let mut config = if args.quick {
@@ -91,10 +128,19 @@ fn main() {
     }
 
     eprintln!(
-        "generating scenario: {} primary users x ~{} days, {} baseline users (seed {})...",
-        config.primary_users, config.primary_days, config.baseline_users, args.seed
+        "generating scenario: {} primary users x ~{} days, {} baseline users (seed {}, {} threads)...",
+        config.primary_users,
+        config.primary_days,
+        config.baseline_users,
+        args.seed,
+        geosocial_par::max_threads(),
     );
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    let t0 = Instant::now();
     let analysis = Analysis::run(&config, args.seed);
+    let analysis_secs = t0.elapsed().as_secs_f64();
+    eprintln!("exp analysis took {analysis_secs:.2}s");
+    timings.push(("analysis".into(), analysis_secs));
     eprintln!(
         "primary: {} | baseline: {}",
         analysis.scenario.primary.stats(),
@@ -110,6 +156,7 @@ fn main() {
 
     for exp in &args.exps {
         eprintln!("running {exp}...");
+        let t0 = Instant::now();
         let out: ExperimentOutput = match exp.as_str() {
             "table1" => figures::table1(&analysis),
             "fig1" => figures::fig1(&analysis),
@@ -153,6 +200,9 @@ fn main() {
                 continue;
             }
         };
+        let secs = t0.elapsed().as_secs_f64();
+        eprintln!("exp {exp} took {secs:.2}s");
+        timings.push((exp.clone(), secs));
         println!("==== {} ====\n{}", out.id, out.text);
         let txt_path = args.out.join(format!("{}.txt", out.id));
         std::fs::write(&txt_path, &out.text).expect("write text report");
@@ -161,5 +211,42 @@ fn main() {
             std::fs::write(&csv_path, csv).expect("write csv");
         }
     }
+
+    let mut csv = String::from("exp,seconds\n");
+    for (exp, secs) in &timings {
+        csv.push_str(&format!("{exp},{secs:.4}\n"));
+    }
+    std::fs::write(args.out.join("timings.csv"), csv).expect("write timings.csv");
+
+    if args.bench {
+        // End-to-end pipeline benchmark: Analysis::run serial vs parallel.
+        // The outputs are bit-identical; only the wall clock moves.
+        let wide = args.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+        eprintln!("benchmarking Analysis::run at 1 vs {wide} threads...");
+        let serial_secs = time_analysis(&config, args.seed, 1);
+        eprintln!("exp analysis[threads=1] took {serial_secs:.2}s");
+        let parallel_secs = time_analysis(&config, args.seed, wide);
+        eprintln!("exp analysis[threads={wide}] took {parallel_secs:.2}s");
+        geosocial_par::set_max_threads(args.threads.unwrap_or(0));
+        let speedup = if parallel_secs > 0.0 { serial_secs / parallel_secs } else { 0.0 };
+        let host_cpus =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let json = format!(
+            "{{\n  \"pipeline\": \"Analysis::run\",\n  \"scale\": \"{}\",\n  \"primary_users\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \"threads_serial\": 1,\n  \"threads_parallel\": {},\n  \"seconds_serial\": {:.4},\n  \"seconds_parallel\": {:.4},\n  \"speedup\": {:.2}\n}}\n",
+            if args.quick { "quick" } else { "paper" },
+            config.primary_users,
+            args.seed,
+            host_cpus,
+            wide,
+            serial_secs,
+            parallel_secs,
+            speedup,
+        );
+        std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+        eprintln!("speedup {speedup:.2}x; wrote BENCH_pipeline.json");
+    }
+
     eprintln!("done; outputs in {}", args.out.display());
 }

@@ -416,17 +416,11 @@ pub fn visit_sensitivity(a: &Analysis) -> ExperimentOutput {
             min_duration: min_stay_min * MINUTE,
             ..VisitConfig::default()
         };
-        // Re-detect visits from the same GPS traces.
-        let users: Vec<UserData> = a
-            .scenario
-            .primary
-            .users
-            .iter()
-            .map(|u| {
-                let visits = detect_visits(&u.gps, &cfg, Some(&a.scenario.primary.pois));
-                UserData::new(u.id, u.gps.clone(), visits, u.checkins.clone(), u.profile)
-            })
-            .collect();
+        // Re-detect visits from the same GPS traces, one user per task.
+        let users: Vec<UserData> = geosocial_par::par_map(&a.scenario.primary.users, |u| {
+            let visits = detect_visits(&u.gps, &cfg, Some(&a.scenario.primary.pois));
+            UserData::new(u.id, u.gps.clone(), visits, u.checkins.clone(), u.profile)
+        });
         let ds = Dataset {
             name: a.scenario.primary.name.clone(),
             pois: a.scenario.primary.pois.clone(),

@@ -25,27 +25,45 @@ pub struct TrainingTraces {
 }
 
 /// Extract the three §6.1 training samples from a matched cohort.
+///
+/// Per-user extraction fans out over the `geosocial-par` pool; partials
+/// merge in user order, so the pooled samples are concatenated exactly as
+/// the serial loop would.
 pub fn training_traces(dataset: &Dataset, outcome: &MatchOutcome) -> TrainingTraces {
     let proj = dataset.pois.projection();
     let mut honest_idx: HashSet<(u32, usize)> = HashSet::new();
     for p in &outcome.honest {
         honest_idx.insert((p.checkin.user, p.checkin.index));
     }
-    let mut gps = TrainingSample::default();
-    let mut honest = TrainingSample::default();
-    let mut all = TrainingSample::default();
-    for user in &dataset.users {
-        gps.merge(&TrainingSample::from_visits(&user.visits, proj));
-        all.merge(&TrainingSample::from_checkins(&user.checkins, proj));
-        let honest_checkins: Vec<Checkin> = user
-            .checkins
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| honest_idx.contains(&(user.id, *i)))
-            .map(|(_, c)| *c)
-            .collect();
-        honest.merge(&TrainingSample::from_checkins(&honest_checkins, proj));
-    }
+    let (gps, honest, all) = geosocial_par::par_reduce(
+        &dataset.users,
+        || {
+            (
+                TrainingSample::default(),
+                TrainingSample::default(),
+                TrainingSample::default(),
+            )
+        },
+        |(mut gps, mut honest, mut all), _, user| {
+            gps.merge(&TrainingSample::from_visits(&user.visits, proj));
+            all.merge(&TrainingSample::from_checkins(&user.checkins, proj));
+            let honest_checkins: Vec<Checkin> = user
+                .checkins
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| honest_idx.contains(&(user.id, *i)))
+                .map(|(_, c)| *c)
+                .collect();
+            honest.merge(&TrainingSample::from_checkins(&honest_checkins, proj));
+            (gps, honest, all)
+        },
+        |(mut g1, mut h1, mut a1), (g2, h2, a2)| {
+            g1.merge(&g2);
+            h1.merge(&h2);
+            a1.merge(&a2);
+            (g1, h1, a1)
+        },
+    );
     TrainingTraces { gps, honest, all }
 }
 
@@ -249,28 +267,27 @@ impl Fig8Run {
 /// model, simulate AODV over it (pooling `repetitions` independent runs),
 /// and report the three metric CDFs.
 pub fn fig8(models: &FittedModels, cfg: &Fig8Config, seed: u64) -> ExperimentOutput {
-    let runs: Vec<Fig8Run> = [
-        ("GPS", &models.gps),
-        ("Honest-Checkin", &models.honest),
-        ("All-Checkin", &models.all),
-    ]
-    .iter()
-    .map(|(label, model)| {
-        let reports = (0..cfg.repetitions.max(1))
-            .map(|rep| {
-                let run_seed = seed ^ hash_label(label) ^ (rep as u64).wrapping_mul(0x9e37_79b9);
-                let mut rng = ChaCha12Rng::seed_from_u64(run_seed);
-                let traces: Vec<MovementTrace> = (0..cfg.nodes)
-                    .map(|_| model.generate(cfg.area_m, cfg.duration_ms / 1_000 + 60, &mut rng))
-                    .collect();
-                let pairs = random_pairs(cfg.nodes, cfg.pairs, &mut rng);
-                let sim_cfg = SimConfig { duration_ms: cfg.duration_ms, ..cfg.sim.clone() };
-                Simulator::new(traces, pairs, sim_cfg, run_seed).run()
-            })
+    // Every (model, repetition) pair is independently seeded, so the whole
+    // grid fans out as one flat task list; reports regroup per model in
+    // repetition order, matching the serial nesting exactly.
+    let tasks = model_rep_grid(models, cfg.repetitions);
+    let reports = geosocial_par::par_map(&tasks, |&(_, label, model, rep)| {
+        let run_seed = seed ^ hash_label(label) ^ (rep as u64).wrapping_mul(0x9e37_79b9);
+        let mut rng = ChaCha12Rng::seed_from_u64(run_seed);
+        let traces: Vec<MovementTrace> = (0..cfg.nodes)
+            .map(|_| model.generate(cfg.area_m, cfg.duration_ms / 1_000 + 60, &mut rng))
             .collect();
-        Fig8Run { label: label.to_string(), reports }
-    })
-    .collect();
+        let pairs = random_pairs(cfg.nodes, cfg.pairs, &mut rng);
+        let sim_cfg = SimConfig { duration_ms: cfg.duration_ms, ..cfg.sim.clone() };
+        Simulator::new(traces, pairs, sim_cfg, run_seed).run()
+    });
+    let mut runs: Vec<Fig8Run> = MODEL_LABELS
+        .iter()
+        .map(|label| Fig8Run { label: label.to_string(), reports: Vec::new() })
+        .collect();
+    for (&(mi, ..), report) in tasks.iter().zip(reports) {
+        runs[mi].reports.push(report);
+    }
 
     let mut text = format!(
         "Figure 8 — MANET metrics over {} nodes, {:.0}×{:.0} km field, {} CBR pairs, {} s (paper: 200 nodes, 100×100 km, 100 pairs).\n\
@@ -331,6 +348,24 @@ pub fn fig8(models: &FittedModels, cfg: &Fig8Config, seed: u64) -> ExperimentOut
 
 fn mean(xs: &[f64]) -> f64 {
     geosocial_stats::mean(xs).unwrap_or(0.0)
+}
+
+/// Display order of the three trained models in every figure.
+const MODEL_LABELS: [&str; 3] = ["GPS", "Honest-Checkin", "All-Checkin"];
+
+/// The flat `(model index, label, model, repetition)` task grid that fig8
+/// and its DSDV variant fan out over the thread pool.
+fn model_rep_grid<'m>(
+    models: &'m FittedModels,
+    repetitions: u32,
+) -> Vec<(usize, &'static str, &'m LevyWalkModel, u32)> {
+    [&models.gps, &models.honest, &models.all]
+        .into_iter()
+        .enumerate()
+        .flat_map(|(mi, model)| {
+            (0..repetitions.max(1)).map(move |rep| (mi, MODEL_LABELS[mi], model, rep))
+        })
+        .collect()
 }
 
 fn hash_label(label: &str) -> u64 {
@@ -461,25 +496,31 @@ pub fn fig8_dsdv(models: &FittedModels, cfg: &Fig8Config, seed: u64) -> Experime
     let mut avail_series = Vec::new();
     let ratio_grid: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
     let mut csv_rows = String::from("model,delivery,availability_mean,route_changes_per_min,routing_tx\n");
-    for (label, model) in [
-        ("GPS", &models.gps),
-        ("Honest-Checkin", &models.honest),
-        ("All-Checkin", &models.all),
-    ] {
+    // Same fan-out as fig8: the whole (model, repetition) grid runs as one
+    // flat task list, regrouped per model in repetition order afterwards.
+    let tasks = model_rep_grid(models, cfg.repetitions);
+    let reports = geosocial_par::par_map(&tasks, |&(_, label, model, rep)| {
+        let run_seed = seed ^ hash_label(label) ^ (rep as u64).wrapping_mul(0x9e37_79b9);
+        let mut rng = ChaCha12Rng::seed_from_u64(run_seed);
+        let traces: Vec<MovementTrace> = (0..cfg.nodes)
+            .map(|_| model.generate(cfg.area_m, cfg.duration_ms / 1_000 + 60, &mut rng))
+            .collect();
+        let pairs = random_pairs(cfg.nodes, cfg.pairs, &mut rng);
+        let dsdv_cfg = DsdvConfig { duration_ms: cfg.duration_ms, ..Default::default() };
+        DsdvSimulator::new(traces, pairs, dsdv_cfg, run_seed).run()
+    });
+    for (mi, label) in MODEL_LABELS.iter().enumerate() {
         let mut avail_all = Vec::new();
         let mut change_all = Vec::new();
         let mut delivered = 0u64;
         let mut sent = 0u64;
         let mut routing = 0u64;
-        for rep in 0..cfg.repetitions.max(1) {
-            let run_seed = seed ^ hash_label(label) ^ (rep as u64).wrapping_mul(0x9e37_79b9);
-            let mut rng = ChaCha12Rng::seed_from_u64(run_seed);
-            let traces: Vec<MovementTrace> = (0..cfg.nodes)
-                .map(|_| model.generate(cfg.area_m, cfg.duration_ms / 1_000 + 60, &mut rng))
-                .collect();
-            let pairs = random_pairs(cfg.nodes, cfg.pairs, &mut rng);
-            let dsdv_cfg = DsdvConfig { duration_ms: cfg.duration_ms, ..Default::default() };
-            let report = DsdvSimulator::new(traces, pairs, dsdv_cfg, run_seed).run();
+        for report in tasks
+            .iter()
+            .zip(&reports)
+            .filter(|((ti, ..), _)| *ti == mi)
+            .map(|(_, r)| r)
+        {
             avail_all.extend(report.availability_series());
             change_all.extend(report.route_change_series());
             delivered += report.pairs.iter().map(|p| p.data_delivered).sum::<u64>();

@@ -1,0 +1,74 @@
+//! Thread-count invariance of the whole pipeline (quick scale).
+//!
+//! The parallel execution layer promises bit-identical output for every
+//! pool width: per-user RNG streams make generation order-free, matching
+//! merges per-user partials in user order, and fig8 repetitions are
+//! independently seeded. This test runs the pipeline end to end at 1 and
+//! 4 threads and compares everything an experiment emits.
+
+use geosocial_experiments::figures;
+use geosocial_experiments::models::{self, Fig8Config};
+use geosocial_experiments::Analysis;
+
+/// Everything we capture from one full pipeline run.
+#[derive(Debug, PartialEq)]
+struct RunFingerprint {
+    honest: usize,
+    extraneous: usize,
+    missing: usize,
+    total_checkins: usize,
+    total_visits: usize,
+    compositions: String,
+    table1_text: String,
+    fig1_text: String,
+    fig8_text: String,
+    fig8_csvs: Vec<(String, String)>,
+}
+
+fn run_pipeline(threads: usize) -> RunFingerprint {
+    geosocial_par::set_max_threads(threads);
+    let config = Analysis::quick_config();
+    let seed = 20130101;
+    let a = Analysis::run(&config, seed);
+    let traces = models::training_traces(&a.scenario.primary, &a.outcome);
+    let fitted = models::fit_models(&traces).expect("quick cohort fits");
+    let fig8 = models::fig8(&fitted, &Fig8Config::quick(), seed);
+    let fp = RunFingerprint {
+        honest: a.outcome.honest.len(),
+        extraneous: a.outcome.extraneous.len(),
+        missing: a.outcome.missing.len(),
+        total_checkins: a.outcome.total_checkins,
+        total_visits: a.outcome.total_visits,
+        compositions: format!("{:?}", a.compositions),
+        table1_text: figures::table1(&a).text,
+        fig1_text: figures::fig1(&a).text,
+        fig8_text: fig8.text,
+        fig8_csvs: fig8.csv.clone(),
+    };
+    geosocial_par::set_max_threads(0);
+    fp
+}
+
+#[test]
+fn pipeline_is_thread_count_invariant() {
+    let serial = run_pipeline(1);
+    let parallel = run_pipeline(4);
+    assert_eq!(
+        serial.honest, parallel.honest,
+        "honest match count differs between 1 and 4 threads"
+    );
+    assert_eq!(serial.extraneous, parallel.extraneous);
+    assert_eq!(serial.missing, parallel.missing);
+    assert_eq!(serial.total_checkins, parallel.total_checkins);
+    assert_eq!(serial.total_visits, parallel.total_visits);
+    assert_eq!(
+        serial.compositions, parallel.compositions,
+        "per-user composition vectors differ"
+    );
+    assert_eq!(serial.table1_text, parallel.table1_text, "table1 report differs");
+    assert_eq!(serial.fig1_text, parallel.fig1_text, "fig1 report differs");
+    assert_eq!(serial.fig8_text, parallel.fig8_text, "fig8 report differs");
+    assert_eq!(serial.fig8_csvs, parallel.fig8_csvs, "fig8 CSVs differ");
+    // Belt and braces: the whole fingerprint at once.
+    assert_eq!(serial, parallel);
+}

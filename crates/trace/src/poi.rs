@@ -103,7 +103,7 @@ pub struct PoiUniverse {
     pois: Vec<Poi>,
     projection: LocalProjection,
     #[serde(skip, default)]
-    index: std::cell::OnceCell<SpatialGrid<PoiId>>,
+    index: std::sync::OnceLock<SpatialGrid<PoiId>>,
 }
 
 impl PoiUniverse {
@@ -118,7 +118,7 @@ impl PoiUniverse {
         for (i, p) in pois.iter().enumerate() {
             assert!(p.id as usize == i, "POI id {} at index {i}", p.id);
         }
-        Self { pois, projection, index: std::cell::OnceCell::new() }
+        Self { pois, projection, index: std::sync::OnceLock::new() }
     }
 
     fn index(&self) -> &SpatialGrid<PoiId> {

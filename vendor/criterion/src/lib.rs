@@ -1,0 +1,190 @@
+//! Workspace-local stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the small slice of criterion's API the `geosocial-bench`
+//! crate uses — `Criterion::bench_function`, benchmark groups with
+//! `sample_size` / `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! and the `criterion_group!` / `criterion_main!` macros. Measurement is
+//! deliberately simple: a warm-up call, then enough timed batches to fill
+//! a small time budget, reporting the mean wall time per iteration. No
+//! statistics, plots, or baselines — this keeps `cargo bench` working
+//! (and producing comparable numbers run-to-run) without crates.io.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target amount of measured wall time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _parent: self }
+    }
+}
+
+/// A named set of benchmarks sharing a prefix (and, upstream, settings).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for upstream compatibility; this harness sizes runs by
+    /// time budget instead of sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<D: Display, F>(&mut self, id: D, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark inside the group.
+    pub fn bench_with_input<D: Display, I: ?Sized, F>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (a no-op here; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a run by its parameter's `Display` form.
+    pub fn from_parameter<D: Display>(param: D) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// Identify a run by a function name plus parameter.
+    pub fn new<D: Display>(function: &str, param: D) -> Self {
+        BenchmarkId(format!("{function}/{param}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the actual timing.
+pub struct Bencher {
+    /// (total time, iterations) accumulated by `iter`.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly until the time budget is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up call, also used to size batches.
+        let warm_start = Instant::now();
+        let _keep = f();
+        let once = warm_start.elapsed().max(Duration::from_nanos(1));
+
+        let batch = (MEASURE_BUDGET.as_nanos() / 10 / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < MEASURE_BUDGET && iters < batch * 10 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                let _keep = f();
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher { measured: None };
+    f(&mut b);
+    match b.measured {
+        Some((total, iters)) if iters > 0 => {
+            let per_iter = total.as_secs_f64() / iters as f64;
+            println!("bench: {name:<50} {:>12.3} µs/iter  ({iters} iters)", per_iter * 1e6);
+        }
+        _ => println!("bench: {name:<50} (no measurement)"),
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_measures() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(3u32), &3u32, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,484 @@
+//! Workspace-local stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the serde surface it uses. Instead of serde's visitor architecture this
+//! stand-in routes everything through a self-describing [`Value`] tree:
+//!
+//! * [`Serialize`] — convert `&self` into a [`Value`]
+//! * [`Deserialize`] — reconstruct `Self` from a [`&Value`][Value]
+//! * `#[derive(Serialize, Deserialize)]` — provided by the companion
+//!   `serde_derive` proc-macro (enabled via the `derive` feature), which
+//!   understands named-field structs and enums (unit and struct variants,
+//!   externally tagged like upstream serde) plus `#[serde(skip)]` /
+//!   `#[serde(default)]` field attributes.
+//!
+//! Formats (here: `serde_json`) then render a [`Value`] to text and parse
+//! text back into one. The indirection costs an allocation per node, which
+//! is irrelevant at this workspace's serialization volumes (config files
+//! and test round-trips).
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized tree — the interchange point between
+/// [`Serialize`]/[`Deserialize`] impls and data formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`; also the encoding of `Option::None` and non-finite floats.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A negative integer (non-negative integers parse as [`Value::UInt`]).
+    Int(i64),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A finite floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// Key–value pairs in serialization order (duplicates not expected).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the entries if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow the elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// One-word description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: what was expected, what was found.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X, found Y" constructor.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Missing required field.
+    pub fn missing(type_name: &str, field: &str) -> Self {
+        DeError(format!("missing field `{field}` of {type_name}"))
+    }
+
+    /// Unknown enum variant.
+    pub fn unknown_variant(type_name: &str, variant: &str) -> Self {
+        DeError(format!("unknown variant `{variant}` of {type_name}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be rendered into a [`Value`].
+pub trait Serialize {
+    /// Convert to the interchange tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from the interchange tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Fetch a struct field during derive-generated deserialization.
+///
+/// A missing key falls back to `T::from_value(&Value::Null)`, which makes
+/// absent `Option` fields deserialize to `None` (mirroring serde's
+/// missing-field behaviour) while still erroring for required fields.
+pub fn field<T: Deserialize>(
+    v: &Value,
+    type_name: &str,
+    name: &str,
+) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(inner) => T::from_value(inner),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError::missing(type_name, name)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if *self < 0 {
+                    Value::Int(*self as i64)
+                } else {
+                    Value::UInt(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("{i} out of range"))),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError(format!("{u} out of range"))),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as f64;
+                // JSON has no NaN/Infinity; match serde_json's `null`.
+                if x.is_finite() { Value::Float(x) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(x) => Ok(*x as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the parsed string. Only `&'static str` fields (packet-kind
+    /// labels) use this, and only in tests — the leak is bounded and the
+    /// alternative (interning) isn't worth the machinery here.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().expect("one char"))
+            }
+            other => Err(DeError::expected("single-char string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        if items.len() != N {
+            return Err(DeError(format!(
+                "expected array of {N}, found {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array()
+                    .ok_or_else(|| DeError::expected("array (tuple)", v))?;
+                let mut it = items.iter();
+                let out = ($({
+                    let _ = $idx;
+                    $name::from_value(
+                        it.next().ok_or_else(|| DeError("tuple too short".into()))?
+                    )?
+                },)+);
+                if it.next().is_some() {
+                    return Err(DeError("tuple too long".into()));
+                }
+                Ok(out)
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Render a map key as the JSON object-key string. Accepts the key kinds
+/// this workspace produces: strings, integers, and unit-enum names.
+fn key_to_string(v: Value) -> String {
+    match v {
+        Value::Str(s) => s,
+        Value::UInt(u) => u.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key kind: {}", other.kind()),
+    }
+}
+
+/// Parse an object-key string back into the [`Value`] shape the key type
+/// expects: its own string form first, then integer forms.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_value(&Value::Str(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::UInt(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Int(i)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError(format!("cannot parse map key `{s}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k.to_value()), v.to_value()))
+            .collect();
+        // HashMap iteration order is unstable; sort for reproducible output.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v.as_object().ok_or_else(|| DeError::expected("object", v))?;
+        entries
+            .iter()
+            .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_absent_is_none() {
+        let v = Value::Object(vec![]);
+        let got: Option<u32> = field(&v, "T", "missing").unwrap();
+        assert_eq!(got, None);
+        let err: Result<u32, _> = field(&v, "T", "missing");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn int_round_trips_across_signs() {
+        assert_eq!(i64::from_value(&(-5i64).to_value()).unwrap(), -5);
+        assert_eq!(i64::from_value(&Value::UInt(7)).unwrap(), 7);
+        assert_eq!(u32::from_value(&Value::Int(-1)).ok(), None);
+    }
+
+    #[test]
+    fn map_keys_round_trip() {
+        let mut m: HashMap<u32, (u32, usize)> = HashMap::new();
+        m.insert(9, (1, 2));
+        m.insert(3, (4, 5));
+        let v = m.to_value();
+        let back: HashMap<u32, (u32, usize)> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn arrays_check_length() {
+        let v = [1.0f64, 2.0, 3.0].to_value();
+        let back: [f64; 3] = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, [1.0, 2.0, 3.0]);
+        let short: Result<[f64; 4], _> = Deserialize::from_value(&v);
+        assert!(short.is_err());
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+    }
+}

@@ -1,0 +1,362 @@
+//! Workspace-local `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! Written directly against `proc_macro` (no syn/quote — crates.io is
+//! unreachable in the build environment). Supports exactly the shapes this
+//! workspace derives on:
+//!
+//! * structs with named fields, including `#[serde(skip)]` and
+//!   `#[serde(default)]` field attributes;
+//! * enums with unit variants and/or struct variants, encoded externally
+//!   tagged like upstream serde: `"Variant"` for unit variants,
+//!   `{"Variant": {..fields..}}` for struct variants.
+//!
+//! Anything else (tuple structs, generics, tuple variants) produces a
+//! compile error naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we parsed out of the item the derive is attached to.
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for a unit variant, `Some(fields)` for a struct variant.
+    fields: Option<Vec<Field>>,
+}
+
+/// Derive `serde::Serialize` (the vendored trait) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (the vendored trait) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Outer attributes and visibility before the `struct`/`enum` keyword.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize): generic type `{name}` not supported");
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("derive(Serialize/Deserialize): tuple struct `{name}` not supported")
+        }
+        other => panic!("expected {{...}} body for `{name}`, found {other:?}"),
+    };
+
+    match keyword.as_str() {
+        "struct" => Item::Struct { name, fields: parse_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_variants(body) },
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Advance past `#[...]` attributes (recording nothing) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collect `#[serde(...)]` flags from the attributes at the cursor,
+/// advancing past all attributes.
+fn take_serde_flags(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let (mut skip, mut default) = (false, false);
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(attr)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+            let is_serde = matches!(inner.first(), Some(TokenTree::Ident(id))
+                if id.to_string() == "serde");
+            if is_serde {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for tok in args.stream() {
+                        if let TokenTree::Ident(id) = tok {
+                            match id.to_string().as_str() {
+                                "skip" => skip = true,
+                                "default" => default = true,
+                                other => panic!(
+                                    "unsupported #[serde({other})] attribute"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    (skip, default)
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (skip, default) = take_serde_flags(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Consume the type: tokens until a comma at angle-bracket depth 0.
+        // Groups ((), [], {}) are single atomic tokens, so only `<`/`>`
+        // need depth tracking.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, skip, default });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("tuple variant `{name}` not supported by vendored serde derive")
+            }
+            _ => None,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn serialize_fields_expr(fields: &[Field], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            format!(
+                "(\"{n}\".to_string(), ::serde::Serialize::to_value({access}{n}))",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn serialize_struct(name: &str, fields: &[Field]) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> ::serde::Value {{\n\
+         \x20       {body}\n\
+         \x20   }}\n\
+         }}\n",
+        body = serialize_fields_expr(fields, "&self.")
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| field_init(name, f, "v"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \x20   fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+         \x20       if v.as_object().is_none() {{\n\
+         \x20           return Err(::serde::DeError::expected(\"object\", v));\n\
+         \x20       }}\n\
+         \x20       Ok({name} {{ {inits} }})\n\
+         \x20   }}\n\
+         }}\n",
+        inits = inits.join(", ")
+    )
+}
+
+/// `field_name: <expr pulling it out of the object `src`>`.
+fn field_init(type_name: &str, f: &Field, src: &str) -> String {
+    if f.skip {
+        format!("{}: Default::default()", f.name)
+    } else if f.default {
+        format!(
+            "{n}: match {src}.get(\"{n}\") {{ \
+               Some(x) => ::serde::Deserialize::from_value(x)?, \
+               None => Default::default() }}",
+            n = f.name
+        )
+    } else {
+        format!(
+            "{n}: ::serde::field({src}, \"{type_name}\", \"{n}\")?",
+            n = f.name
+        )
+    }
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| match &v.fields {
+            None => format!(
+                "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())",
+                v = v.name
+            ),
+            Some(fields) => {
+                let bindings: Vec<&str> =
+                    fields.iter().map(|f| f.name.as_str()).collect();
+                format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                       (\"{v}\".to_string(), {payload})])",
+                    v = v.name,
+                    binds = bindings.join(", "),
+                    payload = serialize_fields_expr(fields, "")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> ::serde::Value {{\n\
+         \x20       match self {{ {arms} }}\n\
+         \x20   }}\n\
+         }}\n",
+        arms = arms.join(", ")
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| v.fields.is_none())
+        .map(|v| format!("\"{v}\" => Ok({name}::{v})", v = v.name))
+        .collect();
+    let struct_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| v.fields.as_ref().map(|f| (v, f)))
+        .map(|(v, fields)| {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| field_init(&format!("{name}::{}", v.name), f, "inner"))
+                .collect();
+            format!(
+                "\"{v}\" => Ok({name}::{v} {{ {inits} }})",
+                v = v.name,
+                inits = inits.join(", ")
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \x20   fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+         \x20       match v {{\n\
+         \x20           ::serde::Value::Str(s) => match s.as_str() {{\n\
+         \x20               {unit_arms}\n\
+         \x20               other => Err(::serde::DeError::unknown_variant(\"{name}\", other)),\n\
+         \x20           }},\n\
+         \x20           ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+         \x20               let (tag, inner) = &entries[0];\n\
+         \x20               let _ = inner;\n\
+         \x20               match tag.as_str() {{\n\
+         \x20                   {struct_arms}\n\
+         \x20                   other => Err(::serde::DeError::unknown_variant(\"{name}\", other)),\n\
+         \x20               }}\n\
+         \x20           }}\n\
+         \x20           other => Err(::serde::DeError::expected(\"enum {name}\", other)),\n\
+         \x20       }}\n\
+         \x20   }}\n\
+         }}\n",
+        unit_arms = if unit_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", unit_arms.join(", "))
+        },
+        struct_arms = if struct_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", struct_arms.join(", "))
+        },
+    )
+}

@@ -1,0 +1,421 @@
+//! Workspace-local JSON serializer/deserializer for the vendored serde
+//! stand-in: renders a `serde::Value` tree to JSON text and parses JSON
+//! text back into one. Covers the JSON grammar (RFC 8259) with the usual
+//! Rust conventions: `u64`/`i64` integers, `f64` floats, UTF-8 strings
+//! with `\uXXXX` escapes (surrogate pairs included).
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Serialization/deserialization failure (message + byte offset for parse
+/// errors).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Deserialize a `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => write_float(*x, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            write_seq(out, indent, depth, items.is_empty(), '[', ']', |out| {
+                for (i, item) in items.iter().enumerate() {
+                    sep(out, indent, depth + 1, i > 0);
+                    write_value(item, out, indent, depth + 1);
+                }
+            })
+        }
+        Value::Object(entries) => {
+            write_seq(out, indent, depth, entries.is_empty(), '{', '}', |out| {
+                for (i, (k, val)) in entries.iter().enumerate() {
+                    sep(out, indent, depth + 1, i > 0);
+                    write_string(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(val, out, indent, depth + 1);
+                }
+            })
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    empty: bool,
+    open: char,
+    close: char,
+    body: impl FnOnce(&mut String),
+) {
+    out.push(open);
+    if !empty {
+        body(out);
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn sep(out: &mut String, indent: Option<usize>, depth: usize, comma: bool) {
+    if comma {
+        out.push(',');
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+}
+
+fn write_float(x: f64, out: &mut String) {
+    debug_assert!(x.is_finite(), "non-finite floats serialize as Value::Null");
+    let s = x.to_string();
+    out.push_str(&s);
+    // `{}` prints integral floats without a point; keep them floats in JSON.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.parse_value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uDC00..\uDFFF next.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    let code = 0x10000
+                                        + ((hi - 0xD800) << 10)
+                                        + (lo - 0xDC00);
+                                    char::from_u32(code)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(
+                                c.ok_or_else(|| self.err("invalid \\u escape"))?,
+                            );
+                            // parse_hex4 leaves pos past the digits; undo the
+                            // generic advance below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar.
+                    let start = self.pos;
+                    let rest = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII number text");
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if !stripped.is_empty() {
+                    if let Ok(i) = text.parse::<i64>() {
+                        return Ok(Value::Int(i));
+                    }
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(from_str::<f64>("2.5e1").unwrap(), 25.0);
+        assert_eq!(from_str::<i64>("-42").unwrap(), -42);
+        assert_eq!(from_str::<bool>(" true ").unwrap(), true);
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\nquote\"back\\slash\ttab\u{1F600}é".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        // Incoming \u escapes, including a surrogate pair.
+        assert_eq!(from_str::<String>(r#""é😀""#).unwrap(), "é😀");
+    }
+
+    #[test]
+    fn nested_containers_round_trip() {
+        let v: Vec<(u32, Option<f64>)> = vec![(1, Some(0.5)), (2, None)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[1,0.5],[2,null]]");
+        let back: Vec<(u32, Option<f64>)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<f64>("1.0 trailing").is_err());
+        assert!(from_str::<Vec<u32>>("[1, 2").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v: Vec<u32> = vec![1, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+}
