@@ -12,7 +12,7 @@
 //!   10%).
 
 use geosocial_geo::mph_to_mps;
-use geosocial_trace::{Provenance, UserData, MINUTE};
+use geosocial_trace::{Checkin, Provenance, UserData, MINUTE};
 use serde::{Deserialize, Serialize};
 
 /// The §5.1 taxonomy plus the unclassifiable residue.
@@ -93,30 +93,35 @@ pub fn classify_extraneous(
     checkin_idx: usize,
     cfg: &ClassifyConfig,
 ) -> ExtraneousKind {
-    let c = &user.checkins[checkin_idx];
+    classify_against(user.gps.points(), &user.checkins[checkin_idx], cfg)
+}
+
+/// Classify one extraneous checkin against a chronologically sorted slice of
+/// GPS evidence.
+///
+/// This is the single §5.1 decision rule: the batch path hands it a user's
+/// full trace, the online path (`geosocial-stream`) hands it the rolling fix
+/// window that brackets the checkin. Both see identical verdicts because the
+/// rule and its slice primitives ([`geosocial_trace::fix_within`],
+/// [`geosocial_trace::position_in`], [`geosocial_trace::speed_in`]) are
+/// shared, not duplicated.
+pub fn classify_against(
+    pts: &[geosocial_trace::GpsPoint],
+    c: &Checkin,
+    cfg: &ClassifyConfig,
+) -> ExtraneousKind {
     // Usable evidence: a fix within the evidence window.
-    let has_evidence = user
-        .gps
-        .points()
-        .binary_search_by_key(&c.t, |p| p.t)
-        .map(|_| true)
-        .unwrap_or_else(|ins| {
-            let pts = user.gps.points();
-            let near_prev = ins > 0 && c.t - pts[ins - 1].t <= cfg.evidence_window_s;
-            let near_next = ins < pts.len() && pts[ins].t - c.t <= cfg.evidence_window_s;
-            near_prev || near_next
-        });
-    if !has_evidence {
+    if !geosocial_trace::fix_within(pts, c.t, cfg.evidence_window_s) {
         return ExtraneousKind::Unclassified;
     }
-    let Some(pos) = user.gps.position_at(c.t) else {
+    let Some(pos) = geosocial_trace::position_in(pts, c.t) else {
         return ExtraneousKind::Unclassified;
     };
     let dist = pos.haversine_m(c.location);
     if dist > cfg.remote_threshold_m {
         return ExtraneousKind::Remote;
     }
-    match user.gps.speed_at(c.t, cfg.speed_gap_s) {
+    match geosocial_trace::speed_in(pts, c.t, cfg.speed_gap_s) {
         Some(v) if v > cfg.driveby_speed_mps => ExtraneousKind::Driveby,
         Some(_) => ExtraneousKind::Superfluous,
         None => ExtraneousKind::Unclassified,

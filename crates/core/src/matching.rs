@@ -35,6 +35,42 @@ impl Default for MatchConfig {
     }
 }
 
+/// A matching candidate for one checkin: `(visit index, temporal distance
+/// in seconds, spatial distance in meters)`.
+pub type Candidate = (usize, i64, f64);
+
+/// Deterministic §4.1 candidate preference: closest in time, ties broken by
+/// spatial distance, then by lowest visit index. Shared by the batch matcher
+/// below and the online auditor in `geosocial-stream`.
+///
+/// # Panics
+///
+/// Panics if a spatial distance is NaN — distances come from coordinate
+/// arithmetic that never produces one.
+pub fn prefer_candidate(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
+    (a.1, a.2, a.0).partial_cmp(&(b.1, b.2, b.0)).expect("no NaN")
+}
+
+/// The β temporal gate: a candidate visit must lie strictly closer than β
+/// in footnote-2 time distance.
+pub fn within_beta(dt_s: i64, config: &MatchConfig) -> bool {
+    dt_s < config.beta_s
+}
+
+/// The α spatial gate: candidate visits lie within α meters (inclusive) of
+/// the checkin in the local projection — the same boundary the spatial-grid
+/// radius query applies on the batch path.
+pub fn within_alpha(dist_m: f64, config: &MatchConfig) -> bool {
+    dist_m <= config.alpha_m
+}
+
+/// The dedup rule when several checkins claim one visit: a challenger takes
+/// the visit only when strictly geographically closer; ties keep the
+/// earlier (lower-index) checkin.
+pub fn challenger_wins(challenger_dist_m: f64, incumbent_dist_m: f64) -> bool {
+    challenger_dist_m < incumbent_dist_m
+}
+
 /// Reference to one checkin of one user.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CheckinRef {
@@ -230,7 +266,7 @@ fn match_user(user: &UserData, dataset: &Dataset, config: &MatchConfig, out: &mu
 
     // Step 1+2: best visit candidate per checkin.
     // candidate[ci] = (visit index, dt, distance)
-    let mut candidates: Vec<Option<(usize, i64, f64)>> = Vec::with_capacity(user.checkins.len());
+    let mut candidates: Vec<Option<Candidate>> = Vec::with_capacity(user.checkins.len());
     for c in &user.checkins {
         let cpos = proj.to_local(c.location);
         let best = grid
@@ -239,10 +275,8 @@ fn match_user(user: &UserData, dataset: &Dataset, config: &MatchConfig, out: &mu
                 let dt = user.visits[vi].time_distance(c.t);
                 (vi, dt, vpos.distance(cpos))
             })
-            // Closest in time; ties by distance, then lowest index, for
-            // determinism.
-            .min_by(|a, b| (a.1, a.2, a.0).partial_cmp(&(b.1, b.2, b.0)).expect("no NaN"))
-            .filter(|&(_, dt, _)| dt < config.beta_s);
+            .min_by(prefer_candidate)
+            .filter(|&(_, dt, _)| within_beta(dt, config));
         candidates.push(best);
     }
 
@@ -251,7 +285,7 @@ fn match_user(user: &UserData, dataset: &Dataset, config: &MatchConfig, out: &mu
     for (ci, cand) in candidates.iter().enumerate() {
         if let Some((vi, _, d)) = cand {
             match winner[*vi] {
-                Some((_, best_d)) if best_d <= *d => {}
+                Some((_, best_d)) if !challenger_wins(*d, best_d) => {}
                 _ => winner[*vi] = Some((ci, *d)),
             }
         }

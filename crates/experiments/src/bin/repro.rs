@@ -1,9 +1,13 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--exp all|table1|fig1..fig8|table2|sweep|detect|filter|recover|learned|fidelity|rates|visitdef|dsdv]
+//! repro list
+//! repro [--exp all|table1|fig1..fig8|table2|sweep|detect|filter|recover|learned|fidelity|rates|visitdef|dsdv|equiv]
 //!       [--users N] [--days N] [--seed S] [--out DIR] [--threads N] [--quick] [--paper-area] [--bench]
 //! ```
+//!
+//! `repro list` prints every experiment with a one-line description; an
+//! unknown `--exp` name prints the same list and exits non-zero.
 //!
 //! Writes `DIR/<exp>.txt` and `DIR/<exp>*.csv` for every requested
 //! experiment and prints the text reports to stdout. Every experiment is
@@ -13,7 +17,7 @@
 
 use geosocial_experiments::figures::{self, ExperimentOutput};
 use geosocial_experiments::models::{self, Fig8Config};
-use geosocial_experiments::{extensions, Analysis};
+use geosocial_experiments::{extensions, streaming, Analysis};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -29,10 +33,35 @@ struct Args {
     bench: bool,
 }
 
-const ALL_EXPS: [&str; 19] = [
-    "table1", "fig1", "fig2", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "fig8",
-    "sweep", "detect", "filter", "recover", "learned", "fidelity", "rates", "visitdef", "dsdv",
+const ALL_EXPS: [(&str, &str); 20] = [
+    ("table1", "Table 1 — dataset statistics for both cohorts"),
+    ("fig1", "Figure 1 — checkin/visit matching Venn"),
+    ("fig2", "Figure 2 — inter-arrival CDFs"),
+    ("fig3", "Figure 3 — top-n missing-checkin concentration"),
+    ("fig4", "Figure 4 — missing checkins by POI category"),
+    ("table2", "Table 2 — incentive correlations"),
+    ("fig5", "Figure 5 — per-user extraneous ratio"),
+    ("fig6", "Figure 6 — checkin burstiness"),
+    ("fig7", "Figure 7 — Levy Walk fits"),
+    ("fig8", "Figure 8 — MANET routing metrics"),
+    ("sweep", "§4.1 α/β threshold sensitivity sweep"),
+    ("detect", "§7 extraneous-checkin detection P/R curve"),
+    ("filter", "§5.3 user-filter tradeoff"),
+    ("recover", "§7 missing-location recovery"),
+    ("learned", "§7 learned extraneous detector (X5)"),
+    ("fidelity", "generative-model fidelity audit (X6)"),
+    ("rates", "§7 per-category rate recovery (X7)"),
+    ("visitdef", "visit-definition sensitivity sweep (X8)"),
+    ("dsdv", "Figure 8 under DSDV routing (X9)"),
+    ("equiv", "online-vs-batch streaming equivalence audit (X10)"),
 ];
+
+fn print_experiment_list() {
+    eprintln!("experiments (use --exp NAME[,NAME...] or --exp all):");
+    for (name, what) in ALL_EXPS {
+        eprintln!("  {name:<9} {what}");
+    }
+}
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -49,6 +78,10 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
+            "list" => {
+                print_experiment_list();
+                std::process::exit(0);
+            }
             "--exp" => {
                 args.exps = it
                     .next()
@@ -70,10 +103,10 @@ fn parse_args() -> Args {
             "--bench" => args.bench = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--exp LIST] [--users N] [--days N] [--seed S] [--out DIR]\n\
+                    "usage: repro [list] [--exp LIST] [--users N] [--days N] [--seed S] [--out DIR]\n\
                      \x20            [--threads N] [--quick] [--paper-area] [--bench]"
                 );
-                eprintln!("experiments: all, {}", ALL_EXPS.join(", "));
+                print_experiment_list();
                 eprintln!(
                     "  --threads N   worker threads for the parallel pipeline stages\n\
                      \x20               (default: one per core, via available_parallelism;\n\
@@ -90,9 +123,30 @@ fn parse_args() -> Args {
         }
     }
     if args.exps.iter().any(|e| e == "all") {
-        args.exps = ALL_EXPS.iter().map(|s| s.to_string()).collect();
+        args.exps = ALL_EXPS.iter().map(|(name, _)| name.to_string()).collect();
+    }
+    for exp in &args.exps {
+        if !ALL_EXPS.iter().any(|(name, _)| name == exp) {
+            eprintln!("unknown experiment {exp}");
+            print_experiment_list();
+            std::process::exit(2);
+        }
     }
     args
+}
+
+/// The revision that produced a results directory, for provenance rows in
+/// `timings.csv`. Falls back to `unknown` outside a git checkout.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Time `Analysis::run` end-to-end at a given pool width.
@@ -195,9 +249,11 @@ fn main() {
             "fidelity" => extensions::model_fidelity(&analysis),
             "rates" => extensions::category_rate_recovery(&analysis),
             "visitdef" => extensions::visit_sensitivity(&analysis),
+            "equiv" => streaming::streaming_equivalence(&analysis, &config, args.seed),
             other => {
-                eprintln!("unknown experiment {other}, skipping");
-                continue;
+                eprintln!("unknown experiment {other}");
+                print_experiment_list();
+                std::process::exit(2);
             }
         };
         let secs = t0.elapsed().as_secs_f64();
@@ -212,9 +268,15 @@ fn main() {
         }
     }
 
-    let mut csv = String::from("exp,seconds\n");
+    // Timing rows carry enough provenance to compare runs across machines
+    // and revisions: worker-thread count, experiment scale, and the git
+    // revision that produced them.
+    let threads = geosocial_par::max_threads();
+    let scale = if args.quick { "quick" } else { "paper" };
+    let git = git_describe();
+    let mut csv = String::from("exp,seconds,threads,scale,git\n");
     for (exp, secs) in &timings {
-        csv.push_str(&format!("{exp},{secs:.4}\n"));
+        csv.push_str(&format!("{exp},{secs:.4},{threads},{scale},{git}\n"));
     }
     std::fs::write(args.out.join("timings.csv"), csv).expect("write timings.csv");
 

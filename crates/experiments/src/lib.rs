@@ -31,12 +31,14 @@
 //! | `rates` | [`extensions::category_rate_recovery`] | §7 category rates (X7) |
 //! | `visitdef` | [`extensions::visit_sensitivity`] | visit-definition sweep (X8) |
 //! | `dsdv` | [`models::fig8_dsdv`] | Figure 8 under DSDV (X9) |
+//! | `equiv` | [`streaming::streaming_equivalence`] | online-vs-batch audit (X10) |
 
 pub mod analysis;
 pub mod extensions;
 pub mod figures;
 pub mod models;
 pub mod output;
+pub mod streaming;
 
 /// Re-export of the cohort generator, so downstream users need only this
 /// crate (plus `geosocial-core`) to reproduce the study.

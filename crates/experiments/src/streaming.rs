@@ -1,0 +1,157 @@
+//! Streaming-equivalence audit (`equiv`): the online subsystem against the
+//! batch pipeline, both in-process and through the TCP serving layer.
+//!
+//! Three checks, all of which must agree exactly:
+//!
+//! 1. **Cohort replay** — every dataset of the scenario streamed through
+//!    [`geosocial_stream::CohortAuditor`] in event-time order, diffed
+//!    per-user against the batch composition;
+//! 2. **Served replay, 1 shard** — the same events through a spawned
+//!    `geosocial-serve` instance with a single worker shard;
+//! 3. **Served replay, 4 shards** — again with per-user state fanned out
+//!    across four shards, proving the sharding is composition-invariant.
+
+use crate::figures::ExperimentOutput;
+use crate::Analysis;
+use geosocial_checkin::scenario::ScenarioConfig;
+use geosocial_serve::loadgen::{run as replay, shutdown_server, LoadgenConfig};
+use geosocial_serve::server::{spawn, ServerConfig};
+use geosocial_stream::equivalence_report;
+
+/// Replay scale for the served checks: kept small enough that the audit
+/// stays in CI territory even at `--exp all` paper scale.
+const SERVE_USERS: u32 = 24;
+const SERVE_DAYS: u32 = 5;
+
+/// The `equiv` experiment: see the module docs.
+pub fn streaming_equivalence(a: &Analysis, config: &ScenarioConfig, seed: u64) -> ExperimentOutput {
+    let mut text = String::from(
+        "Streaming equivalence audit: online auditor vs batch pipeline.\n\
+         Every row must report identical=yes — the online path is only\n\
+         valid if it reproduces the batch composition exactly.\n\n",
+    );
+    let mut csv = String::from("mode,users,checkins,honest,extraneous,visits,missing,identical\n");
+    let mut all_ok = true;
+
+    // 1. In-process cohort replay, both datasets of the scenario.
+    for ds in [&a.scenario.primary, &a.scenario.baseline] {
+        let report =
+            equivalence_report(ds, &a.match_config, &a.classify_config, &config.visit);
+        let ok = report.identical && report.late_dropped == 0 && report.forced == 0;
+        all_ok &= ok;
+        text.push_str(&format!(
+            "cohort {:<9} {:>4} users, {:>6} checkins: honest {} vs {}, missing {} vs {} -> identical={}\n",
+            ds.name,
+            report.users,
+            report.total_checkins,
+            report.stream_honest,
+            report.batch_honest,
+            report.stream_missing,
+            report.batch_missing,
+            if ok { "yes" } else { "NO" },
+        ));
+        if !ok {
+            for m in report.mismatches.iter().take(5) {
+                text.push_str(&format!("  mismatch: {m:?}\n"));
+            }
+        }
+        csv.push_str(&format!(
+            "cohort-{},{},{},{},{},{},{},{}\n",
+            ds.name,
+            report.users,
+            report.total_checkins,
+            report.stream_honest,
+            report.total_checkins - report.stream_honest,
+            report.total_visits,
+            report.stream_missing,
+            ok as u8,
+        ));
+    }
+
+    // 2./3. Served replay through a real TCP server, 1 and 4 shards.
+    for shards in [1usize, 4] {
+        let row = match serve_and_verify(shards, seed) {
+            Ok(row) => row,
+            Err(e) => {
+                all_ok = false;
+                text.push_str(&format!("served {shards}-shard replay FAILED: {e}\n"));
+                continue;
+            }
+        };
+        all_ok &= row.identical;
+        text.push_str(&format!(
+            "served {:>2} shard{} {:>4} users, {:>6} checkins over {:>7} events \
+             ({:>7.0} ev/s): honest {} -> identical={}\n",
+            shards,
+            if shards == 1 { " " } else { "s" },
+            SERVE_USERS,
+            row.checkins,
+            row.events,
+            row.events_per_sec,
+            row.honest,
+            if row.identical { "yes" } else { "NO" },
+        ));
+        if !row.identical {
+            for m in row.mismatches.iter().take(5) {
+                text.push_str(&format!("  mismatch: {m}\n"));
+            }
+        }
+        csv.push_str(&format!(
+            "served-{}shard,{},{},{},{},{},{},{}\n",
+            shards,
+            SERVE_USERS,
+            row.checkins,
+            row.honest,
+            row.extraneous,
+            row.visits,
+            row.missing,
+            row.identical as u8,
+        ));
+    }
+
+    text.push_str(&format!(
+        "\noverall: {}\n",
+        if all_ok { "streaming path reproduces the batch pipeline exactly" } else { "DIVERGENCE DETECTED" }
+    ));
+    ExperimentOutput { id: "equiv".into(), text, csv: vec![("".into(), csv)] }
+}
+
+struct ServedRow {
+    events: usize,
+    checkins: usize,
+    honest: usize,
+    extraneous: usize,
+    visits: usize,
+    missing: usize,
+    events_per_sec: f64,
+    identical: bool,
+    mismatches: Vec<String>,
+}
+
+fn serve_and_verify(shards: usize, seed: u64) -> std::io::Result<ServedRow> {
+    let server =
+        spawn(ServerConfig { shards, ..ServerConfig::default() }, "127.0.0.1:0")?;
+    let addr = server.addr();
+    let load = LoadgenConfig {
+        users: SERVE_USERS,
+        days: SERVE_DAYS,
+        seed,
+        connections: shards.max(2),
+        window: 128,
+        verify: true,
+    };
+    let report = replay(addr, &load)?;
+    shutdown_server(addr)?;
+    server.join()?;
+    Ok(ServedRow {
+        events: report.total_events,
+        checkins: report.checkin_events,
+        honest: report.server.composition.honest,
+        extraneous: report.server.composition.extraneous(),
+        visits: report.server.composition.visits_total,
+        missing: report.server.composition.missing_visits,
+        events_per_sec: report.events_per_sec,
+        identical: report.verified == Some(true),
+        mismatches: report.mismatches,
+    })
+}

@@ -1,0 +1,186 @@
+//! `geosocial-loadgen`: replay a generated scenario against a
+//! `geosocial-serve` instance and write a `BENCH_serve.json` report
+//! (throughput, p50/p95/p99 latency, final server counters).
+//!
+//! With `--spawn` the load generator hosts the server itself on an
+//! ephemeral port — the one-command smoke/bench path used by
+//! `scripts/check.sh`.
+
+use geosocial_serve::loadgen::{run, shutdown_server, LoadgenConfig};
+use geosocial_serve::server::{spawn, ServerConfig};
+use std::net::SocketAddr;
+use std::process::exit;
+
+const USAGE: &str = "\
+usage: geosocial-loadgen [options]
+  --addr HOST:PORT   server to replay against (default 127.0.0.1:7744)
+  --spawn            host the server in-process on an ephemeral port
+  --shards N         shards for the spawned server (default 4)
+  --users N          scenario cohort size (default 64)
+  --days N           scenario duration in days (default 7)
+  --seed N           scenario seed (default 1)
+  --connections N    parallel client connections (default 4)
+  --window N         pipeline depth per connection (default 256)
+  --verify           diff served compositions against the batch pipeline
+  --out PATH         report path (default BENCH_serve.json)
+  --shutdown         send Shutdown when done (implied by --spawn)
+  --help             print this message";
+
+struct Cli {
+    addr: String,
+    spawn: bool,
+    shards: usize,
+    shutdown: bool,
+    out: String,
+    load: LoadgenConfig,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        addr: "127.0.0.1:7744".to_string(),
+        spawn: false,
+        shards: 4,
+        shutdown: false,
+        out: "BENCH_serve.json".to_string(),
+        load: LoadgenConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cli.addr = value("--addr")?,
+            "--spawn" => cli.spawn = true,
+            "--shards" => {
+                cli.shards =
+                    value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--users" => {
+                cli.load.users =
+                    value("--users")?.parse().map_err(|e| format!("--users: {e}"))?;
+            }
+            "--days" => {
+                cli.load.days =
+                    value("--days")?.parse().map_err(|e| format!("--days: {e}"))?;
+            }
+            "--seed" => {
+                cli.load.seed =
+                    value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--connections" => {
+                cli.load.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?;
+            }
+            "--window" => {
+                cli.load.window =
+                    value("--window")?.parse().map_err(|e| format!("--window: {e}"))?;
+            }
+            "--verify" => cli.load.verify = true,
+            "--out" => cli.out = value("--out")?,
+            "--shutdown" => cli.shutdown = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("geosocial-loadgen: {e}\n{USAGE}");
+            exit(2);
+        }
+    };
+
+    let (addr, handle): (SocketAddr, Option<_>) = if cli.spawn {
+        let config = ServerConfig { shards: cli.shards, ..ServerConfig::default() };
+        match spawn(config, "127.0.0.1:0") {
+            Ok(h) => {
+                let addr = h.addr();
+                eprintln!("geosocial-loadgen: spawned server on {addr} ({} shards)", cli.shards);
+                (addr, Some(h))
+            }
+            Err(e) => {
+                eprintln!("geosocial-loadgen: spawn server: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        match cli.addr.parse() {
+            Ok(a) => (a, None),
+            Err(e) => {
+                eprintln!("geosocial-loadgen: --addr {}: {e}", cli.addr);
+                exit(2);
+            }
+        }
+    };
+
+    let report = match run(addr, &cli.load) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("geosocial-loadgen: replay: {e}");
+            exit(1);
+        }
+    };
+
+    if cli.shutdown || cli.spawn {
+        if let Err(e) = shutdown_server(addr) {
+            eprintln!("geosocial-loadgen: shutdown: {e}");
+        }
+        if let Some(h) = handle {
+            match h.join() {
+                Ok(_) => {}
+                Err(e) => eprintln!("geosocial-loadgen: server join: {e}"),
+            }
+        }
+    }
+
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("geosocial-loadgen: encode report: {e:?}");
+            exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&cli.out, format!("{json}\n")) {
+        eprintln!("geosocial-loadgen: write {}: {e}", cli.out);
+        exit(1);
+    }
+
+    println!(
+        "replayed {} events ({} gps, {} checkins) over {} connections in {:.2}s: {:.0} events/s",
+        report.total_events,
+        report.gps_events,
+        report.checkin_events,
+        report.connections,
+        report.seconds,
+        report.events_per_sec
+    );
+    println!(
+        "latency p50={}us p95={}us p99={}us; server verdicts={} honest={} extraneous={}",
+        report.p50_us,
+        report.p95_us,
+        report.p99_us,
+        report.server.verdicts,
+        report.server.composition.honest,
+        report.server.composition.extraneous(),
+    );
+    match report.verified {
+        Some(true) => println!("verify: served compositions match the batch pipeline"),
+        Some(false) => {
+            eprintln!("verify: MISMATCH against the batch pipeline:");
+            for m in report.mismatches.iter().take(20) {
+                eprintln!("  {m}");
+            }
+            exit(1);
+        }
+        None => {}
+    }
+}

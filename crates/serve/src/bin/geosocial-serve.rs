@@ -1,0 +1,88 @@
+//! `geosocial-serve`: the online checkin-validity auditing server.
+//!
+//! Binds a TCP listener and audits streamed GPS fixes and checkins with
+//! the paper's α/β thresholds, sharding per-user state across worker
+//! threads. Stop it with a `Shutdown` request (e.g. via
+//! `geosocial-loadgen`); the final per-shard counters are dumped to stderr
+//! on the way out.
+
+use geosocial_serve::server::{run_with, ServerConfig};
+use std::net::TcpListener;
+use std::process::exit;
+
+const USAGE: &str = "\
+usage: geosocial-serve [options]
+  --addr HOST:PORT   bind address (default 127.0.0.1:7744; port 0 = ephemeral)
+  --shards N         worker shards owning per-user state (default 4)
+  --alpha METERS     matching distance threshold (default 500)
+  --beta SECONDS     matching time threshold (default 1800)
+  --lateness SECONDS allowed event-time lateness (default 0 = in-order)
+  --help             print this message";
+
+fn parse_args() -> Result<(String, ServerConfig), String> {
+    let mut addr = "127.0.0.1:7744".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--shards" => {
+                config.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--alpha" => {
+                config.match_config.alpha_m = value("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("--alpha: {e}"))?;
+            }
+            "--beta" => {
+                config.match_config.beta_s = value("--beta")?
+                    .parse()
+                    .map_err(|e| format!("--beta: {e}"))?;
+            }
+            "--lateness" => {
+                config.allowed_lateness_s = value("--lateness")?
+                    .parse()
+                    .map_err(|e| format!("--lateness: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok((addr, config))
+}
+
+fn main() {
+    let (addr, config) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("geosocial-serve: {e}\n{USAGE}");
+            exit(2);
+        }
+    };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("geosocial-serve: bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    match listener.local_addr() {
+        Ok(local) => eprintln!(
+            "geosocial-serve: listening on {local} with {} shards (α={} m, β={} s)",
+            config.shards, config.match_config.alpha_m, config.match_config.beta_s
+        ),
+        Err(e) => eprintln!("geosocial-serve: local_addr: {e}"),
+    }
+    if let Err(e) = run_with(listener, config) {
+        eprintln!("geosocial-serve: {e}");
+        exit(1);
+    }
+}

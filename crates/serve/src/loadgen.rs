@@ -1,0 +1,365 @@
+//! Load generator: replays a generated scenario against a running
+//! `geosocial-serve` instance and measures throughput and latency.
+//!
+//! The replay opens several client connections and assigns each user to one
+//! connection with the same splitmix64 hash the server uses for sharding,
+//! so every user's events stay in order end to end. Each connection
+//! pipelines up to `window` requests: a writer thread sends frames while a
+//! reader thread consumes the strictly-ordered responses and returns a
+//! permit per response. Latency is measured per request (send to response)
+//! through that FIFO discipline.
+//!
+//! After the replay, a control connection finalizes the stream (`Finish`),
+//! snapshots the server counters (`Stats`), and — with `verify` — diffs the
+//! served per-user compositions against the batch pipeline run locally on
+//! the same scenario.
+
+use geosocial_checkin::{Scenario, ScenarioConfig};
+use geosocial_core::classify::ClassifyConfig;
+use geosocial_core::matching::{match_checkins, MatchConfig};
+use geosocial_core::prevalence::user_compositions;
+use geosocial_stream::{dataset_events, StreamEvent};
+use geosocial_trace::Dataset;
+use serde::Serialize;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::mpsc::{self, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::protocol::{read_msg, write_msg, Request, Response, ServerStats};
+use crate::server::shard_of;
+
+/// Replay parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Scenario cohort size.
+    pub users: u32,
+    /// Scenario duration, days.
+    pub days: u32,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Parallel client connections.
+    pub connections: usize,
+    /// Pipeline depth per connection (in-flight requests).
+    pub window: usize,
+    /// Diff served compositions against the batch pipeline afterwards.
+    pub verify: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self { users: 64, days: 7, seed: 1, connections: 4, window: 256, verify: false }
+    }
+}
+
+/// What the replay measured — serialized to `BENCH_serve.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Scenario cohort size.
+    pub users: u32,
+    /// Scenario duration, days.
+    pub days: u32,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Client connections used.
+    pub connections: usize,
+    /// Pipeline depth per connection.
+    pub window: usize,
+    /// GPS fixes replayed.
+    pub gps_events: usize,
+    /// Checkins replayed.
+    pub checkin_events: usize,
+    /// All replayed events (fixes + checkins).
+    pub total_events: usize,
+    /// Replay wall time, seconds.
+    pub seconds: f64,
+    /// Ingest throughput, events per second.
+    pub events_per_sec: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Final server counters after `Finish`.
+    pub server: ServerStats,
+    /// Batch-vs-served verification outcome (absent when not requested).
+    pub verified: Option<bool>,
+    /// Human-readable verification mismatches (empty when clean).
+    pub mismatches: Vec<String>,
+}
+
+/// One connection's slice of the replay, in event order.
+fn partition_events(
+    ds: &Dataset,
+    connections: usize,
+) -> (Vec<Vec<Request>>, usize, usize) {
+    let mut lanes: Vec<Vec<Request>> = vec![Vec::new(); connections.max(1)];
+    let mut gps = 0;
+    let mut checkins = 0;
+    for ev in dataset_events(ds) {
+        let user = ev.user();
+        let lane = shard_of(user, lanes.len());
+        match ev {
+            StreamEvent::Gps { user, point } => {
+                gps += 1;
+                lanes[lane].push(Request::Gps {
+                    user,
+                    t: point.t,
+                    lat: point.pos.lat,
+                    lon: point.pos.lon,
+                });
+            }
+            StreamEvent::Checkin { user, checkin } => {
+                checkins += 1;
+                lanes[lane].push(Request::Checkin {
+                    user,
+                    t: checkin.t,
+                    poi: checkin.poi,
+                    lat: checkin.location.lat,
+                    lon: checkin.location.lon,
+                });
+            }
+        }
+    }
+    (lanes, gps, checkins)
+}
+
+/// Replay one lane over one pipelined connection; returns latency samples
+/// in microseconds.
+fn replay_lane(
+    addr: SocketAddr,
+    hello: Request,
+    lane: Vec<Request>,
+    window: usize,
+) -> io::Result<Vec<u64>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let reader_stream = stream.try_clone()?;
+    let total = lane.len() + 1; // + Hello
+
+    // In-flight bookkeeping: send instants queued FIFO, permits returned
+    // per response.
+    let sent = Arc::new(Mutex::new(std::collections::VecDeque::<Instant>::new()));
+    let (permit_tx, permit_rx) = mpsc::channel::<()>();
+    for _ in 0..window.max(1) {
+        permit_tx.send(()).expect("preload permits");
+    }
+
+    let sent_r = Arc::clone(&sent);
+    let reader = std::thread::spawn(move || -> io::Result<Vec<u64>> {
+        let mut r = BufReader::new(reader_stream);
+        let mut latencies = Vec::with_capacity(total);
+        for _ in 0..total {
+            match read_msg::<Response, _>(&mut r)? {
+                Some(Response::Error { message }) => {
+                    return Err(io::Error::new(io::ErrorKind::Other, message));
+                }
+                Some(_) => {}
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed mid-replay",
+                    ));
+                }
+            }
+            let started = sent_r.lock().unwrap().pop_front();
+            if let Some(at) = started {
+                latencies.push(at.elapsed().as_micros() as u64);
+            }
+            let _ = permit_tx.send(());
+        }
+        Ok(latencies)
+    });
+
+    let mut w = BufWriter::new(stream.try_clone()?);
+    let send = |w: &mut BufWriter<TcpStream>, req: &Request| -> io::Result<()> {
+        // Flush before blocking on a permit: the server cannot answer
+        // requests still sitting in our buffer.
+        match permit_rx.try_recv() {
+            Ok(()) => {}
+            Err(TryRecvError::Empty) => {
+                w.flush()?;
+                permit_rx
+                    .recv()
+                    .map_err(|_| io::Error::new(io::ErrorKind::Other, "reader died"))?;
+            }
+            Err(TryRecvError::Disconnected) => {
+                return Err(io::Error::new(io::ErrorKind::Other, "reader died"));
+            }
+        }
+        sent.lock().unwrap().push_back(Instant::now());
+        write_msg(w, req)
+    };
+    send(&mut w, &hello)?;
+    for req in &lane {
+        send(&mut w, req)?;
+    }
+    w.flush()?;
+    stream.shutdown(Shutdown::Write)?;
+
+    reader.join().map_err(|_| io::Error::new(io::ErrorKind::Other, "reader panicked"))?
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One request on a fresh control connection.
+fn control_request(addr: SocketAddr, req: &Request) -> io::Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut w = BufWriter::new(stream.try_clone()?);
+    write_msg(&mut w, req)?;
+    w.flush()?;
+    let mut r = BufReader::new(stream);
+    read_msg::<Response, _>(&mut r)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no response"))
+}
+
+/// Diff the served state against the batch pipeline on the same dataset.
+fn verify_against_batch(
+    addr: SocketAddr,
+    ds: &Dataset,
+    stats: &ServerStats,
+) -> io::Result<Vec<String>> {
+    let outcome = match_checkins(ds, &MatchConfig::paper());
+    let batch = user_compositions(ds, &outcome, &ClassifyConfig::default());
+    let mut mismatches = Vec::new();
+
+    let agg = &stats.composition;
+    let mut check = |field: &str, served: usize, expected: usize| {
+        if served != expected {
+            mismatches.push(format!("aggregate {field}: served {served}, batch {expected}"));
+        }
+    };
+    check("total", agg.total_checkins, outcome.total_checkins);
+    check("honest", agg.honest, outcome.honest.len());
+    check("extraneous", agg.extraneous(), outcome.extraneous.len());
+    check("visits", agg.visits_total, outcome.total_visits);
+    check("missing", agg.missing_visits, outcome.missing.len());
+
+    for bc in &batch {
+        let served = match control_request(addr, &Request::User { user: bc.user })? {
+            Response::Composition { composition } => composition,
+            Response::Error { message } => {
+                mismatches.push(format!("user {}: query failed: {message}", bc.user));
+                continue;
+            }
+            other => {
+                mismatches.push(format!("user {}: unexpected reply {other:?}", bc.user));
+                continue;
+            }
+        };
+        let fields: [(&str, usize, usize); 6] = [
+            ("total", served.total_checkins, bc.total),
+            ("honest", served.honest, bc.honest),
+            ("superfluous", served.superfluous, bc.superfluous),
+            ("remote", served.remote, bc.remote),
+            ("driveby", served.driveby, bc.driveby),
+            ("unclassified", served.unclassified, bc.unclassified),
+        ];
+        for (field, got, want) in fields {
+            if got != want {
+                mismatches
+                    .push(format!("user {} {field}: served {got}, batch {want}", bc.user));
+            }
+        }
+    }
+    Ok(mismatches)
+}
+
+/// Generate the scenario, replay it against `addr`, finalize, snapshot
+/// stats, and (optionally) verify against the batch pipeline.
+pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
+    let scenario_cfg = ScenarioConfig::small(cfg.users, cfg.days);
+    let scenario = Scenario::generate(&scenario_cfg, cfg.seed);
+    let ds = &scenario.primary;
+    let origin = ds.pois.projection().origin();
+    let hello = Request::Hello { origin_lat: origin.lat, origin_lon: origin.lon };
+
+    let (lanes, gps_events, checkin_events) = partition_events(ds, cfg.connections);
+    let total_events = gps_events + checkin_events;
+
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for lane in lanes {
+        let hello = hello.clone();
+        let window = cfg.window;
+        workers.push(std::thread::spawn(move || replay_lane(addr, hello, lane, window)));
+    }
+    let mut latencies: Vec<u64> = Vec::with_capacity(total_events);
+    for worker in workers {
+        let lane_latencies = worker
+            .join()
+            .map_err(|_| io::Error::new(io::ErrorKind::Other, "lane panicked"))??;
+        latencies.extend(lane_latencies);
+    }
+    let seconds = started.elapsed().as_secs_f64();
+
+    // Finalize, then snapshot.
+    match control_request(addr, &Request::Finish)? {
+        Response::Verdicts { .. } | Response::Ok => {}
+        Response::Error { message } => {
+            return Err(io::Error::new(io::ErrorKind::Other, format!("finish: {message}")));
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::Other,
+                format!("finish: unexpected reply {other:?}"),
+            ));
+        }
+    }
+    let stats = match control_request(addr, &Request::Stats)? {
+        Response::Stats { stats } => stats,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::Other,
+                format!("stats: unexpected reply {other:?}"),
+            ));
+        }
+    };
+
+    let (verified, mismatches) = if cfg.verify {
+        let mismatches = verify_against_batch(addr, ds, &stats)?;
+        (Some(mismatches.is_empty()), mismatches)
+    } else {
+        (None, Vec::new())
+    };
+
+    latencies.sort_unstable();
+    Ok(BenchReport {
+        users: cfg.users,
+        days: cfg.days,
+        seed: cfg.seed,
+        connections: cfg.connections,
+        window: cfg.window,
+        gps_events,
+        checkin_events,
+        total_events,
+        seconds,
+        events_per_sec: if seconds > 0.0 { total_events as f64 / seconds } else { 0.0 },
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+        server: stats,
+        verified,
+        mismatches,
+    })
+}
+
+/// Ask the server to stop accepting and exit.
+pub fn shutdown_server(addr: SocketAddr) -> io::Result<()> {
+    match control_request(addr, &Request::Shutdown)? {
+        Response::Ok => Ok(()),
+        other => Err(io::Error::new(
+            io::ErrorKind::Other,
+            format!("shutdown: unexpected reply {other:?}"),
+        )),
+    }
+}

@@ -1,0 +1,236 @@
+//! Wire protocol of `geosocial-serve`: length-prefixed JSON frames.
+//!
+//! Every message is one frame: a 4-byte big-endian payload length followed
+//! by that many bytes of UTF-8 JSON. Requests and responses are strictly
+//! 1:1 and in order per connection, so clients may pipeline: send a window
+//! of requests and match responses by position.
+//!
+//! Enums use the vendored serde's externally tagged form — a unit variant
+//! is the bare string `"Stats"`, a struct variant is
+//! `{"Gps":{"user":1,...}}`.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+use geosocial_stream::{AuditVerdict, StreamComposition};
+
+/// Frames larger than this are rejected — no legitimate message comes
+/// close, and the cap keeps a corrupt length prefix from allocating wildly.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// One client request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Must be the first request of a session that ingests events: fixes
+    /// the local-projection origin every shard audits in. Matching the
+    /// batch dataset's POI-universe origin makes served verdicts exactly
+    /// reproduce the batch pipeline.
+    Hello {
+        /// Projection origin latitude, degrees.
+        origin_lat: f64,
+        /// Projection origin longitude, degrees.
+        origin_lon: f64,
+    },
+    /// Ingest one GPS fix.
+    Gps {
+        /// Reporting user.
+        user: u32,
+        /// Fix time, seconds.
+        t: i64,
+        /// Fix latitude, degrees.
+        lat: f64,
+        /// Fix longitude, degrees.
+        lon: f64,
+    },
+    /// Ingest one checkin.
+    Checkin {
+        /// Reporting user.
+        user: u32,
+        /// Checkin time, seconds.
+        t: i64,
+        /// POI id the checkin claims.
+        poi: u32,
+        /// Claimed latitude, degrees.
+        lat: f64,
+        /// Claimed longitude, degrees.
+        lon: f64,
+    },
+    /// Query one user's composition snapshot.
+    User {
+        /// The user to query.
+        user: u32,
+    },
+    /// Query server-wide counters and the aggregate composition.
+    Stats,
+    /// End of stream: finalize every pending verdict on every shard.
+    /// Ingesting after `Finish` is an error.
+    Finish,
+    /// Stop the server once in-flight connections drain.
+    Shutdown,
+}
+
+/// One server response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Request accepted; nothing further to report.
+    Ok,
+    /// Ingest accepted; carries every verdict this event finalized (often
+    /// empty — verdicts fire when the watermark proves them final).
+    Verdicts {
+        /// Newly finalized verdicts, in finalization order.
+        verdicts: Vec<AuditVerdict>,
+    },
+    /// Answer to [`Request::User`].
+    Composition {
+        /// The user's current composition snapshot.
+        composition: StreamComposition,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// Server-wide counters.
+        stats: ServerStats,
+    },
+    /// The request could not be served.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Server-wide counters: the union of every shard's counters plus the
+/// aggregate composition — the serving-layer analogue of Table 1.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Worker shards.
+    pub shards: usize,
+    /// Distinct users seen.
+    pub users: usize,
+    /// GPS fixes ingested.
+    pub gps_events: usize,
+    /// Checkins ingested.
+    pub checkin_events: usize,
+    /// Composition/stats queries served.
+    pub queries: usize,
+    /// Verdicts finalized and delivered.
+    pub verdicts: usize,
+    /// Buffered per-user state across all shards (pending checkins, rolling
+    /// fixes, open windows, unretired visits).
+    pub buffered_state: usize,
+    /// Aggregate composition over every user (its `user` field is 0).
+    pub composition: StreamComposition,
+    /// Per-shard counters, indexed by shard.
+    pub per_shard: Vec<ShardStats>,
+}
+
+/// One shard's counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Users owned by this shard.
+    pub users: usize,
+    /// GPS fixes routed here.
+    pub gps_events: usize,
+    /// Checkins routed here.
+    pub checkin_events: usize,
+    /// Verdicts this shard finalized.
+    pub verdicts: usize,
+}
+
+impl ServerStats {
+    /// Fold one shard's counters into the totals.
+    pub fn absorb(&mut self, s: ShardStats, comp: StreamComposition, buffered: usize) {
+        self.users += s.users;
+        self.gps_events += s.gps_events;
+        self.checkin_events += s.checkin_events;
+        self.verdicts += s.verdicts;
+        self.buffered_state += buffered;
+        self.composition.merge(&comp);
+        self.per_shard.push(s);
+    }
+}
+
+/// Write one frame.
+pub fn write_msg<T: Serialize, W: Write>(w: &mut W, msg: &T) -> io::Result<()> {
+    let json = serde_json::to_string(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e:?}")))?;
+    let bytes = json.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame too large"))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean EOF at a frame boundary.
+pub fn read_msg<T: Deserialize, R: Read>(r: &mut R) -> io::Result<Option<T>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    let text = String::from_utf8(buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame not UTF-8: {e}")))?;
+    serde_json::from_str(&text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("decode: {e:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(req: Request) -> Request {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &req).expect("write");
+        let mut cursor = std::io::Cursor::new(buf);
+        read_msg(&mut cursor).expect("read").expect("some")
+    }
+
+    #[test]
+    fn requests_roundtrip_through_frames() {
+        match roundtrip(Request::Gps { user: 7, t: 1_234, lat: 34.4, lon: -119.8 }) {
+            Request::Gps { user: 7, t: 1_234, .. } => {}
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+        match roundtrip(Request::Stats) {
+            Request::Stats => {}
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+        match roundtrip(Request::Hello { origin_lat: 1.5, origin_lon: -2.5 }) {
+            Request::Hello { origin_lat, origin_lon } => {
+                assert_eq!(origin_lat, 1.5);
+                assert_eq!(origin_lon, -2.5);
+            }
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_eof_yields_none() {
+        let mut cursor = std::io::Cursor::new(Vec::<u8>::new());
+        let got: Option<Request> = read_msg(&mut cursor).expect("eof is clean");
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        let got: io::Result<Option<Request>> = read_msg(&mut cursor);
+        assert!(got.is_err());
+    }
+}

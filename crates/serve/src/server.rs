@@ -1,0 +1,463 @@
+//! The `geosocial-serve` TCP server.
+//!
+//! Architecture: one acceptor thread, one handler thread per connection,
+//! and a fixed pool of **shard worker threads** that own the per-user
+//! auditing state. Users are assigned to shards by a splitmix64 hash (the
+//! same derivation style `geosocial-par` and the scenario generator use for
+//! deterministic fan-out), so a user's events always serialize through one
+//! shard regardless of which connection delivers them.
+//!
+//! Handlers never touch auditor state: every request is routed to its
+//! shard over an `mpsc` channel together with a reply sender, keeping the
+//! request/response discipline strictly 1:1 and in order per connection.
+//! Broadcast requests (`Hello`, `Stats`, `Finish`) fan out to every shard
+//! and merge the replies.
+//!
+//! Shutdown is cooperative and std-only: a `Shutdown` request flips a flag
+//! and self-connects to unblock the acceptor; shard workers exit when the
+//! last channel sender drops, and the final per-shard counters are dumped
+//! to stderr before `run_with` returns. (There is no SIGTERM hook — `std`
+//! exposes no signal API — so the `stats`/`shutdown` requests are the
+//! supported ways to extract counters from a live server.)
+
+use geosocial_core::classify::ClassifyConfig;
+use geosocial_core::matching::MatchConfig;
+use geosocial_geo::LatLon;
+use geosocial_stream::{AuditConfig, OnlineAuditor, StreamComposition};
+use geosocial_trace::{Checkin, GpsPoint, PoiCategory, UserId, VisitConfig};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use crate::protocol::{read_msg, write_msg, Request, Response, ServerStats, ShardStats};
+
+/// Server-side knobs: shard count plus the audit thresholds applied to
+/// every user (the projection origin arrives with the client `Hello`).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker shards owning per-user state.
+    pub shards: usize,
+    /// Allowed event-time lateness, seconds (0 = in-order ingest expected).
+    pub allowed_lateness_s: i64,
+    /// Per-user pending-checkin budget.
+    pub max_pending_checkins: usize,
+    /// Per-user pending-fix budget.
+    pub max_pending_fixes: usize,
+    /// α/β matching thresholds.
+    pub match_config: MatchConfig,
+    /// §5.1 classification thresholds.
+    pub classify: ClassifyConfig,
+    /// Stay-point detection rules.
+    pub visit: VisitConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let template = AuditConfig::paper(LatLon::new(0.0, 0.0));
+        Self {
+            shards: 4,
+            allowed_lateness_s: 0,
+            max_pending_checkins: template.max_pending_checkins,
+            max_pending_fixes: template.max_pending_fixes,
+            match_config: template.match_config,
+            classify: template.classify,
+            visit: template.visit,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The audit configuration shards apply once a `Hello` fixes `origin`.
+    fn audit_config(&self, origin: LatLon) -> AuditConfig {
+        let mut cfg = AuditConfig::paper(origin);
+        cfg.match_config = self.match_config;
+        cfg.classify = self.classify;
+        cfg.visit = self.visit;
+        cfg.allowed_lateness_s = self.allowed_lateness_s;
+        cfg.max_pending_checkins = self.max_pending_checkins;
+        cfg.max_pending_fixes = self.max_pending_fixes;
+        cfg
+    }
+}
+
+/// Deterministic user→shard assignment: splitmix64 of the user id, modulo
+/// the shard count. Every layer (server, load generator, tests) uses this
+/// same map, giving clients per-user connection affinity for free.
+pub fn shard_of(user: UserId, shards: usize) -> usize {
+    let mut z = (user as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % shards.max(1) as u64) as usize
+}
+
+/// A request routed to one shard, with the channel its answer goes back on.
+struct ShardMsg {
+    cmd: ShardCmd,
+    reply: mpsc::Sender<Response>,
+}
+
+enum ShardCmd {
+    SetOrigin { origin: LatLon },
+    Gps { user: UserId, point: GpsPoint },
+    Checkin { user: UserId, checkin: Checkin },
+    Query { user: UserId },
+    Stats,
+    Finish,
+}
+
+/// One shard worker: owns the auditors of the users hashed to it.
+fn shard_worker(shard: usize, config: Arc<ServerConfig>, rx: mpsc::Receiver<ShardMsg>) {
+    let mut audit: Option<AuditConfig> = None;
+    let mut users: HashMap<UserId, OnlineAuditor> = HashMap::new();
+    let mut stats = ShardStats { shard, ..Default::default() };
+    let mut finished = false;
+
+    while let Ok(ShardMsg { cmd, reply }) = rx.recv() {
+        let resp = match cmd {
+            ShardCmd::SetOrigin { origin } => match &audit {
+                Some(a) if a.origin.lat.to_bits() != origin.lat.to_bits()
+                    || a.origin.lon.to_bits() != origin.lon.to_bits() =>
+                {
+                    Response::Error {
+                        message: format!(
+                            "origin already fixed at ({}, {})",
+                            a.origin.lat, a.origin.lon
+                        ),
+                    }
+                }
+                Some(_) => Response::Ok,
+                None => {
+                    audit = Some(config.audit_config(origin));
+                    Response::Ok
+                }
+            },
+            ShardCmd::Gps { user, point } => match (&audit, finished) {
+                (None, _) => hello_first(),
+                (_, true) => after_finish(),
+                (Some(a), false) => {
+                    let auditor = users
+                        .entry(user)
+                        .or_insert_with(|| OnlineAuditor::new(user, a.clone()));
+                    auditor.push_gps(point);
+                    stats.gps_events += 1;
+                    let verdicts: Vec<_> = auditor.drain_verdicts().collect();
+                    stats.verdicts += verdicts.len();
+                    Response::Verdicts { verdicts }
+                }
+            },
+            ShardCmd::Checkin { user, checkin } => match (&audit, finished) {
+                (None, _) => hello_first(),
+                (_, true) => after_finish(),
+                (Some(a), false) => {
+                    let auditor = users
+                        .entry(user)
+                        .or_insert_with(|| OnlineAuditor::new(user, a.clone()));
+                    auditor.push_checkin(checkin);
+                    stats.checkin_events += 1;
+                    let verdicts: Vec<_> = auditor.drain_verdicts().collect();
+                    stats.verdicts += verdicts.len();
+                    Response::Verdicts { verdicts }
+                }
+            },
+            ShardCmd::Query { user } => match users.get(&user) {
+                Some(a) => Response::Composition { composition: a.composition() },
+                None => Response::Error { message: format!("unknown user {user}") },
+            },
+            ShardCmd::Stats => {
+                stats.users = users.len();
+                let mut total = ServerStats::default();
+                let mut comp = StreamComposition::default();
+                let mut buffered = 0;
+                for a in users.values() {
+                    comp.merge(&a.composition());
+                    buffered += a.state_size();
+                }
+                total.absorb(stats.clone(), comp, buffered);
+                Response::Stats { stats: total }
+            }
+            ShardCmd::Finish => {
+                finished = true;
+                let mut verdicts = Vec::new();
+                let mut ids: Vec<UserId> = users.keys().copied().collect();
+                ids.sort_unstable();
+                for id in ids {
+                    let a = users.get_mut(&id).expect("known user");
+                    a.finish();
+                    verdicts.extend(a.drain_verdicts());
+                }
+                stats.verdicts += verdicts.len();
+                Response::Verdicts { verdicts }
+            }
+        };
+        // A dropped reply receiver means the connection died; keep serving.
+        let _ = reply.send(resp);
+    }
+}
+
+fn hello_first() -> Response {
+    Response::Error { message: "send Hello before ingesting events".into() }
+}
+
+fn after_finish() -> Response {
+    Response::Error { message: "stream already finished".into() }
+}
+
+/// Per-connection handler: frames in, frames out, strictly 1:1 in order.
+fn handle_conn(
+    stream: TcpStream,
+    shards: Vec<mpsc::Sender<ShardMsg>>,
+    shutdown: Arc<AtomicBool>,
+    self_addr: SocketAddr,
+    queries: Arc<AtomicUsize>,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+    let n = shards.len();
+
+    let route = |shards: &[mpsc::Sender<ShardMsg>], user: UserId, cmd: ShardCmd| {
+        let tx = &shards[shard_of(user, shards.len())];
+        tx.send(ShardMsg { cmd, reply: reply_tx.clone() }).is_ok()
+    };
+
+    while let Some(req) = read_msg::<Request, _>(&mut reader)? {
+        let resp = match req {
+            Request::Hello { origin_lat, origin_lon } => {
+                let origin = LatLon::new(origin_lat, origin_lon);
+                for tx in &shards {
+                    let _ = tx.send(ShardMsg {
+                        cmd: ShardCmd::SetOrigin { origin },
+                        reply: reply_tx.clone(),
+                    });
+                }
+                merge_broadcast(&reply_rx, n)
+            }
+            Request::Gps { user, t, lat, lon } => {
+                let point = GpsPoint { t, pos: LatLon::new(lat, lon) };
+                if route(&shards, user, ShardCmd::Gps { user, point }) {
+                    reply_rx.recv().unwrap_or_else(|_| shard_gone())
+                } else {
+                    shard_gone()
+                }
+            }
+            Request::Checkin { user, t, poi, lat, lon } => {
+                let checkin = Checkin {
+                    t,
+                    poi,
+                    // The wire format carries no category; auditing never
+                    // reads it.
+                    category: PoiCategory::Food,
+                    location: LatLon::new(lat, lon),
+                    provenance: None,
+                };
+                if route(&shards, user, ShardCmd::Checkin { user, checkin }) {
+                    reply_rx.recv().unwrap_or_else(|_| shard_gone())
+                } else {
+                    shard_gone()
+                }
+            }
+            Request::User { user } => {
+                queries.fetch_add(1, Ordering::Relaxed);
+                if route(&shards, user, ShardCmd::Query { user }) {
+                    reply_rx.recv().unwrap_or_else(|_| shard_gone())
+                } else {
+                    shard_gone()
+                }
+            }
+            Request::Stats => {
+                queries.fetch_add(1, Ordering::Relaxed);
+                for tx in &shards {
+                    let _ = tx
+                        .send(ShardMsg { cmd: ShardCmd::Stats, reply: reply_tx.clone() });
+                }
+                merge_broadcast(&reply_rx, n)
+            }
+            Request::Finish => {
+                for tx in &shards {
+                    let _ = tx
+                        .send(ShardMsg { cmd: ShardCmd::Finish, reply: reply_tx.clone() });
+                }
+                merge_broadcast(&reply_rx, n)
+            }
+            Request::Shutdown => {
+                shutdown.store(true, Ordering::SeqCst);
+                // Unblock the acceptor so it can observe the flag.
+                let _ = TcpStream::connect(self_addr);
+                Response::Ok
+            }
+        };
+        write_msg(&mut writer, &resp)?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+fn shard_gone() -> Response {
+    Response::Error { message: "shard worker unavailable".into() }
+}
+
+/// Await `n` broadcast replies and merge them into one response.
+fn merge_broadcast(rx: &mpsc::Receiver<Response>, n: usize) -> Response {
+    let mut merged: Option<Response> = None;
+    let mut error: Option<Response> = None;
+    for _ in 0..n {
+        let resp = rx.recv().unwrap_or_else(|_| shard_gone());
+        match resp {
+            Response::Ok => {
+                merged.get_or_insert(Response::Ok);
+            }
+            Response::Verdicts { verdicts } => match merged.get_or_insert_with(|| {
+                Response::Verdicts { verdicts: Vec::new() }
+            }) {
+                Response::Verdicts { verdicts: all } => all.extend(verdicts),
+                _ => {}
+            },
+            Response::Stats { stats } => match merged.get_or_insert_with(|| {
+                Response::Stats { stats: ServerStats::default() }
+            }) {
+                Response::Stats { stats: total } => {
+                    total.users += stats.users;
+                    total.gps_events += stats.gps_events;
+                    total.checkin_events += stats.checkin_events;
+                    total.verdicts += stats.verdicts;
+                    total.buffered_state += stats.buffered_state;
+                    total.composition.merge(&stats.composition);
+                    total.per_shard.extend(stats.per_shard);
+                }
+                _ => {}
+            },
+            e @ Response::Error { .. } => error = Some(e),
+            other => merged = Some(other),
+        }
+    }
+    if let Some(e) = error {
+        return e;
+    }
+    match merged {
+        Some(Response::Stats { mut stats }) => {
+            stats.per_shard.sort_by_key(|s| s.shard);
+            stats.shards = stats.per_shard.len();
+            Response::Stats { stats }
+        }
+        Some(r) => r,
+        None => shard_gone(),
+    }
+}
+
+/// A running server bound to a local address.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: JoinHandle<io::Result<ServerStats>>,
+}
+
+impl ServerHandle {
+    /// The address the server accepts on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the server to stop (a client must send `Shutdown`) and
+    /// return the final counters.
+    pub fn join(self) -> io::Result<ServerStats> {
+        self.thread.join().map_err(|_| {
+            io::Error::new(io::ErrorKind::Other, "server thread panicked")
+        })?
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve in a
+/// background thread.
+pub fn spawn(config: ServerConfig, addr: &str) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let thread = std::thread::Builder::new()
+        .name("geosocial-serve".into())
+        .spawn(move || run_with(listener, config))?;
+    Ok(ServerHandle { addr: local, thread })
+}
+
+/// Serve on an already-bound listener until a client requests `Shutdown`.
+/// Returns the final merged counters, after dumping them to stderr.
+pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<ServerStats> {
+    let config = Arc::new(config);
+    let self_addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicUsize::new(0));
+
+    // Shard workers.
+    let mut shard_txs = Vec::with_capacity(config.shards.max(1));
+    let mut shard_threads = Vec::new();
+    for shard in 0..config.shards.max(1) {
+        let (tx, rx) = mpsc::channel::<ShardMsg>();
+        let cfg = Arc::clone(&config);
+        shard_threads.push(
+            std::thread::Builder::new()
+                .name(format!("geosocial-shard-{shard}"))
+                .spawn(move || shard_worker(shard, cfg, rx))?,
+        );
+        shard_txs.push(tx);
+    }
+
+    // Accept loop.
+    let mut conn_threads = Vec::new();
+    for stream in listener.incoming() {
+        let stream = stream?;
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let shards = shard_txs.clone();
+        let flag = Arc::clone(&shutdown);
+        let q = Arc::clone(&queries);
+        conn_threads.push(
+            std::thread::Builder::new()
+                .name("geosocial-conn".into())
+                .spawn(move || {
+                    let _ = handle_conn(stream, shards, flag, self_addr, q);
+                })?,
+        );
+    }
+    drop(listener);
+    for t in conn_threads {
+        let _ = t.join();
+    }
+
+    // Collect final stats, then let the workers exit.
+    let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+    for tx in &shard_txs {
+        let _ = tx.send(ShardMsg { cmd: ShardCmd::Stats, reply: reply_tx.clone() });
+    }
+    drop(reply_tx);
+    let mut final_stats = match merge_broadcast(&reply_rx, shard_txs.len()) {
+        Response::Stats { stats } => stats,
+        _ => ServerStats::default(),
+    };
+    final_stats.queries = queries.load(Ordering::Relaxed);
+    drop(shard_txs);
+    for t in shard_threads {
+        let _ = t.join();
+    }
+
+    // The shutdown dump: one line per shard plus the aggregate.
+    for s in &final_stats.per_shard {
+        eprintln!(
+            "shard {}: users={} gps={} checkins={} verdicts={}",
+            s.shard, s.users, s.gps_events, s.checkin_events, s.verdicts
+        );
+    }
+    eprintln!(
+        "total: users={} gps={} checkins={} verdicts={} queries={} honest={} extraneous={}",
+        final_stats.users,
+        final_stats.gps_events,
+        final_stats.checkin_events,
+        final_stats.verdicts,
+        final_stats.queries,
+        final_stats.composition.honest,
+        final_stats.composition.extraneous(),
+    );
+    io::stderr().flush().ok();
+    Ok(final_stats)
+}

@@ -1,0 +1,110 @@
+//! End-to-end serving-layer test: spawn `geosocial-serve` on an ephemeral
+//! port, replay a generated scenario through the load-generator client, and
+//! assert the served composition snapshot exactly matches the batch
+//! pipeline's fingerprint — then shut the server down cleanly.
+
+use geosocial_serve::loadgen::{run, shutdown_server, LoadgenConfig};
+use geosocial_serve::protocol::{read_msg, write_msg, Request, Response};
+use geosocial_serve::server::{spawn, ServerConfig};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+fn replay_and_verify(shards: usize) {
+    let server = spawn(ServerConfig { shards, ..ServerConfig::default() }, "127.0.0.1:0")
+        .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let load = LoadgenConfig {
+        users: 16,
+        days: 3,
+        seed: 0xBEEF,
+        connections: 2,
+        window: 64,
+        verify: true,
+    };
+    let report = run(addr, &load).expect("replay succeeds");
+
+    assert!(report.total_events > 0, "scenario generated no events");
+    assert_eq!(
+        report.server.gps_events + report.server.checkin_events,
+        report.total_events,
+        "server must ingest every replayed event"
+    );
+    assert_eq!(
+        report.verified,
+        Some(true),
+        "served compositions diverged from batch: {:?}",
+        &report.mismatches[..report.mismatches.len().min(10)]
+    );
+    assert_eq!(report.server.per_shard.len(), shards);
+    assert_eq!(report.server.composition.late_dropped, 0);
+    assert_eq!(report.server.composition.forced, 0);
+
+    shutdown_server(addr).expect("shutdown accepted");
+    let final_stats = server.join().expect("server exits cleanly");
+    assert_eq!(final_stats.gps_events, report.server.gps_events);
+    assert_eq!(final_stats.checkin_events, report.server.checkin_events);
+}
+
+#[test]
+fn served_composition_matches_batch_on_one_shard() {
+    replay_and_verify(1);
+}
+
+#[test]
+fn served_composition_matches_batch_on_four_shards() {
+    replay_and_verify(4);
+}
+
+#[test]
+fn protocol_guards_reject_bad_sessions() {
+    let server =
+        spawn(ServerConfig { shards: 2, ..ServerConfig::default() }, "127.0.0.1:0")
+            .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut w = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut r = BufReader::new(stream);
+    let mut ask = |req: &Request| -> Response {
+        write_msg(&mut w, req).expect("write");
+        w.flush().expect("flush");
+        read_msg(&mut r).expect("read").expect("response")
+    };
+
+    // Ingest before Hello is refused.
+    match ask(&Request::Gps { user: 1, t: 0, lat: 0.0, lon: 0.0 }) {
+        Response::Error { .. } => {}
+        other => panic!("expected error before Hello, got {other:?}"),
+    }
+    // Unknown-user queries are refused.
+    match ask(&Request::User { user: 42 }) {
+        Response::Error { .. } => {}
+        other => panic!("expected unknown-user error, got {other:?}"),
+    }
+    // Hello, then ingest works.
+    match ask(&Request::Hello { origin_lat: 34.42, origin_lon: -119.86 }) {
+        Response::Ok => {}
+        other => panic!("expected Ok for Hello, got {other:?}"),
+    }
+    match ask(&Request::Gps { user: 1, t: 0, lat: 34.42, lon: -119.86 }) {
+        Response::Verdicts { .. } => {}
+        other => panic!("expected Verdicts for Gps, got {other:?}"),
+    }
+    // Finish finalizes; ingest afterwards is refused.
+    match ask(&Request::Finish) {
+        Response::Verdicts { .. } | Response::Ok => {}
+        other => panic!("expected Verdicts for Finish, got {other:?}"),
+    }
+    match ask(&Request::Gps { user: 1, t: 60, lat: 34.42, lon: -119.86 }) {
+        Response::Error { .. } => {}
+        other => panic!("expected error after Finish, got {other:?}"),
+    }
+
+    // Close our connection before asking for shutdown: the server drains
+    // in-flight connections before exiting.
+    drop(w);
+    drop(r);
+    shutdown_server(addr).expect("shutdown accepted");
+    server.join().expect("server exits cleanly");
+}

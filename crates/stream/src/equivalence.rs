@@ -1,0 +1,163 @@
+//! Online-vs-batch equivalence auditing.
+//!
+//! Replays a batch [`Dataset`] through the streaming path
+//! ([`crate::CohortAuditor`]) and compares every per-user composition
+//! against the batch pipeline (`match_checkins` → `user_compositions`).
+//! This is the correctness anchor of the streaming subsystem: for in-order
+//! delivery the two must agree **exactly**, count for count, user for user.
+
+use geosocial_core::classify::ClassifyConfig;
+use geosocial_core::matching::{match_checkins, MatchConfig};
+use geosocial_core::prevalence::user_compositions;
+use geosocial_trace::{Dataset, UserId, VisitConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::auditor::{AuditConfig, StreamComposition};
+use crate::cohort::{dataset_events, CohortAuditor};
+
+/// One per-user count that disagrees between the two paths.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mismatch {
+    /// The user whose composition diverges.
+    pub user: UserId,
+    /// Which count diverges (`honest`, `remote`, `visits`, …).
+    pub field: String,
+    /// The streaming path's count.
+    pub stream: usize,
+    /// The batch path's count.
+    pub batch: usize,
+}
+
+/// Outcome of one equivalence audit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EquivalenceReport {
+    /// Users audited.
+    pub users: usize,
+    /// Total checkins audited.
+    pub total_checkins: usize,
+    /// Total visits detected (batch side).
+    pub total_visits: usize,
+    /// Honest checkins, batch side.
+    pub batch_honest: usize,
+    /// Honest checkins, streaming side.
+    pub stream_honest: usize,
+    /// Visits left uncertified, batch side.
+    pub batch_missing: usize,
+    /// Visits left uncertified, streaming side.
+    pub stream_missing: usize,
+    /// Events the streaming side dropped as late (0 for in-order replay).
+    pub late_dropped: usize,
+    /// Checkins force-finalized by state budgets (0 at default budgets).
+    pub forced: usize,
+    /// Every per-user count that disagrees.
+    pub mismatches: Vec<Mismatch>,
+    /// Whether the two paths agree exactly.
+    pub identical: bool,
+}
+
+/// The audit configuration that replays `ds` equivalently to the batch
+/// pipeline: same thresholds, same visit rules, and crucially the same
+/// projection origin as the dataset's POI universe.
+pub fn replay_config(
+    ds: &Dataset,
+    match_config: &MatchConfig,
+    classify: &ClassifyConfig,
+    visit: &VisitConfig,
+) -> AuditConfig {
+    let mut cfg = AuditConfig::paper(ds.pois.projection().origin());
+    cfg.match_config = *match_config;
+    cfg.classify = *classify;
+    cfg.visit = *visit;
+    cfg
+}
+
+/// Replay `ds` through the streaming path and return per-user compositions,
+/// sorted by user id.
+pub fn stream_compositions(ds: &Dataset, cfg: AuditConfig) -> Vec<StreamComposition> {
+    let mut cohort = CohortAuditor::new(cfg);
+    for ev in dataset_events(ds) {
+        cohort.push(ev);
+    }
+    cohort.finish();
+    cohort.compositions()
+}
+
+/// Run both paths over `ds` and diff every per-user count.
+pub fn equivalence_report(
+    ds: &Dataset,
+    match_config: &MatchConfig,
+    classify: &ClassifyConfig,
+    visit: &VisitConfig,
+) -> EquivalenceReport {
+    // Batch side.
+    let outcome = match_checkins(ds, match_config);
+    let batch = user_compositions(ds, &outcome, classify);
+    let mut batch_missing: HashMap<UserId, usize> = HashMap::new();
+    for m in &outcome.missing {
+        *batch_missing.entry(m.user).or_default() += 1;
+    }
+
+    // Streaming side.
+    let stream = stream_compositions(ds, replay_config(ds, match_config, classify, visit));
+
+    let mut mismatches = Vec::new();
+    let stream_by_user: HashMap<UserId, &StreamComposition> =
+        stream.iter().map(|c| (c.user, c)).collect();
+    let mut stream_honest = 0;
+    let mut stream_missing = 0;
+    let mut late_dropped = 0;
+    let mut forced = 0;
+    for c in &stream {
+        stream_honest += c.honest;
+        stream_missing += c.missing_visits;
+        late_dropped += c.late_dropped;
+        forced += c.forced;
+    }
+
+    let empty = StreamComposition::default();
+    for b in &batch {
+        let s = stream_by_user.get(&b.user).copied().unwrap_or(&empty);
+        let visits = ds
+            .users
+            .iter()
+            .find(|u| u.id == b.user)
+            .map_or(0, |u| u.visits.len());
+        let missing = batch_missing.get(&b.user).copied().unwrap_or(0);
+        let pairs: [(&str, usize, usize); 8] = [
+            ("total", s.total_checkins, b.total),
+            ("honest", s.honest, b.honest),
+            ("superfluous", s.superfluous, b.superfluous),
+            ("remote", s.remote, b.remote),
+            ("driveby", s.driveby, b.driveby),
+            ("unclassified", s.unclassified, b.unclassified),
+            ("visits", s.visits_total, visits),
+            ("missing", s.missing_visits, missing),
+        ];
+        for (field, sv, bv) in pairs {
+            if sv != bv {
+                mismatches.push(Mismatch {
+                    user: b.user,
+                    field: field.to_string(),
+                    stream: sv,
+                    batch: bv,
+                });
+            }
+        }
+    }
+
+    let identical = mismatches.is_empty() && stream.len() == batch.len();
+    EquivalenceReport {
+        users: batch.len(),
+        total_checkins: outcome.total_checkins,
+        total_visits: outcome.total_visits,
+        batch_honest: outcome.honest.len(),
+        stream_honest,
+        batch_missing: outcome.missing.len(),
+        stream_missing,
+        late_dropped,
+        forced,
+        mismatches,
+        identical,
+    }
+}

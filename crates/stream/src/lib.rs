@@ -1,0 +1,39 @@
+//! Online (incremental) visit detection and checkin-validity auditing.
+//!
+//! The batch pipeline in `geosocial-core` answers the paper's question —
+//! *what fraction of geosocial checkins correspond to real visits?* — over
+//! a complete, collected dataset. This crate answers it **while the data is
+//! still arriving**: GPS fixes and checkins stream in as timestamped
+//! events, and every checkin receives its verdict (honest, superfluous,
+//! remote, driveby, unclassified) as soon as the event-time watermark
+//! proves no future event can change it.
+//!
+//! Layers, bottom up:
+//!
+//! * [`Reorderer`] — allowed-lateness watermarking: repairs bounded
+//!   disorder, drops and counts events later than the bound;
+//! * [`OnlineVisitDetector`] — incremental §3 stay-point detection, same
+//!   extension/closure rules as the batch detector (shared code, not a
+//!   reimplementation), identical output for in-order input;
+//! * [`OnlineAuditor`] — per-user incremental matching (§4.1) and
+//!   classification (§5.1) with bounded state, exactly reproducing the
+//!   batch composition for in-order delivery;
+//! * [`CohortAuditor`] — many users behind one ingest facade, the unit the
+//!   `geosocial-serve` TCP layer shards across worker threads;
+//! * [`equivalence_report`] — replays a batch dataset through the streaming
+//!   path and diffs every per-user count against the batch pipeline: the
+//!   subsystem's correctness anchor.
+
+mod auditor;
+mod cohort;
+mod detector;
+mod equivalence;
+mod watermark;
+
+pub use auditor::{AuditConfig, AuditVerdict, OnlineAuditor, StreamComposition, VerdictKind};
+pub use cohort::{dataset_events, CohortAuditor, StreamEvent};
+pub use detector::OnlineVisitDetector;
+pub use equivalence::{
+    equivalence_report, replay_config, stream_compositions, EquivalenceReport, Mismatch,
+};
+pub use watermark::Reorderer;

@@ -1,0 +1,181 @@
+//! Event-time reordering under an allowed-lateness bound.
+//!
+//! [`Reorderer`] buffers a bounded amount of disorder: an event is held
+//! until the watermark (largest event time seen) passes its timestamp by
+//! `allowed_lateness`, then released in event-time order. Events older than
+//! the release frontier are dropped and counted — the same contract
+//! streaming systems call *watermarking with allowed lateness*.
+//!
+//! With `allowed_lateness = 0` the reorderer is a pass-through for in-order
+//! input and a pure late-event filter otherwise.
+
+use geosocial_trace::Timestamp;
+use std::collections::BinaryHeap;
+
+/// An event held for reordering: timestamp plus an opaque payload.
+#[derive(Debug, Clone)]
+struct Held<E> {
+    t: Timestamp,
+    /// Arrival sequence number — makes the release order stable for equal
+    /// timestamps.
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Held<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl<E> Eq for Held<E> {}
+impl<E> PartialOrd for Held<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Held<E> {
+    /// Reversed so the `BinaryHeap` max-heap pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+/// Bounded-disorder reorder buffer keyed on event time.
+#[derive(Debug, Clone)]
+pub struct Reorderer<E> {
+    lateness: i64,
+    heap: BinaryHeap<Held<E>>,
+    next_seq: u64,
+    /// Largest event time ever pushed (the watermark).
+    watermark: Option<Timestamp>,
+    /// Largest timestamp already released; later arrivals below it are late.
+    released: Option<Timestamp>,
+    late_dropped: usize,
+}
+
+impl<E> Reorderer<E> {
+    /// A reorderer tolerating `allowed_lateness_s` seconds of disorder.
+    pub fn new(allowed_lateness_s: i64) -> Self {
+        Self {
+            lateness: allowed_lateness_s.max(0),
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            watermark: None,
+            released: None,
+            late_dropped: 0,
+        }
+    }
+
+    /// Offer one event. Returns `false` (and counts it) when the event is
+    /// older than the release frontier and must be dropped.
+    pub fn push(&mut self, t: Timestamp, ev: E) -> bool {
+        if self.released.is_some_and(|r| t < r) {
+            self.late_dropped += 1;
+            return false;
+        }
+        self.watermark = Some(self.watermark.map_or(t, |w| w.max(t)));
+        self.heap.push(Held { t, seq: self.next_seq, ev });
+        self.next_seq += 1;
+        true
+    }
+
+    /// Release the next event whose time the watermark has passed by the
+    /// lateness bound, in event-time order.
+    pub fn pop_ready(&mut self) -> Option<E> {
+        let wm = self.watermark?;
+        let frontier = wm.saturating_sub(self.lateness);
+        if self.heap.peek().is_some_and(|h| h.t <= frontier) {
+            let h = self.heap.pop().expect("peeked");
+            self.released = Some(self.released.map_or(h.t, |r| r.max(h.t)));
+            Some(h.ev)
+        } else {
+            None
+        }
+    }
+
+    /// Release everything still held, in event-time order (end of stream).
+    pub fn pop_final(&mut self) -> Option<E> {
+        let h = self.heap.pop()?;
+        self.released = Some(self.released.map_or(h.t, |r| r.max(h.t)));
+        Some(h.ev)
+    }
+
+    /// Events dropped for arriving later than the lateness bound allows.
+    pub fn late_dropped(&self) -> usize {
+        self.late_dropped
+    }
+
+    /// Events currently held.
+    pub fn held(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_ready(r: &mut Reorderer<&'static str>) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        while let Some(e) = r.pop_ready() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn zero_lateness_is_passthrough_for_in_order_input() {
+        let mut r = Reorderer::new(0);
+        assert!(r.push(10, "a"));
+        assert_eq!(drain_ready(&mut r), vec!["a"]);
+        assert!(r.push(20, "b"));
+        assert_eq!(drain_ready(&mut r), vec!["b"]);
+        assert_eq!(r.late_dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_disorder_is_repaired() {
+        let mut r = Reorderer::new(60);
+        r.push(100, "b");
+        r.push(40, "a"); // 60 s late but within the bound
+        assert_eq!(drain_ready(&mut r), vec!["a"]);
+        r.push(200, "c"); // watermark 200 releases everything up to t=140
+        assert_eq!(drain_ready(&mut r), vec!["b"]);
+        r.push(300, "d");
+        assert_eq!(drain_ready(&mut r), vec!["c"]);
+    }
+
+    #[test]
+    fn events_beyond_the_bound_are_dropped() {
+        let mut r = Reorderer::new(60);
+        r.push(1_000, "a");
+        assert!(r.pop_ready().is_none(), "held until the watermark passes t + lateness");
+        r.push(1_100, "b");
+        assert_eq!(drain_ready(&mut r), vec!["a"]);
+        assert!(!r.push(900, "too-late"), "released frontier passed t=900");
+        assert_eq!(r.late_dropped(), 1);
+    }
+
+    #[test]
+    fn equal_timestamps_release_in_arrival_order() {
+        let mut r = Reorderer::new(0);
+        r.push(50, "first");
+        r.push(50, "second");
+        r.push(50, "third");
+        assert_eq!(drain_ready(&mut r), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn final_drain_releases_everything() {
+        let mut r = Reorderer::new(600);
+        r.push(30, "x");
+        r.push(10, "w");
+        assert!(r.pop_ready().is_none(), "watermark has not passed lateness");
+        let mut out = Vec::new();
+        while let Some(e) = r.pop_final() {
+            out.push(e);
+        }
+        assert_eq!(out, vec!["w", "x"]);
+        assert_eq!(r.held(), 0);
+    }
+}

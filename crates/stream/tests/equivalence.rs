@@ -1,0 +1,101 @@
+//! End-to-end online-vs-batch equivalence over generated scenarios.
+//!
+//! The streaming subsystem's acceptance bar: replaying a full generated
+//! cohort through [`geosocial_stream::CohortAuditor`] in event-time order
+//! must reproduce the batch pipeline's per-user composition **exactly** —
+//! honest/superfluous/remote/driveby/unclassified counts, visit counts, and
+//! missing-visit counts, user for user.
+
+use geosocial_checkin::{Scenario, ScenarioConfig};
+use geosocial_core::classify::ClassifyConfig;
+use geosocial_core::matching::MatchConfig;
+use geosocial_stream::equivalence_report;
+
+#[test]
+fn stream_matches_batch_on_small_scenario() {
+    let config = ScenarioConfig::small(12, 5);
+    let scenario = Scenario::generate(&config, 0xEC0_FEED);
+    for ds in [&scenario.primary, &scenario.baseline] {
+        let report = equivalence_report(
+            ds,
+            &MatchConfig::paper(),
+            &ClassifyConfig::default(),
+            &config.visit,
+        );
+        assert!(report.total_checkins > 0, "{}: scenario generated no checkins", ds.name);
+        assert!(
+            report.identical,
+            "{}: stream/batch divergence: {:?}",
+            ds.name,
+            &report.mismatches[..report.mismatches.len().min(10)]
+        );
+        assert_eq!(report.late_dropped, 0, "{}: in-order replay dropped events", ds.name);
+        assert_eq!(report.forced, 0, "{}: budgets forced finalization", ds.name);
+    }
+}
+
+#[test]
+fn stream_matches_batch_under_non_paper_thresholds() {
+    // Equivalence must hold for any operating point, not just α=500/β=30min.
+    let config = ScenarioConfig::small(8, 4);
+    let scenario = Scenario::generate(&config, 42);
+    for (alpha_m, beta_s) in [(200.0, 600), (1_000.0, 3_600)] {
+        let report = equivalence_report(
+            &scenario.primary,
+            &MatchConfig { alpha_m, beta_s },
+            &ClassifyConfig::default(),
+            &config.visit,
+        );
+        assert!(
+            report.identical,
+            "α={alpha_m} β={beta_s}: divergence: {:?}",
+            &report.mismatches[..report.mismatches.len().min(10)]
+        );
+    }
+}
+
+#[test]
+fn lateness_buffer_repairs_bounded_disorder() {
+    use geosocial_stream::{dataset_events, replay_config, CohortAuditor};
+
+    let config = ScenarioConfig::small(6, 3);
+    let scenario = Scenario::generate(&config, 7);
+    let ds = &scenario.primary;
+    let mut events = dataset_events(ds);
+    // Perturb delivery: swap adjacent events whose timestamps differ by
+    // less than the lateness bound, deterministically.
+    let lateness = 120;
+    let mut state: u64 = 0x9E37_79B9;
+    for i in 1..events.len() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let dt = events[i].t() - events[i - 1].t();
+        if state % 3 == 0 && dt > 0 && dt < lateness {
+            events.swap(i - 1, i);
+        }
+    }
+
+    let mut cfg = replay_config(
+        ds,
+        &MatchConfig::paper(),
+        &ClassifyConfig::default(),
+        &config.visit,
+    );
+    cfg.allowed_lateness_s = lateness;
+    let mut cohort = CohortAuditor::new(cfg);
+    for ev in events {
+        cohort.push(ev);
+    }
+    cohort.finish();
+    let disordered = cohort.compositions();
+
+    let in_order = geosocial_stream::stream_compositions(
+        ds,
+        replay_config(ds, &MatchConfig::paper(), &ClassifyConfig::default(), &config.visit),
+    );
+    assert_eq!(
+        disordered, in_order,
+        "lateness buffer must make bounded disorder invisible"
+    );
+    let late: usize = disordered.iter().map(|c| c.late_dropped).sum();
+    assert_eq!(late, 0, "no event should exceed the lateness bound");
+}

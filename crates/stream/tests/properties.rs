@@ -1,0 +1,63 @@
+//! Property-based online-vs-batch equivalence (the satellite proptest):
+//! for random small scenarios, the OnlineAuditor's verdict counts equal the
+//! batch `match_checkins` + `classify_extraneous` composition when all
+//! events arrive in order.
+
+use geosocial_checkin::{Scenario, ScenarioConfig};
+use geosocial_core::classify::ClassifyConfig;
+use geosocial_core::matching::MatchConfig;
+use geosocial_stream::equivalence_report;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random cohort shapes and seeds: every per-user count agrees.
+    #[test]
+    fn random_scenarios_stream_equals_batch(
+        users in 3u32..10,
+        days in 2u32..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let config = ScenarioConfig::small(users, days);
+        let scenario = Scenario::generate(&config, seed);
+        let report = equivalence_report(
+            &scenario.primary,
+            &MatchConfig::paper(),
+            &ClassifyConfig::default(),
+            &config.visit,
+        );
+        prop_assert!(
+            report.identical,
+            "divergence for users={} days={} seed={}: {:?}",
+            users, days, seed,
+            &report.mismatches[..report.mismatches.len().min(10)]
+        );
+        prop_assert_eq!(report.late_dropped, 0);
+        prop_assert_eq!(report.forced, 0);
+    }
+
+    /// Random thresholds on a fixed scenario: equivalence is not tied to
+    /// the paper's operating point.
+    #[test]
+    fn random_thresholds_stream_equals_batch(
+        alpha_m in 100.0..1_500.0f64,
+        beta_min in 5i64..60,
+        seed in 0u64..1_000,
+    ) {
+        let config = ScenarioConfig::small(5, 3);
+        let scenario = Scenario::generate(&config, seed);
+        let report = equivalence_report(
+            &scenario.primary,
+            &MatchConfig { alpha_m, beta_s: beta_min * 60 },
+            &ClassifyConfig::default(),
+            &config.visit,
+        );
+        prop_assert!(
+            report.identical,
+            "divergence for alpha={} beta={}m seed={}: {:?}",
+            alpha_m, beta_min, seed,
+            &report.mismatches[..report.mismatches.len().min(10)]
+        );
+    }
+}

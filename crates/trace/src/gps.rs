@@ -67,33 +67,12 @@ impl GpsTrace {
         }
     }
 
-    /// Index of the last fix at or before `t`, or `None` if `t` precedes
-    /// the trace.
-    fn index_at(&self, t: Timestamp) -> Option<usize> {
-        let n = self.points.partition_point(|p| p.t <= t);
-        n.checked_sub(1)
-    }
-
     /// The user's interpolated position at time `t`.
     ///
     /// Linear interpolation between the surrounding fixes; clamps to the
     /// first/last fix outside the trace span. `None` for an empty trace.
     pub fn position_at(&self, t: Timestamp) -> Option<LatLon> {
-        if self.points.is_empty() {
-            return None;
-        }
-        let i = match self.index_at(t) {
-            None => return Some(self.points[0].pos),
-            Some(i) => i,
-        };
-        if i + 1 >= self.points.len() || self.points[i].t == t {
-            return Some(self.points[i.min(self.points.len() - 1)].pos);
-        }
-        let (a, b) = (self.points[i], self.points[i + 1]);
-        let frac = (t - a.t) as f64 / (b.t - a.t) as f64;
-        let bearing = a.pos.bearing_deg(b.pos);
-        let dist = a.pos.haversine_m(b.pos);
-        Some(a.pos.destination(bearing, dist * frac))
+        position_in(&self.points, t)
     }
 
     /// Estimated speed in m/s at time `t`, from the fix pair straddling `t`.
@@ -104,19 +83,7 @@ impl GpsTrace {
     /// more than `max_gap` seconds apart (a sampling gap, not a movement
     /// measurement).
     pub fn speed_at(&self, t: Timestamp, max_gap: i64) -> Option<f64> {
-        let i = self.index_at(t)?;
-        let (a, b) = if i + 1 < self.points.len() {
-            (self.points[i], self.points[i + 1])
-        } else if i > 0 {
-            (self.points[i - 1], self.points[i])
-        } else {
-            return None;
-        };
-        let dt = b.t - a.t;
-        if dt <= 0 || dt > max_gap {
-            return None;
-        }
-        Some(a.pos.haversine_m(b.pos) / dt as f64)
+        speed_in(&self.points, t, max_gap)
     }
 
     /// Iterate over consecutive-fix segments as `(from, to)` pairs.
@@ -127,6 +94,74 @@ impl GpsTrace {
     /// Total path length in meters (sum of segment great-circle distances).
     pub fn path_length_m(&self) -> f64 {
         self.segments().map(|(a, b)| a.pos.haversine_m(b.pos)).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice-based primitives
+//
+// The interpolation/speed/evidence rules are shared verbatim between the
+// batch path (a full `GpsTrace`) and the online path (`geosocial-stream`'s
+// rolling fix window), so they operate on any chronologically sorted slice.
+// Keeping one implementation is what makes online-vs-batch equivalence an
+// identity rather than an approximation.
+// ---------------------------------------------------------------------------
+
+/// Index of the last fix at or before `t` in a sorted slice, or `None`
+/// if `t` precedes every fix.
+pub fn index_in(pts: &[GpsPoint], t: Timestamp) -> Option<usize> {
+    let n = pts.partition_point(|p| p.t <= t);
+    n.checked_sub(1)
+}
+
+/// Interpolated position at `t` over a sorted fix slice — the slice form
+/// of [`GpsTrace::position_at`], with identical clamping semantics.
+pub fn position_in(pts: &[GpsPoint], t: Timestamp) -> Option<LatLon> {
+    if pts.is_empty() {
+        return None;
+    }
+    let i = match index_in(pts, t) {
+        None => return Some(pts[0].pos),
+        Some(i) => i,
+    };
+    if i + 1 >= pts.len() || pts[i].t == t {
+        return Some(pts[i.min(pts.len() - 1)].pos);
+    }
+    let (a, b) = (pts[i], pts[i + 1]);
+    let frac = (t - a.t) as f64 / (b.t - a.t) as f64;
+    let bearing = a.pos.bearing_deg(b.pos);
+    let dist = a.pos.haversine_m(b.pos);
+    Some(a.pos.destination(bearing, dist * frac))
+}
+
+/// Speed estimate at `t` over a sorted fix slice — the slice form of
+/// [`GpsTrace::speed_at`].
+pub fn speed_in(pts: &[GpsPoint], t: Timestamp, max_gap: i64) -> Option<f64> {
+    let i = index_in(pts, t)?;
+    let (a, b) = if i + 1 < pts.len() {
+        (pts[i], pts[i + 1])
+    } else if i > 0 {
+        (pts[i - 1], pts[i])
+    } else {
+        return None;
+    };
+    let dt = b.t - a.t;
+    if dt <= 0 || dt > max_gap {
+        return None;
+    }
+    Some(a.pos.haversine_m(b.pos) / dt as f64)
+}
+
+/// Whether a sorted fix slice holds a fix within `window` seconds of `t` —
+/// the usable-evidence test of the §5.1 classifier.
+pub fn fix_within(pts: &[GpsPoint], t: Timestamp, window: i64) -> bool {
+    match pts.binary_search_by_key(&t, |p| p.t) {
+        Ok(_) => true,
+        Err(ins) => {
+            let near_prev = ins > 0 && t - pts[ins - 1].t <= window;
+            let near_next = ins < pts.len() && pts[ins].t - t <= window;
+            near_prev || near_next
+        }
     }
 }
 

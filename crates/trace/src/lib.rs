@@ -33,9 +33,9 @@ mod visit;
 
 pub use checkin::{inter_arrival_secs, Checkin, Provenance};
 pub use dataset::{checkins_per_day, Dataset, DatasetStats, UserData, UserProfile};
-pub use gps::{GpsPoint, GpsTrace};
+pub use gps::{fix_within, index_in, position_in, speed_in, GpsPoint, GpsTrace};
 pub use poi::{Poi, PoiCategory, PoiId, PoiUniverse};
-pub use visit::{detect_visits, Visit, VisitConfig};
+pub use visit::{close_stay, detect_visits, extends_stay, stay_centroid, Visit, VisitConfig};
 
 /// Seconds since the scenario epoch.
 pub type Timestamp = i64;

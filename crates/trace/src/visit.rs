@@ -105,23 +105,11 @@ pub fn detect_visits(
         // Extend the stay while fixes remain near the anchor and gaps stay
         // bridgeable.
         let mut end = start;
-        while end + 1 < pts.len() {
-            let next = pts[end + 1];
-            if next.t - pts[end].t > config.max_gap {
-                break;
-            }
-            if anchor.haversine_m(next.pos) > config.roam_radius_m {
-                break;
-            }
+        while end + 1 < pts.len() && extends_stay(anchor, &pts[end], &pts[end + 1], config) {
             end += 1;
         }
-        let duration = pts[end].t - pts[start].t;
-        if duration >= config.min_duration {
-            let centroid = centroid_of(&pts[start..=end]);
-            let poi = pois
-                .and_then(|u| u.nearest(centroid, config.poi_snap_radius_m))
-                .map(|(p, _)| p.id);
-            visits.push(Visit { start: pts[start].t, end: pts[end].t, centroid, poi });
+        if let Some(v) = close_stay(&pts[start..=end], config, pois) {
+            visits.push(v);
             start = end + 1;
         } else {
             // No stay anchored here; slide forward one fix.
@@ -131,13 +119,59 @@ pub fn detect_visits(
     visits
 }
 
+/// Whether `next` extends a stay anchored at `anchor` whose current last fix
+/// is `prev`: the sampling gap must stay bridgeable and the new fix must
+/// remain within the roam radius of the anchor.
+///
+/// This is the single extension rule shared by the batch detector above and
+/// the incremental `OnlineVisitDetector` in `geosocial-stream`.
+pub fn extends_stay(
+    anchor: LatLon,
+    prev: &crate::GpsPoint,
+    next: &crate::GpsPoint,
+    config: &VisitConfig,
+) -> bool {
+    next.t - prev.t <= config.max_gap && anchor.haversine_m(next.pos) <= config.roam_radius_m
+}
+
+/// Close a maximal stay window: emit a [`Visit`] if the window spans the
+/// minimum duration, else `None` (the caller slides its anchor forward).
+/// Shared by the batch and online detectors.
+///
+/// # Panics
+///
+/// Panics on an empty window — windows always contain their anchor fix.
+pub fn close_stay(
+    window: &[crate::GpsPoint],
+    config: &VisitConfig,
+    pois: Option<&PoiUniverse>,
+) -> Option<Visit> {
+    let (first, last) = (window[0], window[window.len() - 1]);
+    if last.t - first.t < config.min_duration {
+        return None;
+    }
+    let centroid = stay_centroid(window.iter().map(|p| p.pos));
+    let poi = pois
+        .and_then(|u| u.nearest(centroid, config.poi_snap_radius_m))
+        .map(|(p, _)| p.id);
+    Some(Visit { start: first.t, end: last.t, centroid, poi })
+}
+
 /// Arithmetic centroid of a fix window (valid for the sub-kilometer extents
 /// a single stay spans).
-fn centroid_of(pts: &[crate::GpsPoint]) -> LatLon {
-    let n = pts.len() as f64;
-    let lat = pts.iter().map(|p| p.pos.lat).sum::<f64>() / n;
-    let lon = pts.iter().map(|p| p.pos.lon).sum::<f64>() / n;
-    LatLon::new(lat, lon)
+///
+/// # Panics
+///
+/// Panics when `positions` is empty.
+pub fn stay_centroid(positions: impl Iterator<Item = LatLon>) -> LatLon {
+    let (mut lat, mut lon, mut n) = (0.0, 0.0, 0usize);
+    for p in positions {
+        lat += p.lat;
+        lon += p.lon;
+        n += 1;
+    }
+    assert!(n > 0, "stay window cannot be empty");
+    LatLon::new(lat / n as f64, lon / n as f64)
 }
 
 #[cfg(test)]
@@ -239,7 +273,7 @@ mod tests {
     #[test]
     fn centroid_averages_positions() {
         let pts = vec![fix(0, 34.0, -119.0), fix(1, 34.0002, -119.0)];
-        let c = centroid_of(&pts);
+        let c = stay_centroid(pts.iter().map(|p| p.pos));
         assert!((c.lat - 34.0001).abs() < 1e-9);
     }
 }

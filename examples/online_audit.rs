@@ -1,0 +1,70 @@
+//! Online auditing: verdicts while the trace is still arriving.
+//!
+//! The batch pipeline (`checkin_audit` example) needs the whole dataset in
+//! hand. This example replays the same kind of cohort as a live event
+//! stream through [`geosocial::stream::CohortAuditor`]: GPS fixes and
+//! checkins are pushed one by one in event-time order, and each checkin's
+//! verdict is emitted the moment the watermark proves no later event can
+//! change it. At the end, the streamed per-user compositions are diffed
+//! against the batch pipeline — they must agree exactly.
+//!
+//! ```text
+//! cargo run --release --example online_audit
+//! ```
+
+use geosocial::checkin::scenario::{Scenario, ScenarioConfig};
+use geosocial::core::classify::ClassifyConfig;
+use geosocial::core::matching::MatchConfig;
+use geosocial::stream::{dataset_events, equivalence_report, replay_config, CohortAuditor};
+
+fn main() {
+    let config = ScenarioConfig::small(20, 7);
+    let scenario = Scenario::generate(&config, 7);
+    let dataset = scenario.dataset();
+    println!("streaming {}\n", dataset.stats());
+
+    // Replay the dataset as a single time-ordered event stream.
+    let audit_cfg = replay_config(
+        dataset,
+        &MatchConfig::paper(),
+        &ClassifyConfig::default(),
+        &config.visit,
+    );
+    let mut cohort = CohortAuditor::new(audit_cfg);
+    let mut shown = 0;
+    for ev in dataset_events(dataset) {
+        cohort.push(ev);
+        // Verdicts stream out mid-replay, long before the data ends.
+        for v in cohort.take_verdicts() {
+            if shown < 10 {
+                println!(
+                    "  t={:>7} user {:>3} checkin #{:>2}: {:<12} (d={:>6.0} m, dt={:>5} s)",
+                    v.t, v.user, v.checkin_index, v.kind.label(), v.distance_m, v.dt_s
+                );
+                shown += 1;
+            }
+        }
+    }
+    cohort.finish();
+    let total = cohort.total();
+    println!("  ... {} verdicts in total\n", total.total_checkins);
+    println!(
+        "stream composition: honest {} superfluous {} remote {} driveby {} unclassified {}",
+        total.honest, total.superfluous, total.remote, total.driveby, total.unclassified
+    );
+
+    // The streamed result must equal the batch pipeline, count for count.
+    let report = equivalence_report(
+        dataset,
+        &MatchConfig::paper(),
+        &ClassifyConfig::default(),
+        &config.visit,
+    );
+    println!(
+        "equivalence vs batch over {} users: identical={}, mismatches={}",
+        report.users,
+        report.identical,
+        report.mismatches.len()
+    );
+    assert!(report.identical, "online and batch pipelines must agree exactly");
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1+ verification entry point for the repository.
+#
+# Runs, in order:
+#   1. the tier-1 gate: release build + full test suite,
+#   2. a short serving-layer smoke: geosocial-loadgen spawns an in-process
+#      geosocial-serve (4 shards), replays a small generated scenario over
+#      TCP, verifies the served compositions against the batch pipeline,
+#      and shuts the server down cleanly.
+#
+# Usage: scripts/check.sh
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier 1: cargo build --release"
+cargo build --release
+
+echo "==> tier 1: cargo test -q"
+cargo test -q
+
+echo "==> serving smoke: loadgen vs in-process server (batch-verified)"
+smoke_out="$(mktemp -t bench_smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_out"' EXIT
+./target/release/geosocial-loadgen \
+    --spawn --shards 4 \
+    --users 24 --days 4 --seed 1 \
+    --connections 4 --window 256 \
+    --verify --out "$smoke_out"
+
+echo "==> all checks passed"

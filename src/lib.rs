@@ -16,6 +16,8 @@
 //! | [`checkin`] | `geosocial-checkin` | checkin behaviour + incentive engine |
 //! | [`core`] | `geosocial-core` | matching, classification, detection |
 //! | [`manet`] | `geosocial-manet` | discrete-event MANET simulator + AODV |
+//! | [`stream`] | `geosocial-stream` | online visit detection + checkin auditing |
+//! | [`serve`] | `geosocial-serve` | TCP serving layer + load generator |
 //! | [`experiments`] | `geosocial-experiments` | table/figure regeneration |
 //!
 //! # Quickstart
@@ -43,5 +45,7 @@ pub use geosocial_experiments as experiments;
 pub use geosocial_geo as geo;
 pub use geosocial_manet as manet;
 pub use geosocial_mobility as mobility;
+pub use geosocial_serve as serve;
 pub use geosocial_stats as stats;
+pub use geosocial_stream as stream;
 pub use geosocial_trace as trace;
