@@ -23,12 +23,27 @@ pub struct Analysis {
 
 impl Analysis {
     /// Generate a scenario and run the full §4–§5 pipeline on it.
+    ///
+    /// Each stage runs under an `obs` span, so every call feeds the
+    /// `span.analysis`, `span.analysis.generate`, `span.analysis.match`
+    /// and `span.analysis.classify` timing histograms — the per-stage
+    /// breakdown `repro` appends to `timings.csv`.
     pub fn run(config: &ScenarioConfig, seed: u64) -> Analysis {
-        let scenario = Scenario::generate(config, seed);
+        let _run = geosocial_obs::span("analysis");
+        let scenario = {
+            let _s = geosocial_obs::span("generate");
+            Scenario::generate(config, seed)
+        };
         let match_config = MatchConfig::paper();
         let classify_config = ClassifyConfig::default();
-        let outcome = match_checkins(&scenario.primary, &match_config);
-        let compositions = user_compositions(&scenario.primary, &outcome, &classify_config);
+        let outcome = {
+            let _s = geosocial_obs::span("match");
+            match_checkins(&scenario.primary, &match_config)
+        };
+        let compositions = {
+            let _s = geosocial_obs::span("classify");
+            user_compositions(&scenario.primary, &outcome, &classify_config)
+        };
         Analysis { scenario, outcome, compositions, match_config, classify_config }
     }
 

@@ -18,8 +18,8 @@
 use geosocial_experiments::figures::{self, ExperimentOutput};
 use geosocial_experiments::models::{self, Fig8Config};
 use geosocial_experiments::{extensions, streaming, Analysis};
+use geosocial_obs::Stopwatch;
 use std::path::PathBuf;
-use std::time::Instant;
 
 struct Args {
     exps: Vec<String>,
@@ -152,12 +152,27 @@ fn git_describe() -> String {
 /// Time `Analysis::run` end-to-end at a given pool width.
 fn time_analysis(config: &geosocial_checkin::scenario::ScenarioConfig, seed: u64, threads: usize) -> f64 {
     geosocial_par::set_max_threads(threads);
-    let t0 = Instant::now();
+    let mut clock = Stopwatch::start();
     let a = Analysis::run(config, seed);
-    let secs = t0.elapsed().as_secs_f64();
+    let secs = clock.lap_us() as f64 / 1e6;
     // Keep the result alive through the timer so nothing is optimized away.
     assert!(a.outcome.total_checkins > 0 || a.scenario.primary.users.is_empty());
     secs
+}
+
+/// Per-stage span rows for `timings.csv`: every `span.*` histogram in the
+/// registry, as `span:<path>` with its accumulated seconds. `Analysis::run`
+/// alone contributes the four pipeline stages (`analysis`,
+/// `analysis.generate`, `analysis.match`, `analysis.classify`).
+fn span_rows() -> Vec<(String, f64)> {
+    geosocial_obs::snapshot()
+        .histograms
+        .into_iter()
+        .filter_map(|(name, h)| {
+            let path = name.strip_prefix("span.")?;
+            Some((format!("span:{path}"), h.sum as f64 / 1e6))
+        })
+        .collect()
 }
 
 fn main() {
@@ -190,9 +205,9 @@ fn main() {
         geosocial_par::max_threads(),
     );
     let mut timings: Vec<(String, f64)> = Vec::new();
-    let t0 = Instant::now();
+    let mut clock = Stopwatch::start();
     let analysis = Analysis::run(&config, args.seed);
-    let analysis_secs = t0.elapsed().as_secs_f64();
+    let analysis_secs = clock.lap_us() as f64 / 1e6;
     eprintln!("exp analysis took {analysis_secs:.2}s");
     timings.push(("analysis".into(), analysis_secs));
     eprintln!(
@@ -210,7 +225,7 @@ fn main() {
 
     for exp in &args.exps {
         eprintln!("running {exp}...");
-        let t0 = Instant::now();
+        let exp_span = geosocial_obs::span(exp);
         let out: ExperimentOutput = match exp.as_str() {
             "table1" => figures::table1(&analysis),
             "fig1" => figures::fig1(&analysis),
@@ -256,7 +271,7 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        let secs = t0.elapsed().as_secs_f64();
+        let secs = exp_span.stop();
         eprintln!("exp {exp} took {secs:.2}s");
         timings.push((exp.clone(), secs));
         println!("==== {} ====\n{}", out.id, out.text);
@@ -278,14 +293,25 @@ fn main() {
     for (exp, secs) in &timings {
         csv.push_str(&format!("{exp},{secs:.4},{threads},{scale},{git}\n"));
     }
+    // Per-stage breakdown from the span-timer histograms: `span:<path>`
+    // rows carry the accumulated seconds each named stage spent, with
+    // nesting encoded in the dotted path (see EXPERIMENTS.md).
+    let mut spans = span_rows();
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    for (stage, secs) in &spans {
+        csv.push_str(&format!("{stage},{secs:.4},{threads},{scale},{git}\n"));
+    }
     std::fs::write(args.out.join("timings.csv"), csv).expect("write timings.csv");
 
     if args.bench {
         // End-to-end pipeline benchmark: Analysis::run serial vs parallel.
         // The outputs are bit-identical; only the wall clock moves.
-        let wide = args.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        });
+        let host_cpus =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // Default to the host width, never past it: oversubscribing a
+        // 1-CPU host measures scheduler churn, not the pipeline, and the
+        // resulting "speedup" is noise.
+        let wide = args.threads.unwrap_or(host_cpus);
         eprintln!("benchmarking Analysis::run at 1 vs {wide} threads...");
         let serial_secs = time_analysis(&config, args.seed, 1);
         eprintln!("exp analysis[threads=1] took {serial_secs:.2}s");
@@ -293,10 +319,15 @@ fn main() {
         eprintln!("exp analysis[threads={wide}] took {parallel_secs:.2}s");
         geosocial_par::set_max_threads(args.threads.unwrap_or(0));
         let speedup = if parallel_secs > 0.0 { serial_secs / parallel_secs } else { 0.0 };
-        let host_cpus =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let speedup_note = if wide > host_cpus {
+            format!(
+                ",\n  \"speedup_note\": \"{wide} threads oversubscribe {host_cpus} host CPUs; speedup reflects scheduling overhead, not parallel capacity\""
+            )
+        } else {
+            String::new()
+        };
         let json = format!(
-            "{{\n  \"pipeline\": \"Analysis::run\",\n  \"scale\": \"{}\",\n  \"primary_users\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \"threads_serial\": 1,\n  \"threads_parallel\": {},\n  \"seconds_serial\": {:.4},\n  \"seconds_parallel\": {:.4},\n  \"speedup\": {:.2}\n}}\n",
+            "{{\n  \"pipeline\": \"Analysis::run\",\n  \"scale\": \"{}\",\n  \"primary_users\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \"threads_serial\": 1,\n  \"threads_parallel\": {},\n  \"seconds_serial\": {:.4},\n  \"seconds_parallel\": {:.4},\n  \"speedup\": {:.2}{}\n}}\n",
             if args.quick { "quick" } else { "paper" },
             config.primary_users,
             args.seed,
@@ -305,6 +336,7 @@ fn main() {
             serial_secs,
             parallel_secs,
             speedup,
+            speedup_note,
         );
         std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
         eprintln!("speedup {speedup:.2}x; wrote BENCH_pipeline.json");

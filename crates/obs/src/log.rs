@@ -1,0 +1,434 @@
+//! Leveled, thread-safe structured logging.
+//!
+//! One log call produces one line on the sink (stderr by default). Two
+//! formats:
+//!
+//! ```text
+//! 2026-08-06T12:34:56Z INFO serve listening addr=127.0.0.1:7744 shards=4
+//! {"ts":"2026-08-06T12:34:56Z","level":"info","target":"serve","msg":"listening","addr":"127.0.0.1:7744","shards":"4"}
+//! ```
+//!
+//! The level filter comes from `GEOSOCIAL_LOG`, parsed once: either a
+//! bare level (`info`) or a comma list of `target=level` rules with an
+//! optional bare default (`serve=debug,warn`). [`set_level`] overrides it
+//! programmatically (tests, `--verbose` flags).
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The process cannot do what was asked of it.
+    Error = 1,
+    /// Something is off but the process keeps going.
+    Warn = 2,
+    /// Normal operational signposts (default level).
+    Info = 3,
+    /// Detail useful when chasing a problem.
+    Debug = 4,
+    /// Per-event firehose.
+    Trace = 5,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    fn label_lower(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parse a level name; `off` maps to `None` (log nothing).
+    fn parse(s: &str) -> Option<Option<Level>> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+}
+
+/// Output shape of one log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `TIMESTAMP LEVEL target message key=value ...`
+    Text,
+    /// One JSON object per line, kv pairs flattened as string fields.
+    Json,
+}
+
+/// Per-target level rules plus the bare default.
+struct Filter {
+    rules: Vec<(String, Option<Level>)>,
+    default: Option<Level>,
+}
+
+impl Filter {
+    /// `serve=debug,warn` → serve at debug, everything else at warn.
+    fn parse(spec: &str) -> Filter {
+        let mut rules = Vec::new();
+        let mut default = Some(Level::Info);
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                Some((target, level)) => {
+                    if let Some(l) = Level::parse(level) {
+                        rules.push((target.trim().to_string(), l));
+                    }
+                }
+                None => {
+                    if let Some(l) = Level::parse(part) {
+                        default = l;
+                    }
+                }
+            }
+        }
+        Filter { rules, default }
+    }
+
+    fn effective(&self, target: &str) -> Option<Level> {
+        for (t, l) in &self.rules {
+            if t == target {
+                return *l;
+            }
+        }
+        self.default
+    }
+
+    /// The most verbose level any rule admits — the cheap pre-check.
+    fn max_level(&self) -> Option<Level> {
+        self.rules
+            .iter()
+            .map(|(_, l)| *l)
+            .chain(std::iter::once(self.default))
+            .max_by_key(|l| l.map_or(0, |l| l as u8))
+            .flatten()
+    }
+}
+
+fn filter() -> &'static Filter {
+    static FILTER: OnceLock<Filter> = OnceLock::new();
+    FILTER.get_or_init(|| {
+        Filter::parse(&std::env::var("GEOSOCIAL_LOG").unwrap_or_default())
+    })
+}
+
+/// Programmatic level override: 0 = none, u8::MAX = log nothing.
+static LEVEL_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+/// Format: 0 = from env, 1 = text, 2 = json.
+static FORMAT_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Override the `GEOSOCIAL_LOG` filter with one global level; `None`
+/// silences everything.
+pub fn set_level(level: Option<Level>) {
+    LEVEL_OVERRIDE.store(level.map_or(u8::MAX, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Override the `GEOSOCIAL_LOG_FORMAT` line format.
+pub fn set_format(format: Format) {
+    FORMAT_OVERRIDE.store(
+        match format {
+            Format::Text => 1,
+            Format::Json => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+fn current_format() -> Format {
+    match FORMAT_OVERRIDE.load(Ordering::Relaxed) {
+        1 => return Format::Text,
+        2 => return Format::Json,
+        _ => {}
+    }
+    static FROM_ENV: OnceLock<Format> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        match std::env::var("GEOSOCIAL_LOG_FORMAT").as_deref() {
+            Ok("json") | Ok("JSON") => Format::Json,
+            _ => Format::Text,
+        }
+    })
+}
+
+/// Would a record at `level` be emitted for *any* target? The macros call
+/// this before allocating the message.
+pub fn log_enabled(level: Level) -> bool {
+    match LEVEL_OVERRIDE.load(Ordering::Relaxed) {
+        0 => filter().max_level().is_some_and(|max| level <= max),
+        u8::MAX => false,
+        max => level as u8 <= max,
+    }
+}
+
+fn target_enabled(level: Level, target: &str) -> bool {
+    match LEVEL_OVERRIDE.load(Ordering::Relaxed) {
+        0 => filter().effective(target).is_some_and(|max| level <= max),
+        u8::MAX => false,
+        max => level as u8 <= max,
+    }
+}
+
+/// The sink; `None` = stderr.
+fn writer() -> &'static Mutex<Option<Box<dyn Write + Send>>> {
+    static WRITER: OnceLock<Mutex<Option<Box<dyn Write + Send>>>> = OnceLock::new();
+    WRITER.get_or_init(|| Mutex::new(None))
+}
+
+/// Redirect log output (tests, log files); `None` restores stderr.
+pub fn set_writer(w: Option<Box<dyn Write + Send>>) {
+    *writer().lock().unwrap_or_else(|e| e.into_inner()) = w;
+}
+
+/// Render `secs` since the Unix epoch as `YYYY-MM-DDTHH:MM:SSZ`
+/// (Howard Hinnant's civil-from-days algorithm; no external time crate).
+fn format_timestamp(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let tod = secs % 86_400;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+        tod / 3_600,
+        (tod / 60) % 60,
+        tod % 60
+    )
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Emit one record. Prefer the level macros ([`crate::info!`] …), which
+/// check [`log_enabled`] before building `msg` and the kv strings.
+pub fn log_write(level: Level, target: &str, msg: &str, kv: &[(&str, String)]) {
+    if !target_enabled(level, target) {
+        return;
+    }
+    let ts = format_timestamp(
+        SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs()),
+    );
+    let mut line = String::with_capacity(64 + msg.len());
+    match current_format() {
+        Format::Text => {
+            line.push_str(&ts);
+            line.push(' ');
+            line.push_str(level.label());
+            line.push(' ');
+            line.push_str(target);
+            line.push(' ');
+            line.push_str(msg);
+            for (k, v) in kv {
+                line.push(' ');
+                line.push_str(k);
+                line.push('=');
+                // Quote values a field-splitting consumer would mangle.
+                if v.is_empty() || v.contains([' ', '"', '=']) {
+                    line.push('"');
+                    json_escape_into(&mut line, v);
+                    line.push('"');
+                } else {
+                    line.push_str(v);
+                }
+            }
+        }
+        Format::Json => {
+            line.push_str("{\"ts\":\"");
+            line.push_str(&ts);
+            line.push_str("\",\"level\":\"");
+            line.push_str(level.label_lower());
+            line.push_str("\",\"target\":\"");
+            json_escape_into(&mut line, target);
+            line.push_str("\",\"msg\":\"");
+            json_escape_into(&mut line, msg);
+            line.push('"');
+            for (k, v) in kv {
+                line.push_str(",\"");
+                json_escape_into(&mut line, k);
+                line.push_str("\":\"");
+                json_escape_into(&mut line, v);
+                line.push('"');
+            }
+            line.push('}');
+        }
+    }
+    line.push('\n');
+    let mut w = writer().lock().unwrap_or_else(|e| e.into_inner());
+    match w.as_mut() {
+        Some(w) => {
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.flush();
+        }
+        None => {
+            let _ = std::io::stderr().write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Core macro behind the level macros: target, format-literal message
+/// (with optional format args), then optional `; key = value` pairs.
+#[macro_export]
+macro_rules! log_event {
+    ($lvl:expr, $target:expr, $fmt:literal $(, $arg:expr)* $(; $($k:ident = $v:expr),+ $(,)?)?) => {{
+        if $crate::log_enabled($lvl) {
+            $crate::log_write(
+                $lvl,
+                $target,
+                &::std::format!($fmt $(, $arg)*),
+                &[$($((::core::stringify!($k), ::std::format!("{}", $v))),+)?],
+            );
+        }
+    }};
+}
+
+/// Log at [`Level::Error`]: `obs::error!("serve", "bind {addr}: {e}")`.
+#[macro_export]
+macro_rules! error { ($($t:tt)*) => { $crate::log_event!($crate::Level::Error, $($t)*) } }
+/// Log at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn { ($($t:tt)*) => { $crate::log_event!($crate::Level::Warn, $($t)*) } }
+/// Log at [`Level::Info`]: `obs::info!("serve", "listening"; addr = a, shards = n)`.
+#[macro_export]
+macro_rules! info { ($($t:tt)*) => { $crate::log_event!($crate::Level::Info, $($t)*) } }
+/// Log at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug { ($($t:tt)*) => { $crate::log_event!($crate::Level::Debug, $($t)*) } }
+/// Log at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace { ($($t:tt)*) => { $crate::log_event!($crate::Level::Trace, $($t)*) } }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A sink tests can read back.
+    #[derive(Clone)]
+    struct Sink(Arc<Mutex<Vec<u8>>>);
+    impl Write for Sink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Logger globals are process-wide; serialize the tests that touch
+    /// them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn captured(format: Format, f: impl FnOnce()) -> String {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        set_writer(Some(Box::new(Sink(Arc::clone(&buf)))));
+        set_format(format);
+        set_level(Some(Level::Debug));
+        f();
+        set_writer(None);
+        set_level(None);
+        set_level(Some(Level::Info));
+        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        out
+    }
+
+    #[test]
+    fn text_line_carries_level_target_message_and_kv() {
+        let out = captured(Format::Text, || {
+            crate::info!("serve", "listening"; addr = "127.0.0.1:7744", shards = 4);
+        });
+        assert!(out.contains(" INFO serve listening addr=127.0.0.1:7744 shards=4\n"), "{out}");
+        assert!(out.starts_with("20"), "timestamp first: {out}");
+    }
+
+    #[test]
+    fn json_line_is_flat_and_escaped() {
+        let out = captured(Format::Json, || {
+            crate::warn!("loadgen", "bad \"value\""; reason = "a b");
+        });
+        assert!(out.contains("\"level\":\"warn\""), "{out}");
+        assert!(out.contains("\"msg\":\"bad \\\"value\\\"\""), "{out}");
+        assert!(out.contains("\"reason\":\"a b\""), "{out}");
+        assert!(out.ends_with("}\n"), "{out}");
+    }
+
+    #[test]
+    fn level_filter_suppresses_below_threshold() {
+        let out = captured(Format::Text, || {
+            set_level(Some(Level::Warn));
+            crate::info!("serve", "not this one");
+            crate::error!("serve", "but this one");
+        });
+        assert!(!out.contains("not this one"), "{out}");
+        assert!(out.contains("but this one"), "{out}");
+    }
+
+    #[test]
+    fn format_args_and_quoting() {
+        let out = captured(Format::Text, || {
+            let n = 3;
+            crate::debug!("par", "ran {} workers", n; note = "has spaces");
+        });
+        assert!(out.contains("ran 3 workers note=\"has spaces\""), "{out}");
+    }
+
+    #[test]
+    fn filter_spec_parses_targets_and_default() {
+        let f = Filter::parse("serve=debug,warn");
+        assert_eq!(f.effective("serve"), Some(Level::Debug));
+        assert_eq!(f.effective("par"), Some(Level::Warn));
+        assert_eq!(f.max_level(), Some(Level::Debug));
+        let off = Filter::parse("off");
+        assert_eq!(off.effective("anything"), None);
+        assert_eq!(off.max_level(), None);
+    }
+
+    #[test]
+    fn timestamps_are_civil() {
+        assert_eq!(format_timestamp(0), "1970-01-01T00:00:00Z");
+        // 2026-08-06T00:00:00Z
+        assert_eq!(format_timestamp(1_786_320_000), "2026-08-10T00:00:00Z");
+        assert_eq!(format_timestamp(951_827_696), "2000-02-29T12:34:56Z");
+    }
+}

@@ -1,0 +1,402 @@
+//! The global metrics registry: lock-free atomic counters, gauges and
+//! log₂-bucketed histograms.
+//!
+//! Registration ([`counter`], [`gauge`], [`histogram`]) takes the
+//! registry mutex once and returns an `Arc` handle; call sites cache the
+//! handle (typically in a `OnceLock`) so the hot path is a single relaxed
+//! atomic op. Names are dotted paths (`serve.shard.0.verdicts`); the
+//! exposition sorts them, so related series group naturally.
+//!
+//! # Exposition format
+//!
+//! [`render_text`] emits one line per instrument:
+//!
+//! ```text
+//! # geosocial-obs exposition v1
+//! counter serve.events.gps 182520
+//! gauge serve.shard.0.queue 17
+//! histogram serve.latency_us.gps count=182520 sum=912600 p50=7 p95=15 p99=63 buckets=3:812,7:90100,...
+//! ```
+//!
+//! Histogram buckets are log₂: bucket `i` counts values in
+//! `[2^(i-1), 2^i - 1]` (bucket 0 counts zeros) and is printed as
+//! `<upper-bound>:<count>`, empty buckets omitted. Quantiles are bucket
+//! upper bounds, i.e. exact to within the 2× bucket resolution.
+//!
+//! With the `noop` feature every mutating operation compiles to nothing
+//! and the exposition is empty — the build `scripts/bench_obs.sh`
+//! benchmarks against.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "noop"))]
+        self.0.fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "noop")]
+        let _ = n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that goes up and down (queue depths, buffered state).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        #[cfg(not(feature = "noop"))]
+        self.0.store(v, Ordering::Relaxed);
+        #[cfg(feature = "noop")]
+        let _ = v;
+    }
+
+    /// Add `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        #[cfg(not(feature = "noop"))]
+        self.0.fetch_add(d, Ordering::Relaxed);
+        #[cfg(feature = "noop")]
+        let _ = d;
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count: zeros, then one bucket per power of two up to `u64::MAX`.
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples (typically microseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Bucket index of a sample: 0 for 0, else `floor(log2(v)) + 1`.
+#[cfg_attr(feature = "noop", allow(dead_code))]
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        #[cfg(not(feature = "noop"))]
+        {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        }
+        #[cfg(feature = "noop")]
+        let _ = v;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy for exposition (buckets are read without
+    /// a global lock; concurrent observes may straddle the read).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = Vec::new();
+        for i in 0..BUCKETS {
+            let c = self.buckets[i].load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((bucket_upper(i), c));
+            }
+        }
+        HistSnapshot { count: self.count(), sum: self.sum(), buckets }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, Default)]
+pub struct HistSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// `(inclusive upper bound, count)` for every non-empty bucket,
+    /// ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate: the upper bound of the bucket where the
+    /// cumulative count reaches `q` (exact to the 2× bucket resolution).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for &(ub, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return ub;
+            }
+        }
+        self.buckets.last().map_or(0, |&(ub, _)| ub)
+    }
+}
+
+/// All registered instruments.
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// The counter named `name`, registering it on first use.
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut map = registry().counters.lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(map.entry(name.to_string()).or_default())
+}
+
+/// The gauge named `name`, registering it on first use.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut map = registry().gauges.lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(map.entry(name.to_string()).or_default())
+}
+
+/// The histogram named `name`, registering it on first use.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut map = registry().histograms.lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(map.entry(name.to_string()).or_default())
+}
+
+/// Point-in-time copy of the whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+/// Snapshot every registered instrument.
+pub fn snapshot() -> Snapshot {
+    let r = registry();
+    let counters = r
+        .counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), v.get()))
+        .collect();
+    let gauges = r
+        .gauges
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), v.get()))
+        .collect();
+    let histograms = r
+        .histograms
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), v.snapshot()))
+        .collect();
+    Snapshot { counters, gauges, histograms }
+}
+
+/// Render the registry in the line-oriented text exposition format (see
+/// the module docs for the grammar).
+pub fn render_text() -> String {
+    let snap = snapshot();
+    let mut out = String::from("# geosocial-obs exposition v1\n");
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("counter {name} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!("gauge {name} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!(
+            "histogram {name} count={} sum={} p50={} p95={} p99={} buckets=",
+            h.count,
+            h.sum,
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+        ));
+        for (i, (ub, c)) in h.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{ub}:{c}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[cfg(not(feature = "noop"))]
+    #[test]
+    fn histogram_quantiles_are_bucket_bounds() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 2, 3, 5, 100, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 1112);
+        // p50: 4th sample cumulatively lands in the [2,3] bucket.
+        assert_eq!(s.quantile(0.50), 3);
+        assert_eq!(s.quantile(1.0), 1023);
+        assert_eq!(s.quantile(0.0), 0);
+        assert!((s.mean() - 139.0).abs() < 1.0);
+    }
+
+    #[cfg(not(feature = "noop"))]
+    #[test]
+    fn registry_returns_shared_handles_and_renders() {
+        let c = counter("test.metrics.shared");
+        let c2 = counter("test.metrics.shared");
+        c.add(5);
+        c2.inc();
+        assert_eq!(c.get(), 6);
+
+        let g = gauge("test.metrics.gauge");
+        g.set(7);
+        g.dec();
+        assert_eq!(g.get(), 6);
+
+        let h = histogram("test.metrics.hist");
+        h.observe(9);
+
+        let text = render_text();
+        assert!(text.starts_with("# geosocial-obs exposition v1\n"), "{text}");
+        assert!(text.contains("counter test.metrics.shared 6\n"), "{text}");
+        assert!(text.contains("gauge test.metrics.gauge 6\n"), "{text}");
+        assert!(text.contains("histogram test.metrics.hist count=1 sum=9"), "{text}");
+        assert!(text.contains("buckets=15:1"), "{text}");
+
+        let snap = snapshot();
+        assert_eq!(snap.counters["test.metrics.shared"], 6);
+        assert_eq!(snap.histograms["test.metrics.hist"].count, 1);
+    }
+
+    #[cfg(feature = "noop")]
+    #[test]
+    fn noop_feature_disables_mutation() {
+        let c = counter("test.noop.counter");
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let h = histogram("test.noop.hist");
+        h.observe(9);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let s = HistSnapshot::default();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

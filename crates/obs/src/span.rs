@@ -1,0 +1,200 @@
+//! RAII span timers feeding the metrics registry.
+//!
+//! [`span("match_checkins")`](span) starts a timer; dropping the guard
+//! (or calling [`Span::stop`]) records the elapsed microseconds into the
+//! histogram `span.<path>`. Spans opened while another span is live **on
+//! the same thread** nest: the inner path is prefixed with the outer one
+//! (`span.analysis.matching`), so the exposition reads as a per-stage
+//! timing tree. Worker threads start with an empty stack — their spans
+//! root their own tree, which keeps parallel sections honest.
+//!
+//! Under the `noop` feature a span neither reads the clock nor touches
+//! the registry.
+
+use std::cell::RefCell;
+#[cfg(not(feature = "noop"))]
+use std::time::Instant;
+
+#[cfg(not(feature = "noop"))]
+use crate::metrics::histogram;
+
+thread_local! {
+    /// Dotted path of the spans currently open on this thread.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A live span; records on drop. See the module docs.
+#[derive(Debug)]
+pub struct Span {
+    #[cfg(not(feature = "noop"))]
+    path: String,
+    #[cfg(not(feature = "noop"))]
+    start: Instant,
+    #[cfg(not(feature = "noop"))]
+    recorded: bool,
+}
+
+/// Open a span named `name`, nested under any span already open on this
+/// thread.
+pub fn span(name: &str) -> Span {
+    #[cfg(not(feature = "noop"))]
+    {
+        let path = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let path = match s.last() {
+                Some(parent) => format!("{parent}.{name}"),
+                None => name.to_string(),
+            };
+            s.push(path.clone());
+            path
+        });
+        Span { path, start: Instant::now(), recorded: false }
+    }
+    #[cfg(feature = "noop")]
+    {
+        let _ = name;
+        Span {}
+    }
+}
+
+/// Macro form, mirroring the function: `let _guard = obs::span!("stage");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+impl Span {
+    /// Close the span now and return the elapsed seconds (0 under
+    /// `noop`). Useful when the caller also wants the duration.
+    pub fn stop(mut self) -> f64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> f64 {
+        #[cfg(not(feature = "noop"))]
+        {
+            if self.recorded {
+                return 0.0;
+            }
+            self.recorded = true;
+            let elapsed = self.start.elapsed();
+            histogram(&format!("span.{}", self.path))
+                .observe(elapsed.as_micros() as u64);
+            STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                debug_assert_eq!(s.last(), Some(&self.path), "span stack discipline");
+                s.pop();
+            });
+            elapsed.as_secs_f64()
+        }
+        #[cfg(feature = "noop")]
+        0.0
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// A start-or-lap timer that disappears under `noop` — the primitive for
+/// instrumenting per-item costs in tight loops (see `geosocial-par`).
+#[derive(Debug)]
+pub struct Stopwatch {
+    #[cfg(not(feature = "noop"))]
+    start: Instant,
+    #[cfg(not(feature = "noop"))]
+    last: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        #[cfg(not(feature = "noop"))]
+        {
+            let now = Instant::now();
+            Stopwatch { start: now, last: now }
+        }
+        #[cfg(feature = "noop")]
+        Stopwatch {}
+    }
+
+    /// Microseconds since the previous lap (or start), and begin the next
+    /// lap. One clock read per call.
+    pub fn lap_us(&mut self) -> u64 {
+        #[cfg(not(feature = "noop"))]
+        {
+            let now = Instant::now();
+            let us = now.duration_since(self.last).as_micros() as u64;
+            self.last = now;
+            us
+        }
+        #[cfg(feature = "noop")]
+        0
+    }
+
+    /// Microseconds since start.
+    pub fn elapsed_us(&self) -> u64 {
+        #[cfg(not(feature = "noop"))]
+        {
+            self.start.elapsed().as_micros() as u64
+        }
+        #[cfg(feature = "noop")]
+        0
+    }
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+    use crate::metrics::snapshot;
+
+    #[test]
+    fn spans_nest_into_dotted_paths() {
+        {
+            let _outer = span("test_span_outer");
+            let inner = span("inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let secs = inner.stop();
+            assert!(secs > 0.0);
+        }
+        let snap = snapshot();
+        let outer = &snap.histograms["span.test_span_outer"];
+        let inner = &snap.histograms["span.test_span_outer.inner"];
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.sum >= inner.sum, "outer contains inner");
+    }
+
+    #[test]
+    fn sibling_spans_share_the_parent_prefix() {
+        {
+            let _p = span!("test_span_parent");
+            drop(span!("a"));
+            drop(span!("b"));
+        }
+        let snap = snapshot();
+        assert!(snap.histograms.contains_key("span.test_span_parent.a"));
+        assert!(snap.histograms.contains_key("span.test_span_parent.b"));
+    }
+
+    #[test]
+    fn stop_then_drop_records_once() {
+        let s = span("test_span_once");
+        s.stop();
+        let snap = snapshot();
+        assert_eq!(snap.histograms["span.test_span_once"].count, 1);
+    }
+
+    #[test]
+    fn stopwatch_laps_are_monotone() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let lap = sw.lap_us();
+        assert!(lap >= 1_000, "lap {lap}");
+        assert!(sw.elapsed_us() >= lap);
+    }
+}

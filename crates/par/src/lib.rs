@@ -27,8 +27,50 @@
 
 #![warn(missing_docs)]
 
+use geosocial_obs::Stopwatch;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+
+/// Cached handles to the executor's exported metrics. Series are
+/// process-global: every `par_map`/`par_reduce` call in the process feeds
+/// the same counters.
+mod metrics {
+    use geosocial_obs::{counter, gauge, histogram, Counter, Gauge, Histogram};
+    use std::sync::{Arc, OnceLock};
+
+    /// Items executed by [`crate::par_map`]/[`crate::par_map_indexed`]
+    /// (serial and parallel paths alike).
+    pub(crate) fn tasks() -> &'static Counter {
+        static H: OnceLock<Arc<Counter>> = OnceLock::new();
+        H.get_or_init(|| counter("par.tasks"))
+    }
+
+    /// Per-item execution time (µs) on the parallel map path.
+    pub(crate) fn task_us() -> &'static Histogram {
+        static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+        H.get_or_init(|| histogram("par.task_us"))
+    }
+
+    /// Per-chunk fold time (µs) on the parallel reduce path.
+    pub(crate) fn chunk_us() -> &'static Histogram {
+        static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+        H.get_or_init(|| histogram("par.chunk_us"))
+    }
+
+    /// Cumulative busy time (µs) across all workers of all parallel calls.
+    pub(crate) fn worker_busy_us() -> &'static Counter {
+        static H: OnceLock<Arc<Counter>> = OnceLock::new();
+        H.get_or_init(|| counter("par.worker_busy_us"))
+    }
+
+    /// Worker utilization of the most recent parallel call:
+    /// `100 × Σ busy / (wall × threads)`. 100 means every worker was
+    /// executing items for the whole call.
+    pub(crate) fn utilization_pct() -> &'static Gauge {
+        static H: OnceLock<Arc<Gauge>> = OnceLock::new();
+        H.get_or_init(|| gauge("par.utilization_pct"))
+    }
+}
 
 /// Programmatic thread-count override; 0 = not set.
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -81,28 +123,48 @@ where
 {
     let n = items.len();
     let threads = max_threads().min(n);
+    metrics::tasks().add(n as u64);
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
 
+    let wall = Stopwatch::start();
     let cursor = AtomicUsize::new(0);
     let mut per_worker: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     let mut local = Vec::new();
+                    let mut clock = Stopwatch::start();
+                    let mut busy = 0u64;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
+                        clock.lap_us();
                         local.push((i, f(i, &items[i])));
+                        let us = clock.lap_us();
+                        metrics::task_us().observe(us);
+                        busy += us;
                     }
-                    local
+                    metrics::worker_busy_us().add(busy);
+                    (local, busy)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        let mut total_busy = 0u64;
+        let locals = handles
+            .into_iter()
+            .map(|h| {
+                let (local, busy) = h.join().expect("worker panicked");
+                total_busy += busy;
+                local
+            })
+            .collect();
+        let wall_us = wall.elapsed_us().max(1);
+        metrics::utilization_pct().set((total_busy * 100 / (wall_us * threads as u64)) as i64);
+        locals
     });
 
     // Reassemble in input order.
@@ -139,13 +201,16 @@ where
     let n_chunks = n.div_ceil(chunk);
     let threads = max_threads().min(n_chunks);
 
+    metrics::tasks().add(n as u64);
     let fold_chunk = |ci: usize| {
+        let mut clock = Stopwatch::start();
         let lo = ci * chunk;
         let hi = (lo + chunk).min(n);
         let mut acc = identity();
         for i in lo..hi {
             acc = fold(acc, i, &items[i]);
         }
+        metrics::chunk_us().observe(clock.lap_us());
         acc
     };
 

@@ -94,7 +94,8 @@ fn main() {
     let cli = match parse_args() {
         Ok(cli) => cli,
         Err(e) => {
-            eprintln!("geosocial-loadgen: {e}\n{USAGE}");
+            geosocial_obs::error!("loadgen", "{e}");
+            eprintln!("{USAGE}");
             exit(2);
         }
     };
@@ -104,11 +105,11 @@ fn main() {
         match spawn(config, "127.0.0.1:0") {
             Ok(h) => {
                 let addr = h.addr();
-                eprintln!("geosocial-loadgen: spawned server on {addr} ({} shards)", cli.shards);
+                geosocial_obs::info!("loadgen", "spawned server"; addr = addr, shards = cli.shards);
                 (addr, Some(h))
             }
             Err(e) => {
-                eprintln!("geosocial-loadgen: spawn server: {e}");
+                geosocial_obs::error!("loadgen", "spawn server: {e}");
                 exit(1);
             }
         }
@@ -116,7 +117,7 @@ fn main() {
         match cli.addr.parse() {
             Ok(a) => (a, None),
             Err(e) => {
-                eprintln!("geosocial-loadgen: --addr {}: {e}", cli.addr);
+                geosocial_obs::error!("loadgen", "bad --addr: {e}"; addr = cli.addr);
                 exit(2);
             }
         }
@@ -125,19 +126,19 @@ fn main() {
     let report = match run(addr, &cli.load) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("geosocial-loadgen: replay: {e}");
+            geosocial_obs::error!("loadgen", "replay: {e}");
             exit(1);
         }
     };
 
     if cli.shutdown || cli.spawn {
         if let Err(e) = shutdown_server(addr) {
-            eprintln!("geosocial-loadgen: shutdown: {e}");
+            geosocial_obs::warn!("loadgen", "shutdown: {e}");
         }
         if let Some(h) = handle {
             match h.join() {
                 Ok(_) => {}
-                Err(e) => eprintln!("geosocial-loadgen: server join: {e}"),
+                Err(e) => geosocial_obs::warn!("loadgen", "server join: {e}"),
             }
         }
     }
@@ -145,12 +146,12 @@ fn main() {
     let json = match serde_json::to_string_pretty(&report) {
         Ok(j) => j,
         Err(e) => {
-            eprintln!("geosocial-loadgen: encode report: {e:?}");
+            geosocial_obs::error!("loadgen", "encode report: {e:?}");
             exit(1);
         }
     };
     if let Err(e) = std::fs::write(&cli.out, format!("{json}\n")) {
-        eprintln!("geosocial-loadgen: write {}: {e}", cli.out);
+        geosocial_obs::error!("loadgen", "write report: {e}"; path = cli.out);
         exit(1);
     }
 
@@ -175,9 +176,10 @@ fn main() {
     match report.verified {
         Some(true) => println!("verify: served compositions match the batch pipeline"),
         Some(false) => {
-            eprintln!("verify: MISMATCH against the batch pipeline:");
+            geosocial_obs::error!("loadgen", "verify MISMATCH against the batch pipeline";
+                mismatches = report.mismatches.len());
             for m in report.mismatches.iter().take(20) {
-                eprintln!("  {m}");
+                geosocial_obs::error!("loadgen", "{m}");
             }
             exit(1);
         }

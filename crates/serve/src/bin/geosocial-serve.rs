@@ -3,8 +3,12 @@
 //! Binds a TCP listener and audits streamed GPS fixes and checkins with
 //! the paper's α/β thresholds, sharding per-user state across worker
 //! threads. Stop it with a `Shutdown` request (e.g. via
-//! `geosocial-loadgen`); the final per-shard counters are dumped to stderr
+//! `geosocial-loadgen`); the final per-shard counters are logged to stderr
 //! on the way out.
+//!
+//! Diagnostics go through the `geosocial-obs` structured logger — set
+//! `GEOSOCIAL_LOG` to filter (e.g. `GEOSOCIAL_LOG=debug`, `=off`) and
+//! `GEOSOCIAL_LOG_FORMAT=json` for JSON lines.
 
 use geosocial_serve::server::{run_with, ServerConfig};
 use std::net::TcpListener;
@@ -17,11 +21,20 @@ usage: geosocial-serve [options]
   --alpha METERS     matching distance threshold (default 500)
   --beta SECONDS     matching time threshold (default 1800)
   --lateness SECONDS allowed event-time lateness (default 0 = in-order)
+  --metrics-every S  write the metrics exposition to stderr every S seconds
+                     (default off; GEOSOCIAL_METRICS_EVERY env var also works)
   --help             print this message";
 
 fn parse_args() -> Result<(String, ServerConfig), String> {
     let mut addr = "127.0.0.1:7744".to_string();
     let mut config = ServerConfig::default();
+    if let Ok(var) = std::env::var("GEOSOCIAL_METRICS_EVERY") {
+        if let Ok(s) = var.trim().parse::<u64>() {
+            if s > 0 {
+                config.metrics_every_s = Some(s);
+            }
+        }
+    }
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -49,6 +62,12 @@ fn parse_args() -> Result<(String, ServerConfig), String> {
                     .parse()
                     .map_err(|e| format!("--lateness: {e}"))?;
             }
+            "--metrics-every" => {
+                let s: u64 = value("--metrics-every")?
+                    .parse()
+                    .map_err(|e| format!("--metrics-every: {e}"))?;
+                config.metrics_every_s = (s > 0).then_some(s);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -63,26 +82,29 @@ fn main() {
     let (addr, config) = match parse_args() {
         Ok(parsed) => parsed,
         Err(e) => {
-            eprintln!("geosocial-serve: {e}\n{USAGE}");
+            geosocial_obs::error!("serve", "{e}");
+            eprintln!("{USAGE}");
             exit(2);
         }
     };
     let listener = match TcpListener::bind(&addr) {
         Ok(l) => l,
         Err(e) => {
-            eprintln!("geosocial-serve: bind {addr}: {e}");
+            geosocial_obs::error!("serve", "bind failed: {e}"; addr = addr);
             exit(1);
         }
     };
     match listener.local_addr() {
-        Ok(local) => eprintln!(
-            "geosocial-serve: listening on {local} with {} shards (α={} m, β={} s)",
-            config.shards, config.match_config.alpha_m, config.match_config.beta_s
+        Ok(local) => geosocial_obs::info!("serve", "listening";
+            addr = local,
+            shards = config.shards,
+            alpha_m = config.match_config.alpha_m,
+            beta_s = config.match_config.beta_s,
         ),
-        Err(e) => eprintln!("geosocial-serve: local_addr: {e}"),
+        Err(e) => geosocial_obs::warn!("serve", "local_addr: {e}"),
     }
     if let Err(e) = run_with(listener, config) {
-        eprintln!("geosocial-serve: {e}");
+        geosocial_obs::error!("serve", "serve failed: {e}");
         exit(1);
     }
 }

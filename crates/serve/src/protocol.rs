@@ -62,6 +62,11 @@ pub enum Request {
     },
     /// Query server-wide counters and the aggregate composition.
     Stats,
+    /// Scrape the observability registry: answered with the plain-text
+    /// metrics exposition (see the README's Observability section for the
+    /// format). Served by the connection handler directly — it never
+    /// touches the shard workers, so it stays cheap mid-replay.
+    Metrics,
     /// End of stream: finalize every pending verdict on every shard.
     /// Ingesting after `Finish` is an error.
     Finish,
@@ -89,6 +94,11 @@ pub enum Response {
     Stats {
         /// Server-wide counters.
         stats: ServerStats,
+    },
+    /// Answer to [`Request::Metrics`]: the metrics exposition text.
+    Metrics {
+        /// `geosocial-obs exposition v1` text, one series per line.
+        text: String,
     },
     /// The request could not be served.
     Error {
@@ -207,6 +217,10 @@ mod tests {
         }
         match roundtrip(Request::Stats) {
             Request::Stats => {}
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+        match roundtrip(Request::Metrics) {
+            Request::Metrics => {}
             other => panic!("bad roundtrip: {other:?}"),
         }
         match roundtrip(Request::Hello { origin_lat: 1.5, origin_lon: -2.5 }) {

@@ -23,6 +23,7 @@
 use geosocial_core::classify::ClassifyConfig;
 use geosocial_core::matching::MatchConfig;
 use geosocial_geo::LatLon;
+use geosocial_obs::{counter, gauge, Counter, Gauge, Stopwatch};
 use geosocial_stream::{AuditConfig, OnlineAuditor, StreamComposition};
 use geosocial_trace::{Checkin, GpsPoint, PoiCategory, UserId, VisitConfig};
 use std::collections::HashMap;
@@ -33,6 +34,82 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 use crate::protocol::{read_msg, write_msg, Request, Response, ServerStats, ShardStats};
+
+/// Cached handles to the serving layer's fixed-name metric series.
+/// Per-shard series (`serve.shard.N.*`) are indexed by shard count and
+/// live in [`ShardMetrics`] instead.
+mod metrics {
+    use geosocial_obs::{counter, histogram, Counter, Histogram};
+    use std::sync::{Arc, OnceLock};
+
+    macro_rules! cached {
+        ($fn_name:ident, $ctor:ident, $ty:ty, $name:literal) => {
+            pub(super) fn $fn_name() -> &'static $ty {
+                static H: OnceLock<Arc<$ty>> = OnceLock::new();
+                H.get_or_init(|| $ctor($name))
+            }
+        };
+    }
+
+    cached!(events_gps, counter, Counter, "serve.events.gps");
+    cached!(events_checkin, counter, Counter, "serve.events.checkin");
+    cached!(queries, counter, Counter, "serve.queries");
+    cached!(verdicts, counter, Counter, "serve.verdicts");
+    cached!(latency_hello, histogram, Histogram, "serve.latency_us.hello");
+    cached!(latency_gps, histogram, Histogram, "serve.latency_us.gps");
+    cached!(latency_checkin, histogram, Histogram, "serve.latency_us.checkin");
+    cached!(latency_user, histogram, Histogram, "serve.latency_us.user");
+    cached!(latency_stats, histogram, Histogram, "serve.latency_us.stats");
+    cached!(latency_finish, histogram, Histogram, "serve.latency_us.finish");
+    cached!(latency_metrics, histogram, Histogram, "serve.latency_us.metrics");
+}
+
+/// One shard's exported series. Created once per worker; the queue gauge
+/// is shared with every connection handler (inc on send, dec on receive).
+struct ShardMetrics {
+    queue: Arc<Gauge>,
+    users: Arc<Gauge>,
+    late_dropped: Arc<Gauge>,
+    forced: Arc<Gauge>,
+    verdicts: Arc<Counter>,
+}
+
+impl ShardMetrics {
+    fn new(shard: usize) -> Self {
+        Self {
+            queue: queue_gauge(shard),
+            users: gauge(&format!("serve.shard.{shard}.users")),
+            late_dropped: gauge(&format!("serve.shard.{shard}.late_dropped")),
+            forced: gauge(&format!("serve.shard.{shard}.forced")),
+            verdicts: counter(&format!("serve.shard.{shard}.verdicts")),
+        }
+    }
+
+    /// Refresh the composition-derived gauges from the live user map.
+    /// O(users), so the worker calls it amortized (every
+    /// [`GAUGE_REFRESH_EVERY`] ingests) and on `Stats`/`Finish`.
+    fn refresh(&self, users: &HashMap<UserId, OnlineAuditor>) {
+        self.users.set(users.len() as i64);
+        let mut late = 0i64;
+        let mut forced = 0i64;
+        for a in users.values() {
+            let c = a.composition();
+            late += c.late_dropped as i64;
+            forced += c.forced as i64;
+        }
+        self.late_dropped.set(late);
+        self.forced.set(forced);
+    }
+}
+
+/// Ingests between composition-gauge refreshes on a shard.
+const GAUGE_REFRESH_EVERY: usize = 256;
+
+/// The shard's request-queue depth gauge — the one shard series handlers
+/// also touch, so it goes through the registry (same name → same handle).
+fn queue_gauge(shard: usize) -> Arc<Gauge> {
+    gauge(&format!("serve.shard.{shard}.queue"))
+}
 
 /// Server-side knobs: shard count plus the audit thresholds applied to
 /// every user (the projection origin arrives with the client `Hello`).
@@ -52,6 +129,9 @@ pub struct ServerConfig {
     pub classify: ClassifyConfig,
     /// Stay-point detection rules.
     pub visit: VisitConfig,
+    /// When set, a background thread writes the metrics exposition text to
+    /// stderr every this many seconds until shutdown.
+    pub metrics_every_s: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +145,7 @@ impl Default for ServerConfig {
             match_config: template.match_config,
             classify: template.classify,
             visit: template.visit,
+            metrics_every_s: None,
         }
     }
 }
@@ -114,8 +195,21 @@ fn shard_worker(shard: usize, config: Arc<ServerConfig>, rx: mpsc::Receiver<Shar
     let mut users: HashMap<UserId, OnlineAuditor> = HashMap::new();
     let mut stats = ShardStats { shard, ..Default::default() };
     let mut finished = false;
+    let shard_metrics = ShardMetrics::new(shard);
+    let mut since_refresh = 0usize;
 
     while let Ok(ShardMsg { cmd, reply }) = rx.recv() {
+        shard_metrics.queue.dec();
+        if matches!(cmd, ShardCmd::Gps { .. } | ShardCmd::Checkin { .. }) {
+            since_refresh += 1;
+            if since_refresh >= GAUGE_REFRESH_EVERY {
+                since_refresh = 0;
+                shard_metrics.refresh(&users);
+            }
+        } else if matches!(cmd, ShardCmd::Stats) {
+            shard_metrics.refresh(&users);
+        }
+        let was_finish = matches!(cmd, ShardCmd::Finish);
         let resp = match cmd {
             ShardCmd::SetOrigin { origin } => match &audit {
                 Some(a) if a.origin.lat.to_bits() != origin.lat.to_bits()
@@ -143,8 +237,11 @@ fn shard_worker(shard: usize, config: Arc<ServerConfig>, rx: mpsc::Receiver<Shar
                         .or_insert_with(|| OnlineAuditor::new(user, a.clone()));
                     auditor.push_gps(point);
                     stats.gps_events += 1;
+                    metrics::events_gps().inc();
                     let verdicts: Vec<_> = auditor.drain_verdicts().collect();
                     stats.verdicts += verdicts.len();
+                    metrics::verdicts().add(verdicts.len() as u64);
+                    shard_metrics.verdicts.add(verdicts.len() as u64);
                     Response::Verdicts { verdicts }
                 }
             },
@@ -157,8 +254,11 @@ fn shard_worker(shard: usize, config: Arc<ServerConfig>, rx: mpsc::Receiver<Shar
                         .or_insert_with(|| OnlineAuditor::new(user, a.clone()));
                     auditor.push_checkin(checkin);
                     stats.checkin_events += 1;
+                    metrics::events_checkin().inc();
                     let verdicts: Vec<_> = auditor.drain_verdicts().collect();
                     stats.verdicts += verdicts.len();
+                    metrics::verdicts().add(verdicts.len() as u64);
+                    shard_metrics.verdicts.add(verdicts.len() as u64);
                     Response::Verdicts { verdicts }
                 }
             },
@@ -189,9 +289,15 @@ fn shard_worker(shard: usize, config: Arc<ServerConfig>, rx: mpsc::Receiver<Shar
                     verdicts.extend(a.drain_verdicts());
                 }
                 stats.verdicts += verdicts.len();
+                metrics::verdicts().add(verdicts.len() as u64);
+                shard_metrics.verdicts.add(verdicts.len() as u64);
                 Response::Verdicts { verdicts }
             }
         };
+        if was_finish {
+            // Finalization just changed every composition; re-export.
+            shard_metrics.refresh(&users);
+        }
         // A dropped reply receiver means the connection died; keep serving.
         let _ = reply.send(resp);
     }
@@ -212,6 +318,7 @@ fn handle_conn(
     shutdown: Arc<AtomicBool>,
     self_addr: SocketAddr,
     queries: Arc<AtomicUsize>,
+    queues: Arc<Vec<Arc<Gauge>>>,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -220,20 +327,34 @@ fn handle_conn(
     let n = shards.len();
 
     let route = |shards: &[mpsc::Sender<ShardMsg>], user: UserId, cmd: ShardCmd| {
-        let tx = &shards[shard_of(user, shards.len())];
-        tx.send(ShardMsg { cmd, reply: reply_tx.clone() }).is_ok()
+        let shard = shard_of(user, shards.len());
+        queues[shard].inc();
+        shards[shard].send(ShardMsg { cmd, reply: reply_tx.clone() }).is_ok()
+    };
+    let broadcast = |shards: &[mpsc::Sender<ShardMsg>], mk: &dyn Fn() -> ShardCmd| {
+        for (shard, tx) in shards.iter().enumerate() {
+            queues[shard].inc();
+            let _ = tx.send(ShardMsg { cmd: mk(), reply: reply_tx.clone() });
+        }
     };
 
     while let Some(req) = read_msg::<Request, _>(&mut reader)? {
+        // Timed from post-decode to response-ready: routing + shard work,
+        // excluding socket read/write.
+        let mut clock = Stopwatch::start();
+        let latency = match req {
+            Request::Hello { .. } => metrics::latency_hello(),
+            Request::Gps { .. } => metrics::latency_gps(),
+            Request::Checkin { .. } => metrics::latency_checkin(),
+            Request::User { .. } => metrics::latency_user(),
+            Request::Stats => metrics::latency_stats(),
+            Request::Metrics => metrics::latency_metrics(),
+            Request::Finish | Request::Shutdown => metrics::latency_finish(),
+        };
         let resp = match req {
             Request::Hello { origin_lat, origin_lon } => {
                 let origin = LatLon::new(origin_lat, origin_lon);
-                for tx in &shards {
-                    let _ = tx.send(ShardMsg {
-                        cmd: ShardCmd::SetOrigin { origin },
-                        reply: reply_tx.clone(),
-                    });
-                }
+                broadcast(&shards, &|| ShardCmd::SetOrigin { origin });
                 merge_broadcast(&reply_rx, n)
             }
             Request::Gps { user, t, lat, lon } => {
@@ -262,6 +383,7 @@ fn handle_conn(
             }
             Request::User { user } => {
                 queries.fetch_add(1, Ordering::Relaxed);
+                metrics::queries().inc();
                 if route(&shards, user, ShardCmd::Query { user }) {
                     reply_rx.recv().unwrap_or_else(|_| shard_gone())
                 } else {
@@ -270,17 +392,19 @@ fn handle_conn(
             }
             Request::Stats => {
                 queries.fetch_add(1, Ordering::Relaxed);
-                for tx in &shards {
-                    let _ = tx
-                        .send(ShardMsg { cmd: ShardCmd::Stats, reply: reply_tx.clone() });
-                }
+                metrics::queries().inc();
+                broadcast(&shards, &|| ShardCmd::Stats);
                 merge_broadcast(&reply_rx, n)
             }
+            Request::Metrics => {
+                // Served here, never routed: a scrape must stay cheap and
+                // answerable even while every shard queue is deep.
+                queries.fetch_add(1, Ordering::Relaxed);
+                metrics::queries().inc();
+                Response::Metrics { text: geosocial_obs::render_text() }
+            }
             Request::Finish => {
-                for tx in &shards {
-                    let _ = tx
-                        .send(ShardMsg { cmd: ShardCmd::Finish, reply: reply_tx.clone() });
-                }
+                broadcast(&shards, &|| ShardCmd::Finish);
                 merge_broadcast(&reply_rx, n)
             }
             Request::Shutdown => {
@@ -290,6 +414,7 @@ fn handle_conn(
                 Response::Ok
             }
         };
+        latency.observe(clock.lap_us());
         write_msg(&mut writer, &resp)?;
         writer.flush()?;
     }
@@ -387,6 +512,8 @@ pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<Serve
     let self_addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let queries = Arc::new(AtomicUsize::new(0));
+    let queues: Arc<Vec<Arc<Gauge>>> =
+        Arc::new((0..config.shards.max(1)).map(queue_gauge).collect());
 
     // Shard workers.
     let mut shard_txs = Vec::with_capacity(config.shards.max(1));
@@ -402,6 +529,31 @@ pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<Serve
         shard_txs.push(tx);
     }
 
+    // Periodic exposition: dump the whole registry to stderr on a cadence,
+    // for operators who tail the log instead of polling `Metrics`.
+    let expo_stop = Arc::new(AtomicBool::new(false));
+    let expo_thread = config.metrics_every_s.map(|every_s| {
+        let stop = Arc::clone(&expo_stop);
+        std::thread::Builder::new()
+            .name("geosocial-expo".into())
+            .spawn(move || {
+                let tick = std::time::Duration::from_millis(200);
+                let mut elapsed = std::time::Duration::ZERO;
+                let period = std::time::Duration::from_secs(every_s.max(1));
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    elapsed += tick;
+                    if elapsed >= period {
+                        elapsed = std::time::Duration::ZERO;
+                        geosocial_obs::info!("serve", "periodic metrics exposition");
+                        eprint!("{}", geosocial_obs::render_text());
+                        io::stderr().flush().ok();
+                    }
+                }
+            })
+            .expect("spawn exposition thread")
+    });
+
     // Accept loop.
     let mut conn_threads = Vec::new();
     for stream in listener.incoming() {
@@ -412,15 +564,20 @@ pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<Serve
         let shards = shard_txs.clone();
         let flag = Arc::clone(&shutdown);
         let q = Arc::clone(&queries);
+        let qs = Arc::clone(&queues);
         conn_threads.push(
             std::thread::Builder::new()
                 .name("geosocial-conn".into())
                 .spawn(move || {
-                    let _ = handle_conn(stream, shards, flag, self_addr, q);
+                    let _ = handle_conn(stream, shards, flag, self_addr, q, qs);
                 })?,
         );
     }
     drop(listener);
+    expo_stop.store(true, Ordering::SeqCst);
+    if let Some(t) = expo_thread {
+        let _ = t.join();
+    }
     for t in conn_threads {
         let _ = t.join();
     }
@@ -441,22 +598,24 @@ pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<Serve
         let _ = t.join();
     }
 
-    // The shutdown dump: one line per shard plus the aggregate.
+    // The shutdown dump: one structured line per shard plus the aggregate.
     for s in &final_stats.per_shard {
-        eprintln!(
-            "shard {}: users={} gps={} checkins={} verdicts={}",
-            s.shard, s.users, s.gps_events, s.checkin_events, s.verdicts
+        geosocial_obs::info!("serve", "shard final counters";
+            shard = s.shard,
+            users = s.users,
+            gps = s.gps_events,
+            checkins = s.checkin_events,
+            verdicts = s.verdicts,
         );
     }
-    eprintln!(
-        "total: users={} gps={} checkins={} verdicts={} queries={} honest={} extraneous={}",
-        final_stats.users,
-        final_stats.gps_events,
-        final_stats.checkin_events,
-        final_stats.verdicts,
-        final_stats.queries,
-        final_stats.composition.honest,
-        final_stats.composition.extraneous(),
+    geosocial_obs::info!("serve", "server final counters";
+        users = final_stats.users,
+        gps = final_stats.gps_events,
+        checkins = final_stats.checkin_events,
+        verdicts = final_stats.verdicts,
+        queries = final_stats.queries,
+        honest = final_stats.composition.honest,
+        extraneous = final_stats.composition.extraneous(),
     );
     io::stderr().flush().ok();
     Ok(final_stats)

@@ -1,0 +1,163 @@
+//! Live metrics exposition: a server mid-replay must answer `Metrics`
+//! with non-empty counters and latency histograms, and the per-shard
+//! verdict counters must stay sum-consistent with both the aggregate
+//! verdict counter and the `Stats` response.
+//!
+//! This file holds exactly one test and nothing else: the metrics
+//! registry is process-global, and a dedicated integration-test binary is
+//! the only way to keep other servers (e.g. `integration.rs`) out of the
+//! scrape.
+
+use geosocial_checkin::{Scenario, ScenarioConfig};
+use geosocial_serve::protocol::{read_msg, write_msg, Request, Response};
+use geosocial_serve::server::{spawn, ServerConfig};
+use geosocial_stream::{dataset_events, StreamEvent};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+fn counter_value(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|l| {
+        let mut it = l.split_whitespace();
+        if it.next() == Some("counter") && it.next() == Some(name) {
+            it.next().and_then(|v| v.parse().ok())
+        } else {
+            None
+        }
+    })
+}
+
+fn hist_count(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|l| {
+        let mut it = l.split_whitespace();
+        if it.next() == Some("histogram") && it.next() == Some(name) {
+            it.find_map(|tok| tok.strip_prefix("count=")).and_then(|v| v.parse().ok())
+        } else {
+            None
+        }
+    })
+}
+
+fn shard_verdict_sum(text: &str) -> u64 {
+    text.lines()
+        .filter_map(|l| {
+            let mut it = l.split_whitespace();
+            let name = (it.next() == Some("counter")).then(|| it.next()).flatten()?;
+            if name.starts_with("serve.shard.") && name.ends_with(".verdicts") {
+                it.next().and_then(|v| v.parse::<u64>().ok())
+            } else {
+                None
+            }
+        })
+        .sum()
+}
+
+#[test]
+fn metrics_request_exposes_live_counters_mid_replay() {
+    let server = spawn(ServerConfig { shards: 2, ..ServerConfig::default() }, "127.0.0.1:0")
+        .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let scenario = Scenario::generate(&ScenarioConfig::small(12, 3), 0xC0FFEE);
+    let ds = &scenario.primary;
+    let origin = ds.pois.projection().origin();
+    let events: Vec<StreamEvent> = dataset_events(ds);
+    assert!(events.len() > 100, "scenario too small to exercise the server");
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut w = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut r = BufReader::new(stream);
+    let mut ask = |req: &Request| -> Response {
+        write_msg(&mut w, req).expect("write");
+        w.flush().expect("flush");
+        read_msg(&mut r).expect("read").expect("response")
+    };
+
+    match ask(&Request::Hello { origin_lat: origin.lat, origin_lon: origin.lon }) {
+        Response::Ok => {}
+        other => panic!("Hello: {other:?}"),
+    }
+
+    // Replay ~90% of the stream, then scrape while it is still live.
+    let cut = events.len() * 9 / 10;
+    for ev in &events[..cut] {
+        let req = match ev {
+            StreamEvent::Gps { user, point } => Request::Gps {
+                user: *user,
+                t: point.t,
+                lat: point.pos.lat,
+                lon: point.pos.lon,
+            },
+            StreamEvent::Checkin { user, checkin } => Request::Checkin {
+                user: *user,
+                t: checkin.t,
+                poi: checkin.poi,
+                lat: checkin.location.lat,
+                lon: checkin.location.lon,
+            },
+        };
+        match ask(&req) {
+            Response::Verdicts { .. } => {}
+            other => panic!("ingest: {other:?}"),
+        }
+    }
+
+    let mid = match ask(&Request::Metrics) {
+        Response::Metrics { text } => text,
+        other => panic!("Metrics: {other:?}"),
+    };
+    assert!(mid.starts_with("# geosocial-obs exposition v1"), "bad header:\n{mid}");
+    let gps = counter_value(&mid, "serve.events.gps").expect("serve.events.gps exported");
+    assert!(gps > 0, "no gps events counted mid-replay");
+    assert!(
+        counter_value(&mid, "serve.events.checkin").unwrap_or(0) > 0,
+        "no checkins counted mid-replay"
+    );
+    assert!(
+        hist_count(&mid, "serve.latency_us.gps").unwrap_or(0) > 0,
+        "gps latency histogram empty mid-replay:\n{mid}"
+    );
+    assert!(
+        hist_count(&mid, "serve.latency_us.checkin").unwrap_or(0) > 0,
+        "checkin latency histogram empty mid-replay"
+    );
+    let mid_verdicts = counter_value(&mid, "serve.verdicts").unwrap_or(0);
+    assert!(mid_verdicts > 0, "no verdicts finalized after 90% of the replay");
+    assert_eq!(
+        shard_verdict_sum(&mid),
+        mid_verdicts,
+        "per-shard verdict counters must sum to the aggregate"
+    );
+
+    // Finalize and cross-check the metric sums against the Stats answer.
+    match ask(&Request::Finish) {
+        Response::Verdicts { .. } => {}
+        other => panic!("Finish: {other:?}"),
+    }
+    let stats = match ask(&Request::Stats) {
+        Response::Stats { stats } => stats,
+        other => panic!("Stats: {other:?}"),
+    };
+    let fin = match ask(&Request::Metrics) {
+        Response::Metrics { text } => text,
+        other => panic!("Metrics: {other:?}"),
+    };
+    let fin_verdicts = counter_value(&fin, "serve.verdicts").unwrap_or(0);
+    assert_eq!(fin_verdicts, stats.verdicts as u64, "metric vs Stats verdict total");
+    assert_eq!(shard_verdict_sum(&fin), fin_verdicts, "per-shard sum after Finish");
+    assert_eq!(
+        counter_value(&fin, "serve.events.gps").unwrap_or(0),
+        stats.gps_events as u64,
+        "gps event counter matches Stats"
+    );
+    assert_eq!(
+        counter_value(&fin, "serve.events.checkin").unwrap_or(0),
+        stats.checkin_events as u64,
+        "checkin event counter matches Stats"
+    );
+
+    drop(w);
+    drop(r);
+    geosocial_serve::loadgen::shutdown_server(addr).expect("shutdown accepted");
+    server.join().expect("server exits cleanly");
+}

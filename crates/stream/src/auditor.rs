@@ -402,6 +402,7 @@ impl OnlineAuditor {
     fn feed_gps(&mut self, p: GpsPoint) {
         if p.t < self.frontier || self.last_gps_t.is_some_and(|g| p.t <= g) {
             self.comp.late_dropped += 1;
+            crate::metrics::late_dropped().inc();
             return;
         }
         self.frontier = p.t;
@@ -414,6 +415,7 @@ impl OnlineAuditor {
     fn feed_checkin(&mut self, c: Checkin) {
         if c.t < self.frontier {
             self.comp.late_dropped += 1;
+            crate::metrics::late_dropped().inc();
             return;
         }
         self.frontier = c.t;
@@ -701,6 +703,7 @@ impl OnlineAuditor {
         while self.pending.len() > self.cfg.max_pending_checkins {
             let Some(mut pc) = self.pending.pop_front() else { break };
             self.comp.forced += 1;
+            crate::metrics::forced_finalize().inc();
             if let Stage::Dedup(vi) = pc.stage {
                 // Withdraw the contest; the visit may now resolve missing.
                 if let Some(tv) = self.visits.iter_mut().find(|tv| tv.index == vi) {

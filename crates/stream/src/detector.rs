@@ -11,6 +11,7 @@
 //! older than the ingest frontier are dropped (and counted), and a pending
 //! window larger than the state budget is force-closed.
 
+use crate::metrics;
 use geosocial_trace::{close_stay, extends_stay, GpsPoint, PoiUniverse, Timestamp, Visit, VisitConfig};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -87,6 +88,7 @@ impl OnlineVisitDetector {
         if let Some(f) = self.frontier {
             if p.t <= f {
                 self.late_dropped += 1;
+                metrics::late_dropped().inc();
                 return;
             }
         }
@@ -100,6 +102,7 @@ impl OnlineVisitDetector {
             // State budget: force the open window shut as if the stream had
             // paused here, then continue streaming from the break point.
             self.forced_closures += 1;
+            metrics::forced_closures().inc();
             let consumed = self.close_front();
             self.buffer.drain(..consumed);
             self.broke = false;

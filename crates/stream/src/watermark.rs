@@ -9,6 +9,7 @@
 //! With `allowed_lateness = 0` the reorderer is a pass-through for in-order
 //! input and a pure late-event filter otherwise.
 
+use crate::metrics;
 use geosocial_trace::Timestamp;
 use std::collections::BinaryHeap;
 
@@ -71,11 +72,15 @@ impl<E> Reorderer<E> {
     pub fn push(&mut self, t: Timestamp, ev: E) -> bool {
         if self.released.is_some_and(|r| t < r) {
             self.late_dropped += 1;
+            metrics::late_dropped().inc();
             return false;
         }
-        self.watermark = Some(self.watermark.map_or(t, |w| w.max(t)));
+        let wm = self.watermark.map_or(t, |w| w.max(t));
+        self.watermark = Some(wm);
+        metrics::watermark_lag_s().observe((wm - t).max(0) as u64);
         self.heap.push(Held { t, seq: self.next_seq, ev });
         self.next_seq += 1;
+        metrics::reorder_held().inc();
         true
     }
 
@@ -87,6 +92,7 @@ impl<E> Reorderer<E> {
         if self.heap.peek().is_some_and(|h| h.t <= frontier) {
             let h = self.heap.pop().expect("peeked");
             self.released = Some(self.released.map_or(h.t, |r| r.max(h.t)));
+            metrics::reorder_held().dec();
             Some(h.ev)
         } else {
             None
@@ -97,6 +103,7 @@ impl<E> Reorderer<E> {
     pub fn pop_final(&mut self) -> Option<E> {
         let h = self.heap.pop()?;
         self.released = Some(self.released.map_or(h.t, |r| r.max(h.t)));
+        metrics::reorder_held().dec();
         Some(h.ev)
     }
 

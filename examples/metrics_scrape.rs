@@ -1,0 +1,93 @@
+//! Minimal metrics scraper for a running `geosocial-serve` instance.
+//!
+//! Connects, sends a `Metrics` request, and pretty-prints the exposition
+//! text grouped by kind:
+//!
+//! ```text
+//! cargo run --release --example metrics_scrape -- 127.0.0.1:7744
+//! ```
+//!
+//! The raw exposition format (one series per line) is documented in the
+//! README's Observability section; pass `--raw` to print it verbatim —
+//! e.g. to pipe into awk, as `scripts/check.sh` does.
+
+use geosocial::serve::protocol::{read_msg, write_msg, Request, Response};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::exit;
+
+fn scrape(addr: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut w = BufWriter::new(stream.try_clone()?);
+    write_msg(&mut w, &Request::Metrics)?;
+    w.flush()?;
+    let mut r = BufReader::new(stream);
+    match read_msg::<Response, _>(&mut r)? {
+        Some(Response::Metrics { text }) => Ok(text),
+        Some(other) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unexpected reply: {other:?}"),
+        )),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed without answering",
+        )),
+    }
+}
+
+fn pretty_print(text: &str) {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for line in text.lines() {
+        let mut it = line.splitn(3, ' ');
+        match (it.next(), it.next(), it.next()) {
+            (Some("counter"), Some(name), Some(rest)) => counters.push((name, rest)),
+            (Some("gauge"), Some(name), Some(rest)) => gauges.push((name, rest)),
+            (Some("histogram"), Some(name), Some(rest)) => histograms.push((name, rest)),
+            _ => {}
+        }
+    }
+    let width = counters
+        .iter()
+        .chain(&gauges)
+        .chain(&histograms)
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(0);
+    for (title, rows) in
+        [("counters", &counters), ("gauges", &gauges), ("histograms", &histograms)]
+    {
+        if rows.is_empty() {
+            continue;
+        }
+        println!("{title}:");
+        for (name, rest) in rows {
+            println!("  {name:<width$}  {rest}");
+        }
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7744".to_string();
+    let mut raw = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--raw" => raw = true,
+            "--help" | "-h" => {
+                println!("usage: metrics_scrape [--raw] [HOST:PORT   (default {addr})]");
+                exit(0);
+            }
+            other => addr = other.to_string(),
+        }
+    }
+    match scrape(&addr) {
+        Ok(text) if raw => print!("{text}"),
+        Ok(text) => pretty_print(&text),
+        Err(e) => {
+            eprintln!("metrics_scrape: {addr}: {e}");
+            exit(1);
+        }
+    }
+}

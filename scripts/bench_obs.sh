@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Measure the observability layer's instrumentation overhead on the
+# serving path and write BENCH_obs.json.
+#
+# Builds geosocial-loadgen twice — once normally (metrics on) and once
+# with the obs-noop feature (every metric mutation and span clock-read
+# compiled to nothing) — then replays the same X10-scale scenario
+# (24 users x 5 days, the `equiv` experiment's size) through each binary
+# several times and compares best-of-N ingest throughput.
+#
+# Usage: scripts/bench_obs.sh [RUNS]   (default 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+runs="${1:-3}"
+users=24
+days=5
+shards=4
+
+echo "==> building geosocial-loadgen with obs-noop (metrics compiled out)"
+cargo build --release -p geosocial-serve --features obs-noop
+cp target/release/geosocial-loadgen target/release/geosocial-loadgen-noop
+
+echo "==> building geosocial-loadgen normally (metrics on)"
+cargo build --release -p geosocial-serve
+
+report="$(mktemp -t bench_obs.XXXXXX.json)"
+trap 'rm -f "$report"' EXIT
+
+# best_events_per_sec BINARY -> best of $runs replays, echoed
+best_events_per_sec() {
+    local bin="$1" best=0 eps
+    for i in $(seq 1 "$runs"); do
+        "$bin" --spawn --shards "$shards" \
+            --users "$users" --days "$days" --seed 1 \
+            --connections 4 --window 256 \
+            --out "$report" >/dev/null 2>&1
+        eps="$(grep -o '"events_per_sec": [0-9.]*' "$report" | head -n1 | grep -o '[0-9.]*$')"
+        echo "   run $i: $eps events/s" >&2
+        best="$(awk -v a="$best" -v b="$eps" 'BEGIN { print (b > a) ? b : a }')"
+    done
+    echo "$best"
+}
+
+echo "==> metrics on: $runs replays at ${users}x${days}d, $shards shards"
+on_best="$(best_events_per_sec ./target/release/geosocial-loadgen)"
+echo "==> metrics compiled out (noop): $runs replays"
+noop_best="$(best_events_per_sec ./target/release/geosocial-loadgen-noop)"
+
+overhead_pct="$(awk -v on="$on_best" -v off="$noop_best" \
+    'BEGIN { printf "%.2f", (off > 0) ? (off - on) * 100.0 / off : 0 }')"
+
+cat > BENCH_obs.json <<EOF
+{
+  "bench": "loadgen replay, metrics on vs compiled out (obs-noop)",
+  "users": $users,
+  "days": $days,
+  "shards": $shards,
+  "connections": 4,
+  "window": 256,
+  "runs_each": $runs,
+  "events_per_sec_metrics_on": $on_best,
+  "events_per_sec_metrics_noop": $noop_best,
+  "overhead_pct": $overhead_pct
+}
+EOF
+echo "==> metrics on: $on_best ev/s, noop: $noop_best ev/s, overhead ${overhead_pct}%"
+echo "==> wrote BENCH_obs.json"

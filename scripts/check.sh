@@ -2,11 +2,15 @@
 # Tier-1+ verification entry point for the repository.
 #
 # Runs, in order:
-#   1. the tier-1 gate: release build + full test suite,
+#   1. the tier-1 gate: release build (including examples) + full test suite,
 #   2. a short serving-layer smoke: geosocial-loadgen spawns an in-process
 #      geosocial-serve (4 shards), replays a small generated scenario over
 #      TCP, verifies the served compositions against the batch pipeline,
-#      and shuts the server down cleanly.
+#      and shuts the server down cleanly,
+#   3. an observability smoke: a standalone geosocial-serve is replayed
+#      into, scraped live via the Metrics request (metrics_scrape example),
+#      and the latency histograms / per-shard verdict counters are checked
+#      for presence and sum-consistency with the loadgen report.
 #
 # Usage: scripts/check.sh
 # Exits non-zero on the first failure.
@@ -15,17 +19,66 @@ cd "$(dirname "$0")/.."
 
 echo "==> tier 1: cargo build --release"
 cargo build --release
+cargo build --release --examples
+# The root manifest is a facade package, so the line above does not (re)build
+# dependency binaries. Build the serve package explicitly with its default
+# features — a stale obs-noop build of geosocial-serve/geosocial-loadgen
+# (e.g. from scripts/bench_obs.sh) would leave every metric at zero and
+# fail the observability smoke below.
+cargo build --release -p geosocial-serve
 
 echo "==> tier 1: cargo test -q"
 cargo test -q
 
 echo "==> serving smoke: loadgen vs in-process server (batch-verified)"
 smoke_out="$(mktemp -t bench_smoke.XXXXXX.json)"
-trap 'rm -f "$smoke_out"' EXIT
+serve_log="$(mktemp -t serve_log.XXXXXX.log)"
+obs_out="$(mktemp -t bench_obs_smoke.XXXXXX.json)"
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -f "$smoke_out" "$serve_log" "$obs_out"
+}
+trap cleanup EXIT
 ./target/release/geosocial-loadgen \
     --spawn --shards 4 \
     --users 24 --days 4 --seed 1 \
     --connections 4 --window 256 \
     --verify --out "$smoke_out"
+
+echo "==> observability smoke: live Metrics scrape against a replaying server"
+./target/release/geosocial-serve --addr 127.0.0.1:0 --shards 4 2>"$serve_log" &
+serve_pid=$!
+# The structured "listening" log line carries the bound address as addr=...
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(grep -ho 'addr=[0-9.:]*' "$serve_log" | head -n1 | cut -d= -f2 || true)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "error: server never logged its address" >&2; exit 1; }
+./target/release/geosocial-loadgen \
+    --addr "$addr" \
+    --users 24 --days 4 --seed 1 \
+    --connections 2 --window 128 \
+    --out "$obs_out"
+expo="$(./target/release/examples/metrics_scrape --raw "$addr")"
+echo "$expo" | awk '
+    $1 == "histogram" && $2 ~ /^serve\.latency_us\./ {
+        for (i = 3; i <= NF; i++) if ($i ~ /^count=/) { sub("count=", "", $i); total += $i }
+    }
+    END {
+        if (total > 0) { print "   latency histograms: " total " samples" }
+        else { print "error: latency histograms are empty" > "/dev/stderr"; exit 1 }
+    }'
+report_verdicts="$(grep -o '"verdicts": [0-9]*' "$obs_out" | head -n1 | grep -o '[0-9]*')"
+echo "$expo" | awk -v want="$report_verdicts" '
+    $1 == "counter" && $2 ~ /^serve\.shard\.[0-9]+\.verdicts$/ { sum += $3 }
+    END {
+        if (sum > 0 && sum == want) { print "   per-shard verdicts: " sum " (= report total)" }
+        else { print "error: shard verdict sum " sum " != report verdicts " want > "/dev/stderr"; exit 1 }
+    }'
+kill "$serve_pid" 2>/dev/null || true
+serve_pid=""
 
 echo "==> all checks passed"

@@ -16,6 +16,7 @@
 //! | [`checkin`] | `geosocial-checkin` | checkin behaviour + incentive engine |
 //! | [`core`] | `geosocial-core` | matching, classification, detection |
 //! | [`manet`] | `geosocial-manet` | discrete-event MANET simulator + AODV |
+//! | [`obs`] | `geosocial-obs` | structured logging, metrics registry, span timers |
 //! | [`stream`] | `geosocial-stream` | online visit detection + checkin auditing |
 //! | [`serve`] | `geosocial-serve` | TCP serving layer + load generator |
 //! | [`experiments`] | `geosocial-experiments` | table/figure regeneration |
@@ -45,6 +46,7 @@ pub use geosocial_experiments as experiments;
 pub use geosocial_geo as geo;
 pub use geosocial_manet as manet;
 pub use geosocial_mobility as mobility;
+pub use geosocial_obs as obs;
 pub use geosocial_serve as serve;
 pub use geosocial_stats as stats;
 pub use geosocial_stream as stream;
