@@ -108,11 +108,8 @@ fn bench_expanding_ring(c: &mut Criterion) {
         let label = if ring { "expanding_ring" } else { "full_flood" };
         group.bench_function(label, |b| {
             b.iter(|| {
-                let cfg = SimConfig {
-                    duration_ms: 30_000,
-                    expanding_ring: ring,
-                    ..Default::default()
-                };
+                let cfg =
+                    SimConfig { duration_ms: 30_000, expanding_ring: ring, ..Default::default() };
                 black_box(Simulator::new(chain(15), vec![(7, 9)], cfg, BENCH_SEED).run())
             })
         });
@@ -139,14 +136,9 @@ fn bench_loss_sweep(c: &mut Criterion) {
             &loss,
             |b, &loss| {
                 b.iter(|| {
-                    let cfg = SimConfig {
-                        duration_ms: 30_000,
-                        loss_prob: loss,
-                        ..Default::default()
-                    };
-                    black_box(
-                        Simulator::new(chain.clone(), vec![(0, 5)], cfg, BENCH_SEED).run(),
-                    )
+                    let cfg =
+                        SimConfig { duration_ms: 30_000, loss_prob: loss, ..Default::default() };
+                    black_box(Simulator::new(chain.clone(), vec![(0, 5)], cfg, BENCH_SEED).run())
                 })
             },
         );

@@ -58,11 +58,7 @@ fn bench_fig5_fig6_extraneous(c: &mut Criterion) {
     });
     c.bench_function("fig6_burstiness", |b| {
         b.iter(|| {
-            black_box(burstiness(
-                &a.scenario.primary,
-                &a.outcome,
-                &ClassifyConfig::default(),
-            ))
+            black_box(burstiness(&a.scenario.primary, &a.outcome, &ClassifyConfig::default()))
         })
     });
 }

@@ -17,9 +17,8 @@ const DURATION_MS: i64 = 60_000;
 
 fn run_once(model: &LevyWalkModel, seed: u64) -> geosocial_manet::MetricsReport {
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
-    let traces: Vec<MovementTrace> = (0..NODES)
-        .map(|_| model.generate(AREA_M, DURATION_MS / 1_000 + 30, &mut rng))
-        .collect();
+    let traces: Vec<MovementTrace> =
+        (0..NODES).map(|_| model.generate(AREA_M, DURATION_MS / 1_000 + 30, &mut rng)).collect();
     let pairs = random_pairs(NODES, PAIRS, &mut rng);
     let cfg = SimConfig { duration_ms: DURATION_MS, ..Default::default() };
     Simulator::new(traces, pairs, cfg, seed).run()
@@ -35,11 +34,9 @@ fn bench_fig8_per_model(c: &mut Criterion) {
     let models = fitted();
     let mut group = c.benchmark_group("fig8_manet");
     group.sample_size(10);
-    for (label, model) in [
-        ("gps", &models.gps),
-        ("honest_checkin", &models.honest),
-        ("all_checkin", &models.all),
-    ] {
+    for (label, model) in
+        [("gps", &models.gps), ("honest_checkin", &models.honest), ("all_checkin", &models.all)]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(label), model, |b, m| {
             b.iter(|| black_box(run_once(m, BENCH_SEED)))
         });

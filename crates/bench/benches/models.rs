@@ -23,9 +23,8 @@ fn bench_fig7_training(c: &mut Criterion) {
 fn bench_fig7_primitives(c: &mut Criterion) {
     // Pareto MLE over a paper-scale flight sample (~30k flights).
     let truth = Pareto::new(50.0, 1.4);
-    let sample: Vec<f64> = (0..30_000)
-        .map(|i| truth.inv_cdf((i as f64 + 0.5) / 30_000.0))
-        .collect();
+    let sample: Vec<f64> =
+        (0..30_000).map(|i| truth.inv_cdf((i as f64 + 0.5) / 30_000.0)).collect();
     c.bench_function("fig7_pareto_mle_30k", |b| {
         b.iter(|| black_box(fit_pareto(black_box(&sample), 50.0)))
     });

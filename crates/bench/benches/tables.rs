@@ -18,9 +18,7 @@ fn bench_table1(c: &mut Criterion) {
             black_box((p, q))
         })
     });
-    c.bench_function("table1_render", |b| {
-        b.iter(|| black_box(figures::table1(black_box(&a))))
-    });
+    c.bench_function("table1_render", |b| b.iter(|| black_box(figures::table1(black_box(&a)))));
 }
 
 fn bench_table2(c: &mut Criterion) {

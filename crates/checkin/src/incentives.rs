@@ -50,15 +50,9 @@ pub fn badges_for(checkins: &[Checkin], cfg: &IncentiveConfig) -> u32 {
             v.push(c.poi);
         }
     }
-    let category_badges: usize = distinct
-        .values()
-        .map(|v| v.len() / cfg.venues_per_category_badge.max(1))
-        .sum();
-    let milestone_badges = cfg
-        .count_milestones
-        .iter()
-        .filter(|&&m| checkins.len() >= m)
-        .count();
+    let category_badges: usize =
+        distinct.values().map(|v| v.len() / cfg.venues_per_category_badge.max(1)).sum();
+    let milestone_badges = cfg.count_milestones.iter().filter(|&&m| checkins.len() >= m).count();
     (category_badges + milestone_badges) as u32
 }
 
@@ -103,7 +97,8 @@ impl MayorshipBoard {
             }
             match mayors.get(&poi) {
                 // Ties broken by lower user id for determinism.
-                Some(&(u, best)) if (best, std::cmp::Reverse(u)) >= (n, std::cmp::Reverse(user)) => {}
+                Some(&(u, best))
+                    if (best, std::cmp::Reverse(u)) >= (n, std::cmp::Reverse(user)) => {}
                 _ => {
                     mayors.insert(poi, (user, n));
                 }
@@ -147,11 +142,7 @@ pub fn compute_profile<R: Rng>(
     cfg: &IncentiveConfig,
     rng: &mut R,
 ) -> UserProfile {
-    let checkins_per_day = if span_days > 0.0 {
-        checkins.len() as f64 / span_days
-    } else {
-        0.0
-    };
+    let checkins_per_day = if span_days > 0.0 { checkins.len() as f64 / span_days } else { 0.0 };
     let friends_mean = sociability * (4.0 + 6.0 * checkins_per_day);
     let friends = (friends_mean * rng.gen_range(0.5..1.5)).round().max(0.0) as u32;
     UserProfile {
@@ -168,13 +159,7 @@ mod tests {
     use geosocial_geo::LatLon;
 
     fn ck(t: i64, poi: PoiId, cat: PoiCategory, prov: Provenance) -> Checkin {
-        Checkin {
-            t,
-            poi,
-            category: cat,
-            location: LatLon::new(0.0, 0.0),
-            provenance: Some(prov),
-        }
+        Checkin { t, poi, category: cat, location: LatLon::new(0.0, 0.0), provenance: Some(prov) }
     }
 
     #[test]
@@ -188,9 +173,8 @@ mod tests {
         // milestones hit: 1 → one badge; total = 1 category + 1 milestone.
         assert_eq!(badges_for(&cs, &cfg), 2);
         // Re-checking the same venue adds no category badge.
-        let dup: Vec<Checkin> = (0..9)
-            .map(|i| ck(i, 0, PoiCategory::Food, Provenance::Honest))
-            .collect();
+        let dup: Vec<Checkin> =
+            (0..9).map(|i| ck(i, 0, PoiCategory::Food, Provenance::Honest)).collect();
         assert_eq!(badges_for(&dup, &cfg), 1); // milestone "1" only
     }
 
@@ -209,12 +193,10 @@ mod tests {
     #[test]
     fn mayorship_goes_to_highest_count_in_window() {
         let cfg = IncentiveConfig::default();
-        let heavy: Vec<Checkin> = (0..5)
-            .map(|i| ck(i * DAY, 7, PoiCategory::Food, Provenance::Honest))
-            .collect();
-        let light: Vec<Checkin> = (0..2)
-            .map(|i| ck(i * DAY, 7, PoiCategory::Food, Provenance::Honest))
-            .collect();
+        let heavy: Vec<Checkin> =
+            (0..5).map(|i| ck(i * DAY, 7, PoiCategory::Food, Provenance::Honest)).collect();
+        let light: Vec<Checkin> =
+            (0..2).map(|i| ck(i * DAY, 7, PoiCategory::Food, Provenance::Honest)).collect();
         let streams = [(1u32, heavy.as_slice()), (2u32, light.as_slice())];
         let board = MayorshipBoard::compute(&streams, 10 * DAY, &cfg);
         assert_eq!(board.mayor_of(7), Some(1));
@@ -226,9 +208,8 @@ mod tests {
     fn window_excludes_old_checkins() {
         let cfg = IncentiveConfig::default();
         // All checkins 100 days ago: outside the 60-day window.
-        let old: Vec<Checkin> = (0..5)
-            .map(|i| ck(i, 3, PoiCategory::Shop, Provenance::Honest))
-            .collect();
+        let old: Vec<Checkin> =
+            (0..5).map(|i| ck(i, 3, PoiCategory::Shop, Provenance::Honest)).collect();
         let streams = [(0u32, old.as_slice())];
         let board = MayorshipBoard::compute(&streams, 100 * DAY, &cfg);
         assert!(board.is_empty());
@@ -246,8 +227,10 @@ mod tests {
     #[test]
     fn tie_breaks_deterministically() {
         let cfg = IncentiveConfig::default();
-        let a: Vec<Checkin> = (0..3).map(|i| ck(i, 9, PoiCategory::Arts, Provenance::Honest)).collect();
-        let b: Vec<Checkin> = (0..3).map(|i| ck(i + 10, 9, PoiCategory::Arts, Provenance::Honest)).collect();
+        let a: Vec<Checkin> =
+            (0..3).map(|i| ck(i, 9, PoiCategory::Arts, Provenance::Honest)).collect();
+        let b: Vec<Checkin> =
+            (0..3).map(|i| ck(i + 10, 9, PoiCategory::Arts, Provenance::Honest)).collect();
         let streams = [(5u32, a.as_slice()), (2u32, b.as_slice())];
         let board = MayorshipBoard::compute(&streams, DAY, &cfg);
         // Equal counts: lower user id wins.

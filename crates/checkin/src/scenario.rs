@@ -15,8 +15,8 @@ use crate::behavior::BehaviorConfig;
 use crate::incentives::{compute_profile, IncentiveConfig, MayorshipBoard};
 use crate::simulate::simulate_checkins;
 use geosocial_mobility::{
-    assign_prefs, generate_city, generate_itinerary, simulate_gps, CityConfig,
-    GpsSimConfig, Itinerary, RoutineConfig,
+    assign_prefs, generate_city, generate_itinerary, simulate_gps, CityConfig, GpsSimConfig,
+    Itinerary, RoutineConfig,
 };
 use geosocial_trace::{
     detect_visits, Checkin, Dataset, PoiUniverse, UserData, UserId, VisitConfig,
@@ -137,9 +137,8 @@ impl Scenario {
 /// streams. Stream identity depends only on these three values — never on
 /// generation order or thread count.
 fn substream_seed(seed: u64, cohort: u64, uid: u64) -> u64 {
-    let mut z = seed
-        ^ cohort.wrapping_mul(0xA24B_AED4_963E_E407)
-        ^ uid.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut z =
+        seed ^ cohort.wrapping_mul(0xA24B_AED4_963E_E407) ^ uid.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -179,27 +178,14 @@ fn build_cohort(
         let itinerary = generate_itinerary(&prefs, universe, days, &config.routine, &mut rng);
         let behavior = behavior_cfg.sample(&mut rng);
         let checkins = simulate_checkins(&itinerary, universe, &behavior, &mut rng);
-        Draft {
-            itinerary,
-            checkins,
-            sociability: behavior.sociability,
-            days: days as f64,
-            rng,
-        }
+        Draft { itinerary, checkins, sociability: behavior.sociability, days: days as f64, rng }
     });
 
     // Pass 2: the mayorship contest needs the whole cohort's checkins —
     // a global barrier between the per-user passes.
-    let streams: Vec<(UserId, &[Checkin])> = drafts
-        .iter()
-        .enumerate()
-        .map(|(i, d)| (i as UserId, d.checkins.as_slice()))
-        .collect();
-    let now = drafts
-        .iter()
-        .filter_map(|d| d.itinerary.span().map(|(_, e)| e))
-        .max()
-        .unwrap_or(0);
+    let streams: Vec<(UserId, &[Checkin])> =
+        drafts.iter().enumerate().map(|(i, d)| (i as UserId, d.checkins.as_slice())).collect();
+    let now = drafts.iter().filter_map(|d| d.itinerary.span().map(|(_, e)| e)).max().unwrap_or(0);
     let board = MayorshipBoard::compute(&streams, now, &config.incentives);
 
     // Pass 3: render GPS, detect visits, assemble profiles — again

@@ -3,9 +3,7 @@
 use crate::behavior::UserBehavior;
 use geosocial_geo::Point;
 use geosocial_mobility::{Itinerary, TrueStop};
-use geosocial_trace::{
-    Checkin, Poi, PoiId, PoiUniverse, Provenance, Timestamp, DAY, MINUTE,
-};
+use geosocial_trace::{Checkin, Poi, PoiId, PoiUniverse, Provenance, Timestamp, DAY, MINUTE};
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -291,10 +289,8 @@ mod tests {
         let b = BehaviorConfig::Primary.sample(&mut rng);
         let cs = simulate_checkins(&it, &u, &b, &mut rng);
         for c in cs.iter().filter(|c| c.provenance == Some(Provenance::Honest)) {
-            let hit = it
-                .stops
-                .iter()
-                .any(|s| s.poi == c.poi && c.t >= s.arrival && c.t <= s.departure);
+            let hit =
+                it.stops.iter().any(|s| s.poi == c.poi && c.t >= s.arrival && c.t <= s.departure);
             assert!(hit, "honest checkin outside its visit");
         }
     }
@@ -304,10 +300,8 @@ mod tests {
         let (u, it, mut rng) = setup(43, 14);
         let b = UserBehavior::sample(Archetype::BadgeHunter, &mut rng);
         let cs = simulate_checkins(&it, &u, &b, &mut rng);
-        let remotes: Vec<_> = cs
-            .iter()
-            .filter(|c| c.provenance == Some(Provenance::Remote))
-            .collect();
+        let remotes: Vec<_> =
+            cs.iter().filter(|c| c.provenance == Some(Provenance::Remote)).collect();
         assert!(!remotes.is_empty(), "badge hunter produced no remote checkins");
         for c in remotes {
             let here = position_at(&it, &u, c.t);
@@ -328,16 +322,12 @@ mod tests {
             ..UserBehavior::sample(Archetype::Commuter, &mut rng)
         };
         let cs = simulate_checkins(&it, &u, &b, &mut rng);
-        let drivebys: Vec<_> = cs
-            .iter()
-            .filter(|c| c.provenance == Some(Provenance::Driveby))
-            .collect();
+        let drivebys: Vec<_> =
+            cs.iter().filter(|c| c.provenance == Some(Provenance::Driveby)).collect();
         assert!(!drivebys.is_empty());
         for c in drivebys {
             // The checkin time falls strictly inside a travel leg.
-            let in_leg = it.stops.windows(2).any(|w| {
-                c.t > w[0].departure && c.t < w[1].arrival
-            });
+            let in_leg = it.stops.windows(2).any(|w| c.t > w[0].departure && c.t < w[1].arrival);
             assert!(in_leg, "driveby checkin not inside a travel leg");
         }
     }
@@ -348,10 +338,7 @@ mod tests {
         let b = BehaviorConfig::Baseline.sample(&mut rng);
         let cs = simulate_checkins(&it, &u, &b, &mut rng);
         for c in &cs {
-            assert!(matches!(
-                c.provenance,
-                Some(Provenance::Honest) | Some(Provenance::Driveby)
-            ));
+            assert!(matches!(c.provenance, Some(Provenance::Honest) | Some(Provenance::Driveby)));
         }
     }
 
@@ -369,10 +356,7 @@ mod tests {
             let b = BehaviorConfig::Primary.sample(&mut rng);
             let cs = simulate_checkins(&it, &u, &b, &mut rng);
             total += cs.len();
-            honest += cs
-                .iter()
-                .filter(|c| c.provenance == Some(Provenance::Honest))
-                .count();
+            honest += cs.iter().filter(|c| c.provenance == Some(Provenance::Honest)).count();
             user_days += 14.0;
         }
         let per_day = total as f64 / user_days;

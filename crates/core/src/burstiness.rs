@@ -106,9 +106,7 @@ mod tests {
             vec![Poi { id: 0, name: "A".into(), category: PoiCategory::Food, location: at(0.0) }],
             proj,
         );
-        let gps = GpsTrace::new(
-            (0..=100).map(|i| GpsPoint { t: i * 60, pos: at(0.0) }).collect(),
-        );
+        let gps = GpsTrace::new((0..=100).map(|i| GpsPoint { t: i * 60, pos: at(0.0) }).collect());
         let ck = |t: i64, x: f64| Checkin {
             t,
             poi: 0,

@@ -219,20 +219,14 @@ mod tests {
     #[test]
     fn far_checkin_is_remote() {
         let u = user_with(vec![ck(600, 5_000.0)]);
-        assert_eq!(
-            classify_extraneous(&u, 0, &ClassifyConfig::default()),
-            ExtraneousKind::Remote
-        );
+        assert_eq!(classify_extraneous(&u, 0, &ClassifyConfig::default()), ExtraneousKind::Remote);
     }
 
     #[test]
     fn fast_moving_nearby_is_driveby() {
         // At t=1500 the user is mid-dash at 10 m/s, position x≈3000.
         let u = user_with(vec![ck(1_500, 3_100.0)]);
-        assert_eq!(
-            classify_extraneous(&u, 0, &ClassifyConfig::default()),
-            ExtraneousKind::Driveby
-        );
+        assert_eq!(classify_extraneous(&u, 0, &ClassifyConfig::default()), ExtraneousKind::Driveby);
     }
 
     #[test]
@@ -268,10 +262,7 @@ mod tests {
 
     #[test]
     fn kind_provenance_mapping() {
-        assert_eq!(
-            ExtraneousKind::Remote.provenance(),
-            Some(Provenance::Remote)
-        );
+        assert_eq!(ExtraneousKind::Remote.provenance(), Some(Provenance::Remote));
         assert_eq!(ExtraneousKind::Unclassified.provenance(), None);
         assert_eq!(ExtraneousKind::Driveby.label(), "Driveby");
     }

@@ -50,11 +50,10 @@ pub fn detect_extraneous(user: &UserData, cfg: &DetectorConfig) -> Vec<bool> {
             flags[i] = true;
         }
         // Speed violations taint both ends — one of the two locations is a
-        // lie, and without GPS we cannot tell which.
-        if gap > 0 && dist / gap as f64 > cfg.implied_speed_mps {
-            flags[i] = true;
-            flags[i - 1] = true;
-        } else if gap == 0 && dist > 1.0 {
+        // lie, and without GPS we cannot tell which. A zero gap with any
+        // real displacement is the degenerate (infinite-speed) case.
+        let speeding = gap > 0 && dist / gap as f64 > cfg.implied_speed_mps;
+        if speeding || (gap == 0 && dist > 1.0) {
             flags[i] = true;
             flags[i - 1] = true;
         }
@@ -156,10 +155,7 @@ pub fn threshold_sweep(
     gaps_s
         .iter()
         .map(|&g| {
-            (
-                g,
-                score_detector(dataset, &DetectorConfig { burst_gap_s: g, implied_speed_mps }),
-            )
+            (g, score_detector(dataset, &DetectorConfig { burst_gap_s: g, implied_speed_mps }))
         })
         .collect()
 }
@@ -202,10 +198,7 @@ mod tests {
     #[test]
     fn speed_violation_flags_both_ends() {
         // 50 km apart, 10 minutes: 83 m/s.
-        let u = user(vec![
-            ck(0, 0.0, Provenance::Honest),
-            ck(600, 50_000.0, Provenance::Remote),
-        ]);
+        let u = user(vec![ck(0, 0.0, Provenance::Honest), ck(600, 50_000.0, Provenance::Remote)]);
         let flags = detect_extraneous(&u, &DetectorConfig::default());
         assert_eq!(flags, vec![true, true]);
     }
@@ -213,20 +206,14 @@ mod tests {
     #[test]
     fn plausible_travel_is_not_flagged() {
         // 5 km in 30 minutes: 2.8 m/s — ordinary.
-        let u = user(vec![
-            ck(0, 0.0, Provenance::Honest),
-            ck(1_800, 5_000.0, Provenance::Honest),
-        ]);
+        let u = user(vec![ck(0, 0.0, Provenance::Honest), ck(1_800, 5_000.0, Provenance::Honest)]);
         let flags = detect_extraneous(&u, &DetectorConfig::default());
         assert_eq!(flags, vec![false, false]);
     }
 
     #[test]
     fn simultaneous_distant_checkins_flagged() {
-        let u = user(vec![
-            ck(100, 0.0, Provenance::Honest),
-            ck(100, 10_000.0, Provenance::Remote),
-        ]);
+        let u = user(vec![ck(100, 0.0, Provenance::Honest), ck(100, 10_000.0, Provenance::Remote)]);
         let flags = detect_extraneous(&u, &DetectorConfig::default());
         assert_eq!(flags, vec![true, true]);
     }
@@ -245,10 +232,10 @@ mod tests {
                 proj(),
             ),
             users: vec![user(vec![
-                ck(0, 0.0, Provenance::Honest),          // TN
-                ck(30, 100.0, Provenance::Superfluous),  // TP (burst)
-                ck(7_200, 200.0, Provenance::Remote),    // FN (no burst, slow)
-                ck(7_230, 0.0, Provenance::Honest),      // FP (burst-tainted)
+                ck(0, 0.0, Provenance::Honest),         // TN
+                ck(30, 100.0, Provenance::Superfluous), // TP (burst)
+                ck(7_200, 200.0, Provenance::Remote),   // FN (no burst, slow)
+                ck(7_230, 0.0, Provenance::Honest),     // FP (burst-tainted)
             ])],
         };
         let s = score_detector(&ds, &DetectorConfig::default());

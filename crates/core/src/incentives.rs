@@ -61,10 +61,7 @@ impl CorrelationTable {
 /// Compute Table 2 from user compositions and the cohort's profiles.
 ///
 /// Users with no checkins are excluded (their type ratios are undefined).
-pub fn correlation_table(
-    dataset: &Dataset,
-    compositions: &[UserComposition],
-) -> CorrelationTable {
+pub fn correlation_table(dataset: &Dataset, compositions: &[UserComposition]) -> CorrelationTable {
     let mut ratios: [Vec<f64>; 4] = Default::default();
     let mut features: [Vec<f64>; 4] = Default::default();
     let mut n_users = 0usize;
@@ -102,9 +99,7 @@ pub fn correlation_table(
 mod tests {
     use super::*;
     use geosocial_geo::{LatLon, LocalProjection};
-    use geosocial_trace::{
-        GpsTrace, Poi, PoiCategory, PoiUniverse, UserData, UserProfile,
-    };
+    use geosocial_trace::{GpsTrace, Poi, PoiCategory, PoiUniverse, UserData, UserProfile};
 
     fn dataset_with_profiles(profiles: Vec<UserProfile>) -> Dataset {
         let proj = LocalProjection::new(LatLon::new(0.0, 0.0));
@@ -126,13 +121,7 @@ mod tests {
     }
 
     fn comp(user: u32, honest: usize, remote: usize) -> UserComposition {
-        UserComposition {
-            user,
-            total: honest + remote,
-            honest,
-            remote,
-            ..Default::default()
-        }
+        UserComposition { user, total: honest + remote, honest, remote, ..Default::default() }
     }
 
     #[test]
@@ -199,7 +188,12 @@ mod spearman_tests {
         use geosocial_trace::{GpsTrace, Poi, PoiCategory, PoiUniverse, UserData, UserProfile};
         let proj = LocalProjection::new(LatLon::new(0.0, 0.0));
         let pois = PoiUniverse::new(
-            vec![Poi { id: 0, name: "A".into(), category: PoiCategory::Food, location: LatLon::new(0.0, 0.0) }],
+            vec![Poi {
+                id: 0,
+                name: "A".into(),
+                category: PoiCategory::Food,
+                location: LatLon::new(0.0, 0.0),
+            }],
             proj,
         );
         // Badges grow monotonically (but nonlinearly) with remote ratio.
@@ -210,7 +204,7 @@ mod spearman_tests {
                     GpsTrace::default(),
                     vec![],
                     vec![],
-                    UserProfile { badges: (i * i) as u32, ..Default::default() },
+                    UserProfile { badges: (i * i), ..Default::default() },
                 )
             })
             .collect();
@@ -295,12 +289,17 @@ mod ci_tests {
     fn cohort(n: u32, noise: bool) -> (Dataset, Vec<UserComposition>) {
         let proj = LocalProjection::new(LatLon::new(0.0, 0.0));
         let pois = PoiUniverse::new(
-            vec![Poi { id: 0, name: "A".into(), category: PoiCategory::Food, location: LatLon::new(0.0, 0.0) }],
+            vec![Poi {
+                id: 0,
+                name: "A".into(),
+                category: PoiCategory::Food,
+                location: LatLon::new(0.0, 0.0),
+            }],
             proj,
         );
         let users: Vec<UserData> = (0..n)
             .map(|i| {
-                let badges = if noise { (i * 7919 % 13) as u32 } else { i };
+                let badges = if noise { i * 7919 % 13 } else { i };
                 UserData::new(
                     i,
                     GpsTrace::default(),

@@ -36,16 +36,8 @@ const GAP_CAP_S: f64 = DAY as f64;
 pub fn checkin_features(user: &UserData, idx: usize) -> [f64; N_FEATURES] {
     let cs = &user.checkins;
     let c = &cs[idx];
-    let gap_prev = if idx > 0 {
-        (c.t - cs[idx - 1].t) as f64
-    } else {
-        GAP_CAP_S
-    };
-    let gap_next = if idx + 1 < cs.len() {
-        (cs[idx + 1].t - c.t) as f64
-    } else {
-        GAP_CAP_S
-    };
+    let gap_prev = if idx > 0 { (c.t - cs[idx - 1].t) as f64 } else { GAP_CAP_S };
+    let gap_next = if idx + 1 < cs.len() { (cs[idx + 1].t - c.t) as f64 } else { GAP_CAP_S };
     let speed_prev = if idx > 0 && gap_prev > 0.0 {
         cs[idx - 1].location.haversine_m(c.location) / gap_prev
     } else {

@@ -203,11 +203,7 @@ impl<'a> PerUserOutcome<'a> {
 
     /// Honest pairs belonging to `user`, in outcome order.
     pub fn honest_of(&self, user: UserId) -> impl Iterator<Item = &'a MatchedPair> + '_ {
-        self.honest
-            .get(&user)
-            .into_iter()
-            .flatten()
-            .map(|&i| &self.outcome.honest[i as usize])
+        self.honest.get(&user).into_iter().flatten().map(|&i| &self.outcome.honest[i as usize])
     }
 
     /// Extraneous checkins belonging to `user`, in outcome order.
@@ -221,11 +217,7 @@ impl<'a> PerUserOutcome<'a> {
 
     /// Missing visits belonging to `user`, in outcome order.
     pub fn missing_of(&self, user: UserId) -> impl Iterator<Item = &'a VisitRef> + '_ {
-        self.missing
-            .get(&user)
-            .into_iter()
-            .flatten()
-            .map(|&i| &self.outcome.missing[i as usize])
+        self.missing.get(&user).into_iter().flatten().map(|&i| &self.outcome.missing[i as usize])
     }
 }
 
@@ -353,9 +345,7 @@ pub fn sweep(dataset: &Dataset, alphas_m: &[f64], betas_s: &[i64]) -> Vec<SweepP
 mod tests {
     use super::*;
     use geosocial_geo::{LatLon, LocalProjection, Point};
-    use geosocial_trace::{
-        Checkin, GpsTrace, Poi, PoiCategory, PoiUniverse, UserProfile, Visit,
-    };
+    use geosocial_trace::{Checkin, GpsTrace, Poi, PoiCategory, PoiUniverse, UserProfile, Visit};
 
     /// Hand-built dataset: POIs on a line, visits and checkins placed to
     /// exercise each rule.
@@ -370,12 +360,7 @@ mod tests {
             ],
             proj,
         );
-        let visit = |x: f64, start: i64, end: i64| Visit {
-            start,
-            end,
-            centroid: at(x),
-            poi: None,
-        };
+        let visit = |x: f64, start: i64, end: i64| Visit { start, end, centroid: at(x), poi: None };
         let ck = |x: f64, t: i64, poi: u32| Checkin {
             t,
             poi,
@@ -387,15 +372,15 @@ mod tests {
             0,
             GpsTrace::default(),
             vec![
-                visit(0.0, 1_000, 2_000),    // v0: matched by c0
+                visit(0.0, 1_000, 2_000),       // v0: matched by c0
                 visit(5_000.0, 10_000, 11_000), // v1: nobody close in time
-                visit(0.0, 50_000, 52_000),  // v2: contested by c2 and c3
+                visit(0.0, 50_000, 52_000),     // v2: contested by c2 and c3
             ],
             vec![
-                ck(10.0, 1_500, 0),    // c0: inside v0 → honest
+                ck(10.0, 1_500, 0),     // c0: inside v0 → honest
                 ck(5_010.0, 20_000, 2), // c1: near v1 but 9000 s late → extraneous
-                ck(250.0, 50_500, 1),  // c2: 250 m from v2, inside window
-                ck(20.0, 50_600, 0),   // c3: 20 m from v2 → wins the dedup
+                ck(250.0, 50_500, 1),   // c2: 250 m from v2, inside window
+                ck(20.0, 50_600, 0),    // c3: 20 m from v2 → wins the dedup
             ],
             UserProfile::default(),
         )];
@@ -419,11 +404,7 @@ mod tests {
     fn inside_visit_matches_with_zero_dt() {
         let ds = fixture();
         let o = match_checkins(&ds, &MatchConfig::paper());
-        let pair = o
-            .honest
-            .iter()
-            .find(|p| p.checkin.index == 0)
-            .expect("c0 honest");
+        let pair = o.honest.iter().find(|p| p.checkin.index == 0).expect("c0 honest");
         assert_eq!(pair.visit.index, 0);
         assert_eq!(pair.dt_s, 0);
         assert!(pair.distance_m < 15.0);
@@ -442,11 +423,7 @@ mod tests {
     fn dedup_prefers_geographically_closest() {
         let ds = fixture();
         let o = match_checkins(&ds, &MatchConfig::paper());
-        let pair = o
-            .honest
-            .iter()
-            .find(|p| p.visit.index == 2)
-            .expect("v2 matched");
+        let pair = o.honest.iter().find(|p| p.visit.index == 2).expect("v2 matched");
         assert_eq!(pair.checkin.index, 3, "the 20 m checkin beats the 250 m one");
         assert!(o.extraneous.iter().any(|c| c.index == 2));
     }
@@ -473,10 +450,7 @@ mod tests {
         let ds = fixture();
         let pts = sweep(&ds, &[50.0, 200.0, 500.0, 2_000.0], &[30 * MINUTE]);
         for w in pts.windows(2) {
-            assert!(
-                w[0].honest <= w[1].honest,
-                "looser alpha can only add matches"
-            );
+            assert!(w[0].honest <= w[1].honest, "looser alpha can only add matches");
         }
     }
 

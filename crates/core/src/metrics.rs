@@ -35,11 +35,9 @@ fn events_of(
     outcome: Option<&PerUserOutcome<'_>>,
 ) -> Vec<(i64, Option<PoiId>, geosocial_geo::LatLon)> {
     match source {
-        EventSource::Checkins => user
-            .checkins
-            .iter()
-            .map(|c| (c.t, Some(c.poi), c.location))
-            .collect(),
+        EventSource::Checkins => {
+            user.checkins.iter().map(|c| (c.t, Some(c.poi), c.location)).collect()
+        }
         EventSource::HonestCheckins => {
             let honest: HashSet<usize> = outcome
                 .map(|o| o.honest_of(user.id).map(|p| p.checkin.index).collect())
@@ -51,11 +49,7 @@ fn events_of(
                 .map(|(_, c)| (c.t, Some(c.poi), c.location))
                 .collect()
         }
-        EventSource::Visits => user
-            .visits
-            .iter()
-            .map(|v| (v.start, v.poi, v.centroid))
-            .collect(),
+        EventSource::Visits => user.visits.iter().map(|v| (v.start, v.poi, v.centroid)).collect(),
     }
 }
 
@@ -183,15 +177,10 @@ pub struct FiveMetricReport {
 impl FiveMetricReport {
     /// How many of the four checkin-derived metrics the honest subset wins.
     pub fn honest_wins(&self) -> usize {
-        [
-            &self.inter_arrival,
-            &self.movement_distance,
-            &self.event_frequency,
-            &self.poi_entropy,
-        ]
-        .iter()
-        .filter(|m| m.honest_wins())
-        .count()
+        [&self.inter_arrival, &self.movement_distance, &self.event_frequency, &self.poi_entropy]
+            .iter()
+            .filter(|m| m.honest_wins())
+            .count()
     }
 
     /// Render as the text block the fig2 experiment appends.
@@ -204,7 +193,9 @@ impl FiveMetricReport {
                 if m.honest_wins() { "yes" } else { "no" }
             )
         };
-        let mut s = String::from("five-metric validation (paper reports these 'led to the same conclusions'):\n");
+        let mut s = String::from(
+            "five-metric validation (paper reports these 'led to the same conclusions'):\n",
+        );
         s.push_str(&row("inter-arrival", &self.inter_arrival));
         s.push_str(&row("movement distance", &self.movement_distance));
         s.push_str(&row("event frequency", &self.event_frequency));
@@ -265,11 +256,7 @@ pub fn events_per_user_day(dataset: &Dataset, source: EventSource) -> f64 {
     if total_days <= 0.0 {
         return 0.0;
     }
-    let n: usize = dataset
-        .users
-        .iter()
-        .map(|u| events_of(u, source, None).len())
-        .sum();
+    let n: usize = dataset.users.iter().map(|u| events_of(u, source, None).len()).sum();
     n as f64 / total_days
 }
 
@@ -329,11 +316,7 @@ mod tests {
 
     #[test]
     fn movement_distances_between_consecutive_events() {
-        let ds = user_with(
-            vec![ck(0, 0), ck(100, 1), ck(200, 3)],
-            vec![],
-            GpsTrace::default(),
-        );
+        let ds = user_with(vec![ck(0, 0), ck(100, 1), ck(200, 3)], vec![], GpsTrace::default());
         let d = movement_distances(&ds, EventSource::Checkins, None);
         assert_eq!(d.len(), 2);
         assert!((d[0] - 1_000.0).abs() < 2.0);
@@ -343,9 +326,8 @@ mod tests {
     #[test]
     fn event_frequency_per_day() {
         // 2 days of GPS coverage, 6 checkins → 3/day.
-        let gps = GpsTrace::new(
-            (0..=2 * 24).map(|h| GpsPoint { t: h * 3_600, pos: at(0.0) }).collect(),
-        );
+        let gps =
+            GpsTrace::new((0..=2 * 24).map(|h| GpsPoint { t: h * 3_600, pos: at(0.0) }).collect());
         let cks = (0..6).map(|i| ck(i * 3_600, 0)).collect();
         let ds = user_with(cks, vec![], gps);
         let f = event_frequencies(&ds, EventSource::Checkins, None);
@@ -356,11 +338,8 @@ mod tests {
     #[test]
     fn poi_entropy_uniform_vs_concentrated() {
         // Four distinct POIs once each: entropy = 2 bits.
-        let ds = user_with(
-            vec![ck(0, 0), ck(1, 1), ck(2, 2), ck(3, 3)],
-            vec![],
-            GpsTrace::default(),
-        );
+        let ds =
+            user_with(vec![ck(0, 0), ck(1, 1), ck(2, 2), ck(3, 3)], vec![], GpsTrace::default());
         let h = poi_entropies(&ds, EventSource::Checkins, None);
         assert!((h[0] - 2.0).abs() < 1e-9);
         // All events at one POI: entropy = 0.
@@ -373,7 +352,7 @@ mod tests {
     fn gps_speed_respects_gap_limit() {
         let gps = GpsTrace::new(vec![
             GpsPoint { t: 0, pos: at(0.0) },
-            GpsPoint { t: 100, pos: at(200.0) }, // 2 m/s
+            GpsPoint { t: 100, pos: at(200.0) },    // 2 m/s
             GpsPoint { t: 10_000, pos: at(400.0) }, // huge gap: excluded
         ]);
         let ds = user_with(vec![], vec![], gps);

@@ -53,8 +53,8 @@ pub fn top_poi_missing_ratios(
         }
         // Users with fewer than n_max distinct POIs contribute their final
         // cumulative ratio to the remaining n levels.
-        for n in ranked.len().min(n_max)..n_max {
-            ratios[n].push(cum as f64 / total_missing as f64);
+        for r in ratios.iter_mut().take(n_max).skip(ranked.len().min(n_max)) {
+            r.push(cum as f64 / total_missing as f64);
         }
     }
     ratios
@@ -118,9 +118,24 @@ mod tests {
         let at = |x: f64| proj.to_latlon(Point::new(x, 0.0));
         let pois = PoiUniverse::new(
             vec![
-                Poi { id: 0, name: "Home".into(), category: PoiCategory::Residence, location: at(0.0) },
-                Poi { id: 1, name: "Work".into(), category: PoiCategory::Professional, location: at(2_000.0) },
-                Poi { id: 2, name: "Bar".into(), category: PoiCategory::Nightlife, location: at(4_000.0) },
+                Poi {
+                    id: 0,
+                    name: "Home".into(),
+                    category: PoiCategory::Residence,
+                    location: at(0.0),
+                },
+                Poi {
+                    id: 1,
+                    name: "Work".into(),
+                    category: PoiCategory::Professional,
+                    location: at(2_000.0),
+                },
+                Poi {
+                    id: 2,
+                    name: "Bar".into(),
+                    category: PoiCategory::Nightlife,
+                    location: at(4_000.0),
+                },
             ],
             proj,
         );
@@ -140,13 +155,8 @@ mod tests {
             visit(1, 2_000.0, 5),
             visit(2, 4_000.0, 6),
         ];
-        let users = vec![UserData::new(
-            0,
-            GpsTrace::default(),
-            visits,
-            vec![],
-            UserProfile::default(),
-        )];
+        let users =
+            vec![UserData::new(0, GpsTrace::default(), visits, vec![], UserProfile::default())];
         Dataset { name: "F".into(), pois, users }
     }
 

@@ -132,10 +132,7 @@ pub fn filter_tradeoff(compositions: &[UserComposition]) -> Vec<FilterPoint> {
 /// removed (linear scan of the tradeoff curve). Returns `None` if the
 /// target is never reached (no extraneous checkins at all).
 pub fn honest_loss_at(curve: &[FilterPoint], target: f64) -> Option<f64> {
-    curve
-        .iter()
-        .find(|p| p.extraneous_removed >= target)
-        .map(|p| p.honest_lost)
+    curve.iter().find(|p| p.extraneous_removed >= target).map(|p| p.honest_lost)
 }
 
 #[cfg(test)]
@@ -143,13 +140,7 @@ mod tests {
     use super::*;
 
     fn comp(user: UserId, honest: usize, remote: usize) -> UserComposition {
-        UserComposition {
-            user,
-            total: honest + remote,
-            honest,
-            remote,
-            ..Default::default()
-        }
+        UserComposition { user, total: honest + remote, honest, remote, ..Default::default() }
     }
 
     #[test]

@@ -9,9 +9,7 @@
 //! what fraction of GPS visits does the augmented trace now cover?
 
 use crate::matching::{match_checkins, MatchConfig};
-use geosocial_trace::{
-    Checkin, Dataset, PoiCategory, PoiId, UserData, DAY, HOUR,
-};
+use geosocial_trace::{Checkin, Dataset, PoiCategory, PoiId, UserData, DAY, HOUR};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -141,7 +139,11 @@ pub struct RecoveryReport {
 }
 
 /// Run the recovery experiment: match, augment, re-match.
-pub fn recovery_gain(dataset: &Dataset, match_cfg: &MatchConfig, cfg: &RecoveryConfig) -> RecoveryReport {
+pub fn recovery_gain(
+    dataset: &Dataset,
+    match_cfg: &MatchConfig,
+    cfg: &RecoveryConfig,
+) -> RecoveryReport {
     let before = match_checkins(dataset, match_cfg);
     let augmented = augment_with_key_locations(dataset, cfg);
     let after = match_checkins(&augmented, match_cfg);
@@ -167,16 +169,30 @@ mod tests {
         let at = |x: f64| proj.to_latlon(Point::new(x, 0.0));
         let pois = PoiUniverse::new(
             vec![
-                Poi { id: 0, name: "Home".into(), category: PoiCategory::Residence, location: at(0.0) },
-                Poi { id: 1, name: "Work".into(), category: PoiCategory::Professional, location: at(3_000.0) },
-                Poi { id: 2, name: "Cafe".into(), category: PoiCategory::Food, location: at(1_500.0) },
+                Poi {
+                    id: 0,
+                    name: "Home".into(),
+                    category: PoiCategory::Residence,
+                    location: at(0.0),
+                },
+                Poi {
+                    id: 1,
+                    name: "Work".into(),
+                    category: PoiCategory::Professional,
+                    location: at(3_000.0),
+                },
+                Poi {
+                    id: 2,
+                    name: "Cafe".into(),
+                    category: PoiCategory::Food,
+                    location: at(1_500.0),
+                },
             ],
             proj,
         );
         // GPS covers 5 days.
-        let gps = GpsTrace::new(
-            (0..5 * 24).map(|h| GpsPoint { t: h * HOUR, pos: at(0.0) }).collect(),
-        );
+        let gps =
+            GpsTrace::new((0..5 * 24).map(|h| GpsPoint { t: h * HOUR, pos: at(0.0) }).collect());
         // Visits: home every night 21:30–23:30, work every day 9–17.
         let mut visits = Vec::new();
         for d in 0..5i64 {
@@ -213,10 +229,7 @@ mod tests {
     fn estimates_work_from_checkins_and_home_from_centroid() {
         let ds = fixture();
         let u = &ds.users[0];
-        assert_eq!(
-            estimate_key_location(u, &ds, PoiCategory::Professional),
-            Some(1)
-        );
+        assert_eq!(estimate_key_location(u, &ds, PoiCategory::Professional), Some(1));
         // No residence checkins → nearest-to-centroid fallback picks Home.
         assert_eq!(estimate_key_location(u, &ds, PoiCategory::Residence), Some(0));
         // A user with no checkins at all has no estimate.
@@ -245,11 +258,7 @@ mod tests {
         assert!((report.coverage_before - 0.1).abs() < 1e-9);
         // After: nightly home (22:00, inside 21:30–23:30) and daily work
         // events certify most visits.
-        assert!(
-            report.coverage_after > 0.6,
-            "coverage only {:.2}",
-            report.coverage_after
-        );
+        assert!(report.coverage_after > 0.6, "coverage only {:.2}", report.coverage_after);
         assert!(report.events_added > 0);
     }
 
@@ -262,11 +271,7 @@ mod tests {
         );
         let weekdays = augment_with_key_locations(&ds, &RecoveryConfig::default());
         let count = |d: &Dataset| {
-            d.users[0]
-                .checkins
-                .iter()
-                .filter(|c| c.provenance.is_none() && c.poi == 1)
-                .count()
+            d.users[0].checkins.iter().filter(|c| c.provenance.is_none() && c.poi == 1).count()
         };
         assert!(count(&all_days) >= count(&weekdays));
     }
@@ -461,7 +466,12 @@ mod rate_tests {
         let mut checkins = Vec::new();
         for i in 0..10i64 {
             let t0 = i * 7_200;
-            visits.push(Visit { start: t0, end: t0 + 20 * MINUTE, centroid: at(0.0), poi: Some(0) });
+            visits.push(Visit {
+                start: t0,
+                end: t0 + 20 * MINUTE,
+                centroid: at(0.0),
+                poi: Some(0),
+            });
             if i < 2 {
                 checkins.push(Checkin {
                     t: t0 + MINUTE,
@@ -474,7 +484,12 @@ mod rate_tests {
         }
         for i in 0..5i64 {
             let t0 = 100_000 + i * 7_200;
-            visits.push(Visit { start: t0, end: t0 + 20 * MINUTE, centroid: at(5_000.0), poi: Some(1) });
+            visits.push(Visit {
+                start: t0,
+                end: t0 + 20 * MINUTE,
+                centroid: at(5_000.0),
+                poi: Some(1),
+            });
             if i == 0 {
                 checkins.push(Checkin {
                     t: t0 + MINUTE,

@@ -156,13 +156,7 @@ mod tests {
         Dataset {
             name: "T".into(),
             pois: pois(),
-            users: vec![UserData::new(
-                0,
-                GpsTrace::default(),
-                visits,
-                cks,
-                UserProfile::default(),
-            )],
+            users: vec![UserData::new(0, GpsTrace::default(), visits, cks, UserProfile::default())],
         }
     }
 

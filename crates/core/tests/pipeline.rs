@@ -52,11 +52,7 @@ fn matcher_agrees_with_ground_truth_labels() {
     let mut truly_extraneous = 0usize;
     for c in &o.extraneous {
         let user = &ds.users[c.user as usize];
-        if user.checkins[c.index]
-            .provenance
-            .map(|p| p.is_extraneous())
-            .unwrap_or(false)
-        {
+        if user.checkins[c.index].provenance.map(|p| p.is_extraneous()).unwrap_or(false) {
             truly_extraneous += 1;
         }
     }
@@ -81,10 +77,7 @@ fn extraneous_classification_matches_generator_mix() {
     assert!(total > 100.0);
     // Paper: remote dominates (53% of extraneous), superfluous ≈ 20%,
     // driveby ≈ 17%, unclassified ≈ 10%.
-    assert!(
-        r as f64 / total > s as f64 / total,
-        "remote ({r}) should dominate superfluous ({s})"
-    );
+    assert!(r as f64 / total > s as f64 / total, "remote ({r}) should dominate superfluous ({s})");
     assert!(r as f64 / total > 0.3, "remote share {:.2}", r as f64 / total);
     assert!(u as f64 / total < 0.35, "unclassified share {:.2}", u as f64 / total);
 }
@@ -102,9 +95,9 @@ fn figure3_top_pois_concentrate_missing_checkins() {
     let median = top5[top5.len() / 2];
     assert!(median > 0.4, "median top-5 concentration {median:.2}");
     // Monotonicity in n for each user.
-    for i in 0..ratios[0].len() {
-        for n in 1..5 {
-            assert!(ratios[n][i] + 1e-12 >= ratios[n - 1][i]);
+    for n in 1..5 {
+        for (hi, lo) in ratios[n].iter().zip(&ratios[n - 1]) {
+            assert!(hi + 1e-12 >= *lo);
         }
     }
 }
@@ -119,10 +112,7 @@ fn figure4_routine_categories_dominate_missing() {
         .iter()
         .map(|&c| b.fraction(c))
         .sum();
-    assert!(
-        routine > 0.4,
-        "routine categories hold only {routine:.2} of missing checkins"
-    );
+    assert!(routine > 0.4, "routine categories hold only {routine:.2} of missing checkins");
 }
 
 #[test]
@@ -131,10 +121,7 @@ fn figure5_extraneous_checkins_are_widespread() {
     let ds = sc.dataset();
     let o = match_checkins(ds, &MatchConfig::paper());
     let comps = user_compositions(ds, &o, &ClassifyConfig::default());
-    let with_extraneous = comps
-        .iter()
-        .filter(|c| c.total > 0 && c.extraneous() > 0)
-        .count();
+    let with_extraneous = comps.iter().filter(|c| c.total > 0 && c.extraneous() > 0).count();
     let with_checkins = comps.iter().filter(|c| c.total > 0).count();
     // Paper: "nearly all users produced extraneous checkins".
     assert!(
@@ -167,10 +154,7 @@ fn figure6_extraneous_checkins_are_burstier_than_honest() {
     let minute = 60.0;
     let sup_1m = BurstinessSamples::fraction_within(&b.superfluous, minute);
     let hon_1m = BurstinessSamples::fraction_within(&b.honest, minute);
-    assert!(
-        sup_1m > hon_1m + 0.2,
-        "superfluous within-1-min {sup_1m:.2} vs honest {hon_1m:.2}"
-    );
+    assert!(sup_1m > hon_1m + 0.2, "superfluous within-1-min {sup_1m:.2} vs honest {hon_1m:.2}");
     // Paper: honest inter-arrival median > 10 min.
     let mut hon = b.honest.clone();
     hon.sort_by(f64::total_cmp);

@@ -11,8 +11,8 @@ use std::collections::HashSet;
 /// Build a single-user dataset from arbitrary visit and checkin placements
 /// inside a 10 km frame over a 2-day window.
 fn dataset_from(
-    visits: Vec<(f64, f64, i64, i64)>,   // (x, y, start, duration)
-    checkins: Vec<(f64, f64, i64)>,       // (x, y, t)
+    visits: Vec<(f64, f64, i64, i64)>, // (x, y, start, duration)
+    checkins: Vec<(f64, f64, i64)>,    // (x, y, t)
 ) -> Dataset {
     let proj = LocalProjection::new(LatLon::new(34.4, -119.8));
     let at = |x: f64, y: f64| proj.to_latlon(Point::new(x, y));
@@ -58,21 +58,13 @@ fn dataset_from(
 
 fn visit_strategy() -> impl Strategy<Value = Vec<(f64, f64, i64, i64)>> {
     prop::collection::vec(
-        (
-            -5_000.0..5_000.0f64,
-            -5_000.0..5_000.0f64,
-            0..172_800i64,
-            60..7_200i64,
-        ),
+        (-5_000.0..5_000.0f64, -5_000.0..5_000.0f64, 0..172_800i64, 60..7_200i64),
         0..25,
     )
 }
 
 fn checkin_strategy() -> impl Strategy<Value = Vec<(f64, f64, i64)>> {
-    prop::collection::vec(
-        (-5_000.0..5_000.0f64, -5_000.0..5_000.0f64, 0..172_800i64),
-        0..25,
-    )
+    prop::collection::vec((-5_000.0..5_000.0f64, -5_000.0..5_000.0f64, 0..172_800i64), 0..25)
 }
 
 proptest! {

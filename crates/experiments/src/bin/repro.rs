@@ -33,7 +33,7 @@ struct Args {
     bench: bool,
 }
 
-const ALL_EXPS: [(&str, &str); 20] = [
+const ALL_EXPS: [(&str, &str); 21] = [
     ("table1", "Table 1 — dataset statistics for both cohorts"),
     ("fig1", "Figure 1 — checkin/visit matching Venn"),
     ("fig2", "Figure 2 — inter-arrival CDFs"),
@@ -54,6 +54,7 @@ const ALL_EXPS: [(&str, &str); 20] = [
     ("visitdef", "visit-definition sensitivity sweep (X8)"),
     ("dsdv", "Figure 8 under DSDV routing (X9)"),
     ("equiv", "online-vs-batch streaming equivalence audit (X10)"),
+    ("chaos", "served equivalence under an injected fault plan (X11)"),
 ];
 
 fn print_experiment_list() {
@@ -83,15 +84,15 @@ fn parse_args() -> Args {
                 std::process::exit(0);
             }
             "--exp" => {
-                args.exps = it
-                    .next()
-                    .expect("--exp needs a value")
-                    .split(',')
-                    .map(str::to_string)
-                    .collect()
+                args.exps =
+                    it.next().expect("--exp needs a value").split(',').map(str::to_string).collect()
             }
-            "--users" => args.users = Some(it.next().expect("--users needs a value").parse().expect("users")),
-            "--days" => args.days = Some(it.next().expect("--days needs a value").parse().expect("days")),
+            "--users" => {
+                args.users = Some(it.next().expect("--users needs a value").parse().expect("users"))
+            }
+            "--days" => {
+                args.days = Some(it.next().expect("--days needs a value").parse().expect("days"))
+            }
             "--seed" => args.seed = it.next().expect("--seed needs a value").parse().expect("seed"),
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
             "--threads" => {
@@ -150,7 +151,11 @@ fn git_describe() -> String {
 }
 
 /// Time `Analysis::run` end-to-end at a given pool width.
-fn time_analysis(config: &geosocial_checkin::scenario::ScenarioConfig, seed: u64, threads: usize) -> f64 {
+fn time_analysis(
+    config: &geosocial_checkin::scenario::ScenarioConfig,
+    seed: u64,
+    threads: usize,
+) -> f64 {
     geosocial_par::set_max_threads(threads);
     let mut clock = Stopwatch::start();
     let a = Analysis::run(config, seed);
@@ -182,11 +187,7 @@ fn main() {
     }
     std::fs::create_dir_all(&args.out).expect("create output dir");
 
-    let mut config = if args.quick {
-        Analysis::quick_config()
-    } else {
-        Analysis::paper_config()
-    };
+    let mut config = if args.quick { Analysis::quick_config() } else { Analysis::paper_config() };
     if let Some(u) = args.users {
         config.primary_users = u;
         config.baseline_users = (u / 5).max(2);
@@ -265,6 +266,7 @@ fn main() {
             "rates" => extensions::category_rate_recovery(&analysis),
             "visitdef" => extensions::visit_sensitivity(&analysis),
             "equiv" => streaming::streaming_equivalence(&analysis, &config, args.seed),
+            "chaos" => streaming::chaos_equivalence(&analysis, args.seed),
             other => {
                 eprintln!("unknown experiment {other}");
                 print_experiment_list();
@@ -306,8 +308,7 @@ fn main() {
     if args.bench {
         // End-to-end pipeline benchmark: Analysis::run serial vs parallel.
         // The outputs are bit-identical; only the wall clock moves.
-        let host_cpus =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         // Default to the host width, never past it: oversubscribing a
         // 1-CPU host measures scheduler churn, not the pipeline, and the
         // resulting "speedup" is noise.

@@ -45,9 +45,7 @@ pub fn alpha_beta_sweep(a: &Analysis) -> ExperimentOutput {
 /// X2 — burstiness-detector precision/recall over the gap threshold
 /// (§7 "Detecting Extraneous Checkins", made scoreable by ground truth).
 pub fn detector_curve(a: &Analysis) -> ExperimentOutput {
-    let gaps: Vec<i64> = [15, 30, 60, 120, 300, 600, 1_800]
-        .into_iter()
-        .collect();
+    let gaps: Vec<i64> = [15, 30, 60, 120, 300, 600, 1_800].into_iter().collect();
     let results = threshold_sweep(&a.scenario.primary, &gaps, 45.0);
     let mut text = String::from(
         "X2 — extraneous-checkin detector (burst gap + implied-speed features, checkin trace only).\n\
@@ -104,11 +102,7 @@ pub fn filter_curve(a: &Analysis) -> ExperimentOutput {
 /// X4 — missing-checkin recovery by key-location up-sampling (§7's second
 /// open problem).
 pub fn recovery(a: &Analysis) -> ExperimentOutput {
-    let report = recovery_gain(
-        &a.scenario.primary,
-        &a.match_config,
-        &RecoveryConfig::default(),
-    );
+    let report = recovery_gain(&a.scenario.primary, &a.match_config, &RecoveryConfig::default());
     let text = format!(
         "X4 — recovery via estimated home/work up-sampling.\n\
          visit coverage before: {:.1}%\n\
@@ -124,46 +118,6 @@ pub fn recovery(a: &Analysis) -> ExperimentOutput {
         report.coverage_before, report.coverage_after
     );
     ExperimentOutput { id: "recover".into(), text, csv: vec![("".into(), csv)] }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use geosocial_checkin::scenario::ScenarioConfig;
-
-    fn analysis() -> Analysis {
-        Analysis::run(&ScenarioConfig::small(10, 7), 21)
-    }
-
-    #[test]
-    fn all_extensions_render() {
-        let a = analysis();
-        for out in [
-            alpha_beta_sweep(&a),
-            detector_curve(&a),
-            filter_curve(&a),
-            recovery(&a),
-        ] {
-            assert!(!out.text.is_empty(), "{} empty", out.id);
-            for (_, csv) in &out.csv {
-                assert!(csv.lines().count() >= 2);
-            }
-        }
-    }
-
-    #[test]
-    fn recovery_does_not_reduce_coverage() {
-        let a = analysis();
-        let out = recovery(&a);
-        // Parse the csv back to check the invariant.
-        let (_, csv) = &out.csv[0];
-        let vals: Vec<f64> = csv
-            .lines()
-            .skip(1)
-            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
-            .collect();
-        assert!(vals[1] >= vals[0], "coverage decreased: {vals:?}");
-    }
 }
 
 /// X5 — learned detector (§7's "machine learning techniques"): logistic
@@ -274,12 +228,7 @@ pub fn model_fidelity(a: &Analysis) -> ExperimentOutput {
     // Speed is where the fitted couplings diverge; compare segment speeds
     // (flight length / flight duration) as well.
     let speeds_of = |s: &TrainingSample| -> Vec<f64> {
-        s.flights_m
-            .iter()
-            .zip(&s.times_s)
-            .filter(|(_, &t)| t > 0.0)
-            .map(|(&d, &t)| d / t)
-            .collect()
+        s.flights_m.iter().zip(&s.times_s).filter(|(_, &t)| t > 0.0).map(|(&d, &t)| d / t).collect()
     };
     let truth_speeds = speeds_of(&truth);
     let mut text = String::from(
@@ -289,11 +238,9 @@ pub fn model_fidelity(a: &Analysis) -> ExperimentOutput {
     );
     let mut csv = String::from("model,flight_ks,pause_ks,speed_ks\n");
     let mut speed_ks_of = std::collections::HashMap::new();
-    for (label, model) in [
-        ("GPS", &models.gps),
-        ("Honest-Checkin", &models.honest),
-        ("All-Checkin", &models.all),
-    ] {
+    for (label, model) in
+        [("GPS", &models.gps), ("Honest-Checkin", &models.honest), ("All-Checkin", &models.all)]
+    {
         // Generate a day of movement from 50 nodes and pool the stats.
         let mut rng = ChaCha12Rng::seed_from_u64(0xF1DE ^ label.len() as u64);
         let mut generated = TrainingSample::default();
@@ -328,9 +275,7 @@ pub fn model_fidelity(a: &Analysis) -> ExperimentOutput {
 pub fn category_rate_recovery(a: &Analysis) -> ExperimentOutput {
     use geosocial_core::detect::DetectorConfig;
     use geosocial_core::matching::match_checkins;
-    use geosocial_core::recover::{
-        estimate_category_rates, estimate_visit_volumes, VolumeReport,
-    };
+    use geosocial_core::recover::{estimate_category_rates, estimate_visit_volumes, VolumeReport};
     use geosocial_trace::PoiCategory;
 
     let baseline_outcome = match_checkins(&a.scenario.baseline, &a.match_config);
@@ -338,18 +283,18 @@ pub fn category_rate_recovery(a: &Analysis) -> ExperimentOutput {
     // Cross-cohort rates transfer imperfectly; sweep the damping exponent
     // and report the tradeoff (0 = raw counts, 1 = full correction).
     let mut best = None;
-    let mut sweep_text = String::from("damping  tv_distance
-");
+    let mut sweep_text = String::from(
+        "damping  tv_distance
+",
+    );
     for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let r = estimate_visit_volumes(
-            &a.scenario.primary,
-            &rates,
-            &DetectorConfig::default(),
-            lambda,
-        );
+        let r =
+            estimate_visit_volumes(&a.scenario.primary, &rates, &DetectorConfig::default(), lambda);
         let tv = VolumeReport::share_distance(&r.actual, &r.corrected);
-        sweep_text.push_str(&format!("{lambda:7.2} {tv:12.3}
-"));
+        sweep_text.push_str(&format!(
+            "{lambda:7.2} {tv:12.3}
+"
+        ));
         if best.as_ref().map(|&(_, b, _)| tv < b).unwrap_or(true) {
             best = Some((lambda, tv, r));
         }
@@ -412,10 +357,7 @@ pub fn visit_sensitivity(a: &Analysis) -> ExperimentOutput {
     );
     let mut csv = String::from("min_stay_min,visits,honest,extraneous_ratio,missing_ratio\n");
     for min_stay_min in [3i64, 4, 6, 8, 10, 15] {
-        let cfg = VisitConfig {
-            min_duration: min_stay_min * MINUTE,
-            ..VisitConfig::default()
-        };
+        let cfg = VisitConfig { min_duration: min_stay_min * MINUTE, ..VisitConfig::default() };
         // Re-detect visits from the same GPS traces, one user per task.
         let users: Vec<UserData> = geosocial_par::par_map(&a.scenario.primary.users, |u| {
             let visits = detect_visits(&u.gps, &cfg, Some(&a.scenario.primary.pois));
@@ -448,4 +390,36 @@ pub fn visit_sensitivity(a: &Analysis) -> ExperimentOutput {
         "shape check: the extraneous majority and missing vast-majority must hold at every row.\n",
     );
     ExperimentOutput { id: "visitdef".into(), text, csv: vec![("".into(), csv)] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosocial_checkin::scenario::ScenarioConfig;
+
+    fn analysis() -> Analysis {
+        Analysis::run(&ScenarioConfig::small(10, 7), 21)
+    }
+
+    #[test]
+    fn all_extensions_render() {
+        let a = analysis();
+        for out in [alpha_beta_sweep(&a), detector_curve(&a), filter_curve(&a), recovery(&a)] {
+            assert!(!out.text.is_empty(), "{} empty", out.id);
+            for (_, csv) in &out.csv {
+                assert!(csv.lines().count() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_does_not_reduce_coverage() {
+        let a = analysis();
+        let out = recovery(&a);
+        // Parse the csv back to check the invariant.
+        let (_, csv) = &out.csv[0];
+        let vals: Vec<f64> =
+            csv.lines().skip(1).map(|l| l.split(',').nth(1).unwrap().parse().unwrap()).collect();
+        assert!(vals[1] >= vals[0], "coverage decreased: {vals:?}");
+    }
 }

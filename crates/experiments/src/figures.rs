@@ -33,8 +33,16 @@ pub fn table1(a: &Analysis) -> ExperimentOutput {
     let csv = format!(
         "dataset,users,avg_days,checkins,visits,gps_points\n\
          Primary,{},{:.1},{},{},{}\nBaseline,{},{:.1},{},{},{}\n",
-        p.users, p.avg_days_per_user, p.checkins, p.visits, p.gps_points,
-        b.users, b.avg_days_per_user, b.checkins, b.visits, b.gps_points,
+        p.users,
+        p.avg_days_per_user,
+        p.checkins,
+        p.visits,
+        p.gps_points,
+        b.users,
+        b.avg_days_per_user,
+        b.checkins,
+        b.visits,
+        b.gps_points,
     );
     ExperimentOutput { id: "table1".into(), text, csv: vec![("".into(), csv)] }
 }
@@ -74,26 +82,16 @@ pub fn fig1(a: &Analysis) -> ExperimentOutput {
 /// Figure 2: inter-arrival CDFs of the five traces, plus the KS validation.
 pub fn fig2(a: &Analysis) -> ExperimentOutput {
     let min = 60.0;
-    let all_p: Vec<f64> = checkin_inter_arrivals(&a.scenario.primary)
-        .iter()
-        .map(|s| s / min)
-        .collect();
-    let honest: Vec<f64> = honest_inter_arrivals(&a.scenario.primary, &a.outcome)
-        .iter()
-        .map(|s| s / min)
-        .collect();
-    let all_b: Vec<f64> = checkin_inter_arrivals(&a.scenario.baseline)
-        .iter()
-        .map(|s| s / min)
-        .collect();
-    let gps_p: Vec<f64> = visit_inter_arrivals(&a.scenario.primary)
-        .iter()
-        .map(|s| s / min)
-        .collect();
-    let gps_b: Vec<f64> = visit_inter_arrivals(&a.scenario.baseline)
-        .iter()
-        .map(|s| s / min)
-        .collect();
+    let all_p: Vec<f64> =
+        checkin_inter_arrivals(&a.scenario.primary).iter().map(|s| s / min).collect();
+    let honest: Vec<f64> =
+        honest_inter_arrivals(&a.scenario.primary, &a.outcome).iter().map(|s| s / min).collect();
+    let all_b: Vec<f64> =
+        checkin_inter_arrivals(&a.scenario.baseline).iter().map(|s| s / min).collect();
+    let gps_p: Vec<f64> =
+        visit_inter_arrivals(&a.scenario.primary).iter().map(|s| s / min).collect();
+    let gps_b: Vec<f64> =
+        visit_inter_arrivals(&a.scenario.baseline).iter().map(|s| s / min).collect();
     let grid = Ecdf::log_grid(0.1, 10_000.0, 60);
     let series: Vec<Series> = [
         ("All Checkin Primary", &all_p),
@@ -165,11 +163,8 @@ pub fn fig3(a: &Analysis) -> ExperimentOutput {
 /// Figure 4: missing checkins by POI category.
 pub fn fig4(a: &Analysis) -> ExperimentOutput {
     let b = missing_by_category(&a.scenario.primary, &a.outcome);
-    let rows: Vec<(String, f64)> = b
-        .rows()
-        .into_iter()
-        .map(|(c, f)| (c.label().to_string(), f * 100.0))
-        .collect();
+    let rows: Vec<(String, f64)> =
+        b.rows().into_iter().map(|(c, f)| (c.label().to_string(), f * 100.0)).collect();
     let mut text = String::from(
         "Figure 4 — missing checkins by POI category, % (paper: Professional, Shop, Food lead).\n",
     );
@@ -205,7 +200,7 @@ pub fn table2(a: &Analysis) -> ExperimentOutput {
         for v in row {
             match v {
                 Some(x) => csv.push_str(&format!(",{x:.4}")),
-                None => csv.push_str(","),
+                None => csv.push(','),
             }
         }
         csv.push('\n');
@@ -217,9 +212,14 @@ pub fn table2(a: &Analysis) -> ExperimentOutput {
         ("Honest x Badges", 3, 1),
         ("Honest x Ckin/Day", 3, 3),
     ] {
-        if let Some(ci) =
-            geosocial_core::incentives::correlation_ci(&a.scenario.primary, &a.compositions, row, col, 500, 20130101)
-        {
+        if let Some(ci) = geosocial_core::incentives::correlation_ci(
+            &a.scenario.primary,
+            &a.compositions,
+            row,
+            col,
+            500,
+            20130101,
+        ) {
             text.push_str(&format!(
                 "95% CI {label}: [{:.2}, {:.2}]{}\n",
                 ci.lo,
@@ -241,15 +241,11 @@ pub fn fig5(a: &Analysis) -> ExperimentOutput {
     let rem: Vec<f64> = active.iter().map(|c| c.kind_ratio(ExtraneousKind::Remote)).collect();
     let dri: Vec<f64> = active.iter().map(|c| c.kind_ratio(ExtraneousKind::Driveby)).collect();
     let grid: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
-    let series: Vec<Series> = [
-        ("Driveby", &dri),
-        ("Superfluous", &sup),
-        ("Remote", &rem),
-        ("All Extraneous", &all),
-    ]
-    .iter()
-    .filter_map(|(l, s)| Series::cdf(l, s, &grid))
-    .collect();
+    let series: Vec<Series> =
+        [("Driveby", &dri), ("Superfluous", &sup), ("Remote", &rem), ("All Extraneous", &all)]
+            .iter()
+            .filter_map(|(l, s)| Series::cdf(l, s, &grid))
+            .collect();
     let mut text = String::from(
         "Figure 5 — per-user extraneous ratio CDFs (paper: nearly all users have extraneous checkins; top 20% of users are ≥80% extraneous).\n",
     );
@@ -281,13 +277,7 @@ pub fn fig6(a: &Analysis) -> ExperimentOutput {
         let mins: Vec<f64> = s.iter().map(|g| g / minute).collect();
         text.push_str(&render_cdf_summary(label, &mins, "min"));
     }
-    let extr: Vec<f64> = b
-        .superfluous
-        .iter()
-        .chain(&b.remote)
-        .chain(&b.driveby)
-        .copied()
-        .collect();
+    let extr: Vec<f64> = b.superfluous.iter().chain(&b.remote).chain(&b.driveby).copied().collect();
     let within_1m = geosocial_core::burstiness::BurstinessSamples::fraction_within(&extr, 60.0);
     text.push_str(&format!(
         "extraneous checkins arriving within 1 min: {:.0}% (paper: 35%)\n",
@@ -314,16 +304,9 @@ mod tests {
     #[test]
     fn every_figure_renders_text_and_csv() {
         let a = analysis();
-        for out in [
-            table1(&a),
-            fig1(&a),
-            fig2(&a),
-            fig3(&a),
-            fig4(&a),
-            table2(&a),
-            fig5(&a),
-            fig6(&a),
-        ] {
+        for out in
+            [table1(&a), fig1(&a), fig2(&a), fig3(&a), fig4(&a), table2(&a), fig5(&a), fig6(&a)]
+        {
             assert!(!out.text.is_empty(), "{} text empty", out.id);
             assert!(!out.csv.is_empty(), "{} csv missing", out.id);
             for (suffix, csv) in &out.csv {

@@ -37,13 +37,7 @@ pub fn training_traces(dataset: &Dataset, outcome: &MatchOutcome) -> TrainingTra
     }
     let (gps, honest, all) = geosocial_par::par_reduce(
         &dataset.users,
-        || {
-            (
-                TrainingSample::default(),
-                TrainingSample::default(),
-                TrainingSample::default(),
-            )
-        },
+        || (TrainingSample::default(), TrainingSample::default(), TrainingSample::default()),
         |(mut gps, mut honest, mut all), _, user| {
             gps.merge(&TrainingSample::from_visits(&user.visits, proj));
             all.merge(&TrainingSample::from_checkins(&user.checkins, proj));
@@ -99,21 +93,15 @@ pub fn fig7(a: &Analysis) -> ExperimentOutput {
     );
     let mut csv_flight = Vec::new();
     let mut csv_pause = Vec::new();
-    for (label, sample) in [
-        ("GPS", &traces.gps),
-        ("Honest-Ckin", &traces.honest),
-        ("All-Ckin", &traces.all),
-    ] {
+    for (label, sample) in
+        [("GPS", &traces.gps), ("Honest-Ckin", &traces.honest), ("All-Ckin", &traces.all)]
+    {
         let km: Vec<f64> = sample.flights_m.iter().map(|m| m / 1_000.0).collect();
         if let Some(series) = pdf_series(label, &km, 0.01, 1_000.0) {
             csv_flight.push(series);
         }
         let med = geosocial_stats::median(&km).unwrap_or(0.0);
-        text.push_str(&format!(
-            "{label:<12} flights={} median={:.2} km",
-            sample.n_flights(),
-            med
-        ));
+        text.push_str(&format!("{label:<12} flights={} median={:.2} km", sample.n_flights(), med));
         if let Some(m) = &models {
             let model = match label {
                 "GPS" => &m.gps,
@@ -233,23 +221,13 @@ pub struct Fig8Run {
 impl Fig8Run {
     /// All repetitions' values of a per-pair series, pooled.
     fn pooled<F: Fn(&MetricsReport) -> Vec<f64>>(&self, f: F) -> Vec<f64> {
-        self.reports.iter().flat_map(|r| f(r)).collect()
+        self.reports.iter().flat_map(f).collect()
     }
 
     /// Delivery ratio over all repetitions.
     fn delivery(&self) -> f64 {
-        let sent: u64 = self
-            .reports
-            .iter()
-            .flat_map(|r| &r.pairs)
-            .map(|p| p.data_sent)
-            .sum();
-        let got: u64 = self
-            .reports
-            .iter()
-            .flat_map(|r| &r.pairs)
-            .map(|p| p.data_delivered)
-            .sum();
+        let sent: u64 = self.reports.iter().flat_map(|r| &r.pairs).map(|p| p.data_sent).sum();
+        let got: u64 = self.reports.iter().flat_map(|r| &r.pairs).map(|p| p.data_delivered).sum();
         if sent == 0 {
             0.0
         } else {
@@ -308,12 +286,8 @@ pub fn fig8(models: &FittedModels, cfg: &Fig8Config, seed: u64) -> ExperimentOut
         let ch = run.pooled(MetricsReport::route_change_series);
         let av = run.pooled(MetricsReport::availability_series);
         let ov = run.pooled(MetricsReport::overhead_series);
-        let delivered: u64 = run
-            .reports
-            .iter()
-            .flat_map(|r| &r.pairs)
-            .map(|p| p.data_delivered)
-            .sum();
+        let delivered: u64 =
+            run.reports.iter().flat_map(|r| &r.pairs).map(|p| p.data_delivered).sum();
         let aggregate_overhead = run.routing_tx() as f64 / delivered.max(1) as f64;
         text.push_str(&format!(
             "{:<15} delivery={:.2} | route-changes/min mean={:.3} | availability mean={:.2} | overhead mean/pair={:.1} aggregate={:.1} | routing_tx={}\n",
@@ -355,10 +329,10 @@ const MODEL_LABELS: [&str; 3] = ["GPS", "Honest-Checkin", "All-Checkin"];
 
 /// The flat `(model index, label, model, repetition)` task grid that fig8
 /// and its DSDV variant fan out over the thread pool.
-fn model_rep_grid<'m>(
-    models: &'m FittedModels,
+fn model_rep_grid(
+    models: &FittedModels,
     repetitions: u32,
-) -> Vec<(usize, &'static str, &'m LevyWalkModel, u32)> {
+) -> Vec<(usize, &'static str, &LevyWalkModel, u32)> {
     [&models.gps, &models.honest, &models.all]
         .into_iter()
         .enumerate()
@@ -369,9 +343,9 @@ fn model_rep_grid<'m>(
 }
 
 fn hash_label(label: &str) -> u64 {
-    label.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-    })
+    label
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3))
 }
 
 /// `n` distinct random (src, dst) pairs with `src != dst`.
@@ -409,6 +383,75 @@ pub fn mean_speed_of(model: &LevyWalkModel, area_m: f64, seed: u64) -> f64 {
     }
 }
 
+/// X9 — protocol robustness: rerun Figure 8 under DSDV (proactive
+/// distance-vector) instead of AODV. If the GPS-vs-checkin deviations
+/// survive a protocol swap, they are properties of the mobility inputs —
+/// the paper's thesis — and not artifacts of AODV.
+pub fn fig8_dsdv(models: &FittedModels, cfg: &Fig8Config, seed: u64) -> ExperimentOutput {
+    use geosocial_manet::{DsdvConfig, DsdvSimulator};
+    let mut text = format!(
+        "X9 — Figure 8 under DSDV ({} nodes, {:.0}×{:.0} km, {} pairs, {} s).\n",
+        cfg.nodes,
+        cfg.area_m / 1_000.0,
+        cfg.area_m / 1_000.0,
+        cfg.pairs,
+        cfg.duration_ms / 1_000,
+    );
+    let mut avail_series = Vec::new();
+    let ratio_grid: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+    let mut csv_rows =
+        String::from("model,delivery,availability_mean,route_changes_per_min,routing_tx\n");
+    // Same fan-out as fig8: the whole (model, repetition) grid runs as one
+    // flat task list, regrouped per model in repetition order afterwards.
+    let tasks = model_rep_grid(models, cfg.repetitions);
+    let reports = geosocial_par::par_map(&tasks, |&(_, label, model, rep)| {
+        let run_seed = seed ^ hash_label(label) ^ (rep as u64).wrapping_mul(0x9e37_79b9);
+        let mut rng = ChaCha12Rng::seed_from_u64(run_seed);
+        let traces: Vec<MovementTrace> = (0..cfg.nodes)
+            .map(|_| model.generate(cfg.area_m, cfg.duration_ms / 1_000 + 60, &mut rng))
+            .collect();
+        let pairs = random_pairs(cfg.nodes, cfg.pairs, &mut rng);
+        let dsdv_cfg = DsdvConfig { duration_ms: cfg.duration_ms, ..Default::default() };
+        DsdvSimulator::new(traces, pairs, dsdv_cfg, run_seed).run()
+    });
+    for (mi, label) in MODEL_LABELS.iter().enumerate() {
+        let mut avail_all = Vec::new();
+        let mut change_all = Vec::new();
+        let mut delivered = 0u64;
+        let mut sent = 0u64;
+        let mut routing = 0u64;
+        for report in tasks.iter().zip(&reports).filter(|((ti, ..), _)| *ti == mi).map(|(_, r)| r) {
+            avail_all.extend(report.availability_series());
+            change_all.extend(report.route_change_series());
+            delivered += report.pairs.iter().map(|p| p.data_delivered).sum::<u64>();
+            sent += report.pairs.iter().map(|p| p.data_sent).sum::<u64>();
+            routing += report.total_routing_tx;
+        }
+        let delivery = if sent == 0 { 0.0 } else { delivered as f64 / sent as f64 };
+        text.push_str(&format!(
+            "{label:<15} delivery={delivery:.2} | availability mean={:.2} | route-changes/min mean={:.3} | routing_tx={routing}\n",
+            mean(&avail_all),
+            mean(&change_all),
+        ));
+        csv_rows.push_str(&format!(
+            "{label},{delivery:.4},{:.4},{:.4},{routing}\n",
+            mean(&avail_all),
+            mean(&change_all),
+        ));
+        if let Some(s) = Series::cdf(label, &avail_all, &ratio_grid) {
+            avail_series.push(s);
+        }
+    }
+    text.push_str(
+        "robustness check: the checkin-trained models must still deviate from GPS under a proactive protocol.\n",
+    );
+    ExperimentOutput {
+        id: "dsdv".into(),
+        text,
+        csv: vec![("".into(), csv_rows), ("_availability".into(), series_csv(&avail_series))],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,10 +486,7 @@ mod tests {
         assert_eq!(m.all.pause, m.gps.pause);
         // GPS (dense sampling) flights skew shorter than honest-checkin's:
         // a heavier tail index for GPS.
-        assert!(
-            m.gps.flight.alpha != m.honest.flight.alpha,
-            "models should differ"
-        );
+        assert!(m.gps.flight.alpha != m.honest.flight.alpha, "models should differ");
     }
 
     #[test]
@@ -476,81 +516,5 @@ mod tests {
         for &(s, d) in &pairs {
             assert!(s != d && s < 50 && d < 50);
         }
-    }
-}
-
-/// X9 — protocol robustness: rerun Figure 8 under DSDV (proactive
-/// distance-vector) instead of AODV. If the GPS-vs-checkin deviations
-/// survive a protocol swap, they are properties of the mobility inputs —
-/// the paper's thesis — and not artifacts of AODV.
-pub fn fig8_dsdv(models: &FittedModels, cfg: &Fig8Config, seed: u64) -> ExperimentOutput {
-    use geosocial_manet::{DsdvConfig, DsdvSimulator};
-    let mut text = format!(
-        "X9 — Figure 8 under DSDV ({} nodes, {:.0}×{:.0} km, {} pairs, {} s).\n",
-        cfg.nodes,
-        cfg.area_m / 1_000.0,
-        cfg.area_m / 1_000.0,
-        cfg.pairs,
-        cfg.duration_ms / 1_000,
-    );
-    let mut avail_series = Vec::new();
-    let ratio_grid: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
-    let mut csv_rows = String::from("model,delivery,availability_mean,route_changes_per_min,routing_tx\n");
-    // Same fan-out as fig8: the whole (model, repetition) grid runs as one
-    // flat task list, regrouped per model in repetition order afterwards.
-    let tasks = model_rep_grid(models, cfg.repetitions);
-    let reports = geosocial_par::par_map(&tasks, |&(_, label, model, rep)| {
-        let run_seed = seed ^ hash_label(label) ^ (rep as u64).wrapping_mul(0x9e37_79b9);
-        let mut rng = ChaCha12Rng::seed_from_u64(run_seed);
-        let traces: Vec<MovementTrace> = (0..cfg.nodes)
-            .map(|_| model.generate(cfg.area_m, cfg.duration_ms / 1_000 + 60, &mut rng))
-            .collect();
-        let pairs = random_pairs(cfg.nodes, cfg.pairs, &mut rng);
-        let dsdv_cfg = DsdvConfig { duration_ms: cfg.duration_ms, ..Default::default() };
-        DsdvSimulator::new(traces, pairs, dsdv_cfg, run_seed).run()
-    });
-    for (mi, label) in MODEL_LABELS.iter().enumerate() {
-        let mut avail_all = Vec::new();
-        let mut change_all = Vec::new();
-        let mut delivered = 0u64;
-        let mut sent = 0u64;
-        let mut routing = 0u64;
-        for report in tasks
-            .iter()
-            .zip(&reports)
-            .filter(|((ti, ..), _)| *ti == mi)
-            .map(|(_, r)| r)
-        {
-            avail_all.extend(report.availability_series());
-            change_all.extend(report.route_change_series());
-            delivered += report.pairs.iter().map(|p| p.data_delivered).sum::<u64>();
-            sent += report.pairs.iter().map(|p| p.data_sent).sum::<u64>();
-            routing += report.total_routing_tx;
-        }
-        let delivery = if sent == 0 { 0.0 } else { delivered as f64 / sent as f64 };
-        text.push_str(&format!(
-            "{label:<15} delivery={delivery:.2} | availability mean={:.2} | route-changes/min mean={:.3} | routing_tx={routing}\n",
-            mean(&avail_all),
-            mean(&change_all),
-        ));
-        csv_rows.push_str(&format!(
-            "{label},{delivery:.4},{:.4},{:.4},{routing}\n",
-            mean(&avail_all),
-            mean(&change_all),
-        ));
-        if let Some(s) = Series::cdf(label, &avail_all, &ratio_grid) {
-            avail_series.push(s);
-        }
-    }
-    text.push_str(
-        "robustness check: the checkin-trained models must still deviate from GPS under a proactive protocol.\n",
-    );
-    ExperimentOutput {
-        id: "dsdv".into(),
-        text,
-        csv: vec![
-            ("".into(), csv_rows),
-            ("_availability".into(), series_csv(&avail_series)),
-        ],
     }
 }

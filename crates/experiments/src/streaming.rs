@@ -10,13 +10,18 @@
 //!    `geosocial-serve` instance with a single worker shard;
 //! 3. **Served replay, 4 shards** — again with per-user state fanned out
 //!    across four shards, proving the sharding is composition-invariant.
+//!
+//! The companion `chaos` experiment re-runs the served replay under an
+//! aggressive deterministic fault plan (see [`chaos_equivalence`]).
 
 use crate::figures::ExperimentOutput;
 use crate::Analysis;
 use geosocial_checkin::scenario::ScenarioConfig;
-use geosocial_serve::loadgen::{run as replay, shutdown_server, LoadgenConfig};
+use geosocial_fault::{FaultPlan, ShardKill};
+use geosocial_serve::loadgen::{run as replay, shutdown_server, LoadgenConfig, RetryPolicy};
 use geosocial_serve::server::{spawn, ServerConfig};
 use geosocial_stream::equivalence_report;
+use std::time::Duration;
 
 /// Replay scale for the served checks: kept small enough that the audit
 /// stays in CI territory even at `--exp all` paper scale.
@@ -35,8 +40,7 @@ pub fn streaming_equivalence(a: &Analysis, config: &ScenarioConfig, seed: u64) -
 
     // 1. In-process cohort replay, both datasets of the scenario.
     for ds in [&a.scenario.primary, &a.scenario.baseline] {
-        let report =
-            equivalence_report(ds, &a.match_config, &a.classify_config, &config.visit);
+        let report = equivalence_report(ds, &a.match_config, &a.classify_config, &config.visit);
         let ok = report.identical && report.late_dropped == 0 && report.forced == 0;
         all_ok &= ok;
         text.push_str(&format!(
@@ -111,7 +115,11 @@ pub fn streaming_equivalence(a: &Analysis, config: &ScenarioConfig, seed: u64) -
 
     text.push_str(&format!(
         "\noverall: {}\n",
-        if all_ok { "streaming path reproduces the batch pipeline exactly" } else { "DIVERGENCE DETECTED" }
+        if all_ok {
+            "streaming path reproduces the batch pipeline exactly"
+        } else {
+            "DIVERGENCE DETECTED"
+        }
     ));
     ExperimentOutput { id: "equiv".into(), text, csv: vec![("".into(), csv)] }
 }
@@ -129,8 +137,7 @@ struct ServedRow {
 }
 
 fn serve_and_verify(shards: usize, seed: u64) -> std::io::Result<ServedRow> {
-    let server =
-        spawn(ServerConfig { shards, ..ServerConfig::default() }, "127.0.0.1:0")?;
+    let server = spawn(ServerConfig { shards, ..ServerConfig::default() }, "127.0.0.1:0")?;
     let addr = server.addr();
     let load = LoadgenConfig {
         users: SERVE_USERS,
@@ -139,6 +146,7 @@ fn serve_and_verify(shards: usize, seed: u64) -> std::io::Result<ServedRow> {
         connections: shards.max(2),
         window: 128,
         verify: true,
+        ..LoadgenConfig::default()
     };
     let report = replay(addr, &load)?;
     shutdown_server(addr)?;
@@ -154,4 +162,134 @@ fn serve_and_verify(shards: usize, seed: u64) -> std::io::Result<ServedRow> {
         identical: report.verified == Some(true),
         mismatches: report.mismatches,
     })
+}
+
+/// The `chaos` experiment: served replay under an aggressive deterministic
+/// fault plan — ~2% of frames truncated (the connection half-closed
+/// mid-frame), ~1% of connections aborted with their acknowledgments
+/// destroyed, ~0.5% of frames stalled past the server's shortened read
+/// timeout, and one shard worker killed mid-stream — with the load
+/// generator retrying with seeded backoff and resuming from the last
+/// acknowledged event. The served per-user compositions must still equal
+/// the batch pipeline exactly.
+///
+/// Fault injection is compiled out of default builds; run this through
+/// `cargo run -p geosocial-experiments --features fault-inject` (or
+/// `scripts/ci.sh`) to arm the plan. Unarmed, the replay degrades to a
+/// fault-free equivalence check and says so.
+pub fn chaos_equivalence(_a: &Analysis, seed: u64) -> ExperimentOutput {
+    let armed = FaultPlan::armed();
+    let shards = 4usize;
+    let plan = FaultPlan::aggressive(
+        seed ^ 0xC4A0_5EED,
+        ShardKill { shard: 1, at_ingest: 200 },
+        // Comfortably past the 100ms read timeout below.
+        250,
+    );
+    let mut text = format!(
+        "Chaos equivalence audit: served replay under a seeded fault plan\n\
+         (truncate {}‰ of frames, abort {}‰ of connections, stall {}‰ for\n\
+         {}ms, kill shard 1 at its 200th ingest), retrying with\n\
+         deterministic backoff.\n\
+         Injection armed: {}\n\n",
+        plan.truncate_per_mille,
+        plan.abort_per_mille,
+        plan.stall_per_mille,
+        plan.stall_ms,
+        if armed { "yes" } else { "no (build with --features fault-inject)" },
+    );
+    let mut csv = String::from(
+        "shards,events,retries,resent,duplicates,recoveries,truncated,aborted,stalled,kills,identical\n",
+    );
+
+    let outcome = (|| -> std::io::Result<_> {
+        let server = spawn(
+            ServerConfig {
+                shards,
+                // Short enough that an injected stall trips it.
+                read_timeout: Some(Duration::from_millis(100)),
+                // Small checkpoint interval so the kill recovery actually
+                // replays a non-trivial log.
+                snapshot_every: 64,
+                fault: plan.clone(),
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )?;
+        let addr = server.addr();
+        let load = LoadgenConfig {
+            users: SERVE_USERS,
+            days: SERVE_DAYS,
+            seed,
+            connections: 8,
+            window: 64,
+            verify: true,
+            fault: plan.clone(),
+            // Tight backoff: the plan forces hundreds of reconnects and
+            // the experiment's wall-clock is part of timings.csv.
+            retry: RetryPolicy { max_retries: 8, base_ms: 5, max_ms: 250 },
+        };
+        let report = replay(addr, &load)?;
+        shutdown_server(addr)?;
+        server.join()?;
+        Ok(report)
+    })();
+
+    let ok = match outcome {
+        Ok(report) => {
+            let identical = report.verified == Some(true);
+            let injected = plan.injected();
+            text.push_str(&format!(
+                "served {shards} shards, {} events ({:.0} ev/s): {} retries, {} resent,\n\
+                 server deduplicated {} and recovered {} shard crash(es);\n\
+                 faults fired: {} truncated, {} aborted, {} stalled, {} killed -> identical={}\n",
+                report.total_events,
+                report.events_per_sec,
+                report.retries,
+                report.resent_events,
+                report.server.duplicates,
+                report.server.recoveries,
+                injected.truncated,
+                injected.aborted,
+                injected.stalled,
+                injected.kills,
+                if identical { "yes" } else { "NO" },
+            ));
+            if !identical {
+                for m in report.mismatches.iter().take(5) {
+                    text.push_str(&format!("  mismatch: {m}\n"));
+                }
+            }
+            if armed && injected.total() == 0 {
+                text.push_str("  WARNING: armed but no fault fired — plan too mild?\n");
+            }
+            csv.push_str(&format!(
+                "{shards},{},{},{},{},{},{},{},{},{},{}\n",
+                report.total_events,
+                report.retries,
+                report.resent_events,
+                report.server.duplicates,
+                report.server.recoveries,
+                injected.truncated,
+                injected.aborted,
+                injected.stalled,
+                injected.kills,
+                identical as u8,
+            ));
+            identical
+        }
+        Err(e) => {
+            text.push_str(&format!("chaos replay FAILED: {e}\n"));
+            false
+        }
+    };
+    text.push_str(&format!(
+        "\noverall: {}\n",
+        if ok {
+            "served verdicts survive transport chaos byte-identical to batch"
+        } else {
+            "DIVERGENCE OR FAILURE UNDER FAULTS"
+        }
+    ));
+    ExperimentOutput { id: "chaos".into(), text, csv: vec![("".into(), csv)] }
 }

@@ -61,10 +61,7 @@ fn pipeline_is_thread_count_invariant() {
     assert_eq!(serial.missing, parallel.missing);
     assert_eq!(serial.total_checkins, parallel.total_checkins);
     assert_eq!(serial.total_visits, parallel.total_visits);
-    assert_eq!(
-        serial.compositions, parallel.compositions,
-        "per-user composition vectors differ"
-    );
+    assert_eq!(serial.compositions, parallel.compositions, "per-user composition vectors differ");
     assert_eq!(serial.table1_text, parallel.table1_text, "table1 report differs");
     assert_eq!(serial.fig1_text, parallel.fig1_text, "fig1 report differs");
     assert_eq!(serial.fig8_text, parallel.fig8_text, "fig8 report differs");

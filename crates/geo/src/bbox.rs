@@ -63,16 +63,12 @@ impl BoundingBox {
 
     /// Geographic center of the box.
     pub fn center(&self) -> LatLon {
-        LatLon::new(
-            (self.min_lat + self.max_lat) / 2.0,
-            (self.min_lon + self.max_lon) / 2.0,
-        )
+        LatLon::new((self.min_lat + self.max_lat) / 2.0, (self.min_lon + self.max_lon) / 2.0)
     }
 
     /// Approximate diagonal length of the box, in meters.
     pub fn diagonal_m(&self) -> f64 {
-        LatLon::new(self.min_lat, self.min_lon)
-            .haversine_m(LatLon::new(self.max_lat, self.max_lon))
+        LatLon::new(self.min_lat, self.min_lon).haversine_m(LatLon::new(self.max_lat, self.max_lon))
     }
 }
 
@@ -82,11 +78,8 @@ mod tests {
 
     #[test]
     fn from_points_and_contains() {
-        let pts = [
-            LatLon::new(34.40, -119.90),
-            LatLon::new(34.45, -119.70),
-            LatLon::new(34.42, -119.80),
-        ];
+        let pts =
+            [LatLon::new(34.40, -119.90), LatLon::new(34.45, -119.70), LatLon::new(34.42, -119.80)];
         let bb = BoundingBox::from_points(pts).unwrap();
         assert_eq!(bb.min_lat, 34.40);
         assert_eq!(bb.max_lat, 34.45);

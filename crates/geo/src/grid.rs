@@ -60,10 +60,7 @@ impl<T: Copy> SpatialGrid<T> {
     }
 
     fn cell_of(&self, p: Point) -> (i64, i64) {
-        (
-            (p.x / self.cell_size).floor() as i64,
-            (p.y / self.cell_size).floor() as i64,
-        )
+        ((p.x / self.cell_size).floor() as i64, (p.y / self.cell_size).floor() as i64)
     }
 
     /// Insert an item at `pos`.
@@ -157,7 +154,8 @@ mod tests {
 
     #[test]
     fn query_spans_multiple_cells() {
-        let g = grid_with(&[(-150.0, 0.0), (150.0, 0.0), (0.0, 150.0), (0.0, -150.0), (500.0, 500.0)]);
+        let g =
+            grid_with(&[(-150.0, 0.0), (150.0, 0.0), (0.0, 150.0), (0.0, -150.0), (500.0, 500.0)]);
         let mut hits: Vec<_> = g.query_radius(Point::new(0.0, 0.0), 200.0).collect();
         hits.sort();
         assert_eq!(hits, vec![0, 1, 2, 3]);

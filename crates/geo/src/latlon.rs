@@ -43,8 +43,7 @@ impl LatLon {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_M * a.sqrt().min(1.0).asin()
     }
 
@@ -66,11 +65,9 @@ impl LatLon {
         let theta = bearing_deg.to_radians();
         let lat1 = self.lat.to_radians();
         let lon1 = self.lon.to_radians();
-        let lat2 =
-            (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+        let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
         let lon2 = lon1
-            + (theta.sin() * delta.sin() * lat1.cos())
-                .atan2(delta.cos() - lat1.sin() * lat2.sin());
+            + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
         LatLon::new(lat2.to_degrees(), lon2.to_degrees())
     }
 

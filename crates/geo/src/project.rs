@@ -42,10 +42,7 @@ impl Point {
     /// Linear interpolation from `self` toward `other` by fraction
     /// `t ∈ [0, 1]` (values outside the range extrapolate).
     pub fn lerp(self, other: Point, t: f64) -> Point {
-        Point::new(
-            self.x + (other.x - self.x) * t,
-            self.y + (other.y - self.y) * t,
-        )
+        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
     }
 }
 

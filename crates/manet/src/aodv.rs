@@ -86,8 +86,8 @@ impl NodeState {
                 // or equal freshness when the offer is shorter or the
                 // current entry is unusable. A *stale*-seq offer must never
                 // resurrect an invalidated route.
-                let accept = seq > cur.seq
-                    || (seq == cur.seq && (hops < cur.hops || !cur.usable(now)));
+                let accept =
+                    seq > cur.seq || (seq == cur.seq && (hops < cur.hops || !cur.usable(now)));
                 if !accept {
                     return false;
                 }
@@ -125,12 +125,8 @@ impl NodeState {
     /// Invalidate every route whose next hop is `neighbor`; returns the
     /// RERR payload for the routes that were actually usable.
     pub fn invalidate_via(&mut self, neighbor: NodeId, now: SimTime) -> Vec<(NodeId, u32)> {
-        let dsts: Vec<NodeId> = self
-            .routes
-            .iter()
-            .filter(|(_, r)| r.next_hop == neighbor)
-            .map(|(&d, _)| d)
-            .collect();
+        let dsts: Vec<NodeId> =
+            self.routes.iter().filter(|(_, r)| r.next_hop == neighbor).map(|(&d, _)| d).collect();
         dsts.into_iter().filter_map(|d| self.invalidate(d, now)).collect()
     }
 
@@ -249,7 +245,7 @@ mod tests {
         // Already invalid: no second RERR payload.
         assert!(n.invalidate(9, 1).is_none());
         // Stale same-seq offer cannot resurrect it...
-        assert!(!n.route(9, 2).is_some());
+        assert!(n.route(9, 2).is_none());
         n.offer_route(9, 1, 5, 3, 2, LT);
         // ...the bumped seq (6) beats the old offer's (5); entry stays dead
         // until a fresh-enough seq arrives.

@@ -74,7 +74,7 @@ struct DsdvRoute {
 
 impl DsdvRoute {
     fn usable(&self, now: SimTime, timeout: SimTime) -> bool {
-        self.seq % 2 == 0 && self.metric < u16::MAX && now - self.updated <= timeout
+        self.seq.is_multiple_of(2) && self.metric < u16::MAX && now - self.updated <= timeout
     }
 }
 
@@ -213,9 +213,7 @@ impl DsdvSimulator {
                 Ev::DeliverDump { to, from, adverts } => {
                     self.on_dump_received(to, from, adverts, time)
                 }
-                Ev::DeliverData { to, src, dst, ttl } => {
-                    self.on_data(to, src, dst, ttl, time)
-                }
+                Ev::DeliverData { to, src, dst, ttl } => self.on_data(to, src, dst, ttl, time),
                 Ev::Sample => self.on_sample(time),
             }
         }
@@ -249,23 +247,13 @@ impl DsdvSimulator {
         self.schedule(t + self.cfg.update_interval_ms, Ev::Dump(node));
     }
 
-    fn on_dump_received(
-        &mut self,
-        node: NodeId,
-        from: NodeId,
-        adverts: Vec<Advert>,
-        t: SimTime,
-    ) {
+    fn on_dump_received(&mut self, node: NodeId, from: NodeId, adverts: Vec<Advert>, t: SimTime) {
         for (dst, metric, seq) in adverts {
             if dst == node {
                 continue;
             }
-            let offered = DsdvRoute {
-                next_hop: from,
-                metric: metric.saturating_add(1),
-                seq,
-                updated: t,
-            };
+            let offered =
+                DsdvRoute { next_hop: from, metric: metric.saturating_add(1), seq, updated: t };
             let changed = match self.tables[node].get(&dst) {
                 // DSDV rule: newer sequence wins; equal sequence needs a
                 // strictly better metric.
@@ -308,11 +296,8 @@ impl DsdvSimulator {
         if ttl == 0 {
             return;
         }
-        let Some(route) = self
-            .tables[node]
-            .get(&dst)
-            .filter(|r| r.usable(t, self.cfg.route_timeout_ms))
-            .copied()
+        let Some(route) =
+            self.tables[node].get(&dst).filter(|r| r.usable(t, self.cfg.route_timeout_ms)).copied()
         else {
             // Proactive protocol: no route, no discovery — drop, and mark
             // the broken destination with an odd sequence so the next dump
@@ -424,7 +409,8 @@ mod tests {
     fn proactive_overhead_is_constant_rate() {
         // Routing transmissions are one dump per node per period, traffic
         // or not.
-        let cfg = DsdvConfig { duration_ms: 60_000, update_interval_ms: 5_000, ..Default::default() };
+        let cfg =
+            DsdvConfig { duration_ms: 60_000, update_interval_ms: 5_000, ..Default::default() };
         let report = DsdvSimulator::new(chain(4, 60), vec![], cfg, 3).run();
         // 4 nodes × 12 periods = 48 dumps (± the staggered start).
         assert!(
@@ -458,7 +444,10 @@ mod tests {
                 (240, Point::new(900.0, 30_000.0)),
             ]),
             stay(1_800.0, 240),
-            MovementTrace::new(vec![(0, Point::new(900.0, 200.0)), (240, Point::new(900.0, 200.0))]),
+            MovementTrace::new(vec![
+                (0, Point::new(900.0, 200.0)),
+                (240, Point::new(900.0, 200.0)),
+            ]),
         ];
         let cfg = DsdvConfig { duration_ms: 240_000, ..Default::default() };
         let report = DsdvSimulator::new(traces, vec![(0, 2)], cfg, 4).run();

@@ -42,9 +42,9 @@ mod sim;
 mod trace_log;
 
 pub use aodv::{NodeState, RouteEntry};
+pub use dsdv::{DsdvConfig, DsdvSimulator};
 pub use event::{EventKind, EventQueue, SimTime};
 pub use metrics::{MetricsReport, PairMetrics};
 pub use packet::{NodeId, Packet};
-pub use dsdv::{DsdvConfig, DsdvSimulator};
 pub use sim::{SimConfig, Simulator};
 pub use trace_log::{TraceEvent, TraceLog};

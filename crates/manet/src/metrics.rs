@@ -96,10 +96,7 @@ pub struct MetricsReport {
 impl MetricsReport {
     /// Figure 8a series: per-pair route changes per minute.
     pub fn route_change_series(&self) -> Vec<f64> {
-        self.pairs
-            .iter()
-            .map(|p| p.route_changes_per_minute(self.duration))
-            .collect()
+        self.pairs.iter().map(|p| p.route_changes_per_minute(self.duration)).collect()
     }
 
     /// Figure 8b series: per-pair availability ratios.

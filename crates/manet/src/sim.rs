@@ -225,9 +225,7 @@ impl Simulator {
     // --- radio ------------------------------------------------------------
 
     fn position(&self, node: NodeId, t: SimTime) -> Point {
-        self.traces[node]
-            .position_at(t / 1_000)
-            .expect("traces validated non-empty")
+        self.traces[node].position_at(t / 1_000).expect("traces validated non-empty")
     }
 
     fn in_range(&self, a: NodeId, b: NodeId, t: SimTime) -> bool {
@@ -334,8 +332,7 @@ impl Simulator {
             let ttl = self.cfg.rerr_ttl;
             self.broadcast(node, Packet::Rerr { unreachable, ttl }, t);
         }
-        self.queue
-            .schedule(t + self.cfg.hello_interval_ms, EventKind::LinkCheck(node));
+        self.queue.schedule(t + self.cfg.hello_interval_ms, EventKind::LinkCheck(node));
     }
 
     fn on_cbr(&mut self, pair: usize, t: SimTime) {
@@ -345,8 +342,7 @@ impl Simulator {
         self.pairs[pair].data_sent += 1;
         let ttl = self.cfg.data_ttl;
         self.route_or_buffer(src, Packet::Data { src, dst, seq, ttl }, t);
-        self.queue
-            .schedule(t + self.cfg.cbr_interval_ms, EventKind::CbrSend { pair });
+        self.queue.schedule(t + self.cfg.cbr_interval_ms, EventKind::CbrSend { pair });
     }
 
     fn on_sample(&mut self, t: SimTime) {
@@ -357,8 +353,7 @@ impl Simulator {
             }
         }
         if t + self.cfg.sample_interval_ms <= self.cfg.duration_ms {
-            self.queue
-                .schedule(t + self.cfg.sample_interval_ms, EventKind::Sample);
+            self.queue.schedule(t + self.cfg.sample_interval_ms, EventKind::Sample);
         }
     }
 
@@ -436,10 +431,7 @@ impl Simulator {
         if !self.cfg.expanding_ring {
             return 1 + self.cfg.rreq_retries;
         }
-        let span = self
-            .cfg
-            .ring_ttl_threshold
-            .saturating_sub(self.cfg.ring_ttl_start) as u32;
+        let span = self.cfg.ring_ttl_threshold.saturating_sub(self.cfg.ring_ttl_start) as u32;
         let rings = span / self.cfg.ring_ttl_increment.max(1) as u32 + 1;
         rings + 1 + self.cfg.rreq_retries
     }
@@ -471,8 +463,7 @@ impl Simulator {
         } else {
             self.cfg.rreq_timeout_ms << attempt.saturating_sub(1).min(8)
         };
-        self.queue
-            .schedule(t + timeout, EventKind::RreqTimeout { node, dst, attempt });
+        self.queue.schedule(t + timeout, EventKind::RreqTimeout { node, dst, attempt });
     }
 
     fn on_rreq_timeout(&mut self, node: NodeId, dst: NodeId, attempt: u32, t: SimTime) {
@@ -491,12 +482,7 @@ impl Simulator {
             let dropped = self.nodes[node].buffer.remove(&dst);
             if self.trace.enabled() {
                 if let Some(d) = &dropped {
-                    self.trace.push(TraceEvent::BufferDropped {
-                        t,
-                        node,
-                        dst,
-                        count: d.len(),
-                    });
+                    self.trace.push(TraceEvent::BufferDropped { t, node, dst, count: d.len() });
                 }
             }
         }
@@ -567,12 +553,7 @@ impl Simulator {
         // Intermediate reply if we hold a fresh-enough route.
         if let Some(route) = self.nodes[node].route(dst, t) {
             if route.seq >= dst_seq && dst_seq > 0 {
-                let rep = Packet::Rrep {
-                    origin,
-                    dst,
-                    dst_seq: route.seq,
-                    hop_count: route.hops,
-                };
+                let rep = Packet::Rrep { origin, dst, dst_seq: route.seq, hop_count: route.hops };
                 if !self.unicast(node, sender, rep, t) {
                     self.handle_link_break(node, sender, t);
                 }
@@ -594,6 +575,7 @@ impl Simulator {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the RREP wire fields
     fn on_rrep(
         &mut self,
         node: NodeId,
@@ -645,10 +627,8 @@ impl Simulator {
     ) {
         let mut own_losses = Vec::new();
         for (dst, _seq) in unreachable {
-            let via_sender = self.nodes[node]
-                .route(dst, t)
-                .map(|r| r.next_hop == sender)
-                .unwrap_or(false);
+            let via_sender =
+                self.nodes[node].route(dst, t).map(|r| r.next_hop == sender).unwrap_or(false);
             if via_sender {
                 if let Some(pair) = self.nodes[node].invalidate(dst, t) {
                     own_losses.push(pair);
@@ -681,12 +661,7 @@ impl Simulator {
         }
         if self.trace.enabled() {
             if let Some(r) = self.nodes[node].route(dst, t) {
-                self.trace.push(TraceEvent::RouteInstalled {
-                    t,
-                    node,
-                    dst,
-                    next_hop: r.next_hop,
-                });
+                self.trace.push(TraceEvent::RouteInstalled { t, node, dst, next_hop: r.next_hop });
             }
         }
         if let Some(&idx) = self.pair_index.get(&(node, dst)) {
@@ -717,8 +692,7 @@ mod tests {
 
     #[test]
     fn static_chain_delivers_end_to_end() {
-        let report =
-            Simulator::new(chain(5, 120), vec![(0, 4)], quick_cfg(120_000), 1).run();
+        let report = Simulator::new(chain(5, 120), vec![(0, 4)], quick_cfg(120_000), 1).run();
         let p = &report.pairs[0];
         assert!(p.data_sent >= 100, "sent {}", p.data_sent);
         // After discovery converges, virtually everything is delivered.
@@ -839,19 +813,9 @@ mod ring_tests {
     fn expanding_ring_still_delivers() {
         // 12-hop chain: well past the ring threshold, so discovery must
         // escalate to a full flood and still succeed.
-        let report = Simulator::new(
-            chain(13, 180),
-            vec![(0, 12)],
-            ring_cfg(180_000),
-            1,
-        )
-        .run();
+        let report = Simulator::new(chain(13, 180), vec![(0, 12)], ring_cfg(180_000), 1).run();
         let p = &report.pairs[0];
-        assert!(
-            p.delivery_ratio() > 0.7,
-            "delivery {:.2} with expanding ring",
-            p.delivery_ratio()
-        );
+        assert!(p.delivery_ratio() > 0.7, "delivery {:.2} with expanding ring", p.delivery_ratio());
     }
 
     #[test]
@@ -860,11 +824,8 @@ mod ring_tests {
         // 13-node chain. A full flood re-broadcasts down both arms of the
         // chain; the first small ring stops after 2 hops.
         let run = |ring: bool| {
-            let cfg = SimConfig {
-                duration_ms: 120_000,
-                expanding_ring: ring,
-                ..Default::default()
-            };
+            let cfg =
+                SimConfig { duration_ms: 120_000, expanding_ring: ring, ..Default::default() };
             Simulator::new(chain(13, 120), vec![(5, 7)], cfg, 2).run()
         };
         let with_ring = run(true);
@@ -890,12 +851,7 @@ mod ring_tests {
         assert_eq!(sim.ttl_for_attempt(4), 32);
         assert!(sim.max_attempts() >= 5);
         // Without the ring: always full, 1 + retries attempts.
-        let flat = Simulator::new(
-            chain(2, 10),
-            vec![(0, 1)],
-            SimConfig::default(),
-            0,
-        );
+        let flat = Simulator::new(chain(2, 10), vec![(0, 1)], SimConfig::default(), 0);
         assert_eq!(flat.ttl_for_attempt(1), 32);
         assert_eq!(flat.max_attempts(), 3);
     }
@@ -961,9 +917,8 @@ mod trace_tests {
     #[test]
     fn rreq_rrep_handshake_appears_in_trace() {
         let cfg = SimConfig { duration_ms: 20_000, ..Default::default() };
-        let (_, trace) = Simulator::new(chain(3, 30), vec![(0, 2)], cfg, 1)
-            .with_trace(50_000)
-            .run_traced();
+        let (_, trace) =
+            Simulator::new(chain(3, 30), vec![(0, 2)], cfg, 1).with_trace(50_000).run_traced();
         let events = trace.events();
         assert!(!events.is_empty());
         // First RREQ transmission precedes the first RREP transmission.
@@ -977,23 +932,20 @@ mod trace_tests {
             .expect("the destination replied");
         assert!(first_rreq.time() <= first_rrep.time());
         // The destination (node 2) received the RREQ before replying.
-        let dst_rx = events.iter().any(
-            |e| matches!(e, TraceEvent::Rx { node: 2, kind: "RREQ", .. }),
-        );
+        let dst_rx =
+            events.iter().any(|e| matches!(e, TraceEvent::Rx { node: 2, kind: "RREQ", .. }));
         assert!(dst_rx, "destination never saw the RREQ");
         // The source eventually installed a route to the destination.
-        let installed = events.iter().any(|e| {
-            matches!(e, TraceEvent::RouteInstalled { node: 0, dst: 2, .. })
-        });
+        let installed =
+            events.iter().any(|e| matches!(e, TraceEvent::RouteInstalled { node: 0, dst: 2, .. }));
         assert!(installed, "source never installed a route");
     }
 
     #[test]
     fn timestamps_are_monotone() {
         let cfg = SimConfig { duration_ms: 15_000, ..Default::default() };
-        let (_, trace) = Simulator::new(chain(4, 20), vec![(0, 3)], cfg, 2)
-            .with_trace(100_000)
-            .run_traced();
+        let (_, trace) =
+            Simulator::new(chain(4, 20), vec![(0, 3)], cfg, 2).with_trace(100_000).run_traced();
         for w in trace.events().windows(2) {
             assert!(w[0].time() <= w[1].time(), "trace out of order");
         }
@@ -1003,9 +955,8 @@ mod trace_tests {
     fn untraced_run_is_unchanged() {
         let cfg = SimConfig { duration_ms: 20_000, ..Default::default() };
         let plain = Simulator::new(chain(3, 30), vec![(0, 2)], cfg.clone(), 3).run();
-        let (traced, log) = Simulator::new(chain(3, 30), vec![(0, 2)], cfg, 3)
-            .with_trace(10)
-            .run_traced();
+        let (traced, log) =
+            Simulator::new(chain(3, 30), vec![(0, 2)], cfg, 3).with_trace(10).run_traced();
         // Tracing must not perturb the simulation itself.
         assert_eq!(plain.total_routing_tx, traced.total_routing_tx);
         assert_eq!(plain.pairs[0].data_delivered, traced.pairs[0].data_delivered);

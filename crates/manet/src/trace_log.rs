@@ -157,9 +157,8 @@ mod tests {
         log.push(TraceEvent::Tx { t: 0, node: 0, kind: "RREQ" });
         log.push(TraceEvent::Rx { t: 5, node: 1, from: 0, kind: "RREQ" });
         log.push(TraceEvent::Tx { t: 6, node: 1, kind: "RREP" });
-        let rreps: Vec<_> = log
-            .filter(|e| matches!(e, TraceEvent::Tx { kind: "RREP", .. }))
-            .collect();
+        let rreps: Vec<_> =
+            log.filter(|e| matches!(e, TraceEvent::Tx { kind: "RREP", .. })).collect();
         assert_eq!(rreps.len(), 1);
     }
 }

@@ -194,10 +194,7 @@ mod tests {
         }
         for &(cat, w) in &CATEGORY_MIX {
             let frac = counts[cat.index()] as f64 / u.len() as f64;
-            assert!(
-                (frac - w).abs() < 0.03,
-                "{cat}: got {frac:.3}, want ~{w:.2}"
-            );
+            assert!((frac - w).abs() < 0.03, "{cat}: got {frac:.3}, want ~{w:.2}");
         }
     }
 
@@ -211,12 +208,7 @@ mod tests {
         }
         // And different for different seeds.
         let c = city(8, 200);
-        let same = a
-            .all()
-            .iter()
-            .zip(c.all())
-            .filter(|(x, y)| x.location == y.location)
-            .count();
+        let same = a.all().iter().zip(c.all()).filter(|(x, y)| x.location == y.location).count();
         assert!(same < 10, "seeds should decorrelate layouts, {same} identical");
     }
 

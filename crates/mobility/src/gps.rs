@@ -77,7 +77,10 @@ pub fn simulate_gps<R: Rng>(
 
         let loss = if indoors { cfg.indoor_loss_prob } else { cfg.travel_loss_prob };
         if !rng.gen_bool(loss.clamp(0.0, 1.0)) {
-            points.push(GpsPoint { t, pos: noisy(proj.to_latlon(true_pos), cfg.noise_sigma_m, rng, proj) });
+            points.push(GpsPoint {
+                t,
+                pos: noisy(proj.to_latlon(true_pos), cfg.noise_sigma_m, rng, proj),
+            });
         }
         t += cfg.sample_period;
     }
@@ -135,10 +138,7 @@ mod tests {
         let trace = simulate_gps(&it, &u, &cfg, &mut rng);
         // Every fix taken during a stay must be within noise of the venue.
         for p in trace.points() {
-            let inside = it
-                .stops
-                .iter()
-                .find(|s| p.t >= s.arrival && p.t <= s.departure);
+            let inside = it.stops.iter().find(|s| p.t >= s.arrival && p.t <= s.departure);
             if let Some(s) = inside {
                 let d = p.pos.haversine_m(u.get(s.poi).location);
                 assert!(d < 60.0, "fix {d:.0} m from venue during stay");

@@ -41,9 +41,7 @@ impl TrainingSample {
             s.pauses_s.push(v.duration() as f64);
         }
         for w in visits.windows(2) {
-            let d = proj
-                .to_local(w[0].centroid)
-                .distance(proj.to_local(w[1].centroid));
+            let d = proj.to_local(w[0].centroid).distance(proj.to_local(w[1].centroid));
             let t = (w[1].start - w[0].end) as f64;
             if t > 0.0 {
                 s.flights_m.push(d);
@@ -60,9 +58,7 @@ impl TrainingSample {
     pub fn from_checkins(checkins: &[Checkin], proj: &LocalProjection) -> Self {
         let mut s = Self::default();
         for w in checkins.windows(2) {
-            let d = proj
-                .to_local(w[0].location)
-                .distance(proj.to_local(w[1].location));
+            let d = proj.to_local(w[0].location).distance(proj.to_local(w[1].location));
             let t = (w[1].t - w[0].t) as f64;
             if t > 0.0 {
                 s.flights_m.push(d);
@@ -182,10 +178,8 @@ impl LevyWalkModel {
                     break;
                 }
             }
-            let target = target.unwrap_or(Point::new(
-                (pos.x + d).clamp(0.0, area_m),
-                pos.y.clamp(0.0, area_m),
-            ));
+            let target = target
+                .unwrap_or(Point::new((pos.x + d).clamp(0.0, area_m), pos.y.clamp(0.0, area_m)));
             // Ceil, not round: rounding down would let short flights beat
             // the move_time speed clamp.
             let move_t = self.move_time(pos.distance(target)).ceil().max(1.0) as i64;
@@ -237,11 +231,7 @@ pub fn fit_levy(
 /// the scale would bias `alpha` low whenever the true scale sits above it
 /// (MLE assumes density starts exactly at `x_min`).
 fn fit_tail(samples: &[f64], threshold: f64) -> Option<Pareto> {
-    let x_min = samples
-        .iter()
-        .copied()
-        .filter(|&x| x >= threshold)
-        .min_by(f64::total_cmp)?;
+    let x_min = samples.iter().copied().filter(|&x| x >= threshold).min_by(f64::total_cmp)?;
     fit_pareto(samples, x_min)
 }
 

@@ -40,5 +40,7 @@ pub use gps::{simulate_gps, GpsSimConfig};
 pub use levy::{LevyWalkModel, TrainingSample};
 pub use movement::{movement_stats, MovementTrace};
 pub use replay::{itinerary_to_movement, shift_to_field};
-pub use routine::{assign_prefs, generate_itinerary, Itinerary, RoutineConfig, TrueStop, UserPrefs};
+pub use routine::{
+    assign_prefs, generate_itinerary, Itinerary, RoutineConfig, TrueStop, UserPrefs,
+};
 pub use waypoint::RandomWaypoint;

@@ -43,13 +43,7 @@ pub fn shift_to_field(trace: &MovementTrace, field_m: f64) -> MovementTrace {
             .waypoints()
             .iter()
             .map(|&(t, p)| {
-                (
-                    t,
-                    Point::new(
-                        (p.x + half).clamp(0.0, field_m),
-                        (p.y + half).clamp(0.0, field_m),
-                    ),
-                )
+                (t, Point::new((p.x + half).clamp(0.0, field_m), (p.y + half).clamp(0.0, field_m)))
             })
             .collect(),
     )

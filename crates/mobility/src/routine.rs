@@ -120,12 +120,7 @@ impl RoutineConfig {
 /// the venues nearest to home or work, with exploration noise.
 pub fn assign_prefs<R: Rng>(user: UserId, universe: &PoiUniverse, rng: &mut R) -> UserPrefs {
     let by_cat = |cat: PoiCategory| -> Vec<PoiId> {
-        universe
-            .all()
-            .iter()
-            .filter(|p| p.category == cat)
-            .map(|p| p.id)
-            .collect()
+        universe.all().iter().filter(|p| p.category == cat).map(|p| p.id).collect()
     };
     let residences = by_cat(PoiCategory::Residence);
     assert!(!residences.is_empty(), "universe has no residences");
@@ -140,7 +135,11 @@ pub fn assign_prefs<R: Rng>(user: UserId, universe: &PoiUniverse, rng: &mut R) -
         } else {
             Vec::new()
         };
-        if pool.is_empty() { None } else { Some(pool[rng.gen_range(0..pool.len())]) }
+        if pool.is_empty() {
+            None
+        } else {
+            Some(pool[rng.gen_range(0..pool.len())])
+        }
     };
 
     let home_loc = universe.get(home).location;
@@ -153,10 +152,7 @@ pub fn assign_prefs<R: Rng>(user: UserId, universe: &PoiUniverse, rng: &mut R) -
             .iter()
             .filter(|p| p.category == cat)
             .map(|p| {
-                let d = p
-                    .location
-                    .haversine_m(home_loc)
-                    .min(p.location.haversine_m(anchor2));
+                let d = p.location.haversine_m(home_loc).min(p.location.haversine_m(anchor2));
                 // Exploration noise: favorites are near-but-not-nearest.
                 (p.id, d * rng.gen_range(0.6..1.8))
             })
@@ -166,13 +162,7 @@ pub fn assign_prefs<R: Rng>(user: UserId, universe: &PoiUniverse, rng: &mut R) -
         favorites.insert(cat, pool.into_iter().take(k).map(|(id, _)| id).collect());
     }
 
-    UserPrefs {
-        user,
-        home,
-        work,
-        favorites,
-        activity: rng.gen_range(0.5..1.6),
-    }
+    UserPrefs { user, home, work, favorites, activity: rng.gen_range(0.5..1.6) }
 }
 
 /// Pick one of the user's favorites for `cat`, Zipf-weighted toward the
@@ -211,11 +201,7 @@ impl<'a> Builder<'a> {
     /// Travel from the current venue to `poi`, arriving no earlier than
     /// travel allows, then stay until `leave` (extended if travel overruns).
     fn go(&mut self, poi: PoiId, min_dwell: i64, leave: Timestamp) {
-        let dist = self
-            .universe
-            .get(self.at)
-            .location
-            .haversine_m(self.universe.get(poi).location);
+        let dist = self.universe.get(self.at).location.haversine_m(self.universe.get(poi).location);
         let arrival = self.t + self.cfg.travel_time(dist);
         let departure = leave.max(arrival + min_dwell);
         self.stops.push(TrueStop { poi, arrival, departure });
@@ -293,10 +279,7 @@ pub fn generate_itinerary<R: Rng>(
     }
 
     let it = Itinerary { stops: b.stops };
-    debug_assert!(
-        it.stops.windows(2).all(|w| w[0].departure <= w[1].arrival),
-        "overlapping stops"
-    );
+    debug_assert!(it.stops.windows(2).all(|w| w[0].departure <= w[1].arrival), "overlapping stops");
     it
 }
 
@@ -442,10 +425,7 @@ mod tests {
         assert!(!it.is_empty());
         for w in it.stops.windows(2) {
             assert!(w[0].departure <= w[1].arrival, "stops overlap");
-            let d = u
-                .get(w[0].poi)
-                .location
-                .haversine_m(u.get(w[1].poi).location);
+            let d = u.get(w[0].poi).location.haversine_m(u.get(w[1].poi).location);
             let gap = w[1].arrival - w[0].departure;
             let want = cfg.travel_time(d);
             assert_eq!(gap, want, "gap {gap} != travel {want} for {d:.0} m");

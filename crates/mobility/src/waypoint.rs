@@ -51,10 +51,7 @@ impl RandomWaypoint {
             self.speed_min,
             self.speed_max
         );
-        assert!(
-            0 <= self.pause_min && self.pause_min <= self.pause_max,
-            "bad pause range"
-        );
+        assert!(0 <= self.pause_min && self.pause_min <= self.pause_max, "bad pause range");
         let mut pos = Point::new(rng.gen_range(0.0..area_m), rng.gen_range(0.0..area_m));
         let mut t: Timestamp = 0;
         let mut wps = vec![(t, pos)];

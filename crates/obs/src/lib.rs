@@ -33,11 +33,9 @@ mod log;
 mod metrics;
 mod span;
 
-pub use crate::log::{
-    log_enabled, log_write, set_format, set_level, set_writer, Format, Level,
-};
+pub use crate::log::{log_enabled, log_write, set_format, set_level, set_writer, Format, Level};
 pub use crate::metrics::{
-    counter, gauge, histogram, render_text, snapshot, Counter, Gauge, HistSnapshot,
-    Histogram, Snapshot,
+    counter, gauge, histogram, render_text, snapshot, Counter, Gauge, HistSnapshot, Histogram,
+    Snapshot,
 };
 pub use crate::span::{span, Span, Stopwatch};

@@ -131,9 +131,7 @@ impl Filter {
 
 fn filter() -> &'static Filter {
     static FILTER: OnceLock<Filter> = OnceLock::new();
-    FILTER.get_or_init(|| {
-        Filter::parse(&std::env::var("GEOSOCIAL_LOG").unwrap_or_default())
-    })
+    FILTER.get_or_init(|| Filter::parse(&std::env::var("GEOSOCIAL_LOG").unwrap_or_default()))
 }
 
 /// Programmatic level override: 0 = none, u8::MAX = log nothing.
@@ -165,11 +163,9 @@ fn current_format() -> Format {
         _ => {}
     }
     static FROM_ENV: OnceLock<Format> = OnceLock::new();
-    *FROM_ENV.get_or_init(|| {
-        match std::env::var("GEOSOCIAL_LOG_FORMAT").as_deref() {
-            Ok("json") | Ok("JSON") => Format::Json,
-            _ => Format::Text,
-        }
+    *FROM_ENV.get_or_init(|| match std::env::var("GEOSOCIAL_LOG_FORMAT").as_deref() {
+        Ok("json") | Ok("JSON") => Format::Json,
+        _ => Format::Text,
     })
 }
 
@@ -217,12 +213,7 @@ fn format_timestamp(secs: u64) -> String {
     let d = doy - (153 * mp + 2) / 5 + 1;
     let m = if mp < 10 { mp + 3 } else { mp - 9 };
     let y = if m <= 2 { y + 1 } else { y };
-    format!(
-        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
-        tod / 3_600,
-        (tod / 60) % 60,
-        tod % 60
-    )
+    format!("{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z", tod / 3_600, (tod / 60) % 60, tod % 60)
 }
 
 fn json_escape_into(out: &mut String, s: &str) {
@@ -245,9 +236,8 @@ pub fn log_write(level: Level, target: &str, msg: &str, kv: &[(&str, String)]) {
     if !target_enabled(level, target) {
         return;
     }
-    let ts = format_timestamp(
-        SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs()),
-    );
+    let ts =
+        format_timestamp(SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs()));
     let mut line = String::with_capacity(64 + msg.len());
     match current_format() {
         Format::Text => {

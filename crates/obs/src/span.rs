@@ -80,8 +80,7 @@ impl Span {
             }
             self.recorded = true;
             let elapsed = self.start.elapsed();
-            histogram(&format!("span.{}", self.path))
-                .observe(elapsed.as_micros() as u64);
+            histogram(&format!("span.{}", self.path)).observe(elapsed.as_micros() as u64);
             STACK.with(|s| {
                 let mut s = s.borrow_mut();
                 debug_assert_eq!(s.last(), Some(&self.path), "span stack discipline");

@@ -207,8 +207,8 @@ where
         let lo = ci * chunk;
         let hi = (lo + chunk).min(n);
         let mut acc = identity();
-        for i in lo..hi {
-            acc = fold(acc, i, &items[i]);
+        for (i, item) in items.iter().enumerate().take(hi).skip(lo) {
+            acc = fold(acc, i, item);
         }
         metrics::chunk_us().observe(clock.lap_us());
         acc

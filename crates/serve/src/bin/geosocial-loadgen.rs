@@ -6,7 +6,8 @@
 //! ephemeral port — the one-command smoke/bench path used by
 //! `scripts/check.sh`.
 
-use geosocial_serve::loadgen::{run, shutdown_server, LoadgenConfig};
+use geosocial_fault::FaultPlan;
+use geosocial_serve::loadgen::{drain_server, run, shutdown_server, LoadgenConfig};
 use geosocial_serve::server::{spawn, ServerConfig};
 use std::net::SocketAddr;
 use std::process::exit;
@@ -22,6 +23,14 @@ usage: geosocial-loadgen [options]
   --connections N    parallel client connections (default 4)
   --window N         pipeline depth per connection (default 256)
   --verify           diff served compositions against the batch pipeline
+  --retries N        reconnect attempts per lane before giving up (default 8)
+  --backoff-base MS  base backoff window in milliseconds (default 10)
+  --backoff-max MS   backoff window cap in milliseconds (default 2000)
+  --fault SPEC       client fault plan, e.g. seed=42,truncate=20,stall=5:300
+                     (inert unless built with --features fault-inject; the
+                     kill= entry also arms the spawned server when --spawn)
+  --drain            request a finalizing Drain (report residual state)
+                     before Shutdown
   --out PATH         report path (default BENCH_serve.json)
   --shutdown         send Shutdown when done (implied by --spawn)
   --help             print this message";
@@ -31,6 +40,7 @@ struct Cli {
     spawn: bool,
     shards: usize,
     shutdown: bool,
+    drain: bool,
     out: String,
     load: LoadgenConfig,
 }
@@ -41,43 +51,60 @@ fn parse_args() -> Result<Cli, String> {
         spawn: false,
         shards: 4,
         shutdown: false,
+        drain: false,
         out: "BENCH_serve.json".to_string(),
         load: LoadgenConfig::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--addr" => cli.addr = value("--addr")?,
             "--spawn" => cli.spawn = true,
             "--shards" => {
-                cli.shards =
-                    value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
+                cli.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
             }
             "--users" => {
-                cli.load.users =
-                    value("--users")?.parse().map_err(|e| format!("--users: {e}"))?;
+                cli.load.users = value("--users")?.parse().map_err(|e| format!("--users: {e}"))?;
             }
             "--days" => {
-                cli.load.days =
-                    value("--days")?.parse().map_err(|e| format!("--days: {e}"))?;
+                cli.load.days = value("--days")?.parse().map_err(|e| format!("--days: {e}"))?;
             }
             "--seed" => {
-                cli.load.seed =
-                    value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                cli.load.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
             "--connections" => {
-                cli.load.connections = value("--connections")?
-                    .parse()
-                    .map_err(|e| format!("--connections: {e}"))?;
+                cli.load.connections =
+                    value("--connections")?.parse().map_err(|e| format!("--connections: {e}"))?;
             }
             "--window" => {
                 cli.load.window =
                     value("--window")?.parse().map_err(|e| format!("--window: {e}"))?;
             }
             "--verify" => cli.load.verify = true,
+            "--retries" => {
+                cli.load.retry.max_retries =
+                    value("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--backoff-base" => {
+                cli.load.retry.base_ms =
+                    value("--backoff-base")?.parse().map_err(|e| format!("--backoff-base: {e}"))?;
+            }
+            "--backoff-max" => {
+                cli.load.retry.max_ms =
+                    value("--backoff-max")?.parse().map_err(|e| format!("--backoff-max: {e}"))?;
+            }
+            "--fault" => {
+                cli.load.fault = FaultPlan::parse(&value("--fault")?)?;
+                if !cli.load.fault.is_inert() && !FaultPlan::armed() {
+                    geosocial_obs::warn!(
+                        "loadgen",
+                        "fault plan given but injection is compiled out \
+                         (rebuild with --features fault-inject)"
+                    );
+                }
+            }
+            "--drain" => cli.drain = true,
             "--out" => cli.out = value("--out")?,
             "--shutdown" => cli.shutdown = true,
             "--help" | "-h" => {
@@ -101,7 +128,13 @@ fn main() {
     };
 
     let (addr, handle): (SocketAddr, Option<_>) = if cli.spawn {
-        let config = ServerConfig { shards: cli.shards, ..ServerConfig::default() };
+        // Share the fault plan with the spawned server so a kill= entry
+        // crashes (and recovers) a real shard worker in-process.
+        let config = ServerConfig {
+            shards: cli.shards,
+            fault: cli.load.fault.clone(),
+            ..ServerConfig::default()
+        };
         match spawn(config, "127.0.0.1:0") {
             Ok(h) => {
                 let addr = h.addr();
@@ -131,6 +164,21 @@ fn main() {
         }
     };
 
+    if cli.drain {
+        match drain_server(addr, true) {
+            Ok(report) => println!(
+                "drain: {} users over {} shards; flushed {} verdicts \
+                 ({} pending checkins forced, {} held events, {} open visits)",
+                report.users,
+                report.shards,
+                report.verdicts_flushed,
+                report.forced_by_drain,
+                report.held_events,
+                report.open_visits,
+            ),
+            Err(e) => geosocial_obs::warn!("loadgen", "drain: {e}"),
+        }
+    }
     if cli.shutdown || cli.spawn {
         if let Err(e) = shutdown_server(addr) {
             geosocial_obs::warn!("loadgen", "shutdown: {e}");
@@ -173,6 +221,22 @@ fn main() {
         report.server.composition.honest,
         report.server.composition.extraneous(),
     );
+    let faults =
+        report.fault_truncated + report.fault_aborted + report.fault_stalled + report.fault_kills;
+    if report.retries > 0 || faults > 0 {
+        println!(
+            "robustness: {} retries, {} resent events; faults truncated={} aborted={} stalled={} \
+             kills={}; server duplicates={} recoveries={}",
+            report.retries,
+            report.resent_events,
+            report.fault_truncated,
+            report.fault_aborted,
+            report.fault_stalled,
+            report.fault_kills,
+            report.server.duplicates,
+            report.server.recoveries,
+        );
+    }
     match report.verified {
         Some(true) => println!("verify: served compositions match the batch pipeline"),
         Some(false) => {

@@ -10,9 +10,11 @@
 //! `GEOSOCIAL_LOG` to filter (e.g. `GEOSOCIAL_LOG=debug`, `=off`) and
 //! `GEOSOCIAL_LOG_FORMAT=json` for JSON lines.
 
+use geosocial_fault::FaultPlan;
 use geosocial_serve::server::{run_with, ServerConfig};
 use std::net::TcpListener;
 use std::process::exit;
+use std::time::Duration;
 
 const USAGE: &str = "\
 usage: geosocial-serve [options]
@@ -23,6 +25,15 @@ usage: geosocial-serve [options]
   --lateness SECONDS allowed event-time lateness (default 0 = in-order)
   --metrics-every S  write the metrics exposition to stderr every S seconds
                      (default off; GEOSOCIAL_METRICS_EVERY env var also works)
+  --read-timeout S   per-connection idle read timeout in seconds
+                     (default 30; 0 = wait forever)
+  --write-timeout S  per-connection write timeout in seconds (default 30; 0 = off)
+  --max-conns N      concurrently served connections before the acceptor
+                     applies backpressure (default 256)
+  --snapshot-every N mutations between shard crash-recovery checkpoints
+                     (default 1024)
+  --fault SPEC       fault plan, e.g. seed=42,truncate=20,stall=5:300,kill=1@500
+                     (inert unless built with --features fault-inject)
   --help             print this message";
 
 fn parse_args() -> Result<(String, ServerConfig), String> {
@@ -37,36 +48,59 @@ fn parse_args() -> Result<(String, ServerConfig), String> {
     }
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--addr" => addr = value("--addr")?,
             "--shards" => {
-                config.shards = value("--shards")?
-                    .parse()
-                    .map_err(|e| format!("--shards: {e}"))?;
+                config.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
             }
             "--alpha" => {
-                config.match_config.alpha_m = value("--alpha")?
-                    .parse()
-                    .map_err(|e| format!("--alpha: {e}"))?;
+                config.match_config.alpha_m =
+                    value("--alpha")?.parse().map_err(|e| format!("--alpha: {e}"))?;
             }
             "--beta" => {
-                config.match_config.beta_s = value("--beta")?
-                    .parse()
-                    .map_err(|e| format!("--beta: {e}"))?;
+                config.match_config.beta_s =
+                    value("--beta")?.parse().map_err(|e| format!("--beta: {e}"))?;
             }
             "--lateness" => {
-                config.allowed_lateness_s = value("--lateness")?
-                    .parse()
-                    .map_err(|e| format!("--lateness: {e}"))?;
+                config.allowed_lateness_s =
+                    value("--lateness")?.parse().map_err(|e| format!("--lateness: {e}"))?;
             }
             "--metrics-every" => {
                 let s: u64 = value("--metrics-every")?
                     .parse()
                     .map_err(|e| format!("--metrics-every: {e}"))?;
                 config.metrics_every_s = (s > 0).then_some(s);
+            }
+            "--read-timeout" => {
+                let s: u64 =
+                    value("--read-timeout")?.parse().map_err(|e| format!("--read-timeout: {e}"))?;
+                config.read_timeout = (s > 0).then(|| Duration::from_secs(s));
+            }
+            "--write-timeout" => {
+                let s: u64 = value("--write-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--write-timeout: {e}"))?;
+                config.write_timeout = (s > 0).then(|| Duration::from_secs(s));
+            }
+            "--max-conns" => {
+                config.max_connections =
+                    value("--max-conns")?.parse().map_err(|e| format!("--max-conns: {e}"))?;
+            }
+            "--snapshot-every" => {
+                config.snapshot_every = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|e| format!("--snapshot-every: {e}"))?;
+            }
+            "--fault" => {
+                config.fault = FaultPlan::parse(&value("--fault")?)?;
+                if !config.fault.is_inert() && !FaultPlan::armed() {
+                    geosocial_obs::warn!(
+                        "serve",
+                        "fault plan given but injection is compiled out \
+                         (rebuild with --features fault-inject)"
+                    );
+                }
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

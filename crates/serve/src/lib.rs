@@ -1,5 +1,5 @@
 //! Std-only TCP serving layer for the online validity auditor.
 
+pub mod loadgen;
 pub mod protocol;
 pub mod server;
-pub mod loadgen;

@@ -4,10 +4,26 @@
 //! The replay opens several client connections and assigns each user to one
 //! connection with the same splitmix64 hash the server uses for sharding,
 //! so every user's events stay in order end to end. Each connection
-//! pipelines up to `window` requests: a writer thread sends frames while a
-//! reader thread consumes the strictly-ordered responses and returns a
-//! permit per response. Latency is measured per request (send to response)
-//! through that FIFO discipline.
+//! pipelines up to `window` requests: a writer sends frames while a reader
+//! thread consumes the strictly-ordered responses and returns a permit per
+//! response. Latency is measured per request (send to response) through
+//! that FIFO discipline.
+//!
+//! # Retries
+//!
+//! Every event carries a per-user sequence number, so delivery is at-least
+//! -once on the wire and exactly-once on the server. When a connection
+//! dies (injected fault or real), the lane backs off with deterministic
+//! seeded equal-jitter exponential delay ([`geosocial_fault::backoff_ms`]),
+//! reconnects, re-sends `Hello`, and resumes from the last *acknowledged*
+//! event — responses are strictly 1:1 in order, so the ack count is exact.
+//! In-flight events beyond the ack are re-sent; the server deduplicates
+//! them by sequence number and the verdict stream is unperturbed.
+//!
+//! With the `fault-inject` feature a [`FaultPlan`] decides, per frame and
+//! per delivery attempt, whether to truncate the frame and kill the
+//! connection or stall past the server's read timeout — the controlled
+//! noise behind the chaos equivalence test.
 //!
 //! After the replay, a control connection finalizes the stream (`Finish`),
 //! snapshots the server counters (`Stats`), and — with `verify` — diffs the
@@ -18,17 +34,37 @@ use geosocial_checkin::{Scenario, ScenarioConfig};
 use geosocial_core::classify::ClassifyConfig;
 use geosocial_core::matching::{match_checkins, MatchConfig};
 use geosocial_core::prevalence::user_compositions;
+use geosocial_fault::{backoff_ms, FaultPlan, FrameFault};
+use geosocial_obs::counter;
 use geosocial_stream::{dataset_events, StreamEvent};
-use geosocial_trace::Dataset;
+use geosocial_trace::{Dataset, UserId};
 use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::mpsc::{self, TryRecvError};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crate::protocol::{read_msg, write_msg, Request, Response, ServerStats};
+use crate::protocol::{read_msg, write_msg, DrainReport, Request, Response, ServerStats};
 use crate::server::shard_of;
+
+/// When and how hard a lane retries a dead connection.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Reconnect attempts per lane before giving up.
+    pub max_retries: u32,
+    /// Base backoff window, milliseconds (attempt 0 waits about half this).
+    pub base_ms: u64,
+    /// Backoff window cap, milliseconds.
+    pub max_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_retries: 8, base_ms: 10, max_ms: 2_000 }
+    }
+}
 
 /// Replay parameters.
 #[derive(Debug, Clone)]
@@ -45,11 +81,24 @@ pub struct LoadgenConfig {
     pub window: usize,
     /// Diff served compositions against the batch pipeline afterwards.
     pub verify: bool,
+    /// Reconnect/backoff behavior on connection failure.
+    pub retry: RetryPolicy,
+    /// Client-side fault plan (inert unless built with `fault-inject`).
+    pub fault: FaultPlan,
 }
 
 impl Default for LoadgenConfig {
     fn default() -> Self {
-        Self { users: 64, days: 7, seed: 1, connections: 4, window: 256, verify: false }
+        Self {
+            users: 64,
+            days: 7,
+            seed: 1,
+            connections: 4,
+            window: 256,
+            verify: false,
+            retry: RetryPolicy::default(),
+            fault: FaultPlan::none(),
+        }
     }
 }
 
@@ -82,6 +131,18 @@ pub struct BenchReport {
     pub p95_us: u64,
     /// 99th-percentile request latency, microseconds.
     pub p99_us: u64,
+    /// Lane reconnects (each is one backoff + resume-from-acked).
+    pub retries: u32,
+    /// Events re-sent after a reconnect (deduplicated server-side).
+    pub resent_events: usize,
+    /// Frames the fault plan truncated (connections half-closed mid-frame).
+    pub fault_truncated: u64,
+    /// Connections the fault plan aborted (acknowledgments destroyed).
+    pub fault_aborted: u64,
+    /// Frames the fault plan stalled.
+    pub fault_stalled: u64,
+    /// Shard workers the fault plan killed.
+    pub fault_kills: u64,
     /// Final server counters after `Finish`.
     pub server: ServerStats,
     /// Batch-vs-served verification outcome (absent when not requested).
@@ -90,22 +151,23 @@ pub struct BenchReport {
     pub mismatches: Vec<String>,
 }
 
-/// One connection's slice of the replay, in event order.
-fn partition_events(
-    ds: &Dataset,
-    connections: usize,
-) -> (Vec<Vec<Request>>, usize, usize) {
+/// One connection's slice of the replay, in event order, each event
+/// stamped with its per-user ingest sequence number.
+fn partition_events(ds: &Dataset, connections: usize) -> (Vec<Vec<Request>>, usize, usize) {
     let mut lanes: Vec<Vec<Request>> = vec![Vec::new(); connections.max(1)];
+    let mut seqs: HashMap<UserId, u64> = HashMap::new();
     let mut gps = 0;
     let mut checkins = 0;
     for ev in dataset_events(ds) {
         let user = ev.user();
         let lane = shard_of(user, lanes.len());
+        let seq = seqs.entry(user).or_insert(0);
         match ev {
             StreamEvent::Gps { user, point } => {
                 gps += 1;
                 lanes[lane].push(Request::Gps {
                     user,
+                    seq: *seq,
                     t: point.t,
                     lat: point.pos.lat,
                     lon: point.pos.lon,
@@ -115,6 +177,7 @@ fn partition_events(
                 checkins += 1;
                 lanes[lane].push(Request::Checkin {
                     user,
+                    seq: *seq,
                     t: checkin.t,
                     poi: checkin.poi,
                     lat: checkin.location.lat,
@@ -122,84 +185,308 @@ fn partition_events(
                 });
             }
         }
+        *seq += 1;
     }
     (lanes, gps, checkins)
 }
 
-/// Replay one lane over one pipelined connection; returns latency samples
-/// in microseconds.
+/// Why a delivery attempt ended short of the full lane.
+enum AttemptFailure {
+    /// The connection died (or was killed by the fault plan): retryable.
+    Conn(io::Error),
+    /// The server answered `Error`: the lane is wrong, not unlucky.
+    Server(String),
+}
+
+/// One connection lifetime's worth of progress.
+struct AttemptOutcome {
+    /// Lane events acknowledged after this attempt (absolute).
+    acked: usize,
+    /// Index one past the last frame written this attempt (absolute).
+    sent_up_to: usize,
+    /// Latency samples from this attempt, microseconds.
+    latencies: Vec<u64>,
+    failure: Option<AttemptFailure>,
+}
+
+/// Send `lane[base..]` over one fresh connection, pipelined `window` deep.
+/// `Hello` is re-sent synchronously first — shards must know the origin
+/// before any ingest, and its ack confirms the connection is live.
+#[allow(clippy::too_many_arguments)]
+fn replay_attempt(
+    addr: SocketAddr,
+    hello: &Request,
+    lane: &[Request],
+    base: usize,
+    window: usize,
+    lane_idx: u64,
+    plan: &FaultPlan,
+    attempt: u32,
+) -> AttemptOutcome {
+    let mut out =
+        AttemptOutcome { acked: base, sent_up_to: base, latencies: Vec::new(), failure: None };
+    let conn_fail = |e: io::Error| Some(AttemptFailure::Conn(e));
+
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            out.failure = conn_fail(e);
+            return out;
+        }
+    };
+    stream.set_nodelay(true).ok();
+    let (reader_stream, writer_stream) = match (stream.try_clone(), stream.try_clone()) {
+        (Ok(r), Ok(w)) => (r, w),
+        (Err(e), _) | (_, Err(e)) => {
+            out.failure = conn_fail(e);
+            return out;
+        }
+    };
+    let mut r = BufReader::new(reader_stream);
+    let mut w = BufWriter::new(writer_stream);
+
+    // Synchronous Hello: idempotent (same origin every time), and a failed
+    // ack here means the connection never came up.
+    if let Err(e) = write_msg(&mut w, hello).and_then(|()| w.flush()) {
+        out.failure = conn_fail(e);
+        return out;
+    }
+    match read_msg::<Response, _>(&mut r) {
+        Ok(Some(Response::Ok)) => {}
+        Ok(Some(Response::Error { message })) => {
+            out.failure = Some(AttemptFailure::Server(message));
+            return out;
+        }
+        Ok(Some(other)) => {
+            out.failure = Some(AttemptFailure::Server(format!("hello: unexpected {other:?}")));
+            return out;
+        }
+        Ok(None) => {
+            out.failure = conn_fail(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed during hello",
+            ));
+            return out;
+        }
+        Err(e) => {
+            out.failure = conn_fail(e);
+            return out;
+        }
+    }
+
+    // Pipelined phase. In-flight bookkeeping: send instants queued FIFO,
+    // permits returned per response.
+    let remaining = lane.len() - base;
+    let sent_times = Arc::new(Mutex::new(VecDeque::<Instant>::new()));
+    let (permit_tx, permit_rx) = mpsc::channel::<()>();
+    for _ in 0..window.max(1) {
+        permit_tx.send(()).expect("preload permits");
+    }
+    let sent_r = Arc::clone(&sent_times);
+    type ReaderEnd = (usize, Vec<u64>, Option<String>, Option<io::Error>);
+    let reader = std::thread::spawn(move || -> ReaderEnd {
+        let mut acks = 0usize;
+        let mut latencies = Vec::new();
+        while acks < remaining {
+            match read_msg::<Response, _>(&mut r) {
+                Ok(Some(Response::Error { message })) => {
+                    return (acks, latencies, Some(message), None);
+                }
+                Ok(Some(_)) => {
+                    acks += 1;
+                    if let Some(at) = sent_r.lock().unwrap().pop_front() {
+                        latencies.push(at.elapsed().as_micros() as u64);
+                    }
+                    let _ = permit_tx.send(());
+                }
+                Ok(None) => {
+                    let e =
+                        io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-replay");
+                    return (acks, latencies, None, Some(e));
+                }
+                Err(e) => return (acks, latencies, None, Some(e)),
+            }
+        }
+        (acks, latencies, None, None)
+    });
+
+    let mut write_err: Option<io::Error> = None;
+    let mut killed_by_fault = false;
+    let mut sent = base;
+    'writer: for (i, req) in lane.iter().enumerate().skip(base) {
+        // Take a permit, flushing first if we must block: the server
+        // cannot answer requests still sitting in our buffer.
+        match permit_rx.try_recv() {
+            Ok(()) => {}
+            Err(TryRecvError::Empty) => {
+                if let Err(e) = w.flush() {
+                    write_err = Some(e);
+                    break 'writer;
+                }
+                if permit_rx.recv().is_err() {
+                    // The reader exited; it carries the real failure.
+                    break 'writer;
+                }
+            }
+            Err(TryRecvError::Disconnected) => break 'writer,
+        }
+        match plan.frame_fault(lane_idx, i as u64, attempt) {
+            FrameFault::None => {}
+            FrameFault::Stall { ms } => {
+                geosocial_obs::debug!("loadgen", "fault: stall"; lane = lane_idx, index = i, attempt = attempt);
+                // Go quiet with the frame unsent — long enough and the
+                // server's read timeout closes the connection under us.
+                if let Err(e) = w.flush() {
+                    write_err = Some(e);
+                    break 'writer;
+                }
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            FrameFault::Truncate => {
+                geosocial_obs::debug!("loadgen", "fault: truncate"; lane = lane_idx, index = i, attempt = attempt);
+                // Deliver everything buffered, then half a frame, then
+                // half-close: the server sees a mid-frame EOF and drops the
+                // session. Only the write side is shut down — responses the
+                // server already sent stay readable, exactly like a peer
+                // that crashed mid-write. (A full `Shutdown::Both` would
+                // discard every ack already sitting in our receive buffer,
+                // and since the writer runs `window` frames ahead of the
+                // reader, that turns most truncated attempts into
+                // zero-progress attempts and starves the retry budget.)
+                let _ = w.flush().and_then(|()| {
+                    let mut bytes = Vec::new();
+                    write_msg(&mut bytes, req)?;
+                    w.get_mut().write_all(&bytes[..bytes.len().max(2) / 2])
+                });
+                let _ = w.get_ref().shutdown(Shutdown::Write);
+                killed_by_fault = true;
+                break 'writer;
+            }
+            FrameFault::Abort => {
+                geosocial_obs::debug!("loadgen", "fault: abort"; lane = lane_idx, index = i, attempt = attempt);
+                // Tear the connection down in both directions, destroying
+                // every acknowledgment still sitting in our receive buffer.
+                // The server has applied events we will never know were
+                // acked, so the retry redelivers them — the fault that
+                // proves the per-user seq dedup actually runs.
+                let _ = w.flush();
+                let _ = w.get_ref().shutdown(Shutdown::Both);
+                killed_by_fault = true;
+                break 'writer;
+            }
+        }
+        sent_times.lock().unwrap().push_back(Instant::now());
+        if let Err(e) = write_msg(&mut w, req) {
+            write_err = Some(e);
+            break 'writer;
+        }
+        sent = i + 1;
+    }
+    if write_err.is_none() && !killed_by_fault && sent == lane.len() {
+        if let Err(e) = w.flush().and_then(|()| w.get_ref().shutdown(Shutdown::Write)) {
+            write_err = Some(e);
+        }
+    }
+
+    let (acks, latencies, server_err, conn_err) = reader
+        .join()
+        .unwrap_or_else(|_| (0, Vec::new(), None, Some(io::Error::other("reader panicked"))));
+    out.acked = base + acks;
+    out.sent_up_to = sent;
+    out.latencies = latencies;
+    out.failure = if let Some(message) = server_err {
+        Some(AttemptFailure::Server(message))
+    } else if killed_by_fault {
+        // The reader's EOF is just the echo of our own half-close; name
+        // the real cause.
+        conn_fail(io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            "connection killed by injected fault",
+        ))
+    } else if let Some(e) = conn_err {
+        conn_fail(e)
+    } else if let Some(e) = write_err {
+        conn_fail(e)
+    } else if out.acked < lane.len() {
+        conn_fail(io::Error::other("lane ended short of full ack"))
+    } else {
+        None
+    };
+    out
+}
+
+/// What one lane delivered, across every connection attempt.
+struct LaneReport {
+    latencies: Vec<u64>,
+    retries: u32,
+    resent: usize,
+}
+
+/// Replay one lane to completion: deliver every event at least once and
+/// collect every ack, reconnecting with deterministic backoff on failure.
 fn replay_lane(
     addr: SocketAddr,
     hello: Request,
     lane: Vec<Request>,
     window: usize,
-) -> io::Result<Vec<u64>> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    let reader_stream = stream.try_clone()?;
-    let total = lane.len() + 1; // + Hello
-
-    // In-flight bookkeeping: send instants queued FIFO, permits returned
-    // per response.
-    let sent = Arc::new(Mutex::new(std::collections::VecDeque::<Instant>::new()));
-    let (permit_tx, permit_rx) = mpsc::channel::<()>();
-    for _ in 0..window.max(1) {
-        permit_tx.send(()).expect("preload permits");
-    }
-
-    let sent_r = Arc::clone(&sent);
-    let reader = std::thread::spawn(move || -> io::Result<Vec<u64>> {
-        let mut r = BufReader::new(reader_stream);
-        let mut latencies = Vec::with_capacity(total);
-        for _ in 0..total {
-            match read_msg::<Response, _>(&mut r)? {
-                Some(Response::Error { message }) => {
-                    return Err(io::Error::new(io::ErrorKind::Other, message));
-                }
-                Some(_) => {}
-                None => {
+    lane_idx: u64,
+    plan: FaultPlan,
+    retry: RetryPolicy,
+) -> io::Result<LaneReport> {
+    let mut report = LaneReport { latencies: Vec::new(), retries: 0, resent: 0 };
+    let mut acked = 0usize;
+    let mut sent_high = 0usize;
+    // Two counters with different jobs: `attempt` only ever grows and keys
+    // the fault plan's per-frame decisions, so a retried frame is re-rolled
+    // and the same fault can never pin the same index forever; `stalled_for`
+    // counts *consecutive* attempts that advanced nothing and drives both
+    // the backoff and the give-up bound.
+    let mut attempt = 0u32;
+    let mut stalled_for = 0u32;
+    loop {
+        let already_sent = sent_high;
+        let already_acked = acked;
+        let out = replay_attempt(addr, &hello, &lane, acked, window, lane_idx, &plan, attempt);
+        report.latencies.extend(out.latencies);
+        // Frames below the previous high-water mark were deliveries the
+        // server (may) have already applied — the seq dedup's workload.
+        report.resent += out.sent_up_to.min(already_sent).saturating_sub(acked);
+        sent_high = sent_high.max(out.sent_up_to);
+        acked = acked.max(out.acked);
+        match out.failure {
+            None => {
+                debug_assert_eq!(acked, lane.len());
+                return Ok(report);
+            }
+            Some(AttemptFailure::Server(message)) => {
+                return Err(io::Error::other(format!("server: {message}")));
+            }
+            Some(AttemptFailure::Conn(e)) => {
+                // `max_retries` bounds *consecutive* no-progress failures:
+                // an attempt that advanced the ack frontier resets the
+                // budget (and the backoff), so a long lane under a high
+                // fault rate still completes as long as each connection
+                // makes progress.
+                let progressed = out.acked > already_acked;
+                if !progressed && stalled_for >= retry.max_retries {
                     return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "server closed mid-replay",
+                        e.kind(),
+                        format!("lane {lane_idx}: gave up after {stalled_for} retries: {e}"),
                     ));
                 }
-            }
-            let started = sent_r.lock().unwrap().pop_front();
-            if let Some(at) = started {
-                latencies.push(at.elapsed().as_micros() as u64);
-            }
-            let _ = permit_tx.send(());
-        }
-        Ok(latencies)
-    });
-
-    let mut w = BufWriter::new(stream.try_clone()?);
-    let send = |w: &mut BufWriter<TcpStream>, req: &Request| -> io::Result<()> {
-        // Flush before blocking on a permit: the server cannot answer
-        // requests still sitting in our buffer.
-        match permit_rx.try_recv() {
-            Ok(()) => {}
-            Err(TryRecvError::Empty) => {
-                w.flush()?;
-                permit_rx
-                    .recv()
-                    .map_err(|_| io::Error::new(io::ErrorKind::Other, "reader died"))?;
-            }
-            Err(TryRecvError::Disconnected) => {
-                return Err(io::Error::new(io::ErrorKind::Other, "reader died"));
+                attempt += 1;
+                stalled_for = if progressed { 0 } else { stalled_for + 1 };
+                let wait =
+                    backoff_ms(plan.seed, lane_idx, stalled_for, retry.base_ms, retry.max_ms);
+                geosocial_obs::info!("loadgen", "lane reconnecting";
+                    lane = lane_idx, attempt = attempt, stalled_for = stalled_for,
+                    backoff_ms = wait, acked = acked, cause = e);
+                counter("loadgen.retries").inc();
+                std::thread::sleep(Duration::from_millis(wait));
+                report.retries += 1;
             }
         }
-        sent.lock().unwrap().push_back(Instant::now());
-        write_msg(w, req)
-    };
-    send(&mut w, &hello)?;
-    for req in &lane {
-        send(&mut w, req)?;
     }
-    w.flush()?;
-    stream.shutdown(Shutdown::Write)?;
-
-    reader.join().map_err(|_| io::Error::new(io::ErrorKind::Other, "reader panicked"))?
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -266,8 +553,7 @@ fn verify_against_batch(
         ];
         for (field, got, want) in fields {
             if got != want {
-                mismatches
-                    .push(format!("user {} {field}: served {got}, batch {want}", bc.user));
+                mismatches.push(format!("user {} {field}: served {got}, batch {want}", bc.user));
             }
         }
     }
@@ -288,40 +574,41 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
 
     let started = Instant::now();
     let mut workers = Vec::new();
-    for lane in lanes {
+    for (lane_idx, lane) in lanes.into_iter().enumerate() {
         let hello = hello.clone();
         let window = cfg.window;
-        workers.push(std::thread::spawn(move || replay_lane(addr, hello, lane, window)));
+        let plan = cfg.fault.clone();
+        let retry = cfg.retry.clone();
+        workers.push(std::thread::spawn(move || {
+            replay_lane(addr, hello, lane, window, lane_idx as u64, plan, retry)
+        }));
     }
     let mut latencies: Vec<u64> = Vec::with_capacity(total_events);
+    let mut retries = 0u32;
+    let mut resent_events = 0usize;
     for worker in workers {
-        let lane_latencies = worker
-            .join()
-            .map_err(|_| io::Error::new(io::ErrorKind::Other, "lane panicked"))??;
-        latencies.extend(lane_latencies);
+        let lane_report = worker.join().map_err(|_| io::Error::other("lane panicked"))??;
+        latencies.extend(lane_report.latencies);
+        retries += lane_report.retries;
+        resent_events += lane_report.resent;
     }
+    counter("loadgen.resent").add(resent_events as u64);
     let seconds = started.elapsed().as_secs_f64();
 
     // Finalize, then snapshot.
     match control_request(addr, &Request::Finish)? {
         Response::Verdicts { .. } | Response::Ok => {}
         Response::Error { message } => {
-            return Err(io::Error::new(io::ErrorKind::Other, format!("finish: {message}")));
+            return Err(io::Error::other(format!("finish: {message}")));
         }
         other => {
-            return Err(io::Error::new(
-                io::ErrorKind::Other,
-                format!("finish: unexpected reply {other:?}"),
-            ));
+            return Err(io::Error::other(format!("finish: unexpected reply {other:?}")));
         }
     }
     let stats = match control_request(addr, &Request::Stats)? {
         Response::Stats { stats } => stats,
         other => {
-            return Err(io::Error::new(
-                io::ErrorKind::Other,
-                format!("stats: unexpected reply {other:?}"),
-            ));
+            return Err(io::Error::other(format!("stats: unexpected reply {other:?}")));
         }
     };
 
@@ -332,6 +619,7 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
         (None, Vec::new())
     };
 
+    let injected = cfg.fault.injected();
     latencies.sort_unstable();
     Ok(BenchReport {
         users: cfg.users,
@@ -347,19 +635,31 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
         p50_us: percentile(&latencies, 0.50),
         p95_us: percentile(&latencies, 0.95),
         p99_us: percentile(&latencies, 0.99),
+        retries,
+        resent_events,
+        fault_truncated: injected.truncated,
+        fault_aborted: injected.aborted,
+        fault_stalled: injected.stalled,
+        fault_kills: injected.kills,
         server: stats,
         verified,
         mismatches,
     })
 }
 
+/// Ask the server for its residual state; with `finalize` this flushes
+/// everything still pending first (call it right before [`shutdown_server`]).
+pub fn drain_server(addr: SocketAddr, finalize: bool) -> io::Result<DrainReport> {
+    match control_request(addr, &Request::Drain { finalize })? {
+        Response::Drained { report } => Ok(report),
+        other => Err(io::Error::other(format!("drain: unexpected reply {other:?}"))),
+    }
+}
+
 /// Ask the server to stop accepting and exit.
 pub fn shutdown_server(addr: SocketAddr) -> io::Result<()> {
     match control_request(addr, &Request::Shutdown)? {
         Response::Ok => Ok(()),
-        other => Err(io::Error::new(
-            io::ErrorKind::Other,
-            format!("shutdown: unexpected reply {other:?}"),
-        )),
+        other => Err(io::Error::other(format!("shutdown: unexpected reply {other:?}"))),
     }
 }

@@ -35,6 +35,12 @@ pub enum Request {
     Gps {
         /// Reporting user.
         user: u32,
+        /// Per-user ingest sequence number, starting at 0 and counting GPS
+        /// fixes and checkins together. The server applies `seq == next`,
+        /// acknowledges-without-applying `seq < next` (a retried delivery
+        /// of an already-applied event), and rejects gaps — the contract
+        /// that makes client retries exactly-once.
+        seq: u64,
         /// Fix time, seconds.
         t: i64,
         /// Fix latitude, degrees.
@@ -46,6 +52,8 @@ pub enum Request {
     Checkin {
         /// Reporting user.
         user: u32,
+        /// Per-user ingest sequence number (see [`Request::Gps::seq`]).
+        seq: u64,
         /// Checkin time, seconds.
         t: i64,
         /// POI id the checkin claims.
@@ -70,6 +78,18 @@ pub enum Request {
     /// End of stream: finalize every pending verdict on every shard.
     /// Ingesting after `Finish` is an error.
     Finish,
+    /// Graceful drain. With `finalize: false` this is a non-destructive
+    /// quiesce: every shard reports its residual state (pending checkins,
+    /// reorder-held events, open visits and stay windows) and ingestion may
+    /// resume afterwards with no effect on any verdict. With
+    /// `finalize: true` the shards additionally flush their reorder
+    /// buffers, close open stay windows, finalize every pending verdict
+    /// (like [`Request::Finish`]) and report what that forced — the
+    /// supported last call before `Shutdown`.
+    Drain {
+        /// Finalize the stream after reporting residual state.
+        finalize: bool,
+    },
     /// Stop the server once in-flight connections drain.
     Shutdown,
 }
@@ -100,6 +120,11 @@ pub enum Response {
         /// `geosocial-obs exposition v1` text, one series per line.
         text: String,
     },
+    /// Answer to [`Request::Drain`].
+    Drained {
+        /// Residual-state report merged over every shard.
+        report: DrainReport,
+    },
     /// The request could not be served.
     Error {
         /// Human-readable cause.
@@ -123,6 +148,11 @@ pub struct ServerStats {
     pub queries: usize,
     /// Verdicts finalized and delivered.
     pub verdicts: usize,
+    /// Already-applied ingests acknowledged without re-applying (retried
+    /// deliveries deduplicated by per-user sequence number).
+    pub duplicates: usize,
+    /// Shard-worker crashes recovered by snapshot/replay.
+    pub recoveries: usize,
     /// Buffered per-user state across all shards (pending checkins, rolling
     /// fixes, open windows, unretired visits).
     pub buffered_state: usize,
@@ -145,6 +175,10 @@ pub struct ShardStats {
     pub checkin_events: usize,
     /// Verdicts this shard finalized.
     pub verdicts: usize,
+    /// Retried deliveries deduplicated by per-user sequence number.
+    pub duplicates: usize,
+    /// Worker crashes this shard recovered from via snapshot/replay.
+    pub recoveries: usize,
 }
 
 impl ServerStats {
@@ -154,9 +188,56 @@ impl ServerStats {
         self.gps_events += s.gps_events;
         self.checkin_events += s.checkin_events;
         self.verdicts += s.verdicts;
+        self.duplicates += s.duplicates;
+        self.recoveries += s.recoveries;
         self.buffered_state += buffered;
         self.composition.merge(&comp);
         self.per_shard.push(s);
+    }
+}
+
+/// What a [`Request::Drain`] found (and, when finalizing, forced): the
+/// residual state a shard still held when asked to quiesce.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DrainReport {
+    /// Shards that contributed to this report.
+    pub shards: usize,
+    /// Users with live state.
+    pub users: usize,
+    /// Checkins still awaiting finalization at drain time.
+    pub pending_checkins: usize,
+    /// Events still held in allowed-lateness reorder buffers.
+    pub held_events: usize,
+    /// Detected visits whose winning checkin was not yet fixed.
+    pub open_visits: usize,
+    /// GPS fixes buffered inside still-open stay windows.
+    pub open_window_fixes: usize,
+    /// Checkins the drain itself force-finalized with incomplete evidence
+    /// (always 0 for a non-finalizing drain).
+    pub forced_by_drain: usize,
+    /// Verdicts the drain flushed out of shard queues (always 0 for a
+    /// non-finalizing drain — served verdicts travel on ingest responses).
+    pub verdicts_flushed: usize,
+    /// Whether the stream was finalized (`Drain { finalize: true }` or an
+    /// earlier `Finish`); ingestion is refused afterwards.
+    pub finalized: bool,
+    /// Aggregate composition after the drain.
+    pub composition: StreamComposition,
+}
+
+impl DrainReport {
+    /// Merge one shard's report into a server-wide one.
+    pub fn merge(&mut self, o: &DrainReport) {
+        self.shards += o.shards;
+        self.users += o.users;
+        self.pending_checkins += o.pending_checkins;
+        self.held_events += o.held_events;
+        self.open_visits += o.open_visits;
+        self.open_window_fixes += o.open_window_fixes;
+        self.forced_by_drain += o.forced_by_drain;
+        self.verdicts_flushed += o.verdicts_flushed;
+        self.finalized |= o.finalized;
+        self.composition.merge(&o.composition);
     }
 }
 
@@ -211,12 +292,16 @@ mod tests {
 
     #[test]
     fn requests_roundtrip_through_frames() {
-        match roundtrip(Request::Gps { user: 7, t: 1_234, lat: 34.4, lon: -119.8 }) {
-            Request::Gps { user: 7, t: 1_234, .. } => {}
+        match roundtrip(Request::Gps { user: 7, seq: 9, t: 1_234, lat: 34.4, lon: -119.8 }) {
+            Request::Gps { user: 7, seq: 9, t: 1_234, .. } => {}
             other => panic!("bad roundtrip: {other:?}"),
         }
         match roundtrip(Request::Stats) {
             Request::Stats => {}
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+        match roundtrip(Request::Drain { finalize: true }) {
+            Request::Drain { finalize: true } => {}
             other => panic!("bad roundtrip: {other:?}"),
         }
         match roundtrip(Request::Metrics) {

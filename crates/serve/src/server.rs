@@ -10,18 +10,47 @@
 //! Handlers never touch auditor state: every request is routed to its
 //! shard over an `mpsc` channel together with a reply sender, keeping the
 //! request/response discipline strictly 1:1 and in order per connection.
-//! Broadcast requests (`Hello`, `Stats`, `Finish`) fan out to every shard
-//! and merge the replies.
+//! Broadcast requests (`Hello`, `Stats`, `Drain`, `Finish`) fan out to
+//! every shard and merge the replies.
+//!
+//! # Robustness
+//!
+//! The serving layer assumes the transport is as noisy as the checkin
+//! streams it audits:
+//!
+//! * **Idle timeouts** — every accepted connection gets read/write
+//!   timeouts; a stalled peer is disconnected instead of pinning a handler
+//!   thread forever.
+//! * **Bounded accept backpressure** — at most
+//!   [`ServerConfig::max_connections`] handlers run at once; the acceptor
+//!   stops accepting (kernel backlog takes the overflow) until a slot
+//!   frees, so a connection flood cannot exhaust threads.
+//! * **Exactly-once ingest** — ingest requests carry a per-user sequence
+//!   number; a shard applies `seq == next`, acknowledges `seq < next`
+//!   without re-applying, and rejects gaps. Clients may therefore retry
+//!   over fresh connections ad libitum without perturbing any verdict.
+//! * **Crash recovery** — each shard worker checkpoints its state every
+//!   [`ServerConfig::snapshot_every`] mutations and keeps the replay log
+//!   since the checkpoint. A panic while applying a command (injected by
+//!   a `geosocial-fault` plan or genuine) is caught by the worker's
+//!   supervisor loop, the state is rebuilt from snapshot + replay — the
+//!   auditors are deterministic, so the rebuilt shard reconverges to
+//!   identical verdicts — and the offending command is retried once.
+//! * **Graceful drain** — the `Drain` request reports residual state
+//!   (pending checkins, reorder-held events, open visits/windows) and,
+//!   when asked to finalize, flushes it all before the operator sends
+//!   `Shutdown`.
 //!
 //! Shutdown is cooperative and std-only: a `Shutdown` request flips a flag
 //! and self-connects to unblock the acceptor; shard workers exit when the
 //! last channel sender drops, and the final per-shard counters are dumped
 //! to stderr before `run_with` returns. (There is no SIGTERM hook — `std`
-//! exposes no signal API — so the `stats`/`shutdown` requests are the
-//! supported ways to extract counters from a live server.)
+//! exposes no signal API — so `drain`/`stats`/`shutdown` requests are the
+//! supported ways to quiesce a live server.)
 
 use geosocial_core::classify::ClassifyConfig;
 use geosocial_core::matching::MatchConfig;
+use geosocial_fault::FaultPlan;
 use geosocial_geo::LatLon;
 use geosocial_obs::{counter, gauge, Counter, Gauge, Stopwatch};
 use geosocial_stream::{AuditConfig, OnlineAuditor, StreamComposition};
@@ -29,11 +58,15 @@ use geosocial_trace::{Checkin, GpsPoint, PoiCategory, UserId, VisitConfig};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crate::protocol::{read_msg, write_msg, Request, Response, ServerStats, ShardStats};
+use crate::protocol::{
+    read_msg, write_msg, DrainReport, Request, Response, ServerStats, ShardStats,
+};
 
 /// Cached handles to the serving layer's fixed-name metric series.
 /// Per-shard series (`serve.shard.N.*`) are indexed by shard count and
@@ -55,12 +88,18 @@ mod metrics {
     cached!(events_checkin, counter, Counter, "serve.events.checkin");
     cached!(queries, counter, Counter, "serve.queries");
     cached!(verdicts, counter, Counter, "serve.verdicts");
+    cached!(duplicates, counter, Counter, "serve.duplicates");
+    cached!(recoveries, counter, Counter, "serve.recoveries");
+    cached!(conn_timeouts, counter, Counter, "serve.conn.timeouts");
+    cached!(conn_errors, counter, Counter, "serve.conn.errors");
+    cached!(drains, counter, Counter, "serve.drains");
     cached!(latency_hello, histogram, Histogram, "serve.latency_us.hello");
     cached!(latency_gps, histogram, Histogram, "serve.latency_us.gps");
     cached!(latency_checkin, histogram, Histogram, "serve.latency_us.checkin");
     cached!(latency_user, histogram, Histogram, "serve.latency_us.user");
     cached!(latency_stats, histogram, Histogram, "serve.latency_us.stats");
     cached!(latency_finish, histogram, Histogram, "serve.latency_us.finish");
+    cached!(latency_drain, histogram, Histogram, "serve.latency_us.drain");
     cached!(latency_metrics, histogram, Histogram, "serve.latency_us.metrics");
 }
 
@@ -111,8 +150,10 @@ fn queue_gauge(shard: usize) -> Arc<Gauge> {
     gauge(&format!("serve.shard.{shard}.queue"))
 }
 
-/// Server-side knobs: shard count plus the audit thresholds applied to
-/// every user (the projection origin arrives with the client `Hello`).
+/// Server-side knobs: shard count, the audit thresholds applied to every
+/// user (the projection origin arrives with the client `Hello`), and the
+/// robustness knobs (timeouts, backpressure, checkpoint cadence, fault
+/// plan).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker shards owning per-user state.
@@ -132,6 +173,22 @@ pub struct ServerConfig {
     /// When set, a background thread writes the metrics exposition text to
     /// stderr every this many seconds until shutdown.
     pub metrics_every_s: Option<u64>,
+    /// Per-connection read timeout; a peer idle longer is disconnected.
+    /// `None` = wait forever (the pre-robustness behavior).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout; a peer not draining its socket longer
+    /// than this is disconnected.
+    pub write_timeout: Option<Duration>,
+    /// Maximum concurrently served connections; the acceptor stops
+    /// accepting beyond this (bounded backpressure).
+    pub max_connections: usize,
+    /// Shard checkpoint cadence: mutations between state snapshots. Lower
+    /// = cheaper crash replay, more frequent clone cost.
+    pub snapshot_every: usize,
+    /// Fault-injection plan (inert unless built with `fault-inject` and
+    /// given non-zero rates). The server consults only the shard-kill
+    /// entry; frame faults are client-side.
+    pub fault: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -146,6 +203,11 @@ impl Default for ServerConfig {
             classify: template.classify,
             visit: template.visit,
             metrics_every_s: None,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_connections: 256,
+            snapshot_every: 1024,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -168,10 +230,7 @@ impl ServerConfig {
 /// the shard count. Every layer (server, load generator, tests) uses this
 /// same map, giving clients per-user connection affinity for free.
 pub fn shard_of(user: UserId, shards: usize) -> usize {
-    let mut z = (user as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    ((z ^ (z >> 31)) % shards.max(1) as u64) as usize
+    (geosocial_fault::mix64(user as u64) % shards.max(1) as u64) as usize
 }
 
 /// A request routed to one shard, with the channel its answer goes back on.
@@ -182,38 +241,106 @@ struct ShardMsg {
 
 enum ShardCmd {
     SetOrigin { origin: LatLon },
-    Gps { user: UserId, point: GpsPoint },
-    Checkin { user: UserId, checkin: Checkin },
+    Gps { user: UserId, seq: u64, point: GpsPoint },
+    Checkin { user: UserId, seq: u64, checkin: Checkin },
     Query { user: UserId },
     Stats,
+    Drain { finalize: bool },
     Finish,
 }
 
-/// One shard worker: owns the auditors of the users hashed to it.
-fn shard_worker(shard: usize, config: Arc<ServerConfig>, rx: mpsc::Receiver<ShardMsg>) {
-    let mut audit: Option<AuditConfig> = None;
-    let mut users: HashMap<UserId, OnlineAuditor> = HashMap::new();
-    let mut stats = ShardStats { shard, ..Default::default() };
-    let mut finished = false;
-    let shard_metrics = ShardMetrics::new(shard);
-    let mut since_refresh = 0usize;
+/// A state-mutating command recorded for crash replay. Only successfully
+/// applied mutations are logged, so snapshot + log always reproduces the
+/// live state exactly (the auditors are deterministic).
+#[derive(Clone)]
+enum ReplayEvent {
+    SetOrigin(LatLon),
+    Gps {
+        user: UserId,
+        seq: u64,
+        point: GpsPoint,
+    },
+    Checkin {
+        user: UserId,
+        seq: u64,
+        checkin: Checkin,
+    },
+    /// `Finish` or `Drain { finalize: true }` — identical state effect.
+    Finalize,
+}
 
-    while let Ok(ShardMsg { cmd, reply }) = rx.recv() {
-        shard_metrics.queue.dec();
-        if matches!(cmd, ShardCmd::Gps { .. } | ShardCmd::Checkin { .. }) {
-            since_refresh += 1;
-            if since_refresh >= GAUGE_REFRESH_EVERY {
-                since_refresh = 0;
-                shard_metrics.refresh(&users);
+impl ReplayEvent {
+    /// The mutation `cmd` performs, if any.
+    fn of(cmd: &ShardCmd) -> Option<ReplayEvent> {
+        match cmd {
+            ShardCmd::SetOrigin { origin } => Some(ReplayEvent::SetOrigin(*origin)),
+            ShardCmd::Gps { user, seq, point } => {
+                Some(ReplayEvent::Gps { user: *user, seq: *seq, point: *point })
             }
-        } else if matches!(cmd, ShardCmd::Stats) {
-            shard_metrics.refresh(&users);
+            ShardCmd::Checkin { user, seq, checkin } => {
+                Some(ReplayEvent::Checkin { user: *user, seq: *seq, checkin: *checkin })
+            }
+            ShardCmd::Finish | ShardCmd::Drain { finalize: true } => Some(ReplayEvent::Finalize),
+            ShardCmd::Query { .. } | ShardCmd::Stats | ShardCmd::Drain { finalize: false } => None,
         }
-        let was_finish = matches!(cmd, ShardCmd::Finish);
-        let resp = match cmd {
-            ShardCmd::SetOrigin { origin } => match &audit {
-                Some(a) if a.origin.lat.to_bits() != origin.lat.to_bits()
-                    || a.origin.lon.to_bits() != origin.lon.to_bits() =>
+    }
+
+    /// The command to re-apply during recovery.
+    fn to_cmd(&self) -> ShardCmd {
+        match self {
+            ReplayEvent::SetOrigin(origin) => ShardCmd::SetOrigin { origin: *origin },
+            ReplayEvent::Gps { user, seq, point } => {
+                ShardCmd::Gps { user: *user, seq: *seq, point: *point }
+            }
+            ReplayEvent::Checkin { user, seq, checkin } => {
+                ShardCmd::Checkin { user: *user, seq: *seq, checkin: *checkin }
+            }
+            ReplayEvent::Finalize => ShardCmd::Finish,
+        }
+    }
+}
+
+/// The crash-replaceable part of a shard: everything `ShardCmd`s mutate.
+/// Cloning it is the checkpoint; re-applying the replay log on a clone is
+/// the recovery.
+#[derive(Clone)]
+struct ShardState {
+    shard: usize,
+    audit: Option<AuditConfig>,
+    users: HashMap<UserId, OnlineAuditor>,
+    /// Per-user next expected ingest sequence number (exactly-once dedup).
+    next_seq: HashMap<UserId, u64>,
+    stats: ShardStats,
+    finished: bool,
+}
+
+impl ShardState {
+    fn new(shard: usize) -> Self {
+        Self {
+            shard,
+            audit: None,
+            users: HashMap::new(),
+            next_seq: HashMap::new(),
+            stats: ShardStats { shard, ..Default::default() },
+            finished: false,
+        }
+    }
+
+    /// Apply one command. `obs` carries the metric handles for live
+    /// processing and is `None` during crash replay, where the state (and
+    /// `stats`) must reconverge but the process-global metrics must not be
+    /// double-counted.
+    fn apply(
+        &mut self,
+        cmd: &ShardCmd,
+        config: &ServerConfig,
+        obs: Option<&ShardMetrics>,
+    ) -> Response {
+        match cmd {
+            ShardCmd::SetOrigin { origin } => match &self.audit {
+                Some(a)
+                    if a.origin.lat.to_bits() != origin.lat.to_bits()
+                        || a.origin.lon.to_bits() != origin.lon.to_bits() =>
                 {
                     Response::Error {
                         message: format!(
@@ -224,83 +351,281 @@ fn shard_worker(shard: usize, config: Arc<ServerConfig>, rx: mpsc::Receiver<Shar
                 }
                 Some(_) => Response::Ok,
                 None => {
-                    audit = Some(config.audit_config(origin));
+                    self.audit = Some(config.audit_config(*origin));
                     Response::Ok
                 }
             },
-            ShardCmd::Gps { user, point } => match (&audit, finished) {
-                (None, _) => hello_first(),
-                (_, true) => after_finish(),
-                (Some(a), false) => {
-                    let auditor = users
-                        .entry(user)
-                        .or_insert_with(|| OnlineAuditor::new(user, a.clone()));
-                    auditor.push_gps(point);
-                    stats.gps_events += 1;
-                    metrics::events_gps().inc();
-                    let verdicts: Vec<_> = auditor.drain_verdicts().collect();
-                    stats.verdicts += verdicts.len();
-                    metrics::verdicts().add(verdicts.len() as u64);
-                    shard_metrics.verdicts.add(verdicts.len() as u64);
-                    Response::Verdicts { verdicts }
+            ShardCmd::Gps { user, seq, point } => match self.admit(*user, *seq, config, obs) {
+                Admit::Apply(audit) => {
+                    let auditor =
+                        self.users.entry(*user).or_insert_with(|| OnlineAuditor::new(*user, audit));
+                    auditor.push_gps(*point);
+                    self.stats.gps_events += 1;
+                    if obs.is_some() {
+                        metrics::events_gps().inc();
+                    }
+                    self.emit_verdicts(*user, obs)
                 }
+                Admit::Answer(resp) => resp,
             },
-            ShardCmd::Checkin { user, checkin } => match (&audit, finished) {
-                (None, _) => hello_first(),
-                (_, true) => after_finish(),
-                (Some(a), false) => {
-                    let auditor = users
-                        .entry(user)
-                        .or_insert_with(|| OnlineAuditor::new(user, a.clone()));
-                    auditor.push_checkin(checkin);
-                    stats.checkin_events += 1;
-                    metrics::events_checkin().inc();
-                    let verdicts: Vec<_> = auditor.drain_verdicts().collect();
-                    stats.verdicts += verdicts.len();
-                    metrics::verdicts().add(verdicts.len() as u64);
-                    shard_metrics.verdicts.add(verdicts.len() as u64);
-                    Response::Verdicts { verdicts }
+            ShardCmd::Checkin { user, seq, checkin } => {
+                match self.admit(*user, *seq, config, obs) {
+                    Admit::Apply(audit) => {
+                        let auditor = self
+                            .users
+                            .entry(*user)
+                            .or_insert_with(|| OnlineAuditor::new(*user, audit));
+                        auditor.push_checkin(*checkin);
+                        self.stats.checkin_events += 1;
+                        if obs.is_some() {
+                            metrics::events_checkin().inc();
+                        }
+                        self.emit_verdicts(*user, obs)
+                    }
+                    Admit::Answer(resp) => resp,
                 }
-            },
-            ShardCmd::Query { user } => match users.get(&user) {
+            }
+            ShardCmd::Query { user } => match self.users.get(user) {
                 Some(a) => Response::Composition { composition: a.composition() },
                 None => Response::Error { message: format!("unknown user {user}") },
             },
             ShardCmd::Stats => {
-                stats.users = users.len();
+                self.stats.users = self.users.len();
                 let mut total = ServerStats::default();
                 let mut comp = StreamComposition::default();
                 let mut buffered = 0;
-                for a in users.values() {
+                for a in self.users.values() {
                     comp.merge(&a.composition());
                     buffered += a.state_size();
                 }
-                total.absorb(stats.clone(), comp, buffered);
+                total.absorb(self.stats.clone(), comp, buffered);
                 Response::Stats { stats: total }
             }
-            ShardCmd::Finish => {
-                finished = true;
-                let mut verdicts = Vec::new();
-                let mut ids: Vec<UserId> = users.keys().copied().collect();
-                ids.sort_unstable();
-                for id in ids {
-                    let a = users.get_mut(&id).expect("known user");
-                    a.finish();
-                    verdicts.extend(a.drain_verdicts());
+            ShardCmd::Drain { finalize } => {
+                let mut report = DrainReport {
+                    shards: 1,
+                    users: self.users.len(),
+                    finalized: self.finished,
+                    ..Default::default()
+                };
+                for a in self.users.values() {
+                    report.pending_checkins += a.composition().pending_checkins;
+                    report.held_events += a.held_events();
+                    report.open_visits += a.open_visits();
+                    report.open_window_fixes += a.open_window_fixes();
                 }
-                stats.verdicts += verdicts.len();
-                metrics::verdicts().add(verdicts.len() as u64);
-                shard_metrics.verdicts.add(verdicts.len() as u64);
+                if *finalize && !self.finished {
+                    // Everything still pending is finalized with the
+                    // evidence at hand — record how much that was.
+                    report.forced_by_drain = report.pending_checkins;
+                    report.verdicts_flushed = self.finalize_all(obs);
+                    report.finalized = true;
+                }
+                for a in self.users.values() {
+                    report.composition.merge(&a.composition());
+                }
+                Response::Drained { report }
+            }
+            ShardCmd::Finish => {
+                let mut verdicts = Vec::new();
+                if !self.finished {
+                    self.finished = true;
+                    let mut ids: Vec<UserId> = self.users.keys().copied().collect();
+                    ids.sort_unstable();
+                    for id in ids {
+                        let a = self.users.get_mut(&id).expect("known user");
+                        a.finish();
+                        verdicts.extend(a.drain_verdicts());
+                    }
+                    self.stats.verdicts += verdicts.len();
+                    if let Some(m) = obs {
+                        metrics::verdicts().add(verdicts.len() as u64);
+                        m.verdicts.add(verdicts.len() as u64);
+                    }
+                }
                 Response::Verdicts { verdicts }
             }
+        }
+    }
+
+    /// Gate one ingest: session state, then the per-user sequence contract,
+    /// then the fault plan's shard-kill point.
+    fn admit(
+        &mut self,
+        user: UserId,
+        seq: u64,
+        config: &ServerConfig,
+        obs: Option<&ShardMetrics>,
+    ) -> Admit {
+        let Some(audit) = &self.audit else {
+            return Admit::Answer(hello_first());
         };
-        if was_finish {
+        if self.finished {
+            return Admit::Answer(after_finish());
+        }
+        let next = self.next_seq.entry(user).or_insert(0);
+        if seq < *next {
+            self.stats.duplicates += 1;
+            if obs.is_some() {
+                metrics::duplicates().inc();
+            }
+            // A retried delivery of an already-applied event: acknowledge
+            // (the original response was lost with its connection) without
+            // touching the auditor.
+            return Admit::Answer(Response::Verdicts { verdicts: Vec::new() });
+        }
+        if seq > *next {
+            return Admit::Answer(Response::Error {
+                message: format!("user {user} ingest gap: got seq {seq}, expected {next}"),
+            });
+        }
+        *next += 1;
+        // Planned crash, consulted only on live processing (the one-shot
+        // also guards replay, but recovery must never re-kill).
+        if obs.is_some() {
+            let applied = self.stats.gps_events + self.stats.checkin_events;
+            if config.fault.should_kill(self.shard, applied as u64) {
+                panic!("injected fault: shard {} killed before ingest {}", self.shard, applied);
+            }
+        }
+        Admit::Apply(audit.clone())
+    }
+
+    /// Drain the user's newly finalized verdicts into a response.
+    fn emit_verdicts(&mut self, user: UserId, obs: Option<&ShardMetrics>) -> Response {
+        let auditor = self.users.get_mut(&user).expect("just ingested");
+        let verdicts: Vec<_> = auditor.drain_verdicts().collect();
+        self.stats.verdicts += verdicts.len();
+        if let Some(m) = obs {
+            metrics::verdicts().add(verdicts.len() as u64);
+            m.verdicts.add(verdicts.len() as u64);
+        }
+        Response::Verdicts { verdicts }
+    }
+
+    /// Finalize every auditor; returns the number of verdicts flushed.
+    fn finalize_all(&mut self, obs: Option<&ShardMetrics>) -> usize {
+        self.finished = true;
+        let mut flushed = 0;
+        let mut ids: Vec<UserId> = self.users.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let a = self.users.get_mut(&id).expect("known user");
+            a.finish();
+            flushed += a.drain_verdicts().count();
+        }
+        self.stats.verdicts += flushed;
+        if let Some(m) = obs {
+            metrics::verdicts().add(flushed as u64);
+            m.verdicts.add(flushed as u64);
+        }
+        flushed
+    }
+}
+
+/// What [`ShardState::admit`] decided for an ingest.
+enum Admit {
+    /// Apply it with this audit configuration.
+    Apply(AuditConfig),
+    /// Answer immediately without touching the auditor.
+    Answer(Response),
+}
+
+/// One shard worker: a supervisor loop owning the auditors of the users
+/// hashed to it. Commands are applied under `catch_unwind`; a panic
+/// restores the last checkpoint, replays the log, retries the command
+/// once, and keeps serving.
+fn shard_worker(shard: usize, config: Arc<ServerConfig>, rx: mpsc::Receiver<ShardMsg>) {
+    let shard_metrics = ShardMetrics::new(shard);
+    let mut live = ShardState::new(shard);
+    let mut snapshot = live.clone();
+    let mut replay_log: Vec<ReplayEvent> = Vec::new();
+    let snapshot_every = config.snapshot_every.max(1);
+    let mut since_refresh = 0usize;
+
+    while let Ok(ShardMsg { cmd, reply }) = rx.recv() {
+        shard_metrics.queue.dec();
+        if matches!(cmd, ShardCmd::Gps { .. } | ShardCmd::Checkin { .. }) {
+            since_refresh += 1;
+            if since_refresh >= GAUGE_REFRESH_EVERY {
+                since_refresh = 0;
+                shard_metrics.refresh(&live.users);
+            }
+        } else if matches!(cmd, ShardCmd::Stats) {
+            shard_metrics.refresh(&live.users);
+        }
+        let finalizes = matches!(cmd, ShardCmd::Finish | ShardCmd::Drain { finalize: true });
+
+        let mut resp = apply_guarded(&mut live, &cmd, &config, &shard_metrics);
+        if let Err(panic_msg) = &resp {
+            // The worker crashed mid-command: rebuild from the checkpoint
+            // plus the replay log of successfully applied mutations, then
+            // retry the command once (an injected kill is consumed by now).
+            geosocial_obs::warn!("serve", "shard worker crashed, recovering";
+                shard = shard,
+                replayed = replay_log.len(),
+                cause = panic_msg,
+            );
+            live = recover(&snapshot, &replay_log, &config);
+            live.stats.recoveries += 1;
+            metrics::recoveries().inc();
+            resp = apply_guarded(&mut live, &cmd, &config, &shard_metrics);
+        }
+        let resp = match resp {
+            Ok(resp) => {
+                if let Some(ev) = ReplayEvent::of(&cmd) {
+                    replay_log.push(ev);
+                    if replay_log.len() >= snapshot_every {
+                        snapshot = live.clone();
+                        replay_log.clear();
+                    }
+                }
+                resp
+            }
+            Err(panic_msg) => {
+                geosocial_obs::error!("serve", "command failed twice, skipping it";
+                    shard = shard, cause = panic_msg);
+                Response::Error {
+                    message: format!("shard {shard} failed applying the request: {panic_msg}"),
+                }
+            }
+        };
+        if finalizes {
             // Finalization just changed every composition; re-export.
-            shard_metrics.refresh(&users);
+            shard_metrics.refresh(&live.users);
         }
         // A dropped reply receiver means the connection died; keep serving.
         let _ = reply.send(resp);
     }
+}
+
+/// Apply one command, catching panics (injected or genuine) so the
+/// supervisor can recover instead of losing the shard.
+fn apply_guarded(
+    state: &mut ShardState,
+    cmd: &ShardCmd,
+    config: &ServerConfig,
+    obs: &ShardMetrics,
+) -> Result<Response, String> {
+    catch_unwind(AssertUnwindSafe(|| state.apply(cmd, config, Some(obs)))).map_err(|cause| {
+        cause
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| cause.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic with non-string payload".into())
+    })
+}
+
+/// Rebuild a shard from its checkpoint by re-applying the replay log.
+/// Metric side effects are suppressed (`obs: None`) — the live run already
+/// counted these events; `stats` reconverges because `apply` is
+/// deterministic.
+fn recover(snapshot: &ShardState, log: &[ReplayEvent], config: &ServerConfig) -> ShardState {
+    let mut state = snapshot.clone();
+    for ev in log {
+        let _ = state.apply(&ev.to_cmd(), config, None);
+    }
+    state
 }
 
 fn hello_first() -> Response {
@@ -311,9 +636,80 @@ fn after_finish() -> Response {
     Response::Error { message: "stream already finished".into() }
 }
 
+/// Bounded-concurrency accounting for connection handlers: the acceptor
+/// blocks in [`ConnSlots::acquire`] while `max` handlers are live, and
+/// shutdown waits in [`ConnSlots::wait_idle`] for the last handler to
+/// finish (handlers are detached threads; the slot count is the join).
+struct ConnSlots {
+    max: usize,
+    active: Mutex<usize>,
+    cv: Condvar,
+    gauge: Arc<Gauge>,
+}
+
+impl ConnSlots {
+    fn new(max: usize) -> Self {
+        Self {
+            max: max.max(1),
+            active: Mutex::new(0),
+            cv: Condvar::new(),
+            gauge: gauge("serve.connections"),
+        }
+    }
+
+    /// Take a slot; returns `false` if shutdown began while waiting.
+    fn acquire(&self, shutdown: &AtomicBool) -> bool {
+        let mut active = self.active.lock().expect("slots lock");
+        while *active >= self.max {
+            if shutdown.load(Ordering::SeqCst) {
+                return false;
+            }
+            let (guard, _) =
+                self.cv.wait_timeout(active, Duration::from_millis(50)).expect("slots lock");
+            active = guard;
+        }
+        *active += 1;
+        self.gauge.inc();
+        true
+    }
+
+    fn release(&self) {
+        let mut active = self.active.lock().expect("slots lock");
+        *active = active.saturating_sub(1);
+        self.gauge.dec();
+        self.cv.notify_all();
+    }
+
+    /// Block until every handler has released its slot.
+    fn wait_idle(&self) {
+        let mut active = self.active.lock().expect("slots lock");
+        while *active > 0 {
+            let (guard, _) =
+                self.cv.wait_timeout(active, Duration::from_millis(50)).expect("slots lock");
+            active = guard;
+        }
+    }
+}
+
+/// RAII slot release for a handler thread.
+struct SlotGuard(Arc<ConnSlots>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// True when an I/O error is an idle-timeout expiry rather than a peer
+/// hangup or protocol violation.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
 /// Per-connection handler: frames in, frames out, strictly 1:1 in order.
 fn handle_conn(
     stream: TcpStream,
+    config: &ServerConfig,
     shards: Vec<mpsc::Sender<ShardMsg>>,
     shutdown: Arc<AtomicBool>,
     self_addr: SocketAddr,
@@ -321,6 +717,8 @@ fn handle_conn(
     queues: Arc<Vec<Arc<Gauge>>>,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let (reply_tx, reply_rx) = mpsc::channel::<Response>();
@@ -338,7 +736,17 @@ fn handle_conn(
         }
     };
 
-    while let Some(req) = read_msg::<Request, _>(&mut reader)? {
+    loop {
+        let req = match read_msg::<Request, _>(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => break,
+            Err(e) if is_timeout(&e) => {
+                metrics::conn_timeouts().inc();
+                geosocial_obs::info!("serve", "connection idle past the read timeout, dropping");
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         // Timed from post-decode to response-ready: routing + shard work,
         // excluding socket read/write.
         let mut clock = Stopwatch::start();
@@ -349,6 +757,7 @@ fn handle_conn(
             Request::User { .. } => metrics::latency_user(),
             Request::Stats => metrics::latency_stats(),
             Request::Metrics => metrics::latency_metrics(),
+            Request::Drain { .. } => metrics::latency_drain(),
             Request::Finish | Request::Shutdown => metrics::latency_finish(),
         };
         let resp = match req {
@@ -357,15 +766,15 @@ fn handle_conn(
                 broadcast(&shards, &|| ShardCmd::SetOrigin { origin });
                 merge_broadcast(&reply_rx, n)
             }
-            Request::Gps { user, t, lat, lon } => {
+            Request::Gps { user, seq, t, lat, lon } => {
                 let point = GpsPoint { t, pos: LatLon::new(lat, lon) };
-                if route(&shards, user, ShardCmd::Gps { user, point }) {
+                if route(&shards, user, ShardCmd::Gps { user, seq, point }) {
                     reply_rx.recv().unwrap_or_else(|_| shard_gone())
                 } else {
                     shard_gone()
                 }
             }
-            Request::Checkin { user, t, poi, lat, lon } => {
+            Request::Checkin { user, seq, t, poi, lat, lon } => {
                 let checkin = Checkin {
                     t,
                     poi,
@@ -375,7 +784,7 @@ fn handle_conn(
                     location: LatLon::new(lat, lon),
                     provenance: None,
                 };
-                if route(&shards, user, ShardCmd::Checkin { user, checkin }) {
+                if route(&shards, user, ShardCmd::Checkin { user, seq, checkin }) {
                     reply_rx.recv().unwrap_or_else(|_| shard_gone())
                 } else {
                     shard_gone()
@@ -402,6 +811,12 @@ fn handle_conn(
                 queries.fetch_add(1, Ordering::Relaxed);
                 metrics::queries().inc();
                 Response::Metrics { text: geosocial_obs::render_text() }
+            }
+            Request::Drain { finalize } => {
+                metrics::drains().inc();
+                geosocial_obs::info!("serve", "drain requested"; finalize = finalize);
+                broadcast(&shards, &|| ShardCmd::Drain { finalize });
+                merge_broadcast(&reply_rx, n)
             }
             Request::Finish => {
                 broadcast(&shards, &|| ShardCmd::Finish);
@@ -435,26 +850,35 @@ fn merge_broadcast(rx: &mpsc::Receiver<Response>, n: usize) -> Response {
             Response::Ok => {
                 merged.get_or_insert(Response::Ok);
             }
-            Response::Verdicts { verdicts } => match merged.get_or_insert_with(|| {
-                Response::Verdicts { verdicts: Vec::new() }
-            }) {
-                Response::Verdicts { verdicts: all } => all.extend(verdicts),
-                _ => {}
-            },
-            Response::Stats { stats } => match merged.get_or_insert_with(|| {
-                Response::Stats { stats: ServerStats::default() }
-            }) {
-                Response::Stats { stats: total } => {
+            Response::Verdicts { verdicts } => {
+                if let Response::Verdicts { verdicts: all } =
+                    merged.get_or_insert_with(|| Response::Verdicts { verdicts: Vec::new() })
+                {
+                    all.extend(verdicts)
+                }
+            }
+            Response::Stats { stats } => {
+                if let Response::Stats { stats: total } =
+                    merged.get_or_insert_with(|| Response::Stats { stats: ServerStats::default() })
+                {
                     total.users += stats.users;
                     total.gps_events += stats.gps_events;
                     total.checkin_events += stats.checkin_events;
                     total.verdicts += stats.verdicts;
+                    total.duplicates += stats.duplicates;
+                    total.recoveries += stats.recoveries;
                     total.buffered_state += stats.buffered_state;
                     total.composition.merge(&stats.composition);
                     total.per_shard.extend(stats.per_shard);
                 }
-                _ => {}
-            },
+            }
+            Response::Drained { report } => {
+                if let Response::Drained { report: total } = merged
+                    .get_or_insert_with(|| Response::Drained { report: DrainReport::default() })
+                {
+                    total.merge(&report)
+                }
+            }
             e @ Response::Error { .. } => error = Some(e),
             other => merged = Some(other),
         }
@@ -488,9 +912,7 @@ impl ServerHandle {
     /// Wait for the server to stop (a client must send `Shutdown`) and
     /// return the final counters.
     pub fn join(self) -> io::Result<ServerStats> {
-        self.thread.join().map_err(|_| {
-            io::Error::new(io::ErrorKind::Other, "server thread panicked")
-        })?
+        self.thread.join().map_err(|_| io::Error::other("server thread panicked"))?
     }
 }
 
@@ -514,6 +936,7 @@ pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<Serve
     let queries = Arc::new(AtomicUsize::new(0));
     let queues: Arc<Vec<Arc<Gauge>>> =
         Arc::new((0..config.shards.max(1)).map(queue_gauge).collect());
+    let slots = Arc::new(ConnSlots::new(config.max_connections));
 
     // Shard workers.
     let mut shard_txs = Vec::with_capacity(config.shards.max(1));
@@ -554,33 +977,58 @@ pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<Serve
             .expect("spawn exposition thread")
     });
 
-    // Accept loop.
-    let mut conn_threads = Vec::new();
-    for stream in listener.incoming() {
-        let stream = stream?;
+    // Accept loop: bounded backpressure — take a handler slot before
+    // accepting, so at most `max_connections` are ever serviced at once.
+    loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
+        if !slots.acquire(&shutdown) {
+            break; // shutdown began while the server was at capacity
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(e) => {
+                slots.release();
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                geosocial_obs::warn!("serve", "accept failed: {e}");
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            slots.release();
+            break;
+        }
+        let cfg = Arc::clone(&config);
         let shards = shard_txs.clone();
         let flag = Arc::clone(&shutdown);
         let q = Arc::clone(&queries);
         let qs = Arc::clone(&queues);
-        conn_threads.push(
-            std::thread::Builder::new()
-                .name("geosocial-conn".into())
-                .spawn(move || {
-                    let _ = handle_conn(stream, shards, flag, self_addr, q, qs);
-                })?,
-        );
+        let guard = SlotGuard(Arc::clone(&slots));
+        let spawned = std::thread::Builder::new().name("geosocial-conn".into()).spawn(move || {
+            let _guard = guard; // released when the handler exits
+            if let Err(e) = handle_conn(stream, &cfg, shards, flag, self_addr, q, qs) {
+                // Peers hanging up mid-frame is routine under churn (and
+                // constant under fault injection): count it, log it quietly.
+                metrics::conn_errors().inc();
+                geosocial_obs::debug!("serve", "connection dropped: {e}");
+            }
+        });
+        if spawned.is_err() {
+            // The guard moved into the closure that never ran; the slot
+            // was released by its drop. Nothing else to undo.
+            geosocial_obs::warn!("serve", "could not spawn a connection handler");
+        }
     }
     drop(listener);
     expo_stop.store(true, Ordering::SeqCst);
     if let Some(t) = expo_thread {
         let _ = t.join();
     }
-    for t in conn_threads {
-        let _ = t.join();
-    }
+    // Handlers are detached; the slot count is their join.
+    slots.wait_idle();
 
     // Collect final stats, then let the workers exit.
     let (reply_tx, reply_rx) = mpsc::channel::<Response>();
@@ -606,6 +1054,8 @@ pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<Serve
             gps = s.gps_events,
             checkins = s.checkin_events,
             verdicts = s.verdicts,
+            duplicates = s.duplicates,
+            recoveries = s.recoveries,
         );
     }
     geosocial_obs::info!("serve", "server final counters";
@@ -614,6 +1064,8 @@ pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<Serve
         checkins = final_stats.checkin_events,
         verdicts = final_stats.verdicts,
         queries = final_stats.queries,
+        duplicates = final_stats.duplicates,
+        recoveries = final_stats.recoveries,
         honest = final_stats.composition.honest,
         extraneous = final_stats.composition.extraneous(),
     );

@@ -1,0 +1,204 @@
+//! Drain semantics: a non-finalizing `Drain` mid-replay is a pure
+//! observation — resuming afterwards yields exactly the same verdict
+//! totals and composition as an uninterrupted run — while a finalizing
+//! `Drain` flushes every pending verdict, reports the residual state it
+//! forced, and seals the stream against further ingest.
+
+use geosocial_checkin::{Scenario, ScenarioConfig};
+use geosocial_serve::protocol::{read_msg, write_msg, Request, Response, ServerStats};
+use geosocial_serve::server::{spawn, ServerConfig};
+use geosocial_stream::dataset_events;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+/// The shared scenario: small enough for a synchronous single-connection
+/// replay, big enough to leave pending state at any midpoint.
+fn requests() -> (Request, Vec<Request>) {
+    let scenario = Scenario::generate(&ScenarioConfig::small(8, 2), 0xD7A1);
+    let ds = &scenario.primary;
+    let origin = ds.pois.projection().origin();
+    let hello = Request::Hello { origin_lat: origin.lat, origin_lon: origin.lon };
+    let mut seqs: HashMap<u32, u64> = HashMap::new();
+    let events = dataset_events(ds)
+        .into_iter()
+        .map(|ev| {
+            let seq = seqs.entry(ev.user()).or_insert(0);
+            let req = match &ev {
+                geosocial_stream::StreamEvent::Gps { user, point } => Request::Gps {
+                    user: *user,
+                    seq: *seq,
+                    t: point.t,
+                    lat: point.pos.lat,
+                    lon: point.pos.lon,
+                },
+                geosocial_stream::StreamEvent::Checkin { user, checkin } => Request::Checkin {
+                    user: *user,
+                    seq: *seq,
+                    t: checkin.t,
+                    poi: checkin.poi,
+                    lat: checkin.location.lat,
+                    lon: checkin.location.lon,
+                },
+            };
+            *seq += 1;
+            req
+        })
+        .collect::<Vec<_>>();
+    assert!(events.len() > 50, "scenario too small to have a meaningful midpoint");
+    (hello, events)
+}
+
+struct Conn {
+    w: BufWriter<TcpStream>,
+    r: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: std::net::SocketAddr) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        Conn { w: BufWriter::new(stream.try_clone().expect("clone")), r: BufReader::new(stream) }
+    }
+
+    fn ask(&mut self, req: &Request) -> Response {
+        write_msg(&mut self.w, req).expect("write");
+        self.w.flush().expect("flush");
+        read_msg(&mut self.r).expect("read").expect("response")
+    }
+}
+
+/// Replay `events`, interrupting with a non-finalizing `Drain` after
+/// `drain_at` events when given; returns (total verdicts, final stats).
+fn replay(
+    addr: std::net::SocketAddr,
+    hello: &Request,
+    events: &[Request],
+    drain_at: Option<usize>,
+) -> (usize, ServerStats) {
+    let mut conn = Conn::open(addr);
+    assert!(matches!(conn.ask(hello), Response::Ok), "hello refused");
+    let mut verdicts = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        if drain_at == Some(i) {
+            match conn.ask(&Request::Drain { finalize: false }) {
+                Response::Drained { report } => {
+                    assert!(!report.finalized, "non-finalizing drain must not seal the stream");
+                    assert!(report.users > 0, "mid-replay drain saw no users");
+                    assert!(
+                        report.pending_checkins + report.open_visits + report.open_window_fixes > 0,
+                        "mid-replay drain found no residual state to report"
+                    );
+                }
+                other => panic!("drain: {other:?}"),
+            }
+        }
+        match conn.ask(ev) {
+            Response::Verdicts { verdicts: v } => verdicts += v.len(),
+            other => panic!("ingest {i}: {other:?}"),
+        }
+    }
+    match conn.ask(&Request::Finish) {
+        Response::Verdicts { verdicts: v } => verdicts += v.len(),
+        other => panic!("finish: {other:?}"),
+    }
+    let stats = match conn.ask(&Request::Stats) {
+        Response::Stats { stats } => stats,
+        other => panic!("stats: {other:?}"),
+    };
+    (verdicts, stats)
+}
+
+#[test]
+fn drain_mid_replay_then_resume_matches_uninterrupted() {
+    let (hello, events) = requests();
+
+    let baseline =
+        spawn(ServerConfig { shards: 2, ..ServerConfig::default() }, "127.0.0.1:0").expect("bind");
+    let addr = baseline.addr();
+    let (verdicts_a, stats_a) = replay(addr, &hello, &events, None);
+    geosocial_serve::loadgen::shutdown_server(addr).expect("shutdown");
+    baseline.join().expect("join");
+
+    let drained =
+        spawn(ServerConfig { shards: 2, ..ServerConfig::default() }, "127.0.0.1:0").expect("bind");
+    let addr = drained.addr();
+    let (verdicts_b, stats_b) = replay(addr, &hello, &events, Some(events.len() / 2));
+    geosocial_serve::loadgen::shutdown_server(addr).expect("shutdown");
+    drained.join().expect("join");
+
+    assert!(verdicts_a > 0, "replay finalized no verdicts at all");
+    assert_eq!(verdicts_a, verdicts_b, "drain mid-replay changed the verdict total");
+    assert_eq!(stats_a.verdicts, stats_b.verdicts);
+    assert_eq!(
+        stats_a.composition, stats_b.composition,
+        "drain mid-replay changed the composition"
+    );
+}
+
+#[test]
+fn finalizing_drain_flushes_and_seals() {
+    let (hello, events) = requests();
+    let server =
+        spawn(ServerConfig { shards: 2, ..ServerConfig::default() }, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let mut conn = Conn::open(addr);
+    assert!(matches!(conn.ask(&hello), Response::Ok));
+    let cut = events.len() / 2;
+    let mut ingest_verdicts = 0usize;
+    let mut last_user = 0u32;
+    for ev in &events[..cut] {
+        if let Request::Gps { user, .. } | Request::Checkin { user, .. } = ev {
+            last_user = *user;
+        }
+        match conn.ask(ev) {
+            Response::Verdicts { verdicts } => ingest_verdicts += verdicts.len(),
+            other => panic!("ingest: {other:?}"),
+        }
+    }
+
+    let report = match conn.ask(&Request::Drain { finalize: true }) {
+        Response::Drained { report } => report,
+        other => panic!("drain: {other:?}"),
+    };
+    assert!(report.finalized, "finalizing drain must report finalized");
+    assert_eq!(report.shards, 2, "every shard must contribute to the merged report");
+    assert!(report.verdicts_flushed > 0, "a half-replayed stream must hold pending verdicts");
+    assert_eq!(
+        report.forced_by_drain, report.pending_checkins,
+        "everything pending at the drain is force-finalized"
+    );
+
+    // Sealed: further ingest is refused...
+    match conn.ask(&events[cut]) {
+        Response::Error { .. } => {}
+        other => panic!("expected error after finalizing drain, got {other:?}"),
+    }
+    // ...but queries still work,
+    match conn.ask(&Request::User { user: last_user }) {
+        Response::Composition { composition } => {
+            assert_eq!(composition.pending_checkins, 0, "drain left pending checkins behind")
+        }
+        other => panic!("user query after drain: {other:?}"),
+    }
+    // the flushed total shows up in Stats,
+    let stats = match conn.ask(&Request::Stats) {
+        Response::Stats { stats } => stats,
+        other => panic!("stats: {other:?}"),
+    };
+    assert_eq!(stats.verdicts, ingest_verdicts + report.verdicts_flushed);
+    assert_eq!(stats.composition.pending_checkins, 0);
+    // and a second finalizing drain is an idempotent no-op.
+    match conn.ask(&Request::Drain { finalize: true }) {
+        Response::Drained { report } => {
+            assert!(report.finalized);
+            assert_eq!(report.verdicts_flushed, 0, "second drain re-flushed verdicts");
+        }
+        other => panic!("second drain: {other:?}"),
+    }
+
+    drop(conn);
+    geosocial_serve::loadgen::shutdown_server(addr).expect("shutdown");
+    server.join().expect("join");
+}

@@ -21,6 +21,7 @@ fn replay_and_verify(shards: usize) {
         connections: 2,
         window: 64,
         verify: true,
+        ..LoadgenConfig::default()
     };
     let report = run(addr, &load).expect("replay succeeds");
 
@@ -58,9 +59,8 @@ fn served_composition_matches_batch_on_four_shards() {
 
 #[test]
 fn protocol_guards_reject_bad_sessions() {
-    let server =
-        spawn(ServerConfig { shards: 2, ..ServerConfig::default() }, "127.0.0.1:0")
-            .expect("bind ephemeral port");
+    let server = spawn(ServerConfig { shards: 2, ..ServerConfig::default() }, "127.0.0.1:0")
+        .expect("bind ephemeral port");
     let addr = server.addr();
 
     let stream = TcpStream::connect(addr).expect("connect");
@@ -73,7 +73,7 @@ fn protocol_guards_reject_bad_sessions() {
     };
 
     // Ingest before Hello is refused.
-    match ask(&Request::Gps { user: 1, t: 0, lat: 0.0, lon: 0.0 }) {
+    match ask(&Request::Gps { user: 1, seq: 0, t: 0, lat: 0.0, lon: 0.0 }) {
         Response::Error { .. } => {}
         other => panic!("expected error before Hello, got {other:?}"),
     }
@@ -87,16 +87,26 @@ fn protocol_guards_reject_bad_sessions() {
         Response::Ok => {}
         other => panic!("expected Ok for Hello, got {other:?}"),
     }
-    match ask(&Request::Gps { user: 1, t: 0, lat: 34.42, lon: -119.86 }) {
+    match ask(&Request::Gps { user: 1, seq: 0, t: 0, lat: 34.42, lon: -119.86 }) {
         Response::Verdicts { .. } => {}
         other => panic!("expected Verdicts for Gps, got {other:?}"),
+    }
+    // A duplicate delivery (same seq) is acknowledged without re-applying.
+    match ask(&Request::Gps { user: 1, seq: 0, t: 0, lat: 34.42, lon: -119.86 }) {
+        Response::Verdicts { verdicts } => assert!(verdicts.is_empty()),
+        other => panic!("expected empty ack for duplicate, got {other:?}"),
+    }
+    // A sequence gap is rejected.
+    match ask(&Request::Gps { user: 1, seq: 5, t: 60, lat: 34.42, lon: -119.86 }) {
+        Response::Error { message } => assert!(message.contains("gap"), "got: {message}"),
+        other => panic!("expected gap error, got {other:?}"),
     }
     // Finish finalizes; ingest afterwards is refused.
     match ask(&Request::Finish) {
         Response::Verdicts { .. } | Response::Ok => {}
         other => panic!("expected Verdicts for Finish, got {other:?}"),
     }
-    match ask(&Request::Gps { user: 1, t: 60, lat: 34.42, lon: -119.86 }) {
+    match ask(&Request::Gps { user: 1, seq: 1, t: 60, lat: 34.42, lon: -119.86 }) {
         Response::Error { .. } => {}
         other => panic!("expected error after Finish, got {other:?}"),
     }

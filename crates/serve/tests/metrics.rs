@@ -80,16 +80,22 @@ fn metrics_request_exposes_live_counters_mid_replay() {
 
     // Replay ~90% of the stream, then scrape while it is still live.
     let cut = events.len() * 9 / 10;
+    let mut seqs = std::collections::HashMap::<u32, u64>::new();
     for ev in &events[..cut] {
+        let seq_slot = seqs.entry(ev.user()).or_insert(0);
+        let seq = *seq_slot;
+        *seq_slot += 1;
         let req = match ev {
             StreamEvent::Gps { user, point } => Request::Gps {
                 user: *user,
+                seq,
                 t: point.t,
                 lat: point.pos.lat,
                 lon: point.pos.lon,
             },
             StreamEvent::Checkin { user, checkin } => Request::Checkin {
                 user: *user,
+                seq,
                 t: checkin.t,
                 poi: checkin.poi,
                 lat: checkin.location.lat,

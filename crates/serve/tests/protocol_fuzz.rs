@@ -1,0 +1,111 @@
+//! Wire-decoder robustness properties: the length-prefixed JSON framing
+//! must survive truncated, oversized, and corrupted input by *erroring
+//! cleanly* — never panicking, never returning a phantom message, and
+//! never reading past the frame the prefix promised.
+
+use geosocial_serve::protocol::{read_msg, write_msg, Request, Response, MAX_FRAME_BYTES};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Encode one frame the way the client does.
+fn frame(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_msg(&mut buf, req).expect("encode");
+    buf
+}
+
+/// A random-but-valid request to mutate.
+fn request_for(pick: u8, user: u32, seq: u64, t: i64, x: f64) -> Request {
+    match pick % 4 {
+        0 => Request::Gps { user, seq, t, lat: x, lon: -x },
+        1 => Request::Checkin { user, seq, t, poi: user.wrapping_add(7), lat: x, lon: x / 2.0 },
+        2 => Request::Hello { origin_lat: x, origin_lon: -x },
+        _ => Request::Drain { finalize: seq.is_multiple_of(2) },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any strict prefix of a valid frame decodes to "no message yet"
+    /// (clean EOF at the boundary) or an error — never a message.
+    #[test]
+    fn truncated_frames_never_yield_a_message(
+        pick in 0u8..=255,
+        user in 0u32..1_000,
+        seq in 0u64..1_000,
+        t in -1_000_000i64..1_000_000,
+        x in -180.0f64..180.0,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = frame(&request_for(pick, user, seq, t, x));
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let mut cursor = Cursor::new(&bytes[..cut]);
+        if let Ok(Some(msg)) = read_msg::<Request, _>(&mut cursor) { prop_assert!(false, "truncated frame decoded to {msg:?}") }
+    }
+
+    /// A length prefix past the frame cap is rejected before a single
+    /// payload byte is read — a corrupt prefix must not drive allocation
+    /// or consume the stream.
+    #[test]
+    fn oversized_prefix_is_rejected_without_overread(
+        extra in 1u32..u32::MAX - MAX_FRAME_BYTES,
+        garbage in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        let mut bytes = (MAX_FRAME_BYTES + extra).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&garbage);
+        let mut cursor = Cursor::new(bytes.as_slice());
+        let res = read_msg::<Request, _>(&mut cursor);
+        prop_assert!(res.is_err(), "oversized prefix accepted");
+        prop_assert_eq!(cursor.position(), 4, "decoder read payload bytes past a bad prefix");
+    }
+
+    /// Flipping any payload byte never panics the decoder and never makes
+    /// it read beyond the framed payload.
+    #[test]
+    fn corrupted_payloads_fail_cleanly_and_stay_in_frame(
+        pick in 0u8..=255,
+        user in 0u32..1_000,
+        seq in 0u64..1_000,
+        t in -1_000_000i64..1_000_000,
+        x in -180.0f64..180.0,
+        at_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = frame(&request_for(pick, user, seq, t, x));
+        let len = bytes.len();
+        // Corrupt one payload byte (never the prefix — that case is the
+        // oversized-prefix property's job).
+        let at = 4 + ((len - 5) as f64 * at_frac) as usize;
+        bytes[at] ^= flip;
+        // Trailing sentinel bytes: still there afterwards iff the decoder
+        // stayed inside the frame.
+        bytes.extend_from_slice(&[0xAA; 8]);
+        let mut cursor = Cursor::new(bytes.as_slice());
+        let _ = read_msg::<Request, _>(&mut cursor); // must not panic
+        prop_assert!(
+            cursor.position() as usize <= len,
+            "decoder read {} bytes past the {}-byte frame",
+            cursor.position() as usize - len,
+            len,
+        );
+    }
+
+    /// Arbitrary (well-framed) garbage payloads error cleanly, consuming
+    /// exactly the frame.
+    #[test]
+    fn garbage_payloads_error_cleanly(
+        payload in prop::collection::vec(0u8..=255, 1..200),
+    ) {
+        let mut bytes = (payload.len() as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&payload);
+        let total = bytes.len();
+        let mut cursor = Cursor::new(bytes.as_slice());
+        match read_msg::<Response, _>(&mut cursor) {
+            // Random bytes essentially never spell a valid Response; if
+            // they somehow do, that is not a robustness failure.
+            Ok(_) | Err(_) => {}
+        }
+        prop_assert!(cursor.position() as usize <= total);
+    }
+}

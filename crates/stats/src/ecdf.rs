@@ -111,9 +111,7 @@ impl Ecdf {
     pub fn log_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
         assert!(lo > 0.0 && hi > lo && n >= 2, "bad log grid [{lo},{hi}]x{n}");
         let (l0, l1) = (lo.ln(), hi.ln());
-        (0..n)
-            .map(|i| (l0 + (l1 - l0) * i as f64 / (n - 1) as f64).exp())
-            .collect()
+        (0..n).map(|i| (l0 + (l1 - l0) * i as f64 / (n - 1) as f64).exp()).collect()
     }
 }
 

@@ -33,8 +33,7 @@ impl Histogram {
         } else if x >= self.hi {
             self.overflow += 1;
         } else {
-            let idx = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64)
-                as usize;
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
             // Guard against the floating-point edge where x is a hair below
             // hi but the scaled index rounds to len().
             let idx = idx.min(self.counts.len() - 1);
@@ -115,7 +114,8 @@ impl LogHistogram {
     /// Add one sample; non-positive and out-of-range samples are tallied
     /// separately.
     pub fn add(&mut self, x: f64) {
-        if !(x > 0.0) {
+        // NaN must land in out_of_range too, so this is not `x <= 0.0`.
+        if x.is_nan() || x <= 0.0 {
             self.out_of_range += 1;
             return;
         }

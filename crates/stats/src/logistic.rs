@@ -30,8 +30,8 @@ impl LogisticModel {
     pub fn predict(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.weights.len(), "feature dimensionality");
         let mut z = self.bias;
-        for i in 0..x.len() {
-            z += self.weights[i] * (x[i] - self.means[i]) / self.stds[i];
+        for (i, &xi) in x.iter().enumerate() {
+            z += self.weights[i] * (xi - self.means[i]) / self.stds[i];
         }
         sigmoid(z)
     }
@@ -73,11 +73,7 @@ fn sigmoid(z: f64) -> f64 {
 /// Features are standardized internally using training-set moments, so
 /// callers pass raw feature vectors. Returns `None` when the input is
 /// empty, dimensions are inconsistent, or labels are single-class.
-pub fn fit_logistic(
-    xs: &[Vec<f64>],
-    ys: &[bool],
-    cfg: &LogisticConfig,
-) -> Option<LogisticModel> {
+pub fn fit_logistic(xs: &[Vec<f64>], ys: &[bool], cfg: &LogisticConfig) -> Option<LogisticModel> {
     if xs.is_empty() || xs.len() != ys.len() {
         return None;
     }
@@ -110,10 +106,8 @@ pub fn fit_logistic(
             *s = 1.0;
         }
     }
-    let std_x: Vec<Vec<f64>> = xs
-        .iter()
-        .map(|x| (0..dim).map(|i| (x[i] - means[i]) / stds[i]).collect())
-        .collect();
+    let std_x: Vec<Vec<f64>> =
+        xs.iter().map(|x| (0..dim).map(|i| (x[i] - means[i]) / stds[i]).collect()).collect();
 
     // Full-batch gradient descent on the regularized log-loss.
     let mut w = vec![0.0; dim];
@@ -158,17 +152,8 @@ mod tests {
     fn learns_separable_data() {
         let (xs, ys) = separable(500);
         let m = fit_logistic(&xs, &ys, &LogisticConfig::default()).unwrap();
-        let correct = xs
-            .iter()
-            .zip(&ys)
-            .filter(|(x, &y)| m.classify(x, 0.5) == y)
-            .count();
-        assert!(
-            correct as f64 / xs.len() as f64 > 0.95,
-            "accuracy {}/{}",
-            correct,
-            xs.len()
-        );
+        let correct = xs.iter().zip(&ys).filter(|(x, &y)| m.classify(x, 0.5) == y).count();
+        assert!(correct as f64 / xs.len() as f64 > 0.95, "accuracy {}/{}", correct, xs.len());
     }
 
     #[test]
@@ -199,11 +184,7 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 7.0]).collect();
         let ys: Vec<bool> = (0..100).map(|i| i >= 50).collect();
         let m = fit_logistic(&xs, &ys, &LogisticConfig::default()).unwrap();
-        let correct = xs
-            .iter()
-            .zip(&ys)
-            .filter(|(x, &y)| m.classify(x, 0.5) == y)
-            .count();
+        let correct = xs.iter().zip(&ys).filter(|(x, &y)| m.classify(x, 0.5) == y).count();
         assert!(correct >= 95, "accuracy {correct}/100");
     }
 

@@ -108,11 +108,7 @@ pub fn fit_pareto(samples: &[f64], x_min: f64) -> Option<Pareto> {
 /// body genuinely is Pareto; for empirical tails prefer passing a domain
 /// `x_min` to [`fit_pareto`].
 pub fn fit_pareto_xmin(samples: &[f64]) -> Option<Pareto> {
-    let x_min = samples
-        .iter()
-        .copied()
-        .filter(|&x| x > 0.0)
-        .min_by(f64::total_cmp)?;
+    let x_min = samples.iter().copied().filter(|&x| x > 0.0).min_by(f64::total_cmp)?;
     fit_pareto(samples, x_min)
 }
 
@@ -131,9 +127,7 @@ mod tests {
         let (a, b) = (2.0, 20.0);
         let steps = 20_000;
         let h = (b - a) / steps as f64;
-        let integral: f64 = (0..steps)
-            .map(|i| p.pdf(a + (i as f64 + 0.5) * h) * h)
-            .sum();
+        let integral: f64 = (0..steps).map(|i| p.pdf(a + (i as f64 + 0.5) * h) * h).sum();
         assert!((integral - (p.cdf(b) - p.cdf(a))).abs() < 1e-4);
     }
 
@@ -159,9 +153,8 @@ mod tests {
         // Deterministic "sampling" through a uniform grid — the MLE must
         // recover alpha closely.
         let truth = Pareto::new(3.0, 1.7);
-        let samples: Vec<f64> = (0..20_000)
-            .map(|i| truth.inv_cdf((i as f64 + 0.5) / 20_000.0))
-            .collect();
+        let samples: Vec<f64> =
+            (0..20_000).map(|i| truth.inv_cdf((i as f64 + 0.5) / 20_000.0)).collect();
         let fit = fit_pareto(&samples, 3.0).unwrap();
         assert!((fit.alpha - 1.7).abs() < 0.02, "alpha {}", fit.alpha);
         let fit2 = fit_pareto_xmin(&samples).unwrap();
@@ -171,9 +164,8 @@ mod tests {
     #[test]
     fn fit_discards_body_samples() {
         let truth = Pareto::new(10.0, 2.0);
-        let mut samples: Vec<f64> = (0..5_000)
-            .map(|i| truth.inv_cdf((i as f64 + 0.5) / 5_000.0))
-            .collect();
+        let mut samples: Vec<f64> =
+            (0..5_000).map(|i| truth.inv_cdf((i as f64 + 0.5) / 5_000.0)).collect();
         // Pollute with sub-x_min noise that must be ignored.
         samples.extend((0..1_000).map(|i| i as f64 / 1_000.0));
         let fit = fit_pareto(&samples, 10.0).unwrap();

@@ -89,11 +89,7 @@ pub fn fit_power_law(x: &[f64], y: &[f64]) -> Option<PowerLawFit> {
         }
     }
     let lin = fit_linear(&lx, &ly)?;
-    Some(PowerLawFit {
-        k: lin.intercept.exp(),
-        exponent: lin.slope,
-        r_squared: lin.r_squared,
-    })
+    Some(PowerLawFit { k: lin.intercept.exp(), exponent: lin.slope, r_squared: lin.r_squared })
 }
 
 #[cfg(test)]

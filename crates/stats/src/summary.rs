@@ -225,9 +225,8 @@ mod burstiness_tests {
     #[test]
     fn exponential_gaps_near_zero() {
         // Deterministic inverse-CDF sample of Exp(1): sigma == mu == 1.
-        let gaps: Vec<f64> = (0..10_000)
-            .map(|i| -(1.0 - (i as f64 + 0.5) / 10_000.0_f64).ln())
-            .collect();
+        let gaps: Vec<f64> =
+            (0..10_000).map(|i| -(1.0 - (i as f64 + 0.5) / 10_000.0_f64).ln()).collect();
         let b = burstiness_coefficient(&gaps).unwrap();
         assert!(b.abs() < 0.02, "got {b}");
     }

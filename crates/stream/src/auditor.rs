@@ -295,10 +295,8 @@ impl OnlineAuditor {
     /// A fresh auditor for `user`.
     pub fn new(user: UserId, cfg: AuditConfig) -> Self {
         let proj = LocalProjection::new(cfg.origin);
-        let detector = OnlineVisitDetector::new(cfg.visit)
-            .with_state_budget(cfg.max_pending_fixes);
-        let reorder =
-            (cfg.allowed_lateness_s > 0).then(|| Reorderer::new(cfg.allowed_lateness_s));
+        let detector = OnlineVisitDetector::new(cfg.visit).with_state_budget(cfg.max_pending_fixes);
+        let reorder = (cfg.allowed_lateness_s > 0).then(|| Reorderer::new(cfg.allowed_lateness_s));
         Self {
             user,
             cfg,
@@ -452,6 +450,22 @@ impl OnlineAuditor {
     /// fixes + unretired visits (budget observability).
     pub fn state_size(&self) -> usize {
         self.pending.len() + self.gps_window.len() + self.detector.pending_len() + self.visits.len()
+    }
+
+    /// Events still held by the allowed-lateness reorder buffer (0 when
+    /// in-order ingest is configured). Drain-report observability.
+    pub fn held_events(&self) -> usize {
+        self.reorder.as_ref().map_or(0, |r| r.held())
+    }
+
+    /// Emitted visits whose winning checkin is not yet fixed.
+    pub fn open_visits(&self) -> usize {
+        self.visits.iter().filter(|v| !v.resolved).count()
+    }
+
+    /// Fixes buffered inside the detector's open stay window.
+    pub fn open_window_fixes(&self) -> usize {
+        self.detector.pending_len()
     }
 
     // -- internal ----------------------------------------------------------
@@ -890,11 +904,7 @@ mod tests {
             a.push_gps(fix(t, x + 1_500.0));
             t += MINUTE;
         }
-        assert!(
-            a.state_size() < 60,
-            "rolling state should stay bounded, got {}",
-            a.state_size()
-        );
+        assert!(a.state_size() < 60, "rolling state should stay bounded, got {}", a.state_size());
         a.finish();
         let comp = a.composition();
         assert_eq!(comp.total_checkins, 8);

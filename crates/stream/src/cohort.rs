@@ -59,7 +59,7 @@ pub fn dataset_events(ds: &Dataset) -> Vec<StreamEvent> {
             evs.push(StreamEvent::Gps { user: u.id, point: p });
         }
         for c in &u.checkins {
-            evs.push(StreamEvent::Checkin { user: u.id, checkin: c.clone() });
+            evs.push(StreamEvent::Checkin { user: u.id, checkin: *c });
         }
     }
     let rank = |e: &StreamEvent| match e {
@@ -67,7 +67,7 @@ pub fn dataset_events(ds: &Dataset) -> Vec<StreamEvent> {
         StreamEvent::Checkin { .. } => 1u8,
     };
     // Stable: equal-keyed checkins keep their generation (= batch) order.
-    evs.sort_by(|a, b| (a.t(), a.user(), rank(a)).cmp(&(b.t(), b.user(), rank(b))));
+    evs.sort_by_key(|a| (a.t(), a.user(), rank(a)));
     evs
 }
 

@@ -12,7 +12,9 @@
 //! window larger than the state budget is force-closed.
 
 use crate::metrics;
-use geosocial_trace::{close_stay, extends_stay, GpsPoint, PoiUniverse, Timestamp, Visit, VisitConfig};
+use geosocial_trace::{
+    close_stay, extends_stay, GpsPoint, PoiUniverse, Timestamp, Visit, VisitConfig,
+};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -293,8 +295,7 @@ mod tests {
 
     #[test]
     fn state_budget_forces_closure() {
-        let mut d =
-            OnlineVisitDetector::new(VisitConfig::default()).with_state_budget(8);
+        let mut d = OnlineVisitDetector::new(VisitConfig::default()).with_state_budget(8);
         for m in 0..40 {
             d.push(fix(m, 34.0, -119.0));
         }

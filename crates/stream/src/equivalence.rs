@@ -118,11 +118,7 @@ pub fn equivalence_report(
     let empty = StreamComposition::default();
     for b in &batch {
         let s = stream_by_user.get(&b.user).copied().unwrap_or(&empty);
-        let visits = ds
-            .users
-            .iter()
-            .find(|u| u.id == b.user)
-            .map_or(0, |u| u.visits.len());
+        let visits = ds.users.iter().find(|u| u.id == b.user).map_or(0, |u| u.visits.len());
         let missing = batch_missing.get(&b.user).copied().unwrap_or(0);
         let pairs: [(&str, usize, usize); 8] = [
             ("total", s.total_checkins, b.total),

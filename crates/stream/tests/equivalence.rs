@@ -69,17 +69,13 @@ fn lateness_buffer_repairs_bounded_disorder() {
     for i in 1..events.len() {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         let dt = events[i].t() - events[i - 1].t();
-        if state % 3 == 0 && dt > 0 && dt < lateness {
+        if state.is_multiple_of(3) && dt > 0 && dt < lateness {
             events.swap(i - 1, i);
         }
     }
 
-    let mut cfg = replay_config(
-        ds,
-        &MatchConfig::paper(),
-        &ClassifyConfig::default(),
-        &config.visit,
-    );
+    let mut cfg =
+        replay_config(ds, &MatchConfig::paper(), &ClassifyConfig::default(), &config.visit);
     cfg.allowed_lateness_s = lateness;
     let mut cohort = CohortAuditor::new(cfg);
     for ev in events {
@@ -92,10 +88,7 @@ fn lateness_buffer_repairs_bounded_disorder() {
         ds,
         replay_config(ds, &MatchConfig::paper(), &ClassifyConfig::default(), &config.visit),
     );
-    assert_eq!(
-        disordered, in_order,
-        "lateness buffer must make bounded disorder invisible"
-    );
+    assert_eq!(disordered, in_order, "lateness buffer must make bounded disorder invisible");
     let late: usize = disordered.iter().map(|c| c.late_dropped).sum();
     assert_eq!(late, 0, "no event should exceed the lateness bound");
 }

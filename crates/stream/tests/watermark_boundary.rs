@@ -41,11 +41,8 @@ fn event_at_release_frontier_is_accepted_not_late() {
 /// compositions) must equal the exported `stream.late_dropped` counter.
 #[test]
 fn late_drop_totals_match_exported_metric() {
-    let before = geosocial_obs::snapshot()
-        .counters
-        .get("stream.late_dropped")
-        .copied()
-        .unwrap_or(0);
+    let before =
+        geosocial_obs::snapshot().counters.get("stream.late_dropped").copied().unwrap_or(0);
 
     // Reorderer drop site: two events older than the release frontier.
     let mut r: Reorderer<u32> = Reorderer::new(60);

@@ -79,10 +79,7 @@ pub(crate) fn sort_checkins(checkins: &mut [Checkin]) {
 /// The paper plots these in minutes for Figures 2 and 6; divide by 60 at
 /// the presentation layer.
 pub fn inter_arrival_secs(sorted_times: &[Timestamp]) -> Vec<f64> {
-    sorted_times
-        .windows(2)
-        .map(|w| (w[1] - w[0]) as f64)
-        .collect()
+    sorted_times.windows(2).map(|w| (w[1] - w[0]) as f64).collect()
 }
 
 #[cfg(test)]

@@ -46,9 +46,7 @@ fn fields(line: &str, n: usize, lineno: usize) -> Result<Vec<&str>, CsvError> {
 }
 
 fn parse<T: std::str::FromStr>(s: &str, what: &str, lineno: usize) -> Result<T, CsvError> {
-    s.trim()
-        .parse()
-        .map_err(|_| err(lineno, format!("bad {what}: {s:?}")))
+    s.trim().parse().map_err(|_| err(lineno, format!("bad {what}: {s:?}")))
 }
 
 // --- GPS ------------------------------------------------------------------
@@ -125,18 +123,11 @@ pub fn visits_from_csv(s: &str) -> Result<Vec<Visit>, CsvError> {
         if end < start {
             return Err(err(lineno, format!("visit ends ({end}) before it starts ({start})")));
         }
-        let poi = if f[4].trim().is_empty() {
-            None
-        } else {
-            Some(parse(f[4], "poi id", lineno)?)
-        };
+        let poi = if f[4].trim().is_empty() { None } else { Some(parse(f[4], "poi id", lineno)?) };
         visits.push(Visit {
             start,
             end,
-            centroid: LatLon::new(
-                parse(f[2], "lat", lineno)?,
-                parse(f[3], "lon", lineno)?,
-            ),
+            centroid: LatLon::new(parse(f[2], "lat", lineno)?, parse(f[3], "lon", lineno)?),
             poi,
         });
     }
@@ -166,17 +157,12 @@ fn provenance_from(s: &str, lineno: usize) -> Result<Option<Provenance>, CsvErro
     if s.is_empty() {
         return Ok(None);
     }
-    [
-        Provenance::Honest,
-        Provenance::Superfluous,
-        Provenance::Remote,
-        Provenance::Driveby,
-    ]
-    .iter()
-    .find(|p| p.label().eq_ignore_ascii_case(s))
-    .copied()
-    .map(Some)
-    .ok_or_else(|| err(lineno, format!("unknown provenance {s:?}")))
+    [Provenance::Honest, Provenance::Superfluous, Provenance::Remote, Provenance::Driveby]
+        .iter()
+        .find(|p| p.label().eq_ignore_ascii_case(s))
+        .copied()
+        .map(Some)
+        .ok_or_else(|| err(lineno, format!("unknown provenance {s:?}")))
 }
 
 /// Serialize checkins.
@@ -214,10 +200,7 @@ pub fn checkins_from_csv(s: &str) -> Result<Vec<Checkin>, CsvError> {
             t: parse(f[0], "timestamp", lineno)?,
             poi: parse(f[1], "poi id", lineno)?,
             category: category_from(f[2], lineno)?,
-            location: LatLon::new(
-                parse(f[3], "lat", lineno)?,
-                parse(f[4], "lon", lineno)?,
-            ),
+            location: LatLon::new(parse(f[3], "lat", lineno)?, parse(f[4], "lon", lineno)?),
             provenance: provenance_from(f[5], lineno)?,
         });
     }
@@ -352,9 +335,7 @@ pub fn pois_from_csv(s: &str) -> Result<crate::PoiUniverse, CsvError> {
         Some((_, h)) if h.trim() == "id,name,category,lat,lon" => {}
         _ => return Err(err(1, "missing header 'id,name,category,lat,lon'")),
     }
-    let (_, origin_line) = lines
-        .next()
-        .ok_or_else(|| err(2, "missing origin row"))?;
+    let (_, origin_line) = lines.next().ok_or_else(|| err(2, "missing origin row"))?;
     let of = fields(origin_line, 5, 2)?;
     if of[0] != "origin" {
         return Err(err(2, "second row must carry the projection origin"));
@@ -392,8 +373,18 @@ mod poi_csv_tests {
         let proj = LocalProjection::new(LatLon::new(34.4, -119.8));
         let u = PoiUniverse::new(
             vec![
-                Poi { id: 0, name: "Joe's, Diner".into(), category: PoiCategory::Food, location: LatLon::new(34.4, -119.8) },
-                Poi { id: 1, name: "Office".into(), category: PoiCategory::Professional, location: LatLon::new(34.41, -119.79) },
+                Poi {
+                    id: 0,
+                    name: "Joe's, Diner".into(),
+                    category: PoiCategory::Food,
+                    location: LatLon::new(34.4, -119.8),
+                },
+                Poi {
+                    id: 1,
+                    name: "Office".into(),
+                    category: PoiCategory::Professional,
+                    location: LatLon::new(34.41, -119.79),
+                },
             ],
             proj,
         );

@@ -1,8 +1,6 @@
 //! Users, cohorts and dataset-level statistics.
 
-use crate::{
-    checkin::sort_checkins, Checkin, GpsTrace, PoiUniverse, UserId, Visit, DAY,
-};
+use crate::{checkin::sort_checkins, Checkin, GpsTrace, PoiUniverse, UserId, Visit, DAY};
 use serde::{Deserialize, Serialize};
 
 /// The four per-user profile features the paper correlates against checkin
@@ -154,12 +152,8 @@ mod tests {
                 .map(|m| GpsPoint { t: m as i64 * MINUTE / 60, pos: LatLon::new(34.4, -119.8) })
                 .collect(),
         );
-        let visit = Visit {
-            start: 0,
-            end: 10 * MINUTE,
-            centroid: LatLon::new(34.4, -119.8),
-            poi: Some(0),
-        };
+        let visit =
+            Visit { start: 0, end: 10 * MINUTE, centroid: LatLon::new(34.4, -119.8), poi: Some(0) };
         let checkin = Checkin {
             t: 5 * MINUTE,
             poi: 0,
@@ -192,11 +186,7 @@ mod tests {
 
     #[test]
     fn empty_dataset_stats() {
-        let ds = Dataset {
-            name: "Empty".into(),
-            pois: tiny_dataset().pois,
-            users: vec![],
-        };
+        let ds = Dataset { name: "Empty".into(), pois: tiny_dataset().pois, users: vec![] };
         let st = ds.stats();
         assert_eq!(st.users, 0);
         assert_eq!(st.avg_days_per_user, 0.0);

@@ -69,10 +69,7 @@ impl PoiCategory {
     /// why home, office and errand stops go unreported. The checkin
     /// behaviour model suppresses checkins at these categories hardest.
     pub fn is_routine(self) -> bool {
-        matches!(
-            self,
-            PoiCategory::Professional | PoiCategory::Residence | PoiCategory::Shop
-        )
+        matches!(self, PoiCategory::Professional | PoiCategory::Residence | PoiCategory::Shop)
     }
 }
 
@@ -165,18 +162,13 @@ impl PoiUniverse {
     /// The POI nearest to `location` within `max_radius_m`, if any.
     pub fn nearest(&self, location: LatLon, max_radius_m: f64) -> Option<(&Poi, f64)> {
         let p = self.projection.to_local(location);
-        self.index()
-            .nearest(p, max_radius_m)
-            .map(|(id, d)| (self.get(id), d))
+        self.index().nearest(p, max_radius_m).map(|(id, d)| (self.get(id), d))
     }
 
     /// All POIs within `radius_m` of `location`.
     pub fn within(&self, location: LatLon, radius_m: f64) -> Vec<&Poi> {
         let p = self.projection.to_local(location);
-        self.index()
-            .query_radius(p, radius_m)
-            .map(|id| self.get(id))
-            .collect()
+        self.index().query_radius(p, radius_m).map(|id| self.get(id)).collect()
     }
 }
 

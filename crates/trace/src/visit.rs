@@ -151,9 +151,7 @@ pub fn close_stay(
         return None;
     }
     let centroid = stay_centroid(window.iter().map(|p| p.pos));
-    let poi = pois
-        .and_then(|u| u.nearest(centroid, config.poi_snap_radius_m))
-        .map(|(p, _)| p.id);
+    let poi = pois.and_then(|u| u.nearest(centroid, config.poi_snap_radius_m)).map(|(p, _)| p.id);
     Some(Visit { start: first.t, end: last.t, centroid, poi })
 }
 
@@ -251,12 +249,7 @@ mod tests {
 
     #[test]
     fn time_distance_footnote_semantics() {
-        let v = Visit {
-            start: 100,
-            end: 200,
-            centroid: LatLon::new(0.0, 0.0),
-            poi: None,
-        };
+        let v = Visit { start: 100, end: 200, centroid: LatLon::new(0.0, 0.0), poi: None };
         assert_eq!(v.time_distance(150), 0);
         assert_eq!(v.time_distance(100), 0);
         assert_eq!(v.time_distance(200), 0);
@@ -272,7 +265,7 @@ mod tests {
 
     #[test]
     fn centroid_averages_positions() {
-        let pts = vec![fix(0, 34.0, -119.0), fix(1, 34.0002, -119.0)];
+        let pts = [fix(0, 34.0, -119.0), fix(1, 34.0002, -119.0)];
         let c = stay_centroid(pts.iter().map(|p| p.pos));
         assert!((c.lat - 34.0001).abs() < 1e-9);
     }

@@ -44,12 +44,7 @@ fn main() {
     println!("burstiness detector (checkin trace only), gap sweep:");
     println!("  gap_s  precision recall f1");
     for (gap, s) in threshold_sweep(dataset, &[30, 60, 120, 300, 600], 45.0) {
-        println!(
-            "  {gap:5}  {:9.2} {:6.2} {:4.2}",
-            s.precision(),
-            s.recall(),
-            s.f1()
-        );
+        println!("  {gap:5}  {:9.2} {:6.2} {:4.2}", s.precision(), s.recall(), s.f1());
     }
     let s = score_detector(dataset, &DetectorConfig::default());
     println!(

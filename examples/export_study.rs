@@ -31,23 +31,19 @@ fn main() {
         std::fs::write(out.join(format!("{stem}_gps.csv")), gps_to_csv(&user.gps)).unwrap();
         std::fs::write(out.join(format!("{stem}_visits.csv")), visits_to_csv(&user.visits))
             .unwrap();
-        std::fs::write(
-            out.join(format!("{stem}_checkins.csv")),
-            checkins_to_csv(&user.checkins),
-        )
-        .unwrap();
+        std::fs::write(out.join(format!("{stem}_checkins.csv")), checkins_to_csv(&user.checkins))
+            .unwrap();
     }
 
     // Re-import and verify the analysis is unchanged.
-    let pois = pois_from_csv(&std::fs::read_to_string(out.join("pois.csv")).unwrap())
-        .expect("pois parse");
+    let pois =
+        pois_from_csv(&std::fs::read_to_string(out.join("pois.csv")).unwrap()).expect("pois parse");
     let mut users = Vec::new();
     for user in &dataset.users {
         let stem = format!("user{:03}", user.id);
-        let gps = gps_from_csv(
-            &std::fs::read_to_string(out.join(format!("{stem}_gps.csv"))).unwrap(),
-        )
-        .expect("gps parse");
+        let gps =
+            gps_from_csv(&std::fs::read_to_string(out.join(format!("{stem}_gps.csv"))).unwrap())
+                .expect("gps parse");
         let visits = visits_from_csv(
             &std::fs::read_to_string(out.join(format!("{stem}_visits.csv"))).unwrap(),
         )

@@ -22,11 +22,9 @@ fn main() {
         traces.all.n_flights()
     );
     let models = fit_models(&traces).expect("cohort large enough to fit");
-    for (label, m) in [
-        ("GPS", &models.gps),
-        ("Honest-Checkin", &models.honest),
-        ("All-Checkin", &models.all),
-    ] {
+    for (label, m) in
+        [("GPS", &models.gps), ("Honest-Checkin", &models.honest), ("All-Checkin", &models.all)]
+    {
         println!(
             "{label:<15} flight Pareto(xmin={:.0} m, alpha={:.2}); t = {:.2}·d^{:.2}",
             m.flight.x_min, m.flight.alpha, m.coupling.k, m.coupling.exponent
@@ -43,5 +41,7 @@ fn main() {
     };
     let out = fig8(&models, &cfg, 99);
     println!("{}", out.text);
-    println!("(full-scale run: cargo run --release -p geosocial-experiments --bin repro -- --exp fig8)");
+    println!(
+        "(full-scale run: cargo run --release -p geosocial-experiments --bin repro -- --exp fig8)"
+    );
 }

@@ -56,8 +56,7 @@ fn pretty_print(text: &str) {
         .map(|(name, _)| name.len())
         .max()
         .unwrap_or(0);
-    for (title, rows) in
-        [("counters", &counters), ("gauges", &gauges), ("histograms", &histograms)]
+    for (title, rows) in [("counters", &counters), ("gauges", &gauges), ("histograms", &histograms)]
     {
         if rows.is_empty() {
             continue;

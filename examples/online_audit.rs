@@ -24,12 +24,8 @@ fn main() {
     println!("streaming {}\n", dataset.stats());
 
     // Replay the dataset as a single time-ordered event stream.
-    let audit_cfg = replay_config(
-        dataset,
-        &MatchConfig::paper(),
-        &ClassifyConfig::default(),
-        &config.visit,
-    );
+    let audit_cfg =
+        replay_config(dataset, &MatchConfig::paper(), &ClassifyConfig::default(), &config.visit);
     let mut cohort = CohortAuditor::new(audit_cfg);
     let mut shown = 0;
     for ev in dataset_events(dataset) {
@@ -39,7 +35,12 @@ fn main() {
             if shown < 10 {
                 println!(
                     "  t={:>7} user {:>3} checkin #{:>2}: {:<12} (d={:>6.0} m, dt={:>5} s)",
-                    v.t, v.user, v.checkin_index, v.kind.label(), v.distance_m, v.dt_s
+                    v.t,
+                    v.user,
+                    v.checkin_index,
+                    v.kind.label(),
+                    v.distance_m,
+                    v.dt_s
                 );
                 shown += 1;
             }

@@ -44,13 +44,8 @@ fn main() {
     let mut dropped = 0usize;
     for user in &mut filtered.users {
         let flags = detect_extraneous(user, &detector);
-        let kept: Vec<_> = user
-            .checkins
-            .iter()
-            .zip(&flags)
-            .filter(|(_, &f)| !f)
-            .map(|(c, _)| *c)
-            .collect();
+        let kept: Vec<_> =
+            user.checkins.iter().zip(&flags).filter(|(_, &f)| !f).map(|(c, _)| *c).collect();
         dropped += user.checkins.len() - kept.len();
         *user = UserData::new(user.id, user.gps.clone(), user.visits.clone(), kept, user.profile);
     }

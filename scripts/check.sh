@@ -36,8 +36,17 @@ serve_log="$(mktemp -t serve_log.XXXXXX.log)"
 obs_out="$(mktemp -t bench_obs_smoke.XXXXXX.json)"
 serve_pid=""
 cleanup() {
+    status=$?
     [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    # In CI the temp files vanish with the runner, so surface the server's
+    # log on any failure — it is usually the only diagnostic there is.
+    if [ "$status" -ne 0 ] && [ -s "$serve_log" ]; then
+        echo "---- geosocial-serve log ----" >&2
+        cat "$serve_log" >&2
+        echo "---- end serve log ----" >&2
+    fi
     rm -f "$smoke_out" "$serve_log" "$obs_out"
+    exit "$status"
 }
 trap cleanup EXIT
 ./target/release/geosocial-loadgen \
@@ -50,13 +59,19 @@ echo "==> observability smoke: live Metrics scrape against a replaying server"
 ./target/release/geosocial-serve --addr 127.0.0.1:0 --shards 4 2>"$serve_log" &
 serve_pid=$!
 # The structured "listening" log line carries the bound address as addr=...
+# Bounded wait (~5s) with a liveness check: a server that exited during
+# startup fails the run immediately instead of timing out.
 addr=""
 for _ in $(seq 1 50); do
     addr="$(grep -ho 'addr=[0-9.:]*' "$serve_log" | head -n1 | cut -d= -f2 || true)"
     [ -n "$addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "error: geosocial-serve exited before binding" >&2
+        exit 1
+    fi
     sleep 0.1
 done
-[ -n "$addr" ] || { echo "error: server never logged its address" >&2; exit 1; }
+[ -n "$addr" ] || { echo "error: server never logged its address (timeout)" >&2; exit 1; }
 ./target/release/geosocial-loadgen \
     --addr "$addr" \
     --users 24 --days 4 --seed 1 \

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# The CI gate, runnable locally: everything .github/workflows/ci.yml runs,
+# in the same order, so "ci.sh passes" and "CI is green" mean the same
+# thing.
+#
+#   1. rustfmt       — cargo fmt --check (rustfmt.toml is authoritative)
+#   2. clippy        — workspace, all targets, -D warnings, plus the
+#                      non-default feature combos (fault-inject, obs noop)
+#   3. build matrix  — release builds of the three feature configurations
+#                      that ship: default, observability compiled out,
+#                      fault injection compiled in
+#   4. tests         — the full workspace suite, then the fault-injection
+#                      suite (chaos equivalence test) which only exists
+#                      behind --features fault-inject
+#   5. check.sh      — tier-1 gate + serving/observability smokes over a
+#                      real TCP server
+#
+# Usage: scripts/ci.sh [step...]   (no args = all steps)
+# Steps: fmt clippy build test chaos check
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+steps=("$@")
+[ ${#steps[@]} -eq 0 ] && steps=(fmt clippy build test chaos check)
+
+want() {
+    local s
+    for s in "${steps[@]}"; do [ "$s" = "$1" ] && return 0; done
+    return 1
+}
+
+if want fmt; then
+    echo "==> ci: cargo fmt --check"
+    cargo fmt --check
+fi
+
+if want clippy; then
+    echo "==> ci: clippy (workspace, all targets, -D warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+    echo "==> ci: clippy (fault-inject feature chain)"
+    cargo clippy -p geosocial-fault -p geosocial-serve -p geosocial-experiments \
+        --all-targets \
+        --features geosocial-fault/inject,geosocial-serve/fault-inject,geosocial-experiments/fault-inject \
+        -- -D warnings
+    echo "==> ci: clippy (obs noop)"
+    cargo clippy -p geosocial-obs --all-targets --features noop -- -D warnings
+fi
+
+if want build; then
+    echo "==> ci: release build (default features)"
+    cargo build --release --workspace
+    echo "==> ci: release build (obs compiled out)"
+    cargo build --release -p geosocial-serve --features geosocial-obs/noop
+    echo "==> ci: release build (fault injection armed)"
+    cargo build --release -p geosocial-experiments --features fault-inject
+fi
+
+if want test; then
+    echo "==> ci: cargo test -q --workspace"
+    cargo test -q --workspace
+fi
+
+if want chaos; then
+    echo "==> ci: fault-injection suite (chaos equivalence)"
+    cargo test -q -p geosocial-serve --features fault-inject
+fi
+
+if want check; then
+    echo "==> ci: scripts/check.sh"
+    # check.sh rebuilds geosocial-serve with default features, so the armed
+    # build above cannot leak into the smoke tests.
+    scripts/check.sh
+fi
+
+echo "==> ci: all gates passed"

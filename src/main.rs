@@ -61,17 +61,13 @@ fn usage() {
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.windows(2)
-        .find(|w| w[0] == name)
-        .map(|w| w[1].as_str())
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].as_str())
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
     match flag_value(args, name) {
         None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("bad value for {name}: {v:?}")),
+        Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v:?}")),
     }
 }
 
@@ -88,19 +84,15 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let dataset = scenario.dataset();
     eprintln!("generated {}", dataset.stats());
 
-    std::fs::write(out.join("pois.csv"), pois_to_csv(&dataset.pois))
-        .map_err(|e| e.to_string())?;
+    std::fs::write(out.join("pois.csv"), pois_to_csv(&dataset.pois)).map_err(|e| e.to_string())?;
     for user in &dataset.users {
         let stem = format!("user{:03}", user.id);
         std::fs::write(out.join(format!("{stem}_gps.csv")), gps_to_csv(&user.gps))
             .map_err(|e| e.to_string())?;
         std::fs::write(out.join(format!("{stem}_visits.csv")), visits_to_csv(&user.visits))
             .map_err(|e| e.to_string())?;
-        std::fs::write(
-            out.join(format!("{stem}_checkins.csv")),
-            checkins_to_csv(&user.checkins),
-        )
-        .map_err(|e| e.to_string())?;
+        std::fs::write(out.join(format!("{stem}_checkins.csv")), checkins_to_csv(&user.checkins))
+            .map_err(|e| e.to_string())?;
     }
     eprintln!("wrote {} users to {}", dataset.users.len(), out.display());
     Ok(())
@@ -176,11 +168,10 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 // --- detect ------------------------------------------------------------------
 
 fn cmd_detect(args: &[String]) -> Result<(), String> {
-    let path = PathBuf::from(
-        flag_value(args, "--checkins").ok_or("detect needs --checkins FILE")?,
-    );
+    let path = PathBuf::from(flag_value(args, "--checkins").ok_or("detect needs --checkins FILE")?);
     let gap: i64 = parse_flag(args, "--gap-s", 120)?;
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
     let checkins = checkins_from_csv(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     let user = UserData::new(0, Default::default(), vec![], checkins, UserProfile::default());
     let cfg = DetectorConfig { burst_gap_s: gap, ..Default::default() };

@@ -30,10 +30,8 @@ fn generate_analyze_detect_round_trip() {
     assert!(dir.join("user003_gps.csv").exists());
 
     // analyze
-    let out = bin()
-        .args(["analyze", "--dir", dir.to_str().unwrap()])
-        .output()
-        .expect("run analyze");
+    let out =
+        bin().args(["analyze", "--dir", dir.to_str().unwrap()]).output().expect("run analyze");
     assert!(out.status.success(), "analyze failed: {}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("honest"), "missing matching report: {stdout}");
@@ -80,25 +78,17 @@ fn bad_inputs_fail_cleanly() {
 
     // Analyze over an empty directory.
     let dir = temp_dir("empty");
-    std::fs::write(
-        dir.join("pois.csv"),
-        "id,name,category,lat,lon\norigin,,,34.0,-119.0\n",
-    )
-    .unwrap();
-    let out = bin()
-        .args(["analyze", "--dir", dir.to_str().unwrap()])
-        .output()
-        .expect("run analyze");
+    std::fs::write(dir.join("pois.csv"), "id,name,category,lat,lon\norigin,,,34.0,-119.0\n")
+        .unwrap();
+    let out =
+        bin().args(["analyze", "--dir", dir.to_str().unwrap()]).output().expect("run analyze");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("no user"));
 
     // Detect with a malformed file.
     std::fs::write(dir.join("bad.csv"), "not,a,checkin,file\n").unwrap();
-    let out = bin()
-        .args(["detect", "--checkins"])
-        .arg(dir.join("bad.csv"))
-        .output()
-        .expect("run detect");
+    let out =
+        bin().args(["detect", "--checkins"]).arg(dir.join("bad.csv")).output().expect("run detect");
     assert!(!out.status.success());
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -17,10 +17,7 @@ fn facade_quickstart_compiles_and_runs() {
     let outcome = match_checkins(scenario.dataset(), &MatchConfig::paper());
     assert!(outcome.total_checkins > 0);
     assert!(outcome.total_visits > 0);
-    assert_eq!(
-        outcome.honest.len() + outcome.extraneous.len(),
-        outcome.total_checkins
-    );
+    assert_eq!(outcome.honest.len() + outcome.extraneous.len(), outcome.total_checkins);
 }
 
 #[test]
@@ -46,12 +43,8 @@ fn alpha_beta_sweep_brackets_the_paper_point() {
     );
     assert_eq!(pts.len(), 9);
     // Matching counts grow monotonically along both axes.
-    let honest_at = |a: f64, b: i64| {
-        pts.iter()
-            .find(|p| p.alpha_m == a && p.beta_s == b)
-            .unwrap()
-            .honest
-    };
+    let honest_at =
+        |a: f64, b: i64| pts.iter().find(|p| p.alpha_m == a && p.beta_s == b).unwrap().honest;
     assert!(honest_at(100.0, 30 * MINUTE) <= honest_at(500.0, 30 * MINUTE));
     assert!(honest_at(500.0, 5 * MINUTE) <= honest_at(500.0, 30 * MINUTE));
     assert!(honest_at(500.0, 30 * MINUTE) <= honest_at(2_000.0, 120 * MINUTE));
@@ -75,10 +68,7 @@ fn full_figure8_pipeline_from_cohort_to_manet() {
     let out = fig8(&models, &cfg, 4);
     assert_eq!(out.csv.len(), 3, "route-change, availability, overhead CSVs");
     for (suffix, csv) in &out.csv {
-        assert!(
-            csv.lines().count() > 2,
-            "fig8{suffix} csv should hold a grid of points"
-        );
+        assert!(csv.lines().count() > 2, "fig8{suffix} csv should hold a grid of points");
         // Three model columns + x.
         assert_eq!(csv.lines().next().unwrap().split(',').count(), 4, "{suffix}");
     }
@@ -88,7 +78,8 @@ fn full_figure8_pipeline_from_cohort_to_manet() {
 fn manet_simulator_is_deterministic_through_the_facade() {
     let mut rng = ChaCha12Rng::seed_from_u64(5);
     let rwp = RandomWaypoint::default();
-    let traces: Vec<MovementTrace> = (0..12).map(|_| rwp.generate(2_500.0, 120, &mut rng)).collect();
+    let traces: Vec<MovementTrace> =
+        (0..12).map(|_| rwp.generate(2_500.0, 120, &mut rng)).collect();
     let cfg = SimConfig { duration_ms: 60_000, ..Default::default() };
     let r1 = Simulator::new(traces.clone(), vec![(0, 11), (3, 7)], cfg.clone(), 9).run();
     let r2 = Simulator::new(traces, vec![(0, 11), (3, 7)], cfg, 9).run();

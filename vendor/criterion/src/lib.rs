@@ -18,14 +18,9 @@ use std::time::{Duration, Instant};
 const MEASURE_BUDGET: Duration = Duration::from_millis(300);
 
 /// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Self { _private: () }
-    }
 }
 
 impl Criterion {

@@ -16,8 +16,7 @@ use std::ops::{Range, RangeInclusive};
 pub mod prelude {
     pub use crate as prop;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig,
-        Strategy, TestCaseError,
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy, TestCaseError,
     };
 }
 

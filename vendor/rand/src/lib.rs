@@ -96,8 +96,12 @@ impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
 /// context) exactly like the real crate does.
 pub trait SampleUniform: PartialOrd + Copy {
     /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
-    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {

@@ -129,15 +129,10 @@ pub trait Deserialize: Sized {
 /// A missing key falls back to `T::from_value(&Value::Null)`, which makes
 /// absent `Option` fields deserialize to `None` (mirroring serde's
 /// missing-field behaviour) while still erroring for required fields.
-pub fn field<T: Deserialize>(
-    v: &Value,
-    type_name: &str,
-    name: &str,
-) -> Result<T, DeError> {
+pub fn field<T: Deserialize>(v: &Value, type_name: &str, name: &str) -> Result<T, DeError> {
     match v.get(name) {
         Some(inner) => T::from_value(inner),
-        None => T::from_value(&Value::Null)
-            .map_err(|_| DeError::missing(type_name, name)),
+        None => T::from_value(&Value::Null).map_err(|_| DeError::missing(type_name, name)),
     }
 }
 
@@ -253,9 +248,7 @@ impl Serialize for char {
 impl Deserialize for char {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
-            Value::Str(s) if s.chars().count() == 1 => {
-                Ok(s.chars().next().expect("one char"))
-            }
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
             other => Err(DeError::expected("single-char string", other)),
         }
     }
@@ -308,10 +301,7 @@ impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
         if items.len() != N {
-            return Err(DeError(format!(
-                "expected array of {N}, found {}",
-                items.len()
-            )));
+            return Err(DeError(format!("expected array of {N}, found {}", items.len())));
         }
         let mut out = [T::default(); N];
         for (slot, item) in out.iter_mut().zip(items) {
@@ -387,10 +377,8 @@ fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
 
 impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
     fn to_value(&self) -> Value {
-        let mut entries: Vec<(String, Value)> = self
-            .iter()
-            .map(|(k, v)| (key_to_string(k.to_value()), v.to_value()))
-            .collect();
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (key_to_string(k.to_value()), v.to_value())).collect();
         // HashMap iteration order is unstable; sort for reproducible output.
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
@@ -400,10 +388,7 @@ impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
 impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let entries = v.as_object().ok_or_else(|| DeError::expected("object", v))?;
-        entries
-            .iter()
-            .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
-            .collect()
+        entries.iter().map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?))).collect()
     }
 }
 

@@ -132,9 +132,7 @@ fn take_serde_flags(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
                             match id.to_string().as_str() {
                                 "skip" => skip = true,
                                 "default" => default = true,
-                                other => panic!(
-                                    "unsupported #[serde({other})] attribute"
-                                ),
+                                other => panic!("unsupported #[serde({other})] attribute"),
                             }
                         }
                     }
@@ -219,10 +217,7 @@ fn serialize_fields_expr(fields: &[Field], access: &str) -> String {
         .iter()
         .filter(|f| !f.skip)
         .map(|f| {
-            format!(
-                "(\"{n}\".to_string(), ::serde::Serialize::to_value({access}{n}))",
-                n = f.name
-            )
+            format!("(\"{n}\".to_string(), ::serde::Serialize::to_value({access}{n}))", n = f.name)
         })
         .collect();
     format!("::serde::Value::Object(vec![{}])", entries.join(", "))
@@ -240,10 +235,7 @@ fn serialize_struct(name: &str, fields: &[Field]) -> String {
 }
 
 fn deserialize_struct(name: &str, fields: &[Field]) -> String {
-    let inits: Vec<String> = fields
-        .iter()
-        .map(|f| field_init(name, f, "v"))
-        .collect();
+    let inits: Vec<String> = fields.iter().map(|f| field_init(name, f, "v")).collect();
     format!(
         "impl ::serde::Deserialize for {name} {{\n\
          \x20   fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
@@ -269,10 +261,7 @@ fn field_init(type_name: &str, f: &Field, src: &str) -> String {
             n = f.name
         )
     } else {
-        format!(
-            "{n}: ::serde::field({src}, \"{type_name}\", \"{n}\")?",
-            n = f.name
-        )
+        format!("{n}: ::serde::field({src}, \"{type_name}\", \"{n}\")?", n = f.name)
     }
 }
 
@@ -280,13 +269,9 @@ fn serialize_enum(name: &str, variants: &[Variant]) -> String {
     let arms: Vec<String> = variants
         .iter()
         .map(|v| match &v.fields {
-            None => format!(
-                "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())",
-                v = v.name
-            ),
+            None => format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())", v = v.name),
             Some(fields) => {
-                let bindings: Vec<&str> =
-                    fields.iter().map(|f| f.name.as_str()).collect();
+                let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                 format!(
                     "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
                        (\"{v}\".to_string(), {payload})])",

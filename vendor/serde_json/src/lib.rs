@@ -66,14 +66,12 @@ fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize)
         Value::UInt(u) => out.push_str(&u.to_string()),
         Value::Float(x) => write_float(*x, out),
         Value::Str(s) => write_string(s, out),
-        Value::Array(items) => {
-            write_seq(out, indent, depth, items.is_empty(), '[', ']', |out| {
-                for (i, item) in items.iter().enumerate() {
-                    sep(out, indent, depth + 1, i > 0);
-                    write_value(item, out, indent, depth + 1);
-                }
-            })
-        }
+        Value::Array(items) => write_seq(out, indent, depth, items.is_empty(), '[', ']', |out| {
+            for (i, item) in items.iter().enumerate() {
+                sep(out, indent, depth + 1, i > 0);
+                write_value(item, out, indent, depth + 1);
+            }
+        }),
         Value::Object(entries) => {
             write_seq(out, indent, depth, entries.is_empty(), '{', '}', |out| {
                 for (i, (k, val)) in entries.iter().enumerate() {
@@ -283,9 +281,7 @@ impl<'a> Parser<'a> {
                                 if self.bytes[self.pos..].starts_with(b"\\u") {
                                     self.pos += 2;
                                     let lo = self.parse_hex4()?;
-                                    let code = 0x10000
-                                        + ((hi - 0xD800) << 10)
-                                        + (lo - 0xDC00);
+                                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                     char::from_u32(code)
                                 } else {
                                     None
@@ -293,9 +289,7 @@ impl<'a> Parser<'a> {
                             } else {
                                 char::from_u32(hi)
                             };
-                            out.push(
-                                c.ok_or_else(|| self.err("invalid \\u escape"))?,
-                            );
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
                             // parse_hex4 leaves pos past the digits; undo the
                             // generic advance below.
                             self.pos -= 1;
@@ -355,8 +349,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("ASCII number text");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number text");
         if !is_float {
             if let Some(stripped) = text.strip_prefix('-') {
                 if !stripped.is_empty() {
@@ -384,7 +377,7 @@ mod tests {
         assert_eq!(to_string(&-3i64).unwrap(), "-3");
         assert_eq!(from_str::<f64>("2.5e1").unwrap(), 25.0);
         assert_eq!(from_str::<i64>("-42").unwrap(), -42);
-        assert_eq!(from_str::<bool>(" true ").unwrap(), true);
+        assert!(from_str::<bool>(" true ").unwrap());
         assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
     }
 
