@@ -9,10 +9,15 @@
 //! 2. **Served replay, 1 shard** — the same events through a spawned
 //!    `geosocial-serve` instance with a single worker shard;
 //! 3. **Served replay, 4 shards** — again with per-user state fanned out
-//!    across four shards, proving the sharding is composition-invariant.
+//!    across four shards, proving the sharding is composition-invariant;
+//! 4. **Served replay, binary wire** — the same events again on the
+//!    compact binary encoding with delta-coded `GpsRun` batches, proving
+//!    the wire format (and the batching) is composition-invariant too:
+//!    binary served == JSON served == batch, byte-identical.
 //!
 //! The companion `chaos` experiment re-runs the served replay under an
-//! aggressive deterministic fault plan (see [`chaos_equivalence`]).
+//! aggressive deterministic fault plan, on both wire formats (see
+//! [`chaos_equivalence`]).
 
 use crate::figures::ExperimentOutput;
 use crate::Analysis;
@@ -20,6 +25,7 @@ use geosocial_checkin::scenario::ScenarioConfig;
 use geosocial_fault::{FaultPlan, ShardKill};
 use geosocial_serve::loadgen::{run as replay, shutdown_server, LoadgenConfig, RetryPolicy};
 use geosocial_serve::server::{spawn, ServerConfig};
+use geosocial_serve::wire::WireFormat;
 use geosocial_stream::equivalence_report;
 use std::time::Duration;
 
@@ -27,6 +33,8 @@ use std::time::Duration;
 /// stays in CI territory even at `--exp all` paper scale.
 const SERVE_USERS: u32 = 24;
 const SERVE_DAYS: u32 = 5;
+/// GPS-run batch length for the binary-wire rows (the serving fast path).
+const SERVE_RUN_LEN: usize = 64;
 
 /// The `equiv` experiment: see the module docs.
 pub fn streaming_equivalence(a: &Analysis, config: &ScenarioConfig, seed: u64) -> ExperimentOutput {
@@ -72,22 +80,34 @@ pub fn streaming_equivalence(a: &Analysis, config: &ScenarioConfig, seed: u64) -
         ));
     }
 
-    // 2./3. Served replay through a real TCP server, 1 and 4 shards.
-    for shards in [1usize, 4] {
-        let row = match serve_and_verify(shards, seed) {
+    // 2.-4. Served replays through a real TCP server: 1 and 4 shards on
+    // the JSON wire, then 4 shards on the binary wire with batched GPS
+    // runs. Every row verifies against batch, so all served modes are
+    // transitively byte-identical to each other as well.
+    for (shards, wire, run_len) in [
+        (1usize, WireFormat::Json, 1usize),
+        (4, WireFormat::Json, 1),
+        (4, WireFormat::Binary, SERVE_RUN_LEN),
+    ] {
+        let label = format!(
+            "{} shard{} {} wire{}",
+            shards,
+            if shards == 1 { " " } else { "s" },
+            wire.label(),
+            if run_len > 1 { " batched" } else { "" },
+        );
+        let row = match serve_and_verify(shards, seed, wire, run_len) {
             Ok(row) => row,
             Err(e) => {
                 all_ok = false;
-                text.push_str(&format!("served {shards}-shard replay FAILED: {e}\n"));
+                text.push_str(&format!("served {label} replay FAILED: {e}\n"));
                 continue;
             }
         };
         all_ok &= row.identical;
         text.push_str(&format!(
-            "served {:>2} shard{} {:>4} users, {:>6} checkins over {:>7} events \
+            "served {label:<22} {:>4} users, {:>6} checkins over {:>7} events \
              ({:>7.0} ev/s): honest {} -> identical={}\n",
-            shards,
-            if shards == 1 { " " } else { "s" },
             SERVE_USERS,
             row.checkins,
             row.events,
@@ -101,8 +121,9 @@ pub fn streaming_equivalence(a: &Analysis, config: &ScenarioConfig, seed: u64) -
             }
         }
         csv.push_str(&format!(
-            "served-{}shard,{},{},{},{},{},{},{}\n",
+            "served-{}shard-{},{},{},{},{},{},{},{}\n",
             shards,
+            wire.label(),
             SERVE_USERS,
             row.checkins,
             row.honest,
@@ -136,7 +157,12 @@ struct ServedRow {
     mismatches: Vec<String>,
 }
 
-fn serve_and_verify(shards: usize, seed: u64) -> std::io::Result<ServedRow> {
+fn serve_and_verify(
+    shards: usize,
+    seed: u64,
+    wire: WireFormat,
+    run_len: usize,
+) -> std::io::Result<ServedRow> {
     let server = spawn(ServerConfig { shards, ..ServerConfig::default() }, "127.0.0.1:0")?;
     let addr = server.addr();
     let load = LoadgenConfig {
@@ -146,6 +172,8 @@ fn serve_and_verify(shards: usize, seed: u64) -> std::io::Result<ServedRow> {
         connections: shards.max(2),
         window: 128,
         verify: true,
+        wire,
+        run_len,
         ..LoadgenConfig::default()
     };
     let report = replay(addr, &load)?;
@@ -180,113 +208,126 @@ fn serve_and_verify(shards: usize, seed: u64) -> std::io::Result<ServedRow> {
 pub fn chaos_equivalence(_a: &Analysis, seed: u64) -> ExperimentOutput {
     let armed = FaultPlan::armed();
     let shards = 4usize;
-    let plan = FaultPlan::aggressive(
-        seed ^ 0xC4A0_5EED,
-        ShardKill { shard: 1, at_ingest: 200 },
-        // Comfortably past the 100ms read timeout below.
-        250,
-    );
     let mut text = format!(
         "Chaos equivalence audit: served replay under a seeded fault plan\n\
-         (truncate {}‰ of frames, abort {}‰ of connections, stall {}‰ for\n\
-         {}ms, kill shard 1 at its 200th ingest), retrying with\n\
-         deterministic backoff.\n\
+         (frames truncated, connections aborted with their acks destroyed,\n\
+         frames stalled past the read timeout, shard 1 killed at its 200th\n\
+         ingest), retrying with deterministic backoff — once per wire\n\
+         format, so a fault can land mid-`GpsRun` on the binary wire and\n\
+         the per-event retry dedup is exercised.\n\
          Injection armed: {}\n\n",
-        plan.truncate_per_mille,
-        plan.abort_per_mille,
-        plan.stall_per_mille,
-        plan.stall_ms,
         if armed { "yes" } else { "no (build with --features fault-inject)" },
     );
     let mut csv = String::from(
-        "shards,events,retries,resent,duplicates,recoveries,truncated,aborted,stalled,kills,identical\n",
+        "wire,run_len,shards,events,retries,resent,duplicates,recoveries,\
+         truncated,aborted,stalled,kills,identical\n",
     );
 
-    let outcome = (|| -> std::io::Result<_> {
-        let server = spawn(
-            ServerConfig {
-                shards,
-                // Short enough that an injected stall trips it.
-                read_timeout: Some(Duration::from_millis(100)),
-                // Small checkpoint interval so the kill recovery actually
-                // replays a non-trivial log.
-                snapshot_every: 64,
+    let mut all_ok = true;
+    for (wire, run_len) in [(WireFormat::Json, 1usize), (WireFormat::Binary, SERVE_RUN_LEN)] {
+        // A fresh plan per wire format: the injected-fault counters and the
+        // one-shot shard kill are per plan instance, and the same seed
+        // keeps both runs deterministic.
+        let plan = FaultPlan::aggressive(
+            seed ^ 0xC4A0_5EED,
+            ShardKill { shard: 1, at_ingest: 200 },
+            // Comfortably past the 100ms read timeout below.
+            250,
+        );
+        let outcome = (|| -> std::io::Result<_> {
+            let server = spawn(
+                ServerConfig {
+                    shards,
+                    // Short enough that an injected stall trips it.
+                    read_timeout: Some(Duration::from_millis(100)),
+                    // Small checkpoint interval so the kill recovery
+                    // actually replays a non-trivial log.
+                    snapshot_every: 64,
+                    fault: plan.clone(),
+                    ..ServerConfig::default()
+                },
+                "127.0.0.1:0",
+            )?;
+            let addr = server.addr();
+            let load = LoadgenConfig {
+                users: SERVE_USERS,
+                days: SERVE_DAYS,
+                seed,
+                connections: 8,
+                window: 64,
+                verify: true,
                 fault: plan.clone(),
-                ..ServerConfig::default()
-            },
-            "127.0.0.1:0",
-        )?;
-        let addr = server.addr();
-        let load = LoadgenConfig {
-            users: SERVE_USERS,
-            days: SERVE_DAYS,
-            seed,
-            connections: 8,
-            window: 64,
-            verify: true,
-            fault: plan.clone(),
-            // Tight backoff: the plan forces hundreds of reconnects and
-            // the experiment's wall-clock is part of timings.csv.
-            retry: RetryPolicy { max_retries: 8, base_ms: 5, max_ms: 250 },
-        };
-        let report = replay(addr, &load)?;
-        shutdown_server(addr)?;
-        server.join()?;
-        Ok(report)
-    })();
+                // Tight backoff: the plan forces hundreds of reconnects
+                // and the experiment's wall-clock is part of timings.csv.
+                retry: RetryPolicy { max_retries: 8, base_ms: 5, max_ms: 250 },
+                wire,
+                run_len,
+            };
+            let report = replay(addr, &load)?;
+            shutdown_server(addr)?;
+            server.join()?;
+            Ok(report)
+        })();
 
-    let ok = match outcome {
-        Ok(report) => {
-            let identical = report.verified == Some(true);
-            let injected = plan.injected();
-            text.push_str(&format!(
-                "served {shards} shards, {} events ({:.0} ev/s): {} retries, {} resent,\n\
-                 server deduplicated {} and recovered {} shard crash(es);\n\
-                 faults fired: {} truncated, {} aborted, {} stalled, {} killed -> identical={}\n",
-                report.total_events,
-                report.events_per_sec,
-                report.retries,
-                report.resent_events,
-                report.server.duplicates,
-                report.server.recoveries,
-                injected.truncated,
-                injected.aborted,
-                injected.stalled,
-                injected.kills,
-                if identical { "yes" } else { "NO" },
-            ));
-            if !identical {
-                for m in report.mismatches.iter().take(5) {
-                    text.push_str(&format!("  mismatch: {m}\n"));
+        let ok = match outcome {
+            Ok(report) => {
+                let identical = report.verified == Some(true);
+                let injected = plan.injected();
+                text.push_str(&format!(
+                    "{} wire (run_len {run_len}): {shards} shards, {} events in {} frames \
+                     ({:.0} ev/s): {} retries, {} resent,\n\
+                     server deduplicated {} and recovered {} shard crash(es);\n\
+                     faults fired: {} truncated, {} aborted, {} stalled, {} killed \
+                     -> identical={}\n",
+                    wire.label(),
+                    report.total_events,
+                    report.frames_sent,
+                    report.events_per_sec,
+                    report.retries,
+                    report.resent_events,
+                    report.server.duplicates,
+                    report.server.recoveries,
+                    injected.truncated,
+                    injected.aborted,
+                    injected.stalled,
+                    injected.kills,
+                    if identical { "yes" } else { "NO" },
+                ));
+                if !identical {
+                    for m in report.mismatches.iter().take(5) {
+                        text.push_str(&format!("  mismatch: {m}\n"));
+                    }
                 }
+                if armed && injected.total() == 0 {
+                    text.push_str("  WARNING: armed but no fault fired — plan too mild?\n");
+                }
+                csv.push_str(&format!(
+                    "{},{run_len},{shards},{},{},{},{},{},{},{},{},{},{}\n",
+                    wire.label(),
+                    report.total_events,
+                    report.retries,
+                    report.resent_events,
+                    report.server.duplicates,
+                    report.server.recoveries,
+                    injected.truncated,
+                    injected.aborted,
+                    injected.stalled,
+                    injected.kills,
+                    identical as u8,
+                ));
+                identical
             }
-            if armed && injected.total() == 0 {
-                text.push_str("  WARNING: armed but no fault fired — plan too mild?\n");
+            Err(e) => {
+                text.push_str(&format!("{} wire chaos replay FAILED: {e}\n", wire.label()));
+                false
             }
-            csv.push_str(&format!(
-                "{shards},{},{},{},{},{},{},{},{},{},{}\n",
-                report.total_events,
-                report.retries,
-                report.resent_events,
-                report.server.duplicates,
-                report.server.recoveries,
-                injected.truncated,
-                injected.aborted,
-                injected.stalled,
-                injected.kills,
-                identical as u8,
-            ));
-            identical
-        }
-        Err(e) => {
-            text.push_str(&format!("chaos replay FAILED: {e}\n"));
-            false
-        }
-    };
+        };
+        all_ok &= ok;
+    }
     text.push_str(&format!(
         "\noverall: {}\n",
-        if ok {
-            "served verdicts survive transport chaos byte-identical to batch"
+        if all_ok {
+            "served verdicts survive transport chaos byte-identical to batch on both wires"
         } else {
             "DIVERGENCE OR FAILURE UNDER FAULTS"
         }

@@ -22,6 +22,10 @@ usage: geosocial-loadgen [options]
   --seed N           scenario seed (default 1)
   --connections N    parallel client connections (default 4)
   --window N         pipeline depth per connection (default 256)
+  --wire FMT         payload encoding, json | binary (default json)
+  --run-len N        batch up to N consecutive GPS fixes per user into one
+                     GpsRun frame (default 1 = unbatched; pairs with
+                     --wire binary for the fast path)
   --verify           diff served compositions against the batch pipeline
   --retries N        reconnect attempts per lane before giving up (default 8)
   --backoff-base MS  base backoff window in milliseconds (default 10)
@@ -80,6 +84,13 @@ fn parse_args() -> Result<Cli, String> {
             "--window" => {
                 cli.load.window =
                     value("--window")?.parse().map_err(|e| format!("--window: {e}"))?;
+            }
+            "--wire" => {
+                cli.load.wire = geosocial_serve::wire::WireFormat::parse(&value("--wire")?)?;
+            }
+            "--run-len" => {
+                cli.load.run_len =
+                    value("--run-len")?.parse().map_err(|e| format!("--run-len: {e}"))?;
             }
             "--verify" => cli.load.verify = true,
             "--retries" => {
@@ -211,6 +222,17 @@ fn main() {
         report.connections,
         report.seconds,
         report.events_per_sec
+    );
+    println!(
+        "wire={} run_len={}: {} frames, encode {:.3}s, {} bytes sent / {} received \
+         ({:.1} B/event on the wire)",
+        report.wire,
+        report.run_len,
+        report.frames_sent,
+        report.encode_seconds,
+        report.bytes_sent,
+        report.bytes_recv,
+        report.bytes_sent as f64 / report.total_events.max(1) as f64,
     );
     println!(
         "latency p50={}us p95={}us p99={}us; server verdicts={} honest={} extraneous={}",

@@ -3,3 +3,4 @@
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod wire;

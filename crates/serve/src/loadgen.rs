@@ -46,8 +46,11 @@ use std::sync::mpsc::{self, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::protocol::{read_msg, write_msg, DrainReport, Request, Response, ServerStats};
+use crate::protocol::{
+    read_frame_into, read_msg, write_msg, DrainReport, Request, Response, ServerStats, WireFix,
+};
 use crate::server::shard_of;
+use crate::wire::{self, WireFormat};
 
 /// When and how hard a lane retries a dead connection.
 #[derive(Debug, Clone)]
@@ -85,6 +88,11 @@ pub struct LoadgenConfig {
     pub retry: RetryPolicy,
     /// Client-side fault plan (inert unless built with `fault-inject`).
     pub fault: FaultPlan,
+    /// Payload encoding for replayed frames (`--wire json|binary`).
+    pub wire: WireFormat,
+    /// Batch up to this many consecutive GPS fixes per user into one
+    /// `GpsRun` frame; 0 or 1 disables batching (one frame per fix).
+    pub run_len: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -98,6 +106,8 @@ impl Default for LoadgenConfig {
             verify: false,
             retry: RetryPolicy::default(),
             fault: FaultPlan::none(),
+            wire: WireFormat::Json,
+            run_len: 1,
         }
     }
 }
@@ -115,17 +125,34 @@ pub struct BenchReport {
     pub connections: usize,
     /// Pipeline depth per connection.
     pub window: usize,
+    /// Payload encoding used for the replay (`"json"` or `"binary"`).
+    pub wire: String,
+    /// GPS-run batch length used (0/1 = unbatched).
+    pub run_len: usize,
     /// GPS fixes replayed.
     pub gps_events: usize,
     /// Checkins replayed.
     pub checkin_events: usize,
     /// All replayed events (fixes + checkins).
     pub total_events: usize,
+    /// Frames sent on ingest lanes (== events when unbatched; fewer with
+    /// `GpsRun` batching).
+    pub frames_sent: usize,
     /// Replay wall time, seconds.
     pub seconds: f64,
     /// Ingest throughput, events per second.
     pub events_per_sec: f64,
-    /// Median request latency, microseconds.
+    /// Client-side encode time across all lanes, seconds. Spent *before*
+    /// each frame's latency clock starts, so round-trip latency below
+    /// measures wire + server cost, not client serialization.
+    pub encode_seconds: f64,
+    /// Framed request bytes written by ingest lanes (length prefixes
+    /// included; retried deliveries counted again — it is wire traffic).
+    pub bytes_sent: u64,
+    /// Framed response bytes read by ingest lanes.
+    pub bytes_recv: u64,
+    /// Median request round-trip latency (send to response, encode
+    /// excluded), microseconds.
     pub p50_us: u64,
     /// 95th-percentile request latency, microseconds.
     pub p95_us: u64,
@@ -151,30 +178,68 @@ pub struct BenchReport {
     pub mismatches: Vec<String>,
 }
 
-/// One connection's slice of the replay, in event order, each event
-/// stamped with its per-user ingest sequence number.
-fn partition_events(ds: &Dataset, connections: usize) -> (Vec<Vec<Request>>, usize, usize) {
+/// One connection's slice of the replay, each event stamped with its
+/// per-user ingest sequence number. With `run_len > 1`, maximal runs of up
+/// to `run_len` consecutive GPS fixes per user collapse into one
+/// [`Request::GpsRun`] frame. A user's run is cut by their own checkin
+/// (their event order is the sequence contract) but not by other users'
+/// events — per-user state is independent, so holding one user's open run
+/// while another user's events flush cannot change any verdict.
+fn partition_events(
+    ds: &Dataset,
+    connections: usize,
+    run_len: usize,
+) -> (Vec<Vec<Request>>, usize, usize) {
+    let run_len = run_len.clamp(1, wire::MAX_RUN_LEN);
     let mut lanes: Vec<Vec<Request>> = vec![Vec::new(); connections.max(1)];
     let mut seqs: HashMap<UserId, u64> = HashMap::new();
+    // Open (not yet emitted) GPS run per user: first seq + fixes so far.
+    let mut open: HashMap<UserId, (u64, Vec<WireFix>)> = HashMap::new();
     let mut gps = 0;
     let mut checkins = 0;
+    let flush = |lanes: &mut Vec<Vec<Request>>,
+                 user: UserId,
+                 (first_seq, fixes): (u64, Vec<WireFix>)| {
+        let lane = shard_of(user, lanes.len());
+        if fixes.len() == 1 {
+            // A run of one is just a fix; skip the run framing.
+            let f = fixes[0];
+            lanes[lane].push(Request::Gps { user, seq: first_seq, t: f.t, lat: f.lat, lon: f.lon });
+        } else {
+            lanes[lane].push(Request::GpsRun { user, first_seq, fixes });
+        }
+    };
     for ev in dataset_events(ds) {
         let user = ev.user();
-        let lane = shard_of(user, lanes.len());
         let seq = seqs.entry(user).or_insert(0);
         match ev {
             StreamEvent::Gps { user, point } => {
                 gps += 1;
-                lanes[lane].push(Request::Gps {
-                    user,
-                    seq: *seq,
-                    t: point.t,
-                    lat: point.pos.lat,
-                    lon: point.pos.lon,
-                });
+                if run_len <= 1 {
+                    let lane = shard_of(user, lanes.len());
+                    lanes[lane].push(Request::Gps {
+                        user,
+                        seq: *seq,
+                        t: point.t,
+                        lat: point.pos.lat,
+                        lon: point.pos.lon,
+                    });
+                } else {
+                    let run =
+                        open.entry(user).or_insert_with(|| (*seq, Vec::with_capacity(run_len)));
+                    run.1.push(WireFix { t: point.t, lat: point.pos.lat, lon: point.pos.lon });
+                    if run.1.len() >= run_len {
+                        let run = open.remove(&user).expect("run just extended");
+                        flush(&mut lanes, user, run);
+                    }
+                }
             }
             StreamEvent::Checkin { user, checkin } => {
                 checkins += 1;
+                if let Some(run) = open.remove(&user) {
+                    flush(&mut lanes, user, run);
+                }
+                let lane = shard_of(user, lanes.len());
                 lanes[lane].push(Request::Checkin {
                     user,
                     seq: *seq,
@@ -187,7 +252,23 @@ fn partition_events(ds: &Dataset, connections: usize) -> (Vec<Vec<Request>>, usi
         }
         *seq += 1;
     }
+    // Residual open runs, flushed in user-id order so lane contents are
+    // deterministic regardless of hash-map iteration order.
+    let mut residual: Vec<(UserId, (u64, Vec<WireFix>))> = open.into_iter().collect();
+    residual.sort_unstable_by_key(|(user, _)| *user);
+    for (user, run) in residual {
+        flush(&mut lanes, user, run);
+    }
     (lanes, gps, checkins)
+}
+
+/// Ingest events one frame carries (0 for control requests).
+fn events_in(req: &Request) -> usize {
+    match req {
+        Request::GpsRun { fixes, .. } => fixes.len(),
+        Request::Gps { .. } | Request::Checkin { .. } => 1,
+        _ => 0,
+    }
 }
 
 /// Why a delivery attempt ended short of the full lane.
@@ -200,12 +281,18 @@ enum AttemptFailure {
 
 /// One connection lifetime's worth of progress.
 struct AttemptOutcome {
-    /// Lane events acknowledged after this attempt (absolute).
+    /// Lane frames acknowledged after this attempt (absolute).
     acked: usize,
     /// Index one past the last frame written this attempt (absolute).
     sent_up_to: usize,
     /// Latency samples from this attempt, microseconds.
     latencies: Vec<u64>,
+    /// Client-side encode time this attempt, nanoseconds.
+    encode_ns: u64,
+    /// Framed request bytes written (length prefixes included).
+    bytes_sent: u64,
+    /// Framed response bytes read.
+    bytes_recv: u64,
     failure: Option<AttemptFailure>,
 }
 
@@ -222,9 +309,17 @@ fn replay_attempt(
     lane_idx: u64,
     plan: &FaultPlan,
     attempt: u32,
+    wire_fmt: WireFormat,
 ) -> AttemptOutcome {
-    let mut out =
-        AttemptOutcome { acked: base, sent_up_to: base, latencies: Vec::new(), failure: None };
+    let mut out = AttemptOutcome {
+        acked: base,
+        sent_up_to: base,
+        latencies: Vec::new(),
+        encode_ns: 0,
+        bytes_sent: 0,
+        bytes_recv: 0,
+        failure: None,
+    };
     let conn_fail = |e: io::Error| Some(AttemptFailure::Conn(e));
 
     let stream = match TcpStream::connect(addr) {
@@ -245,21 +340,47 @@ fn replay_attempt(
     let mut r = BufReader::new(reader_stream);
     let mut w = BufWriter::new(writer_stream);
 
+    // Frame scratch, reused across the attempt: encode-then-write lets the
+    // fault plan truncate a real frame and the byte counters see framed
+    // sizes.
+    let mut frame_buf: Vec<u8> = Vec::new();
+    let mut resp_buf: Vec<u8> = Vec::new();
+
     // Synchronous Hello: idempotent (same origin every time), and a failed
     // ack here means the connection never came up.
-    if let Err(e) = write_msg(&mut w, hello).and_then(|()| w.flush()) {
+    {
+        let enc = Instant::now();
+        frame_buf.clear();
+        if let Err(e) = wire::encode_request_frame(&mut frame_buf, hello, wire_fmt) {
+            out.failure = conn_fail(e);
+            return out;
+        }
+        out.encode_ns += enc.elapsed().as_nanos() as u64;
+    }
+    if let Err(e) = w.write_all(&frame_buf).and_then(|()| w.flush()) {
         out.failure = conn_fail(e);
         return out;
     }
-    match read_msg::<Response, _>(&mut r) {
-        Ok(Some(Response::Ok)) => {}
-        Ok(Some(Response::Error { message })) => {
-            out.failure = Some(AttemptFailure::Server(message));
-            return out;
-        }
-        Ok(Some(other)) => {
-            out.failure = Some(AttemptFailure::Server(format!("hello: unexpected {other:?}")));
-            return out;
+    out.bytes_sent += frame_buf.len() as u64;
+    match read_frame_into(&mut r, &mut resp_buf) {
+        Ok(Some(len)) => {
+            out.bytes_recv += len as u64 + 4;
+            match wire::decode_response(&resp_buf[..len]) {
+                Ok(Response::Ok) => {}
+                Ok(Response::Error { message }) => {
+                    out.failure = Some(AttemptFailure::Server(message));
+                    return out;
+                }
+                Ok(other) => {
+                    out.failure =
+                        Some(AttemptFailure::Server(format!("hello: unexpected {other:?}")));
+                    return out;
+                }
+                Err(e) => {
+                    out.failure = conn_fail(e.into());
+                    return out;
+                }
+            }
         }
         Ok(None) => {
             out.failure = conn_fail(io::Error::new(
@@ -283,31 +404,39 @@ fn replay_attempt(
         permit_tx.send(()).expect("preload permits");
     }
     let sent_r = Arc::clone(&sent_times);
-    type ReaderEnd = (usize, Vec<u64>, Option<String>, Option<io::Error>);
+    type ReaderEnd = (usize, Vec<u64>, Option<String>, Option<io::Error>, u64);
     let reader = std::thread::spawn(move || -> ReaderEnd {
         let mut acks = 0usize;
         let mut latencies = Vec::new();
+        let mut bytes = 0u64;
+        let mut buf: Vec<u8> = Vec::new();
         while acks < remaining {
-            match read_msg::<Response, _>(&mut r) {
-                Ok(Some(Response::Error { message })) => {
-                    return (acks, latencies, Some(message), None);
-                }
-                Ok(Some(_)) => {
-                    acks += 1;
-                    if let Some(at) = sent_r.lock().unwrap().pop_front() {
-                        latencies.push(at.elapsed().as_micros() as u64);
+            match read_frame_into(&mut r, &mut buf) {
+                Ok(Some(len)) => {
+                    bytes += len as u64 + 4;
+                    match wire::decode_response(&buf[..len]) {
+                        Ok(Response::Error { message }) => {
+                            return (acks, latencies, Some(message), None, bytes);
+                        }
+                        Ok(_) => {
+                            acks += 1;
+                            if let Some(at) = sent_r.lock().unwrap().pop_front() {
+                                latencies.push(at.elapsed().as_micros() as u64);
+                            }
+                            let _ = permit_tx.send(());
+                        }
+                        Err(e) => return (acks, latencies, None, Some(e.into()), bytes),
                     }
-                    let _ = permit_tx.send(());
                 }
                 Ok(None) => {
                     let e =
                         io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-replay");
-                    return (acks, latencies, None, Some(e));
+                    return (acks, latencies, None, Some(e), bytes);
                 }
-                Err(e) => return (acks, latencies, None, Some(e)),
+                Err(e) => return (acks, latencies, None, Some(e), bytes),
             }
         }
-        (acks, latencies, None, None)
+        (acks, latencies, None, None, bytes)
     });
 
     let mut write_err: Option<io::Error> = None;
@@ -330,6 +459,16 @@ fn replay_attempt(
             }
             Err(TryRecvError::Disconnected) => break 'writer,
         }
+        // Encode before the latency clock starts: the round-trip numbers
+        // measure wire + server cost, and `encode_ns` carries the client
+        // serialization cost separately.
+        let enc = Instant::now();
+        frame_buf.clear();
+        if let Err(e) = wire::encode_request_frame(&mut frame_buf, req, wire_fmt) {
+            write_err = Some(e);
+            break 'writer;
+        }
+        out.encode_ns += enc.elapsed().as_nanos() as u64;
         match plan.frame_fault(lane_idx, i as u64, attempt) {
             FrameFault::None => {}
             FrameFault::Stall { ms } => {
@@ -353,11 +492,9 @@ fn replay_attempt(
                 // and since the writer runs `window` frames ahead of the
                 // reader, that turns most truncated attempts into
                 // zero-progress attempts and starves the retry budget.)
-                let _ = w.flush().and_then(|()| {
-                    let mut bytes = Vec::new();
-                    write_msg(&mut bytes, req)?;
-                    w.get_mut().write_all(&bytes[..bytes.len().max(2) / 2])
-                });
+                let _ = w
+                    .flush()
+                    .and_then(|()| w.get_mut().write_all(&frame_buf[..frame_buf.len().max(2) / 2]));
                 let _ = w.get_ref().shutdown(Shutdown::Write);
                 killed_by_fault = true;
                 break 'writer;
@@ -376,10 +513,11 @@ fn replay_attempt(
             }
         }
         sent_times.lock().unwrap().push_back(Instant::now());
-        if let Err(e) = write_msg(&mut w, req) {
+        if let Err(e) = w.write_all(&frame_buf) {
             write_err = Some(e);
             break 'writer;
         }
+        out.bytes_sent += frame_buf.len() as u64;
         sent = i + 1;
     }
     if write_err.is_none() && !killed_by_fault && sent == lane.len() {
@@ -388,12 +526,13 @@ fn replay_attempt(
         }
     }
 
-    let (acks, latencies, server_err, conn_err) = reader
+    let (acks, latencies, server_err, conn_err, bytes_recv) = reader
         .join()
-        .unwrap_or_else(|_| (0, Vec::new(), None, Some(io::Error::other("reader panicked"))));
+        .unwrap_or_else(|_| (0, Vec::new(), None, Some(io::Error::other("reader panicked")), 0));
     out.acked = base + acks;
     out.sent_up_to = sent;
     out.latencies = latencies;
+    out.bytes_recv += bytes_recv;
     out.failure = if let Some(message) = server_err {
         Some(AttemptFailure::Server(message))
     } else if killed_by_fault {
@@ -419,11 +558,16 @@ fn replay_attempt(
 struct LaneReport {
     latencies: Vec<u64>,
     retries: u32,
+    /// Events (not frames) redelivered after reconnects.
     resent: usize,
+    encode_ns: u64,
+    bytes_sent: u64,
+    bytes_recv: u64,
 }
 
 /// Replay one lane to completion: deliver every event at least once and
 /// collect every ack, reconnecting with deterministic backoff on failure.
+#[allow(clippy::too_many_arguments)]
 fn replay_lane(
     addr: SocketAddr,
     hello: Request,
@@ -432,8 +576,29 @@ fn replay_lane(
     lane_idx: u64,
     plan: FaultPlan,
     retry: RetryPolicy,
+    wire_fmt: WireFormat,
 ) -> io::Result<LaneReport> {
-    let mut report = LaneReport { latencies: Vec::new(), retries: 0, resent: 0 };
+    let mut report = LaneReport {
+        latencies: Vec::new(),
+        retries: 0,
+        resent: 0,
+        encode_ns: 0,
+        bytes_sent: 0,
+        bytes_recv: 0,
+    };
+    // events_before[i] = ingest events carried by frames [0, i): translates
+    // the frame-indexed ack/send frontier into the event counts the report
+    // speaks in (a resent `GpsRun` frame is fixes.len() resent events).
+    let events_before: Vec<usize> = {
+        let mut acc = 0usize;
+        let mut prefix = Vec::with_capacity(lane.len() + 1);
+        prefix.push(0);
+        for req in &lane {
+            acc += events_in(req);
+            prefix.push(acc);
+        }
+        prefix
+    };
     let mut acked = 0usize;
     let mut sent_high = 0usize;
     // Two counters with different jobs: `attempt` only ever grows and keys
@@ -446,11 +611,19 @@ fn replay_lane(
     loop {
         let already_sent = sent_high;
         let already_acked = acked;
-        let out = replay_attempt(addr, &hello, &lane, acked, window, lane_idx, &plan, attempt);
+        let out =
+            replay_attempt(addr, &hello, &lane, acked, window, lane_idx, &plan, attempt, wire_fmt);
         report.latencies.extend(out.latencies);
+        report.encode_ns += out.encode_ns;
+        report.bytes_sent += out.bytes_sent;
+        report.bytes_recv += out.bytes_recv;
         // Frames below the previous high-water mark were deliveries the
-        // server (may) have already applied — the seq dedup's workload.
-        report.resent += out.sent_up_to.min(already_sent).saturating_sub(acked);
+        // server (may) have already applied — the seq dedup's workload,
+        // counted in events.
+        let resent_frames_to = out.sent_up_to.min(already_sent);
+        if resent_frames_to > acked {
+            report.resent += events_before[resent_frames_to] - events_before[acked];
+        }
         sent_high = sent_high.max(out.sent_up_to);
         acked = acked.max(out.acked);
         match out.failure {
@@ -569,8 +742,9 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
     let origin = ds.pois.projection().origin();
     let hello = Request::Hello { origin_lat: origin.lat, origin_lon: origin.lon };
 
-    let (lanes, gps_events, checkin_events) = partition_events(ds, cfg.connections);
+    let (lanes, gps_events, checkin_events) = partition_events(ds, cfg.connections, cfg.run_len);
     let total_events = gps_events + checkin_events;
+    let frames_sent: usize = lanes.iter().map(Vec::len).sum();
 
     let started = Instant::now();
     let mut workers = Vec::new();
@@ -579,18 +753,25 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
         let window = cfg.window;
         let plan = cfg.fault.clone();
         let retry = cfg.retry.clone();
+        let wire_fmt = cfg.wire;
         workers.push(std::thread::spawn(move || {
-            replay_lane(addr, hello, lane, window, lane_idx as u64, plan, retry)
+            replay_lane(addr, hello, lane, window, lane_idx as u64, plan, retry, wire_fmt)
         }));
     }
-    let mut latencies: Vec<u64> = Vec::with_capacity(total_events);
+    let mut latencies: Vec<u64> = Vec::with_capacity(frames_sent);
     let mut retries = 0u32;
     let mut resent_events = 0usize;
+    let mut encode_ns = 0u64;
+    let mut bytes_sent = 0u64;
+    let mut bytes_recv = 0u64;
     for worker in workers {
         let lane_report = worker.join().map_err(|_| io::Error::other("lane panicked"))??;
         latencies.extend(lane_report.latencies);
         retries += lane_report.retries;
         resent_events += lane_report.resent;
+        encode_ns += lane_report.encode_ns;
+        bytes_sent += lane_report.bytes_sent;
+        bytes_recv += lane_report.bytes_recv;
     }
     counter("loadgen.resent").add(resent_events as u64);
     let seconds = started.elapsed().as_secs_f64();
@@ -627,11 +808,17 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
         seed: cfg.seed,
         connections: cfg.connections,
         window: cfg.window,
+        wire: cfg.wire.label().to_string(),
+        run_len: cfg.run_len,
         gps_events,
         checkin_events,
         total_events,
+        frames_sent,
         seconds,
         events_per_sec: if seconds > 0.0 { total_events as f64 / seconds } else { 0.0 },
+        encode_seconds: encode_ns as f64 / 1e9,
+        bytes_sent,
+        bytes_recv,
         p50_us: percentile(&latencies, 0.50),
         p95_us: percentile(&latencies, 0.95),
         p99_us: percentile(&latencies, 0.99),

@@ -1,12 +1,18 @@
-//! Wire protocol of `geosocial-serve`: length-prefixed JSON frames.
+//! Wire protocol of `geosocial-serve`: length-prefixed frames, JSON or
+//! binary payload.
 //!
 //! Every message is one frame: a 4-byte big-endian payload length followed
-//! by that many bytes of UTF-8 JSON. Requests and responses are strictly
-//! 1:1 and in order per connection, so clients may pipeline: send a window
-//! of requests and match responses by position.
+//! by that many payload bytes. The first payload byte is the **format
+//! tag**: JSON payloads start with `{` (0x7B) or `"` (0x22) — always below
+//! 0x80 — while binary payloads start with an opcode in `0x80..`. Both
+//! formats are first-class on the same port and may interleave frame by
+//! frame on one connection; see [`crate::wire`] for the binary layout.
+//! Requests and responses are strictly 1:1 and in order per connection, so
+//! clients may pipeline: send a window of requests and match responses by
+//! position.
 //!
-//! Enums use the vendored serde's externally tagged form — a unit variant
-//! is the bare string `"Stats"`, a struct variant is
+//! JSON enums use the vendored serde's externally tagged form — a unit
+//! variant is the bare string `"Stats"`, a struct variant is
 //! `{"Gps":{"user":1,...}}`.
 
 use serde::{Deserialize, Serialize};
@@ -47,6 +53,27 @@ pub enum Request {
         lat: f64,
         /// Fix longitude, degrees.
         lon: f64,
+    },
+    /// Ingest a batch of consecutive GPS fixes for one user — the
+    /// throughput path. The fixes carry the per-user sequence numbers
+    /// `first_seq..first_seq + fixes.len()` in order, and the server
+    /// applies the exactly-once contract **per fix**, not per frame: fixes
+    /// below the user's `next` are acknowledged without re-applying
+    /// (counted as duplicates), fixes at `next` apply, and a first fix
+    /// above `next` is a gap error. A retried run that was partially
+    /// applied before a fault therefore re-applies exactly the missing
+    /// suffix. One frame, one response, so pipelining discipline is
+    /// unchanged. On the binary wire the batch is delta-encoded (see
+    /// [`crate::wire`]); in JSON it is a plain array — both spell the same
+    /// request.
+    GpsRun {
+        /// Reporting user.
+        user: u32,
+        /// Sequence number of `fixes[0]` (see [`Request::Gps::seq`]).
+        first_seq: u64,
+        /// Consecutive fixes, chronological, seq-numbered from
+        /// `first_seq`.
+        fixes: Vec<WireFix>,
     },
     /// Ingest one checkin.
     Checkin {
@@ -92,6 +119,17 @@ pub enum Request {
     },
     /// Stop the server once in-flight connections drain.
     Shutdown,
+}
+
+/// One GPS fix inside a [`Request::GpsRun`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireFix {
+    /// Fix time, seconds.
+    pub t: i64,
+    /// Fix latitude, degrees.
+    pub lat: f64,
+    /// Fix longitude, degrees.
+    pub lon: f64,
 }
 
 /// One server response.
@@ -255,8 +293,12 @@ pub fn write_msg<T: Serialize, W: Write>(w: &mut W, msg: &T) -> io::Result<()> {
     w.write_all(bytes)
 }
 
-/// Read one frame. Returns `Ok(None)` on a clean EOF at a frame boundary.
-pub fn read_msg<T: Deserialize, R: Read>(r: &mut R) -> io::Result<Option<T>> {
+/// Read one frame's payload into `buf` (reused across calls — no per-frame
+/// allocation once it has grown). Returns the payload length, or `Ok(None)`
+/// on a clean EOF at a frame boundary. A short read mid-payload is reported
+/// as a structured truncation error naming the frame size and the byte it
+/// stopped at.
+pub fn read_frame_into<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<Option<usize>> {
     let mut len_buf = [0u8; 4];
     match r.read_exact(&mut len_buf) {
         Ok(()) => {}
@@ -270,13 +312,50 @@ pub fn read_msg<T: Deserialize, R: Read>(r: &mut R) -> io::Result<Option<T>> {
             format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
         ));
     }
-    let mut buf = vec![0u8; len as usize];
-    r.read_exact(&mut buf)?;
-    let text = String::from_utf8(buf)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame not UTF-8: {e}")))?;
-    serde_json::from_str(&text)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("decode: {e:?}")))
+    let len = len as usize;
+    buf.clear();
+    buf.resize(len, 0);
+    let mut read = 0usize;
+    while read < len {
+        match r.read(&mut buf[read..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "truncated frame: payload ended at byte {read} of the {len} bytes \
+                         the length prefix promised"
+                    ),
+                ));
+            }
+            Ok(n) => read += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(len))
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean EOF at a frame boundary.
+/// JSON-only convenience used by the control plane and tests; the serving
+/// hot paths read with [`read_frame_into`] and decode with [`crate::wire`],
+/// which accepts both formats.
+pub fn read_msg<T: Deserialize, R: Read>(r: &mut R) -> io::Result<Option<T>> {
+    let mut buf = Vec::new();
+    let Some(len) = read_frame_into(r, &mut buf)? else {
+        return Ok(None);
+    };
+    let text = std::str::from_utf8(&buf).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame payload is not UTF-8 at byte {} of the {len}-byte frame",
+                e.valid_up_to()
+            ),
+        )
+    })?;
+    serde_json::from_str(text).map(Some).map_err(|e| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("JSON frame ({len} bytes): {e}"))
+    })
 }
 
 #[cfg(test)]

@@ -65,8 +65,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::protocol::{
-    read_msg, write_msg, DrainReport, Request, Response, ServerStats, ShardStats,
+    read_frame_into, DrainReport, Request, Response, ServerStats, ShardStats, WireFix,
 };
+use crate::wire::{self, WireFormat};
 
 /// Cached handles to the serving layer's fixed-name metric series.
 /// Per-shard series (`serve.shard.N.*`) are indexed by shard count and
@@ -95,12 +96,22 @@ mod metrics {
     cached!(drains, counter, Counter, "serve.drains");
     cached!(latency_hello, histogram, Histogram, "serve.latency_us.hello");
     cached!(latency_gps, histogram, Histogram, "serve.latency_us.gps");
+    cached!(latency_run, histogram, Histogram, "serve.latency_us.run");
     cached!(latency_checkin, histogram, Histogram, "serve.latency_us.checkin");
     cached!(latency_user, histogram, Histogram, "serve.latency_us.user");
     cached!(latency_stats, histogram, Histogram, "serve.latency_us.stats");
     cached!(latency_finish, histogram, Histogram, "serve.latency_us.finish");
     cached!(latency_drain, histogram, Histogram, "serve.latency_us.drain");
     cached!(latency_metrics, histogram, Histogram, "serve.latency_us.metrics");
+    // Per-wire-format series: each served request also lands in the
+    // histogram of the format it arrived in, and the byte counters track
+    // framed sizes (length prefix included) per direction and format.
+    cached!(latency_wire_json, histogram, Histogram, "serve.latency_us.wire_json");
+    cached!(latency_wire_binary, histogram, Histogram, "serve.latency_us.wire_binary");
+    cached!(bytes_in_json, counter, Counter, "serve.bytes_in.json");
+    cached!(bytes_in_binary, counter, Counter, "serve.bytes_in.binary");
+    cached!(bytes_out_json, counter, Counter, "serve.bytes_out.json");
+    cached!(bytes_out_binary, counter, Counter, "serve.bytes_out.binary");
 }
 
 /// One shard's exported series. Created once per worker; the queue gauge
@@ -124,14 +135,14 @@ impl ShardMetrics {
         }
     }
 
-    /// Refresh the composition-derived gauges from the live user map.
-    /// O(users), so the worker calls it amortized (every
-    /// [`GAUGE_REFRESH_EVERY`] ingests) and on `Stats`/`Finish`.
-    fn refresh(&self, users: &HashMap<UserId, OnlineAuditor>) {
-        self.users.set(users.len() as i64);
+    /// Refresh the composition-derived gauges from the live auditor slab.
+    /// O(users) over contiguous memory, so the worker calls it amortized
+    /// (every [`GAUGE_REFRESH_EVERY`] ingests) and on `Stats`/`Finish`.
+    fn refresh(&self, auditors: &[OnlineAuditor]) {
+        self.users.set(auditors.len() as i64);
         let mut late = 0i64;
         let mut forced = 0i64;
-        for a in users.values() {
+        for a in auditors {
             let c = a.composition();
             late += c.late_dropped as i64;
             forced += c.forced as i64;
@@ -242,6 +253,7 @@ struct ShardMsg {
 enum ShardCmd {
     SetOrigin { origin: LatLon },
     Gps { user: UserId, seq: u64, point: GpsPoint },
+    GpsRun { user: UserId, first_seq: u64, fixes: Vec<WireFix> },
     Checkin { user: UserId, seq: u64, checkin: Checkin },
     Query { user: UserId },
     Stats,
@@ -249,67 +261,111 @@ enum ShardCmd {
     Finish,
 }
 
-/// A state-mutating command recorded for crash replay. Only successfully
-/// applied mutations are logged, so snapshot + log always reproduces the
-/// live state exactly (the auditors are deterministic).
-#[derive(Clone)]
-enum ReplayEvent {
-    SetOrigin(LatLon),
-    Gps {
-        user: UserId,
-        seq: u64,
-        point: GpsPoint,
-    },
-    Checkin {
-        user: UserId,
-        seq: u64,
-        checkin: Checkin,
-    },
-    /// `Finish` or `Drain { finalize: true }` — identical state effect.
-    Finalize,
+/// The shard mutation a request performs, if any. Shared by the live
+/// connection handler and crash replay: the replay log stores mutations
+/// as binary wire frames, so recovery decodes a [`Request`] and routes it
+/// through here exactly like a fresh delivery.
+fn mutation_cmd(req: Request) -> Option<ShardCmd> {
+    match req {
+        Request::Hello { origin_lat, origin_lon } => {
+            Some(ShardCmd::SetOrigin { origin: LatLon::new(origin_lat, origin_lon) })
+        }
+        Request::Gps { user, seq, t, lat, lon } => {
+            Some(ShardCmd::Gps { user, seq, point: GpsPoint { t, pos: LatLon::new(lat, lon) } })
+        }
+        Request::GpsRun { user, first_seq, fixes } => {
+            Some(ShardCmd::GpsRun { user, first_seq, fixes })
+        }
+        Request::Checkin { user, seq, t, poi, lat, lon } => Some(ShardCmd::Checkin {
+            user,
+            seq,
+            checkin: Checkin {
+                t,
+                poi,
+                // The wire format carries no category; auditing never
+                // reads it.
+                category: PoiCategory::Food,
+                location: LatLon::new(lat, lon),
+                provenance: None,
+            },
+        }),
+        Request::Finish => Some(ShardCmd::Finish),
+        Request::User { .. }
+        | Request::Stats
+        | Request::Metrics
+        | Request::Drain { .. }
+        | Request::Shutdown => None,
+    }
 }
 
-impl ReplayEvent {
-    /// The mutation `cmd` performs, if any.
-    fn of(cmd: &ShardCmd) -> Option<ReplayEvent> {
-        match cmd {
-            ShardCmd::SetOrigin { origin } => Some(ReplayEvent::SetOrigin(*origin)),
-            ShardCmd::Gps { user, seq, point } => {
-                Some(ReplayEvent::Gps { user: *user, seq: *seq, point: *point })
-            }
-            ShardCmd::Checkin { user, seq, checkin } => {
-                Some(ReplayEvent::Checkin { user: *user, seq: *seq, checkin: *checkin })
-            }
-            ShardCmd::Finish | ShardCmd::Drain { finalize: true } => Some(ReplayEvent::Finalize),
-            ShardCmd::Query { .. } | ShardCmd::Stats | ShardCmd::Drain { finalize: false } => None,
-        }
+/// The since-checkpoint mutation log of one shard, stored as binary wire
+/// frames — the same codec the connection speaks ([`crate::wire`]), so the
+/// log format is exercised by every ingest test and costs one compact
+/// buffer instead of a `Vec` of enum values.
+///
+/// Entries are **per event**, not per command: an applied `GpsRun` logs
+/// one `Gps` frame per fix, appended as each fix applies. A worker crash
+/// mid-run therefore leaves exactly the applied prefix in the log, which
+/// is what makes the retry dedup per-event instead of per-frame.
+#[derive(Clone, Default)]
+struct ReplayLog {
+    buf: Vec<u8>,
+    frames: usize,
+}
+
+impl ReplayLog {
+    /// Append one mutation in its binary frame encoding.
+    fn push(&mut self, req: &Request) {
+        crate::wire::encode_request_frame(&mut self.buf, req, crate::wire::WireFormat::Binary)
+            .expect("log frame within caps");
+        self.frames += 1;
     }
 
-    /// The command to re-apply during recovery.
-    fn to_cmd(&self) -> ShardCmd {
-        match self {
-            ReplayEvent::SetOrigin(origin) => ShardCmd::SetOrigin { origin: *origin },
-            ReplayEvent::Gps { user, seq, point } => {
-                ShardCmd::Gps { user: *user, seq: *seq, point: *point }
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.frames = 0;
+    }
+
+    /// Decode the logged mutations in order.
+    fn iter(&self) -> impl Iterator<Item = Request> + '_ {
+        let mut pos = 0usize;
+        std::iter::from_fn(move || {
+            if pos >= self.buf.len() {
+                return None;
             }
-            ReplayEvent::Checkin { user, seq, checkin } => {
-                ShardCmd::Checkin { user: *user, seq: *seq, checkin: *checkin }
-            }
-            ReplayEvent::Finalize => ShardCmd::Finish,
-        }
+            let len =
+                u32::from_be_bytes(self.buf[pos..pos + 4].try_into().expect("prefix")) as usize;
+            pos += 4;
+            let payload = &self.buf[pos..pos + len];
+            pos += len;
+            Some(crate::wire::decode_request_binary(payload).expect("own log frames decode"))
+        })
     }
 }
 
 /// The crash-replaceable part of a shard: everything `ShardCmd`s mutate.
 /// Cloning it is the checkpoint; re-applying the replay log on a clone is
 /// the recovery.
+///
+/// Per-user state lives in a **dense slab**: `slot_of` is consulted once
+/// per frame to map the user id to a compact slot, and the hot per-user
+/// fields are parallel vectors indexed by that slot (struct-of-arrays), so
+/// ingest, gauge refreshes, stats and drains scan contiguous memory
+/// instead of chasing `HashMap` buckets.
 #[derive(Clone)]
 struct ShardState {
     shard: usize,
     audit: Option<AuditConfig>,
-    users: HashMap<UserId, OnlineAuditor>,
-    /// Per-user next expected ingest sequence number (exactly-once dedup).
-    next_seq: HashMap<UserId, u64>,
+    /// User id → slot in the parallel vectors below. Touched once per
+    /// frame; everything after is slot-indexed.
+    slot_of: HashMap<UserId, usize>,
+    /// Slot → user id (the slab never frees slots; users are permanent for
+    /// the session, matching the auditing model).
+    users: Vec<UserId>,
+    /// Slot → next expected ingest sequence number (exactly-once dedup).
+    next_seq: Vec<u64>,
+    /// Slot → the user's online auditor.
+    auditors: Vec<OnlineAuditor>,
     stats: ShardStats,
     finished: bool,
 }
@@ -319,22 +375,84 @@ impl ShardState {
         Self {
             shard,
             audit: None,
-            users: HashMap::new(),
-            next_seq: HashMap::new(),
+            slot_of: HashMap::new(),
+            users: Vec::new(),
+            next_seq: Vec::new(),
+            auditors: Vec::new(),
             stats: ShardStats { shard, ..Default::default() },
             finished: false,
+        }
+    }
+
+    /// Session gate common to every ingest: `Hello` must have fixed the
+    /// origin and the stream must not be finished.
+    fn gate(&self) -> Option<Response> {
+        if self.audit.is_none() {
+            return Some(hello_first());
+        }
+        if self.finished {
+            return Some(after_finish());
+        }
+        None
+    }
+
+    /// The user's slot, allocating slab entries on first contact. Only
+    /// called after [`ShardState::gate`], so the audit config exists.
+    fn slot(&mut self, user: UserId) -> usize {
+        if let Some(&s) = self.slot_of.get(&user) {
+            return s;
+        }
+        let s = self.users.len();
+        self.slot_of.insert(user, s);
+        self.users.push(user);
+        self.next_seq.push(0);
+        let audit = self.audit.clone().expect("gated on Hello");
+        self.auditors.push(OnlineAuditor::new(user, audit));
+        s
+    }
+
+    /// The fault plan's kill point, consulted once per **applied event**
+    /// (never during replay) — so a planned crash can land mid-`GpsRun`,
+    /// which is exactly the case the per-event retry contract must survive.
+    fn kill_check(&self, config: &ServerConfig, obs: Option<&ShardMetrics>) {
+        if obs.is_some() {
+            let applied = self.stats.gps_events + self.stats.checkin_events;
+            if config.fault.should_kill(self.shard, applied as u64) {
+                panic!("injected fault: shard {} killed before ingest {}", self.shard, applied);
+            }
+        }
+    }
+
+    /// The per-event sequence contract: apply `seq == next`, acknowledge
+    /// `seq < next` without re-applying (a retried delivery of an
+    /// already-applied event), reject gaps.
+    fn seq_admit(&mut self, slot: usize, seq: u64, obs: Option<&ShardMetrics>) -> Admit {
+        let next = self.next_seq[slot];
+        if seq < next {
+            self.stats.duplicates += 1;
+            if obs.is_some() {
+                metrics::duplicates().inc();
+            }
+            Admit::Duplicate
+        } else if seq > next {
+            Admit::Gap(next)
+        } else {
+            Admit::Apply
         }
     }
 
     /// Apply one command. `obs` carries the metric handles for live
     /// processing and is `None` during crash replay, where the state (and
     /// `stats`) must reconverge but the process-global metrics must not be
-    /// double-counted.
+    /// double-counted. `log` receives one binary frame per **applied
+    /// event** (also `None` during replay) — pushed as each event applies,
+    /// so a crash mid-command leaves exactly the applied prefix logged.
     fn apply(
         &mut self,
         cmd: &ShardCmd,
         config: &ServerConfig,
         obs: Option<&ShardMetrics>,
+        mut log: Option<&mut ReplayLog>,
     ) -> Response {
         match cmd {
             ShardCmd::SetOrigin { origin } => match &self.audit {
@@ -352,49 +470,122 @@ impl ShardState {
                 Some(_) => Response::Ok,
                 None => {
                     self.audit = Some(config.audit_config(*origin));
+                    if let Some(l) = log.as_deref_mut() {
+                        l.push(&Request::Hello { origin_lat: origin.lat, origin_lon: origin.lon });
+                    }
                     Response::Ok
                 }
             },
-            ShardCmd::Gps { user, seq, point } => match self.admit(*user, *seq, config, obs) {
-                Admit::Apply(audit) => {
-                    let auditor =
-                        self.users.entry(*user).or_insert_with(|| OnlineAuditor::new(*user, audit));
-                    auditor.push_gps(*point);
+            ShardCmd::Gps { user, seq, point } => {
+                if let Some(resp) = self.gate() {
+                    return resp;
+                }
+                let slot = self.slot(*user);
+                match self.seq_admit(slot, *seq, obs) {
+                    Admit::Duplicate => Response::Verdicts { verdicts: Vec::new() },
+                    Admit::Gap(next) => gap_error(*user, *seq, next),
+                    Admit::Apply => {
+                        self.kill_check(config, obs);
+                        self.next_seq[slot] += 1;
+                        self.auditors[slot].push_gps(*point);
+                        self.stats.gps_events += 1;
+                        if obs.is_some() {
+                            metrics::events_gps().inc();
+                        }
+                        if let Some(l) = log.as_deref_mut() {
+                            l.push(&Request::Gps {
+                                user: *user,
+                                seq: *seq,
+                                t: point.t,
+                                lat: point.pos.lat,
+                                lon: point.pos.lon,
+                            });
+                        }
+                        self.emit_verdicts(slot, obs)
+                    }
+                }
+            }
+            ShardCmd::GpsRun { user, first_seq, fixes } => {
+                if let Some(resp) = self.gate() {
+                    return resp;
+                }
+                let slot = self.slot(*user);
+                let next = self.next_seq[slot];
+                if *first_seq > next {
+                    return gap_error(*user, *first_seq, next);
+                }
+                // The prefix below `next` is a retried delivery of events
+                // already applied (e.g. a run partially applied before a
+                // fault): acknowledge per event without re-applying.
+                let dup = ((next - *first_seq) as usize).min(fixes.len());
+                if dup > 0 {
+                    self.stats.duplicates += dup;
+                    if obs.is_some() {
+                        metrics::duplicates().add(dup as u64);
+                    }
+                }
+                for (i, fix) in fixes.iter().enumerate().skip(dup) {
+                    let seq = *first_seq + i as u64;
+                    self.kill_check(config, obs);
+                    self.next_seq[slot] += 1;
+                    self.auditors[slot]
+                        .push_gps(GpsPoint { t: fix.t, pos: LatLon::new(fix.lat, fix.lon) });
                     self.stats.gps_events += 1;
                     if obs.is_some() {
                         metrics::events_gps().inc();
                     }
-                    self.emit_verdicts(*user, obs)
+                    if let Some(l) = log.as_deref_mut() {
+                        l.push(&Request::Gps {
+                            user: *user,
+                            seq,
+                            t: fix.t,
+                            lat: fix.lat,
+                            lon: fix.lon,
+                        });
+                    }
                 }
-                Admit::Answer(resp) => resp,
-            },
+                self.emit_verdicts(slot, obs)
+            }
             ShardCmd::Checkin { user, seq, checkin } => {
-                match self.admit(*user, *seq, config, obs) {
-                    Admit::Apply(audit) => {
-                        let auditor = self
-                            .users
-                            .entry(*user)
-                            .or_insert_with(|| OnlineAuditor::new(*user, audit));
-                        auditor.push_checkin(*checkin);
+                if let Some(resp) = self.gate() {
+                    return resp;
+                }
+                let slot = self.slot(*user);
+                match self.seq_admit(slot, *seq, obs) {
+                    Admit::Duplicate => Response::Verdicts { verdicts: Vec::new() },
+                    Admit::Gap(next) => gap_error(*user, *seq, next),
+                    Admit::Apply => {
+                        self.kill_check(config, obs);
+                        self.next_seq[slot] += 1;
+                        self.auditors[slot].push_checkin(*checkin);
                         self.stats.checkin_events += 1;
                         if obs.is_some() {
                             metrics::events_checkin().inc();
                         }
-                        self.emit_verdicts(*user, obs)
+                        if let Some(l) = log.as_deref_mut() {
+                            l.push(&Request::Checkin {
+                                user: *user,
+                                seq: *seq,
+                                t: checkin.t,
+                                poi: checkin.poi,
+                                lat: checkin.location.lat,
+                                lon: checkin.location.lon,
+                            });
+                        }
+                        self.emit_verdicts(slot, obs)
                     }
-                    Admit::Answer(resp) => resp,
                 }
             }
-            ShardCmd::Query { user } => match self.users.get(user) {
-                Some(a) => Response::Composition { composition: a.composition() },
+            ShardCmd::Query { user } => match self.slot_of.get(user) {
+                Some(&s) => Response::Composition { composition: self.auditors[s].composition() },
                 None => Response::Error { message: format!("unknown user {user}") },
             },
             ShardCmd::Stats => {
-                self.stats.users = self.users.len();
+                self.stats.users = self.auditors.len();
                 let mut total = ServerStats::default();
                 let mut comp = StreamComposition::default();
                 let mut buffered = 0;
-                for a in self.users.values() {
+                for a in &self.auditors {
                     comp.merge(&a.composition());
                     buffered += a.state_size();
                 }
@@ -404,11 +595,11 @@ impl ShardState {
             ShardCmd::Drain { finalize } => {
                 let mut report = DrainReport {
                     shards: 1,
-                    users: self.users.len(),
+                    users: self.auditors.len(),
                     finalized: self.finished,
                     ..Default::default()
                 };
-                for a in self.users.values() {
+                for a in &self.auditors {
                     report.pending_checkins += a.composition().pending_checkins;
                     report.held_events += a.held_events();
                     report.open_visits += a.open_visits();
@@ -418,10 +609,10 @@ impl ShardState {
                     // Everything still pending is finalized with the
                     // evidence at hand — record how much that was.
                     report.forced_by_drain = report.pending_checkins;
-                    report.verdicts_flushed = self.finalize_all(obs);
+                    report.verdicts_flushed = self.finalize_all(obs, log);
                     report.finalized = true;
                 }
-                for a in self.users.values() {
+                for a in &self.auditors {
                     report.composition.merge(&a.composition());
                 }
                 Response::Drained { report }
@@ -430,10 +621,11 @@ impl ShardState {
                 let mut verdicts = Vec::new();
                 if !self.finished {
                     self.finished = true;
-                    let mut ids: Vec<UserId> = self.users.keys().copied().collect();
-                    ids.sort_unstable();
-                    for id in ids {
-                        let a = self.users.get_mut(&id).expect("known user");
+                    if let Some(l) = log {
+                        l.push(&Request::Finish);
+                    }
+                    for s in self.user_order() {
+                        let a = &mut self.auditors[s];
                         a.finish();
                         verdicts.extend(a.drain_verdicts());
                     }
@@ -448,53 +640,17 @@ impl ShardState {
         }
     }
 
-    /// Gate one ingest: session state, then the per-user sequence contract,
-    /// then the fault plan's shard-kill point.
-    fn admit(
-        &mut self,
-        user: UserId,
-        seq: u64,
-        config: &ServerConfig,
-        obs: Option<&ShardMetrics>,
-    ) -> Admit {
-        let Some(audit) = &self.audit else {
-            return Admit::Answer(hello_first());
-        };
-        if self.finished {
-            return Admit::Answer(after_finish());
-        }
-        let next = self.next_seq.entry(user).or_insert(0);
-        if seq < *next {
-            self.stats.duplicates += 1;
-            if obs.is_some() {
-                metrics::duplicates().inc();
-            }
-            // A retried delivery of an already-applied event: acknowledge
-            // (the original response was lost with its connection) without
-            // touching the auditor.
-            return Admit::Answer(Response::Verdicts { verdicts: Vec::new() });
-        }
-        if seq > *next {
-            return Admit::Answer(Response::Error {
-                message: format!("user {user} ingest gap: got seq {seq}, expected {next}"),
-            });
-        }
-        *next += 1;
-        // Planned crash, consulted only on live processing (the one-shot
-        // also guards replay, but recovery must never re-kill).
-        if obs.is_some() {
-            let applied = self.stats.gps_events + self.stats.checkin_events;
-            if config.fault.should_kill(self.shard, applied as u64) {
-                panic!("injected fault: shard {} killed before ingest {}", self.shard, applied);
-            }
-        }
-        Admit::Apply(audit.clone())
+    /// Slots in ascending user-id order — finalization iterates this so
+    /// verdict order is deterministic regardless of arrival order.
+    fn user_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.auditors.len()).collect();
+        order.sort_unstable_by_key(|&s| self.users[s]);
+        order
     }
 
-    /// Drain the user's newly finalized verdicts into a response.
-    fn emit_verdicts(&mut self, user: UserId, obs: Option<&ShardMetrics>) -> Response {
-        let auditor = self.users.get_mut(&user).expect("just ingested");
-        let verdicts: Vec<_> = auditor.drain_verdicts().collect();
+    /// Drain the slot's newly finalized verdicts into a response.
+    fn emit_verdicts(&mut self, slot: usize, obs: Option<&ShardMetrics>) -> Response {
+        let verdicts: Vec<_> = self.auditors[slot].drain_verdicts().collect();
         self.stats.verdicts += verdicts.len();
         if let Some(m) = obs {
             metrics::verdicts().add(verdicts.len() as u64);
@@ -504,13 +660,14 @@ impl ShardState {
     }
 
     /// Finalize every auditor; returns the number of verdicts flushed.
-    fn finalize_all(&mut self, obs: Option<&ShardMetrics>) -> usize {
+    fn finalize_all(&mut self, obs: Option<&ShardMetrics>, log: Option<&mut ReplayLog>) -> usize {
         self.finished = true;
+        if let Some(l) = log {
+            l.push(&Request::Finish);
+        }
         let mut flushed = 0;
-        let mut ids: Vec<UserId> = self.users.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            let a = self.users.get_mut(&id).expect("known user");
+        for s in self.user_order() {
+            let a = &mut self.auditors[s];
             a.finish();
             flushed += a.drain_verdicts().count();
         }
@@ -523,12 +680,18 @@ impl ShardState {
     }
 }
 
-/// What [`ShardState::admit`] decided for an ingest.
+fn gap_error(user: UserId, seq: u64, next: u64) -> Response {
+    Response::Error { message: format!("user {user} ingest gap: got seq {seq}, expected {next}") }
+}
+
+/// What [`ShardState::seq_admit`] decided for one event.
 enum Admit {
-    /// Apply it with this audit configuration.
-    Apply(AuditConfig),
-    /// Answer immediately without touching the auditor.
-    Answer(Response),
+    /// The event is at the expected sequence number: apply it.
+    Apply,
+    /// Already applied: acknowledge without re-applying.
+    Duplicate,
+    /// Ahead of the expected sequence number (carried in the variant).
+    Gap(u64),
 }
 
 /// One shard worker: a supervisor loop owning the auditors of the users
@@ -539,46 +702,46 @@ fn shard_worker(shard: usize, config: Arc<ServerConfig>, rx: mpsc::Receiver<Shar
     let shard_metrics = ShardMetrics::new(shard);
     let mut live = ShardState::new(shard);
     let mut snapshot = live.clone();
-    let mut replay_log: Vec<ReplayEvent> = Vec::new();
+    let mut log = ReplayLog::default();
     let snapshot_every = config.snapshot_every.max(1);
     let mut since_refresh = 0usize;
 
     while let Ok(ShardMsg { cmd, reply }) = rx.recv() {
         shard_metrics.queue.dec();
-        if matches!(cmd, ShardCmd::Gps { .. } | ShardCmd::Checkin { .. }) {
+        if matches!(cmd, ShardCmd::Gps { .. } | ShardCmd::GpsRun { .. } | ShardCmd::Checkin { .. })
+        {
             since_refresh += 1;
             if since_refresh >= GAUGE_REFRESH_EVERY {
                 since_refresh = 0;
-                shard_metrics.refresh(&live.users);
+                shard_metrics.refresh(&live.auditors);
             }
         } else if matches!(cmd, ShardCmd::Stats) {
-            shard_metrics.refresh(&live.users);
+            shard_metrics.refresh(&live.auditors);
         }
         let finalizes = matches!(cmd, ShardCmd::Finish | ShardCmd::Drain { finalize: true });
 
-        let mut resp = apply_guarded(&mut live, &cmd, &config, &shard_metrics);
+        let mut resp = apply_guarded(&mut live, &cmd, &config, &shard_metrics, &mut log);
         if let Err(panic_msg) = &resp {
             // The worker crashed mid-command: rebuild from the checkpoint
-            // plus the replay log of successfully applied mutations, then
-            // retry the command once (an injected kill is consumed by now).
+            // plus the replay log of successfully applied events — the log
+            // already holds any prefix of the crashed command that applied
+            // before the fault — then retry the command once (an injected
+            // kill is consumed by now; the prefix dedups per event).
             geosocial_obs::warn!("serve", "shard worker crashed, recovering";
                 shard = shard,
-                replayed = replay_log.len(),
+                replayed = log.frames,
                 cause = panic_msg,
             );
-            live = recover(&snapshot, &replay_log, &config);
+            live = recover(&snapshot, &log, &config);
             live.stats.recoveries += 1;
             metrics::recoveries().inc();
-            resp = apply_guarded(&mut live, &cmd, &config, &shard_metrics);
+            resp = apply_guarded(&mut live, &cmd, &config, &shard_metrics, &mut log);
         }
         let resp = match resp {
             Ok(resp) => {
-                if let Some(ev) = ReplayEvent::of(&cmd) {
-                    replay_log.push(ev);
-                    if replay_log.len() >= snapshot_every {
-                        snapshot = live.clone();
-                        replay_log.clear();
-                    }
+                if log.frames >= snapshot_every {
+                    snapshot = live.clone();
+                    log.clear();
                 }
                 resp
             }
@@ -592,7 +755,7 @@ fn shard_worker(shard: usize, config: Arc<ServerConfig>, rx: mpsc::Receiver<Shar
         };
         if finalizes {
             // Finalization just changed every composition; re-export.
-            shard_metrics.refresh(&live.users);
+            shard_metrics.refresh(&live.auditors);
         }
         // A dropped reply receiver means the connection died; keep serving.
         let _ = reply.send(resp);
@@ -606,24 +769,29 @@ fn apply_guarded(
     cmd: &ShardCmd,
     config: &ServerConfig,
     obs: &ShardMetrics,
+    log: &mut ReplayLog,
 ) -> Result<Response, String> {
-    catch_unwind(AssertUnwindSafe(|| state.apply(cmd, config, Some(obs)))).map_err(|cause| {
-        cause
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| cause.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "panic with non-string payload".into())
-    })
+    catch_unwind(AssertUnwindSafe(|| state.apply(cmd, config, Some(obs), Some(log)))).map_err(
+        |cause| {
+            cause
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| cause.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".into())
+        },
+    )
 }
 
 /// Rebuild a shard from its checkpoint by re-applying the replay log.
-/// Metric side effects are suppressed (`obs: None`) — the live run already
-/// counted these events; `stats` reconverges because `apply` is
-/// deterministic.
-fn recover(snapshot: &ShardState, log: &[ReplayEvent], config: &ServerConfig) -> ShardState {
+/// Metric and log side effects are suppressed (`obs`/`log` are `None`) —
+/// the live run already counted and logged these events; `stats`
+/// reconverges because `apply` is deterministic.
+fn recover(snapshot: &ShardState, log: &ReplayLog, config: &ServerConfig) -> ShardState {
     let mut state = snapshot.clone();
-    for ev in log {
-        let _ = state.apply(&ev.to_cmd(), config, None);
+    for req in log.iter() {
+        if let Some(cmd) = mutation_cmd(req) {
+            let _ = state.apply(&cmd, config, None, None);
+        }
     }
     state
 }
@@ -723,6 +891,12 @@ fn handle_conn(
     let mut writer = BufWriter::new(stream);
     let (reply_tx, reply_rx) = mpsc::channel::<Response>();
     let n = shards.len();
+    // Frame buffers reused across the connection: requests decode straight
+    // out of `in_buf` (no intermediate String/Value allocation on the
+    // binary path) and responses are framed into `out_buf` before one
+    // write.
+    let mut in_buf: Vec<u8> = Vec::new();
+    let mut out_buf: Vec<u8> = Vec::new();
 
     let route = |shards: &[mpsc::Sender<ShardMsg>], user: UserId, cmd: ShardCmd| {
         let shard = shard_of(user, shards.len());
@@ -737,8 +911,8 @@ fn handle_conn(
     };
 
     loop {
-        let req = match read_msg::<Request, _>(&mut reader) {
-            Ok(Some(req)) => req,
+        let len = match read_frame_into(&mut reader, &mut in_buf) {
+            Ok(Some(len)) => len,
             Ok(None) => break,
             Err(e) if is_timeout(&e) => {
                 metrics::conn_timeouts().inc();
@@ -747,12 +921,21 @@ fn handle_conn(
             }
             Err(e) => return Err(e),
         };
+        // Decode straight from the connection buffer; the format tag picks
+        // the codec per frame, so JSON and binary clients share the port
+        // (and a client may interleave formats).
+        let (req, wire_fmt) = wire::decode_request(&in_buf[..len])?;
+        match wire_fmt {
+            WireFormat::Json => metrics::bytes_in_json().add(len as u64 + 4),
+            WireFormat::Binary => metrics::bytes_in_binary().add(len as u64 + 4),
+        }
         // Timed from post-decode to response-ready: routing + shard work,
         // excluding socket read/write.
         let mut clock = Stopwatch::start();
         let latency = match req {
             Request::Hello { .. } => metrics::latency_hello(),
             Request::Gps { .. } => metrics::latency_gps(),
+            Request::GpsRun { .. } => metrics::latency_run(),
             Request::Checkin { .. } => metrics::latency_checkin(),
             Request::User { .. } => metrics::latency_user(),
             Request::Stats => metrics::latency_stats(),
@@ -766,25 +949,15 @@ fn handle_conn(
                 broadcast(&shards, &|| ShardCmd::SetOrigin { origin });
                 merge_broadcast(&reply_rx, n)
             }
-            Request::Gps { user, seq, t, lat, lon } => {
-                let point = GpsPoint { t, pos: LatLon::new(lat, lon) };
-                if route(&shards, user, ShardCmd::Gps { user, seq, point }) {
-                    reply_rx.recv().unwrap_or_else(|_| shard_gone())
-                } else {
-                    shard_gone()
-                }
-            }
-            Request::Checkin { user, seq, t, poi, lat, lon } => {
-                let checkin = Checkin {
-                    t,
-                    poi,
-                    // The wire format carries no category; auditing never
-                    // reads it.
-                    category: PoiCategory::Food,
-                    location: LatLon::new(lat, lon),
-                    provenance: None,
+            req @ (Request::Gps { .. } | Request::GpsRun { .. } | Request::Checkin { .. }) => {
+                let user = match &req {
+                    Request::Gps { user, .. }
+                    | Request::GpsRun { user, .. }
+                    | Request::Checkin { user, .. } => *user,
+                    _ => unreachable!("outer pattern is ingest-only"),
                 };
-                if route(&shards, user, ShardCmd::Checkin { user, seq, checkin }) {
+                let cmd = mutation_cmd(req).expect("ingest maps to a shard mutation");
+                if route(&shards, user, cmd) {
                     reply_rx.recv().unwrap_or_else(|_| shard_gone())
                 } else {
                     shard_gone()
@@ -829,8 +1002,21 @@ fn handle_conn(
                 Response::Ok
             }
         };
-        latency.observe(clock.lap_us());
-        write_msg(&mut writer, &resp)?;
+        let us = clock.lap_us();
+        latency.observe(us);
+        match wire_fmt {
+            WireFormat::Json => metrics::latency_wire_json().observe(us),
+            WireFormat::Binary => metrics::latency_wire_binary().observe(us),
+        }
+        // Answer in the format the request arrived in (control-plane
+        // responses stay JSON; see `crate::wire`).
+        out_buf.clear();
+        wire::encode_response_frame(&mut out_buf, &resp, wire_fmt)?;
+        match wire_fmt {
+            WireFormat::Json => metrics::bytes_out_json().add(out_buf.len() as u64),
+            WireFormat::Binary => metrics::bytes_out_binary().add(out_buf.len() as u64),
+        }
+        writer.write_all(&out_buf)?;
         writer.flush()?;
     }
     Ok(())

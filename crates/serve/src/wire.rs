@@ -1,0 +1,789 @@
+//! Binary wire codec for the `geosocial-serve` protocol.
+//!
+//! Frames keep the 4-byte big-endian length prefix from
+//! [`crate::protocol`]; this module defines what goes inside the frame.
+//! The first payload byte is the format tag:
+//!
+//! ```text
+//! +---------------+---------------------------------------------------+
+//! | u32 BE length | payload                                           |
+//! +---------------+---------------------------------------------------+
+//!                  payload[0] < 0x80 -> JSON ('{' = 0x7B, '"' = 0x22)
+//!                  payload[0] >= 0x80 -> binary opcode (this module)
+//! ```
+//!
+//! Both formats are first-class on the same port: a connection may switch
+//! per frame, and the server answers each request in the format it arrived
+//! in (control-plane responses — `Stats`, `Composition`, `Drained`,
+//! `Metrics` — always travel as JSON, deliberately: they are rare, big,
+//! and worth keeping human-readable; the data-plane responses `Ok`,
+//! `Verdicts` and `Error` go binary on a binary request).
+//!
+//! # Binary layout
+//!
+//! Scalar fields use three encodings, all byte-oriented (no alignment):
+//!
+//! * **varint** — LEB128, 7 bits per byte, low group first, at most 10
+//!   bytes for a `u64`;
+//! * **zigzag** — signed values map to `(n << 1) ^ (n >> 63)` then varint,
+//!   so small magnitudes of either sign stay short;
+//! * **f64** — the raw IEEE-754 bits, little-endian, 8 bytes. Fixed-point
+//!   lat/lon encodings were measured and rejected: any quantization breaks
+//!   the byte-identical served-vs-batch equivalence proof this repo is
+//!   built around, and the 8-byte cost is recovered by the run delta
+//!   encoding below.
+//!
+//! Requests:
+//!
+//! ```text
+//! 0x81 Hello     lat f64, lon f64
+//! 0x82 Gps       user varint, seq varint, t zigzag, lat f64, lon f64
+//! 0x83 Checkin   user varint, seq varint, t zigzag, poi varint,
+//!                lat f64, lon f64
+//! 0x84 User      user varint
+//! 0x85 Stats
+//! 0x86 Metrics
+//! 0x87 Finish
+//! 0x88 Drain     finalize u8 (0|1)
+//! 0x89 Shutdown
+//! 0x8A GpsRun    user varint, first_seq varint, count varint,
+//!                first fix: t zigzag, lat f64, lon f64,
+//!                then count-1 deltas: dt zigzag,
+//!                                     lat_bits^prev varint,
+//!                                     lon_bits^prev varint
+//! ```
+//!
+//! The run delta encoding exploits the regularity of per-minute GPS
+//! sampling: `dt` is a small constant, and consecutive fixes share the
+//! sign, exponent and high mantissa bits of their coordinates, so the XOR
+//! of their IEEE-754 bit patterns is a *small integer* whose varint is 4–6
+//! bytes instead of 8 — lossless by construction (XOR round-trips exactly,
+//! unlike any fixed-point quantization). A per-minute fix costs ~11–14
+//! bytes on the wire versus ~95 as a single JSON `Gps` frame.
+//!
+//! Responses:
+//!
+//! ```text
+//! 0xC0 Ok
+//! 0xC1 Verdicts  count varint, then per verdict:
+//!                user varint, checkin_index varint, t zigzag, kind u8,
+//!                visit_index+1 varint (0 = none), distance f64,
+//!                dt_s zigzag
+//! 0xC2 Error     message length varint, UTF-8 bytes
+//! ```
+//!
+//! Every decode failure is a structured [`DecodeError`] carrying the
+//! payload byte offset it happened at — a truncated varint, an unknown
+//! opcode, or a run length past [`MAX_RUN_LEN`] names the exact spot, so
+//! chaos-test failures are diagnosable instead of a generic io error.
+
+use std::io;
+
+use crate::protocol::{Request, Response, WireFix};
+use geosocial_stream::{AuditVerdict, VerdictKind};
+
+/// Which payload encoding a frame (or a client) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFormat {
+    /// UTF-8 JSON payloads — the debug/compat mode, and the default.
+    Json,
+    /// The compact binary encoding defined by this module.
+    Binary,
+}
+
+impl WireFormat {
+    /// Parse a `--wire` CLI value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "json" => Ok(WireFormat::Json),
+            "binary" | "bin" => Ok(WireFormat::Binary),
+            other => Err(format!("unknown wire format `{other}` (expected json|binary)")),
+        }
+    }
+
+    /// Display label, used in reports and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            WireFormat::Json => "json",
+            WireFormat::Binary => "binary",
+        }
+    }
+}
+
+/// Classify a frame payload by its format tag. Empty payloads classify as
+/// JSON and fail there with a proper offset-0 error.
+pub fn detect(payload: &[u8]) -> WireFormat {
+    match payload.first() {
+        Some(&b) if b >= 0x80 => WireFormat::Binary,
+        _ => WireFormat::Json,
+    }
+}
+
+/// Longest [`Request::GpsRun`] batch a frame may carry. Caps what a
+/// corrupt or adversarial count field can make the decoder allocate, and
+/// bounds per-frame shard-worker occupancy.
+pub const MAX_RUN_LEN: usize = 4096;
+
+// Request opcodes (>= 0x80 so no JSON payload can collide).
+const OP_HELLO: u8 = 0x81;
+const OP_GPS: u8 = 0x82;
+const OP_CHECKIN: u8 = 0x83;
+const OP_USER: u8 = 0x84;
+const OP_STATS: u8 = 0x85;
+const OP_METRICS: u8 = 0x86;
+const OP_FINISH: u8 = 0x87;
+const OP_DRAIN: u8 = 0x88;
+const OP_SHUTDOWN: u8 = 0x89;
+const OP_GPS_RUN: u8 = 0x8A;
+
+// Response opcodes.
+const OP_OK: u8 = 0xC0;
+const OP_VERDICTS: u8 = 0xC1;
+const OP_ERROR: u8 = 0xC2;
+
+/// A structured decode failure: what went wrong and the payload byte
+/// offset it went wrong at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset inside the frame payload.
+    pub offset: usize,
+    /// What the decoder expected or found.
+    pub detail: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame payload byte {}: {}", self.offset, self.detail)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for io::Error {
+    fn from(e: DecodeError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar encoders
+// ---------------------------------------------------------------------------
+
+/// Append a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a zigzag-mapped signed varint.
+pub fn put_zigzag(out: &mut Vec<u8>, v: i64) {
+    put_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Scalar decoder
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over one frame payload. Every failure carries
+/// the current offset.
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Decoder { bytes, pos: 0 }
+    }
+
+    fn err<T>(&self, detail: impl Into<String>) -> Result<T, DecodeError> {
+        Err(DecodeError { offset: self.pos, detail: detail.into() })
+    }
+
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        match self.bytes.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => self.err(format!("unexpected end of {}-byte payload", self.bytes.len())),
+        }
+    }
+
+    fn varint(&mut self) -> Result<u64, DecodeError> {
+        let start = self.pos;
+        let mut v: u64 = 0;
+        for shift in 0..10 {
+            let byte = match self.bytes.get(self.pos) {
+                Some(&b) => b,
+                None => {
+                    self.pos = start;
+                    return self.err("truncated varint");
+                }
+            };
+            self.pos += 1;
+            let group = (byte & 0x7F) as u64;
+            // The 10th group may only carry the single remaining bit.
+            if shift == 9 && group > 1 {
+                self.pos = start;
+                return self.err("varint overflows u64");
+            }
+            v |= group << (shift * 7);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        self.pos = start;
+        self.err("varint longer than 10 bytes")
+    }
+
+    fn zigzag(&mut self) -> Result<i64, DecodeError> {
+        let v = self.varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        if self.pos + 8 > self.bytes.len() {
+            return self.err("truncated f64 (need 8 bytes)");
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(f64::from_bits(u64::from_le_bytes(b)))
+    }
+
+    fn f64_bits(&mut self) -> Result<u64, DecodeError> {
+        self.f64().map(f64::to_bits)
+    }
+
+    fn u32_field(&mut self, what: &str) -> Result<u32, DecodeError> {
+        let v = self.varint()?;
+        u32::try_from(v)
+            .map_err(|_| DecodeError { offset: self.pos, detail: format!("{what} {v} > u32::MAX") })
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(DecodeError {
+                offset: self.pos,
+                detail: format!("{} trailing bytes after the message", self.bytes.len() - self.pos),
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Append the binary payload of `req` to `out` (no length prefix).
+pub fn encode_request_payload(out: &mut Vec<u8>, req: &Request) {
+    match req {
+        Request::Hello { origin_lat, origin_lon } => {
+            out.push(OP_HELLO);
+            put_f64(out, *origin_lat);
+            put_f64(out, *origin_lon);
+        }
+        Request::Gps { user, seq, t, lat, lon } => {
+            out.push(OP_GPS);
+            put_varint(out, *user as u64);
+            put_varint(out, *seq);
+            put_zigzag(out, *t);
+            put_f64(out, *lat);
+            put_f64(out, *lon);
+        }
+        Request::GpsRun { user, first_seq, fixes } => {
+            out.push(OP_GPS_RUN);
+            put_varint(out, *user as u64);
+            put_varint(out, *first_seq);
+            put_varint(out, fixes.len() as u64);
+            let mut prev: Option<&WireFix> = None;
+            for fix in fixes {
+                match prev {
+                    None => {
+                        put_zigzag(out, fix.t);
+                        put_f64(out, fix.lat);
+                        put_f64(out, fix.lon);
+                    }
+                    Some(p) => {
+                        put_zigzag(out, fix.t - p.t);
+                        put_varint(out, fix.lat.to_bits() ^ p.lat.to_bits());
+                        put_varint(out, fix.lon.to_bits() ^ p.lon.to_bits());
+                    }
+                }
+                prev = Some(fix);
+            }
+        }
+        Request::Checkin { user, seq, t, poi, lat, lon } => {
+            out.push(OP_CHECKIN);
+            put_varint(out, *user as u64);
+            put_varint(out, *seq);
+            put_zigzag(out, *t);
+            put_varint(out, *poi as u64);
+            put_f64(out, *lat);
+            put_f64(out, *lon);
+        }
+        Request::User { user } => {
+            out.push(OP_USER);
+            put_varint(out, *user as u64);
+        }
+        Request::Stats => out.push(OP_STATS),
+        Request::Metrics => out.push(OP_METRICS),
+        Request::Finish => out.push(OP_FINISH),
+        Request::Drain { finalize } => {
+            out.push(OP_DRAIN);
+            out.push(*finalize as u8);
+        }
+        Request::Shutdown => out.push(OP_SHUTDOWN),
+    }
+}
+
+/// Decode a binary request payload (first byte must be an opcode).
+pub fn decode_request_binary(payload: &[u8]) -> Result<Request, DecodeError> {
+    let mut d = Decoder::new(payload);
+    let op = d.byte()?;
+    let req = match op {
+        OP_HELLO => Request::Hello { origin_lat: d.f64()?, origin_lon: d.f64()? },
+        OP_GPS => Request::Gps {
+            user: d.u32_field("user id")?,
+            seq: d.varint()?,
+            t: d.zigzag()?,
+            lat: d.f64()?,
+            lon: d.f64()?,
+        },
+        OP_GPS_RUN => {
+            let user = d.u32_field("user id")?;
+            let first_seq = d.varint()?;
+            let count = d.varint()?;
+            if count > MAX_RUN_LEN as u64 {
+                return d.err(format!("run length {count} exceeds the {MAX_RUN_LEN}-fix cap"));
+            }
+            let mut fixes: Vec<WireFix> = Vec::new();
+            for _ in 0..count {
+                let fix = match fixes.last() {
+                    None => WireFix { t: d.zigzag()?, lat: d.f64()?, lon: d.f64()? },
+                    Some(p) => WireFix {
+                        t: p.t + d.zigzag()?,
+                        lat: f64::from_bits(p.lat.to_bits() ^ d.varint()?),
+                        lon: f64::from_bits(p.lon.to_bits() ^ d.varint()?),
+                    },
+                };
+                fixes.push(fix);
+            }
+            Request::GpsRun { user, first_seq, fixes }
+        }
+        OP_CHECKIN => Request::Checkin {
+            user: d.u32_field("user id")?,
+            seq: d.varint()?,
+            t: d.zigzag()?,
+            poi: d.u32_field("poi id")?,
+            lat: d.f64()?,
+            lon: d.f64()?,
+        },
+        OP_USER => Request::User { user: d.u32_field("user id")? },
+        OP_STATS => Request::Stats,
+        OP_METRICS => Request::Metrics,
+        OP_FINISH => Request::Finish,
+        OP_DRAIN => {
+            let flag = d.byte()?;
+            if flag > 1 {
+                return Err(DecodeError {
+                    offset: d.pos - 1,
+                    detail: format!("drain finalize flag must be 0|1, got {flag}"),
+                });
+            }
+            Request::Drain { finalize: flag == 1 }
+        }
+        OP_SHUTDOWN => Request::Shutdown,
+        other => {
+            return Err(DecodeError {
+                offset: 0,
+                detail: format!("unknown request opcode 0x{other:02X}"),
+            })
+        }
+    };
+    d.finish()?;
+    Ok(req)
+}
+
+/// Decode a request payload of either format, dispatching on the tag.
+pub fn decode_request(payload: &[u8]) -> Result<(Request, WireFormat), DecodeError> {
+    match detect(payload) {
+        WireFormat::Binary => decode_request_binary(payload).map(|r| (r, WireFormat::Binary)),
+        WireFormat::Json => decode_json(payload).map(|r| (r, WireFormat::Json)),
+    }
+}
+
+/// Decode a JSON payload with structured (offset-carrying) errors.
+fn decode_json<T: serde::Deserialize>(payload: &[u8]) -> Result<T, DecodeError> {
+    let text = std::str::from_utf8(payload).map_err(|e| DecodeError {
+        offset: e.valid_up_to(),
+        detail: "payload is not UTF-8".into(),
+    })?;
+    serde_json::from_str(text).map_err(|e| DecodeError {
+        // The vendored serde_json reports "... at byte N" in its message;
+        // keep the whole message and anchor the structured offset at the
+        // payload start (the parser's own offset is inside the text).
+        offset: 0,
+        detail: format!("JSON: {e}"),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+fn verdict_kind_code(kind: VerdictKind) -> u8 {
+    match kind {
+        VerdictKind::Honest => 0,
+        VerdictKind::Superfluous => 1,
+        VerdictKind::Remote => 2,
+        VerdictKind::Driveby => 3,
+        VerdictKind::Unclassified => 4,
+    }
+}
+
+fn verdict_kind_from(code: u8, at: usize) -> Result<VerdictKind, DecodeError> {
+    Ok(match code {
+        0 => VerdictKind::Honest,
+        1 => VerdictKind::Superfluous,
+        2 => VerdictKind::Remote,
+        3 => VerdictKind::Driveby,
+        4 => VerdictKind::Unclassified,
+        other => {
+            return Err(DecodeError { offset: at, detail: format!("unknown verdict kind {other}") })
+        }
+    })
+}
+
+/// Whether `resp` has a binary form. Control-plane responses (`Stats`,
+/// `Composition`, `Drained`, `Metrics`) deliberately do not: they stay
+/// JSON on every connection.
+pub fn response_has_binary_form(resp: &Response) -> bool {
+    matches!(resp, Response::Ok | Response::Verdicts { .. } | Response::Error { .. })
+}
+
+/// Append the binary payload of a data-plane response. Panics on
+/// control-plane responses — gate with [`response_has_binary_form`].
+pub fn encode_response_payload(out: &mut Vec<u8>, resp: &Response) {
+    match resp {
+        Response::Ok => out.push(OP_OK),
+        Response::Verdicts { verdicts } => {
+            out.push(OP_VERDICTS);
+            put_varint(out, verdicts.len() as u64);
+            for v in verdicts {
+                put_varint(out, v.user as u64);
+                put_varint(out, v.checkin_index as u64);
+                put_zigzag(out, v.t);
+                out.push(verdict_kind_code(v.kind));
+                put_varint(out, v.visit_index.map_or(0, |i| i as u64 + 1));
+                put_f64(out, v.distance_m);
+                put_zigzag(out, v.dt_s);
+            }
+        }
+        Response::Error { message } => {
+            out.push(OP_ERROR);
+            put_varint(out, message.len() as u64);
+            out.extend_from_slice(message.as_bytes());
+        }
+        other => unreachable!("control-plane response {other:?} has no binary form"),
+    }
+}
+
+/// Decode a binary response payload.
+pub fn decode_response_binary(payload: &[u8]) -> Result<Response, DecodeError> {
+    let mut d = Decoder::new(payload);
+    let op = d.byte()?;
+    let resp = match op {
+        OP_OK => Response::Ok,
+        OP_VERDICTS => {
+            let count = d.varint()?;
+            // A verdict is at least 14 bytes; anything claiming more than
+            // the payload could hold is corrupt, not big.
+            let ceiling = payload.len() as u64 / 14 + 1;
+            if count > ceiling {
+                return d.err(format!(
+                    "verdict count {count} cannot fit a {}-byte payload",
+                    payload.len()
+                ));
+            }
+            let mut verdicts = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let user = d.u32_field("user id")?;
+                let checkin_index = d.varint()? as usize;
+                let t = d.zigzag()?;
+                let kind_at = d.pos;
+                let kind = verdict_kind_from(d.byte()?, kind_at)?;
+                let visit = d.varint()?;
+                let visit_index = if visit == 0 { None } else { Some(visit as usize - 1) };
+                let distance_m = f64::from_bits(d.f64_bits()?);
+                let dt_s = d.zigzag()?;
+                verdicts.push(AuditVerdict {
+                    user,
+                    checkin_index,
+                    t,
+                    kind,
+                    visit_index,
+                    distance_m,
+                    dt_s,
+                });
+            }
+            Response::Verdicts { verdicts }
+        }
+        OP_ERROR => {
+            let len = d.varint()? as usize;
+            if d.pos + len > payload.len() {
+                return d.err(format!("error message of {len} bytes overruns the payload"));
+            }
+            let bytes = &payload[d.pos..d.pos + len];
+            let message = std::str::from_utf8(bytes)
+                .map_err(|e| DecodeError {
+                    offset: d.pos + e.valid_up_to(),
+                    detail: "error message is not UTF-8".into(),
+                })?
+                .to_string();
+            d.pos += len;
+            Response::Error { message }
+        }
+        other => {
+            return Err(DecodeError {
+                offset: 0,
+                detail: format!("unknown response opcode 0x{other:02X}"),
+            })
+        }
+    };
+    d.finish()?;
+    Ok(resp)
+}
+
+/// Decode a response payload of either format, dispatching on the tag.
+pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
+    match detect(payload) {
+        WireFormat::Binary => decode_response_binary(payload),
+        WireFormat::Json => decode_json(payload),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole frames
+// ---------------------------------------------------------------------------
+
+/// Append one complete request frame (length prefix + payload) in the
+/// given wire format. Appending (instead of writing) lets callers batch
+/// frames into one buffer and one syscall.
+pub fn encode_request_frame(out: &mut Vec<u8>, req: &Request, wire: WireFormat) -> io::Result<()> {
+    match wire {
+        WireFormat::Binary => frame_payload(out, |buf| {
+            encode_request_payload(buf, req);
+            Ok(())
+        }),
+        WireFormat::Json => frame_json(out, req),
+    }
+}
+
+/// Append one complete response frame. Binary connections get binary
+/// data-plane responses; control-plane responses fall back to JSON.
+pub fn encode_response_frame(
+    out: &mut Vec<u8>,
+    resp: &Response,
+    wire: WireFormat,
+) -> io::Result<()> {
+    if wire == WireFormat::Binary && response_has_binary_form(resp) {
+        frame_payload(out, |buf| {
+            encode_response_payload(buf, resp);
+            Ok(())
+        })
+    } else {
+        frame_json(out, resp)
+    }
+}
+
+/// Reserve a length prefix, run `fill` to append the payload, then patch
+/// the prefix.
+fn frame_payload(
+    out: &mut Vec<u8>,
+    fill: impl FnOnce(&mut Vec<u8>) -> io::Result<()>,
+) -> io::Result<()> {
+    let prefix_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    fill(out)?;
+    let payload_len = out.len() - prefix_at - 4;
+    let len = u32::try_from(payload_len)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame too large"))?;
+    if len > crate::protocol::MAX_FRAME_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    out[prefix_at..prefix_at + 4].copy_from_slice(&len.to_be_bytes());
+    Ok(())
+}
+
+fn frame_json<T: serde::Serialize>(out: &mut Vec<u8>, msg: &T) -> io::Result<()> {
+    let json = serde_json::to_string(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e:?}")))?;
+    frame_payload(out, |buf| {
+        buf.extend_from_slice(json.as_bytes());
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: &Request) -> Request {
+        let mut payload = Vec::new();
+        encode_request_payload(&mut payload, req);
+        decode_request_binary(&payload).expect("binary request decodes")
+    }
+
+    #[test]
+    fn varint_edges_roundtrip() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut d = Decoder::new(&buf);
+            assert_eq!(d.varint().expect("decodes"), v);
+            assert!(d.finish().is_ok());
+        }
+    }
+
+    #[test]
+    fn zigzag_edges_roundtrip() {
+        for v in [0i64, 1, -1, 60, -60, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            put_zigzag(&mut buf, v);
+            let mut d = Decoder::new(&buf);
+            assert_eq!(d.zigzag().expect("decodes"), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_reports_offset() {
+        let e = decode_request_binary(&[OP_USER, 0x80]).expect_err("truncated");
+        assert_eq!(e.offset, 1, "offset should point at the varint start: {e}");
+        assert!(e.detail.contains("varint"), "got: {e}");
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let mut bytes = vec![OP_USER];
+        bytes.extend_from_slice(&[0xFF; 10]);
+        bytes.push(0x00);
+        let e = decode_request_binary(&bytes).expect_err("overlong varint");
+        assert!(e.detail.contains("varint"), "got: {e}");
+    }
+
+    #[test]
+    fn run_delta_encoding_roundtrips_exactly() {
+        let fixes: Vec<WireFix> = (0..40)
+            .map(|i| WireFix {
+                t: 1_000 + 60 * i as i64,
+                lat: 34.42 + 0.0001 * i as f64,
+                lon: -119.86 - 0.0002 * i as f64,
+            })
+            .collect();
+        let req = Request::GpsRun { user: 7, first_seq: 42, fixes: fixes.clone() };
+        match roundtrip_req(&req) {
+            Request::GpsRun { user: 7, first_seq: 42, fixes: got } => {
+                assert_eq!(got.len(), fixes.len());
+                for (a, b) in got.iter().zip(&fixes) {
+                    assert_eq!(a.t, b.t);
+                    assert_eq!(a.lat.to_bits(), b.lat.to_bits(), "lat must roundtrip bit-exact");
+                    assert_eq!(a.lon.to_bits(), b.lon.to_bits(), "lon must roundtrip bit-exact");
+                }
+            }
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_encoding_is_compact_for_regular_traces() {
+        let fixes: Vec<WireFix> = (0..60)
+            .map(|i| WireFix {
+                t: 60 * i as i64,
+                lat: 34.42 + 0.00013 * i as f64,
+                lon: -119.86 + 0.00007 * i as f64,
+            })
+            .collect();
+        let mut payload = Vec::new();
+        encode_request_payload(&mut payload, &Request::GpsRun { user: 3, first_seq: 0, fixes });
+        let per_fix = payload.len() as f64 / 60.0;
+        assert!(per_fix < 20.0, "delta encoding should stay under 20 B/fix, got {per_fix:.1}");
+    }
+
+    #[test]
+    fn oversized_run_length_is_rejected_before_allocation() {
+        let mut bytes = vec![OP_GPS_RUN];
+        put_varint(&mut bytes, 1); // user
+        put_varint(&mut bytes, 0); // first_seq
+        put_varint(&mut bytes, u64::MAX); // count
+        let e = decode_request_binary(&bytes).expect_err("oversized run");
+        assert!(e.detail.contains("cap"), "got: {e}");
+    }
+
+    #[test]
+    fn responses_roundtrip_binary() {
+        let verdicts = vec![
+            AuditVerdict {
+                user: 9,
+                checkin_index: 4,
+                t: 777,
+                kind: VerdictKind::Honest,
+                visit_index: Some(2),
+                distance_m: 12.5,
+                dt_s: -30,
+            },
+            AuditVerdict {
+                user: 9,
+                checkin_index: 5,
+                t: 900,
+                kind: VerdictKind::Remote,
+                visit_index: None,
+                distance_m: 0.0,
+                dt_s: 0,
+            },
+        ];
+        let mut payload = Vec::new();
+        encode_response_payload(&mut payload, &Response::Verdicts { verdicts: verdicts.clone() });
+        match decode_response_binary(&payload).expect("decodes") {
+            Response::Verdicts { verdicts: got } => assert_eq!(got, verdicts),
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+
+        let mut payload = Vec::new();
+        encode_response_payload(&mut payload, &Response::Error { message: "gap at 7".into() });
+        match decode_response_binary(&payload).expect("decodes") {
+            Response::Error { message } => assert_eq!(message, "gap at 7"),
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn format_tag_dispatch_accepts_both_formats() {
+        let req = Request::User { user: 11 };
+        let mut json_frame = Vec::new();
+        encode_request_frame(&mut json_frame, &req, WireFormat::Json).expect("json frame");
+        let mut bin_frame = Vec::new();
+        encode_request_frame(&mut bin_frame, &req, WireFormat::Binary).expect("binary frame");
+        let (a, fa) = decode_request(&json_frame[4..]).expect("json decodes");
+        let (b, fb) = decode_request(&bin_frame[4..]).expect("binary decodes");
+        assert_eq!(fa, WireFormat::Json);
+        assert_eq!(fb, WireFormat::Binary);
+        assert!(matches!(a, Request::User { user: 11 }));
+        assert!(matches!(b, Request::User { user: 11 }));
+        assert!(bin_frame.len() < json_frame.len(), "binary must be smaller");
+    }
+}

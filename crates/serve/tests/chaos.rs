@@ -17,10 +17,10 @@
 use geosocial_fault::{FaultPlan, ShardKill};
 use geosocial_serve::loadgen::{run, shutdown_server, LoadgenConfig, RetryPolicy};
 use geosocial_serve::server::{spawn, ServerConfig};
+use geosocial_serve::wire::WireFormat;
 use std::time::Duration;
 
-#[test]
-fn served_composition_survives_chaos_byte_identical() {
+fn chaos_case(wire: WireFormat, run_len: usize) {
     let plan = FaultPlan::aggressive(
         0xC4A0_5EED,
         // Kill shard 1 once it has applied 150 ingests: mid-stream, after
@@ -59,6 +59,8 @@ fn served_composition_survives_chaos_byte_identical() {
         // default operator-friendly backoff would stretch the test into
         // minutes without making it any more convincing.
         retry: RetryPolicy { max_retries: 8, base_ms: 5, max_ms: 250 },
+        wire,
+        run_len,
     };
     let report = run(addr, &load).expect("chaotic replay still completes");
 
@@ -90,4 +92,20 @@ fn served_composition_survives_chaos_byte_identical() {
     shutdown_server(addr).expect("shutdown accepted");
     let final_stats = server.join().expect("server exits cleanly");
     assert_eq!(final_stats.recoveries, 1);
+}
+
+#[test]
+fn served_composition_survives_chaos_byte_identical() {
+    chaos_case(WireFormat::Json, 1);
+}
+
+/// The binary wire under the same fault plan, with GPS fixes batched into
+/// delta-encoded `GpsRun` frames. The one-shot shard kill fires at an
+/// ingest count that lands **inside** a run, so this is the per-event
+/// retry contract's proof: the partially applied run's prefix is in the
+/// replay log, the retried frame redelivers every fix, and the server
+/// dedups exactly the applied prefix — per event, not per frame.
+#[test]
+fn served_composition_survives_chaos_binary_batched() {
+    chaos_case(WireFormat::Binary, 32);
 }

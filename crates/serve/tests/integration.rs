@@ -4,12 +4,13 @@
 //! pipeline's fingerprint — then shut the server down cleanly.
 
 use geosocial_serve::loadgen::{run, shutdown_server, LoadgenConfig};
-use geosocial_serve::protocol::{read_msg, write_msg, Request, Response};
+use geosocial_serve::protocol::{read_frame_into, read_msg, write_msg, Request, Response, WireFix};
 use geosocial_serve::server::{spawn, ServerConfig};
+use geosocial_serve::wire::{self, WireFormat};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
-fn replay_and_verify(shards: usize) {
+fn replay_and_verify(shards: usize, wire: WireFormat, run_len: usize) {
     let server = spawn(ServerConfig { shards, ..ServerConfig::default() }, "127.0.0.1:0")
         .expect("bind ephemeral port");
     let addr = server.addr();
@@ -21,6 +22,8 @@ fn replay_and_verify(shards: usize) {
         connections: 2,
         window: 64,
         verify: true,
+        wire,
+        run_len,
         ..LoadgenConfig::default()
     };
     let report = run(addr, &load).expect("replay succeeds");
@@ -49,12 +52,103 @@ fn replay_and_verify(shards: usize) {
 
 #[test]
 fn served_composition_matches_batch_on_one_shard() {
-    replay_and_verify(1);
+    replay_and_verify(1, WireFormat::Json, 1);
 }
 
 #[test]
 fn served_composition_matches_batch_on_four_shards() {
-    replay_and_verify(4);
+    replay_and_verify(4, WireFormat::Json, 1);
+}
+
+#[test]
+fn served_composition_matches_batch_binary_batched() {
+    replay_and_verify(4, WireFormat::Binary, 32);
+}
+
+#[test]
+fn served_composition_matches_batch_json_batched_runs() {
+    // `GpsRun` is format-independent: the same batched request spelled as
+    // JSON must verify too.
+    replay_and_verify(2, WireFormat::Json, 16);
+}
+
+/// The exactly-once contract on `GpsRun` is **per event**, not per frame:
+/// a retried run that overlaps the applied prefix (the shape a fault mid-
+/// frame leaves behind) must re-apply only the missing suffix, counting
+/// the overlap as duplicates. Spoken over a single connection that
+/// switches wire formats frame by frame, which also pins the per-frame
+/// format dispatch.
+#[test]
+fn gps_run_retry_dedups_per_event() {
+    let server = spawn(ServerConfig { shards: 1, ..ServerConfig::default() }, "127.0.0.1:0")
+        .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut w = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut r = BufReader::new(stream);
+    let mut ask = |req: &Request, fmt: WireFormat| -> Response {
+        let mut frame = Vec::new();
+        wire::encode_request_frame(&mut frame, req, fmt).expect("encode");
+        w.write_all(&frame).expect("write");
+        w.flush().expect("flush");
+        let mut buf = Vec::new();
+        let len = read_frame_into(&mut r, &mut buf).expect("read").expect("response");
+        wire::decode_response(&buf[..len]).expect("decode")
+    };
+    let fix = |i: i64| WireFix { t: 60 * i, lat: 34.42 + 1e-4 * i as f64, lon: -119.86 };
+    let run = |first: i64, n: i64| Request::GpsRun {
+        user: 1,
+        first_seq: first as u64,
+        fixes: (first..first + n).map(fix).collect(),
+    };
+
+    match ask(&Request::Hello { origin_lat: 34.42, origin_lon: -119.86 }, WireFormat::Binary) {
+        Response::Ok => {}
+        other => panic!("expected Ok for Hello, got {other:?}"),
+    }
+    // A 10-fix run applies whole.
+    match ask(&run(0, 10), WireFormat::Binary) {
+        Response::Verdicts { .. } => {}
+        other => panic!("expected Verdicts for run, got {other:?}"),
+    }
+    // A retried run overlapping the applied prefix: 6 duplicate events
+    // acknowledged, 2 fresh events applied — not an 8-event gap error and
+    // not 8 re-applied events.
+    match ask(&run(4, 8), WireFormat::Binary) {
+        Response::Verdicts { .. } => {}
+        other => panic!("expected Verdicts for overlapping retry, got {other:?}"),
+    }
+    // A fully duplicate run is a plain ack (spelled as JSON: the request
+    // means the same in either format, on the same connection).
+    match ask(&run(0, 12), WireFormat::Json) {
+        Response::Verdicts { verdicts } => assert!(verdicts.is_empty()),
+        other => panic!("expected empty ack for duplicate run, got {other:?}"),
+    }
+    // A run past the frontier is a gap, rejected before any fix applies.
+    match ask(&run(20, 4), WireFormat::Binary) {
+        Response::Error { message } => assert!(message.contains("gap"), "got: {message}"),
+        other => panic!("expected gap error, got {other:?}"),
+    }
+    match ask(&run(12, 1), WireFormat::Binary) {
+        Response::Verdicts { .. } => {}
+        other => panic!("expected Verdicts for frontier run, got {other:?}"),
+    }
+
+    // The server's own ledger: 13 applied fixes (0..13), 18 duplicate
+    // events (6 overlap + 12 full-duplicate), zero from the gap frame.
+    match ask(&Request::Stats, WireFormat::Binary) {
+        Response::Stats { stats } => {
+            assert_eq!(stats.gps_events, 13, "only the missing suffixes may apply");
+            assert_eq!(stats.duplicates, 18, "overlap must be counted per event");
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    drop(w);
+    drop(r);
+    shutdown_server(addr).expect("shutdown accepted");
+    server.join().expect("server exits cleanly");
 }
 
 #[test]

@@ -1,9 +1,12 @@
-//! Wire-decoder robustness properties: the length-prefixed JSON framing
-//! must survive truncated, oversized, and corrupted input by *erroring
-//! cleanly* — never panicking, never returning a phantom message, and
-//! never reading past the frame the prefix promised.
+//! Wire-decoder robustness properties: the length-prefixed framing (JSON
+//! and binary payloads alike) must survive truncated, oversized, and
+//! corrupted input by *erroring cleanly* — never panicking, never
+//! returning a phantom message, and never reading past the frame the
+//! prefix promised. The binary codec additionally roundtrips bit-exactly:
+//! the served-vs-batch equivalence proof rides on that.
 
-use geosocial_serve::protocol::{read_msg, write_msg, Request, Response, MAX_FRAME_BYTES};
+use geosocial_serve::protocol::{read_msg, write_msg, Request, Response, WireFix, MAX_FRAME_BYTES};
+use geosocial_serve::wire::{self, WireFormat, MAX_RUN_LEN};
 use proptest::prelude::*;
 use std::io::Cursor;
 
@@ -16,12 +19,31 @@ fn frame(req: &Request) -> Vec<u8> {
 
 /// A random-but-valid request to mutate.
 fn request_for(pick: u8, user: u32, seq: u64, t: i64, x: f64) -> Request {
-    match pick % 4 {
+    match pick % 5 {
         0 => Request::Gps { user, seq, t, lat: x, lon: -x },
         1 => Request::Checkin { user, seq, t, poi: user.wrapping_add(7), lat: x, lon: x / 2.0 },
         2 => Request::Hello { origin_lat: x, origin_lon: -x },
+        3 => Request::GpsRun {
+            user,
+            first_seq: seq,
+            fixes: (0..(user % 7) as i64)
+                .map(|i| WireFix { t: t + 60 * i, lat: x + 1e-4 * i as f64, lon: -x })
+                .collect(),
+        },
         _ => Request::Drain { finalize: seq.is_multiple_of(2) },
     }
+}
+
+/// Requests that are equal field-for-field with floats compared by their
+/// IEEE-754 bits — the equivalence the codec must preserve (a `==` on NaN
+/// or -0.0 would be both too weak and too strong).
+fn bit_identical(a: &Request, b: &Request) -> bool {
+    let canon = |req: &Request| {
+        let mut buf = Vec::new();
+        wire::encode_request_payload(&mut buf, req);
+        buf
+    };
+    canon(a) == canon(b)
 }
 
 proptest! {
@@ -108,4 +130,161 @@ proptest! {
         }
         prop_assert!(cursor.position() as usize <= total);
     }
+
+    // ---------------- binary codec ----------------
+
+    /// Every request survives the binary encode/decode roundtrip with its
+    /// floats bit-identical — including delta-encoded `GpsRun` batches,
+    /// whose XOR-of-bits coordinate encoding must be exactly lossless.
+    #[test]
+    fn binary_requests_roundtrip_bit_exact(
+        pick in 0u8..=255,
+        user in 0u32..=u32::MAX,
+        seq in 0u64..=u64::MAX,
+        t in i64::MIN..=i64::MAX,
+        x_bits in 0u64..=u64::MAX,
+    ) {
+        // Raw bit patterns cover every float class (subnormal, inf, NaN).
+        let req = request_for(pick, user, seq, t, f64::from_bits(x_bits));
+        let mut payload = Vec::new();
+        wire::encode_request_payload(&mut payload, &req);
+        let back = wire::decode_request_binary(&payload);
+        prop_assert!(back.is_ok(), "decode failed: {:?}", back);
+        prop_assert!(bit_identical(&req, &back.unwrap()), "roundtrip changed the request");
+    }
+
+    /// Delta runs over adversarial float patterns (subnormals, infinities,
+    /// NaN payloads, sign flips) still roundtrip bit-exactly.
+    #[test]
+    fn run_deltas_survive_pathological_floats(
+        bits in prop::collection::vec((0u64..=u64::MAX, 0u64..=u64::MAX), 2..20),
+        first_seq in 0u64..1_000_000,
+        t0 in -1_000_000i64..1_000_000,
+    ) {
+        let fixes: Vec<WireFix> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &(la, lo))| WireFix {
+                t: t0 + 60 * i as i64,
+                lat: f64::from_bits(la),
+                lon: f64::from_bits(lo),
+            })
+            .collect();
+        let req = Request::GpsRun { user: 7, first_seq, fixes };
+        let mut payload = Vec::new();
+        wire::encode_request_payload(&mut payload, &req);
+        let back = wire::decode_request_binary(&payload);
+        prop_assert!(back.is_ok(), "decode failed: {:?}", back);
+        prop_assert!(
+            bit_identical(&req, &back.unwrap()),
+            "pathological floats broke the delta coding"
+        );
+    }
+
+    /// Arbitrary bytes behind a binary format tag never panic the decoder,
+    /// and every failure names an offset inside the payload.
+    #[test]
+    fn adversarial_binary_bytes_error_cleanly(
+        op in 0x80u8..=255,
+        tail in prop::collection::vec(0u8..=255, 0..300),
+    ) {
+        let mut payload = vec![op];
+        payload.extend_from_slice(&tail);
+        match wire::decode_request_binary(&payload) {
+            Ok(_) => {} // random bytes that spell a valid request are fine
+            Err(e) => prop_assert!(
+                e.offset <= payload.len(),
+                "error offset {} outside the {}-byte payload",
+                e.offset,
+                payload.len(),
+            ),
+        }
+    }
+
+    /// Any strict prefix of a valid binary payload errors — truncation can
+    /// never produce a phantom (shorter but valid) message.
+    #[test]
+    fn truncated_binary_payloads_never_yield_a_message(
+        pick in 0u8..=255,
+        user in 1u32..1_000,
+        seq in 0u64..1_000,
+        t in -1_000_000i64..1_000_000,
+        x in -180.0f64..180.0,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let req = request_for(pick, user, seq, t, x);
+        let mut payload = Vec::new();
+        wire::encode_request_payload(&mut payload, &req);
+        let cut = ((payload.len() - 1) as f64 * cut_frac) as usize;
+        if let Ok(msg) = wire::decode_request_binary(&payload[..cut]) {
+            prop_assert!(false, "truncated binary payload decoded to {msg:?}");
+        }
+    }
+
+    /// Format-tag confusion: rewriting the first byte across the 0x80
+    /// boundary reroutes the frame to the other codec, which must fail
+    /// cleanly (or decode something valid) — never panic, never misroute.
+    #[test]
+    fn format_tag_confusion_fails_cleanly(
+        pick in 0u8..=255,
+        user in 1u32..1_000,
+        seq in 0u64..1_000,
+        t in -1_000_000i64..1_000_000,
+        x in -180.0f64..180.0,
+        fake_tag in 0u8..0x80,
+    ) {
+        let req = request_for(pick, user, seq, t, x);
+
+        // A binary payload whose opcode is overwritten with a JSON-range
+        // byte dispatches to the JSON decoder.
+        let mut bin = Vec::new();
+        wire::encode_request_payload(&mut bin, &req);
+        bin[0] = fake_tag;
+        prop_assert_eq!(wire::detect(&bin), WireFormat::Json);
+        let _ = wire::decode_request(&bin); // must not panic
+
+        // A JSON payload whose first byte is forced into opcode range
+        // dispatches to the binary decoder.
+        let mut json_frame = Vec::new();
+        wire::encode_request_frame(&mut json_frame, &req, WireFormat::Json).expect("frame");
+        let mut json_payload = json_frame[4..].to_vec();
+        json_payload[0] |= 0x80;
+        prop_assert_eq!(wire::detect(&json_payload), WireFormat::Binary);
+        let _ = wire::decode_request(&json_payload); // must not panic
+    }
+}
+
+/// Run-length edges: empty, single-fix, and cap-sized runs all roundtrip;
+/// one past the cap is rejected before any allocation happens.
+#[test]
+fn run_length_edges() {
+    for n in [0usize, 1, MAX_RUN_LEN] {
+        let fixes: Vec<WireFix> = (0..n as i64)
+            .map(|i| WireFix { t: 60 * i, lat: 34.0 + 1e-5 * i as f64, lon: -119.0 })
+            .collect();
+        let req = Request::GpsRun { user: 3, first_seq: 9, fixes };
+        let mut payload = Vec::new();
+        wire::encode_request_payload(&mut payload, &req);
+        let back = wire::decode_request_binary(&payload)
+            .unwrap_or_else(|e| panic!("run of {n} failed to decode: {e}"));
+        match back {
+            Request::GpsRun { fixes, .. } => assert_eq!(fixes.len(), n),
+            other => panic!("run of {n} decoded to {other:?}"),
+        }
+    }
+
+    // One past the cap: a hand-built header claiming MAX_RUN_LEN + 1 fixes
+    // must be rejected at the count field.
+    let mut payload = Vec::new();
+    wire::encode_request_payload(
+        &mut payload,
+        &Request::GpsRun { user: 3, first_seq: 9, fixes: Vec::new() },
+    );
+    // The empty run's encoding ends with count=0; rewrite it.
+    assert_eq!(payload.pop(), Some(0));
+    let mut count = Vec::new();
+    wire::put_varint(&mut count, MAX_RUN_LEN as u64 + 1);
+    payload.extend_from_slice(&count);
+    let err = wire::decode_request_binary(&payload).expect_err("over-cap run must be rejected");
+    assert!(err.detail.contains("cap"), "got: {err}");
 }

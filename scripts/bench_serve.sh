@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_serve.json: the serving benchmark on BOTH wire formats
+# at a fixed seed and scale, so the committed numbers always compare
+# like-for-like.
+#
+# Replays the same generated scenario (64 users x 7 days, seed 1) through
+# an in-process 4-shard geosocial-serve twice:
+#
+#   json    — length-prefixed JSON frames, one event per frame
+#             (the baseline wire this repo shipped with),
+#   binary  — the compact binary encoding with consecutive GPS fixes
+#             delta-coded into GpsRun batches (--run-len),
+#
+# each run batch-verified (served compositions must equal the batch
+# pipeline exactly), best-of-N on throughput, and writes the two full
+# loadgen reports side by side:
+#
+#   { "bench": ..., "json": {<report>}, "binary": {<report>} }
+#
+# Usage: scripts/bench_serve.sh [RUNS]   (default 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+runs="${1:-3}"
+users=64
+days=7
+seed=1
+shards=4
+connections=4
+window=256
+run_len=64
+
+echo "==> building geosocial-loadgen (release, default features)"
+cargo build --release -p geosocial-serve
+
+out_json="$(mktemp -t bench_serve_json.XXXXXX.json)"
+out_bin="$(mktemp -t bench_serve_bin.XXXXXX.json)"
+attempt="$(mktemp -t bench_serve_try.XXXXXX.json)"
+trap 'rm -f "$out_json" "$out_bin" "$attempt"' EXIT
+
+events_per_sec() {
+    grep -o '"events_per_sec": [0-9.]*' "$1" | head -n1 | grep -o '[0-9.]*$'
+}
+
+# best_replay WIRE EXTRA_ARGS OUT -> best-of-$runs replay, report kept in OUT
+best_replay() {
+    local wire="$1" out="$2" best=0 eps
+    shift 2
+    for i in $(seq 1 "$runs"); do
+        ./target/release/geosocial-loadgen \
+            --spawn --shards "$shards" \
+            --users "$users" --days "$days" --seed "$seed" \
+            --connections "$connections" --window "$window" \
+            --wire "$wire" "$@" \
+            --verify --out "$attempt" >/dev/null
+        eps="$(events_per_sec "$attempt")"
+        echo "   $wire run $i: $eps events/s" >&2
+        if awk -v a="$best" -v b="$eps" 'BEGIN { exit !(b > a) }'; then
+            best="$eps"
+            cp "$attempt" "$out"
+        fi
+    done
+}
+
+echo "==> json wire: $runs verified replays at ${users}x${days}d, $shards shards"
+best_replay json "$out_json"
+echo "==> binary wire (run_len $run_len): $runs verified replays, same scenario"
+best_replay binary "$out_bin" --run-len "$run_len"
+
+json_eps="$(events_per_sec "$out_json")"
+bin_eps="$(events_per_sec "$out_bin")"
+speedup="$(awk -v j="$json_eps" -v b="$bin_eps" \
+    'BEGIN { printf "%.2f", (j > 0) ? b / j : 0 }')"
+
+# JSON tolerates whitespace before the comma, so each report is embedded
+# as-is (indented) and the separator rides on its own line.
+{
+    printf '{\n'
+    printf '  "bench": "loadgen replay, json vs binary wire, best of %s",\n' "$runs"
+    printf '  "binary_over_json_speedup": %s,\n' "$speedup"
+    printf '  "json":\n'
+    sed 's/^/  /' "$out_json"
+    printf '  ,\n'
+    printf '  "binary":\n'
+    sed 's/^/  /' "$out_bin"
+    printf '}\n'
+} > BENCH_serve.json
+
+echo "==> BENCH_serve.json: json $json_eps ev/s, binary $bin_eps ev/s (${speedup}x)"

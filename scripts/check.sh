@@ -55,6 +55,14 @@ trap cleanup EXIT
     --connections 4 --window 256 \
     --verify --out "$smoke_out"
 
+echo "==> serving smoke: same replay on the binary wire with batched runs"
+./target/release/geosocial-loadgen \
+    --spawn --shards 4 \
+    --users 24 --days 4 --seed 1 \
+    --connections 4 --window 256 \
+    --wire binary --run-len 64 \
+    --verify --out "$smoke_out"
+
 echo "==> observability smoke: live Metrics scrape against a replaying server"
 ./target/release/geosocial-serve --addr 127.0.0.1:0 --shards 4 2>"$serve_log" &
 serve_pid=$!

@@ -12,16 +12,19 @@
 #   4. tests         — the full workspace suite, then the fault-injection
 #                      suite (chaos equivalence test) which only exists
 #                      behind --features fault-inject
-#   5. check.sh      — tier-1 gate + serving/observability smokes over a
+#   5. wire smoke    — a batch-verified replay on the binary wire with
+#                      batched GpsRun frames (the JSON wire is smoked by
+#                      check.sh), so both encodings gate every merge
+#   6. check.sh      — tier-1 gate + serving/observability smokes over a
 #                      real TCP server
 #
 # Usage: scripts/ci.sh [step...]   (no args = all steps)
-# Steps: fmt clippy build test chaos check
+# Steps: fmt clippy build test chaos wire check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 steps=("$@")
-[ ${#steps[@]} -eq 0 ] && steps=(fmt clippy build test chaos check)
+[ ${#steps[@]} -eq 0 ] && steps=(fmt clippy build test chaos wire check)
 
 want() {
     local s
@@ -63,6 +66,22 @@ fi
 if want chaos; then
     echo "==> ci: fault-injection suite (chaos equivalence)"
     cargo test -q -p geosocial-serve --features fault-inject
+fi
+
+if want wire; then
+    echo "==> ci: binary wire smoke (batched GpsRun, batch-verified)"
+    # Default-features build: the chaos step above leaves fault-inject
+    # artifacts for other packages, but geosocial-serve's default binary
+    # is what ships.
+    cargo build --release -p geosocial-serve
+    wire_out="$(mktemp -t bench_wire_smoke.XXXXXX.json)"
+    ./target/release/geosocial-loadgen \
+        --spawn --shards 4 \
+        --users 24 --days 4 --seed 1 \
+        --connections 4 --window 256 \
+        --wire binary --run-len 64 \
+        --verify --out "$wire_out"
+    rm -f "$wire_out"
 fi
 
 if want check; then
