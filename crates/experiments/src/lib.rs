@@ -32,6 +32,8 @@
 //! | `visitdef` | [`extensions::visit_sensitivity`] | visit-definition sweep (X8) |
 //! | `dsdv` | [`models::fig8_dsdv`] | Figure 8 under DSDV (X9) |
 //! | `equiv` | [`streaming::streaming_equivalence`] | online-vs-batch audit (X10) |
+//! | `chaos` | [`streaming::chaos_equivalence`] | equivalence under faults (X11) |
+//! | `timetravel` | [`streaming::time_travel`] | as-of audit vs truncated batch (X13) |
 
 pub mod analysis;
 pub mod extensions;

@@ -21,12 +21,17 @@
 
 use crate::figures::ExperimentOutput;
 use crate::Analysis;
-use geosocial_checkin::scenario::ScenarioConfig;
+use geosocial_checkin::scenario::{Scenario, ScenarioConfig};
 use geosocial_fault::{FaultPlan, ShardKill};
 use geosocial_serve::loadgen::{run as replay, shutdown_server, LoadgenConfig, RetryPolicy};
+use geosocial_serve::protocol::{read_msg, write_msg, Request, Response};
 use geosocial_serve::server::{spawn, ServerConfig};
 use geosocial_serve::wire::WireFormat;
-use geosocial_stream::equivalence_report;
+use geosocial_stream::{
+    dataset_events, equivalence_report, window_compositions, AuditConfig, StreamEvent,
+};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 /// Replay scale for the served checks: kept small enough that the audit
@@ -219,8 +224,8 @@ pub fn chaos_equivalence(_a: &Analysis, seed: u64) -> ExperimentOutput {
         if armed { "yes" } else { "no (build with --features fault-inject)" },
     );
     let mut csv = String::from(
-        "wire,run_len,shards,events,retries,resent,duplicates,recoveries,\
-         truncated,aborted,stalled,kills,identical\n",
+        "wire,run_len,shards,events,retries,resent,resumed,duplicates,recoveries,\
+         truncated,aborted,stalled,kills,short_writes,flush_fails,identical\n",
     );
 
     let mut all_ok = true;
@@ -275,22 +280,25 @@ pub fn chaos_equivalence(_a: &Analysis, seed: u64) -> ExperimentOutput {
                 let injected = plan.injected();
                 text.push_str(&format!(
                     "{} wire (run_len {run_len}): {shards} shards, {} events in {} frames \
-                     ({:.0} ev/s): {} retries, {} resent,\n\
+                     ({:.0} ev/s): {} retries, {} resent, {} resumed from the store,\n\
                      server deduplicated {} and recovered {} shard crash(es);\n\
-                     faults fired: {} truncated, {} aborted, {} stalled, {} killed \
-                     -> identical={}\n",
+                     faults fired: {} truncated, {} aborted, {} stalled, {} killed, \
+                     {} flushes torn, {} flushes failed -> identical={}\n",
                     wire.label(),
                     report.total_events,
                     report.frames_sent,
                     report.events_per_sec,
                     report.retries,
                     report.resent_events,
+                    report.resumed_events,
                     report.server.duplicates,
                     report.server.recoveries,
                     injected.truncated,
                     injected.aborted,
                     injected.stalled,
                     injected.kills,
+                    injected.short_writes,
+                    injected.flush_fails,
                     if identical { "yes" } else { "NO" },
                 ));
                 if !identical {
@@ -302,17 +310,20 @@ pub fn chaos_equivalence(_a: &Analysis, seed: u64) -> ExperimentOutput {
                     text.push_str("  WARNING: armed but no fault fired — plan too mild?\n");
                 }
                 csv.push_str(&format!(
-                    "{},{run_len},{shards},{},{},{},{},{},{},{},{},{},{}\n",
+                    "{},{run_len},{shards},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                     wire.label(),
                     report.total_events,
                     report.retries,
                     report.resent_events,
+                    report.resumed_events,
                     report.server.duplicates,
                     report.server.recoveries,
                     injected.truncated,
                     injected.aborted,
                     injected.stalled,
                     injected.kills,
+                    injected.short_writes,
+                    injected.flush_fails,
                     identical as u8,
                 ));
                 identical
@@ -333,4 +344,171 @@ pub fn chaos_equivalence(_a: &Analysis, seed: u64) -> ExperimentOutput {
         }
     ));
     ExperimentOutput { id: "chaos".into(), text, csv: vec![("".into(), csv)] }
+}
+
+/// Replay length of the time-travel audit: long enough that a day-3
+/// watermark truncates a majority of the stream.
+const TIMETRAVEL_DAYS: u32 = 7;
+/// The historical watermark: end of day 3 of the replay.
+const TIMETRAVEL_WATERMARK_DAYS: i64 = 3;
+
+/// One request over a fresh JSON control connection.
+fn control(addr: SocketAddr, req: &Request) -> std::io::Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut w = BufWriter::new(stream.try_clone()?);
+    write_msg(&mut w, req)?;
+    w.flush()?;
+    let mut r = BufReader::new(stream);
+    read_msg::<Response, _>(&mut r)?
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "no response"))
+}
+
+/// The `timetravel` experiment (X13): online historical reads against the
+/// event store, checked against the batch pipeline truncated at the same
+/// watermark.
+///
+/// A 7-day scenario is replayed through a spawned server; afterwards —
+/// with the full stream already audited live — the cohort's composition
+/// *as of the end of day 3* is read back two ways:
+///
+/// 1. per-user `AsOf { user, t }` queries (a fresh audit of the user's
+///    stored events truncated at `t`), and
+/// 2. one cohort-wide `Window { cohort, -∞, t }` broadcast;
+///
+/// both must equal [`geosocial_stream::window_compositions`] on the same
+/// generated events truncated at the same watermark — the serving layer's
+/// log answers historical questions exactly as a batch run frozen at that
+/// moment would have, without disturbing the live state.
+pub fn time_travel(_a: &Analysis, seed: u64) -> ExperimentOutput {
+    let users = SERVE_USERS;
+    let mut text = format!(
+        "Time-travel audit: cohort composition as of day {TIMETRAVEL_WATERMARK_DAYS} \
+         of a {TIMETRAVEL_DAYS}-day served replay,\n\
+         answered online from the event store (per-user AsOf + one cohort\n\
+         Window broadcast) and checked against the batch pipeline truncated\n\
+         at the same watermark. Every row must report identical=yes.\n\n",
+    );
+    let mut csv = String::from("user,checkins,honest,extraneous,visits,missing,identical\n");
+
+    let scenario = Scenario::generate(&ScenarioConfig::small(users, TIMETRAVEL_DAYS), seed);
+    let ds = &scenario.primary;
+    let events = dataset_events(ds);
+    // `ServerConfig::default()` copies its thresholds out of
+    // `AuditConfig::paper`, so this is exactly what the server applies.
+    let audit_cfg = AuditConfig::paper(ds.pois.projection().origin());
+    let t_min = events.iter().map(StreamEvent::t).min().unwrap_or(0);
+    let watermark = t_min + TIMETRAVEL_WATERMARK_DAYS * 86_400;
+    let truncated = events.iter().filter(|e| e.t() <= watermark).count();
+    let expected = window_compositions(&events, &audit_cfg, None, i64::MIN, watermark);
+
+    let outcome = (|| -> std::io::Result<_> {
+        let server = spawn(ServerConfig::default(), "127.0.0.1:0")?;
+        let addr = server.addr();
+        let load = LoadgenConfig {
+            users,
+            days: TIMETRAVEL_DAYS,
+            seed,
+            connections: 4,
+            window: 128,
+            verify: true,
+            ..LoadgenConfig::default()
+        };
+        let report = replay(addr, &load)?;
+
+        // 1. Per-user as-of reads.
+        let mut asof = Vec::with_capacity(expected.len());
+        for want in &expected {
+            match control(addr, &Request::AsOf { user: want.user, t: watermark })? {
+                Response::AsOf { composition, .. } => asof.push(composition),
+                Response::Error { message } => {
+                    return Err(std::io::Error::other(format!(
+                        "AsOf user {}: {message}",
+                        want.user
+                    )))
+                }
+                other => {
+                    return Err(std::io::Error::other(format!(
+                        "AsOf user {}: unexpected reply {other:?}",
+                        want.user
+                    )))
+                }
+            }
+        }
+
+        // 2. One cohort-wide window broadcast.
+        let cohort: Vec<u32> = expected.iter().map(|c| c.user).collect();
+        let window = match control(addr, &Request::Window { cohort, t0: i64::MIN, t1: watermark })?
+        {
+            Response::Compositions { compositions } => compositions,
+            Response::Error { message } => {
+                return Err(std::io::Error::other(format!("Window: {message}")))
+            }
+            other => {
+                return Err(std::io::Error::other(format!("Window: unexpected reply {other:?}")))
+            }
+        };
+
+        shutdown_server(addr)?;
+        server.join()?;
+        Ok((report, asof, window))
+    })();
+
+    let (report, asof, window) = match outcome {
+        Ok(v) => v,
+        Err(e) => {
+            text.push_str(&format!("time-travel replay FAILED: {e}\n"));
+            return ExperimentOutput { id: "timetravel".into(), text, csv: vec![("".into(), csv)] };
+        }
+    };
+
+    let live_ok = report.verified == Some(true);
+    let window_ok = window == expected;
+    let mut asof_ok = true;
+    text.push_str(&format!(
+        "replayed {} events ({} users, {TIMETRAVEL_DAYS} days); live replay identical={}\n\
+         watermark t={watermark} (end of day {TIMETRAVEL_WATERMARK_DAYS}) keeps {truncated} \
+         of {} events\n\n",
+        report.total_events,
+        users,
+        if live_ok { "yes" } else { "NO" },
+        events.len(),
+    ));
+    for (got, want) in asof.iter().zip(&expected) {
+        let ok = got == want;
+        asof_ok &= ok;
+        text.push_str(&format!(
+            "user {:>4} as-of day {TIMETRAVEL_WATERMARK_DAYS}: {} checkins, {} honest, \
+             {} extraneous, {} visits, {} missing -> identical={}\n",
+            want.user,
+            got.total_checkins,
+            got.honest,
+            got.extraneous(),
+            got.visits_total,
+            got.missing_visits,
+            if ok { "yes" } else { "NO" },
+        ));
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            want.user,
+            got.total_checkins,
+            got.honest,
+            got.extraneous(),
+            got.visits_total,
+            got.missing_visits,
+            ok as u8,
+        ));
+    }
+    let all_ok = live_ok && asof_ok && window_ok;
+    text.push_str(&format!(
+        "\ncohort Window broadcast over [-inf, watermark]: identical={}\n\
+         \noverall: {}\n",
+        if window_ok { "yes" } else { "NO" },
+        if all_ok {
+            "online historical reads equal the batch pipeline truncated at the watermark"
+        } else {
+            "TIME-TRAVEL DIVERGENCE DETECTED"
+        }
+    ));
+    ExperimentOutput { id: "timetravel".into(), text, csv: vec![("".into(), csv)] }
 }

@@ -25,6 +25,12 @@
 //!   worker before applying its `n`-th ingest: fire exactly once (a
 //!   one-shot consumed across all clones of the plan), panicking the
 //!   worker so the server's snapshot/replay recovery path runs.
+//! * **filesystem faults** ([`FaultPlan::fs_fault`]) — consulted by the
+//!   event store's flush path before its `op`-th flush on shard `shard`:
+//!   write only part of the buffered bytes (a short write the store must
+//!   detect and repair by rewinding to the last durable record boundary),
+//!   or fail the flush outright once (the bytes stay buffered and the
+//!   next flush re-rolls).
 //!
 //! Without the `inject` feature both decision functions are constant
 //! no-fault answers, so release builds compile every injection site out —
@@ -77,6 +83,20 @@ pub enum FrameFault {
     },
 }
 
+/// The verdict for one filesystem flush operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsFault {
+    /// Flush normally.
+    None,
+    /// Write only part of the buffered bytes before "crashing" the write:
+    /// the file ends in a torn record the store must truncate away and
+    /// rewrite from its in-memory buffer.
+    ShortWrite,
+    /// Fail the flush with an I/O error, leaving the bytes buffered; the
+    /// next flush attempt re-rolls.
+    FlushFail,
+}
+
 /// A planned one-shot shard-worker kill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardKill {
@@ -95,6 +115,8 @@ struct Fired {
     aborted: AtomicU64,
     stalled: AtomicU64,
     kills: AtomicU64,
+    short_writes: AtomicU64,
+    flush_fails: AtomicU64,
     /// Only touched by the armed `should_kill`; present unconditionally so
     /// the struct layout (and `Clone` sharing) is feature-independent.
     #[cfg_attr(not(feature = "inject"), allow(dead_code))]
@@ -112,12 +134,22 @@ pub struct FaultCounts {
     pub stalled: u64,
     /// Shard workers killed.
     pub kills: u64,
+    /// Flushes that wrote only part of their bytes (torn tails repaired
+    /// by the store).
+    pub short_writes: u64,
+    /// Flushes failed outright (bytes retained and retried).
+    pub flush_fails: u64,
 }
 
 impl FaultCounts {
     /// Total injected faults of every kind.
     pub fn total(&self) -> u64 {
-        self.truncated + self.aborted + self.stalled + self.kills
+        self.truncated
+            + self.aborted
+            + self.stalled
+            + self.kills
+            + self.short_writes
+            + self.flush_fails
     }
 }
 
@@ -137,6 +169,10 @@ pub struct FaultPlan {
     pub stall_per_mille: u16,
     /// Stall duration, milliseconds.
     pub stall_ms: u64,
+    /// Per-mille probability a store flush writes only part of its bytes.
+    pub short_write_per_mille: u16,
+    /// Per-mille probability a store flush fails outright.
+    pub flush_fail_per_mille: u16,
     /// Optional one-shot shard kill.
     pub kill: Option<ShardKill>,
     fired: Arc<Fired>,
@@ -153,12 +189,15 @@ impl FaultPlan {
         self.truncate_per_mille == 0
             && self.abort_per_mille == 0
             && self.stall_per_mille == 0
+            && self.short_write_per_mille == 0
+            && self.flush_fail_per_mille == 0
             && self.kill.is_none()
     }
 
     /// An aggressive preset for chaos tests: ~2% of frames truncated, ~1%
-    /// of connections aborted, ~0.5% of frames stalled for `stall_ms`, and
-    /// one shard kill.
+    /// of connections aborted, ~0.5% of frames stalled for `stall_ms`, ~6%
+    /// of store flushes torn short, ~4% failed outright, and one shard
+    /// kill.
     pub fn aggressive(seed: u64, kill: ShardKill, stall_ms: u64) -> Self {
         Self {
             seed,
@@ -166,6 +205,8 @@ impl FaultPlan {
             abort_per_mille: 10,
             stall_per_mille: 5,
             stall_ms,
+            short_write_per_mille: 60,
+            flush_fail_per_mille: 40,
             kill: Some(kill),
             fired: Arc::default(),
         }
@@ -178,6 +219,8 @@ impl FaultPlan {
     /// * `truncate=N` — per-mille frame-truncation rate;
     /// * `abort=N` — per-mille connection-abort rate (acks destroyed);
     /// * `stall=N:MS` — per-mille stall rate and stall milliseconds;
+    /// * `short=N` — per-mille store-flush short-write rate;
+    /// * `flushfail=N` — per-mille store-flush failure rate;
     /// * `kill=SHARD@INGEST` — one-shot worker kill before that shard's
     ///   INGEST-th applied event.
     pub fn parse(spec: &str) -> Result<Self, String> {
@@ -195,6 +238,12 @@ impl FaultPlan {
                 }
                 "abort" => {
                     plan.abort_per_mille = parse_per_mille(key, value)?;
+                }
+                "short" => {
+                    plan.short_write_per_mille = parse_per_mille(key, value)?;
+                }
+                "flushfail" => {
+                    plan.flush_fail_per_mille = parse_per_mille(key, value)?;
                 }
                 "stall" => {
                     let (rate, ms) = value
@@ -278,6 +327,33 @@ impl FaultPlan {
         false
     }
 
+    /// Decide the fate of flush operation `op` of the store serving shard
+    /// `shard`. Deterministic; counts what it returns. Retried flushes use
+    /// a fresh `op` index, so a failed flush re-rolls rather than failing
+    /// forever.
+    #[cfg(feature = "inject")]
+    pub fn fs_fault(&self, shard: u64, op: u64) -> FsFault {
+        let roll = mix_all(&[self.seed, 0x6673_5F66_6175_6C74, shard, op]) % 1000;
+        let short_below = self.short_write_per_mille as u64;
+        let fail_below = short_below + self.flush_fail_per_mille as u64;
+        if roll < short_below {
+            self.fired.short_writes.fetch_add(1, Ordering::Relaxed);
+            FsFault::ShortWrite
+        } else if roll < fail_below {
+            self.fired.flush_fails.fetch_add(1, Ordering::Relaxed);
+            FsFault::FlushFail
+        } else {
+            FsFault::None
+        }
+    }
+
+    /// Fault injection compiled out: every flush completes normally.
+    #[cfg(not(feature = "inject"))]
+    #[inline(always)]
+    pub fn fs_fault(&self, _shard: u64, _op: u64) -> FsFault {
+        FsFault::None
+    }
+
     /// How many faults of each kind actually fired so far.
     pub fn injected(&self) -> FaultCounts {
         FaultCounts {
@@ -285,6 +361,8 @@ impl FaultPlan {
             aborted: self.fired.aborted.load(Ordering::Relaxed),
             stalled: self.fired.stalled.load(Ordering::Relaxed),
             kills: self.fired.kills.load(Ordering::Relaxed),
+            short_writes: self.fired.short_writes.load(Ordering::Relaxed),
+            flush_fails: self.fired.flush_fails.load(Ordering::Relaxed),
         }
     }
 
@@ -319,13 +397,17 @@ mod tests {
 
     #[test]
     fn parse_roundtrips_the_readme_example() {
-        let plan =
-            FaultPlan::parse("seed=42,truncate=20,abort=10,stall=5:300,kill=1@500").expect("parse");
+        let plan = FaultPlan::parse(
+            "seed=42,truncate=20,abort=10,stall=5:300,short=60,flushfail=40,kill=1@500",
+        )
+        .expect("parse");
         assert_eq!(plan.seed, 42);
         assert_eq!(plan.truncate_per_mille, 20);
         assert_eq!(plan.abort_per_mille, 10);
         assert_eq!(plan.stall_per_mille, 5);
         assert_eq!(plan.stall_ms, 300);
+        assert_eq!(plan.short_write_per_mille, 60);
+        assert_eq!(plan.flush_fail_per_mille, 40);
         assert_eq!(plan.kill, Some(ShardKill { shard: 1, at_ingest: 500 }));
         assert!(!plan.is_inert());
         assert!(FaultPlan::parse("").expect("empty spec").is_inert());
@@ -376,6 +458,26 @@ mod tests {
             let faulted =
                 (0..4_000).filter(|&i| plan.frame_fault(1, i, 0) != FrameFault::None).count();
             assert!(refaulted < faulted, "attempt number must re-roll the decision");
+        }
+
+        #[test]
+        fn fs_faults_are_deterministic_counted_and_rerolled() {
+            let plan = FaultPlan::aggressive(13, ShardKill { shard: 0, at_ingest: 0 }, 50);
+            let first: Vec<FsFault> = (0..2_000).map(|op| plan.fs_fault(1, op)).collect();
+            let replay = FaultPlan::aggressive(13, ShardKill { shard: 0, at_ingest: 0 }, 50);
+            let second: Vec<FsFault> = (0..2_000).map(|op| replay.fs_fault(1, op)).collect();
+            assert_eq!(first, second, "decisions are pure in (seed, shard, op)");
+            let counts = plan.injected();
+            assert!(counts.short_writes > 0, "aggressive plan never tore a flush in 2000 ops");
+            assert!(counts.flush_fails > 0, "aggressive plan never failed a flush in 2000 ops");
+            // A failed flush retried under the next op index must not fail
+            // forever: some op after every failure flushes clean.
+            let fails: Vec<u64> =
+                (0..2_000).filter(|&op| first[op as usize] == FsFault::FlushFail).collect();
+            assert!(
+                fails.iter().any(|&op| first.get(op as usize + 1) == Some(&FsFault::None)),
+                "every flush failure was followed by another fault"
+            );
         }
 
         #[test]

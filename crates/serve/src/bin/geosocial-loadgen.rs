@@ -247,10 +247,12 @@ fn main() {
         report.fault_truncated + report.fault_aborted + report.fault_stalled + report.fault_kills;
     if report.retries > 0 || faults > 0 {
         println!(
-            "robustness: {} retries, {} resent events; faults truncated={} aborted={} stalled={} \
+            "robustness: {} retries, {} resent events, {} resumed from store; \
+             faults truncated={} aborted={} stalled={} \
              kills={}; server duplicates={} recoveries={}",
             report.retries,
             report.resent_events,
+            report.resumed_events,
             report.fault_truncated,
             report.fault_aborted,
             report.fault_stalled,

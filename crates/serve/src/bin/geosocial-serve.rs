@@ -30,8 +30,13 @@ usage: geosocial-serve [options]
   --write-timeout S  per-connection write timeout in seconds (default 30; 0 = off)
   --max-conns N      concurrently served connections before the acceptor
                      applies backpressure (default 256)
-  --snapshot-every N mutations between shard crash-recovery checkpoints
+  --snapshot-every N applied events between durable store snapshots
                      (default 1024)
+  --store-dir PATH   event-store root; each shard logs to PATH/shard-N/ and
+                     recovery replays it on restart (default: a per-process
+                     temp dir removed at shutdown)
+  --segment-bytes N  roll store segments after N bytes (default 4194304)
+  --index-every N    sparse-index every Nth record per segment (default 8)
   --fault SPEC       fault plan, e.g. seed=42,truncate=20,stall=5:300,kill=1@500
                      (inert unless built with --features fault-inject)
   --help             print this message";
@@ -91,6 +96,18 @@ fn parse_args() -> Result<(String, ServerConfig), String> {
                 config.snapshot_every = value("--snapshot-every")?
                     .parse()
                     .map_err(|e| format!("--snapshot-every: {e}"))?;
+            }
+            "--store-dir" => {
+                config.store_dir = Some(value("--store-dir")?.into());
+            }
+            "--segment-bytes" => {
+                config.segment_bytes = value("--segment-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--segment-bytes: {e}"))?;
+            }
+            "--index-every" => {
+                config.index_every =
+                    value("--index-every")?.parse().map_err(|e| format!("--index-every: {e}"))?;
             }
             "--fault" => {
                 config.fault = FaultPlan::parse(&value("--fault")?)?;

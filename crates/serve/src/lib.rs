@@ -3,4 +3,5 @@
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+mod snapshot;
 pub mod wire;

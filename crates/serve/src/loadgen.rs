@@ -17,8 +17,13 @@
 //! seeded equal-jitter exponential delay ([`geosocial_fault::backoff_ms`]),
 //! reconnects, re-sends `Hello`, and resumes from the last *acknowledged*
 //! event — responses are strictly 1:1 in order, so the ack count is exact.
-//! In-flight events beyond the ack are re-sent; the server deduplicates
-//! them by sequence number and the verdict stream is unperturbed.
+//! When the failure also destroyed acknowledgments (an aborted
+//! connection), the lane first asks the server how far each user's ingest
+//! actually got — the `AsOf` reply carries the event store's applied count
+//! — and fast-forwards its ack frontier past frames the server already
+//! holds, so store-backed resume spares those events a redelivery. Any
+//! events still re-sent are deduplicated by sequence number and the
+//! verdict stream is unperturbed.
 //!
 //! With the `fault-inject` feature a [`FaultPlan`] decides, per frame and
 //! per delivery attempt, whether to truncate the frame and kill the
@@ -162,6 +167,9 @@ pub struct BenchReport {
     pub retries: u32,
     /// Events re-sent after a reconnect (deduplicated server-side).
     pub resent_events: usize,
+    /// Events a reconnect skipped re-sending because the server's event
+    /// store already held them (`AsOf` fast-forward past destroyed acks).
+    pub resumed_events: usize,
     /// Frames the fault plan truncated (connections half-closed mid-frame).
     pub fault_truncated: u64,
     /// Connections the fault plan aborted (acknowledgments destroyed).
@@ -269,6 +277,46 @@ fn events_in(req: &Request) -> usize {
         Request::Gps { .. } | Request::Checkin { .. } => 1,
         _ => 0,
     }
+}
+
+/// `(user, one past the frame's last sequence number)` of an ingest frame.
+fn frame_span(req: &Request) -> Option<(UserId, u64)> {
+    match req {
+        Request::Gps { user, seq, .. } | Request::Checkin { user, seq, .. } => {
+            Some((*user, seq + 1))
+        }
+        Request::GpsRun { user, first_seq, fixes } => Some((*user, first_seq + fixes.len() as u64)),
+        _ => None,
+    }
+}
+
+/// After a dead connection, ask the server how far each user's ingest
+/// actually got — the `AsOf` reply carries the event store's applied count
+/// — and advance the ack frontier over sent frames whose events the server
+/// already holds. Acknowledgments a fault destroyed don't have to be
+/// re-earned by redelivery. Best-effort: any query failure just leaves the
+/// frontier where plain resume-from-acked put it.
+fn fast_forward(addr: SocketAddr, lane: &[Request], acked: usize, sent_high: usize) -> usize {
+    let mut acked = acked;
+    let mut cached: Option<(UserId, u64)> = None;
+    while acked < sent_high {
+        let Some((user, end_seq)) = frame_span(&lane[acked]) else { break };
+        let applied = match cached {
+            Some((u, applied)) if u == user => applied,
+            _ => match control_request(addr, &Request::AsOf { user, t: i64::MAX }) {
+                Ok(Response::AsOf { applied, .. }) => {
+                    cached = Some((user, applied));
+                    applied
+                }
+                _ => break,
+            },
+        };
+        if applied < end_seq {
+            break;
+        }
+        acked += 1;
+    }
+    acked
 }
 
 /// Why a delivery attempt ended short of the full lane.
@@ -560,6 +608,8 @@ struct LaneReport {
     retries: u32,
     /// Events (not frames) redelivered after reconnects.
     resent: usize,
+    /// Events a reconnect skipped via the store-backed `AsOf` fast-forward.
+    resumed: usize,
     encode_ns: u64,
     bytes_sent: u64,
     bytes_recv: u64,
@@ -582,6 +632,7 @@ fn replay_lane(
         latencies: Vec::new(),
         retries: 0,
         resent: 0,
+        resumed: 0,
         encode_ns: 0,
         bytes_sent: 0,
         bytes_recv: 0,
@@ -635,12 +686,22 @@ fn replay_lane(
                 return Err(io::Error::other(format!("server: {message}")));
             }
             Some(AttemptFailure::Conn(e)) => {
+                // Events the server already applied but whose acks died
+                // with the connection can be skipped, not redelivered.
+                let ff = fast_forward(addr, &lane, acked, sent_high);
+                if ff > acked {
+                    report.resumed += events_before[ff] - events_before[acked];
+                    acked = ff;
+                    if acked >= lane.len() {
+                        return Ok(report);
+                    }
+                }
                 // `max_retries` bounds *consecutive* no-progress failures:
                 // an attempt that advanced the ack frontier resets the
                 // budget (and the backoff), so a long lane under a high
                 // fault rate still completes as long as each connection
                 // makes progress.
-                let progressed = out.acked > already_acked;
+                let progressed = acked > already_acked;
                 if !progressed && stalled_for >= retry.max_retries {
                     return Err(io::Error::new(
                         e.kind(),
@@ -761,6 +822,7 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
     let mut latencies: Vec<u64> = Vec::with_capacity(frames_sent);
     let mut retries = 0u32;
     let mut resent_events = 0usize;
+    let mut resumed_events = 0usize;
     let mut encode_ns = 0u64;
     let mut bytes_sent = 0u64;
     let mut bytes_recv = 0u64;
@@ -769,11 +831,13 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
         latencies.extend(lane_report.latencies);
         retries += lane_report.retries;
         resent_events += lane_report.resent;
+        resumed_events += lane_report.resumed;
         encode_ns += lane_report.encode_ns;
         bytes_sent += lane_report.bytes_sent;
         bytes_recv += lane_report.bytes_recv;
     }
     counter("loadgen.resent").add(resent_events as u64);
+    counter("loadgen.resumed").add(resumed_events as u64);
     let seconds = started.elapsed().as_secs_f64();
 
     // Finalize, then snapshot.
@@ -824,6 +888,7 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
         p99_us: percentile(&latencies, 0.99),
         retries,
         resent_events,
+        resumed_events,
         fault_truncated: injected.truncated,
         fault_aborted: injected.aborted,
         fault_stalled: injected.stalled,

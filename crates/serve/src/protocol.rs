@@ -95,6 +95,32 @@ pub enum Request {
         /// The user to query.
         user: u32,
     },
+    /// Time-travel query: the user's composition **as of** event time `t`,
+    /// answered by replaying the user's stored events with `t_event <= t`
+    /// through a fresh auditor — while live ingest keeps running. The
+    /// answer equals the batch pipeline truncated at the same watermark
+    /// (the store's as-of equivalence). Also carries the user's applied
+    /// event count, which reconnecting clients use to fast-forward past
+    /// frames the server already holds durably.
+    AsOf {
+        /// The user to reconstruct.
+        user: u32,
+        /// Inclusive event-time watermark, seconds (`i64::MAX` = now).
+        t: i64,
+    },
+    /// Historical cohort query: per-user compositions over the event-time
+    /// window `[t0, t1]`, answered from the event store's log (each shard
+    /// replays its cohort members' stored events in the window through
+    /// fresh auditors). Equivalent to running the batch pipeline on the
+    /// window in isolation.
+    Window {
+        /// Users to audit (unknown users contribute nothing).
+        cohort: Vec<u32>,
+        /// Window start, inclusive, seconds.
+        t0: i64,
+        /// Window end, inclusive, seconds.
+        t1: i64,
+    },
     /// Query server-wide counters and the aggregate composition.
     Stats,
     /// Scrape the observability registry: answered with the plain-text
@@ -147,6 +173,20 @@ pub enum Response {
     Composition {
         /// The user's current composition snapshot.
         composition: StreamComposition,
+    },
+    /// Answer to [`Request::AsOf`].
+    AsOf {
+        /// The user's composition reconstructed at the requested watermark.
+        composition: StreamComposition,
+        /// Events the store holds for the user (their next expected ingest
+        /// sequence number) — the resume point for reconnecting clients.
+        applied: u64,
+    },
+    /// Answer to [`Request::Window`]: per-user compositions over the
+    /// window, sorted by user id.
+    Compositions {
+        /// One composition per cohort member with events in the window.
+        compositions: Vec<StreamComposition>,
     },
     /// Answer to [`Request::Stats`].
     Stats {
@@ -259,6 +299,18 @@ pub struct DrainReport {
     /// Whether the stream was finalized (`Drain { finalize: true }` or an
     /// earlier `Finish`); ingestion is refused afterwards.
     pub finalized: bool,
+    /// Event-store records appended across all shards (sum of per-shard
+    /// log lengths). `#[serde(default)]`: reports from pre-store servers
+    /// parse as 0.
+    #[serde(default)]
+    pub store_records: u64,
+    /// Event-store log segments across all shards.
+    #[serde(default)]
+    pub store_segments: usize,
+    /// Event-store bytes on disk across all shards (segments, snapshots
+    /// excluded).
+    #[serde(default)]
+    pub store_bytes: u64,
     /// Aggregate composition after the drain.
     pub composition: StreamComposition,
 }
@@ -275,6 +327,9 @@ impl DrainReport {
         self.forced_by_drain += o.forced_by_drain;
         self.verdicts_flushed += o.verdicts_flushed;
         self.finalized |= o.finalized;
+        self.store_records += o.store_records;
+        self.store_segments += o.store_segments;
+        self.store_bytes += o.store_bytes;
         self.composition.merge(&o.composition);
     }
 }
@@ -394,6 +449,31 @@ mod tests {
             }
             other => panic!("bad roundtrip: {other:?}"),
         }
+        match roundtrip(Request::AsOf { user: 3, t: -55 }) {
+            Request::AsOf { user: 3, t: -55 } => {}
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+        match roundtrip(Request::Window { cohort: vec![1, 9, 4], t0: 10, t1: 99 }) {
+            Request::Window { cohort, t0: 10, t1: 99 } => assert_eq!(cohort, vec![1, 9, 4]),
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_report_without_store_fields_still_parses() {
+        // A report serialized by a pre-store server omits the store
+        // counters; `#[serde(default)]` must fill them with zeros.
+        let json = r#"{"shards":2,"users":5,"pending_checkins":0,"held_events":0,
+            "open_visits":0,"open_window_fixes":0,"forced_by_drain":0,
+            "verdicts_flushed":0,"finalized":true,"composition":{
+            "user":0,"total_checkins":0,"honest":0,"superfluous":0,"remote":0,
+            "driveby":0,"unclassified":0,"visits_total":0,"missing_visits":0,
+            "pending_checkins":0,"late_dropped":0,"forced":0}}"#;
+        let report: DrainReport = serde_json::from_str(json).expect("old report parses");
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.store_records, 0);
+        assert_eq!(report.store_segments, 0);
+        assert_eq!(report.store_bytes, 0);
     }
 
     #[test]

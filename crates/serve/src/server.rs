@@ -29,13 +29,25 @@
 //!   number; a shard applies `seq == next`, acknowledges `seq < next`
 //!   without re-applying, and rejects gaps. Clients may therefore retry
 //!   over fresh connections ad libitum without perturbing any verdict.
-//! * **Crash recovery** — each shard worker checkpoints its state every
-//!   [`ServerConfig::snapshot_every`] mutations and keeps the replay log
-//!   since the checkpoint. A panic while applying a command (injected by
-//!   a `geosocial-fault` plan or genuine) is caught by the worker's
-//!   supervisor loop, the state is rebuilt from snapshot + replay — the
-//!   auditors are deterministic, so the rebuilt shard reconverges to
-//!   identical verdicts — and the offending command is retried once.
+//! * **Durable event store** — every applied mutation is appended to a
+//!   per-shard log-structured store (`geosocial-store`): CRC-framed
+//!   records in append-only segments, with the shard state checkpointed
+//!   into a compacted snapshot every [`ServerConfig::snapshot_every`]
+//!   mutations. Segments are never deleted — the log *is* the history —
+//!   which is what powers the time-travel reads below.
+//! * **Crash recovery** — a panic while applying a command (injected by a
+//!   `geosocial-fault` plan or genuine) is caught by the worker's
+//!   supervisor loop, the state is rebuilt from the store's last snapshot
+//!   plus its replay delta — the auditors are deterministic, so the
+//!   rebuilt shard reconverges to identical verdicts — and the offending
+//!   command is retried once. With a persistent
+//!   [`ServerConfig::store_dir`], the same decode-and-replay path
+//!   restores state across full process restarts.
+//! * **Time-travel audits** — `AsOf { user, t }` re-audits a user's
+//!   stored events with `t_event <= t` through a fresh auditor (equal to
+//!   a batch audit truncated at that watermark) and `Window { cohort,
+//!   t0, t1 }` answers cohort compositions over a time range — both
+//!   online, while ingest and replay continue.
 //! * **Graceful drain** — the `Drain` request reports residual state
 //!   (pending checkins, reorder-held events, open visits/windows) and,
 //!   when asked to finalize, flushes it all before the operator sends
@@ -53,13 +65,15 @@ use geosocial_core::matching::MatchConfig;
 use geosocial_fault::FaultPlan;
 use geosocial_geo::LatLon;
 use geosocial_obs::{counter, gauge, Counter, Gauge, Stopwatch};
+use geosocial_store::{EventStore, StoreOptions, SENTINEL_USER};
 use geosocial_stream::{AuditConfig, OnlineAuditor, StreamComposition};
 use geosocial_trace::{Checkin, GpsPoint, PoiCategory, UserId, VisitConfig};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -99,6 +113,8 @@ mod metrics {
     cached!(latency_run, histogram, Histogram, "serve.latency_us.run");
     cached!(latency_checkin, histogram, Histogram, "serve.latency_us.checkin");
     cached!(latency_user, histogram, Histogram, "serve.latency_us.user");
+    cached!(latency_asof, histogram, Histogram, "serve.latency_us.asof");
+    cached!(latency_window, histogram, Histogram, "serve.latency_us.window");
     cached!(latency_stats, histogram, Histogram, "serve.latency_us.stats");
     cached!(latency_finish, histogram, Histogram, "serve.latency_us.finish");
     cached!(latency_drain, histogram, Histogram, "serve.latency_us.drain");
@@ -116,7 +132,7 @@ mod metrics {
 
 /// One shard's exported series. Created once per worker; the queue gauge
 /// is shared with every connection handler (inc on send, dec on receive).
-struct ShardMetrics {
+pub(crate) struct ShardMetrics {
     queue: Arc<Gauge>,
     users: Arc<Gauge>,
     late_dropped: Arc<Gauge>,
@@ -193,9 +209,24 @@ pub struct ServerConfig {
     /// Maximum concurrently served connections; the acceptor stops
     /// accepting beyond this (bounded backpressure).
     pub max_connections: usize,
-    /// Shard checkpoint cadence: mutations between state snapshots. Lower
-    /// = cheaper crash replay, more frequent clone cost.
+    /// Shard checkpoint cadence: applied mutations between durable store
+    /// snapshots. Lower = shorter crash replay, more frequent state
+    /// serialization cost.
     pub snapshot_every: usize,
+    /// Event-store root. Each shard logs and snapshots under
+    /// `<store_dir>/shard-N/`; reopening a server on the same directory
+    /// (and config) restores the audited state. `None` = an ephemeral
+    /// per-process directory under the system temp dir, removed at
+    /// shutdown.
+    pub store_dir: Option<PathBuf>,
+    /// Event-store segment roll threshold, bytes: a segment at or past
+    /// this size is sealed and a new one started after the next durable
+    /// flush.
+    pub segment_bytes: usize,
+    /// Event-store sparse-index granularity: one `(user, t)` anchor every
+    /// this many records per segment. Lower = faster historical seeks,
+    /// more index memory.
+    pub index_every: usize,
     /// Fault-injection plan (inert unless built with `fault-inject` and
     /// given non-zero rates). The server consults only the shard-kill
     /// entry; frame faults are client-side.
@@ -218,6 +249,9 @@ impl Default for ServerConfig {
             write_timeout: Some(Duration::from_secs(30)),
             max_connections: 256,
             snapshot_every: 1024,
+            store_dir: None,
+            segment_bytes: 4 * 1024 * 1024,
+            index_every: 8,
             fault: FaultPlan::none(),
         }
     }
@@ -225,7 +259,7 @@ impl Default for ServerConfig {
 
 impl ServerConfig {
     /// The audit configuration shards apply once a `Hello` fixes `origin`.
-    fn audit_config(&self, origin: LatLon) -> AuditConfig {
+    pub(crate) fn audit_config(&self, origin: LatLon) -> AuditConfig {
         let mut cfg = AuditConfig::paper(origin);
         cfg.match_config = self.match_config;
         cfg.classify = self.classify;
@@ -250,21 +284,24 @@ struct ShardMsg {
     reply: mpsc::Sender<Response>,
 }
 
-enum ShardCmd {
+pub(crate) enum ShardCmd {
     SetOrigin { origin: LatLon },
     Gps { user: UserId, seq: u64, point: GpsPoint },
     GpsRun { user: UserId, first_seq: u64, fixes: Vec<WireFix> },
     Checkin { user: UserId, seq: u64, checkin: Checkin },
     Query { user: UserId },
+    AsOf { user: UserId, t: i64 },
+    Window { cohort: Vec<UserId>, t0: i64, t1: i64 },
     Stats,
     Drain { finalize: bool },
     Finish,
 }
 
 /// The shard mutation a request performs, if any. Shared by the live
-/// connection handler and crash replay: the replay log stores mutations
-/// as binary wire frames, so recovery decodes a [`Request`] and routes it
-/// through here exactly like a fresh delivery.
+/// connection handler and crash replay: the event store logs one record
+/// per applied event, and recovery decodes each record back into a
+/// [`Request`] ([`crate::snapshot::decode_event`]) and routes it through
+/// here exactly like a fresh delivery.
 fn mutation_cmd(req: Request) -> Option<ShardCmd> {
     match req {
         Request::Hello { origin_lat, origin_lon } => {
@@ -291,6 +328,8 @@ fn mutation_cmd(req: Request) -> Option<ShardCmd> {
         }),
         Request::Finish => Some(ShardCmd::Finish),
         Request::User { .. }
+        | Request::AsOf { .. }
+        | Request::Window { .. }
         | Request::Stats
         | Request::Metrics
         | Request::Drain { .. }
@@ -298,80 +337,52 @@ fn mutation_cmd(req: Request) -> Option<ShardCmd> {
     }
 }
 
-/// The since-checkpoint mutation log of one shard, stored as binary wire
-/// frames — the same codec the connection speaks ([`crate::wire`]), so the
-/// log format is exercised by every ingest test and costs one compact
-/// buffer instead of a `Vec` of enum values.
+/// Append one applied event to the shard's store, tolerating flush
+/// failures: on error the record stays buffered in the active segment
+/// (still visible to in-process recovery and queries, which read the
+/// store's in-memory mirror) and the flush retries on the next append —
+/// so a transient filesystem fault costs a durability window, never an
+/// acknowledged event.
 ///
-/// Entries are **per event**, not per command: an applied `GpsRun` logs
-/// one `Gps` frame per fix, appended as each fix applies. A worker crash
-/// mid-run therefore leaves exactly the applied prefix in the log, which
-/// is what makes the retry dedup per-event instead of per-frame.
-#[derive(Clone, Default)]
-struct ReplayLog {
-    buf: Vec<u8>,
-    frames: usize,
-}
-
-impl ReplayLog {
-    /// Append one mutation in its binary frame encoding.
-    fn push(&mut self, req: &Request) {
-        crate::wire::encode_request_frame(&mut self.buf, req, crate::wire::WireFormat::Binary)
-            .expect("log frame within caps");
-        self.frames += 1;
-    }
-
-    fn clear(&mut self) {
-        self.buf.clear();
-        self.frames = 0;
-    }
-
-    /// Decode the logged mutations in order.
-    fn iter(&self) -> impl Iterator<Item = Request> + '_ {
-        let mut pos = 0usize;
-        std::iter::from_fn(move || {
-            if pos >= self.buf.len() {
-                return None;
-            }
-            let len =
-                u32::from_be_bytes(self.buf[pos..pos + 4].try_into().expect("prefix")) as usize;
-            pos += 4;
-            let payload = &self.buf[pos..pos + len];
-            pos += len;
-            Some(crate::wire::decode_request_binary(payload).expect("own log frames decode"))
-        })
+/// Records are **per event**, not per command: an applied `GpsRun` logs
+/// one record per fix, appended as each fix applies. A worker crash
+/// mid-run therefore leaves exactly the applied prefix in the store,
+/// which is what makes the retry dedup per-event instead of per-frame.
+fn append_logged(store: &mut EventStore, user: u32, t: i64, payload: &[u8]) {
+    if let Err(e) = store.append(user, t, payload) {
+        geosocial_obs::warn!("serve", "store append flush failed, record buffered: {e}");
     }
 }
 
 /// The crash-replaceable part of a shard: everything `ShardCmd`s mutate.
-/// Cloning it is the checkpoint; re-applying the replay log on a clone is
-/// the recovery.
+/// Serializing it into the event store ([`crate::snapshot::encode_state`])
+/// is the checkpoint; decoding the last snapshot and re-applying the
+/// store's replay delta is the recovery.
 ///
 /// Per-user state lives in a **dense slab**: `slot_of` is consulted once
 /// per frame to map the user id to a compact slot, and the hot per-user
 /// fields are parallel vectors indexed by that slot (struct-of-arrays), so
 /// ingest, gauge refreshes, stats and drains scan contiguous memory
 /// instead of chasing `HashMap` buckets.
-#[derive(Clone)]
-struct ShardState {
-    shard: usize,
-    audit: Option<AuditConfig>,
+pub(crate) struct ShardState {
+    pub(crate) shard: usize,
+    pub(crate) audit: Option<AuditConfig>,
     /// User id → slot in the parallel vectors below. Touched once per
     /// frame; everything after is slot-indexed.
-    slot_of: HashMap<UserId, usize>,
+    pub(crate) slot_of: HashMap<UserId, usize>,
     /// Slot → user id (the slab never frees slots; users are permanent for
     /// the session, matching the auditing model).
-    users: Vec<UserId>,
+    pub(crate) users: Vec<UserId>,
     /// Slot → next expected ingest sequence number (exactly-once dedup).
-    next_seq: Vec<u64>,
+    pub(crate) next_seq: Vec<u64>,
     /// Slot → the user's online auditor.
-    auditors: Vec<OnlineAuditor>,
-    stats: ShardStats,
-    finished: bool,
+    pub(crate) auditors: Vec<OnlineAuditor>,
+    pub(crate) stats: ShardStats,
+    pub(crate) finished: bool,
 }
 
 impl ShardState {
-    fn new(shard: usize) -> Self {
+    pub(crate) fn new(shard: usize) -> Self {
         Self {
             shard,
             audit: None,
@@ -444,16 +455,18 @@ impl ShardState {
     /// Apply one command. `obs` carries the metric handles for live
     /// processing and is `None` during crash replay, where the state (and
     /// `stats`) must reconverge but the process-global metrics must not be
-    /// double-counted. `log` receives one binary frame per **applied
-    /// event** (also `None` during replay) — pushed as each event applies,
-    /// so a crash mid-command leaves exactly the applied prefix logged.
-    fn apply(
+    /// double-counted. `store` receives one record per **applied event**
+    /// (also `None` during replay, so replayed events are not re-logged) —
+    /// appended as each event applies, so a crash mid-command leaves
+    /// exactly the applied prefix in the store.
+    pub(crate) fn apply(
         &mut self,
         cmd: &ShardCmd,
         config: &ServerConfig,
         obs: Option<&ShardMetrics>,
-        mut log: Option<&mut ReplayLog>,
+        mut store: Option<&mut EventStore>,
     ) -> Response {
+        let mut ev_buf = Vec::new();
         match cmd {
             ShardCmd::SetOrigin { origin } => match &self.audit {
                 Some(a)
@@ -470,8 +483,9 @@ impl ShardState {
                 Some(_) => Response::Ok,
                 None => {
                     self.audit = Some(config.audit_config(*origin));
-                    if let Some(l) = log.as_deref_mut() {
-                        l.push(&Request::Hello { origin_lat: origin.lat, origin_lon: origin.lon });
+                    if let Some(st) = store.as_deref_mut() {
+                        crate::snapshot::hello_payload(&mut ev_buf, *origin);
+                        append_logged(st, SENTINEL_USER, 0, &ev_buf);
                     }
                     Response::Ok
                 }
@@ -492,14 +506,14 @@ impl ShardState {
                         if obs.is_some() {
                             metrics::events_gps().inc();
                         }
-                        if let Some(l) = log.as_deref_mut() {
-                            l.push(&Request::Gps {
-                                user: *user,
-                                seq: *seq,
-                                t: point.t,
-                                lat: point.pos.lat,
-                                lon: point.pos.lon,
-                            });
+                        if let Some(st) = store.as_deref_mut() {
+                            crate::snapshot::gps_payload(
+                                &mut ev_buf,
+                                *seq,
+                                point.pos.lat,
+                                point.pos.lon,
+                            );
+                            append_logged(st, *user, point.t, &ev_buf);
                         }
                         self.emit_verdicts(slot, obs)
                     }
@@ -534,14 +548,9 @@ impl ShardState {
                     if obs.is_some() {
                         metrics::events_gps().inc();
                     }
-                    if let Some(l) = log.as_deref_mut() {
-                        l.push(&Request::Gps {
-                            user: *user,
-                            seq,
-                            t: fix.t,
-                            lat: fix.lat,
-                            lon: fix.lon,
-                        });
+                    if let Some(st) = store.as_deref_mut() {
+                        crate::snapshot::gps_payload(&mut ev_buf, seq, fix.lat, fix.lon);
+                        append_logged(st, *user, fix.t, &ev_buf);
                     }
                 }
                 self.emit_verdicts(slot, obs)
@@ -562,15 +571,15 @@ impl ShardState {
                         if obs.is_some() {
                             metrics::events_checkin().inc();
                         }
-                        if let Some(l) = log.as_deref_mut() {
-                            l.push(&Request::Checkin {
-                                user: *user,
-                                seq: *seq,
-                                t: checkin.t,
-                                poi: checkin.poi,
-                                lat: checkin.location.lat,
-                                lon: checkin.location.lon,
-                            });
+                        if let Some(st) = store.as_deref_mut() {
+                            crate::snapshot::checkin_payload(
+                                &mut ev_buf,
+                                *seq,
+                                checkin.poi,
+                                checkin.location.lat,
+                                checkin.location.lon,
+                            );
+                            append_logged(st, *user, checkin.t, &ev_buf);
                         }
                         self.emit_verdicts(slot, obs)
                     }
@@ -580,6 +589,41 @@ impl ShardState {
                 Some(&s) => Response::Composition { composition: self.auditors[s].composition() },
                 None => Response::Error { message: format!("unknown user {user}") },
             },
+            ShardCmd::AsOf { user, t } => {
+                let Some(audit) = self.audit.clone() else {
+                    return hello_first();
+                };
+                let Some(st) = store.as_deref() else {
+                    return store_needed();
+                };
+                match audit_stored(st, *user, i64::MIN, *t, audit) {
+                    Ok(composition) => Response::AsOf { composition, applied: st.applied(*user) },
+                    Err(message) => Response::Error { message },
+                }
+            }
+            ShardCmd::Window { cohort, t0, t1 } => {
+                let Some(audit) = self.audit.clone() else {
+                    return hello_first();
+                };
+                let Some(st) = store.as_deref() else {
+                    return store_needed();
+                };
+                let mut compositions = Vec::new();
+                for &user in cohort {
+                    // Only the cohort members this shard owns; the
+                    // broadcast merge concatenates across shards. Users
+                    // never seen contribute nothing rather than an empty
+                    // composition.
+                    if !self.slot_of.contains_key(&user) {
+                        continue;
+                    }
+                    match audit_stored(st, user, *t0, *t1, audit.clone()) {
+                        Ok(composition) => compositions.push(composition),
+                        Err(message) => return Response::Error { message },
+                    }
+                }
+                Response::Compositions { compositions }
+            }
             ShardCmd::Stats => {
                 self.stats.users = self.auditors.len();
                 let mut total = ServerStats::default();
@@ -609,8 +653,13 @@ impl ShardState {
                     // Everything still pending is finalized with the
                     // evidence at hand — record how much that was.
                     report.forced_by_drain = report.pending_checkins;
-                    report.verdicts_flushed = self.finalize_all(obs, log);
+                    report.verdicts_flushed = self.finalize_all(obs, store.as_deref_mut());
                     report.finalized = true;
+                }
+                if let Some(st) = store.as_deref() {
+                    report.store_records = st.next_lsn();
+                    report.store_segments = st.segment_count();
+                    report.store_bytes = st.total_bytes();
                 }
                 for a in &self.auditors {
                     report.composition.merge(&a.composition());
@@ -621,8 +670,9 @@ impl ShardState {
                 let mut verdicts = Vec::new();
                 if !self.finished {
                     self.finished = true;
-                    if let Some(l) = log {
-                        l.push(&Request::Finish);
+                    if let Some(st) = store {
+                        crate::snapshot::finish_payload(&mut ev_buf);
+                        append_logged(st, SENTINEL_USER, 0, &ev_buf);
                     }
                     for s in self.user_order() {
                         let a = &mut self.auditors[s];
@@ -660,10 +710,16 @@ impl ShardState {
     }
 
     /// Finalize every auditor; returns the number of verdicts flushed.
-    fn finalize_all(&mut self, obs: Option<&ShardMetrics>, log: Option<&mut ReplayLog>) -> usize {
+    fn finalize_all(
+        &mut self,
+        obs: Option<&ShardMetrics>,
+        store: Option<&mut EventStore>,
+    ) -> usize {
         self.finished = true;
-        if let Some(l) = log {
-            l.push(&Request::Finish);
+        if let Some(st) = store {
+            let mut buf = Vec::new();
+            crate::snapshot::finish_payload(&mut buf);
+            append_logged(st, SENTINEL_USER, 0, &buf);
         }
         let mut flushed = 0;
         for s in self.user_order() {
@@ -684,6 +740,51 @@ fn gap_error(user: UserId, seq: u64, next: u64) -> Response {
     Response::Error { message: format!("user {user} ingest gap: got seq {seq}, expected {next}") }
 }
 
+fn store_needed() -> Response {
+    Response::Error { message: "historical reads need the shard event store".into() }
+}
+
+/// Re-audit one user's stored events in `[t0, t1]` through a fresh
+/// auditor — the historical-read primitive behind `AsOf` and `Window`.
+/// The auditors are deterministic, so the result equals a batch audit of
+/// the user's stream truncated to that range; duplicates were deduplicated
+/// before they were ever logged, so replay cannot double-apply.
+fn audit_stored(
+    store: &EventStore,
+    user: UserId,
+    t0: i64,
+    t1: i64,
+    audit: AuditConfig,
+) -> Result<StreamComposition, String> {
+    let records = match store.query(user, t0, t1) {
+        Ok(records) => records,
+        Err(e) => return Err(format!("store read failed: {e}")),
+    };
+    let mut auditor = OnlineAuditor::new(user, audit);
+    for rec in &records {
+        match crate::snapshot::decode_event(rec) {
+            Ok(Request::Gps { t, lat, lon, .. }) => {
+                auditor.push_gps(GpsPoint { t, pos: LatLon::new(lat, lon) });
+            }
+            Ok(Request::Checkin { t, poi, lat, lon, .. }) => {
+                auditor.push_checkin(Checkin {
+                    t,
+                    poi,
+                    category: PoiCategory::Food,
+                    location: LatLon::new(lat, lon),
+                    provenance: None,
+                });
+            }
+            // Per-user queries never return the sentinel control records.
+            Ok(_) => {}
+            Err(e) => return Err(format!("stored record {} undecodable: {e}", rec.lsn)),
+        }
+    }
+    auditor.finish();
+    let _ = auditor.drain_verdicts().count();
+    Ok(auditor.composition())
+}
+
 /// What [`ShardState::seq_admit`] decided for one event.
 enum Admit {
     /// The event is at the expected sequence number: apply it.
@@ -695,15 +796,43 @@ enum Admit {
 }
 
 /// One shard worker: a supervisor loop owning the auditors of the users
-/// hashed to it. Commands are applied under `catch_unwind`; a panic
-/// restores the last checkpoint, replays the log, retries the command
+/// hashed to it. All state flows through the shard's event store: applied
+/// mutations append to its log, the state is snapshotted into it every
+/// `snapshot_every` records, and opening the store on a non-empty
+/// directory restores everything it held. Commands are applied under
+/// `catch_unwind`; a panic rebuilds the state from the store (snapshot +
+/// replay delta, including any still-unflushed tail), retries the command
 /// once, and keeps serving.
-fn shard_worker(shard: usize, config: Arc<ServerConfig>, rx: mpsc::Receiver<ShardMsg>) {
+fn shard_worker(
+    shard: usize,
+    config: Arc<ServerConfig>,
+    store_dir: PathBuf,
+    rx: mpsc::Receiver<ShardMsg>,
+) {
     let shard_metrics = ShardMetrics::new(shard);
-    let mut live = ShardState::new(shard);
-    let mut snapshot = live.clone();
-    let mut log = ReplayLog::default();
-    let snapshot_every = config.snapshot_every.max(1);
+    let opts = StoreOptions {
+        segment_bytes: config.segment_bytes,
+        index_every: config.index_every,
+        fault: config.fault.clone(),
+        shard: shard as u64,
+    };
+    let mut store = match EventStore::open(&store_dir, opts) {
+        Ok(store) => store,
+        Err(e) => {
+            // Degrade instead of hanging connections on a dead channel:
+            // answer everything with an error until shutdown.
+            geosocial_obs::error!("serve", "shard store failed to open";
+                shard = shard, dir = format!("{}", store_dir.display()), cause = format!("{e}"));
+            while let Ok(ShardMsg { reply, .. }) = rx.recv() {
+                shard_metrics.queue.dec();
+                let _ = reply
+                    .send(Response::Error { message: format!("shard {shard} store unavailable") });
+            }
+            return;
+        }
+    };
+    let mut live = restore_shard(shard, &store, &config);
+    let snapshot_every = config.snapshot_every.max(1) as u64;
     let mut since_refresh = 0usize;
 
     while let Ok(ShardMsg { cmd, reply }) = rx.recv() {
@@ -720,28 +849,33 @@ fn shard_worker(shard: usize, config: Arc<ServerConfig>, rx: mpsc::Receiver<Shar
         }
         let finalizes = matches!(cmd, ShardCmd::Finish | ShardCmd::Drain { finalize: true });
 
-        let mut resp = apply_guarded(&mut live, &cmd, &config, &shard_metrics, &mut log);
+        let mut resp = apply_guarded(&mut live, &cmd, &config, &shard_metrics, &mut store);
         if let Err(panic_msg) = &resp {
-            // The worker crashed mid-command: rebuild from the checkpoint
-            // plus the replay log of successfully applied events — the log
-            // already holds any prefix of the crashed command that applied
-            // before the fault — then retry the command once (an injected
-            // kill is consumed by now; the prefix dedups per event).
+            // The worker crashed mid-command: rebuild from the store's
+            // snapshot plus its replay delta — the log already holds any
+            // prefix of the crashed command that applied before the fault
+            // — then retry the command once (an injected kill is consumed
+            // by now; the prefix dedups per event).
             geosocial_obs::warn!("serve", "shard worker crashed, recovering";
                 shard = shard,
-                replayed = log.frames,
+                replayed = store.records_since_snapshot(),
                 cause = panic_msg,
             );
-            live = recover(&snapshot, &log, &config);
+            live = restore_shard(shard, &store, &config);
             live.stats.recoveries += 1;
             metrics::recoveries().inc();
-            resp = apply_guarded(&mut live, &cmd, &config, &shard_metrics, &mut log);
+            resp = apply_guarded(&mut live, &cmd, &config, &shard_metrics, &mut store);
         }
         let resp = match resp {
             Ok(resp) => {
-                if log.frames >= snapshot_every {
-                    snapshot = live.clone();
-                    log.clear();
+                if store.records_since_snapshot() >= snapshot_every {
+                    let state = crate::snapshot::encode_state(&live);
+                    if let Err(e) = store.snapshot(&state) {
+                        // Non-fatal: recovery replays a longer delta until
+                        // a later snapshot succeeds.
+                        geosocial_obs::warn!("serve", "shard snapshot failed, will retry";
+                            shard = shard, cause = format!("{e}"));
+                    }
                 }
                 resp
             }
@@ -760,6 +894,11 @@ fn shard_worker(shard: usize, config: Arc<ServerConfig>, rx: mpsc::Receiver<Shar
         // A dropped reply receiver means the connection died; keep serving.
         let _ = reply.send(resp);
     }
+    // Shutdown: push the buffered tail to disk so a persistent store
+    // reopens without losing acknowledged events.
+    if let Err(e) = store.flush() {
+        geosocial_obs::warn!("serve", "final store flush failed"; shard = shard, cause = format!("{e}"));
+    }
 }
 
 /// Apply one command, catching panics (injected or genuine) so the
@@ -769,9 +908,9 @@ fn apply_guarded(
     cmd: &ShardCmd,
     config: &ServerConfig,
     obs: &ShardMetrics,
-    log: &mut ReplayLog,
+    store: &mut EventStore,
 ) -> Result<Response, String> {
-    catch_unwind(AssertUnwindSafe(|| state.apply(cmd, config, Some(obs), Some(log)))).map_err(
+    catch_unwind(AssertUnwindSafe(|| state.apply(cmd, config, Some(obs), Some(store)))).map_err(
         |cause| {
             cause
                 .downcast_ref::<&str>()
@@ -782,15 +921,46 @@ fn apply_guarded(
     )
 }
 
-/// Rebuild a shard from its checkpoint by re-applying the replay log.
-/// Metric and log side effects are suppressed (`obs`/`log` are `None`) —
-/// the live run already counted and logged these events; `stats`
-/// reconverges because `apply` is deterministic.
-fn recover(snapshot: &ShardState, log: &ReplayLog, config: &ServerConfig) -> ShardState {
-    let mut state = snapshot.clone();
-    for req in log.iter() {
-        if let Some(cmd) = mutation_cmd(req) {
-            let _ = state.apply(&cmd, config, None, None);
+/// Rebuild a shard from its event store: decode the last durable snapshot
+/// (or start empty) and re-apply every record logged past it. Reads the
+/// active segment through the store's in-memory mirror, so events that
+/// were acknowledged but not yet flushed when a worker panicked are
+/// replayed too — the exactly-once contract survives in-process crashes
+/// without an fsync per ack. Metric and store side effects are suppressed
+/// (`obs`/`store` are `None` in the replayed `apply`s) — the live run
+/// already counted and logged these events; `stats` reconverges because
+/// `apply` is deterministic.
+fn restore_shard(shard: usize, store: &EventStore, config: &ServerConfig) -> ShardState {
+    let mut state = match store.snapshot_state() {
+        Some(bytes) => match crate::snapshot::decode_state(bytes, config) {
+            Ok(state) => state,
+            Err(e) => {
+                geosocial_obs::error!("serve", "shard snapshot undecodable, starting empty";
+                    shard = shard, cause = format!("{e}"));
+                ShardState::new(shard)
+            }
+        },
+        None => ShardState::new(shard),
+    };
+    match store.replay_delta() {
+        Ok(records) => {
+            for rec in &records {
+                match crate::snapshot::decode_event(rec) {
+                    Ok(req) => {
+                        if let Some(cmd) = mutation_cmd(req) {
+                            let _ = state.apply(&cmd, config, None, None);
+                        }
+                    }
+                    Err(e) => {
+                        geosocial_obs::warn!("serve", "skipping undecodable stored record";
+                            shard = shard, lsn = rec.lsn, cause = format!("{e}"));
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            geosocial_obs::warn!("serve", "shard replay delta unreadable";
+                shard = shard, cause = format!("{e}"));
         }
     }
     state
@@ -938,6 +1108,8 @@ fn handle_conn(
             Request::GpsRun { .. } => metrics::latency_run(),
             Request::Checkin { .. } => metrics::latency_checkin(),
             Request::User { .. } => metrics::latency_user(),
+            Request::AsOf { .. } => metrics::latency_asof(),
+            Request::Window { .. } => metrics::latency_window(),
             Request::Stats => metrics::latency_stats(),
             Request::Metrics => metrics::latency_metrics(),
             Request::Drain { .. } => metrics::latency_drain(),
@@ -971,6 +1143,21 @@ fn handle_conn(
                 } else {
                     shard_gone()
                 }
+            }
+            Request::AsOf { user, t } => {
+                queries.fetch_add(1, Ordering::Relaxed);
+                metrics::queries().inc();
+                if route(&shards, user, ShardCmd::AsOf { user, t }) {
+                    reply_rx.recv().unwrap_or_else(|_| shard_gone())
+                } else {
+                    shard_gone()
+                }
+            }
+            Request::Window { cohort, t0, t1 } => {
+                queries.fetch_add(1, Ordering::Relaxed);
+                metrics::queries().inc();
+                broadcast(&shards, &|| ShardCmd::Window { cohort: cohort.clone(), t0, t1 });
+                merge_broadcast(&reply_rx, n)
             }
             Request::Stats => {
                 queries.fetch_add(1, Ordering::Relaxed);
@@ -1065,6 +1252,13 @@ fn merge_broadcast(rx: &mpsc::Receiver<Response>, n: usize) -> Response {
                     total.merge(&report)
                 }
             }
+            Response::Compositions { compositions } => {
+                if let Response::Compositions { compositions: all } = merged
+                    .get_or_insert_with(|| Response::Compositions { compositions: Vec::new() })
+                {
+                    all.extend(compositions)
+                }
+            }
             e @ Response::Error { .. } => error = Some(e),
             other => merged = Some(other),
         }
@@ -1077,6 +1271,11 @@ fn merge_broadcast(rx: &mpsc::Receiver<Response>, n: usize) -> Response {
             stats.per_shard.sort_by_key(|s| s.shard);
             stats.shards = stats.per_shard.len();
             Response::Stats { stats }
+        }
+        Some(Response::Compositions { mut compositions }) => {
+            // Shards answer in arrival order; present the cohort sorted.
+            compositions.sort_by_key(|c| c.user);
+            Response::Compositions { compositions }
         }
         Some(r) => r,
         None => shard_gone(),
@@ -1124,16 +1323,32 @@ pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<Serve
         Arc::new((0..config.shards.max(1)).map(queue_gauge).collect());
     let slots = Arc::new(ConnSlots::new(config.max_connections));
 
+    // Event-store root: the configured directory, or an ephemeral
+    // per-process one (unique even across servers in one process) that is
+    // removed after the workers exit.
+    static EPHEMERAL_STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let (store_root, ephemeral) = match &config.store_dir {
+        Some(dir) => (dir.clone(), false),
+        None => {
+            let seq = EPHEMERAL_STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("geosocial-serve-{}-{seq}", std::process::id()));
+            (dir, true)
+        }
+    };
+    std::fs::create_dir_all(&store_root)?;
+
     // Shard workers.
     let mut shard_txs = Vec::with_capacity(config.shards.max(1));
     let mut shard_threads = Vec::new();
     for shard in 0..config.shards.max(1) {
         let (tx, rx) = mpsc::channel::<ShardMsg>();
         let cfg = Arc::clone(&config);
+        let dir = store_root.join(format!("shard-{shard}"));
         shard_threads.push(
             std::thread::Builder::new()
                 .name(format!("geosocial-shard-{shard}"))
-                .spawn(move || shard_worker(shard, cfg, rx))?,
+                .spawn(move || shard_worker(shard, cfg, dir, rx))?,
         );
         shard_txs.push(tx);
     }
@@ -1230,6 +1445,10 @@ pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<Serve
     drop(shard_txs);
     for t in shard_threads {
         let _ = t.join();
+    }
+    if ephemeral {
+        // Nothing asked for persistence; don't leak temp-dir segments.
+        let _ = std::fs::remove_dir_all(&store_root);
     }
 
     // The shutdown dump: one structured line per shard plus the aggregate.

@@ -51,6 +51,8 @@
 //!                then count-1 deltas: dt zigzag,
 //!                                     lat_bits^prev varint,
 //!                                     lon_bits^prev varint
+//! 0x8B AsOf      user varint, t zigzag
+//! 0x8C Window    count varint, count user varints, t0 zigzag, t1 zigzag
 //! ```
 //!
 //! The run delta encoding exploits the regularity of per-minute GPS
@@ -135,6 +137,8 @@ const OP_FINISH: u8 = 0x87;
 const OP_DRAIN: u8 = 0x88;
 const OP_SHUTDOWN: u8 = 0x89;
 const OP_GPS_RUN: u8 = 0x8A;
+const OP_AS_OF: u8 = 0x8B;
+const OP_WINDOW: u8 = 0x8C;
 
 // Response opcodes.
 const OP_OK: u8 = 0xC0;
@@ -340,6 +344,20 @@ pub fn encode_request_payload(out: &mut Vec<u8>, req: &Request) {
             out.push(OP_USER);
             put_varint(out, *user as u64);
         }
+        Request::AsOf { user, t } => {
+            out.push(OP_AS_OF);
+            put_varint(out, *user as u64);
+            put_zigzag(out, *t);
+        }
+        Request::Window { cohort, t0, t1 } => {
+            out.push(OP_WINDOW);
+            put_varint(out, cohort.len() as u64);
+            for user in cohort {
+                put_varint(out, *user as u64);
+            }
+            put_zigzag(out, *t0);
+            put_zigzag(out, *t1);
+        }
         Request::Stats => out.push(OP_STATS),
         Request::Metrics => out.push(OP_METRICS),
         Request::Finish => out.push(OP_FINISH),
@@ -394,6 +412,23 @@ pub fn decode_request_binary(payload: &[u8]) -> Result<Request, DecodeError> {
             lon: d.f64()?,
         },
         OP_USER => Request::User { user: d.u32_field("user id")? },
+        OP_AS_OF => Request::AsOf { user: d.u32_field("user id")?, t: d.zigzag()? },
+        OP_WINDOW => {
+            let count = d.varint()?;
+            // Each cohort member costs at least one payload byte; a count
+            // claiming more is corrupt, not big.
+            if count > payload.len() as u64 {
+                return d.err(format!(
+                    "cohort of {count} users cannot fit a {}-byte payload",
+                    payload.len()
+                ));
+            }
+            let mut cohort = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                cohort.push(d.u32_field("user id")?);
+            }
+            Request::Window { cohort, t0: d.zigzag()?, t1: d.zigzag()? }
+        }
         OP_STATS => Request::Stats,
         OP_METRICS => Request::Metrics,
         OP_FINISH => Request::Finish,
@@ -470,8 +505,8 @@ fn verdict_kind_from(code: u8, at: usize) -> Result<VerdictKind, DecodeError> {
 }
 
 /// Whether `resp` has a binary form. Control-plane responses (`Stats`,
-/// `Composition`, `Drained`, `Metrics`) deliberately do not: they stay
-/// JSON on every connection.
+/// `Composition`, `AsOf`, `Compositions`, `Drained`, `Metrics`)
+/// deliberately do not: they stay JSON on every connection.
 pub fn response_has_binary_form(resp: &Response) -> bool {
     matches!(resp, Response::Ok | Response::Verdicts { .. } | Response::Error { .. })
 }
@@ -722,6 +757,34 @@ mod tests {
         encode_request_payload(&mut payload, &Request::GpsRun { user: 3, first_seq: 0, fixes });
         let per_fix = payload.len() as f64 / 60.0;
         assert!(per_fix < 20.0, "delta encoding should stay under 20 B/fix, got {per_fix:.1}");
+    }
+
+    #[test]
+    fn asof_and_window_roundtrip_binary() {
+        match roundtrip_req(&Request::AsOf { user: 12, t: -7_200 }) {
+            Request::AsOf { user: 12, t: -7_200 } => {}
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+        let req = Request::Window { cohort: vec![0, 42, u32::MAX - 1], t0: -60, t1: 86_400 };
+        match roundtrip_req(&req) {
+            Request::Window { cohort, t0: -60, t1: 86_400 } => {
+                assert_eq!(cohort, vec![0, 42, u32::MAX - 1]);
+            }
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+        // Empty cohorts are legal (they answer with no compositions).
+        match roundtrip_req(&Request::Window { cohort: Vec::new(), t0: 0, t1: 0 }) {
+            Request::Window { cohort, .. } => assert!(cohort.is_empty()),
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_window_cohort_is_rejected_before_allocation() {
+        let mut bytes = vec![OP_WINDOW];
+        put_varint(&mut bytes, u64::MAX); // cohort count
+        let e = decode_request_binary(&bytes).expect_err("oversized cohort");
+        assert!(e.detail.contains("cohort"), "got: {e}");
     }
 
     #[test]

@@ -3,11 +3,13 @@
 //! A served replay under an aggressive deterministic fault plan (frames
 //! truncated mid-write, connections aborted with delivered acks
 //! destroyed, frames stalled past the server's shortened read timeout,
-//! and one shard worker killed mid-stream) must produce per-user
-//! compositions *exactly* equal to the
-//! batch pipeline on the same scenario: retries resume from the last
-//! acked event, the per-user sequence numbers make redelivery idempotent,
-//! and the killed shard reconverges from snapshot + replay.
+//! store flushes torn short or failed outright, and one shard worker
+//! killed mid-stream) must produce per-user compositions *exactly* equal
+//! to the batch pipeline on the same scenario: retries resume from the
+//! last acked event, the per-user sequence numbers make redelivery
+//! idempotent, and the killed shard reconverges from the event store's
+//! snapshot + replayed delta. Segments are shrunk so the kill lands
+//! mid-segment — recovery crosses a segment boundary, not just a tail.
 //!
 //! Only compiled with `--features fault-inject`; the default test suite
 //! (tier-1) never injects faults.
@@ -39,6 +41,9 @@ fn chaos_case(wire: WireFormat, run_len: usize) {
             read_timeout: Some(Duration::from_millis(100)),
             write_timeout: Some(Duration::from_secs(5)),
             snapshot_every: 64,
+            // Small segments: the scenario spans several rolls per shard,
+            // so the mid-stream kill recovers across a segment boundary.
+            segment_bytes: 16 * 1024,
             fault: plan.clone(),
             ..ServerConfig::default()
         },
@@ -81,6 +86,8 @@ fn chaos_case(wire: WireFormat, run_len: usize) {
     assert!(injected.truncated > 0, "fault plan never truncated a frame — rates too low?");
     assert!(injected.aborted > 0, "fault plan never aborted a connection — rates too low?");
     assert_eq!(injected.kills, 1, "the one-shot shard kill must fire exactly once");
+    assert!(injected.short_writes > 0, "fault plan never tore a store flush — rates too low?");
+    assert!(injected.flush_fails > 0, "fault plan never failed a store flush — rates too low?");
     assert!(report.retries > 0, "no lane ever reconnected");
     assert!(report.resent_events > 0, "no event was ever redelivered");
     assert!(

@@ -1,0 +1,865 @@
+//! The event store: an append-only segment log with durable compacted
+//! snapshots and a sparse `(user, time)` index.
+//!
+//! ## Model
+//!
+//! Every applied event is appended as one checksummed record (see
+//! [`crate::segment`]) carrying `(user, t, payload)`; records are numbered
+//! by a monotonically increasing **LSN** (log sequence number) from
+//! genesis. Segments are **never deleted** — the log *is* the queryable
+//! history behind as-of/windowed reads. What snapshots compact is
+//! *recovery cost*: a snapshot file stores an opaque caller-state payload
+//! covering everything below its LSN, so reopening replays only the delta
+//! past the newest durable snapshot (O(delta), not O(history)); older
+//! snapshot files are garbage-collected.
+//!
+//! ## Durability
+//!
+//! Appends are buffered in memory and flushed when the pending tail
+//! exceeds [`FLUSH_THRESHOLD`], on segment roll, on snapshot, and on
+//! demand. The store never lies about durability: a failed flush keeps the
+//! bytes buffered and reports the error, a short (torn) write is detected
+//! by the flush path itself and repaired by rewinding the file to the last
+//! durable boundary and rewriting. A tail torn by a real crash is
+//! truncated away on open by the scan-truncate rule, with the offset
+//! reported and counted.
+
+use crate::codec::crc32;
+use crate::metrics;
+use crate::segment::{append_record, scan_records, RecordRef, SENTINEL_USER};
+use geosocial_fault::{FaultPlan, FsFault};
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Buffered bytes that trigger an automatic background flush.
+pub const FLUSH_THRESHOLD: usize = 64 * 1024;
+
+/// Magic prefix of a snapshot file.
+const SNAP_MAGIC: &[u8; 4] = b"GSNP";
+/// Snapshot file format version.
+const SNAP_VERSION: u32 = 1;
+/// Bounded retries for must-succeed flushes (each attempt re-rolls any
+/// injected fault).
+const FLUSH_RETRIES: u32 = 64;
+
+/// Store tuning knobs.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Roll to a new segment file once the active one reaches this size.
+    pub segment_bytes: usize,
+    /// Index every `index_every`-th record of each user; reads walk
+    /// forward from the nearest anchor. 1 = exact index.
+    pub index_every: usize,
+    /// Fault plan consulted by the flush path (inert unless the `inject`
+    /// feature chain is armed).
+    pub fault: FaultPlan,
+    /// Shard/owner id: keys fault decisions and log lines.
+    pub shard: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self { segment_bytes: 4 * 1024 * 1024, index_every: 8, fault: FaultPlan::none(), shard: 0 }
+    }
+}
+
+/// One record read back from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredRecord {
+    /// Log sequence number (position from genesis).
+    pub lsn: u64,
+    /// Owning user ([`SENTINEL_USER`] for control records).
+    pub user: u32,
+    /// Event time.
+    pub t: i64,
+    /// The opaque payload exactly as appended.
+    pub payload: Vec<u8>,
+}
+
+/// A sealed (read-only) segment.
+#[derive(Debug)]
+struct Sealed {
+    first_lsn: u64,
+    path: PathBuf,
+    bytes_len: u64,
+}
+
+/// The segment currently being appended to.
+#[derive(Debug)]
+struct Active {
+    first_lsn: u64,
+    path: PathBuf,
+    file: File,
+    /// Full in-memory mirror of the segment (flushed prefix + pending tail).
+    bytes: Vec<u8>,
+    /// How many of `bytes` are known to be on disk.
+    flushed: usize,
+}
+
+/// One sparse-index anchor: the location of a user's `k·every`-th record.
+#[derive(Debug, Clone, Copy)]
+struct Anchor {
+    t: i64,
+    seg: u32,
+    off: u32,
+}
+
+/// Sparse per-user `(time → location)` index. Anchors every `every`-th
+/// record of each user; a historical read seeks to the last anchor before
+/// the window and walks records forward, filtering by user — the classic
+/// sparse-index trade of memory for a bounded forward scan.
+#[derive(Debug)]
+struct SparseIndex {
+    every: u64,
+    counts: HashMap<u32, u64>,
+    anchors: HashMap<u32, Vec<Anchor>>,
+}
+
+impl SparseIndex {
+    fn new(every: usize) -> Self {
+        Self { every: every.max(1) as u64, counts: HashMap::new(), anchors: HashMap::new() }
+    }
+
+    fn note(&mut self, user: u32, t: i64, seg: u32, off: u32) {
+        if user == SENTINEL_USER {
+            return;
+        }
+        let count = self.counts.entry(user).or_insert(0);
+        if (*count).is_multiple_of(self.every) {
+            self.anchors.entry(user).or_default().push(Anchor { t, seg, off });
+        }
+        *count += 1;
+    }
+
+    /// Anchor to start a walk for events of `user` with `t >= t0`, if the
+    /// user has any records at all.
+    fn start(&self, user: u32, t0: i64) -> Option<Anchor> {
+        let anchors = self.anchors.get(&user)?;
+        // The last anchor strictly before the window (its successors may
+        // still hold in-window records of this user); first anchor if the
+        // window starts before everything.
+        let i = anchors.partition_point(|a| a.t < t0);
+        Some(anchors[i.saturating_sub(1)])
+    }
+
+    fn applied(&self, user: u32) -> u64 {
+        self.counts.get(&user).copied().unwrap_or(0)
+    }
+}
+
+/// Log-structured event store. See the module docs for the model.
+#[derive(Debug)]
+pub struct EventStore {
+    dir: PathBuf,
+    opts: StoreOptions,
+    sealed: Vec<Sealed>,
+    active: Active,
+    next_lsn: u64,
+    snapshot_lsn: u64,
+    snapshot_state: Option<Vec<u8>>,
+    /// `(segment, offset)` where the log's post-snapshot delta starts —
+    /// cached so the live-bytes gauge never re-scans a segment on the
+    /// append path. Segment indices are stable (segments are never
+    /// deleted), so the anchor survives rolls.
+    live_anchor: (usize, u64),
+    index: SparseIndex,
+    flush_ops: u64,
+    /// Gauge contributions this instance currently claims (subtracted on
+    /// drop so reopening a store during recovery never double-counts).
+    claimed_segments: i64,
+    claimed_total: i64,
+    claimed_live: i64,
+}
+
+fn seg_path(dir: &Path, first_lsn: u64) -> PathBuf {
+    dir.join(format!("seg-{first_lsn:016x}.log"))
+}
+
+fn snap_path(dir: &Path, lsn: u64) -> PathBuf {
+    dir.join(format!("snap-{lsn:016x}.snap"))
+}
+
+/// Parse `<prefix>-<16 hex>.<ext>` file names back to their number.
+fn parse_numbered(name: &str, prefix: &str, ext: &str) -> Option<u64> {
+    let rest = name.strip_prefix(prefix)?.strip_suffix(ext)?;
+    (rest.len() == 16).then(|| u64::from_str_radix(rest, 16).ok())?
+}
+
+impl EventStore {
+    /// Open (or create) the store rooted at `dir`: scan every segment in
+    /// LSN order rebuilding the sparse index, truncate a torn tail at the
+    /// last valid record boundary, and load the newest valid snapshot so
+    /// callers replay only the delta past it.
+    pub fn open(dir: impl Into<PathBuf>, opts: StoreOptions) -> io::Result<EventStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+
+        let mut seg_lsns = Vec::new();
+        let mut snap_lsns = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(lsn) = parse_numbered(name, "seg-", ".log") {
+                seg_lsns.push(lsn);
+            } else if let Some(lsn) = parse_numbered(name, "snap-", ".snap") {
+                snap_lsns.push(lsn);
+            }
+        }
+        seg_lsns.sort_unstable();
+        snap_lsns.sort_unstable();
+
+        let mut index = SparseIndex::new(opts.index_every);
+        let mut sealed: Vec<Sealed> = Vec::new();
+        let mut next_lsn = 0u64;
+        let mut last_bytes: Vec<u8> = Vec::new();
+        for (i, &first_lsn) in seg_lsns.iter().enumerate() {
+            if first_lsn != next_lsn {
+                // A gap in the chain: everything past it is unreachable
+                // garbage (e.g. copied in by hand); ignore it.
+                break;
+            }
+            let path = seg_path(&dir, first_lsn);
+            let mut bytes = fs::read(&path)?;
+            let seg_idx = i as u32;
+            let scan = scan_records(&bytes, |r| {
+                index.note(r.user, r.t, seg_idx, r.offset as u32);
+                next_lsn += 1;
+                true
+            });
+            if let Err(torn) = scan {
+                // Scan-truncate: keep the valid prefix, drop the torn tail
+                // (and any later segments, which can only be stale).
+                metrics::torn_truncated().inc();
+                bytes.truncate(torn.offset as usize);
+                fs::write(&path, &bytes)?;
+                last_bytes = bytes;
+                sealed.push(Sealed { first_lsn, path, bytes_len: 0 });
+                break;
+            }
+            last_bytes = bytes;
+            sealed.push(Sealed { first_lsn, path, bytes_len: 0 });
+        }
+        // The last surviving segment becomes the active one.
+        let active = match sealed.pop() {
+            Some(seg) => {
+                let mut file = OpenOptions::new().write(true).open(&seg.path)?;
+                file.seek(SeekFrom::Start(last_bytes.len() as u64))?;
+                let flushed = last_bytes.len();
+                Active {
+                    first_lsn: seg.first_lsn,
+                    path: seg.path,
+                    file,
+                    bytes: last_bytes,
+                    flushed,
+                }
+            }
+            None => {
+                let path = seg_path(&dir, 0);
+                let file =
+                    OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+                Active { first_lsn: 0, path, file, bytes: Vec::new(), flushed: 0 }
+            }
+        };
+        for s in &mut sealed {
+            s.bytes_len = fs::metadata(&s.path)?.len();
+        }
+
+        // Newest valid snapshot at or below the log head wins; every other
+        // snapshot file is garbage (stale, torn, or past the truncated
+        // tail) and is collected.
+        let mut snapshot_lsn = 0u64;
+        let mut snapshot_state = None;
+        for &lsn in snap_lsns.iter().rev() {
+            if snapshot_state.is_none() && lsn <= next_lsn {
+                if let Some(state) = read_snapshot_file(&snap_path(&dir, lsn))? {
+                    snapshot_lsn = lsn;
+                    snapshot_state = Some(state);
+                    continue;
+                }
+            }
+            fs::remove_file(snap_path(&dir, lsn)).ok();
+            metrics::snapshots_gc().inc();
+        }
+
+        metrics::recovery_replayed().add(next_lsn - snapshot_lsn);
+
+        let mut store = EventStore {
+            dir,
+            opts,
+            sealed,
+            active,
+            next_lsn,
+            snapshot_lsn,
+            snapshot_state,
+            live_anchor: (0, 0),
+            index,
+            flush_ops: 0,
+            claimed_segments: 0,
+            claimed_total: 0,
+            claimed_live: 0,
+        };
+        store.live_anchor = if snapshot_lsn >= store.next_lsn {
+            (store.sealed.len(), store.active.bytes.len() as u64)
+        } else {
+            store.locate(snapshot_lsn).map(|(seg, off)| (seg, off as u64)).unwrap_or((0, 0))
+        };
+        store.reclaim_gauges();
+        Ok(store)
+    }
+
+    /// Re-assert this instance's share of the process-wide gauges.
+    fn reclaim_gauges(&mut self) {
+        let segments = self.sealed.len() as i64 + 1;
+        let total = self.total_bytes() as i64;
+        let live = self.live_bytes() as i64;
+        metrics::segments().add(segments - self.claimed_segments);
+        metrics::bytes_total().add(total - self.claimed_total);
+        metrics::bytes_live().add(live - self.claimed_live);
+        self.claimed_segments = segments;
+        self.claimed_total = total;
+        self.claimed_live = live;
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// LSN the next append will get (= records in the log).
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// LSN covered by the newest durable snapshot.
+    pub fn snapshot_lsn(&self) -> u64 {
+        self.snapshot_lsn
+    }
+
+    /// Records appended past the newest durable snapshot — the replay
+    /// cost of the next recovery.
+    pub fn records_since_snapshot(&self) -> u64 {
+        self.next_lsn - self.snapshot_lsn
+    }
+
+    /// The newest durable snapshot's caller-state payload, if any.
+    pub fn snapshot_state(&self) -> Option<&[u8]> {
+        self.snapshot_state.as_deref()
+    }
+
+    /// Segment files (sealed + active).
+    pub fn segment_count(&self) -> usize {
+        self.sealed.len() + 1
+    }
+
+    /// Total log bytes — the full queryable history.
+    pub fn total_bytes(&self) -> u64 {
+        self.sealed.iter().map(|s| s.bytes_len).sum::<u64>() + self.active.bytes.len() as u64
+    }
+
+    /// Log bytes past the snapshot LSN — the recovery delta.
+    pub fn live_bytes(&self) -> u64 {
+        let (seg, off) = self.live_anchor;
+        let mut live = self.segment_len(seg).saturating_sub(off);
+        for s in seg + 1..self.segment_count() {
+            live += self.segment_len(s);
+        }
+        live
+    }
+
+    fn segment_len(&self, seg: usize) -> u64 {
+        if seg < self.sealed.len() {
+            self.sealed[seg].bytes_len
+        } else {
+            self.active.bytes.len() as u64
+        }
+    }
+
+    /// Events applied for `user` (its next expected 0-based sequence
+    /// number) — O(1) from the index.
+    pub fn applied(&self, user: u32) -> u64 {
+        self.index.applied(user)
+    }
+
+    /// Append one record; buffered until the next flush. Returns its LSN.
+    pub fn append(&mut self, user: u32, t: i64, payload: &[u8]) -> io::Result<u64> {
+        let start = Instant::now();
+        let lsn = self.next_lsn;
+        let seg = self.sealed.len() as u32;
+        let off = self.active.bytes.len() as u32;
+        append_record(&mut self.active.bytes, user, t, payload);
+        self.index.note(user, t, seg, off);
+        self.next_lsn += 1;
+        metrics::appends().inc();
+
+        let mut result = Ok(());
+        if self.active.bytes.len() >= self.opts.segment_bytes {
+            // Roll: the active segment must be fully durable before it is
+            // sealed. If flushing fails (injected or real), stay on this
+            // segment and retry the roll at the next append.
+            result = self.flush();
+            if result.is_ok() {
+                self.roll()?;
+            }
+        } else if self.active.bytes.len() - self.active.flushed >= FLUSH_THRESHOLD {
+            // Background flush: an error here is not data loss — the tail
+            // stays buffered and the next flush retries.
+            result = self.flush();
+        }
+        self.reclaim_gauges();
+        metrics::append_us().observe(start.elapsed().as_micros() as u64);
+        result.map(|()| lsn)
+    }
+
+    fn roll(&mut self) -> io::Result<()> {
+        debug_assert_eq!(self.active.flushed, self.active.bytes.len(), "roll of unflushed segment");
+        let path = seg_path(&self.dir, self.next_lsn);
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+        let old = std::mem::replace(
+            &mut self.active,
+            Active { first_lsn: self.next_lsn, path, file, bytes: Vec::new(), flushed: 0 },
+        );
+        self.sealed.push(Sealed {
+            first_lsn: old.first_lsn,
+            path: old.path,
+            bytes_len: old.bytes.len() as u64,
+        });
+        Ok(())
+    }
+
+    /// Flush the buffered tail to the active segment file. A short (torn)
+    /// write injected by the fault plan is detected here and repaired by
+    /// rewinding to the last durable boundary and rewriting; an injected
+    /// flush failure keeps the bytes buffered and surfaces the error.
+    pub fn flush(&mut self) -> io::Result<()> {
+        let pending = self.active.bytes.len() - self.active.flushed;
+        if pending == 0 {
+            return Ok(());
+        }
+        let start = Instant::now();
+        let op = self.flush_ops;
+        self.flush_ops += 1;
+        let tail = &self.active.bytes[self.active.flushed..];
+        match self.opts.fault.fs_fault(self.opts.shard, op) {
+            FsFault::FlushFail => {
+                metrics::fs_flush_failures().inc();
+                return Err(io::Error::other(format!(
+                    "injected fault: flush {op} of shard {} store failed",
+                    self.opts.shard
+                )));
+            }
+            FsFault::ShortWrite => {
+                // Tear the write mid-record, then run the repair path the
+                // store would run after noticing a torn tail it just
+                // wrote: rewind the file to the last durable boundary and
+                // rewrite the whole tail.
+                metrics::fs_short_writes().inc();
+                self.active.file.write_all(&tail[..pending / 2])?;
+                self.active.file.flush()?;
+                self.active.file.set_len(self.active.flushed as u64)?;
+                self.active.file.seek(SeekFrom::Start(self.active.flushed as u64))?;
+                self.active.file.write_all(tail)?;
+            }
+            FsFault::None => {
+                self.active.file.write_all(tail)?;
+            }
+        }
+        self.active.file.flush()?;
+        self.active.flushed = self.active.bytes.len();
+        metrics::flush_us().observe(start.elapsed().as_micros() as u64);
+        Ok(())
+    }
+
+    /// Flush, retrying through injected failures (bounded).
+    fn flush_durably(&mut self) -> io::Result<()> {
+        let mut last = Ok(());
+        for _ in 0..FLUSH_RETRIES {
+            last = self.flush();
+            if last.is_ok() {
+                return Ok(());
+            }
+        }
+        last
+    }
+
+    /// Write a durable snapshot covering everything appended so far:
+    /// flush the log, persist `state` to a `snap-<lsn>` file, and
+    /// garbage-collect older snapshot files. Returns the covered LSN.
+    ///
+    /// This is the store's compaction: the log keeps its full history for
+    /// historical reads, but recovery replay shrinks to zero.
+    pub fn snapshot(&mut self, state: &[u8]) -> io::Result<u64> {
+        self.flush_durably()?;
+        let lsn = self.next_lsn;
+        let mut buf = Vec::with_capacity(state.len() + 24);
+        buf.extend_from_slice(SNAP_MAGIC);
+        buf.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        buf.extend_from_slice(&lsn.to_le_bytes());
+        buf.extend_from_slice(&(state.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(state).to_le_bytes());
+        buf.extend_from_slice(state);
+        fs::write(snap_path(&self.dir, lsn), &buf)?;
+        let old = self.snapshot_lsn;
+        self.snapshot_lsn = lsn;
+        self.snapshot_state = Some(state.to_vec());
+        // The delta restarts at the current end of the log.
+        self.live_anchor = (self.sealed.len(), self.active.bytes.len() as u64);
+        if old != lsn {
+            let stale = snap_path(&self.dir, old);
+            if stale.exists() && fs::remove_file(stale).is_ok() {
+                metrics::snapshots_gc().inc();
+            }
+        }
+        metrics::compactions().inc();
+        self.reclaim_gauges();
+        Ok(lsn)
+    }
+
+    /// Locate `(segment, offset)` of record `lsn`, walking record frames
+    /// within its segment. `None` when `lsn` is the log head.
+    fn locate(&self, lsn: u64) -> Option<(usize, u32)> {
+        if lsn >= self.next_lsn {
+            return None;
+        }
+        // Segment first-LSNs are strictly increasing, so the owning
+        // segment is the last one starting at or below `lsn`.
+        let seg = if lsn >= self.active.first_lsn {
+            self.sealed.len()
+        } else {
+            self.sealed.partition_point(|s| s.first_lsn <= lsn) - 1
+        };
+        let first = if seg < self.sealed.len() {
+            self.sealed[seg].first_lsn
+        } else {
+            self.active.first_lsn
+        };
+        let data = self.segment_data(seg).ok()?;
+        let mut remaining = lsn - first;
+        let mut found = 0u32;
+        scan_records(&data, |r| {
+            if remaining == 0 {
+                found = r.offset as u32;
+                return false;
+            }
+            remaining -= 1;
+            true
+        })
+        .ok()?;
+        Some((seg, found))
+    }
+
+    fn segment_data(&self, seg: usize) -> io::Result<Cow<'_, [u8]>> {
+        if seg < self.sealed.len() {
+            Ok(Cow::Owned(fs::read(&self.sealed[seg].path)?))
+        } else {
+            Ok(Cow::Borrowed(&self.active.bytes))
+        }
+    }
+
+    /// Walk records from `(seg, off)` to the log head; `f` returns `false`
+    /// to stop early. Reads sealed segments from disk and the active
+    /// segment from its mirror.
+    fn walk(
+        &self,
+        mut seg: usize,
+        mut off: u32,
+        mut lsn: u64,
+        f: &mut impl FnMut(u64, RecordRef<'_>) -> bool,
+    ) -> io::Result<()> {
+        while seg < self.segment_count() {
+            let data = self.segment_data(seg)?;
+            let slice = &data[off as usize..];
+            let base = off as u64;
+            let mut stop = false;
+            scan_records(slice, |r| {
+                let keep = f(lsn, RecordRef { offset: r.offset + base, ..r });
+                lsn += 1;
+                stop = !keep;
+                keep
+            })
+            .map_err(|torn| io::Error::other(format!("segment {seg} corrupt mid-walk: {torn}")))?;
+            if stop {
+                return Ok(());
+            }
+            seg += 1;
+            off = 0;
+        }
+        Ok(())
+    }
+
+    /// Records past the newest durable snapshot, in LSN order — the
+    /// recovery delta a caller replays on top of the snapshot state.
+    pub fn replay_delta(&self) -> io::Result<Vec<StoredRecord>> {
+        let mut out = Vec::new();
+        let Some((seg, off)) = self.locate(self.snapshot_lsn) else {
+            return Ok(out);
+        };
+        self.walk(seg, off, self.snapshot_lsn, &mut |lsn, r| {
+            out.push(StoredRecord { lsn, user: r.user, t: r.t, payload: r.payload.to_vec() });
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Historical read: every record of `user` with `t ∈ [t0, t1]`, in
+    /// applied order. Seeks to the sparse-index anchor before `t0` and
+    /// walks forward; stops as soon as the user's records pass `t1`
+    /// (per-user times are non-decreasing in an in-order log).
+    pub fn query(&self, user: u32, t0: i64, t1: i64) -> io::Result<Vec<StoredRecord>> {
+        let mut out = Vec::new();
+        let Some(anchor) = self.index.start(user, t0) else {
+            return Ok(out);
+        };
+        // The anchor's LSN is unknown (only its location is kept); LSNs in
+        // the callback are relative and unused here.
+        self.walk(anchor.seg as usize, anchor.off, 0, &mut |_, r| {
+            if r.user != user {
+                return true;
+            }
+            if r.t > t1 {
+                return false;
+            }
+            if r.t >= t0 {
+                out.push(StoredRecord {
+                    lsn: 0,
+                    user: r.user,
+                    t: r.t,
+                    payload: r.payload.to_vec(),
+                });
+            }
+            true
+        })?;
+        Ok(out)
+    }
+}
+
+impl Drop for EventStore {
+    fn drop(&mut self) {
+        // Release this instance's gauge contributions; a recovery reopen
+        // re-claims them from zero.
+        metrics::segments().add(-self.claimed_segments);
+        metrics::bytes_total().add(-self.claimed_total);
+        metrics::bytes_live().add(-self.claimed_live);
+    }
+}
+
+/// Read and validate one snapshot file; `Ok(None)` when it is torn or
+/// corrupt (the caller falls back to an older snapshot).
+fn read_snapshot_file(path: &Path) -> io::Result<Option<Vec<u8>>> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < 24 || &bytes[..4] != SNAP_MAGIC {
+        return Ok(None);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != SNAP_VERSION {
+        return Ok(None);
+    }
+    let state_len = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    let Some(state) = bytes.get(24..24 + state_len) else {
+        return Ok(None);
+    };
+    if crc32(state) != crc {
+        return Ok(None);
+    }
+    Ok(Some(state.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("geosocial-store-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_opts() -> StoreOptions {
+        StoreOptions { segment_bytes: 512, index_every: 4, ..StoreOptions::default() }
+    }
+
+    fn fill(store: &mut EventStore, n: usize) {
+        for i in 0..n {
+            let user = (i % 3) as u32;
+            let t = i as i64 * 10;
+            let payload = [user as u8, i as u8, 0xAB];
+            store.append(user, t, &payload).expect("append");
+        }
+    }
+
+    #[test]
+    fn append_flush_reopen_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let mut store = EventStore::open(&dir, small_opts()).expect("open");
+        fill(&mut store, 100);
+        assert_eq!(store.next_lsn(), 100);
+        assert!(store.segment_count() > 1, "512-byte segments must roll");
+        store.flush().expect("flush");
+        let total = store.total_bytes();
+        drop(store);
+
+        let store = EventStore::open(&dir, small_opts()).expect("reopen");
+        assert_eq!(store.next_lsn(), 100, "every record survives reopen");
+        assert_eq!(store.total_bytes(), total);
+        let delta = store.replay_delta().expect("delta");
+        assert_eq!(delta.len(), 100, "no snapshot yet: the whole log is delta");
+        assert_eq!(delta[0].lsn, 0);
+        assert_eq!(delta[99].lsn, 99);
+        assert_eq!(delta[7].user, 1);
+        assert_eq!(delta[7].t, 70);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_bounds_recovery_delta_and_gcs_old_files() {
+        let dir = tmp_dir("snapshot");
+        let mut store = EventStore::open(&dir, small_opts()).expect("open");
+        fill(&mut store, 50);
+        store.snapshot(b"state@50").expect("snapshot");
+        assert_eq!(store.records_since_snapshot(), 0);
+        fill(&mut store, 30);
+        store.snapshot(b"state@80").expect("snapshot");
+        fill(&mut store, 20);
+        store.flush().expect("flush");
+        drop(store);
+
+        let store = EventStore::open(&dir, small_opts()).expect("reopen");
+        assert_eq!(store.snapshot_lsn(), 80);
+        assert_eq!(store.snapshot_state(), Some(&b"state@80"[..]));
+        let delta = store.replay_delta().expect("delta");
+        assert_eq!(delta.len(), 20, "recovery replays only past the snapshot");
+        assert_eq!(delta[0].lsn, 80);
+        let snaps = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().starts_with("snap-"))
+            .count();
+        assert_eq!(snaps, 1, "older snapshot files are garbage-collected");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unflushed_tail_is_lost_but_log_stays_valid() {
+        let dir = tmp_dir("tail");
+        let mut store = EventStore::open(&dir, StoreOptions::default()).expect("open");
+        fill(&mut store, 10);
+        store.flush().expect("flush");
+        fill(&mut store, 5); // buffered only
+        drop(store);
+
+        let store = EventStore::open(&dir, StoreOptions::default()).expect("reopen");
+        assert_eq!(store.next_lsn(), 10, "the unflushed tail is the documented loss window");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_last_boundary_on_open() {
+        let dir = tmp_dir("torn");
+        let mut store = EventStore::open(&dir, StoreOptions::default()).expect("open");
+        fill(&mut store, 10);
+        store.flush().expect("flush");
+        let path = store.active.path.clone();
+        drop(store);
+        // Tear the tail mid-record.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let torn_len = fs::metadata(&path).unwrap().len();
+        let store = EventStore::open(&dir, StoreOptions::default()).expect("reopen");
+        assert_eq!(store.next_lsn(), 9, "torn record dropped, valid prefix kept");
+        assert!(
+            fs::metadata(&path).unwrap().len() < torn_len,
+            "open truncated the torn tail off the file"
+        );
+        let delta = store.replay_delta().expect("delta");
+        assert_eq!(delta.len(), 9);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn queries_answer_historical_windows_per_user() {
+        let dir = tmp_dir("query");
+        let mut store = EventStore::open(&dir, small_opts()).expect("open");
+        // User 7 at t = 0,100,200,...,900 interleaved with user 8 and
+        // control sentinels.
+        for i in 0..10i64 {
+            store.append(7, i * 100, &[7, i as u8]).expect("append");
+            store.append(8, i * 100 + 1, &[8, i as u8]).expect("append");
+            store.append(SENTINEL_USER, 0, b"ctl").expect("append");
+        }
+        let all = store.query(7, i64::MIN, i64::MAX).expect("query");
+        assert_eq!(all.len(), 10);
+        assert_eq!(store.applied(7), 10);
+        assert_eq!(store.applied(SENTINEL_USER), 0, "sentinels are not user history");
+
+        let window = store.query(7, 200, 600).expect("query");
+        assert_eq!(window.iter().map(|r| r.t).collect::<Vec<_>>(), vec![200, 300, 400, 500, 600]);
+        assert_eq!(window[0].payload, vec![7, 2]);
+
+        let as_of = store.query(7, i64::MIN, 449).expect("query");
+        assert_eq!(as_of.len(), 5, "as-of 449 sees t = 0..400");
+
+        assert!(store.query(99, i64::MIN, i64::MAX).expect("query").is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn queries_see_history_across_reopen_and_snapshot() {
+        let dir = tmp_dir("query-reopen");
+        let mut store = EventStore::open(&dir, small_opts()).expect("open");
+        for i in 0..40i64 {
+            store.append(1, i, &[i as u8]).expect("append");
+        }
+        store.snapshot(b"s").expect("snapshot");
+        for i in 40..60i64 {
+            store.append(1, i, &[i as u8]).expect("append");
+        }
+        store.flush().expect("flush");
+        drop(store);
+
+        let store = EventStore::open(&dir, small_opts()).expect("reopen");
+        let all = store.query(1, i64::MIN, i64::MAX).expect("query");
+        assert_eq!(all.len(), 60, "snapshots compact recovery, never the history");
+        assert_eq!(all[59].t, 59);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_older_one() {
+        let dir = tmp_dir("badsnap");
+        let mut store = EventStore::open(&dir, small_opts()).expect("open");
+        fill(&mut store, 20);
+        store.snapshot(b"good").expect("snapshot");
+        fill(&mut store, 10);
+        store.snapshot(b"newer").expect("snapshot");
+        let newer = snap_path(&dir, 30);
+        drop(store);
+        // Corrupt the newest snapshot's payload.
+        let mut bytes = fs::read(&newer).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newer, &bytes).unwrap();
+        // Re-create the older snapshot the GC removed.
+        drop(bytes);
+        let mut resurrect = EventStore::open(tmp_dir("badsnap-aux"), small_opts()).expect("open");
+        fill(&mut resurrect, 20);
+        resurrect.snapshot(b"good").expect("snapshot");
+        fs::copy(snap_path(resurrect.dir(), 20), snap_path(&dir, 20)).unwrap();
+
+        let store = EventStore::open(&dir, small_opts()).expect("reopen");
+        assert_eq!(store.snapshot_lsn(), 20, "corrupt snapshot skipped");
+        assert_eq!(store.snapshot_state(), Some(&b"good"[..]));
+        assert!(!newer.exists(), "corrupt snapshot file collected");
+        fs::remove_dir_all(&dir).ok();
+        fs::remove_dir_all(tmp_dir("badsnap-aux")).ok();
+    }
+}

@@ -1,0 +1,144 @@
+//! Torn-write property tests: a segment truncated or bit-flipped at an
+//! arbitrary offset always recovers to the last valid record boundary —
+//! never panics, never yields a corrupt record, and reports a structured
+//! offset-carrying error for the rejected tail.
+
+use geosocial_store::{append_record, scan_records, EventStore, StoreOptions};
+use proptest::prelude::*;
+
+/// Build a segment from `spec` and return `(bytes, record boundaries)`.
+/// Boundary `i` is the byte offset where record `i` starts; the final
+/// entry is the segment length.
+fn build(spec: &[(u32, i64, Vec<u8>)]) -> (Vec<u8>, Vec<usize>) {
+    let mut buf = Vec::new();
+    let mut bounds = vec![0usize];
+    for (user, t, payload) in spec {
+        append_record(&mut buf, *user, *t, payload);
+        bounds.push(buf.len());
+    }
+    (buf, bounds)
+}
+
+type Prefix = (Vec<(u32, i64, Vec<u8>)>, Result<usize, u64>);
+
+/// Records in `bytes` up to the first invalid one.
+fn valid_prefix(bytes: &[u8]) -> Prefix {
+    let mut recs = Vec::new();
+    let res = scan_records(bytes, |r| {
+        recs.push((r.user, r.t, r.payload.to_vec()));
+        true
+    });
+    (recs, res.map_err(|torn| torn.offset))
+}
+
+fn record_spec() -> impl Strategy<Value = Vec<(u32, i64, Vec<u8>)>> {
+    prop::collection::vec(
+        (0u32..50, -1_000_000i64..1_000_000, prop::collection::vec(0u8..=255, 0..40)),
+        1..30,
+    )
+}
+
+proptest! {
+    /// Truncating at ANY byte offset recovers exactly the records whose
+    /// frames fit entirely below the cut.
+    #[test]
+    fn truncation_recovers_to_last_record_boundary(
+        spec in record_spec(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let (bytes, bounds) = build(&spec);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let (recs, res) = valid_prefix(&bytes[..cut]);
+        // How many whole records fit below the cut.
+        let whole = bounds.iter().filter(|&&b| b <= cut).count() - 1;
+        prop_assert_eq!(recs.len(), whole);
+        for (got, want) in recs.iter().zip(spec.iter()) {
+            prop_assert_eq!(got, want);
+        }
+        if cut == bounds[whole] {
+            // Cut exactly on a boundary: a clean scan.
+            prop_assert_eq!(res, Ok(whole));
+        } else {
+            // Mid-record: structured error pointing at the boundary.
+            prop_assert_eq!(res, Err(bounds[whole] as u64));
+        }
+    }
+
+    /// A single bit flip anywhere is caught: the scan never panics, every
+    /// record it yields is one that was actually written, and the reported
+    /// boundary is a real record boundary.
+    #[test]
+    fn bit_flip_never_yields_corrupt_records(
+        spec in record_spec(),
+        flip_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let (mut bytes, bounds) = build(&spec);
+        let at = ((bytes.len() as f64) * flip_frac) as usize % bytes.len();
+        bytes[at] ^= 1 << bit;
+        let (recs, res) = valid_prefix(&bytes);
+        match res {
+            Ok(n) => {
+                // The flip produced a differently-valid segment (it can
+                // only happen inside a payload byte whose record the crc
+                // no longer covers — impossible — or by chance of crc
+                // collision; either way every yielded record must parse).
+                prop_assert_eq!(recs.len(), n);
+            }
+            Err(offset) => {
+                prop_assert!(bounds.contains(&(offset as usize)),
+                    "torn offset {} must be a record boundary", offset);
+                let whole = bounds.iter().position(|&b| b == offset as usize).unwrap();
+                prop_assert!(recs.len() <= whole.max(bounds.len() - 1));
+                // Records before the flipped one are untouched.
+                for (i, got) in recs.iter().enumerate() {
+                    if bounds[i + 1] <= at {
+                        prop_assert_eq!(got, &spec[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// End-to-end through the store: tear the on-disk active segment at an
+    /// arbitrary offset; reopening truncates to the boundary and replays a
+    /// clean prefix.
+    #[test]
+    fn store_reopen_after_torn_tail_replays_clean_prefix(
+        n in 1usize..60,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "geosocial-store-torn-{}-{n}-{}",
+            std::process::id(),
+            (cut_frac * 1e6) as u64
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        let mut bounds = vec![0usize];
+        for i in 0..n {
+            store.append(i as u32 % 4, i as i64, &[i as u8; 5]).unwrap();
+            bounds.push((i + 1) * (8 + 1 + 1 + 5)); // header + user + t + payload
+        }
+        store.flush().unwrap();
+        let path = store.dir().join("seg-0000000000000000.log");
+        drop(store);
+
+        let bytes = std::fs::read(&path).unwrap();
+        prop_assert_eq!(bytes.len(), *bounds.last().unwrap());
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        let store = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        let whole = bounds.iter().filter(|&&b| b <= cut).count() - 1;
+        prop_assert_eq!(store.next_lsn(), whole as u64);
+        let delta = store.replay_delta().unwrap();
+        prop_assert_eq!(delta.len(), whole);
+        for (i, rec) in delta.iter().enumerate() {
+            prop_assert_eq!(rec.user, i as u32 % 4);
+            prop_assert_eq!(rec.t, i as i64);
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

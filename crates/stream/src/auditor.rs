@@ -468,6 +468,150 @@ impl OnlineAuditor {
         self.detector.pending_len()
     }
 
+    /// Export the auditor's complete mutable state as plain data for a
+    /// durable snapshot. Everything derivable from the config — the
+    /// projection, thresholds, budgets, local coordinates — is omitted and
+    /// re-derived on [`Self::restore`], which makes the roundtrip
+    /// bit-exact under an identical config.
+    pub fn export_state(&self) -> crate::snapshot::AuditorState {
+        use crate::snapshot::{HeldEventState, PendingCheckinState, StageState, TrackedVisitState};
+        crate::snapshot::AuditorState {
+            user: self.user,
+            detector: self.detector.export_state(),
+            gps_window: self.gps_window.iter().copied().collect(),
+            last_gps_t: self.last_gps_t,
+            visits: self
+                .visits
+                .iter()
+                .map(|tv| TrackedVisitState {
+                    index: tv.index,
+                    visit: tv.visit,
+                    winner: tv.winner,
+                    resolved: tv.resolved,
+                })
+                .collect(),
+            next_visit_index: self.next_visit_index,
+            pending: self
+                .pending
+                .iter()
+                .map(|pc| PendingCheckinState {
+                    index: pc.index,
+                    checkin: pc.checkin,
+                    stage: match pc.stage {
+                        Stage::Candidate => StageState::Candidate,
+                        Stage::Dedup(vi) => StageState::Dedup(vi),
+                        Stage::Classify => StageState::Classify,
+                        Stage::Done => unreachable!("Done entries are swept before export"),
+                    },
+                })
+                .collect(),
+            checkin_count: self.checkin_count,
+            frontier: self.frontier,
+            reorder: self.reorder.as_ref().map(|r| {
+                let parts = r.export_parts();
+                crate::snapshot::ReorderState {
+                    held: parts
+                        .held
+                        .into_iter()
+                        .map(|(t, seq, ev)| {
+                            let ev = match ev {
+                                UserEvent::Gps(p) => HeldEventState::Gps(p),
+                                UserEvent::Checkin(c) => HeldEventState::Checkin(c),
+                            };
+                            (t, seq, ev)
+                        })
+                        .collect(),
+                    next_seq: parts.next_seq,
+                    watermark: parts.watermark,
+                    released: parts.released,
+                    late_dropped: parts.late_dropped,
+                }
+            }),
+            verdicts: self.verdicts.iter().copied().collect(),
+            comp: self.comp,
+            finished: self.finished,
+        }
+    }
+
+    /// Rebuild an auditor from an exported state under `cfg` (which must
+    /// equal the exporting side's config) and the same POI universe. The
+    /// restored auditor's observable behaviour — verdicts, compositions,
+    /// every float — is bit-identical to one that was never exported.
+    pub fn restore(
+        cfg: AuditConfig,
+        pois: Option<Arc<PoiUniverse>>,
+        state: crate::snapshot::AuditorState,
+    ) -> Self {
+        use crate::snapshot::{HeldEventState, StageState};
+        let proj = LocalProjection::new(cfg.origin);
+        let detector =
+            OnlineVisitDetector::restore(cfg.visit, pois, cfg.max_pending_fixes, state.detector);
+        let visits = state
+            .visits
+            .into_iter()
+            .map(|tv| TrackedVisit {
+                index: tv.index,
+                local: proj.to_local(tv.visit.centroid),
+                visit: tv.visit,
+                winner: tv.winner,
+                resolved: tv.resolved,
+            })
+            .collect();
+        let pending = state
+            .pending
+            .into_iter()
+            .map(|pc| PendingCheckin {
+                index: pc.index,
+                local: proj.to_local(pc.checkin.location),
+                checkin: pc.checkin,
+                stage: match pc.stage {
+                    StageState::Candidate => Stage::Candidate,
+                    StageState::Dedup(vi) => Stage::Dedup(vi),
+                    StageState::Classify => Stage::Classify,
+                },
+            })
+            .collect();
+        let reorder = state.reorder.map(|r| {
+            Reorderer::restore(
+                cfg.allowed_lateness_s,
+                crate::watermark::ReordererParts {
+                    held: r
+                        .held
+                        .into_iter()
+                        .map(|(t, seq, ev)| {
+                            let ev = match ev {
+                                HeldEventState::Gps(p) => UserEvent::Gps(p),
+                                HeldEventState::Checkin(c) => UserEvent::Checkin(c),
+                            };
+                            (t, seq, ev)
+                        })
+                        .collect(),
+                    next_seq: r.next_seq,
+                    watermark: r.watermark,
+                    released: r.released,
+                    late_dropped: r.late_dropped,
+                },
+            )
+        });
+        Self {
+            user: state.user,
+            cfg,
+            proj,
+            detector,
+            gps_window: state.gps_window.into(),
+            last_gps_t: state.last_gps_t,
+            visits,
+            next_visit_index: state.next_visit_index,
+            pending,
+            checkin_count: state.checkin_count,
+            frontier: state.frontier,
+            reorder,
+            verdicts: state.verdicts.into(),
+            comp: state.comp,
+            finished: state.finished,
+        }
+    }
+
     // -- internal ----------------------------------------------------------
 
     /// β in seconds.
@@ -883,6 +1027,73 @@ mod tests {
         let comp = a.composition();
         assert_eq!(comp.total_checkins, 5);
         assert_eq!(comp.unclassified, 5, "no-evidence checkins are unclassified");
+    }
+
+    #[test]
+    fn export_restore_roundtrip_is_bit_identical() {
+        // Drive two auditors through the same stream, exporting/restoring
+        // one at every step; their verdicts and compositions must never
+        // diverge, down to the float bits.
+        let cfg = AuditConfig::paper(origin());
+        let mut live = OnlineAuditor::new(9, cfg.clone());
+        let mut churned = OnlineAuditor::new(9, cfg.clone());
+        let mut t = 0;
+        let mut live_vs = Vec::new();
+        let mut churned_vs = Vec::new();
+        for block in 0..4 {
+            let x = block as f64 * 2_000.0;
+            for j in 0..=8 {
+                live.push_gps(fix(t, x));
+                churned.push_gps(fix(t, x));
+                if j == 4 {
+                    live.push_checkin(ck(t, x + 30.0));
+                    churned.push_checkin(ck(t, x + 30.0));
+                }
+                t += MINUTE;
+                live_vs.extend(drain(&mut live));
+                churned_vs.extend(drain(&mut churned));
+                // Serialize-shaped roundtrip: export → restore.
+                let state = churned.export_state();
+                assert_eq!(state, churned.export_state(), "export is deterministic");
+                churned = OnlineAuditor::restore(cfg.clone(), None, state);
+            }
+            live.push_gps(fix(t, x + 1_200.0));
+            churned.push_gps(fix(t, x + 1_200.0));
+            t += MINUTE;
+        }
+        live.finish();
+        churned.finish();
+        live_vs.extend(drain(&mut live));
+        churned_vs.extend(drain(&mut churned));
+        assert_eq!(live_vs.len(), churned_vs.len());
+        for (a, b) in live_vs.iter().zip(&churned_vs) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.checkin_index, b.checkin_index);
+            assert_eq!(a.visit_index, b.visit_index);
+            assert_eq!(a.distance_m.to_bits(), b.distance_m.to_bits());
+            assert_eq!(a.dt_s, b.dt_s);
+        }
+        assert_eq!(live.composition(), churned.composition());
+        assert_eq!(live.composition().honest, 4);
+    }
+
+    #[test]
+    fn export_restore_preserves_lateness_buffer() {
+        let mut cfg = AuditConfig::paper(origin());
+        cfg.allowed_lateness_s = 10 * MINUTE;
+        let mut a = OnlineAuditor::new(11, cfg.clone());
+        for i in 0..=6 {
+            a.push_gps(fix(i * MINUTE, 0.0));
+        }
+        // Out-of-order checkin within the bound: held, not dropped.
+        a.push_checkin(ck(3 * MINUTE, 10.0));
+        assert!(a.held_events() > 0, "lateness buffer should hold events");
+        let mut b = OnlineAuditor::restore(cfg, None, a.export_state());
+        assert_eq!(b.held_events(), a.held_events());
+        a.finish();
+        b.finish();
+        assert_eq!(a.composition(), b.composition());
+        assert_eq!(a.composition().total_checkins, 1);
     }
 
     #[test]

@@ -71,6 +71,37 @@ pub fn dataset_events(ds: &Dataset) -> Vec<StreamEvent> {
     evs
 }
 
+/// Audit a time window in isolation: feed each user's events with
+/// `t ∈ [t0, t1]` (already per-user in-order) into a fresh auditor and
+/// finish it, returning per-user compositions sorted by user id.
+///
+/// This is the primitive behind the serving layer's `Window` request —
+/// *cohort composition over a historical interval* — answered from the
+/// event store's log while live ingest keeps running. With
+/// `t1 = ∞, t0 = -∞` it degenerates to a full replay; with `t1` at a past
+/// watermark it equals the batch pipeline truncated there (the as-of
+/// equivalence the time-travel experiment checks).
+pub fn window_compositions(
+    events: &[StreamEvent],
+    cfg: &AuditConfig,
+    pois: Option<&Arc<PoiUniverse>>,
+    t0: Timestamp,
+    t1: Timestamp,
+) -> Vec<StreamComposition> {
+    let mut cohort = CohortAuditor::new(cfg.clone());
+    if let Some(p) = pois {
+        cohort = cohort.with_pois(Arc::clone(p));
+    }
+    for ev in events {
+        if ev.t() < t0 || ev.t() > t1 {
+            continue;
+        }
+        cohort.push(ev.clone());
+    }
+    cohort.finish();
+    cohort.compositions()
+}
+
 /// Per-user online auditors behind a single ingest facade.
 #[derive(Debug)]
 pub struct CohortAuditor {

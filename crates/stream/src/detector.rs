@@ -158,6 +158,46 @@ impl OnlineVisitDetector {
         self.frontier
     }
 
+    /// Export the complete mutable state (config, POIs, and the budget are
+    /// the restoring side's responsibility).
+    pub(crate) fn export_state(&self) -> crate::snapshot::DetectorState {
+        crate::snapshot::DetectorState {
+            buffer: self.buffer.iter().copied().collect(),
+            validated: self.validated,
+            broke: self.broke,
+            emitted: self.emitted.iter().copied().collect(),
+            emitted_total: self.emitted_total,
+            frontier: self.frontier,
+            late_dropped: self.late_dropped,
+            forced_closures: self.forced_closures,
+            finished: self.finished,
+        }
+    }
+
+    /// Rebuild a detector that continues exactly where [`Self::export_state`]
+    /// left off, under the same config, POIs, and budget.
+    pub(crate) fn restore(
+        config: VisitConfig,
+        pois: Option<Arc<PoiUniverse>>,
+        max_pending: usize,
+        state: crate::snapshot::DetectorState,
+    ) -> Self {
+        Self {
+            config,
+            pois,
+            buffer: state.buffer.into(),
+            validated: state.validated,
+            broke: state.broke,
+            emitted: state.emitted.into(),
+            emitted_total: state.emitted_total,
+            frontier: state.frontier,
+            late_dropped: state.late_dropped,
+            forced_closures: state.forced_closures,
+            max_pending: max_pending.max(2),
+            finished: state.finished,
+        }
+    }
+
     /// Run the batch window loop as far as current knowledge permits.
     ///
     /// Invariant: `buffer[..validated]` is the (maximal so far) stay window

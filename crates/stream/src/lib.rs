@@ -23,11 +23,17 @@
 //! * [`equivalence_report`] — replays a batch dataset through the streaming
 //!   path and diffs every per-user count against the batch pipeline: the
 //!   subsystem's correctness anchor.
+//!
+//! For durable crash recovery the auditor state is exportable as plain
+//! data ([`snapshot`], [`OnlineAuditor::export_state`] /
+//! [`OnlineAuditor::restore`]): a restored auditor continues
+//! bit-identically to one that was never serialized.
 
 mod auditor;
 mod cohort;
 mod detector;
 mod equivalence;
+pub mod snapshot;
 mod watermark;
 
 /// Cached handles to the crate's exported stream-health metrics (see the
@@ -75,7 +81,7 @@ pub(crate) mod metrics {
 }
 
 pub use auditor::{AuditConfig, AuditVerdict, OnlineAuditor, StreamComposition, VerdictKind};
-pub use cohort::{dataset_events, CohortAuditor, StreamEvent};
+pub use cohort::{dataset_events, window_compositions, CohortAuditor, StreamEvent};
 pub use detector::OnlineVisitDetector;
 pub use equivalence::{
     equivalence_report, replay_config, stream_compositions, EquivalenceReport, Mismatch,

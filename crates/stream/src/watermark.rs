@@ -41,6 +41,16 @@ impl<E> Ord for Held<E> {
     }
 }
 
+/// The plain-data pieces of a [`Reorderer`], for state export.
+#[derive(Debug, Clone)]
+pub(crate) struct ReordererParts<E> {
+    pub held: Vec<(Timestamp, u64, E)>,
+    pub next_seq: u64,
+    pub watermark: Option<Timestamp>,
+    pub released: Option<Timestamp>,
+    pub late_dropped: usize,
+}
+
 /// Bounded-disorder reorder buffer keyed on event time.
 #[derive(Debug, Clone)]
 pub struct Reorderer<E> {
@@ -110,6 +120,42 @@ impl<E> Reorderer<E> {
     /// Events dropped for arriving later than the lateness bound allows.
     pub fn late_dropped(&self) -> usize {
         self.late_dropped
+    }
+
+    /// Export the buffer as plain parts: held events sorted by
+    /// `(t, seq)` (deterministic regardless of heap layout), plus the
+    /// counters. The lateness bound is the restoring side's configuration.
+    pub(crate) fn export_parts(&self) -> ReordererParts<E>
+    where
+        E: Clone,
+    {
+        let mut held: Vec<(Timestamp, u64, E)> =
+            self.heap.iter().map(|h| (h.t, h.seq, h.ev.clone())).collect();
+        held.sort_by_key(|&(t, seq, _)| (t, seq));
+        ReordererParts {
+            held,
+            next_seq: self.next_seq,
+            watermark: self.watermark,
+            released: self.released,
+            late_dropped: self.late_dropped,
+        }
+    }
+
+    /// Rebuild a buffer that continues exactly where
+    /// [`Self::export_parts`] left off.
+    pub(crate) fn restore(allowed_lateness_s: i64, parts: ReordererParts<E>) -> Self {
+        let mut heap = BinaryHeap::with_capacity(parts.held.len());
+        for (t, seq, ev) in parts.held {
+            heap.push(Held { t, seq, ev });
+        }
+        Self {
+            lateness: allowed_lateness_s.max(0),
+            heap,
+            next_seq: parts.next_seq,
+            watermark: parts.watermark,
+            released: parts.released,
+            late_dropped: parts.late_dropped,
+        }
     }
 
     /// Events currently held.

@@ -10,7 +10,9 @@
 #   3. an observability smoke: a standalone geosocial-serve is replayed
 #      into, scraped live via the Metrics request (metrics_scrape example),
 #      and the latency histograms / per-shard verdict counters are checked
-#      for presence and sum-consistency with the loadgen report.
+#      for presence and sum-consistency with the loadgen report — plus an
+#      event-store smoke: every replayed event must have been appended to
+#      the shard stores (the store.appends counter in the same scrape).
 #
 # Usage: scripts/check.sh
 # Exits non-zero on the first failure.
@@ -100,6 +102,15 @@ echo "$expo" | awk -v want="$report_verdicts" '
     END {
         if (sum > 0 && sum == want) { print "   per-shard verdicts: " sum " (= report total)" }
         else { print "error: shard verdict sum " sum " != report verdicts " want > "/dev/stderr"; exit 1 }
+    }'
+report_events="$(grep -o '"total_events": [0-9]*' "$obs_out" | head -n1 | grep -o '[0-9]*')"
+echo "$expo" | awk -v want="$report_events" '
+    $1 == "counter" && $2 == "store.appends" { sum += $3 }
+    END {
+        # Every ingested event is one store record; Hello/Finish sentinels
+        # push the counter past the replayed-event total.
+        if (sum >= want && want > 0) { print "   event store: " sum " records appended (>= " want " events)" }
+        else { print "error: store.appends " sum " < replayed events " want > "/dev/stderr"; exit 1 }
     }'
 kill "$serve_pid" 2>/dev/null || true
 serve_pid=""

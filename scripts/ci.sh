@@ -15,16 +15,19 @@
 #   5. wire smoke    — a batch-verified replay on the binary wire with
 #                      batched GpsRun frames (the JSON wire is smoked by
 #                      check.sh), so both encodings gate every merge
-#   6. check.sh      — tier-1 gate + serving/observability smokes over a
+#   6. store smoke   — the event-store micro-benchmark at a reduced scale,
+#                      exercising append/segment-roll/snapshot/reopen/query
+#                      through the shipped geosocial-store-bench binary
+#   7. check.sh      — tier-1 gate + serving/observability smokes over a
 #                      real TCP server
 #
 # Usage: scripts/ci.sh [step...]   (no args = all steps)
-# Steps: fmt clippy build test chaos wire check
+# Steps: fmt clippy build test chaos wire store check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 steps=("$@")
-[ ${#steps[@]} -eq 0 ] && steps=(fmt clippy build test chaos wire check)
+[ ${#steps[@]} -eq 0 ] && steps=(fmt clippy build test chaos wire store check)
 
 want() {
     local s
@@ -41,7 +44,8 @@ if want clippy; then
     echo "==> ci: clippy (workspace, all targets, -D warnings)"
     cargo clippy --workspace --all-targets -- -D warnings
     echo "==> ci: clippy (fault-inject feature chain)"
-    cargo clippy -p geosocial-fault -p geosocial-serve -p geosocial-experiments \
+    cargo clippy -p geosocial-fault -p geosocial-store -p geosocial-serve \
+        -p geosocial-experiments \
         --all-targets \
         --features geosocial-fault/inject,geosocial-serve/fault-inject,geosocial-experiments/fault-inject \
         -- -D warnings
@@ -82,6 +86,16 @@ if want wire; then
         --wire binary --run-len 64 \
         --verify --out "$wire_out"
     rm -f "$wire_out"
+fi
+
+if want store; then
+    echo "==> ci: event-store smoke (reduced-scale bench)"
+    cargo build --release -p geosocial-store
+    store_out="$(mktemp -t bench_store_smoke.XXXXXX.json)"
+    ./target/release/geosocial-store-bench 20000 64 64 > "$store_out"
+    grep -q '"append_per_s"' "$store_out" \
+        || { echo "error: store bench produced no report" >&2; exit 1; }
+    rm -f "$store_out"
 fi
 
 if want check; then
