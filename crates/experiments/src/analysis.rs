@@ -25,8 +25,8 @@ impl Analysis {
     /// Generate a scenario and run the full §4–§5 pipeline on it.
     ///
     /// Each stage runs under an `obs` span, so every call feeds the
-    /// `span.analysis`, `span.analysis.generate`, `span.analysis.match`
-    /// and `span.analysis.classify` timing histograms — the per-stage
+    /// `span_us.analysis`, `span_us.analysis.generate`, `span_us.analysis.match`
+    /// and `span_us.analysis.classify` timing histograms — the per-stage
     /// breakdown `repro` appends to `timings.csv`.
     pub fn run(config: &ScenarioConfig, seed: u64) -> Analysis {
         let _run = geosocial_obs::span("analysis");

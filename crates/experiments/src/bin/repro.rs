@@ -166,7 +166,7 @@ fn time_analysis(
     secs
 }
 
-/// Per-stage span rows for `timings.csv`: every `span.*` histogram in the
+/// Per-stage span rows for `timings.csv`: every `span_us.*` histogram in the
 /// registry, as `span:<path>` with its accumulated seconds. `Analysis::run`
 /// alone contributes the four pipeline stages (`analysis`,
 /// `analysis.generate`, `analysis.match`, `analysis.classify`).
@@ -175,7 +175,7 @@ fn span_rows() -> Vec<(String, f64)> {
         .histograms
         .into_iter()
         .filter_map(|(name, h)| {
-            let path = name.strip_prefix("span.")?;
+            let path = name.strip_prefix("span_us.")?;
             Some((format!("span:{path}"), h.sum as f64 / 1e6))
         })
         .collect()

@@ -267,6 +267,9 @@ pub fn chaos_equivalence(_a: &Analysis, seed: u64) -> ExperimentOutput {
                 retry: RetryPolicy { max_retries: 8, base_ms: 5, max_ms: 250 },
                 wire,
                 run_len,
+                // Default head sampling; the chaos experiment measures
+                // equivalence and wall-clock, not trace retention.
+                trace_sample: 64,
             };
             let report = replay(addr, &load)?;
             shutdown_server(addr)?;

@@ -21,21 +21,33 @@
 //!   [`render_text`] emits the whole registry in a line-oriented text
 //!   exposition format; [`snapshot`] returns it programmatically.
 //! * **Span timers** ([`span`] / [`span!`]) — RAII guards that time a
-//!   scope and feed a histogram named `span.<path>`, where `<path>`
+//!   scope and feed a histogram named `span_us.<path>`, where `<path>`
 //!   nests with the enclosing spans on the same thread
 //!   (`analysis.matching`), producing per-stage timing trees.
 //!
-//! Building with the `noop` feature compiles every metric operation and
-//! span timer to nothing (logging stays): `scripts/bench_obs.sh` uses
-//! this to measure the instrumentation overhead end to end.
+//! * **Tracing** ([`trace`]) — 128-bit trace ids with deterministic
+//!   splitmix64 head-sampling, a bounded-ring span collector with
+//!   tail-based "always keep" promotion, wire-portable
+//!   [`trace::TraceContext`], and Chrome trace-event / text-timeline
+//!   export. The serving layer propagates the context end to end; see
+//!   the README's Tracing section.
+//!
+//! Building with the `noop` feature compiles every metric operation,
+//! span timer and trace recording to nothing (logging stays):
+//! `scripts/bench_obs.sh` uses this to measure the instrumentation
+//! overhead end to end.
+//!
+//! Series names carry their unit as a suffix (`_us`, `_bytes`, `_s`) so
+//! the exposition is self-describing and CI gates never guess units.
 
 mod log;
 mod metrics;
 mod span;
+pub mod trace;
 
 pub use crate::log::{log_enabled, log_write, set_format, set_level, set_writer, Format, Level};
 pub use crate::metrics::{
-    counter, gauge, histogram, render_text, snapshot, Counter, Gauge, HistSnapshot, Histogram,
-    Snapshot,
+    counter, gauge, histogram, history, history_tick, render_text, snapshot, Counter, Gauge,
+    HistSnapshot, Histogram, HistoryPoint, Snapshot,
 };
 pub use crate::span::{span, Span, Stopwatch};

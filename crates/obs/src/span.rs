@@ -2,9 +2,9 @@
 //!
 //! [`span("match_checkins")`](span) starts a timer; dropping the guard
 //! (or calling [`Span::stop`]) records the elapsed microseconds into the
-//! histogram `span.<path>`. Spans opened while another span is live **on
+//! histogram `span_us.<path>`. Spans opened while another span is live **on
 //! the same thread** nest: the inner path is prefixed with the outer one
-//! (`span.analysis.matching`), so the exposition reads as a per-stage
+//! (`span_us.analysis.matching`), so the exposition reads as a per-stage
 //! timing tree. Worker threads start with an empty stack — their spans
 //! root their own tree, which keeps parallel sections honest.
 //!
@@ -80,7 +80,7 @@ impl Span {
             }
             self.recorded = true;
             let elapsed = self.start.elapsed();
-            histogram(&format!("span.{}", self.path)).observe(elapsed.as_micros() as u64);
+            histogram(&format!("span_us.{}", self.path)).observe(elapsed.as_micros() as u64);
             STACK.with(|s| {
                 let mut s = s.borrow_mut();
                 debug_assert_eq!(s.last(), Some(&self.path), "span stack discipline");
@@ -161,8 +161,8 @@ mod tests {
             assert!(secs > 0.0);
         }
         let snap = snapshot();
-        let outer = &snap.histograms["span.test_span_outer"];
-        let inner = &snap.histograms["span.test_span_outer.inner"];
+        let outer = &snap.histograms["span_us.test_span_outer"];
+        let inner = &snap.histograms["span_us.test_span_outer.inner"];
         assert_eq!(outer.count, 1);
         assert_eq!(inner.count, 1);
         assert!(outer.sum >= inner.sum, "outer contains inner");
@@ -176,8 +176,8 @@ mod tests {
             drop(span!("b"));
         }
         let snap = snapshot();
-        assert!(snap.histograms.contains_key("span.test_span_parent.a"));
-        assert!(snap.histograms.contains_key("span.test_span_parent.b"));
+        assert!(snap.histograms.contains_key("span_us.test_span_parent.a"));
+        assert!(snap.histograms.contains_key("span_us.test_span_parent.b"));
     }
 
     #[test]
@@ -185,7 +185,7 @@ mod tests {
         let s = span("test_span_once");
         s.stop();
         let snap = snapshot();
-        assert_eq!(snap.histograms["span.test_span_once"].count, 1);
+        assert_eq!(snap.histograms["span_us.test_span_once"].count, 1);
     }
 
     #[test]

@@ -33,6 +33,10 @@ usage: geosocial-loadgen [options]
   --fault SPEC       client fault plan, e.g. seed=42,truncate=20,stall=5:300
                      (inert unless built with --features fault-inject; the
                      kill= entry also arms the spawned server when --spawn)
+  --trace-sample N   record 1/N of frames as end-to-end traces (default 64;
+                     0 disables tracing; retried deliveries always record)
+  --trace-out PATH   after the replay, dump every collected span as Chrome
+                     trace-event JSON (chrome://tracing / Perfetto)
   --drain            request a finalizing Drain (report residual state)
                      before Shutdown
   --out PATH         report path (default BENCH_serve.json)
@@ -46,6 +50,7 @@ struct Cli {
     shutdown: bool,
     drain: bool,
     out: String,
+    trace_out: Option<String>,
     load: LoadgenConfig,
 }
 
@@ -57,6 +62,7 @@ fn parse_args() -> Result<Cli, String> {
         shutdown: false,
         drain: false,
         out: "BENCH_serve.json".to_string(),
+        trace_out: None,
         load: LoadgenConfig::default(),
     };
     let mut args = std::env::args().skip(1);
@@ -115,6 +121,11 @@ fn parse_args() -> Result<Cli, String> {
                     );
                 }
             }
+            "--trace-sample" => {
+                cli.load.trace_sample =
+                    value("--trace-sample")?.parse().map_err(|e| format!("--trace-sample: {e}"))?;
+            }
+            "--trace-out" => cli.trace_out = Some(value("--trace-out")?),
             "--drain" => cli.drain = true,
             "--out" => cli.out = value("--out")?,
             "--shutdown" => cli.shutdown = true,
@@ -260,6 +271,31 @@ fn main() {
             report.server.duplicates,
             report.server.recoveries,
         );
+    }
+    if report.traces_sampled > 0 || report.traces_tail_promoted > 0 {
+        let paths: Vec<String> = report
+            .trace_paths
+            .iter()
+            .map(|p| format!("{} n={} p50={}us p99={}us", p.path, p.count, p.p50_us, p.p99_us))
+            .collect();
+        println!(
+            "traces: {} sampled, {} tail-promoted; {}",
+            report.traces_sampled,
+            report.traces_tail_promoted,
+            paths.join("; "),
+        );
+    }
+    if let Some(path) = &cli.trace_out {
+        // In-process spans only (client roots; plus server spans when the
+        // server was spawned in-process). Cross-process, query `Traces`
+        // via geosocial-trace instead.
+        let spans = geosocial_obs::trace::collector().spans();
+        let json = geosocial_obs::trace::chrome_trace_json(&spans);
+        if let Err(e) = std::fs::write(path, json) {
+            geosocial_obs::error!("loadgen", "write trace export: {e}"; path = path);
+            exit(1);
+        }
+        println!("traces: wrote {} spans to {path}", spans.len());
     }
     match report.verified {
         Some(true) => println!("verify: served compositions match the batch pipeline"),

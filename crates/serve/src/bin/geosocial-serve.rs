@@ -39,6 +39,8 @@ usage: geosocial-serve [options]
   --index-every N    sparse-index every Nth record per segment (default 8)
   --fault SPEC       fault plan, e.g. seed=42,truncate=20,stall=5:300,kill=1@500
                      (inert unless built with --features fault-inject)
+  --trace-slow-us N  tail-sampling threshold: keep any trace whose end-to-end
+                     latency reaches N microseconds (default 10000)
   --help             print this message";
 
 fn parse_args() -> Result<(String, ServerConfig), String> {
@@ -118,6 +120,11 @@ fn parse_args() -> Result<(String, ServerConfig), String> {
                          (rebuild with --features fault-inject)"
                     );
                 }
+            }
+            "--trace-slow-us" => {
+                config.trace_slow_us = value("--trace-slow-us")?
+                    .parse()
+                    .map_err(|e| format!("--trace-slow-us: {e}"))?;
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -1,0 +1,203 @@
+//! `geosocial-trace`: query traces collected by a running
+//! `geosocial-serve` instance and export them as a text timeline or as
+//! Chrome trace-event JSON (loadable in chrome://tracing / Perfetto).
+//!
+//! Traces are persisted per shard in the event store, so this works
+//! against a server that restarted after the traced replay — point it
+//! at the same `--store-dir` deployment and ask for the slowest
+//! requests, one trace id, or every trace touching a request path.
+
+use geosocial_obs::trace::{parse_trace_id, SpanRecord};
+use geosocial_serve::loadgen::control_request;
+use geosocial_serve::protocol::{MetricsHistoryReport, Request, Response, TraceDump};
+use std::net::SocketAddr;
+use std::process::exit;
+
+const USAGE: &str = "\
+usage: geosocial-trace [options]
+  --addr HOST:PORT   server to query (default 127.0.0.1:7744)
+  --trace-id HEX     fetch one trace by its 32-hex-digit id
+  --slowest N        fetch the N slowest retained traces (default 10)
+  --path SUBSTR      only traces containing a span whose name contains SUBSTR
+                     (e.g. serve.dedup, client.request.checkin)
+  --format FMT       output format, text | chrome (default text)
+  --out PATH         write the export to PATH instead of stdout
+  --history N        also print rates from the last N metric snapshots
+                     (0 = all retained; omit to skip)
+  --help             print this message";
+
+struct Cli {
+    addr: String,
+    trace_id: Option<String>,
+    slowest: usize,
+    path: Option<String>,
+    chrome: bool,
+    out: Option<String>,
+    history: Option<usize>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        addr: "127.0.0.1:7744".to_string(),
+        trace_id: None,
+        slowest: 10,
+        path: None,
+        chrome: false,
+        out: None,
+        history: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => cli.addr = value("--addr")?,
+            "--trace-id" => {
+                let hex = value("--trace-id")?;
+                if parse_trace_id(&hex).is_none() {
+                    return Err(format!("--trace-id: not a hex trace id: {hex}"));
+                }
+                cli.trace_id = Some(hex);
+            }
+            "--slowest" => {
+                cli.slowest = value("--slowest")?.parse().map_err(|e| format!("--slowest: {e}"))?;
+            }
+            "--path" => cli.path = Some(value("--path")?),
+            "--format" => match value("--format")?.as_str() {
+                "text" => cli.chrome = false,
+                "chrome" => cli.chrome = true,
+                other => return Err(format!("--format: expected text or chrome, got {other}")),
+            },
+            "--out" => cli.out = Some(value("--out")?),
+            "--history" => {
+                cli.history =
+                    Some(value("--history")?.parse().map_err(|e| format!("--history: {e}"))?);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Rehydrate wire spans into obs records so the obs renderers apply.
+fn to_records(dumps: &[TraceDump]) -> Vec<SpanRecord> {
+    let mut spans = Vec::new();
+    for dump in dumps {
+        for s in &dump.spans {
+            spans.push(SpanRecord {
+                trace_id: parse_trace_id(&s.trace_id).unwrap_or(0),
+                span_id: s.span_id,
+                parent: s.parent,
+                name: s.name.clone(),
+                start_us: s.start_us,
+                dur_us: s.dur_us,
+                flags: s.flags,
+                shard: s.shard,
+            });
+        }
+    }
+    spans
+}
+
+fn emit(cli: &Cli, body: &str) {
+    match &cli.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, body) {
+                geosocial_obs::error!("trace", "write export: {e}"; path = path);
+                exit(1);
+            }
+            println!("wrote {} bytes to {path}", body.len());
+        }
+        None => print!("{body}"),
+    }
+}
+
+fn print_history(report: &MetricsHistoryReport) {
+    println!("history: {} points spanning {:.1}s", report.points, report.span_s);
+    for rate in &report.rates {
+        println!(
+            "  {:<40} last={:<12} delta={:<10} {:.1}/s",
+            rate.name, rate.last, rate.delta, rate.per_sec
+        );
+    }
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(e) => {
+            geosocial_obs::error!("trace", "{e}");
+            eprintln!("{USAGE}");
+            exit(2);
+        }
+    };
+    let addr: SocketAddr = match cli.addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            geosocial_obs::error!("trace", "bad --addr: {e}"; addr = cli.addr);
+            exit(2);
+        }
+    };
+
+    let req = Request::Traces {
+        trace_id: cli.trace_id.clone(),
+        slowest: cli.slowest,
+        path: cli.path.clone(),
+    };
+    let traces = match control_request(addr, &req) {
+        Ok(Response::Traces { traces }) => traces,
+        Ok(Response::Error { message }) => {
+            geosocial_obs::error!("trace", "server: {message}");
+            exit(1);
+        }
+        Ok(other) => {
+            geosocial_obs::error!("trace", "unexpected response: {other:?}");
+            exit(1);
+        }
+        Err(e) => {
+            geosocial_obs::error!("trace", "query: {e}"; addr = addr);
+            exit(1);
+        }
+    };
+
+    if traces.is_empty() {
+        println!("no traces retained (is tracing enabled and sampled traffic flowing?)");
+    } else if cli.chrome {
+        emit(&cli, &geosocial_obs::trace::chrome_trace_json(&to_records(&traces)));
+    } else {
+        let spans = to_records(&traces);
+        let mut body = String::new();
+        for dump in &traces {
+            body.push_str(&format!(
+                "trace {} root_dur={}us spans={}\n",
+                dump.trace_id,
+                dump.root_dur_us,
+                dump.spans.len()
+            ));
+        }
+        body.push('\n');
+        body.push_str(&geosocial_obs::trace::render_timeline(&spans));
+        emit(&cli, &body);
+    }
+
+    if let Some(last) = cli.history {
+        match control_request(addr, &Request::MetricsHistory { last }) {
+            Ok(Response::MetricsHistory { report }) => print_history(&report),
+            Ok(Response::Error { message }) => {
+                geosocial_obs::error!("trace", "history: {message}");
+                exit(1);
+            }
+            Ok(other) => {
+                geosocial_obs::error!("trace", "unexpected history response: {other:?}");
+                exit(1);
+            }
+            Err(e) => {
+                geosocial_obs::error!("trace", "history query: {e}");
+                exit(1);
+            }
+        }
+    }
+}

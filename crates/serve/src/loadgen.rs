@@ -41,6 +41,10 @@ use geosocial_core::matching::{match_checkins, MatchConfig};
 use geosocial_core::prevalence::user_compositions;
 use geosocial_fault::{backoff_ms, FaultPlan, FrameFault};
 use geosocial_obs::counter;
+use geosocial_obs::trace::{
+    promote_flags, SpanRecord, TraceContext, DEFAULT_SAMPLE_DENOM, DEFAULT_SLOW_US, FLAG_SAMPLED,
+    PROMOTE_MASK,
+};
 use geosocial_stream::{dataset_events, StreamEvent};
 use geosocial_trace::{Dataset, UserId};
 use serde::Serialize;
@@ -98,6 +102,10 @@ pub struct LoadgenConfig {
     /// Batch up to this many consecutive GPS fixes per user into one
     /// `GpsRun` frame; 0 or 1 disables batching (one frame per fix).
     pub run_len: usize,
+    /// Head-sampling denominator: mint a trace per frame and record
+    /// 1/`trace_sample` of them end to end (0 disables tracing, 1 traces
+    /// everything). Retried deliveries are force-recorded regardless.
+    pub trace_sample: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -113,6 +121,7 @@ impl Default for LoadgenConfig {
             fault: FaultPlan::none(),
             wire: WireFormat::Json,
             run_len: 1,
+            trace_sample: DEFAULT_SAMPLE_DENOM,
         }
     }
 }
@@ -178,12 +187,36 @@ pub struct BenchReport {
     pub fault_stalled: u64,
     /// Shard workers the fault plan killed.
     pub fault_kills: u64,
+    /// Client root spans that were head-sampled (1/`trace_sample`).
+    pub traces_sampled: usize,
+    /// Client root spans force-kept by tail rules (retry, dedup, slow…).
+    pub traces_tail_promoted: usize,
+    /// Per-request-path latency percentiles derived from the collected
+    /// client root spans — a sampled subset of the frame latencies above,
+    /// cross-checkable against the server's `serve.latency_us.*` series.
+    pub trace_paths: Vec<TracePathLatency>,
     /// Final server counters after `Finish`.
     pub server: ServerStats,
     /// Batch-vs-served verification outcome (absent when not requested).
     pub verified: Option<bool>,
     /// Human-readable verification mismatches (empty when clean).
     pub mismatches: Vec<String>,
+}
+
+/// Root-span latency percentiles for one request path (`client.request.
+/// gps|run|checkin`), computed from the traces the replay recorded.
+#[derive(Debug, Clone, Serialize)]
+pub struct TracePathLatency {
+    /// Root span name (request path).
+    pub path: String,
+    /// Root spans collected for this path.
+    pub count: usize,
+    /// Median root-span duration, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile root-span duration, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile root-span duration, microseconds.
+    pub p99_us: u64,
 }
 
 /// One connection's slice of the replay, each event stamped with its
@@ -319,6 +352,29 @@ fn fast_forward(addr: SocketAddr, lane: &[Request], acked: usize, sent_high: usi
     acked
 }
 
+/// Per-attempt tracing parameters.
+#[derive(Clone, Copy)]
+struct TraceCfg {
+    /// Trace-id mint seed (the scenario seed, so runs are reproducible).
+    seed: u64,
+    /// Head-sampling denominator (0 = tracing off).
+    denom: u64,
+    /// Frames below this lane index were written on an earlier attempt:
+    /// re-sending one is a retried delivery and is force-recorded with
+    /// [`geosocial_obs::trace::FLAG_RETRY`].
+    resend_below: usize,
+}
+
+/// The root span name for an ingest frame — the trace "path".
+fn trace_path(req: &Request) -> &'static str {
+    match req {
+        Request::Gps { .. } => "client.request.gps",
+        Request::GpsRun { .. } => "client.request.run",
+        Request::Checkin { .. } => "client.request.checkin",
+        _ => "client.request.other",
+    }
+}
+
 /// Why a delivery attempt ended short of the full lane.
 enum AttemptFailure {
     /// The connection died (or was killed by the fault plan): retryable.
@@ -341,6 +397,8 @@ struct AttemptOutcome {
     bytes_sent: u64,
     /// Framed response bytes read.
     bytes_recv: u64,
+    /// Client root spans closed this attempt (one per acked traced frame).
+    roots: Vec<SpanRecord>,
     failure: Option<AttemptFailure>,
 }
 
@@ -358,6 +416,7 @@ fn replay_attempt(
     plan: &FaultPlan,
     attempt: u32,
     wire_fmt: WireFormat,
+    trace: TraceCfg,
 ) -> AttemptOutcome {
     let mut out = AttemptOutcome {
         acked: base,
@@ -366,6 +425,7 @@ fn replay_attempt(
         encode_ns: 0,
         bytes_sent: 0,
         bytes_recv: 0,
+        roots: Vec::new(),
         failure: None,
     };
     let conn_fail = |e: io::Error| Some(AttemptFailure::Conn(e));
@@ -443,19 +503,23 @@ fn replay_attempt(
         }
     }
 
-    // Pipelined phase. In-flight bookkeeping: send instants queued FIFO,
-    // permits returned per response.
+    // Pipelined phase. In-flight bookkeeping: send instants (and the
+    // trace context of recorded frames) queued FIFO, permits returned per
+    // response. Responses never carry a context — the strict 1:1 order is
+    // the correlation, so the reader closes each root span by position.
     let remaining = lane.len() - base;
-    let sent_times = Arc::new(Mutex::new(VecDeque::<Instant>::new()));
+    type SentEntry = (Instant, Option<(TraceContext, &'static str)>);
+    let sent_times = Arc::new(Mutex::new(VecDeque::<SentEntry>::new()));
     let (permit_tx, permit_rx) = mpsc::channel::<()>();
     for _ in 0..window.max(1) {
         permit_tx.send(()).expect("preload permits");
     }
     let sent_r = Arc::clone(&sent_times);
-    type ReaderEnd = (usize, Vec<u64>, Option<String>, Option<io::Error>, u64);
+    type ReaderEnd = (usize, Vec<u64>, Option<String>, Option<io::Error>, u64, Vec<SpanRecord>);
     let reader = std::thread::spawn(move || -> ReaderEnd {
         let mut acks = 0usize;
         let mut latencies = Vec::new();
+        let mut roots: Vec<SpanRecord> = Vec::new();
         let mut bytes = 0u64;
         let mut buf: Vec<u8> = Vec::new();
         while acks < remaining {
@@ -464,27 +528,42 @@ fn replay_attempt(
                     bytes += len as u64 + 4;
                     match wire::decode_response(&buf[..len]) {
                         Ok(Response::Error { message }) => {
-                            return (acks, latencies, Some(message), None, bytes);
+                            return (acks, latencies, Some(message), None, bytes, roots);
                         }
                         Ok(_) => {
                             acks += 1;
-                            if let Some(at) = sent_r.lock().unwrap().pop_front() {
-                                latencies.push(at.elapsed().as_micros() as u64);
+                            if let Some((at, traced)) = sent_r.lock().unwrap().pop_front() {
+                                let us = at.elapsed().as_micros() as u64;
+                                latencies.push(us);
+                                if let Some((ctx, path)) = traced {
+                                    // The ack closes the root span; tail-
+                                    // promote on its send→ack duration.
+                                    roots.push(SpanRecord {
+                                        trace_id: ctx.trace_id,
+                                        span_id: ctx.span_id,
+                                        parent: 0,
+                                        name: path.to_string(),
+                                        start_us: ctx.start_us,
+                                        dur_us: us,
+                                        flags: promote_flags(ctx.flags, us, DEFAULT_SLOW_US),
+                                        shard: -1,
+                                    });
+                                }
                             }
                             let _ = permit_tx.send(());
                         }
-                        Err(e) => return (acks, latencies, None, Some(e.into()), bytes),
+                        Err(e) => return (acks, latencies, None, Some(e.into()), bytes, roots),
                     }
                 }
                 Ok(None) => {
                     let e =
                         io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-replay");
-                    return (acks, latencies, None, Some(e), bytes);
+                    return (acks, latencies, None, Some(e), bytes, roots);
                 }
-                Err(e) => return (acks, latencies, None, Some(e), bytes),
+                Err(e) => return (acks, latencies, None, Some(e), bytes, roots),
             }
         }
-        (acks, latencies, None, None, bytes)
+        (acks, latencies, None, None, bytes, roots)
     });
 
     let mut write_err: Option<io::Error> = None;
@@ -512,7 +591,24 @@ fn replay_attempt(
         // serialization cost separately.
         let enc = Instant::now();
         frame_buf.clear();
-        if let Err(e) = wire::encode_request_frame(&mut frame_buf, req, wire_fmt) {
+        // Every frame gets a deterministic trace identity; only recorded
+        // ones (head-sampled, or a retried delivery) pay for the envelope
+        // — the rest go out byte-identical to an untraced run.
+        let mut ctx: Option<TraceContext> = None;
+        if trace.denom != 0 && geosocial_obs::trace::enabled() {
+            let mut c = TraceContext::mint(trace.seed, lane_idx, i as u64, trace.denom);
+            if attempt > 0 && i < trace.resend_below {
+                c = c.for_attempt(attempt);
+            }
+            if c.recorded() {
+                ctx = Some(c);
+            }
+        }
+        let encoded = match &ctx {
+            Some(c) => wire::encode_traced_request_frame(&mut frame_buf, c, req, wire_fmt),
+            None => wire::encode_request_frame(&mut frame_buf, req, wire_fmt),
+        };
+        if let Err(e) = encoded {
             write_err = Some(e);
             break 'writer;
         }
@@ -560,7 +656,7 @@ fn replay_attempt(
                 break 'writer;
             }
         }
-        sent_times.lock().unwrap().push_back(Instant::now());
+        sent_times.lock().unwrap().push_back((Instant::now(), ctx.map(|c| (c, trace_path(req)))));
         if let Err(e) = w.write_all(&frame_buf) {
             write_err = Some(e);
             break 'writer;
@@ -574,13 +670,15 @@ fn replay_attempt(
         }
     }
 
-    let (acks, latencies, server_err, conn_err, bytes_recv) = reader
-        .join()
-        .unwrap_or_else(|_| (0, Vec::new(), None, Some(io::Error::other("reader panicked")), 0));
+    let (acks, latencies, server_err, conn_err, bytes_recv, roots) =
+        reader.join().unwrap_or_else(|_| {
+            (0, Vec::new(), None, Some(io::Error::other("reader panicked")), 0, Vec::new())
+        });
     out.acked = base + acks;
     out.sent_up_to = sent;
     out.latencies = latencies;
     out.bytes_recv += bytes_recv;
+    out.roots = roots;
     out.failure = if let Some(message) = server_err {
         Some(AttemptFailure::Server(message))
     } else if killed_by_fault {
@@ -605,6 +703,8 @@ fn replay_attempt(
 /// What one lane delivered, across every connection attempt.
 struct LaneReport {
     latencies: Vec<u64>,
+    /// Client root spans from every recorded trace on this lane.
+    roots: Vec<SpanRecord>,
     retries: u32,
     /// Events (not frames) redelivered after reconnects.
     resent: usize,
@@ -627,9 +727,12 @@ fn replay_lane(
     plan: FaultPlan,
     retry: RetryPolicy,
     wire_fmt: WireFormat,
+    seed: u64,
+    trace_sample: u64,
 ) -> io::Result<LaneReport> {
     let mut report = LaneReport {
         latencies: Vec::new(),
+        roots: Vec::new(),
         retries: 0,
         resent: 0,
         resumed: 0,
@@ -662,9 +765,12 @@ fn replay_lane(
     loop {
         let already_sent = sent_high;
         let already_acked = acked;
-        let out =
-            replay_attempt(addr, &hello, &lane, acked, window, lane_idx, &plan, attempt, wire_fmt);
+        let trace = TraceCfg { seed, denom: trace_sample, resend_below: sent_high };
+        let out = replay_attempt(
+            addr, &hello, &lane, acked, window, lane_idx, &plan, attempt, wire_fmt, trace,
+        );
         report.latencies.extend(out.latencies);
+        report.roots.extend(out.roots);
         report.encode_ns += out.encode_ns;
         report.bytes_sent += out.bytes_sent;
         report.bytes_recv += out.bytes_recv;
@@ -723,6 +829,30 @@ fn replay_lane(
     }
 }
 
+/// Group client root spans by path and compute latency percentiles,
+/// sorted by path for deterministic report output.
+fn path_latencies(roots: &[SpanRecord]) -> Vec<TracePathLatency> {
+    let mut by_path: HashMap<&str, Vec<u64>> = HashMap::new();
+    for s in roots {
+        by_path.entry(s.name.as_str()).or_default().push(s.dur_us);
+    }
+    let mut out: Vec<TracePathLatency> = by_path
+        .into_iter()
+        .map(|(path, mut durs)| {
+            durs.sort_unstable();
+            TracePathLatency {
+                path: path.to_string(),
+                count: durs.len(),
+                p50_us: percentile(&durs, 0.50),
+                p95_us: percentile(&durs, 0.95),
+                p99_us: percentile(&durs, 0.99),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    out
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -732,7 +862,7 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 }
 
 /// One request on a fresh control connection.
-fn control_request(addr: SocketAddr, req: &Request) -> io::Result<Response> {
+pub fn control_request(addr: SocketAddr, req: &Request) -> io::Result<Response> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let mut w = BufWriter::new(stream.try_clone()?);
@@ -815,11 +945,25 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
         let plan = cfg.fault.clone();
         let retry = cfg.retry.clone();
         let wire_fmt = cfg.wire;
+        let seed = cfg.seed;
+        let trace_sample = cfg.trace_sample;
         workers.push(std::thread::spawn(move || {
-            replay_lane(addr, hello, lane, window, lane_idx as u64, plan, retry, wire_fmt)
+            replay_lane(
+                addr,
+                hello,
+                lane,
+                window,
+                lane_idx as u64,
+                plan,
+                retry,
+                wire_fmt,
+                seed,
+                trace_sample,
+            )
         }));
     }
     let mut latencies: Vec<u64> = Vec::with_capacity(frames_sent);
+    let mut roots: Vec<SpanRecord> = Vec::new();
     let mut retries = 0u32;
     let mut resent_events = 0usize;
     let mut resumed_events = 0usize;
@@ -829,6 +973,7 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
     for worker in workers {
         let lane_report = worker.join().map_err(|_| io::Error::other("lane panicked"))??;
         latencies.extend(lane_report.latencies);
+        roots.extend(lane_report.roots);
         retries += lane_report.retries;
         resent_events += lane_report.resent;
         resumed_events += lane_report.resumed;
@@ -839,6 +984,17 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
     counter("loadgen.resent").add(resent_events as u64);
     counter("loadgen.resumed").add(resumed_events as u64);
     let seconds = started.elapsed().as_secs_f64();
+
+    // Feed the collected root spans to the in-process collector (so a
+    // timeline/Chrome export after the run sees the client legs too) and
+    // derive the trace-side latency view.
+    let traces_sampled = roots.iter().filter(|s| s.flags & FLAG_SAMPLED != 0).count();
+    let traces_tail_promoted = roots.iter().filter(|s| s.flags & PROMOTE_MASK != 0).count();
+    let trace_paths = path_latencies(&roots);
+    let coll = geosocial_obs::trace::collector();
+    for s in roots {
+        coll.record(s);
+    }
 
     // Finalize, then snapshot.
     match control_request(addr, &Request::Finish)? {
@@ -893,6 +1049,9 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
         fault_aborted: injected.aborted,
         fault_stalled: injected.stalled,
         fault_kills: injected.kills,
+        traces_sampled,
+        traces_tail_promoted,
+        trace_paths,
         server: stats,
         verified,
         mismatches,

@@ -131,6 +131,29 @@ pub enum Request {
     /// End of stream: finalize every pending verdict on every shard.
     /// Ingesting after `Finish` is an error.
     Finish,
+    /// Query collected traces (see the README's Tracing section). The
+    /// three filters compose: an exact `trace_id` (32-hex-digit) match,
+    /// the `slowest` N traces by root-span duration (0 = no limit), and a
+    /// substring `path` filter on span names (matches a trace if any of
+    /// its spans match). Served from the shards' durable trace streams
+    /// plus the in-process collector, so traces survive a full process
+    /// restart. The response is always JSON (control plane).
+    Traces {
+        /// Exact trace id filter, 32 hex digits (`None` = all traces).
+        trace_id: Option<String>,
+        /// Keep only the N slowest traces by root-span duration (0 = all).
+        slowest: usize,
+        /// Span-name substring filter (`None` = all).
+        path: Option<String>,
+    },
+    /// Query the ring of periodic metrics snapshots: answered with
+    /// counter rates/deltas computed between the oldest and newest
+    /// retained point (see [`MetricsHistoryReport`]). Served by the
+    /// connection handler directly, like [`Request::Metrics`].
+    MetricsHistory {
+        /// How many most-recent points to consider (0 = all retained).
+        last: usize,
+    },
     /// Graceful drain. With `finalize: false` this is a non-destructive
     /// quiesce: every shard reports its residual state (pending checkins,
     /// reorder-held events, open visits and stay windows) and ingestion may
@@ -197,6 +220,17 @@ pub enum Response {
     Metrics {
         /// `geosocial-obs exposition v1` text, one series per line.
         text: String,
+    },
+    /// Answer to [`Request::Traces`]: matching traces, slowest root
+    /// first, spans within a trace in start order.
+    Traces {
+        /// Matching traces after all filters.
+        traces: Vec<TraceDump>,
+    },
+    /// Answer to [`Request::MetricsHistory`].
+    MetricsHistory {
+        /// Rates/deltas over the retained snapshot ring.
+        report: MetricsHistoryReport,
     },
     /// Answer to [`Request::Drain`].
     Drained {
@@ -332,6 +366,66 @@ impl DrainReport {
         self.store_bytes += o.store_bytes;
         self.composition.merge(&o.composition);
     }
+}
+
+/// One span of a collected trace, as it travels in a
+/// [`Response::Traces`]. The 128-bit trace id is spelled as 32 hex
+/// digits (JSON has no u128); span ids are u64 and travel natively.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// Owning trace, 32 hex digits.
+    pub trace_id: String,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id (0 = root).
+    pub parent: u64,
+    /// Dotted-path span name (`serve.apply`, `client.send`).
+    pub name: String,
+    /// Start, unix µs.
+    pub start_us: u64,
+    /// Duration, µs (0 = instant marker).
+    pub dur_us: u64,
+    /// `geosocial_obs::trace::FLAG_*` bits.
+    pub flags: u8,
+    /// Shard that recorded the span (-1 = client / conn handler).
+    pub shard: i32,
+}
+
+/// One trace in a [`Response::Traces`]: its spans in start order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceDump {
+    /// Trace id, 32 hex digits.
+    pub trace_id: String,
+    /// Root-span duration, µs (0 when the root was not collected).
+    pub root_dur_us: u64,
+    /// Spans, ascending by start time.
+    pub spans: Vec<TraceSpan>,
+}
+
+/// Answer to [`Request::MetricsHistory`]: counter movement between the
+/// oldest and newest retained snapshot points.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsHistoryReport {
+    /// Snapshot points considered.
+    pub points: usize,
+    /// Wall-clock seconds between the first and last point.
+    pub span_s: f64,
+    /// Per-counter movement, sorted by name. Counters that never moved
+    /// are omitted.
+    pub rates: Vec<SeriesRate>,
+}
+
+/// Movement of one counter across the metrics-history window.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SeriesRate {
+    /// Counter name.
+    pub name: String,
+    /// Value at the newest point.
+    pub last: u64,
+    /// Increase across the window.
+    pub delta: u64,
+    /// `delta / span_s` (0 when the window is a single point).
+    pub per_sec: f64,
 }
 
 /// Write one frame.

@@ -64,6 +64,10 @@ use geosocial_core::classify::ClassifyConfig;
 use geosocial_core::matching::MatchConfig;
 use geosocial_fault::FaultPlan;
 use geosocial_geo::LatLon;
+use geosocial_obs::trace::{
+    now_us, promote_flags, task_end, task_mark, task_span, SpanRecord, TraceContext, FLAG_DEDUP,
+    FLAG_RECOVERY, FLAG_RETRY,
+};
 use geosocial_obs::{counter, gauge, Counter, Gauge, Stopwatch};
 use geosocial_store::{EventStore, StoreOptions, SENTINEL_USER};
 use geosocial_stream::{AuditConfig, OnlineAuditor, StreamComposition};
@@ -79,7 +83,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::protocol::{
-    read_frame_into, DrainReport, Request, Response, ServerStats, ShardStats, WireFix,
+    read_frame_into, DrainReport, MetricsHistoryReport, Request, Response, SeriesRate, ServerStats,
+    ShardStats, TraceDump, TraceSpan, WireFix,
 };
 use crate::wire::{self, WireFormat};
 
@@ -119,6 +124,8 @@ mod metrics {
     cached!(latency_finish, histogram, Histogram, "serve.latency_us.finish");
     cached!(latency_drain, histogram, Histogram, "serve.latency_us.drain");
     cached!(latency_metrics, histogram, Histogram, "serve.latency_us.metrics");
+    cached!(latency_traces, histogram, Histogram, "serve.latency_us.traces");
+    cached!(latency_history, histogram, Histogram, "serve.latency_us.history");
     // Per-wire-format series: each served request also lands in the
     // histogram of the format it arrived in, and the byte counters track
     // framed sizes (length prefix included) per direction and format.
@@ -231,6 +238,11 @@ pub struct ServerConfig {
     /// given non-zero rates). The server consults only the shard-kill
     /// entry; frame faults are client-side.
     pub fault: FaultPlan,
+    /// Tail-sampling latency threshold, µs: a traced request whose
+    /// end-to-end handling takes at least this long is promoted to
+    /// "always keep" ([`geosocial_obs::trace::FLAG_SLOW`]) even if it was
+    /// not head-sampled. 0 disables the latency rule.
+    pub trace_slow_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -253,6 +265,7 @@ impl Default for ServerConfig {
             segment_bytes: 4 * 1024 * 1024,
             index_every: 8,
             fault: FaultPlan::none(),
+            trace_slow_us: geosocial_obs::trace::DEFAULT_SLOW_US,
         }
     }
 }
@@ -278,9 +291,12 @@ pub fn shard_of(user: UserId, shards: usize) -> usize {
     (geosocial_fault::mix64(user as u64) % shards.max(1) as u64) as usize
 }
 
-/// A request routed to one shard, with the channel its answer goes back on.
+/// A request routed to one shard, with the channel its answer goes back
+/// on and the trace context it arrived under (None = untraced frame; the
+/// worker then records nothing for it).
 struct ShardMsg {
     cmd: ShardCmd,
+    ctx: Option<TraceContext>,
     reply: mpsc::Sender<Response>,
 }
 
@@ -292,6 +308,7 @@ pub(crate) enum ShardCmd {
     Query { user: UserId },
     AsOf { user: UserId, t: i64 },
     Window { cohort: Vec<UserId>, t0: i64, t1: i64 },
+    Traces { trace_id: Option<u128>, slowest: usize, path: Option<String> },
     Stats,
     Drain { finalize: bool },
     Finish,
@@ -330,6 +347,8 @@ fn mutation_cmd(req: Request) -> Option<ShardCmd> {
         Request::User { .. }
         | Request::AsOf { .. }
         | Request::Window { .. }
+        | Request::Traces { .. }
+        | Request::MetricsHistory { .. }
         | Request::Stats
         | Request::Metrics
         | Request::Drain { .. }
@@ -349,8 +368,15 @@ fn mutation_cmd(req: Request) -> Option<ShardCmd> {
 /// mid-run therefore leaves exactly the applied prefix in the store,
 /// which is what makes the retry dedup per-event instead of per-frame.
 fn append_logged(store: &mut EventStore, user: u32, t: i64, payload: &[u8]) {
+    // Only timed when the worker opened a trace task for this command;
+    // the untraced hot path pays one thread-local read.
+    let traced = geosocial_obs::trace::task_ctx().is_some();
+    let t0 = if traced { now_us() } else { 0 };
     if let Err(e) = store.append(user, t, payload) {
         geosocial_obs::warn!("serve", "store append flush failed, record buffered: {e}");
+    }
+    if traced {
+        task_span("store.append", t0, now_us().saturating_sub(t0), 0);
     }
 }
 
@@ -443,6 +469,10 @@ impl ShardState {
             self.stats.duplicates += 1;
             if obs.is_some() {
                 metrics::duplicates().inc();
+                // A retried delivery hit the dedup path: mark the trace
+                // (no-op without an active task, and skipped during
+                // replay where obs is None).
+                task_mark("serve.dedup", FLAG_DEDUP);
             }
             Admit::Duplicate
         } else if seq > next {
@@ -536,6 +566,7 @@ impl ShardState {
                     self.stats.duplicates += dup;
                     if obs.is_some() {
                         metrics::duplicates().add(dup as u64);
+                        task_mark("serve.dedup", FLAG_DEDUP);
                     }
                 }
                 for (i, fix) in fixes.iter().enumerate().skip(dup) {
@@ -623,6 +654,12 @@ impl ShardState {
                     }
                 }
                 Response::Compositions { compositions }
+            }
+            ShardCmd::Traces { .. } => {
+                // Normally intercepted by the worker loop (which owns the
+                // trace store); reaching `apply` means the shard has no
+                // trace stream to read — answer empty rather than error.
+                Response::Traces { traces: Vec::new() }
             }
             ShardCmd::Stats => {
                 self.stats.users = self.auditors.len();
@@ -831,11 +868,30 @@ fn shard_worker(
             return;
         }
     };
+    // The shard's trace stream: a second event store under `trace/` that
+    // is never snapshotted, so `replay_delta` always returns every span
+    // record it holds (including the unflushed tail). Opened without the
+    // fault plan — tracing must observe injected faults, not amplify
+    // them. Failure to open degrades to in-memory-only tracing.
+    let trace_opts = StoreOptions {
+        segment_bytes: config.segment_bytes,
+        index_every: config.index_every,
+        fault: FaultPlan::none(),
+        shard: shard as u64,
+    };
+    let mut trace_store = match EventStore::open(store_dir.join("trace"), trace_opts) {
+        Ok(st) => Some(st),
+        Err(e) => {
+            geosocial_obs::warn!("serve", "shard trace stream failed to open, tracing is volatile";
+                shard = shard, cause = format!("{e}"));
+            None
+        }
+    };
     let mut live = restore_shard(shard, &store, &config);
     let snapshot_every = config.snapshot_every.max(1) as u64;
     let mut since_refresh = 0usize;
 
-    while let Ok(ShardMsg { cmd, reply }) = rx.recv() {
+    while let Ok(ShardMsg { cmd, ctx, reply }) = rx.recv() {
         shard_metrics.queue.dec();
         if matches!(cmd, ShardCmd::Gps { .. } | ShardCmd::GpsRun { .. } | ShardCmd::Checkin { .. })
         {
@@ -849,6 +905,35 @@ fn shard_worker(
         }
         let finalizes = matches!(cmd, ShardCmd::Finish | ShardCmd::Drain { finalize: true });
 
+        // Trace queries read the shard's trace stream directly; they
+        // never touch auditor state, so they bypass `apply` entirely.
+        if let ShardCmd::Traces { trace_id, slowest, path } = &cmd {
+            let resp = match &trace_store {
+                Some(ts) => traces_response(ts, *trace_id, *slowest, path.as_deref()),
+                None => Response::Traces { traces: Vec::new() },
+            };
+            let _ = reply.send(resp);
+            continue;
+        }
+
+        // A context on the message means the client chose to record this
+        // trace (head-sampled or force-recorded, e.g. a retry): open a
+        // task so every layer below can attach spans, and synthesize the
+        // client's send→receive leg from the context's start stamp.
+        let traced = geosocial_obs::trace::enabled() && ctx.is_some_and(|c| c.recorded());
+        let recv_us = if traced { now_us() } else { 0 };
+        if traced {
+            let ctx = ctx.expect("traced implies ctx");
+            geosocial_obs::trace::task_begin(ctx, shard as i32);
+            task_span(
+                "client.send",
+                ctx.start_us,
+                recv_us.saturating_sub(ctx.start_us),
+                if ctx.attempt > 0 { FLAG_RETRY } else { 0 },
+            );
+        }
+
+        let apply_t0 = if traced { now_us() } else { 0 };
         let mut resp = apply_guarded(&mut live, &cmd, &config, &shard_metrics, &mut store);
         if let Err(panic_msg) = &resp {
             // The worker crashed mid-command: rebuild from the store's
@@ -861,10 +946,17 @@ fn shard_worker(
                 replayed = store.records_since_snapshot(),
                 cause = panic_msg,
             );
+            let rec_t0 = if traced { now_us() } else { 0 };
             live = restore_shard(shard, &store, &config);
             live.stats.recoveries += 1;
             metrics::recoveries().inc();
+            if traced {
+                task_span("serve.recover", rec_t0, now_us().saturating_sub(rec_t0), FLAG_RECOVERY);
+            }
             resp = apply_guarded(&mut live, &cmd, &config, &shard_metrics, &mut store);
+        }
+        if traced {
+            task_span("serve.apply", apply_t0, now_us().saturating_sub(apply_t0), 0);
         }
         let resp = match resp {
             Ok(resp) => {
@@ -892,12 +984,144 @@ fn shard_worker(
             shard_metrics.refresh(&live.auditors);
         }
         // A dropped reply receiver means the connection died; keep serving.
+        let ack_t0 = if traced { now_us() } else { 0 };
         let _ = reply.send(resp);
+        if traced {
+            task_span("serve.ack", ack_t0, now_us().saturating_sub(ack_t0), 0);
+            // Close the task: tail-promote on the end-to-end handling
+            // time, fold the trace-level flags into every span, then
+            // persist to the trace stream and the in-process collector.
+            let (flags, mut spans) = task_end();
+            let root_dur = now_us().saturating_sub(recv_us);
+            let flags = promote_flags(flags, root_dur, config.trace_slow_us);
+            for s in &mut spans {
+                s.flags |= flags;
+            }
+            persist_spans(trace_store.as_mut(), &spans);
+            let coll = geosocial_obs::trace::collector();
+            for s in spans {
+                coll.record(s);
+            }
+        }
+        if finalizes {
+            // Make the collected traces durable at the same points the
+            // operator quiesces the shard (drain-finalize and finish).
+            if let Some(ts) = trace_store.as_mut() {
+                if let Err(e) = ts.flush() {
+                    geosocial_obs::warn!("serve", "trace stream flush failed";
+                        shard = shard, cause = format!("{e}"));
+                }
+            }
+        }
     }
     // Shutdown: push the buffered tail to disk so a persistent store
     // reopens without losing acknowledged events.
     if let Err(e) = store.flush() {
         geosocial_obs::warn!("serve", "final store flush failed"; shard = shard, cause = format!("{e}"));
+    }
+    if let Some(ts) = trace_store.as_mut() {
+        if let Err(e) = ts.flush() {
+            geosocial_obs::warn!("serve", "final trace stream flush failed"; shard = shard, cause = format!("{e}"));
+        }
+    }
+}
+
+/// Fold a 128-bit trace id into the store's u32 user-key space (never the
+/// sentinel), so a trace's spans share one `(user, t)` index chain.
+pub(crate) fn trace_user_key(trace_id: u128) -> u32 {
+    let folded = geosocial_fault::mix64((trace_id as u64) ^ ((trace_id >> 64) as u64));
+    let key = (folded ^ (folded >> 32)) as u32;
+    if key == SENTINEL_USER {
+        0
+    } else {
+        key
+    }
+}
+
+/// Append one record per span to the shard's trace stream (skipped when
+/// the stream failed to open — tracing degrades to in-memory only).
+fn persist_spans(store: Option<&mut EventStore>, spans: &[SpanRecord]) {
+    let Some(st) = store else { return };
+    let mut buf = Vec::new();
+    for span in spans {
+        crate::snapshot::span_payload(&mut buf, span);
+        if let Err(e) = st.append(trace_user_key(span.trace_id), span.start_us as i64, &buf) {
+            geosocial_obs::warn!("serve", "trace stream append failed, span buffered: {e}");
+        }
+    }
+}
+
+/// Answer one shard's part of a `Traces` request from its trace stream.
+/// The stream is never snapshotted, so `replay_delta` is a full scan of
+/// everything the shard ever recorded (plus the unflushed tail).
+fn traces_response(
+    store: &EventStore,
+    trace_id: Option<u128>,
+    slowest: usize,
+    path: Option<&str>,
+) -> Response {
+    let records = match store.replay_delta() {
+        Ok(records) => records,
+        Err(e) => return Response::Error { message: format!("trace stream unreadable: {e}") },
+    };
+    let mut by_trace: HashMap<u128, Vec<SpanRecord>> = HashMap::new();
+    for rec in &records {
+        match crate::snapshot::decode_span(rec) {
+            Ok(span) => {
+                if trace_id.is_some_and(|id| id != span.trace_id) {
+                    continue;
+                }
+                by_trace.entry(span.trace_id).or_default().push(span);
+            }
+            Err(e) => {
+                geosocial_obs::warn!("serve", "skipping undecodable span record";
+                    lsn = rec.lsn, cause = format!("{e}"));
+            }
+        }
+    }
+    let mut dumps: Vec<TraceDump> = by_trace
+        .into_iter()
+        .filter(|(_, spans)| match path {
+            Some(p) => spans.iter().any(|s| s.name.contains(p)),
+            None => true,
+        })
+        .map(|(id, spans)| dump_of(id, spans))
+        .collect();
+    dumps.sort_by(|a, b| b.root_dur_us.cmp(&a.root_dur_us).then(a.trace_id.cmp(&b.trace_id)));
+    // Bound the per-shard answer: `slowest` when asked, a hard ceiling
+    // otherwise — the merged response must stay under the frame limit.
+    let cap = if slowest == 0 { 256 } else { slowest };
+    dumps.truncate(cap);
+    Response::Traces { traces: dumps }
+}
+
+/// Group one trace's spans into the wire form, ordered by start time.
+/// `root_dur_us` is the trace's extent on this shard (earliest start to
+/// latest end) — equal to the root span's duration once merged, since the
+/// synthesized `client.send` leg starts at the root's start stamp.
+fn dump_of(id: u128, mut spans: Vec<SpanRecord>) -> TraceDump {
+    spans.sort_by_key(|s| (s.start_us, s.span_id));
+    let t0 = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+    let t1 = spans.iter().map(|s| s.start_us.saturating_add(s.dur_us)).max().unwrap_or(0);
+    TraceDump {
+        trace_id: geosocial_obs::trace::trace_hex(id),
+        root_dur_us: t1.saturating_sub(t0),
+        spans: spans.into_iter().map(wire_span).collect(),
+    }
+}
+
+/// One span in protocol form (trace id as 32-hex — the vendored serde has
+/// no u128 support, and hex ids are what operators grep anyway).
+fn wire_span(s: SpanRecord) -> TraceSpan {
+    TraceSpan {
+        trace_id: geosocial_obs::trace::trace_hex(s.trace_id),
+        span_id: s.span_id,
+        parent: s.parent,
+        name: s.name,
+        start_us: s.start_us,
+        dur_us: s.dur_us,
+        flags: s.flags,
+        shard: s.shard,
     }
 }
 
@@ -1068,15 +1292,21 @@ fn handle_conn(
     let mut in_buf: Vec<u8> = Vec::new();
     let mut out_buf: Vec<u8> = Vec::new();
 
-    let route = |shards: &[mpsc::Sender<ShardMsg>], user: UserId, cmd: ShardCmd| {
+    let route = |shards: &[mpsc::Sender<ShardMsg>],
+                 user: UserId,
+                 cmd: ShardCmd,
+                 ctx: Option<TraceContext>| {
         let shard = shard_of(user, shards.len());
         queues[shard].inc();
-        shards[shard].send(ShardMsg { cmd, reply: reply_tx.clone() }).is_ok()
+        shards[shard].send(ShardMsg { cmd, ctx, reply: reply_tx.clone() }).is_ok()
     };
+    // Broadcasts stay untraced: fanning one context out to every shard
+    // would record N copies of the same leg, and the traced acceptance
+    // path (ingest) is always single-shard.
     let broadcast = |shards: &[mpsc::Sender<ShardMsg>], mk: &dyn Fn() -> ShardCmd| {
         for (shard, tx) in shards.iter().enumerate() {
             queues[shard].inc();
-            let _ = tx.send(ShardMsg { cmd: mk(), reply: reply_tx.clone() });
+            let _ = tx.send(ShardMsg { cmd: mk(), ctx: None, reply: reply_tx.clone() });
         }
     };
 
@@ -1093,8 +1323,9 @@ fn handle_conn(
         };
         // Decode straight from the connection buffer; the format tag picks
         // the codec per frame, so JSON and binary clients share the port
-        // (and a client may interleave formats).
-        let (req, wire_fmt) = wire::decode_request(&in_buf[..len])?;
+        // (and a client may interleave formats). A trace-context envelope,
+        // when present, peels off here and rides the shard message.
+        let (req, wire_fmt, ctx) = wire::decode_request_traced(&in_buf[..len])?;
         match wire_fmt {
             WireFormat::Json => metrics::bytes_in_json().add(len as u64 + 4),
             WireFormat::Binary => metrics::bytes_in_binary().add(len as u64 + 4),
@@ -1112,6 +1343,8 @@ fn handle_conn(
             Request::Window { .. } => metrics::latency_window(),
             Request::Stats => metrics::latency_stats(),
             Request::Metrics => metrics::latency_metrics(),
+            Request::Traces { .. } => metrics::latency_traces(),
+            Request::MetricsHistory { .. } => metrics::latency_history(),
             Request::Drain { .. } => metrics::latency_drain(),
             Request::Finish | Request::Shutdown => metrics::latency_finish(),
         };
@@ -1129,7 +1362,7 @@ fn handle_conn(
                     _ => unreachable!("outer pattern is ingest-only"),
                 };
                 let cmd = mutation_cmd(req).expect("ingest maps to a shard mutation");
-                if route(&shards, user, cmd) {
+                if route(&shards, user, cmd, ctx) {
                     reply_rx.recv().unwrap_or_else(|_| shard_gone())
                 } else {
                     shard_gone()
@@ -1138,7 +1371,7 @@ fn handle_conn(
             Request::User { user } => {
                 queries.fetch_add(1, Ordering::Relaxed);
                 metrics::queries().inc();
-                if route(&shards, user, ShardCmd::Query { user }) {
+                if route(&shards, user, ShardCmd::Query { user }, ctx) {
                     reply_rx.recv().unwrap_or_else(|_| shard_gone())
                 } else {
                     shard_gone()
@@ -1147,7 +1380,7 @@ fn handle_conn(
             Request::AsOf { user, t } => {
                 queries.fetch_add(1, Ordering::Relaxed);
                 metrics::queries().inc();
-                if route(&shards, user, ShardCmd::AsOf { user, t }) {
+                if route(&shards, user, ShardCmd::AsOf { user, t }, ctx) {
                     reply_rx.recv().unwrap_or_else(|_| shard_gone())
                 } else {
                     shard_gone()
@@ -1171,6 +1404,34 @@ fn handle_conn(
                 queries.fetch_add(1, Ordering::Relaxed);
                 metrics::queries().inc();
                 Response::Metrics { text: geosocial_obs::render_text() }
+            }
+            Request::Traces { trace_id, slowest, path } => {
+                queries.fetch_add(1, Ordering::Relaxed);
+                metrics::queries().inc();
+                match trace_id.as_deref().map(geosocial_obs::trace::parse_trace_id) {
+                    Some(None) => Response::Error {
+                        message: format!(
+                            "bad trace id {:?}: want up to 32 hex digits",
+                            trace_id.unwrap_or_default()
+                        ),
+                    },
+                    parsed => {
+                        let id = parsed.flatten();
+                        broadcast(&shards, &|| ShardCmd::Traces {
+                            trace_id: id,
+                            slowest,
+                            path: path.clone(),
+                        });
+                        merge_traces(&reply_rx, n, slowest)
+                    }
+                }
+            }
+            Request::MetricsHistory { last } => {
+                // Like `Metrics`: answered inline from the obs history
+                // ring, cheap and shard-queue-independent.
+                queries.fetch_add(1, Ordering::Relaxed);
+                metrics::queries().inc();
+                Response::MetricsHistory { report: history_report(last) }
             }
             Request::Drain { finalize } => {
                 metrics::drains().inc();
@@ -1282,6 +1543,76 @@ fn merge_broadcast(rx: &mpsc::Receiver<Response>, n: usize) -> Response {
     }
 }
 
+/// Await `n` shard answers to a `Traces` broadcast and merge them: spans
+/// of the same trace are combined across shards (a trace normally lives
+/// on one shard, but client-synthesized and future cross-shard legs need
+/// not), then the union is re-ranked by root duration and truncated to
+/// the `slowest` ask.
+fn merge_traces(rx: &mpsc::Receiver<Response>, n: usize, slowest: usize) -> Response {
+    let mut by_trace: HashMap<String, Vec<TraceSpan>> = HashMap::new();
+    let mut error = None;
+    for _ in 0..n {
+        match rx.recv().unwrap_or_else(|_| shard_gone()) {
+            Response::Traces { traces } => {
+                for dump in traces {
+                    by_trace.entry(dump.trace_id).or_default().extend(dump.spans);
+                }
+            }
+            e @ Response::Error { .. } => error = Some(e),
+            other => {
+                error = Some(Response::Error {
+                    message: format!("unexpected shard answer to Traces: {other:?}"),
+                })
+            }
+        }
+    }
+    if let Some(e) = error {
+        return e;
+    }
+    let mut traces: Vec<TraceDump> = by_trace
+        .into_iter()
+        .map(|(trace_id, mut spans)| {
+            spans.sort_by_key(|s| (s.start_us, s.span_id));
+            let t0 = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+            let t1 = spans.iter().map(|s| s.start_us.saturating_add(s.dur_us)).max().unwrap_or(0);
+            TraceDump { trace_id, root_dur_us: t1.saturating_sub(t0), spans }
+        })
+        .collect();
+    traces.sort_by(|a, b| b.root_dur_us.cmp(&a.root_dur_us).then(a.trace_id.cmp(&b.trace_id)));
+    if slowest > 0 {
+        traces.truncate(slowest);
+    }
+    Response::Traces { traces }
+}
+
+/// Build a `MetricsHistory` answer from the obs history ring: the last
+/// `last` snapshots (0 = all), with per-counter delta and rate computed
+/// between the oldest and newest returned points.
+fn history_report(last: usize) -> MetricsHistoryReport {
+    let points = geosocial_obs::history(last);
+    let Some((first, rest)) = points.split_first() else {
+        return MetricsHistoryReport { points: 0, span_s: 0.0, rates: Vec::new() };
+    };
+    let newest = rest.last().unwrap_or(first);
+    let span_s = newest.at_us.saturating_sub(first.at_us) as f64 / 1e6;
+    let rates = newest
+        .snap
+        .counters
+        .iter()
+        .map(|(name, &v1)| {
+            let v0 = first.snap.counters.get(name).copied().unwrap_or(0);
+            let delta = v1.saturating_sub(v0);
+            SeriesRate {
+                name: name.clone(),
+                last: v1,
+                delta,
+                per_sec: if span_s > 0.0 { delta as f64 / span_s } else { 0.0 },
+            }
+        })
+        .collect();
+    MetricsHistoryReport { points: points.len(), span_s, rates }
+}
+
 /// A running server bound to a local address.
 pub struct ServerHandle {
     addr: SocketAddr,
@@ -1353,9 +1684,34 @@ pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<Serve
         shard_txs.push(tx);
     }
 
+    // Metrics-history ticker: snapshot the registry into the obs history
+    // ring once a second for as long as the server runs, so
+    // `MetricsHistory` can answer with rates. One tick lands immediately
+    // so the ring is never empty.
+    let expo_stop = Arc::new(AtomicBool::new(false));
+    geosocial_obs::history_tick();
+    let history_thread = {
+        let stop = Arc::clone(&expo_stop);
+        std::thread::Builder::new()
+            .name("geosocial-history".into())
+            .spawn(move || {
+                let tick = std::time::Duration::from_millis(100);
+                let mut elapsed = std::time::Duration::ZERO;
+                let period = std::time::Duration::from_secs(1);
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    elapsed += tick;
+                    if elapsed >= period {
+                        elapsed = std::time::Duration::ZERO;
+                        geosocial_obs::history_tick();
+                    }
+                }
+            })
+            .expect("spawn history thread")
+    };
+
     // Periodic exposition: dump the whole registry to stderr on a cadence,
     // for operators who tail the log instead of polling `Metrics`.
-    let expo_stop = Arc::new(AtomicBool::new(false));
     let expo_thread = config.metrics_every_s.map(|every_s| {
         let stop = Arc::clone(&expo_stop);
         std::thread::Builder::new()
@@ -1425,6 +1781,7 @@ pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<Serve
     }
     drop(listener);
     expo_stop.store(true, Ordering::SeqCst);
+    let _ = history_thread.join();
     if let Some(t) = expo_thread {
         let _ = t.join();
     }
@@ -1434,7 +1791,7 @@ pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<Serve
     // Collect final stats, then let the workers exit.
     let (reply_tx, reply_rx) = mpsc::channel::<Response>();
     for tx in &shard_txs {
-        let _ = tx.send(ShardMsg { cmd: ShardCmd::Stats, reply: reply_tx.clone() });
+        let _ = tx.send(ShardMsg { cmd: ShardCmd::Stats, ctx: None, reply: reply_tx.clone() });
     }
     drop(reply_tx);
     let mut final_stats = match merge_broadcast(&reply_rx, shard_txs.len()) {

@@ -24,7 +24,9 @@
 //! can refuse (rather than misread) old snapshots.
 
 use geosocial_geo::LatLon;
-use geosocial_store::{put_f64, put_varint, put_zigzag, CodecError, Reader, StoredRecord};
+use geosocial_store::{
+    put_bytes, put_f64, put_varint, put_zigzag, CodecError, Reader, StoredRecord,
+};
 use geosocial_stream::snapshot::{
     AuditorState, DetectorState, HeldEventState, PendingCheckinState, ReorderState, StageState,
     TrackedVisitState,
@@ -43,6 +45,8 @@ const EV_GPS: u8 = 0;
 const EV_CHECKIN: u8 = 1;
 const EV_HELLO: u8 = 2;
 const EV_FINISH: u8 = 3;
+// Trace-stream record kind (the `<shard>/trace/` store only holds these).
+const EV_SPAN: u8 = 4;
 
 // ---------------------------------------------------------------------------
 // Event payloads
@@ -109,6 +113,60 @@ pub(crate) fn decode_event(rec: &StoredRecord) -> Result<Request, CodecError> {
     };
     r.finish()?;
     Ok(req)
+}
+
+// ---------------------------------------------------------------------------
+// Trace span records
+// ---------------------------------------------------------------------------
+
+/// Encode one [`SpanRecord`] as a trace-stream record body. The 128-bit
+/// trace id travels as two u64 varints (sampled ids are splitmix64
+/// output, so fixed-width would rarely win anyway).
+pub(crate) fn span_payload(buf: &mut Vec<u8>, span: &geosocial_obs::trace::SpanRecord) {
+    buf.clear();
+    buf.push(EV_SPAN);
+    put_varint(buf, span.trace_id as u64);
+    put_varint(buf, (span.trace_id >> 64) as u64);
+    put_varint(buf, span.span_id);
+    put_varint(buf, span.parent);
+    put_bytes(buf, span.name.as_bytes());
+    put_varint(buf, span.start_us);
+    put_varint(buf, span.dur_us);
+    buf.push(span.flags);
+    put_zigzag(buf, span.shard as i64);
+}
+
+/// Decode one trace-stream record back into its span.
+pub(crate) fn decode_span(
+    rec: &StoredRecord,
+) -> Result<geosocial_obs::trace::SpanRecord, CodecError> {
+    let mut r = Reader::new(&rec.payload);
+    let kind = r.byte()?;
+    if kind != EV_SPAN {
+        return Err(err_at(&r, format!("trace stream holds record kind {kind}, want span")));
+    }
+    let lo = r.varint()?;
+    let hi = r.varint()?;
+    let span_id = r.varint()?;
+    let parent = r.varint()?;
+    let name =
+        String::from_utf8(r.bytes()?.to_vec()).map_err(|_| err_at(&r, "span name is not UTF-8"))?;
+    let start_us = r.varint()?;
+    let dur_us = r.varint()?;
+    let flags = r.byte()?;
+    let shard = r.zigzag()?;
+    let shard = i32::try_from(shard).map_err(|_| err_at(&r, format!("span shard {shard}")))?;
+    r.finish()?;
+    Ok(geosocial_obs::trace::SpanRecord {
+        trace_id: (lo as u128) | ((hi as u128) << 64),
+        span_id,
+        parent,
+        name,
+        start_us,
+        dur_us,
+        flags,
+        shard,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -677,6 +735,24 @@ mod tests {
         finish_payload(&mut buf);
         let rec = StoredRecord { lsn: 3, user: SENTINEL_USER, t: 0, payload: buf.clone() };
         assert!(matches!(decode_event(&rec).expect("decodes"), Request::Finish));
+    }
+
+    #[test]
+    fn span_records_roundtrip() {
+        let span = geosocial_obs::trace::SpanRecord {
+            trace_id: 0xdead_beef_0123_4567_89ab_cdef_0011_2233,
+            span_id: 42,
+            parent: 7,
+            name: "store.append".into(),
+            start_us: 1_700_000_000_000_000,
+            dur_us: 123,
+            flags: geosocial_obs::trace::FLAG_SAMPLED | geosocial_obs::trace::FLAG_DEDUP,
+            shard: -1,
+        };
+        let mut buf = Vec::new();
+        span_payload(&mut buf, &span);
+        let rec = StoredRecord { lsn: 0, user: 1, t: span.start_us as i64, payload: buf };
+        assert_eq!(decode_span(&rec).expect("decodes"), span);
     }
 
     #[test]

@@ -53,7 +53,32 @@
 //!                                     lon_bits^prev varint
 //! 0x8B AsOf      user varint, t zigzag
 //! 0x8C Window    count varint, count user varints, t0 zigzag, t1 zigzag
+//! 0x8D Traces    filter u8 (bit0 = trace_id present, bit1 = path
+//!                present), [trace_id 16 bytes LE], slowest varint,
+//!                [path length varint, UTF-8 bytes]
+//! 0x8E MetricsHistory  last varint
 //! ```
+//!
+//! # Trace-context envelope
+//!
+//! A frame may carry an optional trace context ahead of the request —
+//! the end-to-end tracing extension (`geosocial_obs::trace`). On the
+//! binary wire this is a distinct **envelope opcode** wrapping the inner
+//! request payload, so untagged frames from older clients decode exactly
+//! as before:
+//!
+//! ```text
+//! 0x90 Traced    trace_id lo u64 LE, trace_id hi u64 LE,
+//!                span_id u64 LE, flags u8, start_us varint,
+//!                attempt varint, then the inner request payload
+//! ```
+//!
+//! In JSON the envelope is an object wrapping the request —
+//! `{"ctx":{"trace":"<32 hex>","span":...,"flags":...,"start_us":...,
+//! "attempt":...},"req":{...}}` — detected by its leading `{"ctx"`
+//! bytes; a payload without that prefix parses as a plain request.
+//! Responses never carry a context: the client closes its root span by
+//! response position (requests and responses are 1:1 and ordered).
 //!
 //! The run delta encoding exploits the regularity of per-minute GPS
 //! sampling: `dt` is a small constant, and consecutive fixes share the
@@ -82,7 +107,9 @@
 use std::io;
 
 use crate::protocol::{Request, Response, WireFix};
+use geosocial_obs::trace::{parse_trace_id, trace_hex, TraceContext};
 use geosocial_stream::{AuditVerdict, VerdictKind};
+use serde::{Deserialize, Serialize};
 
 /// Which payload encoding a frame (or a client) uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +166,11 @@ const OP_SHUTDOWN: u8 = 0x89;
 const OP_GPS_RUN: u8 = 0x8A;
 const OP_AS_OF: u8 = 0x8B;
 const OP_WINDOW: u8 = 0x8C;
+const OP_TRACES: u8 = 0x8D;
+const OP_METRICS_HISTORY: u8 = 0x8E;
+
+/// Trace-context envelope: ctx fields, then the inner request payload.
+const OP_TRACED: u8 = 0x90;
 
 // Response opcodes.
 const OP_OK: u8 = 0xC0;
@@ -271,6 +303,16 @@ impl<'a> Decoder<'a> {
         self.f64().map(f64::to_bits)
     }
 
+    fn u64_le(&mut self) -> Result<u64, DecodeError> {
+        if self.pos + 8 > self.bytes.len() {
+            return self.err("truncated u64 (need 8 bytes)");
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(u64::from_le_bytes(b))
+    }
+
     fn u32_field(&mut self, what: &str) -> Result<u32, DecodeError> {
         let v = self.varint()?;
         u32::try_from(v)
@@ -358,6 +400,31 @@ pub fn encode_request_payload(out: &mut Vec<u8>, req: &Request) {
             put_zigzag(out, *t0);
             put_zigzag(out, *t1);
         }
+        Request::Traces { trace_id, slowest, path } => {
+            out.push(OP_TRACES);
+            let parsed = trace_id.as_deref().and_then(parse_trace_id);
+            let mut filter = 0u8;
+            if parsed.is_some() {
+                filter |= 1;
+            }
+            if path.is_some() {
+                filter |= 2;
+            }
+            out.push(filter);
+            if let Some(id) = parsed {
+                out.extend_from_slice(&(id as u64).to_le_bytes());
+                out.extend_from_slice(&((id >> 64) as u64).to_le_bytes());
+            }
+            put_varint(out, *slowest as u64);
+            if let Some(p) = path {
+                put_varint(out, p.len() as u64);
+                out.extend_from_slice(p.as_bytes());
+            }
+        }
+        Request::MetricsHistory { last } => {
+            out.push(OP_METRICS_HISTORY);
+            put_varint(out, *last as u64);
+        }
         Request::Stats => out.push(OP_STATS),
         Request::Metrics => out.push(OP_METRICS),
         Request::Finish => out.push(OP_FINISH),
@@ -429,6 +496,42 @@ pub fn decode_request_binary(payload: &[u8]) -> Result<Request, DecodeError> {
             }
             Request::Window { cohort, t0: d.zigzag()?, t1: d.zigzag()? }
         }
+        OP_TRACES => {
+            let filter = d.byte()?;
+            if filter > 3 {
+                return Err(DecodeError {
+                    offset: d.pos - 1,
+                    detail: format!("traces filter flags must be 0..=3, got {filter}"),
+                });
+            }
+            let trace_id = if filter & 1 != 0 {
+                let lo = d.u64_le()?;
+                let hi = d.u64_le()?;
+                Some(trace_hex(((hi as u128) << 64) | lo as u128))
+            } else {
+                None
+            };
+            let slowest = d.varint()? as usize;
+            let path = if filter & 2 != 0 {
+                let len = d.varint()? as usize;
+                if d.pos + len > payload.len() {
+                    return d.err(format!("path filter of {len} bytes overruns the payload"));
+                }
+                let bytes = &payload[d.pos..d.pos + len];
+                let p = std::str::from_utf8(bytes)
+                    .map_err(|e| DecodeError {
+                        offset: d.pos + e.valid_up_to(),
+                        detail: "path filter is not UTF-8".into(),
+                    })?
+                    .to_string();
+                d.pos += len;
+                Some(p)
+            } else {
+                None
+            };
+            Request::Traces { trace_id, slowest, path }
+        }
+        OP_METRICS_HISTORY => Request::MetricsHistory { last: d.varint()? as usize },
         OP_STATS => Request::Stats,
         OP_METRICS => Request::Metrics,
         OP_FINISH => Request::Finish,
@@ -455,11 +558,157 @@ pub fn decode_request_binary(payload: &[u8]) -> Result<Request, DecodeError> {
 }
 
 /// Decode a request payload of either format, dispatching on the tag.
+/// Traced frames are accepted and their context discarded; the server
+/// decodes with [`decode_request_traced`] to keep it.
 pub fn decode_request(payload: &[u8]) -> Result<(Request, WireFormat), DecodeError> {
-    match detect(payload) {
-        WireFormat::Binary => decode_request_binary(payload).map(|r| (r, WireFormat::Binary)),
-        WireFormat::Json => decode_json(payload).map(|r| (r, WireFormat::Json)),
+    decode_request_traced(payload).map(|(req, wire, _)| (req, wire))
+}
+
+/// The JSON spelling of a [`TraceContext`] (trace id as 32 hex digits —
+/// JSON has no u128).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct JsonTraceCtx {
+    trace: String,
+    span: u64,
+    flags: u8,
+    start_us: u64,
+    attempt: u32,
+}
+
+/// The JSON trace envelope: context first, request second. The encoder
+/// hand-builds the object so the payload always starts with `{"ctx"`,
+/// which is what [`decode_request_traced`] dispatches on.
+#[derive(Debug, Clone, Deserialize)]
+struct JsonTraced {
+    ctx: JsonTraceCtx,
+    req: Request,
+}
+
+fn ctx_to_json(ctx: &TraceContext) -> JsonTraceCtx {
+    JsonTraceCtx {
+        trace: ctx.trace_hex(),
+        span: ctx.span_id,
+        flags: ctx.flags,
+        start_us: ctx.start_us,
+        attempt: ctx.attempt,
     }
+}
+
+fn ctx_from_json(ctx: &JsonTraceCtx) -> Result<TraceContext, DecodeError> {
+    let trace_id = parse_trace_id(&ctx.trace).ok_or_else(|| DecodeError {
+        offset: 0,
+        detail: format!("trace id `{}` is not 1..=32 hex digits", ctx.trace),
+    })?;
+    Ok(TraceContext {
+        trace_id,
+        span_id: ctx.span,
+        flags: ctx.flags,
+        start_us: ctx.start_us,
+        attempt: ctx.attempt,
+    })
+}
+
+/// Leading bytes of a JSON trace envelope.
+const JSON_CTX_PREFIX: &[u8] = b"{\"ctx\"";
+
+/// Append the payload of `req` wrapped in the trace-context envelope of
+/// the given wire format (no length prefix).
+pub fn encode_traced_payload(
+    out: &mut Vec<u8>,
+    ctx: &TraceContext,
+    req: &Request,
+    wire: WireFormat,
+) -> io::Result<()> {
+    match wire {
+        WireFormat::Binary => {
+            out.push(OP_TRACED);
+            out.extend_from_slice(&(ctx.trace_id as u64).to_le_bytes());
+            out.extend_from_slice(&((ctx.trace_id >> 64) as u64).to_le_bytes());
+            out.extend_from_slice(&ctx.span_id.to_le_bytes());
+            out.push(ctx.flags);
+            put_varint(out, ctx.start_us);
+            put_varint(out, ctx.attempt as u64);
+            encode_request_payload(out, req);
+            Ok(())
+        }
+        WireFormat::Json => {
+            let ctx_json = serde_json::to_string(&ctx_to_json(ctx)).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e:?}"))
+            })?;
+            let req_json = serde_json::to_string(req).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("encode: {e:?}"))
+            })?;
+            out.extend_from_slice(b"{\"ctx\":");
+            out.extend_from_slice(ctx_json.as_bytes());
+            out.extend_from_slice(b",\"req\":");
+            out.extend_from_slice(req_json.as_bytes());
+            out.push(b'}');
+            Ok(())
+        }
+    }
+}
+
+/// Decode a request payload of either format, keeping the optional
+/// trace-context envelope. Untagged frames (every pre-tracing client)
+/// decode exactly as before with `None` for the context.
+pub fn decode_request_traced(
+    payload: &[u8],
+) -> Result<(Request, WireFormat, Option<TraceContext>), DecodeError> {
+    match detect(payload) {
+        WireFormat::Binary if payload.first() == Some(&OP_TRACED) => {
+            let mut d = Decoder::new(payload);
+            d.byte()?; // OP_TRACED
+            let lo = d.u64_le()?;
+            let hi = d.u64_le()?;
+            let span_id = d.u64_le()?;
+            let flags = d.byte()?;
+            let start_us = d.varint()?;
+            let attempt_at = d.pos;
+            let attempt = d.varint()?;
+            let attempt = u32::try_from(attempt).map_err(|_| DecodeError {
+                offset: attempt_at,
+                detail: format!("attempt {attempt} > u32::MAX"),
+            })?;
+            let ctx = TraceContext {
+                trace_id: ((hi as u128) << 64) | lo as u128,
+                span_id,
+                flags,
+                start_us,
+                attempt,
+            };
+            let inner_at = d.pos;
+            if inner_at >= payload.len() {
+                return Err(DecodeError {
+                    offset: inner_at,
+                    detail: "trace envelope wraps an empty request".into(),
+                });
+            }
+            let req = decode_request_binary(&payload[inner_at..]).map_err(|mut e| {
+                e.offset += inner_at;
+                e
+            })?;
+            Ok((req, WireFormat::Binary, Some(ctx)))
+        }
+        WireFormat::Binary => decode_request_binary(payload).map(|r| (r, WireFormat::Binary, None)),
+        WireFormat::Json if payload.starts_with(JSON_CTX_PREFIX) => {
+            let traced: JsonTraced = decode_json(payload)?;
+            let ctx = ctx_from_json(&traced.ctx)?;
+            Ok((traced.req, WireFormat::Json, Some(ctx)))
+        }
+        WireFormat::Json => decode_json(payload).map(|r| (r, WireFormat::Json, None)),
+    }
+}
+
+/// Append one complete request frame carrying a trace context. The
+/// context rides the envelope of the chosen wire format; see the module
+/// docs.
+pub fn encode_traced_request_frame(
+    out: &mut Vec<u8>,
+    ctx: &TraceContext,
+    req: &Request,
+    wire: WireFormat,
+) -> io::Result<()> {
+    frame_payload(out, |buf| encode_traced_payload(buf, ctx, req, wire))
 }
 
 /// Decode a JSON payload with structured (offset-carrying) errors.
@@ -832,6 +1081,86 @@ mod tests {
             Response::Error { message } => assert_eq!(message, "gap at 7"),
             other => panic!("bad roundtrip: {other:?}"),
         }
+    }
+
+    #[test]
+    fn traces_and_metrics_history_roundtrip_binary() {
+        let full = Request::Traces {
+            trace_id: Some(trace_hex(0xDEAD_BEEF_0123_4567_89AB_CDEF_0011_2233u128)),
+            slowest: 5,
+            path: Some("serve.apply".into()),
+        };
+        match roundtrip_req(&full) {
+            Request::Traces { trace_id, slowest: 5, path } => {
+                assert_eq!(
+                    trace_id.as_deref(),
+                    Some("deadbeef0123456789abcdef00112233"),
+                    "trace id must round-trip through its hex spelling"
+                );
+                assert_eq!(path.as_deref(), Some("serve.apply"));
+            }
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+        match roundtrip_req(&Request::Traces { trace_id: None, slowest: 0, path: None }) {
+            Request::Traces { trace_id: None, slowest: 0, path: None } => {}
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+        match roundtrip_req(&Request::MetricsHistory { last: 12 }) {
+            Request::MetricsHistory { last: 12 } => {}
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_envelope_roundtrips_on_both_wires() {
+        let ctx = TraceContext {
+            trace_id: 0x1122_3344_5566_7788_99AA_BBCC_DDEE_FF00u128,
+            span_id: 42,
+            flags: 0x03,
+            start_us: 1_754_000_000_000_000,
+            attempt: 2,
+        };
+        let req = Request::Gps { user: 7, seq: 9, t: 1_234, lat: 34.4, lon: -119.8 };
+        for wire in [WireFormat::Binary, WireFormat::Json] {
+            let mut frame = Vec::new();
+            encode_traced_request_frame(&mut frame, &ctx, &req, wire).expect("frame");
+            let (got, fmt, got_ctx) = decode_request_traced(&frame[4..]).expect("decodes");
+            assert_eq!(fmt, wire);
+            assert_eq!(got_ctx, Some(ctx), "{wire:?} context must survive");
+            match got {
+                Request::Gps { user: 7, seq: 9, t: 1_234, .. } => {}
+                other => panic!("bad inner request on {wire:?}: {other:?}"),
+            }
+            // The ctx-blind decoder accepts the same frame and drops the
+            // context.
+            let (_, fmt2) = decode_request(&frame[4..]).expect("ctx-blind decode");
+            assert_eq!(fmt2, wire);
+        }
+    }
+
+    #[test]
+    fn untagged_frames_still_decode_without_context() {
+        let req = Request::Checkin { user: 3, seq: 0, t: 60, poi: 4, lat: 1.0, lon: 2.0 };
+        for wire in [WireFormat::Binary, WireFormat::Json] {
+            let mut frame = Vec::new();
+            encode_request_frame(&mut frame, &req, wire).expect("frame");
+            let (_, _, ctx) = decode_request_traced(&frame[4..]).expect("decodes");
+            assert_eq!(ctx, None, "untagged {wire:?} frame must carry no context");
+        }
+    }
+
+    #[test]
+    fn empty_trace_envelope_is_rejected() {
+        let ctx = TraceContext { trace_id: 1, span_id: 1, flags: 0, start_us: 0, attempt: 0 };
+        let mut payload = vec![OP_TRACED];
+        payload.extend_from_slice(&(ctx.trace_id as u64).to_le_bytes());
+        payload.extend_from_slice(&((ctx.trace_id >> 64) as u64).to_le_bytes());
+        payload.extend_from_slice(&ctx.span_id.to_le_bytes());
+        payload.push(ctx.flags);
+        put_varint(&mut payload, ctx.start_us);
+        put_varint(&mut payload, ctx.attempt as u64);
+        let e = decode_request_traced(&payload).expect_err("empty envelope");
+        assert!(e.detail.contains("empty request"), "got: {e}");
     }
 
     #[test]

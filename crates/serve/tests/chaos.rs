@@ -66,6 +66,9 @@ fn chaos_case(wire: WireFormat, run_len: usize) {
         retry: RetryPolicy { max_retries: 8, base_ms: 5, max_ms: 250 },
         wire,
         run_len,
+        // Default head sampling: tracing is exercised by tests/traces.rs;
+        // this suite gates on served-vs-batch equivalence under faults.
+        trace_sample: 64,
     };
     let report = run(addr, &load).expect("chaotic replay still completes");
 

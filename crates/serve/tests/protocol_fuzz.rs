@@ -5,6 +5,7 @@
 //! prefix promised. The binary codec additionally roundtrips bit-exactly:
 //! the served-vs-batch equivalence proof rides on that.
 
+use geosocial_obs::trace::TraceContext;
 use geosocial_serve::protocol::{read_msg, write_msg, Request, Response, WireFix, MAX_FRAME_BYTES};
 use geosocial_serve::wire::{self, WireFormat, MAX_RUN_LEN};
 use proptest::prelude::*;
@@ -251,6 +252,99 @@ proptest! {
         json_payload[0] |= 0x80;
         prop_assert_eq!(wire::detect(&json_payload), WireFormat::Binary);
         let _ = wire::decode_request(&json_payload); // must not panic
+    }
+
+    // ---------------- trace-context envelope ----------------
+
+    /// The trace envelope roundtrips every context field on both wire
+    /// formats, and the wrapped request comes back bit-identical to what
+    /// the bare codec would carry.
+    #[test]
+    fn traced_envelopes_roundtrip_both_formats(
+        pick in 0u8..=255,
+        user in 0u32..1_000,
+        seq in 0u64..1_000,
+        t in -1_000_000i64..1_000_000,
+        x in -180.0f64..180.0,
+        trace_lo in 0u64..=u64::MAX,
+        trace_hi in 0u64..=u64::MAX,
+        span_id in 0u64..=u64::MAX,
+        flags in 0u8..=255,
+        start_us in 0u64..=u64::MAX / 2,
+        attempt in 0u32..1_000,
+        binary in 0u8..=1,
+    ) {
+        let req = request_for(pick, user, seq, t, x);
+        let ctx = TraceContext {
+            trace_id: ((trace_hi as u128) << 64) | trace_lo as u128,
+            span_id,
+            flags,
+            start_us,
+            attempt,
+        };
+        let fmt = if binary == 1 { WireFormat::Binary } else { WireFormat::Json };
+        let mut payload = Vec::new();
+        wire::encode_traced_payload(&mut payload, &ctx, &req, fmt).expect("encode");
+        let (back, got_fmt, got_ctx) =
+            wire::decode_request_traced(&payload).expect("traced decode");
+        prop_assert_eq!(got_fmt, fmt);
+        let got = got_ctx.expect("envelope must surface a context");
+        prop_assert_eq!(got.trace_id, ctx.trace_id);
+        prop_assert_eq!(got.span_id, ctx.span_id);
+        prop_assert_eq!(got.flags, ctx.flags);
+        prop_assert_eq!(got.start_us, ctx.start_us);
+        prop_assert_eq!(got.attempt, ctx.attempt);
+        prop_assert!(bit_identical(&req, &back), "envelope changed the inner request");
+    }
+
+    /// Back-compat: untagged payloads (what every pre-tracing client
+    /// sends) decode exactly as before, with no phantom context.
+    #[test]
+    fn untagged_payloads_decode_with_no_context(
+        pick in 0u8..=255,
+        user in 0u32..1_000,
+        seq in 0u64..1_000,
+        t in -1_000_000i64..1_000_000,
+        x in -180.0f64..180.0,
+        binary in 0u8..=1,
+    ) {
+        let req = request_for(pick, user, seq, t, x);
+        let fmt = if binary == 1 { WireFormat::Binary } else { WireFormat::Json };
+        let mut framed = Vec::new();
+        wire::encode_request_frame(&mut framed, &req, fmt).expect("frame");
+        let (back, got_fmt, ctx) =
+            wire::decode_request_traced(&framed[4..]).expect("bare decode");
+        prop_assert_eq!(got_fmt, fmt);
+        prop_assert!(ctx.is_none(), "bare payload grew a context: {ctx:?}");
+        prop_assert!(bit_identical(&req, &back));
+    }
+
+    /// Truncating a traced binary envelope anywhere errors cleanly —
+    /// never a panic, never a phantom (request, context) pair.
+    #[test]
+    fn truncated_traced_envelopes_error_cleanly(
+        pick in 0u8..=255,
+        user in 0u32..1_000,
+        seq in 0u64..1_000,
+        t in -1_000_000i64..1_000_000,
+        x in -180.0f64..180.0,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let req = request_for(pick, user, seq, t, x);
+        let ctx = TraceContext {
+            trace_id: 0xfeed_beef,
+            span_id: 42,
+            flags: 0x01,
+            start_us: 1_000,
+            attempt: 1,
+        };
+        let mut payload = Vec::new();
+        wire::encode_traced_payload(&mut payload, &ctx, &req, WireFormat::Binary)
+            .expect("encode");
+        let cut = ((payload.len() - 1) as f64 * cut_frac) as usize;
+        if let Ok(msg) = wire::decode_request_traced(&payload[..cut]) {
+            prop_assert!(false, "truncated traced payload decoded to {msg:?}");
+        }
     }
 }
 

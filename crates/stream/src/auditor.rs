@@ -336,6 +336,7 @@ impl OnlineAuditor {
                 return;
             }
             self.drain_ready();
+            self.note_held();
         } else {
             self.feed_gps(p);
         }
@@ -354,6 +355,7 @@ impl OnlineAuditor {
                 return;
             }
             self.drain_ready();
+            self.note_held();
         } else {
             self.feed_checkin(c);
         }
@@ -382,6 +384,15 @@ impl OnlineAuditor {
         self.advance(true);
         debug_assert!(self.pending.is_empty(), "finish leaves no pending checkins");
         debug_assert!(self.visits.iter().all(|v| v.resolved), "finish resolves all visits");
+    }
+
+    /// Flag the active trace (if any) when the lateness buffer is holding
+    /// events past this ingest — held deliveries are exactly the requests a
+    /// tail-sampled trace should keep.
+    fn note_held(&self) {
+        if self.reorder.as_ref().is_some_and(|r| r.held() > 0) {
+            geosocial_obs::trace::task_flag(geosocial_obs::trace::FLAG_HELD);
+        }
     }
 
     /// Feed events the lateness buffer has released, in event-time order.
@@ -858,6 +869,14 @@ impl OnlineAuditor {
     /// evidence at hand. The only path that may diverge from batch output;
     /// counted in `forced`.
     fn enforce_budget(&mut self) {
+        if self.pending.len() > self.cfg.max_pending_checkins {
+            // One marker per budget breach (not per evicted checkin): the
+            // trace is promoted either way, without span spam on batches.
+            geosocial_obs::trace::task_mark(
+                "stream.forced_finalize",
+                geosocial_obs::trace::FLAG_FORCED,
+            );
+        }
         while self.pending.len() > self.cfg.max_pending_checkins {
             let Some(mut pc) = self.pending.pop_front() else { break };
             self.comp.forced += 1;

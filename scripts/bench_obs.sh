@@ -2,17 +2,23 @@
 # Measure the observability layer's instrumentation overhead on the
 # serving path and write BENCH_obs.json.
 #
-# Builds geosocial-loadgen twice — once normally (metrics on) and once
-# with the obs-noop feature (every metric mutation and span clock-read
-# compiled to nothing) — then replays the same X10-scale scenario
-# (24 users x 5 days, the `equiv` experiment's size) through each binary
-# several times and compares best-of-N ingest throughput.
+# Builds geosocial-loadgen twice — once normally (metrics on, tracing at
+# the default 1/64 head sampling) and once with the obs-noop feature
+# (every metric mutation, span clock-read, and trace record compiled to
+# nothing) — then replays the same X10-scale scenario (24 users x 5
+# days, the `equiv` experiment's size) through both binaries in
+# alternating-order pairs and reports the MEDIAN of the per-pair
+# overheads. Shared machines drift by 10-20% across seconds (frequency
+# scaling, co-tenants), which swamps a per-side best-of-N; pairing
+# adjacent runs and taking the median cancels drift that hits both
+# binaries alike and shrugs off the odd ruined pair. check.sh gates the
+# committed overhead at 5%.
 #
-# Usage: scripts/bench_obs.sh [RUNS]   (default 3)
+# Usage: scripts/bench_obs.sh [PAIRS]   (default 5)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-runs="${1:-3}"
+pairs="${1:-5}"
 users=24
 days=5
 shards=4
@@ -27,42 +33,64 @@ cargo build --release -p geosocial-serve
 report="$(mktemp -t bench_obs.XXXXXX.json)"
 trap 'rm -f "$report"' EXIT
 
-# best_events_per_sec BINARY -> best of $runs replays, echoed
-best_events_per_sec() {
-    local bin="$1" best=0 eps
-    for i in $(seq 1 "$runs"); do
-        "$bin" --spawn --shards "$shards" \
-            --users "$users" --days "$days" --seed 1 \
-            --connections 4 --window 256 \
-            --out "$report" >/dev/null 2>&1
-        eps="$(grep -o '"events_per_sec": [0-9.]*' "$report" | head -n1 | grep -o '[0-9.]*$')"
-        echo "   run $i: $eps events/s" >&2
-        best="$(awk -v a="$best" -v b="$eps" 'BEGIN { print (b > a) ? b : a }')"
-    done
-    echo "$best"
+# one_events_per_sec BINARY -> events/s of a single replay, echoed
+one_events_per_sec() {
+    "$1" --spawn --shards "$shards" \
+        --users "$users" --days "$days" --seed 1 \
+        --connections 4 --window 256 \
+        --out "$report" >/dev/null 2>&1
+    grep -o '"events_per_sec": [0-9.]*' "$report" | head -n1 | grep -o '[0-9.]*$'
 }
 
-echo "==> metrics on: $runs replays at ${users}x${days}d, $shards shards"
-on_best="$(best_events_per_sec ./target/release/geosocial-loadgen)"
-echo "==> metrics compiled out (noop): $runs replays"
-noop_best="$(best_events_per_sec ./target/release/geosocial-loadgen-noop)"
+# Alternating-order pairs: odd pairs run on-then-noop, even pairs
+# noop-then-on, so slow drift cannot systematically flatter one side.
+# One throwaway warmup replay primes the page cache before anything
+# counts. Per pair we keep the overhead ratio, not the raw rates — two
+# adjacent replays see nearly the same machine, so their ratio survives
+# drift that makes the raw numbers incomparable across pairs.
+echo "==> warmup replay (discarded)"
+one_events_per_sec ./target/release/geosocial-loadgen >/dev/null
+echo "==> $pairs alternating replay pairs at ${users}x${days}d, $shards shards"
+pair_overheads=()
+on_best=0
+noop_best=0
+for i in $(seq 1 "$pairs"); do
+    if [ $((i % 2)) -eq 1 ]; then
+        on="$(one_events_per_sec ./target/release/geosocial-loadgen)"
+        noop="$(one_events_per_sec ./target/release/geosocial-loadgen-noop)"
+    else
+        noop="$(one_events_per_sec ./target/release/geosocial-loadgen-noop)"
+        on="$(one_events_per_sec ./target/release/geosocial-loadgen)"
+    fi
+    pct="$(awk -v on="$on" -v off="$noop" \
+        'BEGIN { printf "%.2f", (off > 0) ? (off - on) * 100.0 / off : 0 }')"
+    echo "   pair $i: on $on ev/s, noop $noop ev/s, overhead ${pct}%" >&2
+    pair_overheads+=("$pct")
+    on_best="$(awk -v a="$on_best" -v b="$on" 'BEGIN { print (b > a) ? b : a }')"
+    noop_best="$(awk -v a="$noop_best" -v b="$noop" 'BEGIN { print (b > a) ? b : a }')"
+done
 
-overhead_pct="$(awk -v on="$on_best" -v off="$noop_best" \
-    'BEGIN { printf "%.2f", (off > 0) ? (off - on) * 100.0 / off : 0 }')"
+overhead_pct="$(printf '%s\n' "${pair_overheads[@]}" | sort -n | awk '
+    { v[NR] = $1 }
+    END {
+        if (NR % 2) { printf "%.2f", v[(NR + 1) / 2] }
+        else { printf "%.2f", (v[NR / 2] + v[NR / 2 + 1]) / 2 }
+    }')"
 
 cat > BENCH_obs.json <<EOF
 {
-  "bench": "loadgen replay, metrics on vs compiled out (obs-noop)",
+  "bench": "loadgen replay, metrics+tracing on vs compiled out (obs-noop)",
   "users": $users,
   "days": $days,
   "shards": $shards,
   "connections": 4,
   "window": 256,
-  "runs_each": $runs,
+  "trace_sample": 64,
+  "pairs": $pairs,
   "events_per_sec_metrics_on": $on_best,
   "events_per_sec_metrics_noop": $noop_best,
   "overhead_pct": $overhead_pct
 }
 EOF
-echo "==> metrics on: $on_best ev/s, noop: $noop_best ev/s, overhead ${overhead_pct}%"
+echo "==> best on: $on_best ev/s, best noop: $noop_best ev/s, median pair overhead ${overhead_pct}%"
 echo "==> wrote BENCH_obs.json"

@@ -12,7 +12,13 @@
 #      and the latency histograms / per-shard verdict counters are checked
 #      for presence and sum-consistency with the loadgen report — plus an
 #      event-store smoke: every replayed event must have been appended to
-#      the shard stores (the store.appends counter in the same scrape).
+#      the shard stores (the store.appends counter in the same scrape),
+#      plus a tracing smoke: default 1/64 head sampling must record client
+#      root spans, and the server's Traces query (via geosocial-trace)
+#      must return retained traces with the server-side span chain,
+#   4. an overhead gate: the committed BENCH_obs.json (scripts/
+#      bench_obs.sh) must show instrumentation overhead — metrics plus
+#      tracing at 1/64 — of at most 5%.
 #
 # Usage: scripts/check.sh
 # Exits non-zero on the first failure.
@@ -112,7 +118,26 @@ echo "$expo" | awk -v want="$report_events" '
         if (sum >= want && want > 0) { print "   event store: " sum " records appended (>= " want " events)" }
         else { print "error: store.appends " sum " < replayed events " want > "/dev/stderr"; exit 1 }
     }'
+traces_sampled="$(grep -o '"traces_sampled": [0-9]*' "$obs_out" | head -n1 | grep -o '[0-9]*$')"
+if [ -z "$traces_sampled" ] || [ "$traces_sampled" -eq 0 ]; then
+    echo "error: default 1/64 sampling recorded no traces" >&2
+    exit 1
+fi
+echo "   tracing: $traces_sampled client roots sampled at 1/64"
+timeline="$(./target/release/geosocial-trace --addr "$addr" --slowest 3)"
+for want_span in client.send serve.apply serve.ack; do
+    echo "$timeline" | grep -q "$want_span" \
+        || { echo "error: Traces timeline lacks $want_span:" >&2; echo "$timeline" >&2; exit 1; }
+done
+echo "   tracing: Traces query returned the server-side span chain"
 kill "$serve_pid" 2>/dev/null || true
 serve_pid=""
+
+echo "==> observability overhead gate: BENCH_obs.json <= 5%"
+overhead="$(grep -o '"overhead_pct": [0-9.-]*' BENCH_obs.json | grep -o '[0-9.-]*$')"
+[ -n "$overhead" ] || { echo "error: BENCH_obs.json has no overhead_pct" >&2; exit 1; }
+awk -v o="$overhead" 'BEGIN { exit !(o <= 5.0) }' \
+    || { echo "error: instrumentation overhead ${overhead}% exceeds the 5% budget" >&2; exit 1; }
+echo "   committed overhead: ${overhead}%"
 
 echo "==> all checks passed"

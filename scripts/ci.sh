@@ -15,19 +15,23 @@
 #   5. wire smoke    — a batch-verified replay on the binary wire with
 #                      batched GpsRun frames (the JSON wire is smoked by
 #                      check.sh), so both encodings gate every merge
-#   6. store smoke   — the event-store micro-benchmark at a reduced scale,
+#   6. trace smoke   — a fully sampled replay against a standalone server,
+#                      then the Traces query through geosocial-trace: the
+#                      text timeline must show the server-side span chain
+#                      and the Chrome export must be non-empty
+#   7. store smoke   — the event-store micro-benchmark at a reduced scale,
 #                      exercising append/segment-roll/snapshot/reopen/query
 #                      through the shipped geosocial-store-bench binary
-#   7. check.sh      — tier-1 gate + serving/observability smokes over a
+#   8. check.sh      — tier-1 gate + serving/observability smokes over a
 #                      real TCP server
 #
 # Usage: scripts/ci.sh [step...]   (no args = all steps)
-# Steps: fmt clippy build test chaos wire store check
+# Steps: fmt clippy build test chaos wire trace store check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 steps=("$@")
-[ ${#steps[@]} -eq 0 ] && steps=(fmt clippy build test chaos wire store check)
+[ ${#steps[@]} -eq 0 ] && steps=(fmt clippy build test chaos wire trace store check)
 
 want() {
     local s
@@ -51,6 +55,8 @@ if want clippy; then
         -- -D warnings
     echo "==> ci: clippy (obs noop)"
     cargo clippy -p geosocial-obs --all-targets --features noop -- -D warnings
+    echo "==> ci: clippy (serve with obs compiled out)"
+    cargo clippy -p geosocial-serve --all-targets --features obs-noop -- -D warnings
 fi
 
 if want build; then
@@ -86,6 +92,46 @@ if want wire; then
         --wire binary --run-len 64 \
         --verify --out "$wire_out"
     rm -f "$wire_out"
+fi
+
+if want trace; then
+    echo "==> ci: tracing smoke (replay, Traces query, exporters)"
+    cargo build --release -p geosocial-serve
+    trace_log="$(mktemp -t trace_smoke.XXXXXX.log)"
+    trace_out="$(mktemp -t trace_smoke.XXXXXX.json)"
+    chrome_out="$(mktemp -t trace_chrome.XXXXXX.json)"
+    ./target/release/geosocial-serve --addr 127.0.0.1:0 --shards 4 2>"$trace_log" &
+    trace_pid=$!
+    trap 'kill "$trace_pid" 2>/dev/null || true; rm -f "$trace_log" "$trace_out" "$chrome_out"' EXIT
+    addr=""
+    for _ in $(seq 1 50); do
+        addr="$(grep -ho 'addr=[0-9.:]*' "$trace_log" | head -n1 | cut -d= -f2 || true)"
+        [ -n "$addr" ] && break
+        kill -0 "$trace_pid" 2>/dev/null \
+            || { echo "error: geosocial-serve exited before binding" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "error: server never logged its address" >&2; exit 1; }
+    ./target/release/geosocial-loadgen \
+        --addr "$addr" \
+        --users 16 --days 2 --seed 3 \
+        --connections 2 --window 128 \
+        --trace-sample 1 \
+        --out "$trace_out"
+    grep -q '"traces_sampled": [1-9]' "$trace_out" \
+        || { echo "error: fully sampled replay recorded no traces" >&2; exit 1; }
+    timeline="$(./target/release/geosocial-trace --addr "$addr" --slowest 5)"
+    for want_span in client.send serve.apply serve.ack; do
+        echo "$timeline" | grep -q "$want_span" \
+            || { echo "error: Traces timeline lacks $want_span" >&2; exit 1; }
+    done
+    ./target/release/geosocial-trace --addr "$addr" --slowest 5 \
+        --format chrome --out "$chrome_out" >/dev/null
+    grep -q '"traceEvents":\[{' "$chrome_out" \
+        || { echo "error: Chrome trace export is empty" >&2; exit 1; }
+    kill "$trace_pid" 2>/dev/null || true
+    trap - EXIT
+    rm -f "$trace_log" "$trace_out" "$chrome_out"
 fi
 
 if want store; then
