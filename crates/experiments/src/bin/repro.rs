@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro list
-//! repro [--exp all|table1|fig1..fig8|table2|sweep|detect|filter|recover|learned|fidelity|rates|visitdef|dsdv|equiv|chaos|timetravel]
+//! repro [--exp all|table1|fig1..fig8|table2|sweep|detect|filter|recover|learned|fidelity|rates|visitdef|dsdv|equiv|chaos|timetravel|cluster]
 //!       [--users N] [--days N] [--seed S] [--out DIR] [--threads N] [--quick] [--paper-area] [--bench]
 //! ```
 //!
@@ -33,7 +33,7 @@ struct Args {
     bench: bool,
 }
 
-const ALL_EXPS: [(&str, &str); 22] = [
+const ALL_EXPS: [(&str, &str); 23] = [
     ("table1", "Table 1 — dataset statistics for both cohorts"),
     ("fig1", "Figure 1 — checkin/visit matching Venn"),
     ("fig2", "Figure 2 — inter-arrival CDFs"),
@@ -56,6 +56,7 @@ const ALL_EXPS: [(&str, &str); 22] = [
     ("equiv", "online-vs-batch streaming equivalence audit (X10)"),
     ("chaos", "served equivalence under an injected fault plan (X11)"),
     ("timetravel", "store-backed as-of audit vs truncated batch (X13)"),
+    ("cluster", "router-tier cluster vs single instance vs batch (X14)"),
 ];
 
 fn print_experiment_list() {
@@ -269,6 +270,7 @@ fn main() {
             "equiv" => streaming::streaming_equivalence(&analysis, &config, args.seed),
             "chaos" => streaming::chaos_equivalence(&analysis, args.seed),
             "timetravel" => streaming::time_travel(&analysis, args.seed),
+            "cluster" => streaming::cluster_equivalence(&analysis, args.seed),
             other => {
                 eprintln!("unknown experiment {other}");
                 print_experiment_list();

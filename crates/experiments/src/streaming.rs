@@ -515,3 +515,131 @@ pub fn time_travel(_a: &Analysis, seed: u64) -> ExperimentOutput {
     ));
     ExperimentOutput { id: "timetravel".into(), text, csv: vec![("".into(), csv)] }
 }
+
+/// Shard processes of the cluster experiment — in-process instances, one
+/// router in front; the multi-*process* variant (real `geosocial-serve`
+/// children, SIGKILL, store shipping) lives in the serve crate's cluster
+/// tests and `scripts/bench_cluster.sh`.
+const CLUSTER_SHARDS: usize = 4;
+
+/// The `cluster` experiment (X14): the router tier's composition
+/// invariance and cost.
+///
+/// The same scenario is replayed three ways per wire format:
+///
+/// 1. **batch** — implicitly, as the `verify` oracle of every replay;
+/// 2. **single server** — one spawned instance, the throughput baseline;
+/// 3. **cluster** — [`CLUSTER_SHARDS`] spawned instances behind a
+///    `geosocial-router`, users consistent-hashed across them.
+///
+/// Both replays must verify byte-identical to batch, and the cluster's
+/// throughput is reported relative to the single server — the ratio
+/// `scripts/check.sh` gates `BENCH_cluster.json` on (≥ 0.8× on the
+/// binary wire: one router hop must not halve ingest).
+pub fn cluster_equivalence(_a: &Analysis, seed: u64) -> ExperimentOutput {
+    use geosocial_serve::router::{self, RouterConfig};
+
+    let mut text = format!(
+        "Cluster equivalence audit: {CLUSTER_SHARDS} shard instances behind a router,\n\
+         users consistent-hashed by rendezvous weight, vs one instance, vs\n\
+         the batch pipeline — per wire format. Every row must verify\n\
+         identical=yes; the ratio column is cluster/single throughput.\n\n",
+    );
+    let mut csv = String::from("mode,wire,run_len,instances,events,events_per_sec,identical\n");
+
+    let mut all_ok = true;
+    for (wire, run_len) in [(WireFormat::Json, 1usize), (WireFormat::Binary, SERVE_RUN_LEN)] {
+        let load = LoadgenConfig {
+            users: SERVE_USERS,
+            days: SERVE_DAYS,
+            seed,
+            connections: 4,
+            window: 64,
+            verify: true,
+            retry: RetryPolicy::default(),
+            fault: FaultPlan::none(),
+            wire,
+            run_len,
+            trace_sample: 0,
+        };
+
+        let mut row = |mode: &str, instances: usize| -> std::io::Result<(f64, bool)> {
+            let report = if instances == 1 {
+                let server = spawn(ServerConfig::default(), "127.0.0.1:0")?;
+                let report = replay(server.addr(), &load)?;
+                shutdown_server(server.addr())?;
+                server.join()?;
+                report
+            } else {
+                let servers: Vec<_> = (0..instances)
+                    .map(|_| spawn(ServerConfig::default(), "127.0.0.1:0"))
+                    .collect::<std::io::Result<_>>()?;
+                let router = router::spawn(
+                    RouterConfig {
+                        shards: servers.iter().map(|s| s.addr()).collect(),
+                        ..RouterConfig::default()
+                    },
+                    "127.0.0.1:0",
+                )?;
+                let report = replay(router.addr(), &load)?;
+                // Router shutdown fans out to every instance.
+                shutdown_server(router.addr())?;
+                router.join()?;
+                for server in servers {
+                    server.join()?;
+                }
+                report
+            };
+            let identical = report.verified == Some(true);
+            text.push_str(&format!(
+                "{mode} ({} wire, run_len {run_len}, {instances} instance(s)): \
+                 {} events at {:.0} ev/s -> identical={}\n",
+                wire.label(),
+                report.total_events,
+                report.events_per_sec,
+                if identical { "yes" } else { "NO" },
+            ));
+            if !identical {
+                for m in report.mismatches.iter().take(5) {
+                    text.push_str(&format!("  mismatch: {m}\n"));
+                }
+            }
+            csv.push_str(&format!(
+                "{mode},{},{run_len},{instances},{},{:.1},{}\n",
+                wire.label(),
+                report.total_events,
+                report.events_per_sec,
+                identical as u8,
+            ));
+            Ok((report.events_per_sec, identical))
+        };
+
+        match (row("single", 1), row("cluster", CLUSTER_SHARDS)) {
+            (Ok((single_eps, single_ok)), Ok((cluster_eps, cluster_ok))) => {
+                let ratio = if single_eps > 0.0 { cluster_eps / single_eps } else { 0.0 };
+                text.push_str(&format!(
+                    "  cluster/single throughput ratio ({} wire): {ratio:.2}\n",
+                    wire.label()
+                ));
+                all_ok &= single_ok && cluster_ok;
+            }
+            (single, cluster) => {
+                for (mode, outcome) in [("single", single), ("cluster", cluster)] {
+                    if let Err(e) = outcome {
+                        text.push_str(&format!("{mode} replay FAILED: {e}\n"));
+                    }
+                }
+                all_ok = false;
+            }
+        }
+    }
+    text.push_str(&format!(
+        "\noverall: {}\n",
+        if all_ok {
+            "routed cluster replay equals single-instance replay equals batch on both wires"
+        } else {
+            "CLUSTER DIVERGENCE OR FAILURE"
+        }
+    ));
+    ExperimentOutput { id: "cluster".into(), text, csv: vec![("".into(), csv)] }
+}

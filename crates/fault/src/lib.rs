@@ -107,6 +107,19 @@ pub struct ShardKill {
     pub at_ingest: u64,
 }
 
+/// A planned one-shot whole-process shard kill. Unlike [`ShardKill`] (an
+/// in-process worker panic) this names a separate `geosocial-serve`
+/// process in a cluster; the plan only carries the schedule — the chaos
+/// harness watches the clock and delivers the actual SIGKILL, since a
+/// process cannot kill itself at a deterministic wall-clock point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessKill {
+    /// Cluster shard-map entry id of the process to kill.
+    pub shard: u64,
+    /// Deliver the kill this many milliseconds after the replay starts.
+    pub after_ms: u64,
+}
+
 /// How often each fault family actually fired. Shared across every clone
 /// of the plan, so the server config's copy and the test's copy agree.
 #[derive(Debug, Default)]
@@ -175,6 +188,9 @@ pub struct FaultPlan {
     pub flush_fail_per_mille: u16,
     /// Optional one-shot shard kill.
     pub kill: Option<ShardKill>,
+    /// Optional one-shot whole-process kill, executed by the chaos
+    /// harness rather than an injection site (see [`ProcessKill`]).
+    pub prockill: Option<ProcessKill>,
     fired: Arc<Fired>,
 }
 
@@ -192,6 +208,7 @@ impl FaultPlan {
             && self.short_write_per_mille == 0
             && self.flush_fail_per_mille == 0
             && self.kill.is_none()
+            && self.prockill.is_none()
     }
 
     /// An aggressive preset for chaos tests: ~2% of frames truncated, ~1%
@@ -208,6 +225,7 @@ impl FaultPlan {
             short_write_per_mille: 60,
             flush_fail_per_mille: 40,
             kill: Some(kill),
+            prockill: None,
             fired: Arc::default(),
         }
     }
@@ -222,7 +240,11 @@ impl FaultPlan {
     /// * `short=N` — per-mille store-flush short-write rate;
     /// * `flushfail=N` — per-mille store-flush failure rate;
     /// * `kill=SHARD@INGEST` — one-shot worker kill before that shard's
-    ///   INGEST-th applied event.
+    ///   INGEST-th applied event;
+    /// * `prockill=SHARD@MS` — one-shot SIGKILL of the whole shard
+    ///   process with cluster map entry id SHARD, MS milliseconds into
+    ///   the replay (delivered by the chaos harness, not an injection
+    ///   site, so it fires even without the `inject` feature).
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = Self::default();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
@@ -264,6 +286,19 @@ impl FaultPlan {
                         at_ingest: at
                             .parse()
                             .map_err(|e| format!("fault kill ingest `{at}`: {e}"))?,
+                    });
+                }
+                "prockill" => {
+                    let (shard, ms) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("fault prockill `{value}`: expected SHARD@MS"))?;
+                    plan.prockill = Some(ProcessKill {
+                        shard: shard
+                            .parse()
+                            .map_err(|e| format!("fault prockill shard `{shard}`: {e}"))?,
+                        after_ms: ms
+                            .parse()
+                            .map_err(|e| format!("fault prockill ms `{ms}`: {e}"))?,
                     });
                 }
                 other => return Err(format!("unknown fault key `{other}`")),
@@ -398,7 +433,8 @@ mod tests {
     #[test]
     fn parse_roundtrips_the_readme_example() {
         let plan = FaultPlan::parse(
-            "seed=42,truncate=20,abort=10,stall=5:300,short=60,flushfail=40,kill=1@500",
+            "seed=42,truncate=20,abort=10,stall=5:300,short=60,flushfail=40,kill=1@500,\
+             prockill=2@750",
         )
         .expect("parse");
         assert_eq!(plan.seed, 42);
@@ -409,6 +445,7 @@ mod tests {
         assert_eq!(plan.short_write_per_mille, 60);
         assert_eq!(plan.flush_fail_per_mille, 40);
         assert_eq!(plan.kill, Some(ShardKill { shard: 1, at_ingest: 500 }));
+        assert_eq!(plan.prockill, Some(ProcessKill { shard: 2, after_ms: 750 }));
         assert!(!plan.is_inert());
         assert!(FaultPlan::parse("").expect("empty spec").is_inert());
     }
@@ -419,6 +456,8 @@ mod tests {
         assert!(FaultPlan::parse("truncate=1001").is_err());
         assert!(FaultPlan::parse("stall=5").is_err());
         assert!(FaultPlan::parse("kill=3").is_err());
+        assert!(FaultPlan::parse("prockill=3").is_err());
+        assert!(FaultPlan::parse("prockill=x@10").is_err());
         assert!(FaultPlan::parse("wat=1").is_err());
     }
 

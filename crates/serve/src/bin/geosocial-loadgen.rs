@@ -7,7 +7,7 @@
 //! `scripts/check.sh`.
 
 use geosocial_fault::FaultPlan;
-use geosocial_serve::loadgen::{drain_server, run, shutdown_server, LoadgenConfig};
+use geosocial_serve::loadgen::{cluster_info, drain_server, run, shutdown_server, LoadgenConfig};
 use geosocial_serve::server::{spawn, ServerConfig};
 use std::net::SocketAddr;
 use std::process::exit;
@@ -15,6 +15,9 @@ use std::process::exit;
 const USAGE: &str = "\
 usage: geosocial-loadgen [options]
   --addr HOST:PORT   server to replay against (default 127.0.0.1:7744)
+  --router           the peer at --addr is a geosocial-router: check it
+                     answers ShardMap and record the cluster map in the
+                     report (replay and resume already work unchanged)
   --spawn            host the server in-process on an ephemeral port
   --shards N         shards for the spawned server (default 4)
   --users N          scenario cohort size (default 64)
@@ -45,6 +48,7 @@ usage: geosocial-loadgen [options]
 
 struct Cli {
     addr: String,
+    router: bool,
     spawn: bool,
     shards: usize,
     shutdown: bool,
@@ -57,6 +61,7 @@ struct Cli {
 fn parse_args() -> Result<Cli, String> {
     let mut cli = Cli {
         addr: "127.0.0.1:7744".to_string(),
+        router: false,
         spawn: false,
         shards: 4,
         shutdown: false,
@@ -70,6 +75,7 @@ fn parse_args() -> Result<Cli, String> {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--addr" => cli.addr = value("--addr")?,
+            "--router" => cli.router = true,
             "--spawn" => cli.spawn = true,
             "--shards" => {
                 cli.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
@@ -149,6 +155,11 @@ fn main() {
         }
     };
 
+    if cli.router && cli.spawn {
+        geosocial_obs::error!("loadgen", "--router and --spawn are mutually exclusive");
+        exit(2);
+    }
+
     let (addr, handle): (SocketAddr, Option<_>) = if cli.spawn {
         // Share the fault plan with the spawned server so a kill= entry
         // crashes (and recovers) a real shard worker in-process.
@@ -178,13 +189,42 @@ fn main() {
         }
     };
 
-    let report = match run(addr, &cli.load) {
+    let cluster = if cli.router {
+        match cluster_info(addr) {
+            Ok(Some(map)) => {
+                geosocial_obs::info!("loadgen", "routing through cluster";
+                    addr = addr,
+                    map_version = map.version,
+                    shards = map.entries.len(),
+                );
+                Some(map)
+            }
+            Ok(None) => {
+                geosocial_obs::error!(
+                    "loadgen",
+                    "--router given but the peer is a plain shard server \
+                     (it rejected the ShardMap control request)";
+                    addr = addr,
+                );
+                exit(2);
+            }
+            Err(e) => {
+                geosocial_obs::error!("loadgen", "cluster map probe: {e}"; addr = addr);
+                exit(1);
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut report = match run(addr, &cli.load) {
         Ok(r) => r,
         Err(e) => {
             geosocial_obs::error!("loadgen", "replay: {e}");
             exit(1);
         }
     };
+    report.cluster = cluster;
 
     if cli.drain {
         match drain_server(addr, true) {

@@ -37,6 +37,9 @@ usage: geosocial-serve [options]
                      temp dir removed at shutdown)
   --segment-bytes N  roll store segments after N bytes (default 4194304)
   --index-every N    sparse-index every Nth record per segment (default 8)
+  --flush-bytes N    flush the store log after N buffered bytes (default
+                     65536; 0 = flush every append, so acked events survive
+                     a SIGKILL — what cluster handoff under chaos relies on)
   --fault SPEC       fault plan, e.g. seed=42,truncate=20,stall=5:300,kill=1@500
                      (inert unless built with --features fault-inject)
   --trace-slow-us N  tail-sampling threshold: keep any trace whose end-to-end
@@ -110,6 +113,10 @@ fn parse_args() -> Result<(String, ServerConfig), String> {
             "--index-every" => {
                 config.index_every =
                     value("--index-every")?.parse().map_err(|e| format!("--index-every: {e}"))?;
+            }
+            "--flush-bytes" => {
+                config.flush_bytes =
+                    value("--flush-bytes")?.parse().map_err(|e| format!("--flush-bytes: {e}"))?;
             }
             "--fault" => {
                 config.fault = FaultPlan::parse(&value("--fault")?)?;

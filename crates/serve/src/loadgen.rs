@@ -56,7 +56,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::protocol::{
-    read_frame_into, read_msg, write_msg, DrainReport, Request, Response, ServerStats, WireFix,
+    read_frame_into, read_msg, write_msg, DrainReport, Request, Response, ServerStats,
+    ShardMapInfo, WireFix,
 };
 use crate::server::shard_of;
 use crate::wire::{self, WireFormat};
@@ -201,6 +202,9 @@ pub struct BenchReport {
     pub verified: Option<bool>,
     /// Human-readable verification mismatches (empty when clean).
     pub mismatches: Vec<String>,
+    /// The cluster shard map when the peer was a `geosocial-router`
+    /// (absent against a single server). Filled by `--router` mode.
+    pub cluster: Option<ShardMapInfo>,
 }
 
 /// Root-span latency percentiles for one request path (`client.request.
@@ -329,20 +333,45 @@ fn frame_span(req: &Request) -> Option<(UserId, u64)> {
 /// already holds. Acknowledgments a fault destroyed don't have to be
 /// re-earned by redelivery. Best-effort: any query failure just leaves the
 /// frontier where plain resume-from-acked put it.
+///
+/// Works identically against a single server and the cluster router:
+/// `AsOf` is user-addressed, so the router forwards each query to the
+/// user's owning shard process. All queries for one pass share one
+/// control connection with a per-user answer cache — lanes interleave
+/// users, so the old single-slot cache plus fresh-connection-per-query
+/// scheme degenerated to one TCP connect (and, through a router, one
+/// whole link fabric) per sent frame.
 fn fast_forward(addr: SocketAddr, lane: &[Request], acked: usize, sent_high: usize) -> usize {
     let mut acked = acked;
-    let mut cached: Option<(UserId, u64)> = None;
+    let mut cached: HashMap<UserId, u64> = HashMap::new();
+    let mut conn: Option<(BufReader<TcpStream>, BufWriter<TcpStream>)> = None;
     while acked < sent_high {
         let Some((user, end_seq)) = frame_span(&lane[acked]) else { break };
-        let applied = match cached {
-            Some((u, applied)) if u == user => applied,
-            _ => match control_request(addr, &Request::AsOf { user, t: i64::MAX }) {
-                Ok(Response::AsOf { applied, .. }) => {
-                    cached = Some((user, applied));
-                    applied
+        let applied = match cached.get(&user).copied() {
+            Some(applied) => applied,
+            None => {
+                let mut exchange = || -> io::Result<u64> {
+                    if conn.is_none() {
+                        let stream = TcpStream::connect(addr)?;
+                        stream.set_nodelay(true)?;
+                        conn = Some((BufReader::new(stream.try_clone()?), BufWriter::new(stream)));
+                    }
+                    let (r, w) = conn.as_mut().expect("connected above");
+                    write_msg(w, &Request::AsOf { user, t: i64::MAX })?;
+                    w.flush()?;
+                    match read_msg::<Response, _>(r)? {
+                        Some(Response::AsOf { applied, .. }) => Ok(applied),
+                        other => Err(io::Error::other(format!("as-of: unexpected {other:?}"))),
+                    }
+                };
+                match exchange() {
+                    Ok(applied) => {
+                        cached.insert(user, applied);
+                        applied
+                    }
+                    Err(_) => break,
                 }
-                _ => break,
-            },
+            }
         };
         if applied < end_seq {
             break;
@@ -1055,7 +1084,20 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
         server: stats,
         verified,
         mismatches,
+        cluster: None,
     })
+}
+
+/// Ask the peer for its cluster shard map. A `geosocial-router` answers
+/// with the versioned map; a plain shard server answers `Error` (the
+/// request is router-only), reported as `Ok(None)` — which is how
+/// `--router` mode tells the two apart before replaying anything.
+pub fn cluster_info(addr: SocketAddr) -> io::Result<Option<ShardMapInfo>> {
+    match control_request(addr, &Request::ShardMap)? {
+        Response::ShardMap { map } => Ok(Some(map)),
+        Response::Error { .. } => Ok(None),
+        other => Err(io::Error::other(format!("shard-map: unexpected reply {other:?}"))),
+    }
 }
 
 /// Ask the server for its residual state; with `finalize` this flushes

@@ -154,6 +154,32 @@ pub enum Request {
         /// How many most-recent points to consider (0 = all retained).
         last: usize,
     },
+    /// Cluster control plane, answered by `geosocial-router` only: describe
+    /// the router's current versioned shard map (entries, liveness,
+    /// version). A shard server answers with an error — the request
+    /// existing in the shared enum keeps one codec for both tiers. Always
+    /// JSON on the wire (control plane).
+    ShardMap,
+    /// Cluster control plane, answered by `geosocial-router` only: point a
+    /// shard-map entry at a replacement process. The caller quiesces the
+    /// old process *first* — drain + shutdown for a planned handoff (its
+    /// event store is then durable and can be shipped with the store
+    /// crate's handoff export/import), or it simply died — then starts the
+    /// replacement on the shipped store directory and sends `Handoff`.
+    /// The router bumps the map version and the entry's epoch; its shard
+    /// links, which have been reconnecting with backoff since the old
+    /// process stopped answering, re-resolve the entry's address and
+    /// replay every unacked in-flight frame to the new process, where the
+    /// per-user seq dedup makes the replay exactly-once end to end.
+    /// Ordering matters: swapping the address while the old process still
+    /// serves would let acked events land in a store that was already
+    /// shipped. Always JSON on the wire (control plane).
+    Handoff {
+        /// Shard-map entry id to hand off.
+        shard: u64,
+        /// `host:port` the replacement process will serve on.
+        addr: String,
+    },
     /// Graceful drain. With `finalize: false` this is a non-destructive
     /// quiesce: every shard reports its residual state (pending checkins,
     /// reorder-held events, open visits and stay windows) and ingestion may
@@ -237,11 +263,43 @@ pub enum Response {
         /// Residual-state report merged over every shard.
         report: DrainReport,
     },
+    /// Answer to [`Request::ShardMap`] (router only).
+    ShardMap {
+        /// The router's current versioned shard map.
+        map: ShardMapInfo,
+    },
     /// The request could not be served.
     Error {
         /// Human-readable cause.
         message: String,
     },
+}
+
+/// The router's shard map as it travels in a [`Response::ShardMap`]: the
+/// version it carried when serialized plus every entry. Consistent
+/// hashing happens over the **entry ids** (rendezvous/HRW, see
+/// `crate::cluster`), so the wire form is enough for a client to predict
+/// routing.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ShardMapInfo {
+    /// Monotonic map version; bumped by every topology change (handoff).
+    pub version: u64,
+    /// One entry per shard slot, in id order.
+    pub entries: Vec<ShardEntryInfo>,
+}
+
+/// One shard slot of a [`ShardMapInfo`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ShardEntryInfo {
+    /// Stable entry id — the rendezvous-hash identity. Survives handoffs:
+    /// a replacement process keeps the id, so no user moves.
+    pub id: u64,
+    /// `host:port` of the process currently owning the slot.
+    pub addr: String,
+    /// Whether the slot currently routes (false only mid-retirement).
+    pub live: bool,
+    /// Process incarnation: bumped on every handoff of this slot.
+    pub epoch: u64,
 }
 
 /// Server-wide counters: the union of every shard's counters plus the

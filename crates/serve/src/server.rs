@@ -234,6 +234,12 @@ pub struct ServerConfig {
     /// this many records per segment. Lower = faster historical seeks,
     /// more index memory.
     pub index_every: usize,
+    /// Event-store flush threshold, bytes: buffered appends are written
+    /// through to the active segment once they reach this size. `0`
+    /// flushes every append, making each acked event durable against a
+    /// SIGKILL of the whole process — the setting the cluster chaos suite
+    /// runs shard processes with.
+    pub flush_bytes: usize,
     /// Fault-injection plan (inert unless built with `fault-inject` and
     /// given non-zero rates). The server consults only the shard-kill
     /// entry; frame faults are client-side.
@@ -264,6 +270,7 @@ impl Default for ServerConfig {
             store_dir: None,
             segment_bytes: 4 * 1024 * 1024,
             index_every: 8,
+            flush_bytes: geosocial_store::FLUSH_THRESHOLD,
             fault: FaultPlan::none(),
             trace_slow_us: geosocial_obs::trace::DEFAULT_SLOW_US,
         }
@@ -352,6 +359,8 @@ fn mutation_cmd(req: Request) -> Option<ShardCmd> {
         | Request::Stats
         | Request::Metrics
         | Request::Drain { .. }
+        | Request::ShardMap
+        | Request::Handoff { .. }
         | Request::Shutdown => None,
     }
 }
@@ -852,6 +861,7 @@ fn shard_worker(
         index_every: config.index_every,
         fault: config.fault.clone(),
         shard: shard as u64,
+        flush_bytes: config.flush_bytes,
     };
     let mut store = match EventStore::open(&store_dir, opts) {
         Ok(store) => store,
@@ -878,6 +888,7 @@ fn shard_worker(
         index_every: config.index_every,
         fault: FaultPlan::none(),
         shard: shard as u64,
+        flush_bytes: config.flush_bytes,
     };
     let mut trace_store = match EventStore::open(store_dir.join("trace"), trace_opts) {
         Ok(st) => Some(st),
@@ -1112,7 +1123,7 @@ fn dump_of(id: u128, mut spans: Vec<SpanRecord>) -> TraceDump {
 
 /// One span in protocol form (trace id as 32-hex — the vendored serde has
 /// no u128 support, and hex ids are what operators grep anyway).
-fn wire_span(s: SpanRecord) -> TraceSpan {
+pub(crate) fn wire_span(s: SpanRecord) -> TraceSpan {
     TraceSpan {
         trace_id: geosocial_obs::trace::trace_hex(s.trace_id),
         span_id: s.span_id,
@@ -1202,7 +1213,7 @@ fn after_finish() -> Response {
 /// blocks in [`ConnSlots::acquire`] while `max` handlers are live, and
 /// shutdown waits in [`ConnSlots::wait_idle`] for the last handler to
 /// finish (handlers are detached threads; the slot count is the join).
-struct ConnSlots {
+pub(crate) struct ConnSlots {
     max: usize,
     active: Mutex<usize>,
     cv: Condvar,
@@ -1210,17 +1221,17 @@ struct ConnSlots {
 }
 
 impl ConnSlots {
-    fn new(max: usize) -> Self {
+    pub(crate) fn new(max: usize, gauge_name: &'static str) -> Self {
         Self {
             max: max.max(1),
             active: Mutex::new(0),
             cv: Condvar::new(),
-            gauge: gauge("serve.connections"),
+            gauge: gauge(gauge_name),
         }
     }
 
     /// Take a slot; returns `false` if shutdown began while waiting.
-    fn acquire(&self, shutdown: &AtomicBool) -> bool {
+    pub(crate) fn acquire(&self, shutdown: &AtomicBool) -> bool {
         let mut active = self.active.lock().expect("slots lock");
         while *active >= self.max {
             if shutdown.load(Ordering::SeqCst) {
@@ -1235,7 +1246,7 @@ impl ConnSlots {
         true
     }
 
-    fn release(&self) {
+    pub(crate) fn release(&self) {
         let mut active = self.active.lock().expect("slots lock");
         *active = active.saturating_sub(1);
         self.gauge.dec();
@@ -1243,7 +1254,7 @@ impl ConnSlots {
     }
 
     /// Block until every handler has released its slot.
-    fn wait_idle(&self) {
+    pub(crate) fn wait_idle(&self) {
         let mut active = self.active.lock().expect("slots lock");
         while *active > 0 {
             let (guard, _) =
@@ -1254,7 +1265,7 @@ impl ConnSlots {
 }
 
 /// RAII slot release for a handler thread.
-struct SlotGuard(Arc<ConnSlots>);
+pub(crate) struct SlotGuard(pub(crate) Arc<ConnSlots>);
 
 impl Drop for SlotGuard {
     fn drop(&mut self) {
@@ -1264,7 +1275,7 @@ impl Drop for SlotGuard {
 
 /// True when an I/O error is an idle-timeout expiry rather than a peer
 /// hangup or protocol violation.
-fn is_timeout(e: &io::Error) -> bool {
+pub(crate) fn is_timeout(e: &io::Error) -> bool {
     matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
 
@@ -1347,6 +1358,9 @@ fn handle_conn(
             Request::MetricsHistory { .. } => metrics::latency_history(),
             Request::Drain { .. } => metrics::latency_drain(),
             Request::Finish | Request::Shutdown => metrics::latency_finish(),
+            // Cluster control answered with an error below; bucket with
+            // the other control queries.
+            Request::ShardMap | Request::Handoff { .. } => metrics::latency_stats(),
         };
         let resp = match req {
             Request::Hello { origin_lat, origin_lon } => {
@@ -1449,6 +1463,11 @@ fn handle_conn(
                 let _ = TcpStream::connect(self_addr);
                 Response::Ok
             }
+            Request::ShardMap | Request::Handoff { .. } => Response::Error {
+                message: "cluster control request sent to a shard server \
+                          (connect to geosocial-router instead)"
+                    .into(),
+            },
         };
         let us = clock.lap_us();
         latency.observe(us);
@@ -1470,125 +1489,27 @@ fn handle_conn(
     Ok(())
 }
 
-fn shard_gone() -> Response {
-    Response::Error { message: "shard worker unavailable".into() }
-}
+use crate::merge::shard_gone;
 
-/// Await `n` broadcast replies and merge them into one response.
+/// Await `n` broadcast replies and merge them into one response (the
+/// merge itself is shared with the cluster router; see [`crate::merge`]).
 fn merge_broadcast(rx: &mpsc::Receiver<Response>, n: usize) -> Response {
-    let mut merged: Option<Response> = None;
-    let mut error: Option<Response> = None;
-    for _ in 0..n {
-        let resp = rx.recv().unwrap_or_else(|_| shard_gone());
-        match resp {
-            Response::Ok => {
-                merged.get_or_insert(Response::Ok);
-            }
-            Response::Verdicts { verdicts } => {
-                if let Response::Verdicts { verdicts: all } =
-                    merged.get_or_insert_with(|| Response::Verdicts { verdicts: Vec::new() })
-                {
-                    all.extend(verdicts)
-                }
-            }
-            Response::Stats { stats } => {
-                if let Response::Stats { stats: total } =
-                    merged.get_or_insert_with(|| Response::Stats { stats: ServerStats::default() })
-                {
-                    total.users += stats.users;
-                    total.gps_events += stats.gps_events;
-                    total.checkin_events += stats.checkin_events;
-                    total.verdicts += stats.verdicts;
-                    total.duplicates += stats.duplicates;
-                    total.recoveries += stats.recoveries;
-                    total.buffered_state += stats.buffered_state;
-                    total.composition.merge(&stats.composition);
-                    total.per_shard.extend(stats.per_shard);
-                }
-            }
-            Response::Drained { report } => {
-                if let Response::Drained { report: total } = merged
-                    .get_or_insert_with(|| Response::Drained { report: DrainReport::default() })
-                {
-                    total.merge(&report)
-                }
-            }
-            Response::Compositions { compositions } => {
-                if let Response::Compositions { compositions: all } = merged
-                    .get_or_insert_with(|| Response::Compositions { compositions: Vec::new() })
-                {
-                    all.extend(compositions)
-                }
-            }
-            e @ Response::Error { .. } => error = Some(e),
-            other => merged = Some(other),
-        }
-    }
-    if let Some(e) = error {
-        return e;
-    }
-    match merged {
-        Some(Response::Stats { mut stats }) => {
-            stats.per_shard.sort_by_key(|s| s.shard);
-            stats.shards = stats.per_shard.len();
-            Response::Stats { stats }
-        }
-        Some(Response::Compositions { mut compositions }) => {
-            // Shards answer in arrival order; present the cohort sorted.
-            compositions.sort_by_key(|c| c.user);
-            Response::Compositions { compositions }
-        }
-        Some(r) => r,
-        None => shard_gone(),
-    }
+    crate::merge::merge_responses((0..n).map(|_| rx.recv().unwrap_or_else(|_| shard_gone())))
 }
 
-/// Await `n` shard answers to a `Traces` broadcast and merge them: spans
-/// of the same trace are combined across shards (a trace normally lives
-/// on one shard, but client-synthesized and future cross-shard legs need
-/// not), then the union is re-ranked by root duration and truncated to
-/// the `slowest` ask.
+/// Await `n` shard answers to a `Traces` broadcast and merge them via
+/// [`crate::merge::merge_trace_responses`].
 fn merge_traces(rx: &mpsc::Receiver<Response>, n: usize, slowest: usize) -> Response {
-    let mut by_trace: HashMap<String, Vec<TraceSpan>> = HashMap::new();
-    let mut error = None;
-    for _ in 0..n {
-        match rx.recv().unwrap_or_else(|_| shard_gone()) {
-            Response::Traces { traces } => {
-                for dump in traces {
-                    by_trace.entry(dump.trace_id).or_default().extend(dump.spans);
-                }
-            }
-            e @ Response::Error { .. } => error = Some(e),
-            other => {
-                error = Some(Response::Error {
-                    message: format!("unexpected shard answer to Traces: {other:?}"),
-                })
-            }
-        }
-    }
-    if let Some(e) = error {
-        return e;
-    }
-    let mut traces: Vec<TraceDump> = by_trace
-        .into_iter()
-        .map(|(trace_id, mut spans)| {
-            spans.sort_by_key(|s| (s.start_us, s.span_id));
-            let t0 = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
-            let t1 = spans.iter().map(|s| s.start_us.saturating_add(s.dur_us)).max().unwrap_or(0);
-            TraceDump { trace_id, root_dur_us: t1.saturating_sub(t0), spans }
-        })
-        .collect();
-    traces.sort_by(|a, b| b.root_dur_us.cmp(&a.root_dur_us).then(a.trace_id.cmp(&b.trace_id)));
-    if slowest > 0 {
-        traces.truncate(slowest);
-    }
-    Response::Traces { traces }
+    crate::merge::merge_trace_responses(
+        (0..n).map(|_| rx.recv().unwrap_or_else(|_| shard_gone())),
+        slowest,
+    )
 }
 
 /// Build a `MetricsHistory` answer from the obs history ring: the last
 /// `last` snapshots (0 = all), with per-counter delta and rate computed
 /// between the oldest and newest returned points.
-fn history_report(last: usize) -> MetricsHistoryReport {
+pub(crate) fn history_report(last: usize) -> MetricsHistoryReport {
     let points = geosocial_obs::history(last);
     let Some((first, rest)) = points.split_first() else {
         return MetricsHistoryReport { points: 0, span_s: 0.0, rates: Vec::new() };
@@ -1652,7 +1573,7 @@ pub fn run_with(listener: TcpListener, config: ServerConfig) -> io::Result<Serve
     let queries = Arc::new(AtomicUsize::new(0));
     let queues: Arc<Vec<Arc<Gauge>>> =
         Arc::new((0..config.shards.max(1)).map(queue_gauge).collect());
-    let slots = Arc::new(ConnSlots::new(config.max_connections));
+    let slots = Arc::new(ConnSlots::new(config.max_connections, "serve.connections"));
 
     // Event-store root: the configured directory, or an ephemeral
     // per-process one (unique even across servers in one process) that is

@@ -433,6 +433,112 @@ pub fn encode_request_payload(out: &mut Vec<u8>, req: &Request) {
             out.push(*finalize as u8);
         }
         Request::Shutdown => out.push(OP_SHUTDOWN),
+        other @ (Request::ShardMap | Request::Handoff { .. }) => {
+            unreachable!("cluster control request {other:?} has no binary form")
+        }
+    }
+}
+
+/// Whether `req` has a binary form. The cluster control plane
+/// (`ShardMap`, `Handoff`) deliberately does not: those requests are
+/// rare, router-only, and worth keeping human-readable — like the
+/// control-plane responses (see [`response_has_binary_form`]).
+pub fn request_has_binary_form(req: &Request) -> bool {
+    !matches!(req, Request::ShardMap | Request::Handoff { .. })
+}
+
+/// What `geosocial-router` needs to know about a request frame to route
+/// it. Computed by [`peek_route`] without decoding the request body on
+/// the binary path — the router forwards the raw frame bytes verbatim,
+/// so a cheap peek is all the routing tier ever decodes per ingest frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePeek {
+    /// Route to the shard owning this user (ingest and per-user queries).
+    User(u32),
+    /// Fan out to every live shard and merge the answers.
+    Broadcast,
+    /// Answered by the router itself; decode the frame fully to dispatch.
+    Control,
+}
+
+/// The route class of a decoded request — the JSON peek path, and the
+/// single definition tests compare the binary fast path against.
+pub fn route_of(req: &Request) -> RoutePeek {
+    match req {
+        Request::Gps { user, .. }
+        | Request::GpsRun { user, .. }
+        | Request::Checkin { user, .. }
+        | Request::User { user }
+        | Request::AsOf { user, .. } => RoutePeek::User(*user),
+        Request::Hello { .. }
+        | Request::Window { .. }
+        | Request::Stats
+        | Request::Finish
+        | Request::Drain { .. }
+        | Request::Traces { .. } => RoutePeek::Broadcast,
+        Request::Metrics
+        | Request::MetricsHistory { .. }
+        | Request::Shutdown
+        | Request::ShardMap
+        | Request::Handoff { .. } => RoutePeek::Control,
+    }
+}
+
+/// Peek a request frame's route without decoding its body. On the binary
+/// wire this reads the opcode (skipping a trace-context envelope, whose
+/// context is returned so the router can attach its own span) and, for
+/// user-routed opcodes, the leading user varint — a few bytes regardless
+/// of frame size. JSON frames take the full parse; that wire is the
+/// debug/compat path. The route classes agree with [`route_of`] by
+/// construction (proptested in `tests/protocol_fuzz.rs`).
+pub fn peek_route(payload: &[u8]) -> Result<(RoutePeek, Option<TraceContext>), DecodeError> {
+    match detect(payload) {
+        WireFormat::Binary => {
+            let mut d = Decoder::new(payload);
+            let mut ctx = None;
+            let mut op = d.byte()?;
+            if op == OP_TRACED {
+                let lo = d.u64_le()?;
+                let hi = d.u64_le()?;
+                let span_id = d.u64_le()?;
+                let flags = d.byte()?;
+                let start_us = d.varint()?;
+                let attempt_at = d.pos;
+                let attempt = d.varint()?;
+                let attempt = u32::try_from(attempt).map_err(|_| DecodeError {
+                    offset: attempt_at,
+                    detail: format!("attempt {attempt} > u32::MAX"),
+                })?;
+                ctx = Some(TraceContext {
+                    trace_id: ((hi as u128) << 64) | lo as u128,
+                    span_id,
+                    flags,
+                    start_us,
+                    attempt,
+                });
+                op = d.byte()?;
+            }
+            let route = match op {
+                OP_GPS | OP_GPS_RUN | OP_CHECKIN | OP_USER | OP_AS_OF => {
+                    RoutePeek::User(d.u32_field("user id")?)
+                }
+                OP_HELLO | OP_WINDOW | OP_STATS | OP_FINISH | OP_DRAIN | OP_TRACES => {
+                    RoutePeek::Broadcast
+                }
+                OP_METRICS | OP_METRICS_HISTORY | OP_SHUTDOWN => RoutePeek::Control,
+                other => {
+                    return Err(DecodeError {
+                        offset: d.pos - 1,
+                        detail: format!("unknown request opcode 0x{other:02X}"),
+                    })
+                }
+            };
+            Ok((route, ctx))
+        }
+        WireFormat::Json => {
+            let (req, _, ctx) = decode_request_traced(payload)?;
+            Ok((route_of(&req), ctx))
+        }
     }
 }
 
@@ -870,11 +976,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
 /// frames into one buffer and one syscall.
 pub fn encode_request_frame(out: &mut Vec<u8>, req: &Request, wire: WireFormat) -> io::Result<()> {
     match wire {
-        WireFormat::Binary => frame_payload(out, |buf| {
+        WireFormat::Binary if request_has_binary_form(req) => frame_payload(out, |buf| {
             encode_request_payload(buf, req);
             Ok(())
         }),
-        WireFormat::Json => frame_json(out, req),
+        _ => frame_json(out, req),
     }
 }
 

@@ -254,6 +254,70 @@ proptest! {
         let _ = wire::decode_request(&json_payload); // must not panic
     }
 
+    // ---------------- route peeking ----------------
+
+    /// The router's cheap route peek (opcode + leading varint on the
+    /// binary wire, full parse on JSON) agrees with `route_of` on the
+    /// decoded request, bare or trace-enveloped, on both wire formats —
+    /// the contract `peek_route`'s docs promise.
+    #[test]
+    fn peek_route_agrees_with_route_of(
+        pick in 0u8..=255,
+        wide_pick in 0u8..=255,
+        user in 0u32..=u32::MAX,
+        seq in 0u64..1_000,
+        t in -1_000_000i64..1_000_000,
+        x in -180.0f64..180.0,
+        binary in 0u8..=1,
+        traced in 0u8..=1,
+        span_id in 0u64..=u64::MAX,
+    ) {
+        // Cover the broadcast/control families too, not just the ingest
+        // requests `request_for` generates.
+        let req = match wide_pick % 4 {
+            0 => request_for(pick, user, seq, t, x),
+            1 => Request::Window { cohort: vec![user], t0: t, t1: t + 60 },
+            2 => match pick % 3 {
+                0 => Request::Stats,
+                1 => Request::Finish,
+                _ => Request::Traces { trace_id: None, slowest: seq as usize, path: None },
+            },
+            _ => match pick % 5 {
+                0 => Request::Metrics,
+                1 => Request::MetricsHistory { last: seq as usize },
+                2 => Request::ShardMap,
+                3 => Request::Handoff { shard: seq, addr: "127.0.0.1:7744".into() },
+                _ => Request::Shutdown,
+            },
+        };
+        let fmt = if binary == 1 && wire::request_has_binary_form(&req) {
+            WireFormat::Binary
+        } else {
+            WireFormat::Json
+        };
+        let mut payload = Vec::new();
+        if traced == 1 {
+            let ctx = TraceContext {
+                trace_id: 0xfeed_f00d,
+                span_id,
+                flags: 0x01,
+                start_us: 7,
+                attempt: 0,
+            };
+            wire::encode_traced_payload(&mut payload, &ctx, &req, fmt).expect("encode");
+        } else {
+            let mut framed = Vec::new();
+            wire::encode_request_frame(&mut framed, &req, fmt).expect("frame");
+            payload = framed[4..].to_vec();
+        }
+        let (route, ctx) = wire::peek_route(&payload).expect("peek");
+        prop_assert_eq!(route, wire::route_of(&req), "peek disagreed with route_of");
+        prop_assert_eq!(ctx.is_some(), traced == 1, "peek lost (or invented) a trace context");
+        if let Some(ctx) = ctx {
+            prop_assert_eq!(ctx.span_id, span_id);
+        }
+    }
+
     // ---------------- trace-context envelope ----------------
 
     /// The trace envelope roundtrips every context field on both wire

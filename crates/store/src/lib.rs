@@ -33,4 +33,7 @@ pub use codec::{crc32, put_bytes, put_f64, put_varint, put_zigzag, CodecError, R
 pub use segment::{
     append_record, scan_records, RecordRef, TornTail, MAX_RECORD_BYTES, SENTINEL_USER,
 };
-pub use store::{EventStore, StoreOptions, StoredRecord, FLUSH_THRESHOLD};
+pub use store::{
+    import_handoff, EventStore, HandoffFile, HandoffManifest, StoreOptions, StoredRecord,
+    FLUSH_THRESHOLD, HANDOFF_MANIFEST,
+};

@@ -59,11 +59,22 @@ pub struct StoreOptions {
     pub fault: FaultPlan,
     /// Shard/owner id: keys fault decisions and log lines.
     pub shard: u64,
+    /// Buffered bytes that trigger an automatic flush on append. `0`
+    /// flushes every append — acked events then survive a SIGKILL of the
+    /// whole process (the bytes are in the page cache), which is what the
+    /// cluster chaos suite runs with.
+    pub flush_bytes: usize,
 }
 
 impl Default for StoreOptions {
     fn default() -> Self {
-        Self { segment_bytes: 4 * 1024 * 1024, index_every: 8, fault: FaultPlan::none(), shard: 0 }
+        Self {
+            segment_bytes: 4 * 1024 * 1024,
+            index_every: 8,
+            fault: FaultPlan::none(),
+            shard: 0,
+            flush_bytes: FLUSH_THRESHOLD,
+        }
     }
 }
 
@@ -405,7 +416,7 @@ impl EventStore {
             if result.is_ok() {
                 self.roll()?;
             }
-        } else if self.active.bytes.len() - self.active.flushed >= FLUSH_THRESHOLD {
+        } else if self.active.bytes.len() - self.active.flushed >= self.opts.flush_bytes {
             // Background flush: an error here is not data loss — the tail
             // stays buffered and the next flush retries.
             result = self.flush();
@@ -635,6 +646,151 @@ impl EventStore {
         })?;
         Ok(out)
     }
+
+    /// Ship this shard's durable state for a handoff: flush, then copy
+    /// every segment and the newest snapshot into `dest` alongside a
+    /// checksummed [`HANDOFF_MANIFEST`] file. The replacement process
+    /// validates the copy with [`import_handoff`] and then simply opens
+    /// `dest` — recovery replays it like any restart.
+    ///
+    /// The export is taken at a quiescent point (the shard is drained or
+    /// its process is already dead); the store keeps running afterwards,
+    /// so a botched handoff can fall back to the original directory.
+    pub fn export_handoff(&mut self, dest: impl AsRef<Path>) -> io::Result<HandoffManifest> {
+        self.flush()?;
+        let dest = dest.as_ref();
+        fs::create_dir_all(dest)?;
+        let mut names: Vec<String> = Vec::new();
+        for seg in 0..self.segment_count() {
+            let path = if seg < self.sealed.len() {
+                self.sealed[seg].path.clone()
+            } else {
+                self.active.path.clone()
+            };
+            names.push(file_name(&path)?);
+        }
+        if self.snapshot_state.is_some() {
+            names.push(file_name(&snap_path(&self.dir, self.snapshot_lsn))?);
+        }
+        let mut manifest = HandoffManifest {
+            next_lsn: self.next_lsn,
+            snapshot_lsn: self.snapshot_lsn,
+            files: Vec::with_capacity(names.len()),
+        };
+        for name in names {
+            let bytes = fs::read(self.dir.join(&name))?;
+            fs::write(dest.join(&name), &bytes)?;
+            manifest.files.push(HandoffFile { name, len: bytes.len() as u64, crc: crc32(&bytes) });
+        }
+        fs::write(dest.join(HANDOFF_MANIFEST), manifest.render())?;
+        Ok(manifest)
+    }
+}
+
+/// Name of the checksum manifest [`EventStore::export_handoff`] writes
+/// next to the shipped segments.
+pub const HANDOFF_MANIFEST: &str = "MANIFEST";
+
+/// What a handoff export shipped: the log head and every copied file with
+/// its length and CRC, so the receiving side can prove the state arrived
+/// intact before adopting it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandoffManifest {
+    /// Log head of the exported store (records shipped).
+    pub next_lsn: u64,
+    /// LSN covered by the shipped snapshot (0 = none).
+    pub snapshot_lsn: u64,
+    /// Every shipped file.
+    pub files: Vec<HandoffFile>,
+}
+
+/// One file named by a [`HandoffManifest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandoffFile {
+    /// Bare file name inside the handoff directory.
+    pub name: String,
+    /// Expected byte length.
+    pub len: u64,
+    /// Expected CRC32 of the whole file.
+    pub crc: u32,
+}
+
+impl HandoffManifest {
+    fn render(&self) -> String {
+        let mut out = format!(
+            "geosocial-handoff v1\nnext_lsn {}\nsnapshot_lsn {}\n",
+            self.next_lsn, self.snapshot_lsn
+        );
+        for f in &self.files {
+            out.push_str(&format!("file {} {} {:08x}\n", f.name, f.len, f.crc));
+        }
+        out
+    }
+
+    fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("geosocial-handoff v1") {
+            return Err("bad manifest header".into());
+        }
+        let field = |line: Option<&str>, key: &str| -> Result<u64, String> {
+            line.and_then(|l| l.strip_prefix(key))
+                .and_then(|v| v.trim().parse().ok())
+                .ok_or_else(|| format!("manifest missing `{key}`"))
+        };
+        let next_lsn = field(lines.next(), "next_lsn ")?;
+        let snapshot_lsn = field(lines.next(), "snapshot_lsn ")?;
+        let mut files = Vec::new();
+        for line in lines.filter(|l| !l.trim().is_empty()) {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some("file"), Some(name), Some(len), Some(crc)) => files.push(HandoffFile {
+                    name: name.to_string(),
+                    len: len.parse().map_err(|e| format!("manifest file len: {e}"))?,
+                    crc: u32::from_str_radix(crc, 16)
+                        .map_err(|e| format!("manifest file crc: {e}"))?,
+                }),
+                _ => return Err(format!("bad manifest line `{line}`")),
+            }
+        }
+        Ok(Self { next_lsn, snapshot_lsn, files })
+    }
+}
+
+/// Validate a shipped handoff directory against its manifest: every named
+/// file must exist with the exact length and CRC the exporter recorded.
+/// Returns the manifest on success so the caller knows the log head it is
+/// adopting; fails with [`io::ErrorKind::InvalidData`] on any mismatch —
+/// the replacement process must refuse to serve from a torn copy.
+pub fn import_handoff(dir: impl AsRef<Path>) -> io::Result<HandoffManifest> {
+    let dir = dir.as_ref();
+    let text = fs::read_to_string(dir.join(HANDOFF_MANIFEST))?;
+    let manifest =
+        HandoffManifest::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    for f in &manifest.files {
+        let bytes = fs::read(dir.join(&f.name))?;
+        if bytes.len() as u64 != f.len || crc32(&bytes) != f.crc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "handoff file {} corrupt in transit: {} bytes crc {:08x}, manifest says \
+                     {} bytes crc {:08x}",
+                    f.name,
+                    bytes.len(),
+                    crc32(&bytes),
+                    f.len,
+                    f.crc
+                ),
+            ));
+        }
+    }
+    Ok(manifest)
+}
+
+fn file_name(path: &Path) -> io::Result<String> {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .map(str::to_string)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unnameable store file"))
 }
 
 impl Drop for EventStore {
@@ -718,6 +874,42 @@ mod tests {
         assert_eq!(delta[7].user, 1);
         assert_eq!(delta[7].t, 70);
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn handoff_export_import_roundtrip_and_corruption_detection() {
+        let dir = tmp_dir("handoff-src");
+        let dest = tmp_dir("handoff-dest");
+        let mut store = EventStore::open(&dir, small_opts()).expect("open");
+        fill(&mut store, 60);
+        store.snapshot(b"state@60").expect("snapshot");
+        fill(&mut store, 40);
+        let manifest = store.export_handoff(&dest).expect("export");
+        assert_eq!(manifest.next_lsn, 100);
+        assert_eq!(manifest.snapshot_lsn, 60);
+        assert!(manifest.files.len() >= 2, "segments + snapshot shipped");
+
+        let verified = import_handoff(&dest).expect("import validates");
+        assert_eq!(verified, manifest);
+
+        // The shipped copy opens like any restart and carries everything.
+        let copy = EventStore::open(&dest, small_opts()).expect("open shipped copy");
+        assert_eq!(copy.next_lsn(), 100);
+        assert_eq!(copy.snapshot_lsn(), 60);
+        assert_eq!(copy.snapshot_state(), Some(&b"state@60"[..]));
+        assert_eq!(copy.replay_delta().expect("delta").len(), 40);
+        drop(copy);
+
+        // A byte flipped in transit must fail the import, not serve.
+        let victim = dest.join(&manifest.files[0].name);
+        let mut bytes = fs::read(&victim).unwrap();
+        bytes[0] ^= 0xFF;
+        fs::write(&victim, &bytes).unwrap();
+        let err = import_handoff(&dest).expect_err("corrupt copy rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        fs::remove_dir_all(&dir).ok();
+        fs::remove_dir_all(&dest).ok();
     }
 
     #[test]

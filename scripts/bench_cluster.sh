@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_cluster.json: the router-tier benchmark — real
+# multi-process topology, binary wire, batch-verified.
+#
+# Two measured phases on the same generated scenario (64 users x 7 days,
+# seed 1 by default — ~250k events, comfortably past the 100k-event
+# cluster acceptance bar):
+#
+#   single   — one geosocial-serve process, loadgen connected directly
+#              (the baseline the router hop is judged against),
+#   cluster  — PROCS geosocial-serve processes (each with its own worker
+#              shards) behind one geosocial-router process, users
+#              consistent-hashed across them; loadgen runs in --router
+#              mode so the report embeds the shard map it replayed into.
+#
+# Every replay is batch-verified: served per-user compositions must equal
+# the batch pipeline byte-for-byte, through the router included. Best-of-N
+# throughput per phase, fresh processes per run (a finished stream can't
+# be replayed twice). scripts/check.sh gates on the committed numbers:
+# cluster >= 0.8x single on the binary wire.
+#
+# Usage: scripts/bench_cluster.sh [RUNS]   (default 2)
+# Scale overrides via env: USERS DAYS SEED PROCS WORKERS CONNECTIONS
+# WINDOW RUN_LEN.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+runs="${1:-${RUNS:-2}}"
+users="${USERS:-64}"
+days="${DAYS:-7}"
+seed="${SEED:-1}"
+procs="${PROCS:-8}"
+workers="${WORKERS:-2}"
+connections="${CONNECTIONS:-4}"
+window="${WINDOW:-256}"
+run_len="${RUN_LEN:-64}"
+
+echo "==> building geosocial-serve binaries (release)"
+cargo build --release -p geosocial-serve
+
+bins=target/release
+tmp="$(mktemp -d -t bench_cluster.XXXXXX)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+# wait_addr LOG PID -> the host:port the process logged on its
+# "listening"/"routing" line, with the same bounded liveness-checked poll
+# scripts/check.sh uses for its serve smoke.
+wait_addr() {
+    local log="$1" pid="$2" addr=""
+    for _ in $(seq 1 100); do
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "process died at startup; log:" >&2
+            cat "$log" >&2
+            return 1
+        fi
+        addr="$(grep -ho 'addr=[0-9.:]*' "$log" 2>/dev/null | head -n1 | cut -d= -f2 || true)"
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "process never logged its address; log:" >&2
+    cat "$log" >&2
+    return 1
+}
+
+# start_shard NAME -> shard address in $last_addr, pid registered in $pids.
+# (Deliberately not a command substitution: the background process must be
+# a child of this shell so it can be killed and reaped.)
+start_shard() {
+    local log="$tmp/$1.log"
+    "$bins/geosocial-serve" --addr 127.0.0.1:0 --shards "$workers" --read-timeout 0 \
+        >/dev/null 2>"$log" &
+    local pid=$!
+    pids+=("$pid")
+    last_addr="$(wait_addr "$log" "$pid")"
+}
+
+# stop_all -> kill every registered process and reset the registry
+stop_all() {
+    for pid in "${pids[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+    pids=()
+}
+
+events_per_sec() {
+    grep -o '"events_per_sec": [0-9.]*' "$1" | head -n1 | grep -o '[0-9.]*$'
+}
+
+attempt="$tmp/attempt.json"
+
+# one_replay ADDR OUT EXTRA... -> verified replay against ADDR
+one_replay() {
+    local addr="$1" out="$2"
+    shift 2
+    "$bins/geosocial-loadgen" --addr "$addr" \
+        --users "$users" --days "$days" --seed "$seed" \
+        --connections "$connections" --window "$window" \
+        --wire binary --run-len "$run_len" --trace-sample 0 \
+        --verify --out "$out" "$@" >/dev/null
+}
+
+out_single="$tmp/single.json"
+out_cluster="$tmp/cluster.json"
+
+echo "==> single process: $runs verified replays at ${users}x${days}d (binary wire, run_len $run_len)"
+best=0
+for i in $(seq 1 "$runs"); do
+    start_shard "single-$i"
+    one_replay "$last_addr" "$attempt"
+    stop_all
+    eps="$(events_per_sec "$attempt")"
+    echo "   single run $i: $eps events/s"
+    if awk -v a="$best" -v b="$eps" 'BEGIN { exit !(b > a) }'; then
+        best="$eps"
+        cp "$attempt" "$out_single"
+    fi
+done
+
+echo "==> cluster: $runs verified replays across $procs shard processes behind the router"
+best=0
+for i in $(seq 1 "$runs"); do
+    shard_addrs=""
+    for s in $(seq 1 "$procs"); do
+        start_shard "shard-$i-$s"
+        shard_addrs="${shard_addrs:+$shard_addrs,}$last_addr"
+    done
+    router_log="$tmp/router-$i.log"
+    "$bins/geosocial-router" --addr 127.0.0.1:0 --shards "$shard_addrs" \
+        >/dev/null 2>"$router_log" &
+    router_pid=$!
+    pids+=("$router_pid")
+    router_addr="$(wait_addr "$router_log" "$router_pid")"
+    one_replay "$router_addr" "$attempt" --router
+    stop_all
+    eps="$(events_per_sec "$attempt")"
+    echo "   cluster run $i: $eps events/s"
+    if awk -v a="$best" -v b="$eps" 'BEGIN { exit !(b > a) }'; then
+        best="$eps"
+        cp "$attempt" "$out_cluster"
+    fi
+done
+
+single_eps="$(events_per_sec "$out_single")"
+cluster_eps="$(events_per_sec "$out_cluster")"
+ratio="$(awk -v s="$single_eps" -v c="$cluster_eps" \
+    'BEGIN { printf "%.2f", (s > 0) ? c / s : 0 }')"
+
+# Top-level scalars repeat the two headline numbers so the check.sh gate
+# reads them without digging into the embedded reports.
+{
+    printf '{\n'
+    printf '  "bench": "cluster replay: %s shard processes behind geosocial-router vs one process, binary wire, best of %s",\n' "$procs" "$runs"
+    printf '  "procs": %s,\n' "$procs"
+    printf '  "workers_per_proc": %s,\n' "$workers"
+    printf '  "single_events_per_sec": %s,\n' "$single_eps"
+    printf '  "cluster_events_per_sec": %s,\n' "$cluster_eps"
+    printf '  "cluster_over_single": %s,\n' "$ratio"
+    printf '  "single":\n'
+    sed 's/^/  /' "$out_single"
+    printf '  ,\n'
+    printf '  "cluster":\n'
+    sed 's/^/  /' "$out_cluster"
+    printf '}\n'
+} > BENCH_cluster.json
+
+echo "==> BENCH_cluster.json: single $single_eps ev/s, cluster $cluster_eps ev/s (${ratio}x)"

@@ -140,4 +140,29 @@ awk -v o="$overhead" 'BEGIN { exit !(o <= 5.0) }' \
     || { echo "error: instrumentation overhead ${overhead}% exceeds the 5% budget" >&2; exit 1; }
 echo "   committed overhead: ${overhead}%"
 
+echo "==> cluster bench gate: BENCH_cluster.json schema + throughput ratio"
+for field in procs workers_per_proc single_events_per_sec cluster_events_per_sec \
+             cluster_over_single; do
+    grep -q "\"$field\":" BENCH_cluster.json \
+        || { echo "error: BENCH_cluster.json lacks \"$field\"" >&2; exit 1; }
+done
+procs="$(grep -o '"procs": [0-9]*' BENCH_cluster.json | grep -o '[0-9]*$')"
+[ "$procs" -ge 8 ] \
+    || { echo "error: BENCH_cluster.json measured only $procs shard processes (need >= 8)" >&2; exit 1; }
+# Both embedded reports must be batch-verified replays, and the cluster one
+# must carry the shard map it replayed into (loadgen --router mode).
+verified="$(grep -c '"verified": true' BENCH_cluster.json || true)"
+[ "$verified" -ge 2 ] \
+    || { echo "error: BENCH_cluster.json embeds $verified verified reports (need 2)" >&2; exit 1; }
+grep -q '"cluster": {' BENCH_cluster.json \
+    || { echo "error: BENCH_cluster.json's cluster report lacks the shard map" >&2; exit 1; }
+single_eps="$(grep -o '"single_events_per_sec": [0-9.]*' BENCH_cluster.json | grep -o '[0-9.]*$')"
+cluster_eps="$(grep -o '"cluster_events_per_sec": [0-9.]*' BENCH_cluster.json | grep -o '[0-9.]*$')"
+total_events="$(grep -o '"total_events": [0-9]*' BENCH_cluster.json | head -n1 | grep -o '[0-9]*$')"
+[ "$total_events" -ge 100000 ] \
+    || { echo "error: cluster bench replayed only $total_events events (need >= 100000)" >&2; exit 1; }
+awk -v s="$single_eps" -v c="$cluster_eps" 'BEGIN { exit !(c >= 0.8 * s) }' \
+    || { echo "error: cluster throughput $cluster_eps ev/s is below 0.8x single-process $single_eps ev/s" >&2; exit 1; }
+echo "   $procs shard processes, $total_events events: cluster $cluster_eps ev/s vs single $single_eps ev/s"
+
 echo "==> all checks passed"

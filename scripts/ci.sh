@@ -19,19 +19,27 @@
 #                      then the Traces query through geosocial-trace: the
 #                      text timeline must show the server-side span chain
 #                      and the Chrome export must be non-empty
-#   7. store smoke   — the event-store micro-benchmark at a reduced scale,
+#   7. cluster smoke — a real multi-process topology: two geosocial-serve
+#                      shard processes behind a geosocial-router process,
+#                      a short batch-verified replay on each wire format
+#                      (fresh processes per wire — a finished stream
+#                      cannot be replayed twice)
+#   8. store smoke   — the event-store micro-benchmark at a reduced scale,
 #                      exercising append/segment-roll/snapshot/reopen/query
 #                      through the shipped geosocial-store-bench binary
-#   8. check.sh      — tier-1 gate + serving/observability smokes over a
-#                      real TCP server
+#   9. bench files   — every committed BENCH_*.json must parse as JSON
+#                      (check.sh gates their contents; this catches a
+#                      half-written or hand-mangled report early)
+#  10. check.sh      — tier-1 gate + serving/observability smokes over a
+#                      real TCP server, plus the committed-bench gates
 #
 # Usage: scripts/ci.sh [step...]   (no args = all steps)
-# Steps: fmt clippy build test chaos wire trace store check
+# Steps: fmt clippy build test chaos wire trace cluster store bench check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 steps=("$@")
-[ ${#steps[@]} -eq 0 ] && steps=(fmt clippy build test chaos wire trace store check)
+[ ${#steps[@]} -eq 0 ] && steps=(fmt clippy build test chaos wire trace cluster store bench check)
 
 want() {
     local s
@@ -134,6 +142,76 @@ if want trace; then
     rm -f "$trace_log" "$trace_out" "$chrome_out"
 fi
 
+if want cluster; then
+    echo "==> ci: cluster smoke (router + 2 shard processes, both wires)"
+    cargo build --release -p geosocial-serve
+    cluster_dir="$(mktemp -d -t cluster_smoke.XXXXXX)"
+    cluster_pids=()
+    cluster_cleanup() {
+        local pid
+        for pid in "${cluster_pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+        if [ -d "$cluster_dir" ]; then
+            for log in "$cluster_dir"/*.log; do
+                [ -s "$log" ] || continue
+                echo "---- $log ----" >&2
+                cat "$log" >&2
+            done
+        fi
+        rm -rf "$cluster_dir"
+    }
+    trap cluster_cleanup EXIT
+    # Bounded liveness-checked wait for a process's logged bind address —
+    # the same discovery check.sh uses for its serve smoke.
+    cluster_wait_addr() {
+        local log="$1" pid="$2" addr=""
+        for _ in $(seq 1 50); do
+            kill -0 "$pid" 2>/dev/null \
+                || { echo "error: process exited before binding (see $log)" >&2; return 1; }
+            addr="$(grep -ho 'addr=[0-9.:]*' "$log" 2>/dev/null | head -n1 | cut -d= -f2 || true)"
+            [ -n "$addr" ] && { echo "$addr"; return 0; }
+            sleep 0.1
+        done
+        echo "error: process never logged its address (see $log)" >&2
+        return 1
+    }
+    for wire in json binary; do
+        shard_addrs=""
+        for s in 1 2; do
+            shard_log="$cluster_dir/shard-$wire-$s.log"
+            ./target/release/geosocial-serve --addr 127.0.0.1:0 --shards 2 \
+                --read-timeout 0 --store-dir "$cluster_dir/store-$wire-$s" \
+                >/dev/null 2>"$shard_log" &
+            shard_pid=$!
+            cluster_pids+=("$shard_pid")
+            addr="$(cluster_wait_addr "$shard_log" "$shard_pid")"
+            shard_addrs="${shard_addrs:+$shard_addrs,}$addr"
+        done
+        router_log="$cluster_dir/router-$wire.log"
+        ./target/release/geosocial-router --addr 127.0.0.1:0 --shards "$shard_addrs" \
+            >/dev/null 2>"$router_log" &
+        router_pid=$!
+        cluster_pids+=("$router_pid")
+        router_addr="$(cluster_wait_addr "$router_log" "$router_pid")"
+        wire_args=()
+        [ "$wire" = binary ] && wire_args=(--run-len 32)
+        ./target/release/geosocial-loadgen \
+            --addr "$router_addr" --router \
+            --users 12 --days 2 --seed 1 \
+            --connections 2 --window 64 \
+            --wire "$wire" "${wire_args[@]}" \
+            --verify --out "$cluster_dir/report-$wire.json"
+        grep -q '"verified": true' "$cluster_dir/report-$wire.json" \
+            || { echo "error: $wire-wire cluster replay did not verify" >&2; exit 1; }
+        for pid in "${cluster_pids[@]}"; do
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        done
+        cluster_pids=()
+    done
+    trap - EXIT
+    rm -rf "$cluster_dir"
+fi
+
 if want store; then
     echo "==> ci: event-store smoke (reduced-scale bench)"
     cargo build --release -p geosocial-store
@@ -142,6 +220,24 @@ if want store; then
     grep -q '"append_per_s"' "$store_out" \
         || { echo "error: store bench produced no report" >&2; exit 1; }
     rm -f "$store_out"
+fi
+
+if want bench; then
+    echo "==> ci: committed BENCH_*.json parse as JSON"
+    for f in BENCH_*.json; do
+        [ -e "$f" ] || { echo "error: no committed BENCH_*.json found" >&2; exit 1; }
+        if command -v python3 >/dev/null 2>&1; then
+            python3 -m json.tool "$f" >/dev/null \
+                || { echo "error: $f is not valid JSON" >&2; exit 1; }
+        elif command -v jq >/dev/null 2>&1; then
+            jq . "$f" >/dev/null \
+                || { echo "error: $f is not valid JSON" >&2; exit 1; }
+        else
+            echo "error: neither python3 nor jq available to validate $f" >&2
+            exit 1
+        fi
+        echo "   $f: ok"
+    done
 fi
 
 if want check; then
