@@ -32,5 +32,5 @@ pub mod simulate;
 
 pub use behavior::{Archetype, BehaviorConfig, UserBehavior};
 pub use incentives::{compute_profile, IncentiveConfig, MayorshipBoard};
-pub use scenario::{Scenario, ScenarioConfig};
+pub use scenario::{substream_seed, Scenario, ScenarioConfig};
 pub use simulate::simulate_checkins;

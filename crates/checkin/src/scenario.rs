@@ -136,7 +136,10 @@ impl Scenario {
 /// the splitmix64 finalizer so that consecutive uids land on unrelated
 /// streams. Stream identity depends only on these three values — never on
 /// generation order or thread count.
-fn substream_seed(seed: u64, cohort: u64, uid: u64) -> u64 {
+///
+/// Public because every scenario family (crates/scenario) must use the
+/// same fan-out to stay bit-identical across thread counts.
+pub fn substream_seed(seed: u64, cohort: u64, uid: u64) -> u64 {
     let mut z =
         seed ^ cohort.wrapping_mul(0xA24B_AED4_963E_E407) ^ uid.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

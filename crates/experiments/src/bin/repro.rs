@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! repro list
-//! repro [--exp all|table1|fig1..fig8|table2|sweep|detect|filter|recover|learned|fidelity|rates|visitdef|dsdv|equiv|chaos|timetravel|cluster]
+//! repro list-scenarios
+//! repro [--exp all|table1|fig1..fig8|table2|sweep|detect|filter|recover|learned|fidelity|rates|visitdef|dsdv|equiv|chaos|timetravel|cluster|scenarios]
+//!       [--scenario NAME[,NAME...]]
 //!       [--users N] [--days N] [--seed S] [--out DIR] [--threads N] [--quick] [--paper-area] [--bench]
 //! ```
 //!
 //! `repro list` prints every experiment with a one-line description; an
 //! unknown `--exp` name prints the same list and exits non-zero.
+//! `repro list-scenarios` prints the registered scenario families;
+//! `--scenario` restricts the `scenarios` experiment to the named
+//! families (and implies `--exp scenarios` when no `--exp` is given).
 //!
 //! Writes `DIR/<exp>.txt` and `DIR/<exp>*.csv` for every requested
 //! experiment and prints the text reports to stdout. Every experiment is
@@ -17,12 +22,13 @@
 
 use geosocial_experiments::figures::{self, ExperimentOutput};
 use geosocial_experiments::models::{self, Fig8Config};
-use geosocial_experiments::{extensions, streaming, Analysis};
+use geosocial_experiments::{extensions, scenarios, streaming, Analysis};
 use geosocial_obs::Stopwatch;
 use std::path::PathBuf;
 
 struct Args {
     exps: Vec<String>,
+    scenarios: Option<Vec<String>>,
     users: Option<u32>,
     days: Option<u32>,
     seed: u64,
@@ -33,7 +39,7 @@ struct Args {
     bench: bool,
 }
 
-const ALL_EXPS: [(&str, &str); 23] = [
+const ALL_EXPS: [(&str, &str); 24] = [
     ("table1", "Table 1 — dataset statistics for both cohorts"),
     ("fig1", "Figure 1 — checkin/visit matching Venn"),
     ("fig2", "Figure 2 — inter-arrival CDFs"),
@@ -57,6 +63,7 @@ const ALL_EXPS: [(&str, &str); 23] = [
     ("chaos", "served equivalence under an injected fault plan (X11)"),
     ("timetravel", "store-backed as-of audit vs truncated batch (X13)"),
     ("cluster", "router-tier cluster vs single instance vs batch (X14)"),
+    ("scenarios", "per-scenario detector scorecards (X15)"),
 ];
 
 fn print_experiment_list() {
@@ -69,6 +76,7 @@ fn print_experiment_list() {
 fn parse_args() -> Args {
     let mut args = Args {
         exps: vec!["all".into()],
+        scenarios: None,
         users: None,
         days: None,
         seed: 20130101,
@@ -78,6 +86,7 @@ fn parse_args() -> Args {
         paper_area: false,
         bench: false,
     };
+    let mut exp_given = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -85,9 +94,25 @@ fn parse_args() -> Args {
                 print_experiment_list();
                 std::process::exit(0);
             }
+            "list-scenarios" => {
+                for family in geosocial_scenario::registry() {
+                    println!("{:<12} {}", family.name(), family.describe());
+                }
+                std::process::exit(0);
+            }
             "--exp" => {
+                exp_given = true;
                 args.exps =
                     it.next().expect("--exp needs a value").split(',').map(str::to_string).collect()
+            }
+            "--scenario" => {
+                args.scenarios = Some(
+                    it.next()
+                        .expect("--scenario needs a value")
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                );
             }
             "--users" => {
                 args.users = Some(it.next().expect("--users needs a value").parse().expect("users"))
@@ -106,7 +131,8 @@ fn parse_args() -> Args {
             "--bench" => args.bench = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [list] [--exp LIST] [--users N] [--days N] [--seed S] [--out DIR]\n\
+                    "usage: repro [list | list-scenarios] [--exp LIST] [--scenario LIST]\n\
+                     \x20            [--users N] [--days N] [--seed S] [--out DIR]\n\
                      \x20            [--threads N] [--quick] [--paper-area] [--bench]"
                 );
                 print_experiment_list();
@@ -121,6 +147,22 @@ fn parse_args() -> Args {
             }
             other => {
                 eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    // `--scenario` without `--exp` means "score just these families":
+    // run only the scenarios experiment.
+    if args.scenarios.is_some() && !exp_given {
+        args.exps = vec!["scenarios".into()];
+    }
+    if let Some(names) = &args.scenarios {
+        for name in names {
+            if geosocial_scenario::find(name).is_none() {
+                eprintln!(
+                    "unknown scenario {name}; registered: {}",
+                    geosocial_scenario::names().join(", ")
+                );
                 std::process::exit(2);
             }
         }
@@ -271,6 +313,9 @@ fn main() {
             "chaos" => streaming::chaos_equivalence(&analysis, args.seed),
             "timetravel" => streaming::time_travel(&analysis, args.seed),
             "cluster" => streaming::cluster_equivalence(&analysis, args.seed),
+            "scenarios" => {
+                scenarios::scenario_scorecards(args.quick, args.seed, args.scenarios.as_deref())
+            }
             other => {
                 eprintln!("unknown experiment {other}");
                 print_experiment_list();

@@ -34,12 +34,14 @@
 //! | `equiv` | [`streaming::streaming_equivalence`] | online-vs-batch audit (X10) |
 //! | `chaos` | [`streaming::chaos_equivalence`] | equivalence under faults (X11) |
 //! | `timetravel` | [`streaming::time_travel`] | as-of audit vs truncated batch (X13) |
+//! | `scenarios` | [`scenarios::scenario_scorecards`] | per-scenario detector scorecards (X15) |
 
 pub mod analysis;
 pub mod extensions;
 pub mod figures;
 pub mod models;
 pub mod output;
+pub mod scenarios;
 pub mod streaming;
 
 /// Re-export of the cohort generator, so downstream users need only this

@@ -270,6 +270,7 @@ pub fn chaos_equivalence(_a: &Analysis, seed: u64) -> ExperimentOutput {
                 // Default head sampling; the chaos experiment measures
                 // equivalence and wall-clock, not trace retention.
                 trace_sample: 64,
+                ..LoadgenConfig::default()
             };
             let report = replay(addr, &load)?;
             shutdown_server(addr)?;
@@ -561,6 +562,7 @@ pub fn cluster_equivalence(_a: &Analysis, seed: u64) -> ExperimentOutput {
             wire,
             run_len,
             trace_sample: 0,
+            ..LoadgenConfig::default()
         };
 
         let mut row = |mode: &str, instances: usize| -> std::io::Result<(f64, bool)> {

@@ -69,3 +69,24 @@ fn pipeline_is_thread_count_invariant() {
     // Belt and braces: the whole fingerprint at once.
     assert_eq!(serial, parallel);
 }
+
+/// Every registered scenario family must be byte-identical at any pool
+/// width — the property the loadgen `--scenario` replay (and its served
+/// equivalence oracle) depends on. The adversarial families matter most
+/// here: `geosim` adds a cross-user barrier (the similarity graph) and
+/// `spoof-swarm` builds its checkin lists outside `simulate_checkins`,
+/// both easy places to lose the per-user substream discipline.
+#[test]
+fn scenario_families_are_thread_count_invariant() {
+    let cfg = geosocial_scenario::PopulationConfig::small(10, 4);
+    for family in geosocial_scenario::names() {
+        geosocial_par::set_max_threads(1);
+        let serial = geosocial_scenario::populate(family, &cfg, 77).expect("registered");
+        geosocial_par::set_max_threads(4);
+        let parallel = geosocial_scenario::populate(family, &cfg, 77).expect("registered");
+        geosocial_par::set_max_threads(0);
+        let a = serde_json::to_string(&serial).expect("serialize");
+        let b = serde_json::to_string(&parallel).expect("serialize");
+        assert_eq!(a, b, "{family}: population differs between 1 and 4 threads");
+    }
+}

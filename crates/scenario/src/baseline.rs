@@ -1,0 +1,26 @@
+//! The `baseline` family: the paper's primary cohort behind the trait.
+
+use crate::{Population, PopulationConfig, ScenarioFamily, UserRole};
+use geosocial_checkin::Scenario;
+
+/// Today's POI-routine population, unchanged: the primary cohort of the
+/// core generator. The default workload of `geosocial-loadgen`, so its
+/// output must stay byte-identical to the pre-registry path — it delegates
+/// straight to [`Scenario::generate`] with the wrapped config.
+pub struct Baseline;
+
+impl ScenarioFamily for Baseline {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn describe(&self) -> &'static str {
+        "POI-routine archetype mixture (the paper's primary cohort)"
+    }
+
+    fn populate(&self, cfg: &PopulationConfig, seed: u64) -> Population {
+        let sc = Scenario::generate(&cfg.base, seed);
+        let roles = vec![UserRole::Regular; sc.primary.users.len()];
+        Population { dataset: sc.primary, roles }
+    }
+}

@@ -1,0 +1,163 @@
+//! Shared machinery: sizing config, per-user draft, and the
+//! barrier-then-render assembly every family funnels through.
+
+use crate::{Population, UserRole};
+use geosocial_checkin::{
+    compute_profile, simulate_checkins, substream_seed, BehaviorConfig, MayorshipBoard,
+    ScenarioConfig,
+};
+use geosocial_mobility::{assign_prefs, generate_city, generate_itinerary, Itinerary};
+use geosocial_trace::{detect_visits, Checkin, Dataset, PoiUniverse, Provenance, UserData, UserId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Sizing and physics knobs shared by every family.
+///
+/// Wraps the core [`ScenarioConfig`] so the `baseline` family — and the
+/// default loadgen path — stays byte-identical to the pre-registry
+/// generator: `primary_users`/`primary_days` size the population, and the
+/// city/routine/GPS/visit/incentive knobs are reused verbatim.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// The underlying core configuration.
+    pub base: ScenarioConfig,
+}
+
+impl PopulationConfig {
+    /// Scaled-down configuration: `users` users over `days` days in a
+    /// small city — exactly [`ScenarioConfig::small`].
+    pub fn small(users: u32, days: u32) -> Self {
+        Self { base: ScenarioConfig::small(users, days) }
+    }
+
+    /// Number of users every family generates.
+    pub fn users(&self) -> u32 {
+        self.base.primary_users
+    }
+
+    /// Nominal measurement days per user.
+    pub fn days(&self) -> u32 {
+        self.base.primary_days
+    }
+}
+
+/// Per-user intermediate state between the generation pass and the
+/// render pass — the family-agnostic half of the core generator's
+/// three-pass cohort build.
+pub(crate) struct Draft {
+    pub itinerary: Itinerary,
+    pub checkins: Vec<Checkin>,
+    pub sociability: f64,
+    pub days: f64,
+    pub role: UserRole,
+    /// The user's private stream, carried so the render pass continues
+    /// exactly where the generation pass left off.
+    pub rng: ChaCha12Rng,
+}
+
+/// The family's city. Uses the *same* RNG stream as the core generator,
+/// so for a given seed every family plays out on the same map — families
+/// differ by behavior, not geography.
+pub(crate) fn family_city(cfg: &PopulationConfig, seed: u64) -> PoiUniverse {
+    let mut rng = ChaCha12Rng::seed_from_u64(substream_seed(seed, 0, 0));
+    generate_city(&cfg.base.city, &mut rng)
+}
+
+/// The private RNG stream of `(seed, tag, uid)`.
+pub(crate) fn user_rng(seed: u64, tag: u64, uid: u32) -> ChaCha12Rng {
+    ChaCha12Rng::seed_from_u64(substream_seed(seed, tag, uid as u64))
+}
+
+/// Per-user coverage jitter around the cohort mean, as in the core
+/// generator: ±⅓ of the mean, floored at 3 days.
+pub(crate) fn jitter_days<R: Rng>(mean_days: u32, rng: &mut R) -> u32 {
+    (mean_days as i64 + rng.gen_range(-(mean_days as i64) / 3..=(mean_days as i64) / 3)).max(3)
+        as u32
+}
+
+/// One ordinary primary-cohort user: routine itinerary, archetype-mixture
+/// behavior, simulated checkins. The building block the `tourists`,
+/// `mayor-ring` and `spoof-swarm` families reuse for their non-special
+/// users.
+pub(crate) fn primary_draft(
+    uid: u32,
+    universe: &PoiUniverse,
+    cfg: &PopulationConfig,
+    seed: u64,
+    tag: u64,
+    role: UserRole,
+) -> Draft {
+    let mut rng = user_rng(seed, tag, uid);
+    let prefs = assign_prefs(uid, universe, &mut rng);
+    let days = jitter_days(cfg.days(), &mut rng);
+    let itinerary = generate_itinerary(&prefs, universe, days, &cfg.base.routine, &mut rng);
+    let behavior = BehaviorConfig::Primary.sample(&mut rng);
+    let checkins = simulate_checkins(&itinerary, universe, &behavior, &mut rng);
+    Draft { itinerary, checkins, sociability: behavior.sociability, days: days as f64, role, rng }
+}
+
+/// A checkin as the service records it: the POI's category and coordinates,
+/// plus the ground-truth provenance only the generator knows.
+pub(crate) fn mk_checkin(
+    universe: &PoiUniverse,
+    t: i64,
+    poi: geosocial_trace::PoiId,
+    provenance: Provenance,
+) -> Checkin {
+    let p = universe.get(poi);
+    Checkin { t, poi, category: p.category, location: p.location, provenance: Some(provenance) }
+}
+
+/// Render drafts into a [`Population`]: the mayorship barrier, then the
+/// parallel GPS/visit/profile pass — mirroring the core generator's
+/// passes 2 and 3, with each user continuing its private stream.
+pub(crate) fn assemble(
+    name: &str,
+    universe: &PoiUniverse,
+    cfg: &PopulationConfig,
+    mut drafts: Vec<Draft>,
+) -> Population {
+    // Families that splice extra events (ring schedules, spoof bursts)
+    // may leave streams unsorted; the board and the matcher expect
+    // chronological order.
+    for d in &mut drafts {
+        d.checkins.sort_by_key(|c| c.t);
+    }
+
+    let streams: Vec<(UserId, &[Checkin])> =
+        drafts.iter().enumerate().map(|(i, d)| (i as UserId, d.checkins.as_slice())).collect();
+    let now = drafts.iter().filter_map(|d| d.itinerary.span().map(|(_, e)| e)).max().unwrap_or(0);
+    let board = MayorshipBoard::compute(&streams, now, &cfg.base.incentives);
+
+    let rendered = geosocial_par::par_map_indexed(&drafts, |uid, draft| {
+        let uid = uid as UserId;
+        let mut rng = draft.rng.clone();
+        let gps =
+            geosocial_mobility::simulate_gps(&draft.itinerary, universe, &cfg.base.gps, &mut rng);
+        let visits = detect_visits(&gps, &cfg.base.visit, Some(universe));
+        let profile = compute_profile(
+            uid,
+            &draft.checkins,
+            draft.days,
+            draft.sociability,
+            &board,
+            &cfg.base.incentives,
+            &mut rng,
+        );
+        (gps, visits, profile)
+    });
+
+    let mut roles = Vec::with_capacity(drafts.len());
+    let users = drafts
+        .into_iter()
+        .zip(rendered)
+        .enumerate()
+        .map(|(uid, (draft, (gps, visits, profile)))| {
+            roles.push(draft.role);
+            UserData::new(uid as UserId, gps, visits, draft.checkins, profile)
+        })
+        .collect();
+
+    Population { dataset: Dataset { name: name.into(), pois: universe.clone(), users }, roles }
+}

@@ -20,9 +20,14 @@ usage: geosocial-loadgen [options]
                      report (replay and resume already work unchanged)
   --spawn            host the server in-process on an ephemeral port
   --shards N         shards for the spawned server (default 4)
+  --scenario NAME    registered scenario family to replay (default
+                     baseline; see --list-scenarios)
+  --list-scenarios   print the registered scenario families and exit
   --users N          scenario cohort size (default 64)
   --days N           scenario duration in days (default 7)
   --seed N           scenario seed (default 1)
+  --threads N        cap the generation worker pool (0 = all cores); the
+                     population is bit-identical for every N
   --connections N    parallel client connections (default 4)
   --window N         pipeline depth per connection (default 256)
   --wire FMT         payload encoding, json | binary (default json)
@@ -80,8 +85,20 @@ fn parse_args() -> Result<Cli, String> {
             "--shards" => {
                 cli.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
             }
+            "--scenario" => cli.load.scenario = value("--scenario")?,
+            "--list-scenarios" => {
+                for family in geosocial_scenario::registry() {
+                    println!("{:<12} {}", family.name(), family.describe());
+                }
+                exit(0);
+            }
             "--users" => {
                 cli.load.users = value("--users")?.parse().map_err(|e| format!("--users: {e}"))?;
+            }
+            "--threads" => {
+                let n: usize =
+                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                geosocial_par::set_max_threads(n);
             }
             "--days" => {
                 cli.load.days = value("--days")?.parse().map_err(|e| format!("--days: {e}"))?;

@@ -35,7 +35,6 @@
 //! served per-user compositions against the batch pipeline run locally on
 //! the same scenario.
 
-use geosocial_checkin::{Scenario, ScenarioConfig};
 use geosocial_core::classify::ClassifyConfig;
 use geosocial_core::matching::{match_checkins, MatchConfig};
 use geosocial_core::prevalence::user_compositions;
@@ -45,6 +44,7 @@ use geosocial_obs::trace::{
     promote_flags, SpanRecord, TraceContext, DEFAULT_SAMPLE_DENOM, DEFAULT_SLOW_US, FLAG_SAMPLED,
     PROMOTE_MASK,
 };
+use geosocial_scenario::PopulationConfig;
 use geosocial_stream::{dataset_events, StreamEvent};
 use geosocial_trace::{Dataset, UserId};
 use serde::Serialize;
@@ -82,6 +82,9 @@ impl Default for RetryPolicy {
 /// Replay parameters.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
+    /// Registered scenario family to replay (`--scenario`). The default,
+    /// `baseline`, generates exactly the pre-registry primary cohort.
+    pub scenario: String,
     /// Scenario cohort size.
     pub users: u32,
     /// Scenario duration, days.
@@ -112,6 +115,7 @@ pub struct LoadgenConfig {
 impl Default for LoadgenConfig {
     fn default() -> Self {
         Self {
+            scenario: "baseline".to_string(),
             users: 64,
             days: 7,
             seed: 1,
@@ -130,6 +134,8 @@ impl Default for LoadgenConfig {
 /// What the replay measured — serialized to `BENCH_serve.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
+    /// Scenario family replayed.
+    pub scenario: String,
     /// Scenario cohort size.
     pub users: u32,
     /// Scenario duration, days.
@@ -956,9 +962,19 @@ fn verify_against_batch(
 /// Generate the scenario, replay it against `addr`, finalize, snapshot
 /// stats, and (optionally) verify against the batch pipeline.
 pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
-    let scenario_cfg = ScenarioConfig::small(cfg.users, cfg.days);
-    let scenario = Scenario::generate(&scenario_cfg, cfg.seed);
-    let ds = &scenario.primary;
+    let pop_cfg = PopulationConfig::small(cfg.users, cfg.days);
+    let population =
+        geosocial_scenario::populate(&cfg.scenario, &pop_cfg, cfg.seed).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "unknown scenario {:?}; registered: {}",
+                    cfg.scenario,
+                    geosocial_scenario::names().join(", ")
+                ),
+            )
+        })?;
+    let ds = &population.dataset;
     let origin = ds.pois.projection().origin();
     let hello = Request::Hello { origin_lat: origin.lat, origin_lon: origin.lon };
 
@@ -1052,6 +1068,7 @@ pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<BenchReport> {
     let injected = cfg.fault.injected();
     latencies.sort_unstable();
     Ok(BenchReport {
+        scenario: cfg.scenario.clone(),
         users: cfg.users,
         days: cfg.days,
         seed: cfg.seed,

@@ -82,6 +82,8 @@ mod metrics {
     cached!(frames_user, counter, Counter, "router.frames.user");
     cached!(frames_broadcast, counter, Counter, "router.frames.broadcast");
     cached!(frames_control, counter, Counter, "router.frames.control");
+    cached!(frames_wire_json, counter, Counter, "router.frames.wire.json");
+    cached!(frames_wire_binary, counter, Counter, "router.frames.wire.binary");
     cached!(reconnects, counter, Counter, "router.reconnects");
     cached!(replayed, counter, Counter, "router.replayed");
     cached!(handoffs, counter, Counter, "router.handoffs");
@@ -91,6 +93,7 @@ mod metrics {
     cached!(bytes_in, counter, Counter, "router.bytes_in");
     cached!(bytes_out, counter, Counter, "router.bytes_out");
     cached!(latency_forward, histogram, Histogram, "router.latency_us.forward");
+    cached!(latency_broadcast, histogram, Histogram, "router.latency_us.broadcast");
 }
 
 /// Tuning for one router process.
@@ -196,7 +199,7 @@ enum Owed {
     /// One response due from link `idx`, passed through byte-identical.
     Link { idx: usize, ctx: Option<TraceContext>, fwd_us: u64 },
     /// One response due from each target link, merged before answering.
-    Broadcast { targets: Vec<usize>, fmt: WireFormat, kind: BroadcastKind },
+    Broadcast { targets: Vec<usize>, fmt: WireFormat, kind: BroadcastKind, fwd_us: u64 },
 }
 
 enum BroadcastKind {
@@ -649,7 +652,7 @@ fn broadcast(
         }
     }
     owed_tx
-        .send(Owed::Broadcast { targets, fmt, kind })
+        .send(Owed::Broadcast { targets, fmt, kind, fwd_us: trace::now_us() })
         .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "responder gone"))
 }
 
@@ -680,6 +683,10 @@ fn forward_loop(
         let payload = &in_buf[..len];
         let (route, ctx) = wire::peek_route(payload)?;
         let fmt = wire::detect(payload);
+        match fmt {
+            WireFormat::Json => metrics::frames_wire_json().inc(),
+            WireFormat::Binary => metrics::frames_wire_binary().inc(),
+        }
         match route {
             RoutePeek::User(user) => {
                 metrics::frames_user().inc();
@@ -750,7 +757,7 @@ fn respond_loop(
                     metrics::bytes_out().add(frame.len() as u64);
                     writer.write_all(&frame)?;
                 }
-                Owed::Broadcast { targets, fmt, kind } => {
+                Owed::Broadcast { targets, fmt, kind, fwd_us } => {
                     let mut replies = Vec::with_capacity(targets.len());
                     for &idx in &targets {
                         let frame = link_recv(&conn, idx)?;
@@ -758,6 +765,9 @@ fn respond_loop(
                             Response::Error { message: format!("undecodable shard answer: {e:?}") }
                         }));
                     }
+                    // Fan-out latency: forward until the *slowest* shard's
+                    // answer is in hand (merge cost excluded).
+                    metrics::latency_broadcast().observe(trace::now_us().saturating_sub(fwd_us));
                     let resp = match kind {
                         BroadcastKind::Plain => merge::merge_responses(replies),
                         BroadcastKind::Traces { slowest, trace_id, id_ok, path } => {
@@ -852,6 +862,34 @@ pub fn spawn(config: RouterConfig, addr: &str) -> io::Result<RouterHandle> {
     Ok(RouterHandle { addr: local, thread })
 }
 
+/// Sample every live link's queue depth (inbox + written-but-unanswered)
+/// into per-shard gauges `router.link.depth.<entry>` plus a
+/// `router.link.depth.total` aggregate. Called from the 1 Hz history
+/// ticker so the depths land in the `MetricsHistory` ring alongside the
+/// frame counters. Entries without any live link read zero — a gauge
+/// must not freeze at its last value when the links drain away.
+fn record_link_depths(shared: &Shared) {
+    let entries = shared.map.read().expect("map lock").entries().len();
+    let mut depths = vec![0i64; entries];
+    {
+        let registry = shared.links.lock().expect("registry lock");
+        for weak in registry.iter() {
+            let Some(link) = weak.upgrade() else { continue };
+            let state = link.state.lock().expect("link lock");
+            let depth = (state.inbox.len() + state.unacked.len()) as i64;
+            if let Some(d) = depths.get_mut(link.idx) {
+                *d += depth;
+            }
+        }
+    }
+    let mut total = 0i64;
+    for (idx, depth) in depths.iter().enumerate() {
+        total += depth;
+        geosocial_obs::gauge(&format!("router.link.depth.{idx}")).set(*depth);
+    }
+    geosocial_obs::gauge("router.link.depth.total").set(total);
+}
+
 /// Route on an already-bound listener until a client requests
 /// `Shutdown` (which also stops every live shard process).
 pub fn run_with(listener: TcpListener, config: RouterConfig) -> io::Result<()> {
@@ -871,11 +909,15 @@ pub fn run_with(listener: TcpListener, config: RouterConfig) -> io::Result<()> {
     let slots = Arc::new(ConnSlots::new(shared.config.max_connections, "router.connections"));
 
     // Same 1 Hz metrics-history ticker as the shard server, so
-    // `MetricsHistory` through the router answers with router rates.
+    // `MetricsHistory` through the router answers with router rates. The
+    // link queue depths are sampled right before each capture, landing
+    // the gauges in the same ring row as the frame-rate counters.
     let tick_stop = Arc::new(AtomicBool::new(false));
+    record_link_depths(&shared);
     geosocial_obs::history_tick();
     let ticker = {
         let stop = Arc::clone(&tick_stop);
+        let shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("geosocial-router-history".into())
             .spawn(move || {
@@ -886,6 +928,7 @@ pub fn run_with(listener: TcpListener, config: RouterConfig) -> io::Result<()> {
                     elapsed += tick;
                     if elapsed >= Duration::from_secs(1) {
                         elapsed = Duration::ZERO;
+                        record_link_depths(&shared);
                         geosocial_obs::history_tick();
                     }
                 }

@@ -258,6 +258,7 @@ fn put_checkin(out: &mut Vec<u8>, c: &Checkin) {
         Some(Provenance::Superfluous) => 2,
         Some(Provenance::Remote) => 3,
         Some(Provenance::Driveby) => 4,
+        Some(Provenance::Spoofed) => 5,
     });
 }
 
@@ -275,6 +276,7 @@ fn read_checkin(r: &mut Reader<'_>) -> Result<Checkin, CodecError> {
         2 => Some(Provenance::Superfluous),
         3 => Some(Provenance::Remote),
         4 => Some(Provenance::Driveby),
+        5 => Some(Provenance::Spoofed),
         other => return Err(err_at(r, format!("unknown provenance {other}"))),
     };
     Ok(Checkin { t, poi, category, location, provenance })

@@ -69,6 +69,7 @@ fn chaos_case(wire: WireFormat, run_len: usize) {
         // Default head sampling: tracing is exercised by tests/traces.rs;
         // this suite gates on served-vs-batch equivalence under faults.
         trace_sample: 64,
+        scenario: "baseline".to_string(),
     };
     let report = run(addr, &load).expect("chaotic replay still completes");
 

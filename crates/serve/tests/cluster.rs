@@ -421,6 +421,7 @@ fn process_kill_and_handoff_mid_replay() {
         trace_sample: 0,
         retry: RetryPolicy { max_retries: 12, base_ms: 50, max_ms: 1_000 },
         fault: plan.clone(),
+        scenario: "baseline".to_string(),
     };
     let replay = std::thread::spawn(move || loadgen::run(addr, &cfg));
 

@@ -252,6 +252,7 @@ fn chaos_trace_shows_retry_dedup_chain_across_restart() {
         wire: WireFormat::Binary,
         run_len: 32,
         trace_sample: 1, // trace everything: the dedup/recovery chains must land
+        scenario: "baseline".to_string(),
     };
     let report = run(addr, &load).expect("chaotic replay completes");
     assert_eq!(report.verified, Some(true), "chaos replay must still match batch");

@@ -19,6 +19,8 @@
 //!   distance, used to verify that synthetic traces match their targets and
 //!   that baseline checkins match primary honest checkins (§4.1).
 //! * [`Summary`] — streaming moments and order statistics.
+//! * [`Confusion`] — binary-detector confusion counts with
+//!   precision/recall/F1, behind the per-scenario scorecards (X15).
 //!
 //! All functions are deterministic; sampling takes a caller-provided RNG.
 
@@ -30,6 +32,7 @@ mod kstest;
 mod logistic;
 mod pareto;
 mod regress;
+mod score;
 mod summary;
 
 pub use bootstrap::{bootstrap_ci, BootstrapCi};
@@ -40,6 +43,7 @@ pub use kstest::{ks_statistic, ks_two_sample, KsTest};
 pub use logistic::{fit_logistic, LogisticConfig, LogisticModel};
 pub use pareto::{fit_pareto, fit_pareto_xmin, Pareto};
 pub use regress::{fit_linear, fit_power_law, LinearFit, PowerLawFit};
+pub use score::Confusion;
 pub use summary::{burstiness_coefficient, Summary};
 
 /// Arithmetic mean of a slice; `None` when empty.

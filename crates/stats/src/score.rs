@@ -1,0 +1,133 @@
+//! Binary-classification scoring: confusion counts and the derived
+//! precision/recall/F1 metrics the per-scenario detector scorecards report.
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts for a binary detector, with "positive" meaning
+/// *extraneous* throughout the scorecards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Extraneous, flagged.
+    pub tp: usize,
+    /// Honest, flagged.
+    pub fp: usize,
+    /// Extraneous, missed.
+    pub fn_: usize,
+    /// Honest, passed.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Record one `(actual, predicted)` outcome.
+    pub fn push(&mut self, actual: bool, predicted: bool) {
+        match (actual, predicted) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// TP / (TP + FP); 1.0 when nothing was flagged (vacuously precise).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// TP / (TP + FN); 1.0 when nothing was there to find.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// (TP + TN) / total; 1.0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// Ground-truth positive share; 0 when empty.
+    pub fn prevalence(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.fn_) as f64 / total as f64
+        }
+    }
+
+    /// Merge another confusion into this one.
+    pub fn merge(&mut self, other: &Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_derive() {
+        let mut c = Confusion::default();
+        for (a, p) in [(true, true), (true, true), (true, false), (false, true), (false, false)] {
+            c.push(a, p);
+        }
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (2, 1, 1, 1));
+        assert_eq!(c.total(), 5);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.prevalence() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacuous_edges() {
+        let c = Confusion::default();
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.prevalence(), 0.0);
+        let all_missed = Confusion { tp: 0, fp: 0, fn_: 5, tn: 5 };
+        assert_eq!(all_missed.recall(), 0.0);
+        assert_eq!(all_missed.precision(), 1.0);
+        assert_eq!(all_missed.f1(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Confusion { tp: 1, fp: 2, fn_: 3, tn: 4 };
+        let b = Confusion { tp: 10, fp: 20, fn_: 30, tn: 40 };
+        a.merge(&b);
+        assert_eq!(a, Confusion { tp: 11, fp: 22, fn_: 33, tn: 44 });
+    }
+}

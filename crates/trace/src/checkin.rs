@@ -22,6 +22,11 @@ pub enum Provenance {
     Remote,
     /// A checkin at a nearby POI while moving faster than ~4 mph.
     Driveby,
+    /// A checkin backed by *fabricated* GPS: the device reported positions
+    /// at the venue, but the user was never there. Indistinguishable from
+    /// honest by the paper's GPS-corroboration matcher — the adversarial
+    /// case the `spoof-swarm` scenario family stresses.
+    Spoofed,
 }
 
 impl Provenance {
@@ -37,6 +42,7 @@ impl Provenance {
             Provenance::Superfluous => "Superfluous",
             Provenance::Remote => "Remote",
             Provenance::Driveby => "Driveby",
+            Provenance::Spoofed => "Spoofed",
         }
     }
 }
@@ -89,7 +95,9 @@ mod tests {
     #[test]
     fn provenance_taxonomy() {
         assert!(!Provenance::Honest.is_extraneous());
-        for p in [Provenance::Superfluous, Provenance::Remote, Provenance::Driveby] {
+        for p in
+            [Provenance::Superfluous, Provenance::Remote, Provenance::Driveby, Provenance::Spoofed]
+        {
             assert!(p.is_extraneous());
         }
         assert_eq!(Provenance::Remote.to_string(), "Remote");

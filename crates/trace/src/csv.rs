@@ -157,12 +157,18 @@ fn provenance_from(s: &str, lineno: usize) -> Result<Option<Provenance>, CsvErro
     if s.is_empty() {
         return Ok(None);
     }
-    [Provenance::Honest, Provenance::Superfluous, Provenance::Remote, Provenance::Driveby]
-        .iter()
-        .find(|p| p.label().eq_ignore_ascii_case(s))
-        .copied()
-        .map(Some)
-        .ok_or_else(|| err(lineno, format!("unknown provenance {s:?}")))
+    [
+        Provenance::Honest,
+        Provenance::Superfluous,
+        Provenance::Remote,
+        Provenance::Driveby,
+        Provenance::Spoofed,
+    ]
+    .iter()
+    .find(|p| p.label().eq_ignore_ascii_case(s))
+    .copied()
+    .map(Some)
+    .ok_or_else(|| err(lineno, format!("unknown provenance {s:?}")))
 }
 
 /// Serialize checkins.

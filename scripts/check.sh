@@ -18,7 +18,12 @@
 #      must return retained traces with the server-side span chain,
 #   4. an overhead gate: the committed BENCH_obs.json (scripts/
 #      bench_obs.sh) must show instrumentation overhead — metrics plus
-#      tracing at 1/64 — of at most 5%.
+#      tracing at 1/64 — of at most 5%,
+#   5. a scenario registry gate: every family `repro list-scenarios`
+#      prints must round-trip through `repro --scenario NAME` and appear
+#      in the emitted scorecard, and the committed BENCH_scenario.json
+#      (scripts/bench_scenario.sh) must cover the whole registry with
+#      batch-verified replays.
 #
 # Usage: scripts/check.sh
 # Exits non-zero on the first failure.
@@ -164,5 +169,35 @@ total_events="$(grep -o '"total_events": [0-9]*' BENCH_cluster.json | head -n1 |
 awk -v s="$single_eps" -v c="$cluster_eps" 'BEGIN { exit !(c >= 0.8 * s) }' \
     || { echo "error: cluster throughput $cluster_eps ev/s is below 0.8x single-process $single_eps ev/s" >&2; exit 1; }
 echo "   $procs shard processes, $total_events events: cluster $cluster_eps ev/s vs single $single_eps ev/s"
+
+echo "==> scenario registry gate: every family round-trips through repro --scenario"
+cargo build --release -p geosocial-experiments
+scen_dir="$(mktemp -d -t scen_gate.XXXXXX)"
+families="$(./target/release/repro list-scenarios | awk '{print $1}')"
+[ -n "$families" ] || { echo "error: repro list-scenarios printed nothing" >&2; exit 1; }
+scen_count=0
+for family in $families; do
+    ./target/release/repro --scenario "$family" --quick --out "$scen_dir" >/dev/null 2>&1 \
+        || { echo "error: repro --scenario $family failed" >&2; rm -rf "$scen_dir"; exit 1; }
+    grep -q "^$family " "$scen_dir/scenarios.txt" \
+        || { echo "error: $family missing from its own scorecard" >&2; rm -rf "$scen_dir"; exit 1; }
+    grep -q "^$family," "$scen_dir/scenarios.csv" \
+        || { echo "error: $family missing from scenarios.csv" >&2; rm -rf "$scen_dir"; exit 1; }
+    scen_count=$((scen_count + 1))
+done
+rm -rf "$scen_dir"
+[ "$scen_count" -ge 5 ] \
+    || { echo "error: only $scen_count scenario families registered (need >= 5)" >&2; exit 1; }
+echo "   $scen_count families round-tripped"
+
+echo "==> scenario bench gate: BENCH_scenario.json covers the registry, all verified"
+for family in $families; do
+    grep -q "\"$family\":" BENCH_scenario.json \
+        || { echo "error: BENCH_scenario.json lacks family \"$family\"" >&2; exit 1; }
+done
+scen_verified="$(grep -c '"verified": true' BENCH_scenario.json || true)"
+[ "$scen_verified" -ge "$scen_count" ] \
+    || { echo "error: BENCH_scenario.json has $scen_verified verified rows (need $scen_count)" >&2; exit 1; }
+echo "   $scen_count families benched, all batch-verified"
 
 echo "==> all checks passed"

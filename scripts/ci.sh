@@ -27,6 +27,10 @@
 #   8. store smoke   — the event-store micro-benchmark at a reduced scale,
 #                      exercising append/segment-roll/snapshot/reopen/query
 #                      through the shipped geosocial-store-bench binary
+#   8b. scenario smoke — two scenario families (one social, one
+#                      adversarial) replayed end-to-end through a spawned
+#                      server with the batch-equivalence oracle on; the
+#                      full registry round-trip is gated by check.sh
 #   9. bench files   — every committed BENCH_*.json must parse as JSON
 #                      (check.sh gates their contents; this catches a
 #                      half-written or hand-mangled report early)
@@ -34,12 +38,13 @@
 #                      real TCP server, plus the committed-bench gates
 #
 # Usage: scripts/ci.sh [step...]   (no args = all steps)
-# Steps: fmt clippy build test chaos wire trace cluster store bench check
+# Steps: fmt clippy build test chaos wire trace cluster store scenario
+#        bench check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 steps=("$@")
-[ ${#steps[@]} -eq 0 ] && steps=(fmt clippy build test chaos wire trace cluster store bench check)
+[ ${#steps[@]} -eq 0 ] && steps=(fmt clippy build test chaos wire trace cluster store scenario bench check)
 
 want() {
     local s
@@ -220,6 +225,28 @@ if want store; then
     grep -q '"append_per_s"' "$store_out" \
         || { echo "error: store bench produced no report" >&2; exit 1; }
     rm -f "$store_out"
+fi
+
+if want scenario; then
+    echo "==> ci: scenario smoke (geosim + spoof-swarm served, batch-verified)"
+    cargo build --release -p geosocial-serve
+    scen_out="$(mktemp -t bench_scenario_smoke.XXXXXX.json)"
+    # One social family and one adversarial family: geosim exercises the
+    # cross-user similarity barrier, spoof-swarm the fabricated-GPS path
+    # (checkins built outside simulate_checkins). Both must verify against
+    # the batch pipeline through a real server.
+    for family in geosim spoof-swarm; do
+        ./target/release/geosocial-loadgen \
+            --spawn --shards 4 \
+            --scenario "$family" \
+            --users 16 --days 3 --seed 1 \
+            --connections 4 --window 256 \
+            --wire binary --run-len 64 \
+            --verify --out "$scen_out"
+        grep -q '"verified": true' "$scen_out" \
+            || { echo "error: scenario $family replay did not verify" >&2; exit 1; }
+    done
+    rm -f "$scen_out"
 fi
 
 if want bench; then
